@@ -1,0 +1,105 @@
+// F3 — paper slides 115-148: presentation guidelines. Builds the slide
+// deck's bad-chart patterns as ChartSpecs and shows the linter catching
+// each one, plus a clean chart passing.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "report/chart_lint.h"
+
+namespace perfeval {
+namespace {
+
+core::Series Line(const std::string& name, double scale = 1.0) {
+  core::Series series;
+  series.name = name;
+  for (int i = 1; i <= 5; ++i) {
+    series.Append(i, scale * (10.0 + 2.0 * i));
+  }
+  return series;
+}
+
+void Report(const char* label, const report::ChartSpec& spec) {
+  std::vector<report::LintFinding> findings = report::LintChart(spec);
+  std::printf("--- %s ---\n", label);
+  if (findings.empty()) {
+    std::printf("(clean)\n\n");
+  } else {
+    std::printf("%s\n", report::FindingsToString(findings).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace perfeval
+
+int main(int argc, char** argv) {
+  using namespace perfeval;  // NOLINT(build/namespaces) bench binary.
+  bench::BenchContext ctx("F3", "static analysis of chart specifications",
+                          argc, argv);
+  ctx.PrintHeader("chart-guideline linter on the paper's examples");
+
+  int caught = 0;
+
+  // Slide 118-121: an overloaded chart nobody can read.
+  report::ChartSpec crowded;
+  crowded.title = "Response time";
+  crowded.x_label = "Number of users";
+  crowded.y_label = "Response time (ms)";
+  for (int i = 0; i < 9; ++i) {
+    crowded.series.push_back(Line("variant " + std::to_string(i)));
+  }
+  Report("slide 118: too many alternatives on one chart", crowded);
+  caught += !report::LintChart(crowded).empty();
+
+  // Slide 129: response time + utilization + throughput on one chart.
+  report::ChartSpec mixed;
+  mixed.title = "Everything at once";
+  mixed.x_label = "Number of users";
+  mixed.y_label = "Response time (ms)";
+  mixed.series = {Line("Response time", 1.0), Line("Utilization", 0.001),
+                  Line("Throughput", 1000.0)};
+  Report("slide 129: many result variables on a single chart", mixed);
+  caught += !report::LintChart(mixed).empty();
+
+  // Slide 131: symbols in place of text.
+  report::ChartSpec symbolic;
+  symbolic.title = "Response time";
+  symbolic.x_label = "Arrival rate (jobs/sec)";
+  symbolic.y_label = "Response time (ms)";
+  symbolic.series = {Line("mu=1"), Line("mu=2"), Line("mu=3")};
+  Report("slide 131: symbols in place of text (mental join)", symbolic);
+  caught += !report::LintChart(symbolic).empty();
+
+  // Slide 138: "MINE is better than YOURS" via a non-zero y origin.
+  report::ChartSpec zoomed;
+  zoomed.title = "MINE is better than YOURS";
+  zoomed.x_label = "system";
+  zoomed.y_label = "Execution time (ms)";
+  zoomed.allow_nonzero_y_origin = true;
+  zoomed.series = {Line("MINE", 1.0), Line("YOURS", 1.002)};
+  Report("slide 138: y axis not starting at 0", zoomed);
+  caught += !report::LintChart(zoomed).empty();
+
+  // Slide 122: labels without units.
+  report::ChartSpec unitless;
+  unitless.title = "CPU time";
+  unitless.x_label = "Scale factor";
+  unitless.y_label = "CPU time";
+  unitless.series = {Line("Q1")};
+  Report("slide 122: axis label without a unit", unitless);
+  caught += !report::LintChart(unitless).empty();
+
+  // A chart following all the guidelines.
+  report::ChartSpec clean;
+  clean.title = "Execution time for various scale factors";
+  clean.x_label = "Scale factor";
+  clean.y_label = "Execution time (ms)";
+  clean.series = {Line("hash join"), Line("merge join", 1.3)};
+  Report("clean chart (all guidelines followed)", clean);
+  bool clean_passes = report::LintChart(clean).empty();
+
+  std::printf("bad patterns caught: %d of 5; clean chart passes: %s\n",
+              caught, clean_passes ? "YES" : "NO");
+  ctx.Finish();
+  return caught == 5 && clean_passes ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// T6 — paper slides 100-109: constructing 2^(k-p) designs and their
+// confounding algebra. Reproduces:
+//  - the 2^(7-4) sign table of slide 102 (D=AB, E=AC, F=BC, G=ABC),
+//  - the alias derivation for D=ABC in a 2^(4-1) (slides 104-106),
+//  - the comparison of D=ABC vs D=AB and the resolution-based preference
+//    (slides 107-109).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "doe/confounding.h"
+#include "doe/sign_table.h"
+
+int main(int argc, char** argv) {
+  using namespace perfeval;  // NOLINT(build/namespaces) bench binary.
+  bench::BenchContext ctx("T6", "symbolic algebra, no measurement", argc,
+                          argv);
+  ctx.PrintHeader("fractional factorial confounding algebra");
+
+  // ---- 2^(7-4) construction (slide 102). ----
+  doe::FractionalDesignSpec spec_7_4(
+      7, {doe::Generator{3, 0b011}, doe::Generator{4, 0b101},
+          doe::Generator{5, 0b110}, doe::Generator{6, 0b111}});
+  doe::SignTable table_7_4 = doe::SignTable::Fractional(spec_7_4);
+  std::printf("2^(7-4) design (D=AB, E=AC, F=BC, G=ABC), %zu runs:\n",
+              table_7_4.num_runs());
+  std::printf("%s\n",
+              table_7_4
+                  .ToTable({0b0000001, 0b0000010, 0b0000100, 0b0001000,
+                            0b0010000, 0b0100000, 0b1000000})
+                  .c_str());
+  std::printf("all 7 columns zero-sum and proper: %s\n\n",
+              table_7_4.IsProper() ? "YES" : "NO");
+
+  // ---- D=ABC alias structure (slides 104-106). ----
+  doe::FractionalDesignSpec d_abc(4, {doe::Generator{3, 0b0111}});
+  std::printf("2^(4-1) with D=ABC — defining relation I = ABCD\n");
+  std::printf("alias structure (up to 2-factor interactions):\n%s\n",
+              d_abc.DescribeAliases(2).c_str());
+
+  // ---- D=AB alias structure and the comparison (slides 107-109). ----
+  doe::FractionalDesignSpec d_ab(4, {doe::Generator{3, 0b0011}});
+  std::printf("2^(4-1) with D=AB — defining relation I = ABD\n");
+  std::printf("alias structure (up to 2-factor interactions):\n%s\n",
+              d_ab.DescribeAliases(2).c_str());
+
+  std::printf("resolution of D=ABC: %d (IV)\n", d_abc.Resolution());
+  std::printf("resolution of D=AB:  %d (III)\n", d_ab.Resolution());
+  bool prefers_abc = doe::PreferDesign(d_abc, d_ab);
+  std::printf(
+      "D=ABC preferred: %s  (paper: \"designs that confound higher order "
+      "interactions are preferred\" — sparsity of effects)\n",
+      prefers_abc ? "YES" : "NO");
+
+  ctx.Finish();
+  return prefers_abc && d_abc.Resolution() == 4 && d_ab.Resolution() == 3
+             ? 0
+             : 1;
+}

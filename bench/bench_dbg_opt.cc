@@ -1,0 +1,95 @@
+// F1 — paper slide 41: "Of apples and oranges".
+// Relative execution time DBG/OPT across the 22 TPC-H queries. The paper's
+// figure shows ratios between 1.0 and 2.2 depending on the query. Our
+// engine's kDebug mode (tuple-at-a-time, checked) plays the un-optimized
+// build; kOptimized (vectorized) plays the -O6 build — the same cause
+// (per-tuple interpretation overhead vs tight loops), repeatable from one
+// binary without recompiling.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/metrics.h"
+#include "db/database.h"
+#include "report/gnuplot.h"
+#include "report/table_format.h"
+#include "core/noise.h"
+#include "stats/descriptive.h"
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+namespace perfeval {
+namespace {
+
+/// Minimum user-CPU time of `runs` hot executions (min is the least-noise
+/// estimator for a CPU-bound kernel) (user time excludes
+/// simulated stalls: this experiment is about code quality, not I/O).
+double MinUserMs(db::Database& database, const db::PlanPtr& plan,
+                    db::ExecMode mode, int runs) {
+  (void)database.Run(plan, mode);  // warm-up.
+  std::vector<double> samples;
+  for (int i = 0; i < runs; ++i) {
+    samples.push_back(database.Run(plan, mode).ServerUserMs());
+  }
+  return stats::Min(samples);
+}
+
+}  // namespace
+}  // namespace perfeval
+
+int main(int argc, char** argv) {
+  using namespace perfeval;  // NOLINT(build/namespaces) bench binary.
+  bench::BenchContext ctx(
+      "F1", "hot runs: 1 warm-up, minimum of 5 measured runs, user CPU time",
+      argc, argv);
+  ctx.properties().SetDefault("scaleFactor", "0.01");
+  ctx.properties().SetDefault("runs", "5");
+  ctx.PrintHeader("DBG/OPT relative execution time across 22 queries");
+
+  core::NoiseReport noise = core::MeasureNoiseFloor(20, 1'000'000);
+  std::printf("%s\n\n", noise.ToString().c_str());
+
+  double sf = ctx.properties().GetDouble("scaleFactor", 0.01);
+  int runs = static_cast<int>(ctx.properties().GetInt("runs", 5));
+  db::Database database;
+  workload::TpchGenerator gen(sf);
+  gen.LoadAll(&database);
+  std::printf("TPC-H scale factor %.3g\n\n", sf);
+
+  report::TextTable table;
+  table.SetHeader({"Q", "OPT (ms)", "DBG (ms)", "DBG/OPT"});
+  core::Series ratios;
+  ratios.name = "DBG/OPT";
+  std::vector<double> all_ratios;
+  for (int q = 1; q <= 22; ++q) {
+    db::PlanPtr plan = workload::GetTpchQuery(q).Build(database);
+    double opt = MinUserMs(database, plan, db::ExecMode::kOptimized,
+                              runs);
+    double dbg = MinUserMs(database, plan, db::ExecMode::kDebug, runs);
+    double ratio = opt > 0.0 ? dbg / opt : 1.0;
+    all_ratios.push_back(ratio);
+    ratios.Append(q, ratio);
+    table.AddRow({std::to_string(q), StrFormat("%.2f", opt),
+                  StrFormat("%.2f", dbg), StrFormat("%.2f", ratio)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "geometric mean ratio: %.2f, max: %.2f  (paper: ratios 1.0-2.2, "
+      "non-uniform across queries)\n",
+      stats::GeometricMean(all_ratios), stats::Max(all_ratios));
+
+  report::ChartSpec chart;
+  chart.title = "Relative execution time DBG/OPT, TPC-H queries";
+  chart.x_label = "TPC-H queries";
+  chart.y_label = "relative execution time: DBG/OPT ratio";
+  chart.series = {ratios};
+  std::string stem = ctx.ResultPath("f1_dbg_opt");
+  if (!report::WriteChart(chart, stem).ok()) {
+    return 1;
+  }
+  ctx.AddOutput(stem + ".csv");
+  ctx.AddOutput(stem + ".gnu");
+  ctx.Finish();
+  return 0;
+}

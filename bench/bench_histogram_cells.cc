@@ -1,0 +1,57 @@
+// F4 — paper slide 144: manipulating cell size in histograms.
+// The same 36-point response-time sample rendered with 6 cells (violating
+// the >= 5 points/cell rule of thumb) and with 2 cells (satisfying it),
+// with the linter flagging the former.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "report/chart_lint.h"
+#include "stats/histogram.h"
+
+int main(int argc, char** argv) {
+  using namespace perfeval;  // NOLINT(build/namespaces) bench binary.
+  bench::BenchContext ctx("F4", "fixed 36-point sample from the slide",
+                          argc, argv);
+  ctx.PrintHeader("histogram cell-size manipulation");
+
+  // The slide's 6-cell histogram reads 2, 6, 12, 8, 6, 2 over
+  // [0,2), [2,4), ..., [10,12).
+  std::vector<double> sample;
+  const int kCounts[6] = {2, 6, 12, 8, 6, 2};
+  for (int cell = 0; cell < 6; ++cell) {
+    for (int i = 0; i < kCounts[cell]; ++i) {
+      sample.push_back(cell * 2.0 + 0.5 + i * (1.4 / kCounts[cell]));
+    }
+  }
+  std::printf("sample: %zu response-time observations in [0, 12)\n\n",
+              sample.size());
+
+  stats::Histogram fine(0.0, 12.0, 6);
+  fine.AddAll(sample);
+  std::printf("6 cells of width 2:\n%s\n", fine.ToString().c_str());
+  std::printf("%s\n", report::FindingsToString(
+                          report::LintHistogram(fine)).c_str());
+
+  stats::Histogram coarse(0.0, 12.0, 2);
+  coarse.AddAll(sample);
+  std::printf("2 cells of width 6:\n%s\n", coarse.ToString().c_str());
+  std::vector<report::LintFinding> coarse_findings =
+      report::LintHistogram(coarse);
+  std::printf("%s\n", coarse_findings.empty()
+                          ? "(clean — every cell has >= 5 points)\n"
+                          : report::FindingsToString(coarse_findings)
+                                .c_str());
+
+  std::printf(
+      "paper: the rule of thumb (>= 5 points per cell) flags the first "
+      "rendering, but is \"not sufficient to uniquely determine what one "
+      "should do\".\n");
+
+  bool shape = !report::LintHistogram(fine).empty() &&
+               coarse_findings.empty() &&
+               coarse.cells()[0].count == 20 &&
+               coarse.cells()[1].count == 16;
+  ctx.Finish();
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// T2 — paper slides 33-36: hot vs. cold runs, user vs. real time.
+// Reproduces the shape of the paper's Q1 table: cold real time is several
+// times the hot real time (the buffer pool must be read from disk), while
+// user CPU time barely changes.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "db/database.h"
+#include "report/csv.h"
+#include "report/table_format.h"
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+int main(int argc, char** argv) {
+  using namespace perfeval;  // NOLINT(build/namespaces) bench binary.
+  bench::BenchContext ctx(
+      "T2",
+      "cold: buffer pool flushed before the measured run; hot: measured "
+      "last of three consecutive runs",
+      argc, argv);
+  ctx.properties().SetDefault("scaleFactor", "0.02");
+  ctx.properties().SetDefault("query", "1");
+  ctx.PrintHeader("hot vs cold runs, user vs real time");
+
+  double sf = ctx.properties().GetDouble("scaleFactor", 0.02);
+  int query = static_cast<int>(ctx.properties().GetInt("query", 1));
+  db::Database database;
+  workload::TpchGenerator gen(sf);
+  gen.LoadAll(&database);
+  std::printf("TPC-H scale factor %.3g, query Q%d\n\n", sf, query);
+
+  db::PlanPtr plan = workload::GetTpchQuery(query).Build(database);
+
+  // Cold run: flush everything first (the paper's "system reboot").
+  database.FlushCaches();
+  db::QueryResult cold = database.Run(plan);
+
+  // Hot run: last of three consecutive runs.
+  db::QueryResult hot;
+  for (int run = 0; run < 3; ++run) {
+    hot = database.Run(plan);
+  }
+
+  report::TextTable table;
+  table.SetHeader({"Q", "cold user", "cold real", "hot user", "hot real"});
+  table.AddRow({std::to_string(query),
+                StrFormat("%.0f ms", cold.ServerUserMs()),
+                StrFormat("%.0f ms", cold.ServerRealMs()),
+                StrFormat("%.0f ms", hot.ServerUserMs()),
+                StrFormat("%.0f ms", hot.ServerRealMs())});
+  std::printf("%s\n", table.ToString().c_str());
+
+  double real_ratio = cold.ServerRealMs() / hot.ServerRealMs();
+  std::printf("cold real / hot real = %.1fx  (paper: 13243/3534 = 3.7x)\n",
+              real_ratio);
+  std::printf("cold stall (simulated disk): %.0f ms of %.0f ms real\n\n",
+              cold.server.simulated_stall_ns / 1e6, cold.ServerRealMs());
+  std::printf("Buffer pool after cold run:\n%s\n",
+              database.storage().stats().ToString().c_str());
+
+  report::CsvWriter csv({"state", "user_ms", "real_ms"});
+  csv.AddRow({"cold", StrFormat("%.3f", cold.ServerUserMs()),
+              StrFormat("%.3f", cold.ServerRealMs())});
+  csv.AddRow({"hot", StrFormat("%.3f", hot.ServerUserMs()),
+              StrFormat("%.3f", hot.ServerRealMs())});
+  std::string csv_path = ctx.ResultPath("t2_hot_cold.csv");
+  if (!csv.WriteToFile(csv_path).ok()) {
+    return 1;
+  }
+  ctx.AddOutput(csv_path);
+  ctx.Finish();
+  return 0;
+}

@@ -1,0 +1,204 @@
+// Micro-benchmarks (Google Benchmark) for the library's own hot paths —
+// the "CSI" side of the paper (slide 18: find out where the time goes):
+// per-tuple vs vectorized expression evaluation, the LIKE matcher, sign
+// table algebra, the cache and network simulators, RNGs, parsing, and
+// report rendering. Run with --benchmark_filter=... to drill into one.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "db/expr.h"
+#include "db/table.h"
+#include "doe/effects.h"
+#include "doe/sign_table.h"
+#include "hwsim/cache.h"
+#include "netsim/omega.h"
+#include "report/csv.h"
+#include "sql/parser.h"
+#include "stats/histogram.h"
+#include "stats/tdist.h"
+
+namespace perfeval {
+namespace {
+
+void BM_Pcg32Next(benchmark::State& state) {
+  Pcg32 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_Pcg32Next);
+
+void BM_ZipfDraw(benchmark::State& state) {
+  ZipfGenerator zipf(static_cast<uint64_t>(state.range(0)), 1.0);
+  Pcg32 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfDraw)->Arg(1000)->Arg(100000);
+
+void BM_StudentTCritical(benchmark::State& state) {
+  double df = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::TwoSidedTCritical(0.95, df));
+    df = df >= 120.0 ? 1.0 : df + 1.0;
+  }
+}
+BENCHMARK(BM_StudentTCritical);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  stats::Histogram histogram(0.0, 1.0, 20);
+  Pcg32 rng(3);
+  for (auto _ : state) {
+    histogram.Add(rng.NextDouble());
+  }
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_SignTableColumn(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  doe::SignTable table = doe::SignTable::FullFactorial(k);
+  doe::EffectMask effect = (doe::EffectMask{1} << k) - 1;  // highest order.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Column(effect));
+  }
+}
+BENCHMARK(BM_SignTableColumn)->Arg(6)->Arg(10);
+
+void BM_EstimateEffects(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  doe::SignTable table = doe::SignTable::FullFactorial(k);
+  Pcg32 rng(4);
+  std::vector<double> y;
+  for (size_t i = 0; i < table.num_runs(); ++i) {
+    y.push_back(rng.NextDouble());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doe::EstimateEffects(table, y));
+  }
+}
+BENCHMARK(BM_EstimateEffects)->Arg(4)->Arg(8);
+
+/// The DBG/OPT gap in isolation: one arithmetic expression over 64k rows.
+db::Table MakeNumericTable(size_t rows) {
+  db::Table table(db::Schema({{"price", db::DataType::kDouble},
+                              {"discount", db::DataType::kDouble}}));
+  Pcg32 rng(5);
+  for (size_t i = 0; i < rows; ++i) {
+    table.column(0).AppendDouble(rng.NextDoubleInRange(1.0, 1000.0));
+    table.column(1).AppendDouble(rng.NextDoubleInRange(0.0, 0.1));
+  }
+  table.FinishBulkLoad();
+  return table;
+}
+
+void BM_ExprScalarEval(benchmark::State& state) {
+  db::Table table = MakeNumericTable(65536);
+  db::ExprPtr expr =
+      db::Mul(db::Col(table.schema(), "price"),
+              db::Sub(db::LitDouble(1.0),
+                      db::Col(table.schema(), "discount")));
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      sum += expr->EvalRow(table, r).AsDouble();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_ExprScalarEval);
+
+void BM_ExprBatchEval(benchmark::State& state) {
+  db::Table table = MakeNumericTable(65536);
+  db::ExprPtr expr =
+      db::Mul(db::Col(table.schema(), "price"),
+              db::Sub(db::LitDouble(1.0),
+                      db::Col(table.schema(), "discount")));
+  std::vector<uint32_t> rows(table.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = static_cast<uint32_t>(i);
+  }
+  std::vector<double> out;
+  for (auto _ : state) {
+    expr->EvalNumericBatch(table, rows, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_ExprBatchEval);
+
+void BM_LikeMatch(benchmark::State& state) {
+  db::Table table(db::Schema({{"s", db::DataType::kString}}));
+  table.AppendRow({db::Value::String("special packages above requests")});
+  db::ExprPtr pred =
+      db::Like(db::Col(table.schema(), "s"), "%special%requests%");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred->EvalBool(table, 0));
+  }
+}
+BENCHMARK(BM_LikeMatch);
+
+void BM_CacheSimSequential(benchmark::State& state) {
+  hwsim::MemoryHierarchy hierarchy(
+      {{"L1", 32 * 1024, 64, 4, 1}, {"L2", 1024 * 1024, 64, 8, 10}}, 0.5,
+      100.0);
+  uint64_t address = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hierarchy.AccessNs(address));
+    address += 8;
+  }
+}
+BENCHMARK(BM_CacheSimSequential);
+
+void BM_OmegaArbitrate(benchmark::State& state) {
+  netsim::OmegaNetwork omega(static_cast<int>(state.range(0)));
+  Pcg32 rng(6);
+  std::vector<netsim::Request> requests;
+  for (int p = 0; p < state.range(0); ++p) {
+    requests.push_back(
+        {p, static_cast<int>(rng.NextBounded(
+                static_cast<uint32_t>(state.range(0)))),
+         0});
+  }
+  std::vector<bool> granted;
+  for (auto _ : state) {
+    omega.Arbitrate(requests, &granted);
+    benchmark::DoNotOptimize(granted.size());
+  }
+}
+BENCHMARK(BM_OmegaArbitrate)->Arg(16)->Arg(64);
+
+void BM_SqlParse(benchmark::State& state) {
+  const std::string sql_text =
+      "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, "
+      "sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+      "count(*) AS n FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' "
+      "AND l_discount BETWEEN 0.05 AND 0.07 "
+      "GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag LIMIT 10";
+  for (auto _ : state) {
+    Result<sql::SelectStatement> parsed = sql::Parse(sql_text);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_CsvRender(benchmark::State& state) {
+  for (auto _ : state) {
+    report::CsvWriter writer({"a", "b", "c"});
+    for (int i = 0; i < 100; ++i) {
+      writer.AddNumericRow({i * 1.0, i * 2.0, i * 3.0});
+    }
+    benchmark::DoNotOptimize(writer.ToString());
+  }
+}
+BENCHMARK(BM_CsvRender);
+
+}  // namespace
+}  // namespace perfeval
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// T3 — paper slides 70-78: the 2^2 factorial design worked example.
+// Part 1 reproduces the paper's memory-size x cache-size MIPS table and
+// solves the nonlinear regression model y = q0 + qA xA + qB xB + qAB xA xB,
+// expecting exactly y = 40 + 20 xA + 10 xB + 5 xA xB. Part 2 runs a
+// *measured* 2^2 design on the cache simulator (cache size x memory
+// latency) and solves it the same way — the sign-table method applied to
+// live data.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "doe/allocation.h"
+#include "doe/effects.h"
+#include "hwsim/scan.h"
+
+int main(int argc, char** argv) {
+  using namespace perfeval;  // NOLINT(build/namespaces) bench binary.
+  bench::BenchContext ctx("T3", "exact algebra + one simulated 2^2 design",
+                          argc, argv);
+  ctx.PrintHeader("2^2 design: sign table method of calculating effects");
+
+  // ---- Part 1: the paper's own numbers (slide 72). ----
+  doe::SignTable table = doe::SignTable::FullFactorial(2);
+  std::printf("Sign table (A = memory size, B = cache size):\n%s\n",
+              table.ToTable({0b01, 0b10, 0b11}).c_str());
+  std::vector<double> mips = {15.0, 45.0, 25.0, 75.0};
+  doe::EffectModel model = doe::EstimateEffects(table, mips);
+  std::printf("Responses y = (15, 45, 25, 75) MIPS\n");
+  std::printf("%s\n", model.ToString().c_str());
+  std::printf(
+      "paper: y = 40 + 20 xA + 10 xB + 5 xA xB — mean 40, memory effect "
+      "20, cache effect 10, interaction 5\n\n");
+  bool exact = model.mean() == 40.0 && model.Coefficient(0b01) == 20.0 &&
+               model.Coefficient(0b10) == 10.0 &&
+               model.Coefficient(0b11) == 5.0;
+  std::printf("exact reproduction: %s\n\n", exact ? "YES" : "NO");
+
+  doe::VariationAllocation allocation = doe::AllocateVariation(table, mips);
+  std::printf("Allocation of variation:\n%s\n",
+              allocation.ToTable().c_str());
+
+  // ---- Part 2: a measured 2^2 on the cache simulator. ----
+  std::printf(
+      "Measured 2^2 on the cache simulator: A = L2 size (512KB vs 8MB), "
+      "B = memory latency (100ns vs 300ns), response = scan ns/iter\n\n");
+  std::vector<double> measured;
+  for (size_t run = 0; run < 4; ++run) {
+    bool big_l2 = table.FactorSign(run, 0) > 0;
+    bool slow_memory = table.FactorSign(run, 1) > 0;
+    hwsim::MachineProfile machine = hwsim::MachineByName("Sun Ultra");
+    machine.caches[1].size_bytes =
+        big_l2 ? 8 * 1024 * 1024 : 512 * 1024;
+    machine.memory_latency_ns = slow_memory ? 300.0 : 100.0;
+    hwsim::ScanSpec spec;
+    spec.num_elements = 1 << 18;
+    measured.push_back(
+        hwsim::SimulateScanMax(machine, spec).TotalNsPerIter());
+    std::printf("  run %zu: L2=%s, mem=%s -> %.1f ns/iter\n", run + 1,
+                big_l2 ? "8MB" : "512KB", slow_memory ? "300ns" : "100ns",
+                measured.back());
+  }
+  doe::EffectModel measured_model = doe::EstimateEffects(table, measured);
+  std::printf("\n%s\n", measured_model.ToString().c_str());
+  doe::VariationAllocation measured_allocation =
+      doe::AllocateVariation(table, measured);
+  std::printf("%s\n", measured_allocation.ToTable().c_str());
+  std::printf(
+      "(a cold sequential scan never revisits data, so memory latency, "
+      "not cache size, explains nearly all variation — exactly what the "
+      "allocation shows)\n");
+
+  ctx.Finish();
+  return exact ? 0 : 1;
+}

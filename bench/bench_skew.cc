@@ -1,0 +1,126 @@
+// A4 — ablation: data skew as a controlled workload characteristic
+// (slide 11: micro-benchmarks must control "value ranges and distribution,
+// correlation"). The TPC-H generator's Zipf foreign-key knob sweeps the
+// part-key skew from uniform (theta 0) to heavy (theta 1.5); the bench
+// reports how the data changes (distinct keys, hottest key's share) and
+// what that does to a hash join and a group-by on the skewed key. The
+// honest punchline (measured, see EXPERIMENTS.md A4): the data profile
+// changes dramatically while these in-memory operators barely move at this
+// scale — materialization dominates the join, and the group-by's hash map
+// fits in cache at every theta. A result quoted "on skewed data" without
+// the data profile beside it says almost nothing.
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "db/database.h"
+#include "report/csv.h"
+#include "report/table_format.h"
+#include "stats/descriptive.h"
+#include "workload/tpch_gen.h"
+
+namespace perfeval {
+namespace {
+
+struct SkewPoint {
+  double theta;
+  int64_t distinct_parts;
+  double top_key_share;
+  double join_ms;
+  double group_ms;
+};
+
+double MinUserMs(db::Database& database, const db::PlanPtr& plan) {
+  (void)database.Run(plan);
+  std::vector<double> samples;
+  for (int i = 0; i < 3; ++i) {
+    samples.push_back(database.Run(plan).ServerUserMs());
+  }
+  return stats::Min(samples);
+}
+
+SkewPoint MeasureAtTheta(double theta, double sf) {
+  db::Database database;
+  workload::TpchGenerator gen(sf, 19920101, theta);
+  database.RegisterTable("part", gen.Generate("part"));
+  database.RegisterTable("orders", gen.Generate("orders"));
+  database.RegisterTable("lineitem", gen.Generate("lineitem"));
+
+  SkewPoint point;
+  point.theta = theta;
+
+  // Data profile.
+  const db::Table& lineitem = database.GetTable("lineitem");
+  const auto& partkeys = lineitem.ColumnByName("l_partkey").ints();
+  std::unordered_map<int64_t, int64_t> counts;
+  for (int64_t k : partkeys) {
+    ++counts[k];
+  }
+  point.distinct_parts = static_cast<int64_t>(counts.size());
+  int64_t top = 0;
+  for (const auto& [key, count] : counts) {
+    top = std::max(top, count);
+  }
+  point.top_key_share =
+      static_cast<double>(top) / static_cast<double>(partkeys.size());
+
+  db::PlanPtr join = db::HashJoin(
+      db::Scan("lineitem", {"l_partkey"}),
+      db::Scan("part", {"p_partkey"}), "l_partkey", "p_partkey");
+  point.join_ms = MinUserMs(database, join);
+
+  db::PlanPtr group =
+      db::Aggregate(db::Scan("lineitem", {"l_partkey"}), {"l_partkey"},
+                    {{db::AggOp::kCount, nullptr, "n"}});
+  point.group_ms = MinUserMs(database, group);
+  return point;
+}
+
+}  // namespace
+}  // namespace perfeval
+
+int main(int argc, char** argv) {
+  using namespace perfeval;  // NOLINT(build/namespaces) bench binary.
+  bench::BenchContext ctx("A4",
+                          "hot runs: 1 warm-up, minimum of 3, user CPU time",
+                          argc, argv);
+  ctx.properties().SetDefault("scaleFactor", "0.02");
+  ctx.PrintHeader("foreign-key skew sweep: data profile and operator cost");
+
+  double sf = ctx.properties().GetDouble("scaleFactor", 0.02);
+  report::TextTable table;
+  table.SetHeader({"zipf theta", "distinct parts", "hottest key share",
+                   "join (ms)", "group-by (ms)"});
+  report::CsvWriter csv({"theta", "distinct_parts", "top_share", "join_ms",
+                         "group_ms"});
+  for (double theta : {0.0, 0.5, 1.0, 1.5}) {
+    SkewPoint point = MeasureAtTheta(theta, sf);
+    table.AddRow({StrFormat("%.1f", point.theta),
+                  StrFormat("%lld",
+                            static_cast<long long>(point.distinct_parts)),
+                  StrFormat("%.2f%%", point.top_key_share * 100.0),
+                  StrFormat("%.2f", point.join_ms),
+                  StrFormat("%.2f", point.group_ms)});
+    csv.AddNumericRow({point.theta,
+                       static_cast<double>(point.distinct_parts),
+                       point.top_key_share, point.join_ms, point.group_ms});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "shape: rising theta concentrates references on few keys (distinct "
+      "count falls, the hottest key's share climbs to ~40%%) while the "
+      "operator costs stay within noise at this scale — the data profile "
+      "and the timing must be reported together (slide 42: document "
+      "accurately and completely what you do).\n");
+
+  std::string csv_path = ctx.ResultPath("a4_skew.csv");
+  if (!csv.WriteToFile(csv_path).ok()) {
+    return 1;
+  }
+  ctx.AddOutput(csv_path);
+  ctx.Finish();
+  return 0;
+}

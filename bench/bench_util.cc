@@ -1,0 +1,46 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace bench {
+
+BenchContext::BenchContext(const std::string& experiment_id,
+                           const std::string& protocol_description,
+                           int argc, char** argv)
+    : experiment_id_(experiment_id),
+      environment_(core::CaptureEnvironment()),
+      manifest_(experiment_id, protocol_description) {
+  properties_.SetDefault("resultsDir", "bench_results");
+  (void)properties_.OverrideFromArgs(argc, argv);
+  properties_.OverrideFromEnv("PERFEVAL_");
+  results_dir_ = properties_.GetOr("resultsDir", "bench_results");
+  manifest_.set_environment(environment_);
+}
+
+std::string BenchContext::ResultPath(const std::string& file_name) const {
+  return results_dir_ + "/" + file_name;
+}
+
+void BenchContext::PrintHeader(const std::string& title) const {
+  std::printf("== %s: %s ==\n", experiment_id_.c_str(), title.c_str());
+  std::printf("%s", environment_.ToReportString().c_str());
+  std::printf("\n");
+}
+
+std::string BenchContext::Finish() {
+  manifest_.set_properties(properties_);
+  std::string path =
+      ResultPath(StrFormat("%s_manifest.txt", experiment_id_.c_str()));
+  Status status = manifest_.WriteToFile(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "manifest write failed: %s\n",
+                 status.ToString().c_str());
+  }
+  return path;
+}
+
+}  // namespace bench
+}  // namespace perfeval

@@ -1,0 +1,54 @@
+#ifndef PERFEVAL_BENCH_BENCH_UTIL_H_
+#define PERFEVAL_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "core/environment.h"
+#include "repro/manifest.h"
+#include "repro/properties.h"
+
+namespace perfeval {
+namespace bench {
+
+/// Shared scaffolding for the experiment binaries: every bench
+///  1. parses -Dkey=value overrides into Properties (paper, slides
+///     183–195),
+///  2. prints the environment spec at the paper's recommended granularity
+///     (slides 149–156),
+///  3. writes results + a provenance manifest under `results_dir`.
+class BenchContext {
+ public:
+  /// `experiment_id` is the DESIGN.md id ("T2", "F1", ...).
+  BenchContext(const std::string& experiment_id,
+               const std::string& protocol_description, int argc,
+               char** argv);
+
+  repro::Properties& properties() { return properties_; }
+  const core::EnvironmentSpec& environment() const { return environment_; }
+
+  /// bench_results/<stem> — all artifacts of this experiment go there.
+  std::string ResultPath(const std::string& file_name) const;
+
+  /// Prints the standard header: experiment id/title, environment,
+  /// protocol, parameters.
+  void PrintHeader(const std::string& title) const;
+
+  /// Registers an output for the manifest.
+  void AddOutput(const std::string& path) { manifest_.AddOutput(path); }
+  void AddNote(const std::string& note) { manifest_.AddNote(note); }
+
+  /// Writes the manifest; call last. Returns the manifest path.
+  std::string Finish();
+
+ private:
+  std::string experiment_id_;
+  std::string results_dir_;
+  repro::Properties properties_;
+  core::EnvironmentSpec environment_;
+  repro::RunManifest manifest_;
+};
+
+}  // namespace bench
+}  // namespace perfeval
+
+#endif  // PERFEVAL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,145 @@
+// An interactive SQL shell over the TPC-H database — the "low setup
+// threshold; easy to run" property the paper wants from micro-benchmark
+// tooling (slide 11), plus the DBMS-provided timing and introspection it
+// recommends using (slides 28-29, 52): every query prints server/client
+// times MonetDB-style, EXPLAIN shows plans, and special commands expose
+// the buffer pool and execution mode.
+//
+// Usage: sql_shell [-DscaleFactor=0.01]   (reads statements from stdin)
+//
+// Special commands:
+//   \mode debug|optimized    switch execution mode
+//   \flush                   flush the buffer pool (next run is cold)
+//   \trace <sql>             run and print the per-operator trace
+//   \tables                  list catalog tables
+//   \load <name> <file.csv>  load a CSV (types inferred) as table <name>
+//   \q                       quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "repro/properties.h"
+#include "db/csv_loader.h"
+#include "sql/planner.h"
+#include "workload/tpch_gen.h"
+
+using namespace perfeval;  // NOLINT(build/namespaces) example binary.
+
+namespace {
+
+void RunAndPrint(db::Database& database, const std::string& sql_text,
+                 db::ExecMode mode, bool with_trace) {
+  Result<db::QueryResult> result =
+      sql::RunQuery(sql_text, database, mode, db::SinkKind::kFile);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", result->table->ToString(25).c_str());
+  std::printf("%zu row(s)\n", result->table->num_rows());
+  // MonetDB-style timing lines (paper, slide 29).
+  std::printf("Server %.3f msec (user %.3f), Client %.3f msec\n",
+              result->ServerRealMs(), result->ServerUserMs(),
+              result->ClientRealMs());
+  std::printf("Pages %lld hits / %lld misses\n",
+              static_cast<long long>(result->storage.page_hits),
+              static_cast<long long>(result->storage.page_misses));
+  if (with_trace) {
+    std::printf("\n%s", result->profile.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  repro::Properties props;
+  props.SetDefault("scaleFactor", "0.01");
+  (void)props.OverrideFromArgs(argc, argv);
+  double sf = props.GetDouble("scaleFactor", 0.01);
+
+  db::Database database;
+  workload::TpchGenerator gen(sf);
+  gen.LoadAll(&database);
+  db::ExecMode mode = db::ExecMode::kOptimized;
+
+  std::printf("perfeval SQL shell — TPC-H sf %.3g loaded. \\q to quit.\n",
+              sf);
+  std::string line;
+  std::string statement;
+  while (true) {
+    std::printf("sql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    std::string trimmed = Trim(line);
+    if (StartsWith(trimmed, "\\")) {
+      if (trimmed == "\\q") {
+        break;
+      }
+      if (trimmed == "\\flush") {
+        database.FlushCaches();
+        std::printf("buffer pool flushed — next run is cold\n");
+        continue;
+      }
+      if (trimmed == "\\tables") {
+        for (const std::string& name : database.TableNames()) {
+          std::printf("%-10s %8zu rows  %s\n", name.c_str(),
+                      database.GetTable(name).num_rows(),
+                      database.GetTable(name).schema().ToString().c_str());
+        }
+        continue;
+      }
+      if (StartsWith(trimmed, "\\mode")) {
+        if (trimmed.find("debug") != std::string::npos) {
+          mode = db::ExecMode::kDebug;
+        } else {
+          mode = db::ExecMode::kOptimized;
+        }
+        std::printf("execution mode: %s\n", db::ExecModeName(mode));
+        continue;
+      }
+      if (StartsWith(trimmed, "\\load ")) {
+        std::vector<std::string> parts = Split(trimmed, ' ');
+        if (parts.size() != 3) {
+          std::printf("usage: \\load <name> <file.csv>\n");
+          continue;
+        }
+        Result<std::shared_ptr<db::Table>> loaded = db::LoadCsv(parts[2]);
+        if (!loaded.ok()) {
+          std::printf("error: %s\n", loaded.status().ToString().c_str());
+          continue;
+        }
+        if (database.HasTable(parts[1])) {
+          std::printf("error: table %s already exists\n",
+                      parts[1].c_str());
+          continue;
+        }
+        database.RegisterTable(parts[1], *loaded);
+        std::printf("loaded %s: %zu rows %s\n", parts[1].c_str(),
+                    (*loaded)->num_rows(),
+                    (*loaded)->schema().ToString().c_str());
+        continue;
+      }
+      if (StartsWith(trimmed, "\\trace ")) {
+        RunAndPrint(database, trimmed.substr(7), mode, /*with_trace=*/true);
+        continue;
+      }
+      std::printf("unknown command %s\n", trimmed.c_str());
+      continue;
+    }
+    if (trimmed.empty()) {
+      continue;
+    }
+    // Each non-empty line is one statement; end a multi-line statement by
+    // typing its continuation on one line (the parser accepts newlines
+    // inside, so pasting multi-line SQL as a block also works).
+    statement = trimmed;
+    RunAndPrint(database, statement, mode, /*with_trace=*/false);
+    statement.clear();
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+#ifndef PERFEVAL_COMMON_CHECK_H_
+#define PERFEVAL_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace perfeval {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the PERFEVAL_CHECK* macros below.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace perfeval
+
+/// Aborts with a message when `condition` is false. Additional context may be
+/// streamed in: PERFEVAL_CHECK(n > 0) << "n=" << n;
+#define PERFEVAL_CHECK(condition)                                  \
+  switch (0)                                                       \
+  case 0:                                                          \
+  default:                                                         \
+    if (condition) {                                               \
+    } else /* NOLINT */                                            \
+      ::perfeval::internal_check::CheckFailure(__FILE__, __LINE__, \
+                                               #condition)
+
+#define PERFEVAL_CHECK_EQ(a, b) PERFEVAL_CHECK((a) == (b))
+#define PERFEVAL_CHECK_NE(a, b) PERFEVAL_CHECK((a) != (b))
+#define PERFEVAL_CHECK_LT(a, b) PERFEVAL_CHECK((a) < (b))
+#define PERFEVAL_CHECK_LE(a, b) PERFEVAL_CHECK((a) <= (b))
+#define PERFEVAL_CHECK_GT(a, b) PERFEVAL_CHECK((a) > (b))
+#define PERFEVAL_CHECK_GE(a, b) PERFEVAL_CHECK((a) >= (b))
+
+#endif  // PERFEVAL_COMMON_CHECK_H_

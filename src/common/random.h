@@ -1,0 +1,108 @@
+#ifndef PERFEVAL_COMMON_RANDOM_H_
+#define PERFEVAL_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace perfeval {
+
+/// PCG-XSH-RR 32-bit pseudo-random generator (O'Neill 2014).
+///
+/// Deterministic and seedable — a repeatability requirement from the paper
+/// (slides 157–163: experiments must be re-runnable by another human). All
+/// data generators and simulators in this library draw from Pcg32 so that a
+/// (seed, parameters) pair fully determines an experiment's input.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    Next();
+    state_ += seed;
+    Next();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t Next() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31u));
+  }
+
+  /// Uniform integer in [0, bound), bias-free (rejection sampling).
+  uint32_t NextBounded(uint32_t bound) {
+    PERFEVAL_CHECK_GT(bound, 0u);
+    uint32_t threshold = (~bound + 1u) % bound;
+    for (;;) {
+      uint32_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    PERFEVAL_CHECK_LE(lo, hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range: combine two draws.
+      return static_cast<int64_t>((static_cast<uint64_t>(Next()) << 32) |
+                                  Next());
+    }
+    // Compose a 64-bit draw and reduce; span <= 2^32 for all practical
+    // callers but handle the general case via modulo of a wide draw.
+    uint64_t wide = (static_cast<uint64_t>(Next()) << 32) | Next();
+    return lo + static_cast<int64_t>(wide % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return Next() * (1.0 / 4294967296.0); }
+
+  /// Uniform double in [lo, hi).
+  double NextDoubleInRange(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box–Muller (one value per call; the pair's second
+  /// value is cached).
+  double NextGaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-12) {
+      u1 = NextDouble();
+    }
+    double u2 = NextDouble();
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double angle = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = radius * std::sin(angle);
+    has_cached_gaussian_ = true;
+    return radius * std::cos(angle);
+  }
+
+  /// Exponential with the given rate (mean = 1/rate).
+  double NextExponential(double rate) {
+    PERFEVAL_CHECK_GT(rate, 0.0);
+    double u = 1.0 - NextDouble();  // in (0, 1]
+    return -std::log(u) / rate;
+  }
+
+  /// True with probability `p`.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace perfeval
+
+#endif  // PERFEVAL_COMMON_RANDOM_H_

@@ -1,0 +1,80 @@
+#ifndef PERFEVAL_COMMON_RESULT_H_
+#define PERFEVAL_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace perfeval {
+
+/// A value-or-error type: holds either a `T` or a non-OK Status.
+/// Accessing the value of an error Result aborts (programming error), so
+/// callers must test `ok()` first or use `value_or`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status, so functions can `return value;`
+  /// or `return Status::InvalidArgument(...);` directly.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    PERFEVAL_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PERFEVAL_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PERFEVAL_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PERFEVAL_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error
+/// status to the caller. `lhs` may include a declaration
+/// (`PERFEVAL_ASSIGN_OR_RETURN(auto x, F())`).
+#define PERFEVAL_INTERNAL_CONCAT2(a, b) a##b
+#define PERFEVAL_INTERNAL_CONCAT(a, b) PERFEVAL_INTERNAL_CONCAT2(a, b)
+
+#define PERFEVAL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp).value()
+
+#define PERFEVAL_ASSIGN_OR_RETURN(lhs, expr)                             \
+  PERFEVAL_ASSIGN_OR_RETURN_IMPL(                                        \
+      PERFEVAL_INTERNAL_CONCAT(result_macro_value_, __LINE__), lhs, expr)
+
+}  // namespace perfeval
+
+#endif  // PERFEVAL_COMMON_RESULT_H_

@@ -1,0 +1,92 @@
+#ifndef PERFEVAL_COMMON_STATUS_H_
+#define PERFEVAL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace perfeval {
+
+/// Canonical error codes, modelled after the usual database-library set.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"…).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value used instead of exceptions throughout
+/// the library (see DESIGN.md, Conventions). A default-constructed Status is
+/// OK; error statuses carry a code and a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+/// Propagates a non-OK status to the caller.
+#define PERFEVAL_RETURN_IF_ERROR(expr)                 \
+  do {                                                 \
+    ::perfeval::Status status_macro_value_ = (expr);   \
+    if (!status_macro_value_.ok()) {                   \
+      return status_macro_value_;                      \
+    }                                                  \
+  } while (false)
+
+}  // namespace perfeval
+
+#endif  // PERFEVAL_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+#ifndef PERFEVAL_COMMON_STRING_UTIL_H_
+#define PERFEVAL_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perfeval {
+
+/// Splits `input` at every occurrence of `delimiter`. Adjacent delimiters
+/// produce empty fields; an empty input yields one empty field.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view input);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view input);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Strict numeric parsing: the whole (trimmed) string must be consumed.
+std::optional<int64_t> ParseInt64(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+std::optional<bool> ParseBool(std::string_view text);
+
+/// Left/right padding to a minimum width (no truncation).
+std::string PadLeft(std::string_view text, size_t width);
+std::string PadRight(std::string_view text, size_t width);
+
+}  // namespace perfeval
+
+#endif  // PERFEVAL_COMMON_STRING_UTIL_H_

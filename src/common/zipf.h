@@ -1,0 +1,64 @@
+#ifndef PERFEVAL_COMMON_ZIPF_H_
+#define PERFEVAL_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace perfeval {
+
+/// Zipf-distributed integer generator over {1, ..., n} with skew `theta`.
+///
+/// Micro-benchmarks must control value distribution and skew (paper,
+/// slide 11: "Controllable workload and data characteristics — value ranges
+/// and distribution"). theta == 0 degenerates to uniform; theta around 1 is
+/// the classical Zipf. Uses an inverse-CDF table, O(log n) per draw.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+    PERFEVAL_CHECK_GT(n, 0u);
+    PERFEVAL_CHECK_GE(theta, 0.0);
+    cdf_.reserve(n_);
+    double norm = 0.0;
+    for (uint64_t i = 1; i <= n_; ++i) {
+      norm += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    double cumulative = 0.0;
+    for (uint64_t i = 1; i <= n_; ++i) {
+      cumulative += (1.0 / std::pow(static_cast<double>(i), theta_)) / norm;
+      cdf_.push_back(cumulative);
+    }
+    cdf_.back() = 1.0;  // guard against rounding drift.
+  }
+
+  /// Draws a value in [1, n]; rank 1 is the most frequent.
+  uint64_t Next(Pcg32& rng) const {
+    double u = rng.NextDouble();
+    // First index whose cumulative probability covers u.
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<uint64_t>(lo) + 1;
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace perfeval
+
+#endif  // PERFEVAL_COMMON_ZIPF_H_

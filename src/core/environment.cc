@@ -1,0 +1,108 @@
+#include "core/environment.h"
+
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace core {
+namespace {
+
+constexpr char kLibraryVersion[] = "perfeval 1.0.0";
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return StrFormat("clang %d.%d.%d", __clang_major__, __clang_minor__,
+                   __clang_patchlevel__);
+#elif defined(__GNUC__)
+  return StrFormat("gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                   __GNUC_PATCHLEVEL__);
+#else
+  return "unknown compiler";
+#endif
+}
+
+std::string BuildTypeString() {
+#ifdef NDEBUG
+  return "optimized (NDEBUG)";
+#else
+  return "debug (assertions on)";
+#endif
+}
+
+}  // namespace
+
+bool EnvironmentSpec::IsPublishable() const {
+  return !cpu_model.empty() && cpu_mhz > 0.0 && cache_kb > 0 && ram_mb > 0 &&
+         !os.empty() && !compiler.empty();
+}
+
+std::string EnvironmentSpec::ToReportString() const {
+  std::string out;
+  out += StrFormat("CPU:      %s (%d logical CPUs, %.0f MHz, %lld KB cache)\n",
+                   cpu_model.c_str(), num_cpus, cpu_mhz,
+                   static_cast<long long>(cache_kb));
+  out += StrFormat("Memory:   %lld MB RAM\n", static_cast<long long>(ram_mb));
+  out += StrFormat("OS:       %s\n", os.c_str());
+  out += StrFormat("Compiler: %s, %s\n", compiler.c_str(),
+                   build_type.c_str());
+  out += StrFormat("Software: %s\n", library_version.c_str());
+  return out;
+}
+
+EnvironmentSpec CaptureEnvironment() {
+  EnvironmentSpec spec;
+  spec.compiler = CompilerString();
+  spec.build_type = BuildTypeString();
+  spec.library_version = kLibraryVersion;
+  spec.num_cpus = static_cast<int>(sysconf(_SC_NPROCESSORS_ONLN));
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    std::vector<std::string> parts = Split(line, ':');
+    if (parts.size() != 2) {
+      continue;
+    }
+    std::string key = Trim(parts[0]);
+    std::string value = Trim(parts[1]);
+    if (key == "model name" && spec.cpu_model.empty()) {
+      spec.cpu_model = value;
+    } else if (key == "cpu MHz" && spec.cpu_mhz == 0.0) {
+      spec.cpu_mhz = ParseDouble(value).value_or(0.0);
+    } else if (key == "cache size" && spec.cache_kb == 0) {
+      std::vector<std::string> cache_parts = Split(value, ' ');
+      if (!cache_parts.empty()) {
+        spec.cache_kb = ParseInt64(cache_parts[0]).value_or(0);
+      }
+    }
+  }
+
+  std::ifstream meminfo("/proc/meminfo");
+  while (std::getline(meminfo, line)) {
+    if (StartsWith(line, "MemTotal:")) {
+      std::vector<std::string> parts = Split(line, ' ');
+      for (const std::string& part : parts) {
+        std::optional<int64_t> kb = ParseInt64(part);
+        if (kb.has_value() && *kb > 0) {
+          spec.ram_mb = *kb / 1024;
+          break;
+        }
+      }
+      break;
+    }
+  }
+
+  utsname names{};
+  if (uname(&names) == 0) {
+    spec.os = StrFormat("%s %s (%s)", names.sysname, names.release,
+                        names.machine);
+  }
+  return spec;
+}
+
+}  // namespace core
+}  // namespace perfeval

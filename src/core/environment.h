@@ -1,0 +1,45 @@
+#ifndef PERFEVAL_CORE_ENVIRONMENT_H_
+#define PERFEVAL_CORE_ENVIRONMENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace perfeval {
+namespace core {
+
+/// Hardware/software environment at the paper's recommended granularity
+/// (slides 149–156): "3.4 GHz" alone is under-specified, a full lspci dump
+/// is over-specified. The right spec is: CPU vendor/model/clock/cache,
+/// memory size, disk, and exact software versions.
+struct EnvironmentSpec {
+  // Hardware.
+  std::string cpu_model;   ///< e.g. "Intel(R) Pentium(R) M processor 1.50GHz"
+  double cpu_mhz = 0.0;
+  int64_t cache_kb = 0;    ///< last-level cache size.
+  int num_cpus = 0;
+  int64_t ram_mb = 0;
+
+  // Software.
+  std::string os;          ///< uname sysname + release.
+  std::string compiler;    ///< compiler id + version used for this build.
+  std::string build_type;  ///< e.g. "Release (-O2)" or "Debug (-O0)".
+  std::string library_version;  ///< perfeval version string.
+
+  /// True when the mandatory fields for a publishable spec are present
+  /// (cpu model, clock, cache, RAM, OS, compiler) — the under-specification
+  /// check from slide 149.
+  bool IsPublishable() const;
+
+  /// Multi-line report block suitable for inclusion in a paper's
+  /// experimental-setup section.
+  std::string ToReportString() const;
+};
+
+/// Captures the current machine's spec from /proc/cpuinfo, /proc/meminfo
+/// and uname, plus compile-time compiler/build information.
+EnvironmentSpec CaptureEnvironment();
+
+}  // namespace core
+}  // namespace perfeval
+
+#endif  // PERFEVAL_CORE_ENVIRONMENT_H_

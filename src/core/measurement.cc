@@ -1,0 +1,26 @@
+#include "core/measurement.h"
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace core {
+
+std::string Measurement::ToString() const {
+  return StrFormat("real=%.3fms (observed %.3fms) user=%.3fms sys=%.3fms",
+                   real_ns / 1e6, ObservedRealMs(), user_ns / 1e6,
+                   sys_ns / 1e6);
+}
+
+Measurement MeasureOnce(const std::function<void()>& body) {
+  ProcessTimes before = ProcessTimes::Now();
+  body();
+  ProcessTimes delta = ProcessTimes::Now() - before;
+  Measurement m;
+  m.real_ns = delta.real_ns;
+  m.user_ns = delta.user_ns;
+  m.sys_ns = delta.sys_ns;
+  return m;
+}
+
+}  // namespace core
+}  // namespace perfeval

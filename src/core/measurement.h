@@ -1,0 +1,46 @@
+#ifndef PERFEVAL_CORE_MEASUREMENT_H_
+#define PERFEVAL_CORE_MEASUREMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/process_times.h"
+
+namespace perfeval {
+namespace core {
+
+/// One timed run. In addition to the measured process times it carries
+/// `simulated_stall_ns`, the I/O wait charged by simulated devices
+/// (db::VirtualDisk): this library substitutes real disk stalls with a
+/// deterministic cost model (DESIGN.md, substitutions), and "real" time as
+/// the paper's tables report it is CPU time plus those stalls.
+struct Measurement {
+  int64_t real_ns = 0;             ///< measured wall-clock CPU-side time.
+  int64_t user_ns = 0;             ///< user-mode CPU time.
+  int64_t sys_ns = 0;              ///< kernel-mode CPU time.
+  int64_t simulated_stall_ns = 0;  ///< simulated device wait time.
+
+  /// The "real" time an observer with a physical disk would see:
+  /// measured wall time plus simulated stalls.
+  int64_t ObservedRealNs() const { return real_ns + simulated_stall_ns; }
+  double ObservedRealMs() const { return ObservedRealNs() / 1e6; }
+  double user_ms() const { return user_ns / 1e6; }
+
+  Measurement operator+(const Measurement& other) const {
+    return {real_ns + other.real_ns, user_ns + other.user_ns,
+            sys_ns + other.sys_ns,
+            simulated_stall_ns + other.simulated_stall_ns};
+  }
+
+  std::string ToString() const;
+};
+
+/// Times one invocation of `body`. Captures real/user/sys; the caller adds
+/// simulated stalls if a simulated device was involved.
+Measurement MeasureOnce(const std::function<void()>& body);
+
+}  // namespace core
+}  // namespace perfeval
+
+#endif  // PERFEVAL_CORE_MEASUREMENT_H_

@@ -1,0 +1,40 @@
+#include "core/metrics.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace core {
+
+double ThroughputPerSecond(int64_t operations, int64_t elapsed_ns) {
+  PERFEVAL_CHECK_GT(elapsed_ns, 0);
+  return static_cast<double>(operations) * 1e9 /
+         static_cast<double>(elapsed_ns);
+}
+
+std::string FormatBytes(int64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) {
+    return StrFormat("%lldB", static_cast<long long>(bytes));
+  }
+  return StrFormat("%.1f%s", value, units[unit]);
+}
+
+std::string FormatMs(double ms) {
+  if (ms >= 100.0) {
+    return StrFormat("%.0f ms", ms);
+  }
+  if (ms >= 1.0) {
+    return StrFormat("%.1f ms", ms);
+  }
+  return StrFormat("%.3f ms", ms);
+}
+
+}  // namespace core
+}  // namespace perfeval

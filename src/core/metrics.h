@@ -1,0 +1,44 @@
+#ifndef PERFEVAL_CORE_METRICS_H_
+#define PERFEVAL_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace core {
+
+/// Throughput in operations per second from a count and an elapsed time.
+double ThroughputPerSecond(int64_t operations, int64_t elapsed_ns);
+
+/// Memory footprint description used in hardware/software specs.
+std::string FormatBytes(int64_t bytes);
+
+/// Milliseconds with adaptive precision ("3534 ms", "0.273 ms").
+std::string FormatMs(double ms);
+
+/// A named series of (x, y) points — the universal exchange format between
+/// experiments and the presentation layer (report::Gnuplot, report::Csv).
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  /// Optional per-point CI half-widths (empty when not applicable). The
+  /// presentation layer draws error bars from these.
+  std::vector<double> y_error;
+
+  void Append(double x_value, double y_value) {
+    x.push_back(x_value);
+    y.push_back(y_value);
+  }
+  void AppendWithError(double x_value, double y_value, double error) {
+    Append(x_value, y_value);
+    y_error.push_back(error);
+  }
+  size_t size() const { return x.size(); }
+};
+
+}  // namespace core
+}  // namespace perfeval
+
+#endif  // PERFEVAL_CORE_METRICS_H_

@@ -1,0 +1,60 @@
+#include "core/noise.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "core/timer.h"
+#include "stats/descriptive.h"
+
+namespace perfeval {
+namespace core {
+namespace {
+
+/// A fixed arithmetic kernel the compiler cannot elide.
+double SpinKernel(int iterations) {
+  volatile double sink = 1.0;
+  for (int i = 0; i < iterations; ++i) {
+    sink = sink + 1e-9 * i;
+  }
+  return sink;
+}
+
+}  // namespace
+
+std::string NoiseReport::ToString() const {
+  return StrFormat(
+      "noise floor over %lld samples: median %.3f ms, p95 %.3f ms "
+      "(%.2fx median), CoV %.2f%%, timer resolution %lld ns -> %s",
+      static_cast<long long>(samples), median_ns / 1e6, p95_ns / 1e6,
+      p95_over_median, coefficient_of_variation * 100.0,
+      static_cast<long long>(timer_resolution_ns),
+      IsQuiet() ? "quiet enough to measure" : "NOISY — results suspect");
+}
+
+NoiseReport MeasureNoiseFloor(int samples, int kernel_iterations) {
+  PERFEVAL_CHECK_GE(samples, 5);
+  PERFEVAL_CHECK_GE(kernel_iterations, 1000);
+  // Warm up frequency scaling.
+  (void)SpinKernel(kernel_iterations);
+  std::vector<double> durations;
+  durations.reserve(static_cast<size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    WallTimer timer;
+    (void)SpinKernel(kernel_iterations);
+    durations.push_back(static_cast<double>(timer.ElapsedNs()));
+  }
+  NoiseReport report;
+  report.samples = samples;
+  report.median_ns = stats::Median(durations);
+  report.p95_ns = stats::Percentile(durations, 95.0);
+  report.coefficient_of_variation =
+      stats::StdDev(durations) / stats::Mean(durations);
+  report.p95_over_median =
+      report.median_ns > 0.0 ? report.p95_ns / report.median_ns : 1.0;
+  report.timer_resolution_ns = MeasureTimerResolutionNs();
+  return report;
+}
+
+}  // namespace core
+}  // namespace perfeval

@@ -1,0 +1,39 @@
+#ifndef PERFEVAL_CORE_NOISE_H_
+#define PERFEVAL_CORE_NOISE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace perfeval {
+namespace core {
+
+/// The measured noise floor of this machine right now: how repeatable a
+/// fixed CPU-bound kernel's timing is. Run it before a measurement session
+/// — if the coefficient of variation is high, the machine is too busy to
+/// produce numbers worth reporting (the paper's common mistake #2:
+/// "important parameters are not controlled", slide 59).
+struct NoiseReport {
+  int64_t samples = 0;
+  double median_ns = 0.0;
+  double p95_ns = 0.0;
+  double coefficient_of_variation = 0.0;  ///< stddev / mean.
+  double p95_over_median = 1.0;           ///< tail inflation.
+  int64_t timer_resolution_ns = 0;
+
+  /// True when CoV is at or below `max_cov` (default 5%).
+  bool IsQuiet(double max_cov = 0.05) const {
+    return coefficient_of_variation <= max_cov;
+  }
+
+  std::string ToString() const;
+};
+
+/// Times `samples` repetitions of a fixed arithmetic kernel of roughly
+/// `kernel_iterations` operations each and summarizes the variation.
+NoiseReport MeasureNoiseFloor(int samples = 50,
+                              int kernel_iterations = 2'000'000);
+
+}  // namespace core
+}  // namespace perfeval
+
+#endif  // PERFEVAL_CORE_NOISE_H_

@@ -1,0 +1,39 @@
+#include "core/process_times.h"
+
+#include <sys/resource.h>
+
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace core {
+namespace {
+
+int64_t TimevalToNs(const timeval& tv) {
+  return static_cast<int64_t>(tv.tv_sec) * 1000000000 +
+         static_cast<int64_t>(tv.tv_usec) * 1000;
+}
+
+}  // namespace
+
+ProcessTimes ProcessTimes::Now() {
+  ProcessTimes times;
+  times.real_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    times.user_ns = TimevalToNs(usage.ru_utime);
+    times.sys_ns = TimevalToNs(usage.ru_stime);
+  }
+  return times;
+}
+
+std::string ProcessTimes::ToString() const {
+  return StrFormat("real=%.3fms user=%.3fms sys=%.3fms", real_ms(), user_ms(),
+                   sys_ms());
+}
+
+}  // namespace core
+}  // namespace perfeval

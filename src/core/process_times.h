@@ -1,0 +1,43 @@
+#ifndef PERFEVAL_CORE_PROCESS_TIMES_H_
+#define PERFEVAL_CORE_PROCESS_TIMES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace perfeval {
+namespace core {
+
+/// A snapshot of the three times the paper distinguishes (slide 22):
+/// wall-clock ("real"), CPU in user mode ("user") and CPU in the kernel
+/// ("system" — a proxy for I/O work). Obtain snapshots with Now() and
+/// subtract them to time an interval, /usr/bin/time style but in-process.
+struct ProcessTimes {
+  int64_t real_ns = 0;
+  int64_t user_ns = 0;
+  int64_t sys_ns = 0;
+
+  /// Current process totals (user/sys via getrusage, real via the
+  /// monotonic clock).
+  static ProcessTimes Now();
+
+  ProcessTimes operator-(const ProcessTimes& earlier) const {
+    return {real_ns - earlier.real_ns, user_ns - earlier.user_ns,
+            sys_ns - earlier.sys_ns};
+  }
+  ProcessTimes operator+(const ProcessTimes& other) const {
+    return {real_ns + other.real_ns, user_ns + other.user_ns,
+            sys_ns + other.sys_ns};
+  }
+
+  double real_ms() const { return real_ns / 1e6; }
+  double user_ms() const { return user_ns / 1e6; }
+  double sys_ms() const { return sys_ns / 1e6; }
+
+  /// "real=12.3ms user=11.0ms sys=0.4ms".
+  std::string ToString() const;
+};
+
+}  // namespace core
+}  // namespace perfeval
+
+#endif  // PERFEVAL_CORE_PROCESS_TIMES_H_

@@ -1,0 +1,64 @@
+#include "core/run_protocol.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace perfeval {
+namespace core {
+
+const char* ThermalStateName(ThermalState state) {
+  switch (state) {
+    case ThermalState::kCold:
+      return "cold";
+    case ThermalState::kHot:
+      return "hot";
+  }
+  return "unknown";
+}
+
+const char* AggregationName(Aggregation aggregation) {
+  switch (aggregation) {
+    case Aggregation::kLast:
+      return "last";
+    case Aggregation::kMin:
+      return "min";
+    case Aggregation::kMean:
+      return "mean";
+    case Aggregation::kMedian:
+      return "median";
+  }
+  return "unknown";
+}
+
+std::string RunProtocol::Describe() const {
+  if (thermal == ThermalState::kCold) {
+    return StrFormat(
+        "cold runs: caches flushed before each of %d measured runs; "
+        "reported value is the %s",
+        measured_runs, AggregationName(aggregation));
+  }
+  return StrFormat(
+      "hot runs: %d un-measured warm-up run(s), then %d measured runs; "
+      "reported value is the %s",
+      warmup_runs, measured_runs, AggregationName(aggregation));
+}
+
+double Aggregate(Aggregation aggregation,
+                 const std::vector<double>& samples) {
+  PERFEVAL_CHECK(!samples.empty());
+  switch (aggregation) {
+    case Aggregation::kLast:
+      return samples.back();
+    case Aggregation::kMin:
+      return stats::Min(samples);
+    case Aggregation::kMean:
+      return stats::Mean(samples);
+    case Aggregation::kMedian:
+      return stats::Median(samples);
+  }
+  return samples.back();
+}
+
+}  // namespace core
+}  // namespace perfeval

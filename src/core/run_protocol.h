@@ -1,0 +1,63 @@
+#ifndef PERFEVAL_CORE_RUN_PROTOCOL_H_
+#define PERFEVAL_CORE_RUN_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace core {
+
+/// Thermal state of a run (paper, slide 32). The definitions are quoted from
+/// the paper and implemented by the database substrate:
+///  - Cold: right after system start, no benchmark-relevant data cached
+///    anywhere (buffer pool and simulated OS cache flushed).
+///  - Hot: as much query-relevant data as close to the CPU as possible,
+///    achieved by running the query at least once before measuring.
+enum class ThermalState {
+  kCold,
+  kHot,
+};
+
+const char* ThermalStateName(ThermalState state);
+
+/// How to reduce several measured runs to one reported number.
+enum class Aggregation {
+  kLast,    ///< "measured last of three consecutive runs" (paper, slide 23).
+  kMin,     ///< least-noise estimate for CPU-bound micro-benchmarks.
+  kMean,    ///< with a confidence interval; the default for random responses.
+  kMedian,  ///< robust to stragglers.
+};
+
+const char* AggregationName(Aggregation aggregation);
+
+/// A fully documented run protocol. The paper's core demand is "be aware
+/// and document what you do / choose" (slide 32) — Describe() emits the
+/// protocol in prose so reports can embed it.
+struct RunProtocol {
+  ThermalState thermal = ThermalState::kHot;
+  int warmup_runs = 1;    ///< un-measured runs before measuring (hot only).
+  int measured_runs = 3;  ///< replication degree.
+  Aggregation aggregation = Aggregation::kLast;
+
+  /// The paper's own protocol for its TPC-H tables: hot, last of three
+  /// consecutive runs.
+  static RunProtocol PaperDefault() { return RunProtocol{}; }
+
+  /// Cold protocol: no warmups, every measured run preceded by a cache
+  /// flush (the runner invokes the experiment's flush hook).
+  static RunProtocol Cold(int measured_runs) {
+    return RunProtocol{ThermalState::kCold, 0, measured_runs,
+                       Aggregation::kMean};
+  }
+
+  /// One-sentence documentation of the protocol.
+  std::string Describe() const;
+};
+
+/// Applies `aggregation` to `samples` (non-empty).
+double Aggregate(Aggregation aggregation, const std::vector<double>& samples);
+
+}  // namespace core
+}  // namespace perfeval
+
+#endif  // PERFEVAL_CORE_RUN_PROTOCOL_H_

@@ -1,0 +1,144 @@
+#include "core/runner.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace core {
+
+const char* ResponseMetricName(ResponseMetric metric) {
+  switch (metric) {
+    case ResponseMetric::kObservedRealMs:
+      return "observed real time (ms)";
+    case ResponseMetric::kRealMs:
+      return "real time (ms)";
+    case ResponseMetric::kUserMs:
+      return "user CPU time (ms)";
+  }
+  return "unknown";
+}
+
+double ExtractResponse(ResponseMetric metric, const Measurement& m) {
+  switch (metric) {
+    case ResponseMetric::kObservedRealMs:
+      return m.ObservedRealMs();
+    case ResponseMetric::kRealMs:
+      return m.real_ns / 1e6;
+    case ResponseMetric::kUserMs:
+      return m.user_ms();
+  }
+  return m.ObservedRealMs();
+}
+
+std::vector<double> ExperimentResult::AggregatedResponses() const {
+  std::vector<double> out;
+  out.reserve(runs.size());
+  for (const RunResult& run : runs) {
+    out.push_back(run.aggregated);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> ExperimentResult::ReplicatedResponses()
+    const {
+  std::vector<std::vector<double>> out;
+  out.reserve(runs.size());
+  for (const RunResult& run : runs) {
+    out.push_back(run.responses);
+  }
+  return out;
+}
+
+std::string ExperimentResult::ToTable(const doe::Design& design) const {
+  PERFEVAL_CHECK_EQ(runs.size(), design.num_runs());
+  std::string out = "protocol: " + protocol_description + "\n";
+  out += PadLeft("run", 4);
+  for (const doe::Factor& factor : design.factors()) {
+    out += "  " + PadRight(factor.name(), 12);
+  }
+  out += "  " + PadLeft("response", 12) + "  " + PadLeft("ci95 +/-", 10);
+  out += "\n";
+  for (size_t r = 0; r < runs.size(); ++r) {
+    out += PadLeft(StrFormat("%zu", r + 1), 4);
+    for (size_t f = 0; f < design.num_factors(); ++f) {
+      out += "  " + PadRight(design.LevelNameAt(r, f), 12);
+    }
+    out += "  " + PadLeft(StrFormat("%.3f", runs[r].aggregated), 12);
+    if (runs[r].confidence.has_value()) {
+      out += "  " +
+             PadLeft(StrFormat("%.3f", runs[r].confidence->HalfWidth()), 10);
+    } else {
+      out += "  " + PadLeft("-", 10);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ExperimentResult ExperimentRunner::Run(const doe::Design& design,
+                                       const RunFunction& run) const {
+  ExperimentResult result;
+  result.protocol_description = protocol_.Describe();
+  result.runs.reserve(design.num_runs());
+  for (const doe::DesignPoint& point : design.points()) {
+    RunResult run_result;
+    run_result.point = point;
+    if (protocol_.thermal == ThermalState::kHot) {
+      for (int i = 0; i < protocol_.warmup_runs; ++i) {
+        (void)run(point);
+      }
+    }
+    for (int i = 0; i < protocol_.measured_runs; ++i) {
+      if (protocol_.thermal == ThermalState::kCold && flush_) {
+        flush_();
+      }
+      Measurement m = run(point);
+      run_result.measurements.push_back(m);
+      run_result.responses.push_back(ExtractResponse(metric_, m));
+    }
+    run_result.aggregated =
+        Aggregate(protocol_.aggregation, run_result.responses);
+    if (run_result.responses.size() >= 2) {
+      run_result.confidence =
+          stats::MeanConfidenceInterval(run_result.responses, 0.95);
+    }
+    if (run_result.responses.size() >= 4) {
+      run_result.outlier_runs =
+          stats::DetectOutliers(run_result.responses).outlier_indices;
+    }
+    result.runs.push_back(std::move(run_result));
+  }
+  return result;
+}
+
+RunResult ExperimentRunner::MeasureSingle(
+    const std::function<Measurement()>& run) const {
+  RunResult run_result;
+  if (protocol_.thermal == ThermalState::kHot) {
+    for (int i = 0; i < protocol_.warmup_runs; ++i) {
+      (void)run();
+    }
+  }
+  for (int i = 0; i < protocol_.measured_runs; ++i) {
+    if (protocol_.thermal == ThermalState::kCold && flush_) {
+      flush_();
+    }
+    Measurement m = run();
+    run_result.measurements.push_back(m);
+    run_result.responses.push_back(ExtractResponse(metric_, m));
+  }
+  run_result.aggregated =
+      Aggregate(protocol_.aggregation, run_result.responses);
+  if (run_result.responses.size() >= 2) {
+    run_result.confidence =
+        stats::MeanConfidenceInterval(run_result.responses, 0.95);
+  }
+  if (run_result.responses.size() >= 4) {
+    run_result.outlier_runs =
+        stats::DetectOutliers(run_result.responses).outlier_indices;
+  }
+  return run_result;
+}
+
+}  // namespace core
+}  // namespace perfeval

@@ -1,0 +1,96 @@
+#ifndef PERFEVAL_CORE_RUNNER_H_
+#define PERFEVAL_CORE_RUNNER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/measurement.h"
+#include "core/run_protocol.h"
+#include "doe/design.h"
+#include "stats/confidence.h"
+#include "stats/outliers.h"
+
+namespace perfeval {
+namespace core {
+
+/// Which component of a Measurement is the experiment's response variable.
+enum class ResponseMetric {
+  kObservedRealMs,  ///< wall time including simulated device stalls.
+  kRealMs,          ///< measured wall time only.
+  kUserMs,          ///< user CPU time.
+};
+
+const char* ResponseMetricName(ResponseMetric metric);
+
+/// Extracts the chosen response from a measurement, in milliseconds.
+double ExtractResponse(ResponseMetric metric, const Measurement& m);
+
+/// All measurements and derived responses for one design point.
+struct RunResult {
+  doe::DesignPoint point;
+  std::vector<Measurement> measurements;  ///< one per measured run.
+  std::vector<double> responses;          ///< extracted metric per run.
+  double aggregated = 0.0;                ///< per the protocol's aggregation.
+  /// Present when >= 2 measured runs: 95% CI of the mean response, so every
+  /// reported random quantity can be plotted with its interval (slide 142).
+  std::optional<stats::ConfidenceInterval> confidence;
+  /// Indices of measured runs outside the Tukey 1.5*IQR fences (computed
+  /// when >= 4 measured runs): likely perturbed by background activity.
+  std::vector<size_t> outlier_runs;
+};
+
+/// A completed experiment: the design plus one RunResult per design point.
+struct ExperimentResult {
+  std::string protocol_description;
+  std::vector<RunResult> runs;
+
+  /// Aggregated response per run, in design order — the `y` vector for
+  /// doe::EstimateEffects / doe::AllocateVariation.
+  std::vector<double> AggregatedResponses() const;
+
+  /// Raw replicated responses per run — input for
+  /// doe::AllocateVariationReplicated.
+  std::vector<std::vector<double>> ReplicatedResponses() const;
+
+  /// Text table: factor levels, aggregated response, CI half-width.
+  std::string ToTable(const doe::Design& design) const;
+};
+
+/// Measures one configured run; receives the design point to configure the
+/// system under test. Returns the run's Measurement.
+using RunFunction = std::function<Measurement(const doe::DesignPoint&)>;
+
+/// Invoked before each cold measured run to flush caches / restart state.
+using FlushFunction = std::function<void()>;
+
+/// Executes a Design under a RunProtocol: per design point, cold protocols
+/// flush-then-measure `measured_runs` times; hot protocols run `warmup_runs`
+/// un-measured warm-ups first. Deterministic run order (design order).
+class ExperimentRunner {
+ public:
+  ExperimentRunner(RunProtocol protocol, ResponseMetric metric)
+      : protocol_(protocol), metric_(metric) {}
+
+  /// Hook for cold runs. Without one, cold protocols behave like hot
+  /// protocols with zero warm-ups (and the report says so).
+  void set_flush_hook(FlushFunction flush) { flush_ = std::move(flush); }
+
+  ExperimentResult Run(const doe::Design& design,
+                       const RunFunction& run) const;
+
+  /// Convenience: measure a single configuration (no design) under the
+  /// protocol and return its RunResult.
+  RunResult MeasureSingle(const std::function<Measurement()>& run) const;
+
+ private:
+  RunProtocol protocol_;
+  ResponseMetric metric_;
+  FlushFunction flush_;
+};
+
+}  // namespace core
+}  // namespace perfeval
+
+#endif  // PERFEVAL_CORE_RUNNER_H_

@@ -1,0 +1,40 @@
+#include "core/timer.h"
+
+namespace perfeval {
+namespace core {
+
+int64_t MeasureTimerResolutionNs() {
+  using Clock = std::chrono::steady_clock;
+  int64_t smallest = INT64_MAX;
+  for (int i = 0; i < 1000; ++i) {
+    Clock::time_point a = Clock::now();
+    Clock::time_point b = Clock::now();
+    while (b == a) {
+      b = Clock::now();
+    }
+    int64_t delta =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+    if (delta > 0 && delta < smallest) {
+      smallest = delta;
+    }
+  }
+  return smallest;
+}
+
+double MeasureTimerOverheadNs() {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kReadings = 100000;
+  Clock::time_point start = Clock::now();
+  for (int i = 0; i < kReadings; ++i) {
+    Clock::time_point t = Clock::now();
+    (void)t;
+  }
+  Clock::time_point end = Clock::now();
+  int64_t total =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count();
+  return static_cast<double>(total) / kReadings;
+}
+
+}  // namespace core
+}  // namespace perfeval

@@ -1,0 +1,49 @@
+#ifndef PERFEVAL_CORE_TIMER_H_
+#define PERFEVAL_CORE_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace perfeval {
+namespace core {
+
+/// Monotonic wall-clock ("real" time) stopwatch.
+///
+/// "Which tools, functions and/or system calls to use for measuring time?"
+/// (paper, slide 27). This is the gettimeofday()-class tool: an in-process
+/// timestamp source, here with nanosecond granularity.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Nanoseconds since construction or the last Restart().
+  int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMs() const { return ElapsedNs() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNs() / 1e9; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Measured granularity of the wall clock: the smallest positive difference
+/// observed between consecutive readings, in nanoseconds. The paper warns
+/// that timer resolution can be as coarse as 10 ms (timeGetTime on Windows,
+/// slide 27); a harness should know — and report — what it is measuring with.
+int64_t MeasureTimerResolutionNs();
+
+/// Mean cost of a single timer reading in nanoseconds, so callers can judge
+/// whether the measured quantity is large enough relative to the
+/// measurement overhead.
+double MeasureTimerOverheadNs();
+
+}  // namespace core
+}  // namespace perfeval
+
+#endif  // PERFEVAL_CORE_TIMER_H_

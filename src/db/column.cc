@@ -1,0 +1,71 @@
+#include "db/column.h"
+
+namespace perfeval {
+namespace db {
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      ints_.reserve(n);
+      break;
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      strings_.reserve(n);
+      break;
+  }
+}
+
+void Column::AppendValue(const Value& v) {
+  switch (type_) {
+    case DataType::kInt64:
+      AppendInt64(v.AsInt64());
+      break;
+    case DataType::kDate:
+      AppendDate(v.AsDate());
+      break;
+    case DataType::kDouble:
+      AppendDouble(v.AsDouble());
+      break;
+    case DataType::kString:
+      AppendString(v.AsString());
+      break;
+  }
+}
+
+Value Column::GetValue(size_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int64(ints_[row]);
+    case DataType::kDate:
+      return Value::Date(static_cast<int32_t>(ints_[row]));
+    case DataType::kDouble:
+      return Value::Double(doubles_[row]);
+    case DataType::kString:
+      return Value::String(strings_[row]);
+  }
+  return Value();
+}
+
+size_t Column::ByteSize() const {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      return ints_.size() * sizeof(int64_t);
+    case DataType::kDouble:
+      return doubles_.size() * sizeof(double);
+    case DataType::kString: {
+      size_t bytes = 0;
+      for (const std::string& s : strings_) {
+        bytes += s.size() + sizeof(std::string);
+      }
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+}  // namespace db
+}  // namespace perfeval

@@ -1,0 +1,99 @@
+#ifndef PERFEVAL_DB_COLUMN_H_
+#define PERFEVAL_DB_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "db/value.h"
+
+namespace perfeval {
+namespace db {
+
+/// A typed column vector — the storage unit of the engine (operator-at-a-
+/// time columnar execution, MonetDB style, matching the DBMS the paper's
+/// examples are measured on).
+///
+/// Numeric data (int64, double, date) lives in contiguous vectors so hot
+/// loops scan raw arrays; string data lives in a std::string vector.
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const {
+    switch (type_) {
+      case DataType::kInt64:
+      case DataType::kDate:
+        return ints_.size();
+      case DataType::kDouble:
+        return doubles_.size();
+      case DataType::kString:
+        return strings_.size();
+    }
+    return 0;
+  }
+
+  void Reserve(size_t n);
+
+  void AppendInt64(int64_t v) {
+    PERFEVAL_CHECK(type_ == DataType::kInt64 || type_ == DataType::kDate);
+    ints_.push_back(v);
+  }
+  void AppendDouble(double v) {
+    PERFEVAL_CHECK(type_ == DataType::kDouble);
+    doubles_.push_back(v);
+  }
+  void AppendString(std::string v) {
+    PERFEVAL_CHECK(type_ == DataType::kString);
+    strings_.push_back(std::move(v));
+  }
+  void AppendDate(int32_t days) {
+    PERFEVAL_CHECK(type_ == DataType::kDate);
+    ints_.push_back(days);
+  }
+  void AppendValue(const Value& v);
+
+  int64_t GetInt64(size_t row) const { return ints_[row]; }
+  double GetDouble(size_t row) const { return doubles_[row]; }
+  const std::string& GetString(size_t row) const { return strings_[row]; }
+  int32_t GetDate(size_t row) const {
+    return static_cast<int32_t>(ints_[row]);
+  }
+
+  /// Numeric view regardless of concrete numeric type (aborts on strings).
+  double GetNumeric(size_t row) const {
+    switch (type_) {
+      case DataType::kInt64:
+      case DataType::kDate:
+        return static_cast<double>(ints_[row]);
+      case DataType::kDouble:
+        return doubles_[row];
+      case DataType::kString:
+        PERFEVAL_CHECK(false) << "GetNumeric on string column";
+    }
+    return 0.0;
+  }
+
+  Value GetValue(size_t row) const;
+
+  /// Raw vector access for vectorized kernels.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  /// Approximate in-memory footprint, used to derive page I/O volume.
+  size_t ByteSize() const;
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;      // kInt64 and kDate payloads.
+  std::vector<double> doubles_;    // kDouble payload.
+  std::vector<std::string> strings_;
+};
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_COLUMN_H_

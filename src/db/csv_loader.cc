@@ -1,0 +1,218 @@
+#include "db/csv_loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace db {
+namespace {
+
+/// Splits one CSV record honoring quotes. Records may span lines when a
+/// quoted field contains '\n'; the caller passes the full text and an
+/// advancing cursor.
+Result<std::vector<std::string>> ReadRecord(const std::string& text,
+                                            size_t* cursor) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *cursor;
+  const size_t n = text.size();
+  for (; i < n; ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c == '\r') {
+      // swallow (handles \r\n).
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field in CSV");
+  }
+  fields.push_back(std::move(field));
+  *cursor = i;
+  return fields;
+}
+
+bool IsInt(const std::string& s) { return ParseInt64(s).has_value(); }
+bool IsDouble(const std::string& s) { return ParseDouble(s).has_value(); }
+bool IsDate(const std::string& s) {
+  int32_t days = 0;
+  return ParseDate(s, &days);
+}
+
+DataType InferColumnType(const std::vector<std::vector<std::string>>& rows,
+                         size_t column) {
+  bool all_int = true;
+  bool all_date = true;
+  bool all_double = true;
+  for (const std::vector<std::string>& row : rows) {
+    const std::string& value = row[column];
+    all_int &= IsInt(value);
+    all_date &= IsDate(value);
+    all_double &= IsDouble(value);
+  }
+  if (rows.empty()) {
+    return DataType::kString;
+  }
+  if (all_int) {
+    return DataType::kInt64;
+  }
+  if (all_date) {
+    return DataType::kDate;
+  }
+  if (all_double) {
+    return DataType::kDouble;
+  }
+  return DataType::kString;
+}
+
+Result<Value> ParseTyped(const std::string& text, DataType type,
+                         size_t row_number, const std::string& column) {
+  auto fail = [&](const char* what) {
+    return Status::InvalidArgument(
+        StrFormat("row %zu, column '%s': '%s' is not a valid %s",
+                  row_number, column.c_str(), text.c_str(), what));
+  };
+  switch (type) {
+    case DataType::kInt64: {
+      std::optional<int64_t> v = ParseInt64(text);
+      if (!v) {
+        return fail("int64");
+      }
+      return Value::Int64(*v);
+    }
+    case DataType::kDouble: {
+      std::optional<double> v = ParseDouble(text);
+      if (!v) {
+        return fail("double");
+      }
+      return Value::Double(*v);
+    }
+    case DataType::kDate: {
+      int32_t days = 0;
+      if (!ParseDate(text, &days)) {
+        return fail("date (YYYY-MM-DD)");
+      }
+      return Value::Date(days);
+    }
+    case DataType::kString:
+      return Value::String(text);
+  }
+  return fail("value");
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Table>> ParseCsvText(const std::string& text,
+                                            const Schema* schema) {
+  size_t cursor = 0;
+  PERFEVAL_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                            ReadRecord(text, &cursor));
+  if (header.size() == 1 && header[0].empty()) {
+    return Status::InvalidArgument("CSV has no header line");
+  }
+  if (schema != nullptr) {
+    if (schema->num_columns() != header.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "schema has %zu columns but the CSV header has %zu",
+          schema->num_columns(), header.size()));
+    }
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (Trim(header[c]) != schema->column(c).name) {
+        return Status::InvalidArgument(
+            "CSV header column '" + header[c] +
+            "' does not match schema column '" + schema->column(c).name +
+            "'");
+      }
+    }
+  }
+
+  std::vector<std::vector<std::string>> records;
+  while (cursor < text.size()) {
+    PERFEVAL_ASSIGN_OR_RETURN(std::vector<std::string> record,
+                              ReadRecord(text, &cursor));
+    if (record.size() == 1 && record[0].empty()) {
+      continue;  // blank line.
+    }
+    if (record.size() != header.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "row %zu has %zu fields, expected %zu", records.size() + 2,
+          record.size(), header.size()));
+    }
+    records.push_back(std::move(record));
+  }
+
+  Schema resolved;
+  if (schema != nullptr) {
+    resolved = *schema;
+  } else {
+    std::vector<ColumnSpec> specs;
+    for (size_t c = 0; c < header.size(); ++c) {
+      specs.push_back({Trim(header[c]), InferColumnType(records, c)});
+    }
+    resolved = Schema(std::move(specs));
+  }
+
+  auto table = std::make_shared<Table>(resolved);
+  table->ReserveRows(records.size());
+  for (size_t r = 0; r < records.size(); ++r) {
+    std::vector<Value> row;
+    row.reserve(resolved.num_columns());
+    for (size_t c = 0; c < resolved.num_columns(); ++c) {
+      PERFEVAL_ASSIGN_OR_RETURN(
+          Value value,
+          ParseTyped(records[r][c], resolved.column(c).type, r + 2,
+                     resolved.column(c).name));
+      row.push_back(std::move(value));
+    }
+    table->AppendRow(row);
+  }
+  return table;
+}
+
+Result<std::shared_ptr<Table>> LoadCsv(const std::string& path,
+                                       const Schema& schema) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsvText(buffer.str(), &schema);
+}
+
+Result<std::shared_ptr<Table>> LoadCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsvText(buffer.str(), nullptr);
+}
+
+}  // namespace db
+}  // namespace perfeval

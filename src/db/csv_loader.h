@@ -1,0 +1,35 @@
+#ifndef PERFEVAL_DB_CSV_LOADER_H_
+#define PERFEVAL_DB_CSV_LOADER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "db/table.h"
+
+namespace perfeval {
+namespace db {
+
+/// Loads a CSV file (RFC-4180-ish: ',' separator, '"' quoting with ""
+/// escapes, first line is the header) into a table. With an explicit
+/// schema, header names must match the schema's column names in order and
+/// values must parse as the declared types. Without one, types are
+/// inferred per column from the data: int64 if every value parses as an
+/// integer, else date if every value is "YYYY-MM-DD", else double, else
+/// string. Empty numeric/date fields are errors (the engine has no NULLs).
+///
+/// This is the on-ramp for experimenting on one's own data — the paper's
+/// real-life-application workload class (slides 16-17) — through the same
+/// engine, SQL shell and harness as the bundled benchmarks.
+Result<std::shared_ptr<Table>> LoadCsv(const std::string& path,
+                                       const Schema& schema);
+Result<std::shared_ptr<Table>> LoadCsv(const std::string& path);
+
+/// Parses CSV text directly (used by LoadCsv and tests).
+Result<std::shared_ptr<Table>> ParseCsvText(const std::string& text,
+                                            const Schema* schema);
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_CSV_LOADER_H_

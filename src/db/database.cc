@@ -1,0 +1,104 @@
+#include "db/database.h"
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace db {
+
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      storage_(std::make_unique<StorageManager>(options.disk,
+                                                options.buffer_pool_pages,
+                                                options.rows_per_page)) {}
+
+void Database::RegisterTable(const std::string& name,
+                             std::shared_ptr<Table> table) {
+  PERFEVAL_CHECK(table != nullptr);
+  PERFEVAL_CHECK(tables_.find(name) == tables_.end())
+      << "table " << name << " already registered";
+  uint32_t id = static_cast<uint32_t>(table_order_.size());
+  storage_->RegisterTable(id, *table);
+  tables_[name] = std::move(table);
+  table_ids_[name] = id;
+  table_order_.push_back(name);
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+const Table& Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  PERFEVAL_CHECK(it != tables_.end()) << "no table named " << name;
+  return *it->second;
+}
+
+std::shared_ptr<const Table> Database::GetTableShared(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  PERFEVAL_CHECK(it != tables_.end()) << "no table named " << name;
+  return it->second;
+}
+
+uint32_t Database::TableId(const std::string& name) const {
+  auto it = table_ids_.find(name);
+  PERFEVAL_CHECK(it != table_ids_.end()) << "no table named " << name;
+  return it->second;
+}
+
+std::vector<std::string> Database::TableNames() const { return table_order_; }
+
+QueryResult Database::Run(const PlanPtr& plan, ExecMode mode, SinkKind sink,
+                          bool use_zone_maps) {
+  QueryResult result;
+  ExecContext ctx;
+  ctx.mode = mode;
+  ctx.database = this;
+  ctx.storage = storage_.get();
+  ctx.profiler = &result.profile;
+  ctx.use_zone_maps = use_zone_maps;
+
+  // Server phase: execute the plan.
+  StorageStats stats_before = storage_->stats();
+  int64_t stall_before = storage_->total_stall_ns();
+  Relation relation;
+  result.server = core::MeasureOnce([&] { relation = plan->Execute(ctx); });
+  result.server.simulated_stall_ns =
+      storage_->total_stall_ns() - stall_before;
+  const StorageStats& stats_after = storage_->stats();
+  result.storage.page_hits = stats_after.page_hits - stats_before.page_hits;
+  result.storage.page_misses =
+      stats_after.page_misses - stats_before.page_misses;
+  result.storage.bytes_read = stats_after.bytes_read - stats_before.bytes_read;
+  result.storage.stall_ns = stats_after.stall_ns - stats_before.stall_ns;
+
+  // Plans can return a selection over a base table; materialize the final
+  // result the way a server serializes it.
+  if (relation.selection) {
+    std::vector<uint32_t> rows = relation.RowIds();
+    auto materialized = std::make_shared<Table>(relation.table->schema());
+    materialized->ReserveRows(rows.size());
+    for (uint32_t r : rows) {
+      std::vector<Value> row;
+      row.reserve(relation.table->num_columns());
+      for (size_t c = 0; c < relation.table->num_columns(); ++c) {
+        row.push_back(relation.table->ValueAt(r, c));
+      }
+      materialized->AppendRow(row);
+    }
+    result.table = materialized;
+  } else {
+    result.table = relation.table;
+  }
+
+  // Client phase: render the result into the sink.
+  core::Measurement render = core::MeasureOnce(
+      [&] { result.sink = SendToSink(*result.table, sink,
+                                     options_.sink_model); });
+  render.simulated_stall_ns = result.sink.stall_ns;
+  result.client = result.server + render;
+  return result;
+}
+
+}  // namespace db
+}  // namespace perfeval

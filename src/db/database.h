@@ -1,0 +1,95 @@
+#ifndef PERFEVAL_DB_DATABASE_H_
+#define PERFEVAL_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/measurement.h"
+#include "db/plan.h"
+#include "db/profile.h"
+#include "db/sink.h"
+#include "db/storage.h"
+#include "db/table.h"
+
+namespace perfeval {
+namespace db {
+
+/// Configuration of a Database instance. These knobs are the factors of the
+/// engine-screening experiment (DESIGN.md, A1) and of the hot/cold and
+/// output-channel reproductions.
+struct DatabaseOptions {
+  DiskModel disk;
+  size_t buffer_pool_pages = 256;
+  size_t rows_per_page = 4096;
+  SinkModel sink_model;
+};
+
+/// A query's complete outcome: the result table, server-side timing split
+/// the way the paper's slide-23 table splits it (server user/real vs client
+/// real), operator traces, and the output-channel report.
+struct QueryResult {
+  std::shared_ptr<const Table> table;
+  Profiler profile;
+
+  /// Server-side execution only (plan execution).
+  core::Measurement server;
+  /// Client-side view: server plus result rendering and sink stall.
+  core::Measurement client;
+
+  SinkReport sink;
+
+  /// Buffer-pool activity attributable to this query (hits, misses, bytes
+  /// read, stall) — the server-side "where did the time go" counters.
+  StorageStats storage;
+
+  double ServerRealMs() const { return server.ObservedRealMs(); }
+  double ServerUserMs() const { return server.user_ms(); }
+  double ClientRealMs() const { return client.ObservedRealMs(); }
+};
+
+/// The engine facade: a catalog of named tables over a StorageManager, and
+/// a Run() entry point that executes plans under a chosen ExecMode and
+/// result sink, with full timing.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = DatabaseOptions());
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Adds a loaded table to the catalog and registers its pages with the
+  /// storage manager. Aborts on duplicate names.
+  void RegisterTable(const std::string& name, std::shared_ptr<Table> table);
+
+  bool HasTable(const std::string& name) const;
+  const Table& GetTable(const std::string& name) const;
+  std::shared_ptr<const Table> GetTableShared(const std::string& name) const;
+  uint32_t TableId(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  StorageManager& storage() { return *storage_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Empties the buffer pool: the next run is a cold run (slide 32).
+  void FlushCaches() { storage_->FlushCaches(); }
+
+  /// Executes `plan`: server phase (plan execution) then client phase
+  /// (result rendering into `sink`). Profiling is always collected.
+  QueryResult Run(const PlanPtr& plan, ExecMode mode = ExecMode::kOptimized,
+                  SinkKind sink = SinkKind::kDiscard,
+                  bool use_zone_maps = true);
+
+ private:
+  DatabaseOptions options_;
+  std::unique_ptr<StorageManager> storage_;
+  std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
+  std::unordered_map<std::string, uint32_t> table_ids_;
+  std::vector<std::string> table_order_;
+};
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_DATABASE_H_

@@ -1,0 +1,740 @@
+#include "db/expr.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace db {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+bool SimplePredicate::MightMatch(double page_min, double page_max) const {
+  switch (op) {
+    case CmpOp::kEq:
+      return value >= page_min && value <= page_max;
+    case CmpOp::kNe:
+      return !(page_min == page_max && page_min == value);
+    case CmpOp::kLt:
+      return page_min < value;
+    case CmpOp::kLe:
+      return page_min <= value;
+    case CmpOp::kGt:
+      return page_max > value;
+    case CmpOp::kGe:
+      return page_max >= value;
+  }
+  return true;
+}
+
+bool Expr::EvalBool(const Table& table, size_t row) const {
+  return EvalRow(table, row).AsInt64() != 0;
+}
+
+void Expr::EvalNumericBatch(const Table& table,
+                            const std::vector<uint32_t>& rows,
+                            std::vector<double>* out) const {
+  out->resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    (*out)[i] = EvalRow(table, rows[i]).AsDouble();
+  }
+}
+
+bool Expr::AsSimplePredicate(SimplePredicate*) const { return false; }
+
+void Expr::CollectConjuncts(std::vector<ExprPtr>* out,
+                            const ExprPtr& self) const {
+  out->push_back(self);
+}
+
+namespace {
+
+bool CompareValues(CmpOp op, const Value& a, const Value& b) {
+  int c = a.Compare(b);
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+class ColumnRefExpr : public Expr {
+ public:
+  ColumnRefExpr(size_t index, std::string name, DataType type)
+      : index_(index), name_(std::move(name)), type_(type) {}
+
+  size_t index() const { return index_; }
+
+  DataType ResultType(const Schema&) const override { return type_; }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    return table.column(index_).GetValue(row);
+  }
+
+  void EvalNumericBatch(const Table& table,
+                        const std::vector<uint32_t>& rows,
+                        std::vector<double>* out) const override {
+    const Column& column = table.column(index_);
+    out->resize(rows.size());
+    switch (column.type()) {
+      case DataType::kInt64:
+      case DataType::kDate: {
+        const std::vector<int64_t>& data = column.ints();
+        for (size_t i = 0; i < rows.size(); ++i) {
+          (*out)[i] = static_cast<double>(data[rows[i]]);
+        }
+        break;
+      }
+      case DataType::kDouble: {
+        const std::vector<double>& data = column.doubles();
+        for (size_t i = 0; i < rows.size(); ++i) {
+          (*out)[i] = data[rows[i]];
+        }
+        break;
+      }
+      case DataType::kString:
+        PERFEVAL_CHECK(false) << "numeric batch over string column "
+                              << name_;
+    }
+  }
+
+  std::string ToString() const override { return name_; }
+
+ private:
+  size_t index_;
+  std::string name_;
+  DataType type_;
+};
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+
+  DataType ResultType(const Schema&) const override { return value_.type(); }
+
+  Value EvalRow(const Table&, size_t) const override { return value_; }
+
+  void EvalNumericBatch(const Table&, const std::vector<uint32_t>& rows,
+                        std::vector<double>* out) const override {
+    out->assign(rows.size(), value_.AsDouble());
+  }
+
+  std::string ToString() const override {
+    if (value_.type() == DataType::kString) {
+      return "'" + value_.AsString() + "'";
+    }
+    if (value_.type() == DataType::kDate) {
+      return "date '" + value_.ToString() + "'";
+    }
+    return value_.ToString();
+  }
+
+ private:
+  Value value_;
+};
+
+class CmpExpr : public Expr {
+ public:
+  CmpExpr(CmpOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  DataType ResultType(const Schema&) const override {
+    return DataType::kInt64;
+  }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+  }
+
+  bool EvalBool(const Table& table, size_t row) const override {
+    return CompareValues(op_, lhs_->EvalRow(table, row),
+                         rhs_->EvalRow(table, row));
+  }
+
+  bool AsSimplePredicate(SimplePredicate* out) const override {
+    const auto* col = dynamic_cast<const ColumnRefExpr*>(lhs_.get());
+    const auto* lit = dynamic_cast<const LiteralExpr*>(rhs_.get());
+    if (col == nullptr || lit == nullptr ||
+        lit->value().type() == DataType::kString) {
+      return false;
+    }
+    out->column = col->index();
+    out->op = op_;
+    out->value = lit->value().AsDouble();
+    return true;
+  }
+
+  std::string ToString() const override {
+    return lhs_->ToString() + " " + CmpOpName(op_) + " " + rhs_->ToString();
+  }
+
+ private:
+  CmpOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class AndExpr : public Expr {
+ public:
+  AndExpr(ExprPtr lhs, ExprPtr rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  DataType ResultType(const Schema&) const override {
+    return DataType::kInt64;
+  }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+  }
+
+  bool EvalBool(const Table& table, size_t row) const override {
+    return lhs_->EvalBool(table, row) && rhs_->EvalBool(table, row);
+  }
+
+  void CollectConjuncts(std::vector<ExprPtr>* out,
+                        const ExprPtr&) const override {
+    lhs_->CollectConjuncts(out, lhs_);
+    rhs_->CollectConjuncts(out, rhs_);
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " AND " + rhs_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class OrExpr : public Expr {
+ public:
+  OrExpr(ExprPtr lhs, ExprPtr rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  DataType ResultType(const Schema&) const override {
+    return DataType::kInt64;
+  }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+  }
+
+  bool EvalBool(const Table& table, size_t row) const override {
+    return lhs_->EvalBool(table, row) || rhs_->EvalBool(table, row);
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " OR " + rhs_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+
+  DataType ResultType(const Schema&) const override {
+    return DataType::kInt64;
+  }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+  }
+
+  bool EvalBool(const Table& table, size_t row) const override {
+    return !operand_->EvalBool(table, row);
+  }
+
+  std::string ToString() const override {
+    return "NOT (" + operand_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+class ArithExpr : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  DataType ResultType(const Schema&) const override {
+    return DataType::kDouble;
+  }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    double a = lhs_->EvalRow(table, row).AsDouble();
+    double b = rhs_->EvalRow(table, row).AsDouble();
+    return Value::Double(Apply(a, b));
+  }
+
+  void EvalNumericBatch(const Table& table,
+                        const std::vector<uint32_t>& rows,
+                        std::vector<double>* out) const override {
+    std::vector<double> lhs_values;
+    std::vector<double> rhs_values;
+    lhs_->EvalNumericBatch(table, rows, &lhs_values);
+    rhs_->EvalNumericBatch(table, rows, &rhs_values);
+    out->resize(rows.size());
+    switch (op_) {
+      case ArithOp::kAdd:
+        for (size_t i = 0; i < rows.size(); ++i) {
+          (*out)[i] = lhs_values[i] + rhs_values[i];
+        }
+        break;
+      case ArithOp::kSub:
+        for (size_t i = 0; i < rows.size(); ++i) {
+          (*out)[i] = lhs_values[i] - rhs_values[i];
+        }
+        break;
+      case ArithOp::kMul:
+        for (size_t i = 0; i < rows.size(); ++i) {
+          (*out)[i] = lhs_values[i] * rhs_values[i];
+        }
+        break;
+      case ArithOp::kDiv:
+        for (size_t i = 0; i < rows.size(); ++i) {
+          (*out)[i] = lhs_values[i] / rhs_values[i];
+        }
+        break;
+    }
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + ArithOpName(op_) + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  double Apply(double a, double b) const {
+    switch (op_) {
+      case ArithOp::kAdd:
+        return a + b;
+      case ArithOp::kSub:
+        return a - b;
+      case ArithOp::kMul:
+        return a * b;
+      case ArithOp::kDiv:
+        return a / b;
+    }
+    return 0.0;
+  }
+
+  ArithOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// SQL LIKE matcher: '%' matches any run, '_' any single character.
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative two-pointer algorithm with backtracking on '%'.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star_p = std::string::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+class LikeExpr : public Expr {
+ public:
+  LikeExpr(ExprPtr operand, std::string pattern)
+      : operand_(std::move(operand)), pattern_(std::move(pattern)) {}
+
+  DataType ResultType(const Schema&) const override {
+    return DataType::kInt64;
+  }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+  }
+
+  bool EvalBool(const Table& table, size_t row) const override {
+    return LikeMatch(operand_->EvalRow(table, row).AsString(), pattern_);
+  }
+
+  std::string ToString() const override {
+    return operand_->ToString() + " LIKE '" + pattern_ + "'";
+  }
+
+ private:
+  ExprPtr operand_;
+  std::string pattern_;
+};
+
+class InStringsExpr : public Expr {
+ public:
+  InStringsExpr(ExprPtr operand, std::vector<std::string> values)
+      : operand_(std::move(operand)),
+        values_(values.begin(), values.end()),
+        display_(std::move(values)) {}
+
+  DataType ResultType(const Schema&) const override {
+    return DataType::kInt64;
+  }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+  }
+
+  bool EvalBool(const Table& table, size_t row) const override {
+    return values_.count(operand_->EvalRow(table, row).AsString()) > 0;
+  }
+
+  std::string ToString() const override {
+    std::string out = operand_->ToString() + " IN (";
+    for (size_t i = 0; i < display_.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += "'" + display_[i] + "'";
+    }
+    return out + ")";
+  }
+
+ private:
+  ExprPtr operand_;
+  std::unordered_set<std::string> values_;
+  std::vector<std::string> display_;
+};
+
+class ContainsExpr : public Expr {
+ public:
+  ContainsExpr(ExprPtr operand, std::string needle)
+      : operand_(std::move(operand)), needle_(std::move(needle)) {}
+
+  DataType ResultType(const Schema&) const override {
+    return DataType::kInt64;
+  }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+  }
+
+  bool EvalBool(const Table& table, size_t row) const override {
+    return operand_->EvalRow(table, row).AsString().find(needle_) !=
+           std::string::npos;
+  }
+
+  std::string ToString() const override {
+    return operand_->ToString() + " LIKE '%" + needle_ + "%'";
+  }
+
+ private:
+  ExprPtr operand_;
+  std::string needle_;
+};
+
+class YearExpr : public Expr {
+ public:
+  explicit YearExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+
+  DataType ResultType(const Schema&) const override {
+    return DataType::kInt64;
+  }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    int year = 0;
+    int month = 0;
+    int day = 0;
+    YmdFromDate(operand_->EvalRow(table, row).AsDate(), &year, &month, &day);
+    return Value::Int64(year);
+  }
+
+  void EvalNumericBatch(const Table& table,
+                        const std::vector<uint32_t>& rows,
+                        std::vector<double>* out) const override {
+    std::vector<double> dates;
+    operand_->EvalNumericBatch(table, rows, &dates);
+    out->resize(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      int year = 0;
+      int month = 0;
+      int day = 0;
+      YmdFromDate(static_cast<int32_t>(dates[i]), &year, &month, &day);
+      (*out)[i] = static_cast<double>(year);
+    }
+  }
+
+  std::string ToString() const override {
+    return "year(" + operand_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+class IfExpr : public Expr {
+ public:
+  IfExpr(ExprPtr condition, ExprPtr then_expr, ExprPtr else_expr)
+      : condition_(std::move(condition)),
+        then_(std::move(then_expr)),
+        else_(std::move(else_expr)) {}
+
+  DataType ResultType(const Schema& schema) const override {
+    return then_->ResultType(schema);
+  }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    return condition_->EvalBool(table, row) ? then_->EvalRow(table, row)
+                                            : else_->EvalRow(table, row);
+  }
+
+  void EvalNumericBatch(const Table& table,
+                        const std::vector<uint32_t>& rows,
+                        std::vector<double>* out) const override {
+    std::vector<double> then_values;
+    std::vector<double> else_values;
+    then_->EvalNumericBatch(table, rows, &then_values);
+    else_->EvalNumericBatch(table, rows, &else_values);
+    out->resize(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      (*out)[i] = condition_->EvalBool(table, rows[i]) ? then_values[i]
+                                                       : else_values[i];
+    }
+  }
+
+  std::string ToString() const override {
+    return "CASE WHEN " + condition_->ToString() + " THEN " +
+           then_->ToString() + " ELSE " + else_->ToString() + " END";
+  }
+
+ private:
+  ExprPtr condition_;
+  ExprPtr then_;
+  ExprPtr else_;
+};
+
+class InIntsExpr : public Expr {
+ public:
+  InIntsExpr(ExprPtr operand, std::vector<int64_t> values)
+      : operand_(std::move(operand)),
+        values_(values.begin(), values.end()),
+        display_(std::move(values)) {}
+
+  DataType ResultType(const Schema&) const override {
+    return DataType::kInt64;
+  }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+  }
+
+  bool EvalBool(const Table& table, size_t row) const override {
+    return values_.count(operand_->EvalRow(table, row).AsInt64()) > 0;
+  }
+
+  std::string ToString() const override {
+    std::string out = operand_->ToString() + " IN (";
+    for (size_t i = 0; i < display_.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += StrFormat("%lld", static_cast<long long>(display_[i]));
+    }
+    return out + ")";
+  }
+
+ private:
+  ExprPtr operand_;
+  std::unordered_set<int64_t> values_;
+  std::vector<int64_t> display_;
+};
+
+class SubstrExpr : public Expr {
+ public:
+  SubstrExpr(ExprPtr operand, size_t pos, size_t len)
+      : operand_(std::move(operand)), pos_(pos), len_(len) {
+    PERFEVAL_CHECK_GE(pos_, 1u) << "SUBSTRING positions are 1-based";
+  }
+
+  DataType ResultType(const Schema&) const override {
+    return DataType::kString;
+  }
+
+  Value EvalRow(const Table& table, size_t row) const override {
+    const std::string s = operand_->EvalRow(table, row).AsString();
+    size_t start = pos_ - 1;
+    if (start >= s.size()) {
+      return Value::String("");
+    }
+    return Value::String(s.substr(start, len_));
+  }
+
+  std::string ToString() const override {
+    return StrFormat("substring(%s from %zu for %zu)",
+                     operand_->ToString().c_str(), pos_, len_);
+  }
+
+ private:
+  ExprPtr operand_;
+  size_t pos_;
+  size_t len_;
+};
+
+}  // namespace
+
+ExprPtr Col(const Schema& schema, const std::string& name) {
+  size_t index = schema.MustIndexOf(name);
+  return std::make_shared<ColumnRefExpr>(index, name,
+                                         schema.column(index).type);
+}
+
+ExprPtr LitInt(int64_t v) {
+  return std::make_shared<LiteralExpr>(Value::Int64(v));
+}
+ExprPtr LitDouble(double v) {
+  return std::make_shared<LiteralExpr>(Value::Double(v));
+}
+ExprPtr LitString(std::string v) {
+  return std::make_shared<LiteralExpr>(Value::String(std::move(v)));
+}
+ExprPtr LitDate(const std::string& ymd) {
+  int32_t days = 0;
+  PERFEVAL_CHECK(ParseDate(ymd, &days)) << "bad date literal " << ymd;
+  return std::make_shared<LiteralExpr>(Value::Date(days));
+}
+
+ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<CmpExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CmpOp::kEq, std::move(lhs), std::move(rhs));
+}
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CmpOp::kNe, std::move(lhs), std::move(rhs));
+}
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CmpOp::kLt, std::move(lhs), std::move(rhs));
+}
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CmpOp::kLe, std::move(lhs), std::move(rhs));
+}
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CmpOp::kGt, std::move(lhs), std::move(rhs));
+}
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CmpOp::kGe, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr And(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<AndExpr>(std::move(lhs), std::move(rhs));
+}
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<OrExpr>(std::move(lhs), std::move(rhs));
+}
+ExprPtr Not(ExprPtr operand) {
+  return std::make_shared<NotExpr>(std::move(operand));
+}
+
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ArithExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Add(ExprPtr lhs, ExprPtr rhs) {
+  return Arith(ArithOp::kAdd, std::move(lhs), std::move(rhs));
+}
+ExprPtr Sub(ExprPtr lhs, ExprPtr rhs) {
+  return Arith(ArithOp::kSub, std::move(lhs), std::move(rhs));
+}
+ExprPtr Mul(ExprPtr lhs, ExprPtr rhs) {
+  return Arith(ArithOp::kMul, std::move(lhs), std::move(rhs));
+}
+ExprPtr Div(ExprPtr lhs, ExprPtr rhs) {
+  return Arith(ArithOp::kDiv, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Like(ExprPtr operand, std::string pattern) {
+  return std::make_shared<LikeExpr>(std::move(operand), std::move(pattern));
+}
+
+ExprPtr InStrings(ExprPtr operand, std::vector<std::string> values) {
+  return std::make_shared<InStringsExpr>(std::move(operand),
+                                         std::move(values));
+}
+
+ExprPtr Contains(ExprPtr operand, std::string needle) {
+  return std::make_shared<ContainsExpr>(std::move(operand),
+                                        std::move(needle));
+}
+
+ExprPtr Year(ExprPtr date_operand) {
+  return std::make_shared<YearExpr>(std::move(date_operand));
+}
+
+ExprPtr If(ExprPtr condition, ExprPtr then_expr, ExprPtr else_expr) {
+  return std::make_shared<IfExpr>(std::move(condition), std::move(then_expr),
+                                  std::move(else_expr));
+}
+
+ExprPtr InInts(ExprPtr operand, std::vector<int64_t> values) {
+  return std::make_shared<InIntsExpr>(std::move(operand), std::move(values));
+}
+
+ExprPtr Substr(ExprPtr operand, size_t pos, size_t len) {
+  return std::make_shared<SubstrExpr>(std::move(operand), pos, len);
+}
+
+}  // namespace db
+}  // namespace perfeval

@@ -1,0 +1,128 @@
+#ifndef PERFEVAL_DB_EXPR_H_
+#define PERFEVAL_DB_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+
+namespace perfeval {
+namespace db {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Comparison operators.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+const char* CmpOpName(CmpOp op);
+
+/// Arithmetic operators.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+const char* ArithOpName(ArithOp op);
+
+/// A `column <op> constant` predicate in a form the storage layer can test
+/// against zone maps.
+struct SimplePredicate {
+  size_t column = 0;
+  CmpOp op = CmpOp::kEq;
+  double value = 0.0;
+
+  /// True when a page with the given [min, max] might contain matches.
+  bool MightMatch(double page_min, double page_max) const;
+};
+
+/// Scalar expression tree over a table's columns.
+///
+/// Two evaluation paths implement the engine's DBG/OPT execution modes
+/// (paper, slides 37–45): EvalRow / EvalBool are the tuple-at-a-time
+/// interpreted path (one virtual dispatch per tuple per node — the
+/// "debug build"); EvalNumericBatch and the vectorized filter in exec.cc
+/// are the tight-loop path (the "optimized build").
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Result type given the input schema.
+  virtual DataType ResultType(const Schema& schema) const = 0;
+
+  /// Tuple-at-a-time evaluation.
+  virtual Value EvalRow(const Table& table, size_t row) const = 0;
+
+  /// Predicate evaluation; only meaningful for boolean-valued nodes.
+  virtual bool EvalBool(const Table& table, size_t row) const;
+
+  /// Vectorized numeric evaluation: out[i] = eval(rows[i]). The base
+  /// implementation falls back to EvalRow; numeric nodes override with
+  /// tight loops.
+  virtual void EvalNumericBatch(const Table& table,
+                                const std::vector<uint32_t>& rows,
+                                std::vector<double>* out) const;
+
+  /// If this node is `column <cmp> numeric-literal`, fills `out` and
+  /// returns true (zone-map pushdown).
+  virtual bool AsSimplePredicate(SimplePredicate* out) const;
+
+  /// Appends this predicate's top-level conjuncts to `out` (flattens AND).
+  virtual void CollectConjuncts(std::vector<ExprPtr>* out,
+                                const ExprPtr& self) const;
+
+  /// SQL-ish rendering for EXPLAIN output.
+  virtual std::string ToString() const = 0;
+};
+
+// ---- Factory functions (the public expression-building API) ----
+
+/// Column reference, resolved against `schema` now (aborts if absent).
+ExprPtr Col(const Schema& schema, const std::string& name);
+
+ExprPtr LitInt(int64_t v);
+ExprPtr LitDouble(double v);
+ExprPtr LitString(std::string v);
+ExprPtr LitDate(const std::string& ymd);  ///< "YYYY-MM-DD", aborts if bad.
+
+ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs);
+
+ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Not(ExprPtr operand);
+
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Add(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Sub(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Mul(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Div(ExprPtr lhs, ExprPtr rhs);
+
+/// SQL LIKE with '%' (any run) and '_' (any one char) wildcards.
+ExprPtr Like(ExprPtr operand, std::string pattern);
+
+/// Membership in a set of strings (SQL IN).
+ExprPtr InStrings(ExprPtr operand, std::vector<std::string> values);
+
+/// Substring containment (LIKE '%needle%' fast path).
+ExprPtr Contains(ExprPtr operand, std::string needle);
+
+/// Calendar year of a date expression (SQL EXTRACT(YEAR FROM ...)).
+ExprPtr Year(ExprPtr date_operand);
+
+/// SQL CASE WHEN cond THEN a ELSE b END. `then_expr` and `else_expr` must
+/// have the same result type.
+ExprPtr If(ExprPtr condition, ExprPtr then_expr, ExprPtr else_expr);
+
+/// Membership in a set of integers (SQL IN over numerics).
+ExprPtr InInts(ExprPtr operand, std::vector<int64_t> values);
+
+/// SQL SUBSTRING(operand FROM pos FOR len), 1-based `pos`.
+ExprPtr Substr(ExprPtr operand, size_t pos, size_t len);
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_EXPR_H_

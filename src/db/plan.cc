@@ -1,0 +1,1164 @@
+#include "db/plan.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "core/timer.h"
+#include "db/database.h"
+
+namespace perfeval {
+namespace db {
+
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kDebug:
+      return "debug (tuple-at-a-time, checked)";
+    case ExecMode::kOptimized:
+      return "optimized (vectorized)";
+  }
+  return "unknown";
+}
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kAvg:
+      return "avg";
+    case AggOp::kMin:
+      return "min";
+    case AggOp::kMax:
+      return "max";
+    case AggOp::kCount:
+      return "count";
+    case AggOp::kCountDistinct:
+      return "count_distinct";
+  }
+  return "?";
+}
+
+std::vector<uint32_t> Relation::RowIds() const {
+  if (selection) {
+    return *selection;
+  }
+  std::vector<uint32_t> ids(table->num_rows());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<uint32_t>(i);
+  }
+  return ids;
+}
+
+namespace {
+
+/// RAII operator trace: measures wall time and attributes storage stalls.
+class TraceScope {
+ public:
+  TraceScope(ExecContext& ctx, std::string op, size_t rows_in)
+      : ctx_(ctx), op_(std::move(op)), rows_in_(rows_in) {
+    stall_before_ = ctx_.storage ? ctx_.storage->total_stall_ns() : 0;
+  }
+
+  void Finish(size_t rows_out) {
+    if (ctx_.profiler == nullptr) {
+      return;
+    }
+    OpTrace trace;
+    trace.op = std::move(op_);
+    trace.rows_in = rows_in_;
+    trace.rows_out = rows_out;
+    trace.wall_ns = timer_.ElapsedNs();
+    trace.stall_ns =
+        (ctx_.storage ? ctx_.storage->total_stall_ns() : 0) - stall_before_;
+    ctx_.profiler->Record(std::move(trace));
+  }
+
+ private:
+  ExecContext& ctx_;
+  std::string op_;
+  size_t rows_in_;
+  int64_t stall_before_;
+  core::WallTimer timer_;
+};
+
+/// Gather: new table containing `rows` of `source` in order. Optimized
+/// mode runs typed tight loops; debug mode goes tuple-at-a-time through
+/// the generic Value path with per-row validation (the interpreted,
+/// assertion-heavy code path of an un-optimized build).
+std::shared_ptr<Table> GatherRows(const Table& source,
+                                  const std::vector<uint32_t>& rows,
+                                  ExecMode mode) {
+  auto out = std::make_shared<Table>(source.schema());
+  out->ReserveRows(rows.size());
+  if (mode == ExecMode::kDebug) {
+    for (uint32_t r : rows) {
+      PERFEVAL_CHECK_LT(r, source.num_rows());
+      std::vector<Value> row;
+      row.reserve(source.num_columns());
+      for (size_t c = 0; c < source.num_columns(); ++c) {
+        row.push_back(source.column(c).GetValue(r));
+      }
+      out->AppendRow(row);
+    }
+    return out;
+  }
+  for (size_t c = 0; c < source.num_columns(); ++c) {
+    const Column& in = source.column(c);
+    Column& dst = out->column(c);
+    switch (in.type()) {
+      case DataType::kInt64:
+      case DataType::kDate: {
+        const std::vector<int64_t>& data = in.ints();
+        for (uint32_t r : rows) {
+          dst.AppendInt64(data[r]);
+        }
+        break;
+      }
+      case DataType::kDouble: {
+        const std::vector<double>& data = in.doubles();
+        for (uint32_t r : rows) {
+          dst.AppendDouble(data[r]);
+        }
+        break;
+      }
+      case DataType::kString: {
+        const std::vector<std::string>& data = in.strings();
+        for (uint32_t r : rows) {
+          dst.AppendString(data[r]);
+        }
+        break;
+      }
+    }
+  }
+  out->FinishBulkLoad();
+  return out;
+}
+
+/// In-place vectorized application of a simple predicate to a row list.
+void ApplySimplePredicate(const Column& column, CmpOp op, double value,
+                          std::vector<uint32_t>* rows) {
+  size_t kept = 0;
+  auto apply_typed = [&](auto getter) {
+    switch (op) {
+      case CmpOp::kEq:
+        for (uint32_t r : *rows) {
+          if (getter(r) == value) (*rows)[kept++] = r;
+        }
+        break;
+      case CmpOp::kNe:
+        for (uint32_t r : *rows) {
+          if (getter(r) != value) (*rows)[kept++] = r;
+        }
+        break;
+      case CmpOp::kLt:
+        for (uint32_t r : *rows) {
+          if (getter(r) < value) (*rows)[kept++] = r;
+        }
+        break;
+      case CmpOp::kLe:
+        for (uint32_t r : *rows) {
+          if (getter(r) <= value) (*rows)[kept++] = r;
+        }
+        break;
+      case CmpOp::kGt:
+        for (uint32_t r : *rows) {
+          if (getter(r) > value) (*rows)[kept++] = r;
+        }
+        break;
+      case CmpOp::kGe:
+        for (uint32_t r : *rows) {
+          if (getter(r) >= value) (*rows)[kept++] = r;
+        }
+        break;
+    }
+  };
+  if (column.type() == DataType::kDouble) {
+    const std::vector<double>& data = column.doubles();
+    apply_typed([&data](uint32_t r) { return data[r]; });
+  } else {
+    const std::vector<int64_t>& data = column.ints();
+    apply_typed(
+        [&data](uint32_t r) { return static_cast<double>(data[r]); });
+  }
+  rows->resize(kept);
+}
+
+/// Applies a predicate to `rows` in place. Optimized mode splits the
+/// predicate into conjuncts and runs vectorized kernels for the simple
+/// ones; debug mode interprets the whole predicate tuple-at-a-time.
+void ApplyPredicate(ExecContext& ctx, const Table& table,
+                    const ExprPtr& predicate, std::vector<uint32_t>* rows) {
+  if (ctx.mode == ExecMode::kDebug) {
+    size_t kept = 0;
+    for (uint32_t r : *rows) {
+      PERFEVAL_CHECK_LT(r, table.num_rows());  // per-tuple validation.
+      if (predicate->EvalBool(table, r)) {
+        (*rows)[kept++] = r;
+      }
+    }
+    rows->resize(kept);
+    return;
+  }
+  std::vector<ExprPtr> conjuncts;
+  predicate->CollectConjuncts(&conjuncts, predicate);
+  for (const ExprPtr& conjunct : conjuncts) {
+    SimplePredicate simple;
+    if (conjunct->AsSimplePredicate(&simple)) {
+      ApplySimplePredicate(table.column(simple.column), simple.op,
+                           simple.value, rows);
+    } else {
+      size_t kept = 0;
+      for (uint32_t r : *rows) {
+        if (conjunct->EvalBool(table, r)) {
+          (*rows)[kept++] = r;
+        }
+      }
+      rows->resize(kept);
+    }
+    if (rows->empty()) {
+      break;
+    }
+  }
+}
+
+/// Touches the buffer-pool pages of the named columns (all when empty).
+void TouchColumns(ExecContext& ctx, const std::string& table_name,
+                  const Table& table,
+                  const std::vector<std::string>& columns) {
+  if (ctx.storage == nullptr || ctx.database == nullptr) {
+    return;
+  }
+  uint32_t table_id = ctx.database->TableId(table_name);
+  if (columns.empty()) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      ctx.storage->TouchColumn(table_id, static_cast<uint32_t>(c));
+    }
+    return;
+  }
+  for (const std::string& name : columns) {
+    ctx.storage->TouchColumn(
+        table_id, static_cast<uint32_t>(table.schema().MustIndexOf(name)));
+  }
+}
+
+class ScanNode : public PlanNode {
+ public:
+  ScanNode(std::string table_name, std::vector<std::string> columns)
+      : table_name_(std::move(table_name)), columns_(std::move(columns)) {}
+
+  Relation Execute(ExecContext& ctx) const override {
+    PERFEVAL_CHECK(ctx.database != nullptr);
+    std::shared_ptr<const Table> table =
+        ctx.database->GetTableShared(table_name_);
+    TraceScope trace(ctx, "Scan(" + table_name_ + ")", table->num_rows());
+    TouchColumns(ctx, table_name_, *table, columns_);
+    Relation out;
+    out.table = table;
+    trace.Finish(out.num_rows());
+    return out;
+  }
+
+  std::string Describe() const override {
+    return "Scan " + table_name_;
+  }
+
+ private:
+  std::string table_name_;
+  std::vector<std::string> columns_;
+};
+
+class FilterScanNode : public PlanNode {
+ public:
+  FilterScanNode(std::string table_name, std::vector<std::string> columns,
+                 ExprPtr predicate)
+      : table_name_(std::move(table_name)),
+        columns_(std::move(columns)),
+        predicate_(std::move(predicate)) {}
+
+  Relation Execute(ExecContext& ctx) const override {
+    PERFEVAL_CHECK(ctx.database != nullptr);
+    std::shared_ptr<const Table> table =
+        ctx.database->GetTableShared(table_name_);
+    TraceScope trace(ctx, "FilterScan(" + table_name_ + ")",
+                     table->num_rows());
+
+    // Zone-map page skipping: a chunk participates only when all simple
+    // conjuncts might match its [min, max].
+    std::vector<ExprPtr> conjuncts;
+    predicate_->CollectConjuncts(&conjuncts, predicate_);
+    std::vector<SimplePredicate> simple;
+    for (const ExprPtr& conjunct : conjuncts) {
+      SimplePredicate sp;
+      if (conjunct->AsSimplePredicate(&sp)) {
+        simple.push_back(sp);
+      }
+    }
+
+    size_t rows_per_page =
+        ctx.storage != nullptr ? ctx.storage->rows_per_page() : 0;
+    bool zone_maps = ctx.use_zone_maps && ctx.storage != nullptr &&
+                     !simple.empty() && table->num_rows() > 0;
+    uint32_t table_id =
+        ctx.storage != nullptr ? ctx.database->TableId(table_name_) : 0;
+
+    auto candidates = std::make_shared<std::vector<uint32_t>>();
+    candidates->reserve(table->num_rows());
+    if (zone_maps) {
+      size_t num_chunks =
+          (table->num_rows() + rows_per_page - 1) / rows_per_page;
+      for (uint32_t chunk = 0; chunk < num_chunks; ++chunk) {
+        bool might_match = true;
+        for (const SimplePredicate& sp : simple) {
+          const ZoneMap& zm = ctx.storage->GetZoneMap(
+              table_id, static_cast<uint32_t>(sp.column), chunk);
+          if (zm.valid && !sp.MightMatch(zm.min, zm.max)) {
+            might_match = false;
+            break;
+          }
+        }
+        if (!might_match) {
+          continue;  // page never read, rows never scanned.
+        }
+        size_t begin = static_cast<size_t>(chunk) * rows_per_page;
+        size_t end = std::min(table->num_rows(), begin + rows_per_page);
+        // Touch the pages of all used columns for this chunk.
+        for (const std::string& name : columns_) {
+          ctx.storage->TouchColumnRange(
+              table_id,
+              static_cast<uint32_t>(table->schema().MustIndexOf(name)),
+              begin, end);
+        }
+        for (size_t r = begin; r < end; ++r) {
+          candidates->push_back(static_cast<uint32_t>(r));
+        }
+      }
+    } else {
+      TouchColumns(ctx, table_name_, *table, columns_);
+      for (size_t r = 0; r < table->num_rows(); ++r) {
+        candidates->push_back(static_cast<uint32_t>(r));
+      }
+    }
+
+    ApplyPredicate(ctx, *table, predicate_, candidates.get());
+    Relation out;
+    out.table = table;
+    out.selection = candidates;
+    trace.Finish(out.num_rows());
+    return out;
+  }
+
+  std::string Describe() const override {
+    return "FilterScan " + table_name_ + " [" + predicate_->ToString() + "]";
+  }
+
+ private:
+  std::string table_name_;
+  std::vector<std::string> columns_;
+  ExprPtr predicate_;
+};
+
+class FilterNode : public PlanNode {
+ public:
+  FilterNode(PlanPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Relation Execute(ExecContext& ctx) const override {
+    Relation input = child_->Execute(ctx);
+    TraceScope trace(ctx, "Filter", input.num_rows());
+    auto rows = std::make_shared<std::vector<uint32_t>>(input.RowIds());
+    ApplyPredicate(ctx, *input.table, predicate_, rows.get());
+    Relation out;
+    out.table = input.table;
+    out.selection = rows;
+    trace.Finish(out.num_rows());
+    return out;
+  }
+
+  std::string Describe() const override {
+    return "Filter [" + predicate_->ToString() + "]";
+  }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PlanPtr child_;
+  ExprPtr predicate_;
+};
+
+class ProjectNode : public PlanNode {
+ public:
+  ProjectNode(PlanPtr child, std::vector<ExprPtr> exprs,
+              std::vector<std::string> names)
+      : child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        names_(std::move(names)) {
+    PERFEVAL_CHECK_EQ(exprs_.size(), names_.size());
+  }
+
+  Relation Execute(ExecContext& ctx) const override {
+    Relation input = child_->Execute(ctx);
+    TraceScope trace(ctx, "Project", input.num_rows());
+    std::vector<uint32_t> rows = input.RowIds();
+
+    std::vector<ColumnSpec> specs;
+    specs.reserve(exprs_.size());
+    for (size_t i = 0; i < exprs_.size(); ++i) {
+      specs.push_back(
+          {names_[i], exprs_[i]->ResultType(input.table->schema())});
+    }
+    auto out_table = std::make_shared<Table>(Schema(std::move(specs)));
+    out_table->ReserveRows(rows.size());
+
+    for (size_t i = 0; i < exprs_.size(); ++i) {
+      Column& dst = out_table->column(i);
+      DataType type = out_table->schema().column(i).type;
+      if (ctx.mode == ExecMode::kOptimized && type == DataType::kDouble) {
+        std::vector<double> values;
+        exprs_[i]->EvalNumericBatch(*input.table, rows, &values);
+        for (double v : values) {
+          dst.AppendDouble(v);
+        }
+      } else {
+        for (uint32_t r : rows) {
+          dst.AppendValue(exprs_[i]->EvalRow(*input.table, r));
+        }
+      }
+    }
+    out_table->FinishBulkLoad();
+    Relation out;
+    out.table = out_table;
+    trace.Finish(out.num_rows());
+    return out;
+  }
+
+  std::string Describe() const override {
+    std::string out = "Project [";
+    for (size_t i = 0; i < exprs_.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += names_[i] + "=" + exprs_[i]->ToString();
+    }
+    return out + "]";
+  }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PlanPtr child_;
+  std::vector<ExprPtr> exprs_;
+  std::vector<std::string> names_;
+};
+
+class HashJoinNode : public PlanNode {
+ public:
+  HashJoinNode(PlanPtr left, PlanPtr right,
+               std::vector<std::string> left_keys,
+               std::vector<std::string> right_keys)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)) {
+    PERFEVAL_CHECK_EQ(left_keys_.size(), right_keys_.size());
+    PERFEVAL_CHECK_GE(left_keys_.size(), 1u);
+    PERFEVAL_CHECK_LE(left_keys_.size(), 2u);
+  }
+
+  Relation Execute(ExecContext& ctx) const override {
+    Relation left = left_->Execute(ctx);
+    Relation right = right_->Execute(ctx);
+    TraceScope trace(
+        ctx, "HashJoin(" + left_keys_[0] + "=" + right_keys_[0] + ")",
+        left.num_rows() + right.num_rows());
+
+    auto key_columns = [](const Relation& rel,
+                          const std::vector<std::string>& names) {
+      std::vector<const std::vector<int64_t>*> cols;
+      for (const std::string& name : names) {
+        const Column& column = rel.table->ColumnByName(name);
+        PERFEVAL_CHECK(column.type() == DataType::kInt64)
+            << "hash join requires int64 keys (" << name << ")";
+        cols.push_back(&column.ints());
+      }
+      return cols;
+    };
+    std::vector<const std::vector<int64_t>*> build_cols =
+        key_columns(right, right_keys_);
+    std::vector<const std::vector<int64_t>*> probe_cols =
+        key_columns(left, left_keys_);
+
+    auto make_key = [](const std::vector<const std::vector<int64_t>*>& cols,
+                       uint32_t r) -> int64_t {
+      if (cols.size() == 1) {
+        return (*cols[0])[r];
+      }
+      int64_t k1 = (*cols[0])[r];
+      int64_t k2 = (*cols[1])[r];
+      PERFEVAL_CHECK(k1 >= 0 && k1 < (int64_t{1} << 31) && k2 >= 0 &&
+                     k2 < (int64_t{1} << 31))
+          << "composite join keys must fit in 31 bits";
+      return (k1 << 32) | k2;
+    };
+
+    // Debug mode derives keys tuple-at-a-time through the generic Value
+    // accessor with per-row validation (the interpreted path); optimized
+    // mode reads raw key vectors. Both produce identical keys.
+    auto make_key_checked = [](const Relation& rel,
+                               const std::vector<std::string>& names,
+                               uint32_t r) -> int64_t {
+      PERFEVAL_CHECK_LT(r, rel.table->num_rows());
+      if (names.size() == 1) {
+        return rel.table->ColumnByName(names[0]).GetValue(r).AsInt64();
+      }
+      int64_t k1 = rel.table->ColumnByName(names[0]).GetValue(r).AsInt64();
+      int64_t k2 = rel.table->ColumnByName(names[1]).GetValue(r).AsInt64();
+      PERFEVAL_CHECK(k1 >= 0 && k1 < (int64_t{1} << 31) && k2 >= 0 &&
+                     k2 < (int64_t{1} << 31))
+          << "composite join keys must fit in 31 bits";
+      return (k1 << 32) | k2;
+    };
+
+    // Build side: key -> row ids.
+    std::unordered_map<int64_t, std::vector<uint32_t>> hash_table;
+    hash_table.reserve(right.num_rows());
+    for (size_t i = 0; i < right.num_rows(); ++i) {
+      uint32_t r = right.RowAt(i);
+      int64_t key = ctx.mode == ExecMode::kDebug
+                        ? make_key_checked(right, right_keys_, r)
+                        : make_key(build_cols, r);
+      hash_table[key].push_back(r);
+    }
+
+    // Probe side.
+    std::vector<uint32_t> out_left;
+    std::vector<uint32_t> out_right;
+    for (size_t i = 0; i < left.num_rows(); ++i) {
+      uint32_t r = left.RowAt(i);
+      int64_t key = ctx.mode == ExecMode::kDebug
+                        ? make_key_checked(left, left_keys_, r)
+                        : make_key(probe_cols, r);
+      auto it = hash_table.find(key);
+      if (it == hash_table.end()) {
+        continue;
+      }
+      for (uint32_t build_row : it->second) {
+        out_left.push_back(r);
+        out_right.push_back(build_row);
+      }
+    }
+
+    // Materialize: left columns then right columns.
+    std::vector<ColumnSpec> specs;
+    for (const ColumnSpec& spec : left.table->schema().columns()) {
+      specs.push_back(spec);
+    }
+    for (const ColumnSpec& spec : right.table->schema().columns()) {
+      specs.push_back(spec);
+    }
+    auto out_table = std::make_shared<Table>(Schema(std::move(specs)));
+    out_table->ReserveRows(out_left.size());
+    std::shared_ptr<Table> left_part =
+        GatherRows(*left.table, out_left, ctx.mode);
+    std::shared_ptr<Table> right_part =
+        GatherRows(*right.table, out_right, ctx.mode);
+    for (size_t c = 0; c < left_part->num_columns(); ++c) {
+      out_table->column(c) = left_part->column(c);
+    }
+    for (size_t c = 0; c < right_part->num_columns(); ++c) {
+      out_table->column(left_part->num_columns() + c) =
+          right_part->column(c);
+    }
+    out_table->FinishBulkLoad();
+
+    Relation out;
+    out.table = out_table;
+    trace.Finish(out.num_rows());
+    return out;
+  }
+
+  std::string Describe() const override {
+    std::string out = "HashJoin [";
+    for (size_t i = 0; i < left_keys_.size(); ++i) {
+      if (i > 0) {
+        out += " AND ";
+      }
+      out += left_keys_[i] + " = " + right_keys_[i];
+    }
+    return out + "]";
+  }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PlanPtr left_;
+  PlanPtr right_;
+  std::vector<std::string> left_keys_;
+  std::vector<std::string> right_keys_;
+};
+
+
+/// Sort-merge equi-join on a single int64 key. Inputs that are already
+/// sorted on the key (clustered storage) skip the sort entirely.
+class MergeJoinNode : public PlanNode {
+ public:
+  MergeJoinNode(PlanPtr left, PlanPtr right, std::string left_key,
+                std::string right_key)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_key_(std::move(left_key)),
+        right_key_(std::move(right_key)) {}
+
+  Relation Execute(ExecContext& ctx) const override {
+    Relation left = left_->Execute(ctx);
+    Relation right = right_->Execute(ctx);
+    TraceScope trace(ctx,
+                     "MergeJoin(" + left_key_ + "=" + right_key_ + ")",
+                     left.num_rows() + right.num_rows());
+
+    using Keyed = std::vector<std::pair<int64_t, uint32_t>>;
+    auto extract = [&ctx](const Relation& rel,
+                          const std::string& name) -> Keyed {
+      const Column& column = rel.table->ColumnByName(name);
+      PERFEVAL_CHECK(column.type() == DataType::kInt64)
+          << "merge join requires int64 keys (" << name << ")";
+      Keyed keyed;
+      keyed.reserve(rel.num_rows());
+      bool sorted = true;
+      int64_t previous = INT64_MIN;
+      if (ctx.mode == ExecMode::kDebug) {
+        for (size_t i = 0; i < rel.num_rows(); ++i) {
+          uint32_t r = rel.RowAt(i);
+          PERFEVAL_CHECK_LT(r, rel.table->num_rows());
+          int64_t key = column.GetValue(r).AsInt64();
+          sorted &= key >= previous;
+          previous = key;
+          keyed.emplace_back(key, r);
+        }
+      } else {
+        const std::vector<int64_t>& data = column.ints();
+        for (size_t i = 0; i < rel.num_rows(); ++i) {
+          uint32_t r = rel.RowAt(i);
+          int64_t key = data[r];
+          sorted &= key >= previous;
+          previous = key;
+          keyed.emplace_back(key, r);
+        }
+      }
+      if (!sorted) {
+        std::sort(keyed.begin(), keyed.end());
+      }
+      return keyed;
+    };
+    Keyed lk = extract(left, left_key_);
+    Keyed rk = extract(right, right_key_);
+
+    // Merge equal-key blocks (cross product within a block).
+    std::vector<uint32_t> out_left;
+    std::vector<uint32_t> out_right;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < lk.size() && j < rk.size()) {
+      if (lk[i].first < rk[j].first) {
+        ++i;
+      } else if (lk[i].first > rk[j].first) {
+        ++j;
+      } else {
+        int64_t key = lk[i].first;
+        size_t i_end = i;
+        while (i_end < lk.size() && lk[i_end].first == key) {
+          ++i_end;
+        }
+        size_t j_end = j;
+        while (j_end < rk.size() && rk[j_end].first == key) {
+          ++j_end;
+        }
+        for (size_t a = i; a < i_end; ++a) {
+          for (size_t b = j; b < j_end; ++b) {
+            out_left.push_back(lk[a].second);
+            out_right.push_back(rk[b].second);
+          }
+        }
+        i = i_end;
+        j = j_end;
+      }
+    }
+
+    std::vector<ColumnSpec> specs = left.table->schema().columns();
+    for (const ColumnSpec& spec : right.table->schema().columns()) {
+      specs.push_back(spec);
+    }
+    auto out_table = std::make_shared<Table>(Schema(std::move(specs)));
+    std::shared_ptr<Table> left_part =
+        GatherRows(*left.table, out_left, ctx.mode);
+    std::shared_ptr<Table> right_part =
+        GatherRows(*right.table, out_right, ctx.mode);
+    for (size_t c = 0; c < left_part->num_columns(); ++c) {
+      out_table->column(c) = left_part->column(c);
+    }
+    for (size_t c = 0; c < right_part->num_columns(); ++c) {
+      out_table->column(left_part->num_columns() + c) =
+          right_part->column(c);
+    }
+    out_table->FinishBulkLoad();
+
+    Relation out;
+    out.table = out_table;
+    trace.Finish(out.num_rows());
+    return out;
+  }
+
+  std::string Describe() const override {
+    return "MergeJoin [" + left_key_ + " = " + right_key_ + "]";
+  }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PlanPtr left_;
+  PlanPtr right_;
+  std::string left_key_;
+  std::string right_key_;
+};
+
+/// Accumulator state for one (group, aggregate) pair.
+struct AggState {
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int64_t count = 0;
+  std::unordered_map<std::string, bool> distinct;
+
+  void AddNumeric(double v) {
+    if (count == 0) {
+      min = v;
+      max = v;
+    } else {
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+    sum += v;
+    ++count;
+  }
+};
+
+class AggregateNode : public PlanNode {
+ public:
+  AggregateNode(PlanPtr child, std::vector<std::string> group_by,
+                std::vector<AggSpec> aggregates)
+      : child_(std::move(child)),
+        group_by_(std::move(group_by)),
+        aggregates_(std::move(aggregates)) {}
+
+  Relation Execute(ExecContext& ctx) const override {
+    Relation input = child_->Execute(ctx);
+    TraceScope trace(ctx, "Aggregate", input.num_rows());
+    const Table& table = *input.table;
+    std::vector<uint32_t> rows = input.RowIds();
+
+    std::vector<size_t> group_cols;
+    for (const std::string& name : group_by_) {
+      group_cols.push_back(table.schema().MustIndexOf(name));
+    }
+
+    // Assign a dense group index to every input row. Optimized mode has a
+    // fast path for the common single-int-key grouping; the general path
+    // builds a composite string key per tuple.
+    std::vector<uint32_t> first_row_of_group;
+    std::vector<size_t> row_group(rows.size());
+    bool int_fast_path =
+        ctx.mode == ExecMode::kOptimized && group_cols.size() == 1 &&
+        table.column(group_cols[0]).type() == DataType::kInt64;
+    if (int_fast_path) {
+      std::unordered_map<int64_t, size_t> group_index;
+      group_index.reserve(rows.size() / 4 + 16);
+      const std::vector<int64_t>& keys = table.column(group_cols[0]).ints();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        uint32_t r = rows[i];
+        auto [it, inserted] =
+            group_index.try_emplace(keys[r], group_index.size());
+        if (inserted) {
+          first_row_of_group.push_back(r);
+        }
+        row_group[i] = it->second;
+      }
+    } else {
+      std::unordered_map<std::string, size_t> group_index;
+      std::string key;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        uint32_t r = rows[i];
+        key.clear();
+        for (size_t c : group_cols) {
+          key += table.column(c).GetValue(r).ToString();
+          key += '\x1f';
+        }
+        auto [it, inserted] =
+            group_index.try_emplace(key, group_index.size());
+        if (inserted) {
+          first_row_of_group.push_back(r);
+        }
+        row_group[i] = it->second;
+      }
+    }
+    if (group_cols.empty() && rows.empty()) {
+      // Global aggregate over zero rows still yields one group.
+      first_row_of_group.push_back(0);
+    }
+    if (group_cols.empty() && !rows.empty() && first_row_of_group.empty()) {
+      first_row_of_group.push_back(rows[0]);
+    }
+    size_t num_groups = std::max<size_t>(first_row_of_group.size(), 1);
+
+    // Accumulate.
+    std::vector<std::vector<AggState>> states(
+        aggregates_.size(), std::vector<AggState>(num_groups));
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const AggSpec& spec = aggregates_[a];
+      std::vector<AggState>& agg_states = states[a];
+      if (spec.op == AggOp::kCount) {
+        for (size_t i = 0; i < rows.size(); ++i) {
+          ++agg_states[row_group[i]].count;
+        }
+      } else if (spec.op == AggOp::kCountDistinct) {
+        for (size_t i = 0; i < rows.size(); ++i) {
+          agg_states[row_group[i]]
+              .distinct[spec.expr->EvalRow(table, rows[i]).ToString()] = true;
+        }
+      } else if (ctx.mode == ExecMode::kOptimized) {
+        std::vector<double> values;
+        spec.expr->EvalNumericBatch(table, rows, &values);
+        for (size_t i = 0; i < rows.size(); ++i) {
+          agg_states[row_group[i]].AddNumeric(values[i]);
+        }
+      } else {
+        for (size_t i = 0; i < rows.size(); ++i) {
+          agg_states[row_group[i]].AddNumeric(
+              spec.expr->EvalRow(table, rows[i]).AsDouble());
+        }
+      }
+    }
+
+    // Output schema: group columns keep their types; numeric aggregates are
+    // doubles, counts are int64.
+    std::vector<ColumnSpec> specs;
+    for (size_t c : group_cols) {
+      specs.push_back(table.schema().column(c));
+    }
+    for (const AggSpec& spec : aggregates_) {
+      DataType type = (spec.op == AggOp::kCount ||
+                       spec.op == AggOp::kCountDistinct)
+                          ? DataType::kInt64
+                          : DataType::kDouble;
+      specs.push_back({spec.output_name, type});
+    }
+    auto out_table = std::make_shared<Table>(Schema(std::move(specs)));
+    size_t emitted_groups =
+        group_cols.empty() ? 1 : first_row_of_group.size();
+    out_table->ReserveRows(emitted_groups);
+    for (size_t g = 0; g < emitted_groups; ++g) {
+      for (size_t gc = 0; gc < group_cols.size(); ++gc) {
+        out_table->column(gc).AppendValue(
+            table.column(group_cols[gc]).GetValue(first_row_of_group[g]));
+      }
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        const AggState& state = states[a][g];
+        Column& dst = out_table->column(group_cols.size() + a);
+        switch (aggregates_[a].op) {
+          case AggOp::kSum:
+            dst.AppendDouble(state.sum);
+            break;
+          case AggOp::kAvg:
+            dst.AppendDouble(state.count > 0
+                                 ? state.sum / static_cast<double>(state.count)
+                                 : 0.0);
+            break;
+          case AggOp::kMin:
+            dst.AppendDouble(state.min);
+            break;
+          case AggOp::kMax:
+            dst.AppendDouble(state.max);
+            break;
+          case AggOp::kCount:
+            dst.AppendInt64(state.count);
+            break;
+          case AggOp::kCountDistinct:
+            dst.AppendInt64(static_cast<int64_t>(state.distinct.size()));
+            break;
+        }
+      }
+    }
+    out_table->FinishBulkLoad();
+
+    Relation out;
+    out.table = out_table;
+    trace.Finish(out.num_rows());
+    return out;
+  }
+
+  std::string Describe() const override {
+    std::string out = "Aggregate [group by: ";
+    out += Join(group_by_, ", ");
+    out += "; aggs: ";
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += std::string(AggOpName(aggregates_[i].op));
+      if (aggregates_[i].expr) {
+        out += "(" + aggregates_[i].expr->ToString() + ")";
+      }
+    }
+    return out + "]";
+  }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PlanPtr child_;
+  std::vector<std::string> group_by_;
+  std::vector<AggSpec> aggregates_;
+};
+
+class SortNode : public PlanNode {
+ public:
+  SortNode(PlanPtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  Relation Execute(ExecContext& ctx) const override {
+    Relation input = child_->Execute(ctx);
+    TraceScope trace(ctx, "Sort", input.num_rows());
+    const Table& table = *input.table;
+    std::vector<uint32_t> rows = input.RowIds();
+
+    std::vector<size_t> key_cols;
+    for (const SortKey& key : keys_) {
+      key_cols.push_back(table.schema().MustIndexOf(key.column));
+    }
+    std::stable_sort(
+        rows.begin(), rows.end(), [&](uint32_t a, uint32_t b) {
+          for (size_t k = 0; k < key_cols.size(); ++k) {
+            int c = table.column(key_cols[k])
+                        .GetValue(a)
+                        .Compare(table.column(key_cols[k]).GetValue(b));
+            if (c != 0) {
+              return keys_[k].ascending ? c < 0 : c > 0;
+            }
+          }
+          return false;
+        });
+
+    Relation out;
+    out.table = GatherRows(table, rows, ctx.mode);
+    trace.Finish(out.num_rows());
+    return out;
+  }
+
+  std::string Describe() const override {
+    std::string out = "Sort [";
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += keys_[i].column + (keys_[i].ascending ? " asc" : " desc");
+    }
+    return out + "]";
+  }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PlanPtr child_;
+  std::vector<SortKey> keys_;
+};
+
+class LimitNode : public PlanNode {
+ public:
+  LimitNode(PlanPtr child, size_t n) : child_(std::move(child)), n_(n) {}
+
+  Relation Execute(ExecContext& ctx) const override {
+    Relation input = child_->Execute(ctx);
+    TraceScope trace(ctx, "Limit", input.num_rows());
+    std::vector<uint32_t> rows = input.RowIds();
+    if (rows.size() > n_) {
+      rows.resize(n_);
+    }
+    Relation out;
+    out.table = GatherRows(*input.table, rows, ctx.mode);
+    trace.Finish(out.num_rows());
+    return out;
+  }
+
+  std::string Describe() const override {
+    return StrFormat("Limit %zu", n_);
+  }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PlanPtr child_;
+  size_t n_;
+};
+
+
+/// Bounded top-n by sort keys: partial_sort keeps only the first n rows.
+class TopNNode : public PlanNode {
+ public:
+  TopNNode(PlanPtr child, std::vector<SortKey> keys, size_t n)
+      : child_(std::move(child)), keys_(std::move(keys)), n_(n) {}
+
+  Relation Execute(ExecContext& ctx) const override {
+    Relation input = child_->Execute(ctx);
+    TraceScope trace(ctx, "TopN", input.num_rows());
+    const Table& table = *input.table;
+    std::vector<uint32_t> rows = input.RowIds();
+
+    std::vector<size_t> key_cols;
+    for (const SortKey& key : keys_) {
+      key_cols.push_back(table.schema().MustIndexOf(key.column));
+    }
+    auto less = [&](uint32_t a, uint32_t b) {
+      for (size_t k = 0; k < key_cols.size(); ++k) {
+        int c = table.column(key_cols[k])
+                    .GetValue(a)
+                    .Compare(table.column(key_cols[k]).GetValue(b));
+        if (c != 0) {
+          return keys_[k].ascending ? c < 0 : c > 0;
+        }
+      }
+      return false;
+    };
+    if (rows.size() > n_) {
+      std::partial_sort(rows.begin(),
+                        rows.begin() + static_cast<long>(n_), rows.end(),
+                        less);
+      rows.resize(n_);
+    } else {
+      std::sort(rows.begin(), rows.end(), less);
+    }
+
+    Relation out;
+    out.table = GatherRows(table, rows, ctx.mode);
+    trace.Finish(out.num_rows());
+    return out;
+  }
+
+  std::string Describe() const override {
+    std::string out = StrFormat("TopN %zu [", n_);
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += keys_[i].column + (keys_[i].ascending ? " asc" : " desc");
+    }
+    return out + "]";
+  }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PlanPtr child_;
+  std::vector<SortKey> keys_;
+  size_t n_;
+};
+
+void ExplainInto(const PlanNode* node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node->Describe());
+  out->append("\n");
+  for (const PlanNode* child : node->Children()) {
+    ExplainInto(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+PlanPtr Scan(const std::string& table_name,
+             std::vector<std::string> columns_used) {
+  return std::make_shared<ScanNode>(table_name, std::move(columns_used));
+}
+
+PlanPtr FilterScan(const std::string& table_name,
+                   std::vector<std::string> columns_used,
+                   ExprPtr predicate) {
+  return std::make_shared<FilterScanNode>(
+      table_name, std::move(columns_used), std::move(predicate));
+}
+
+PlanPtr Filter(PlanPtr child, ExprPtr predicate) {
+  return std::make_shared<FilterNode>(std::move(child), std::move(predicate));
+}
+
+PlanPtr Project(PlanPtr child, std::vector<ExprPtr> exprs,
+                std::vector<std::string> names) {
+  return std::make_shared<ProjectNode>(std::move(child), std::move(exprs),
+                                       std::move(names));
+}
+
+PlanPtr HashJoin(PlanPtr left, PlanPtr right, std::string left_key,
+                 std::string right_key) {
+  return std::make_shared<HashJoinNode>(
+      std::move(left), std::move(right),
+      std::vector<std::string>{std::move(left_key)},
+      std::vector<std::string>{std::move(right_key)});
+}
+
+PlanPtr HashJoin2(PlanPtr left, PlanPtr right, std::string left_key1,
+                  std::string right_key1, std::string left_key2,
+                  std::string right_key2) {
+  return std::make_shared<HashJoinNode>(
+      std::move(left), std::move(right),
+      std::vector<std::string>{std::move(left_key1), std::move(left_key2)},
+      std::vector<std::string>{std::move(right_key1),
+                               std::move(right_key2)});
+}
+
+
+PlanPtr MergeJoin(PlanPtr left, PlanPtr right, std::string left_key,
+                  std::string right_key) {
+  return std::make_shared<MergeJoinNode>(std::move(left), std::move(right),
+                                         std::move(left_key),
+                                         std::move(right_key));
+}
+
+PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_by,
+                  std::vector<AggSpec> aggregates) {
+  return std::make_shared<AggregateNode>(
+      std::move(child), std::move(group_by), std::move(aggregates));
+}
+
+PlanPtr Sort(PlanPtr child, std::vector<SortKey> keys) {
+  return std::make_shared<SortNode>(std::move(child), std::move(keys));
+}
+
+PlanPtr Limit(PlanPtr child, size_t n) {
+  return std::make_shared<LimitNode>(std::move(child), n);
+}
+
+
+PlanPtr TopN(PlanPtr child, std::vector<SortKey> keys, size_t n) {
+  return std::make_shared<TopNNode>(std::move(child), std::move(keys), n);
+}
+
+std::string Explain(const PlanPtr& plan) {
+  std::string out;
+  ExplainInto(plan.get(), 0, &out);
+  return out;
+}
+
+}  // namespace db
+}  // namespace perfeval

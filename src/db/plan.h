@@ -1,0 +1,154 @@
+#ifndef PERFEVAL_DB_PLAN_H_
+#define PERFEVAL_DB_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/expr.h"
+#include "db/profile.h"
+#include "db/storage.h"
+#include "db/table.h"
+
+namespace perfeval {
+namespace db {
+
+class Database;
+
+/// How operators execute (paper, slides 37–45, "Of apples and oranges").
+/// kDebug interprets tuple-at-a-time with per-tuple virtual dispatch and
+/// validation — the behaviour of an un-optimized build. kOptimized runs
+/// vectorized tight loops. Having both modes in one binary makes the
+/// DBG/OPT experiment repeatable without recompiling.
+enum class ExecMode {
+  kDebug,
+  kOptimized,
+};
+
+const char* ExecModeName(ExecMode mode);
+
+/// Per-execution context handed down the plan tree.
+struct ExecContext {
+  ExecMode mode = ExecMode::kOptimized;
+  Database* database = nullptr;        ///< catalog lookup (required).
+  StorageManager* storage = nullptr;   ///< optional: page I/O accounting.
+  Profiler* profiler = nullptr;        ///< optional: operator traces.
+  bool use_zone_maps = true;           ///< page skipping in FilterScan.
+};
+
+/// An intermediate result: a table plus an optional selection vector.
+/// Filters refine the selection without copying data; materializing
+/// operators (Project, Join, Aggregate, Sort) produce fresh tables.
+struct Relation {
+  std::shared_ptr<const Table> table;
+  /// Row ids into `table`; nullptr means "all rows".
+  std::shared_ptr<const std::vector<uint32_t>> selection;
+
+  size_t num_rows() const {
+    return selection ? selection->size() : table->num_rows();
+  }
+  uint32_t RowAt(size_t i) const {
+    return selection ? (*selection)[i] : static_cast<uint32_t>(i);
+  }
+  /// The selection as an explicit vector (identity when selection is null).
+  std::vector<uint32_t> RowIds() const;
+};
+
+/// A physical plan operator. Plans are immutable trees built by the factory
+/// functions below; Execute() runs operator-at-a-time (full intermediate
+/// results, MonetDB style).
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  /// Executes the subtree. Records an OpTrace per node when profiling.
+  virtual Relation Execute(ExecContext& ctx) const = 0;
+
+  /// One-line operator description for EXPLAIN.
+  virtual std::string Describe() const = 0;
+
+  virtual std::vector<const PlanNode*> Children() const { return {}; }
+};
+
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// Aggregate functions.
+enum class AggOp { kSum, kAvg, kMin, kMax, kCount, kCountDistinct };
+const char* AggOpName(AggOp op);
+
+/// One output aggregate: `op` applied to `expr` (ignored for kCount),
+/// emitted under `output_name`.
+struct AggSpec {
+  AggOp op = AggOp::kCount;
+  ExprPtr expr;  ///< may be null for kCount.
+  std::string output_name;
+};
+
+/// One sort key.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+// ---- Plan factories ----
+
+/// Scans base table `table_name`, touching the pages of `columns_used`
+/// through the buffer pool (all columns when empty).
+PlanPtr Scan(const std::string& table_name,
+             std::vector<std::string> columns_used = {});
+
+/// Fused scan + filter over a base table with zone-map page skipping for
+/// simple predicates.
+PlanPtr FilterScan(const std::string& table_name,
+                   std::vector<std::string> columns_used, ExprPtr predicate);
+
+/// Filters an arbitrary child relation.
+PlanPtr Filter(PlanPtr child, ExprPtr predicate);
+
+/// Projects expressions into a new materialized table. `names` labels the
+/// output columns; sizes must match.
+PlanPtr Project(PlanPtr child, std::vector<ExprPtr> exprs,
+                std::vector<std::string> names);
+
+/// Hash join on int64 equality keys. Output schema = left columns followed
+/// by right columns (TPC-H names are globally unique so no renaming is
+/// needed). The right (second) input is the build side.
+PlanPtr HashJoin(PlanPtr left, PlanPtr right, std::string left_key,
+                 std::string right_key);
+
+/// Hash join on a composite (two-column) int64 equality key, e.g. TPC-H
+/// Q9's lineitem-partsupp join on (partkey, suppkey). Both key columns must
+/// hold non-negative values below 2^31.
+PlanPtr HashJoin2(PlanPtr left, PlanPtr right, std::string left_key1,
+                  std::string right_key1, std::string left_key2,
+                  std::string right_key2);
+
+/// Sort-merge join on one int64 equality key. Detects already-sorted
+/// inputs (clustered keys such as TPC-H's l_orderkey) and skips the sort —
+/// the classic alternative to HashJoin; bench_join_crossover measures
+/// where each wins.
+PlanPtr MergeJoin(PlanPtr left, PlanPtr right, std::string left_key,
+                  std::string right_key);
+
+/// Hash aggregation with optional group-by columns.
+PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_by,
+                  std::vector<AggSpec> aggregates);
+
+/// Full sort by the given keys.
+PlanPtr Sort(PlanPtr child, std::vector<SortKey> keys);
+
+/// First `n` rows.
+PlanPtr Limit(PlanPtr child, size_t n);
+
+/// Top-N: the first `n` rows of the input as ordered by `keys`, computed
+/// with a bounded partial sort (O(rows log n)) instead of a full sort —
+/// equivalent to Sort + Limit; bench_join_crossover quantifies the gap.
+PlanPtr TopN(PlanPtr child, std::vector<SortKey> keys, size_t n);
+
+/// EXPLAIN: multi-line indented plan rendering (paper, slide 52).
+std::string Explain(const PlanPtr& plan);
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_PLAN_H_

@@ -1,0 +1,39 @@
+#include "db/profile.h"
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace db {
+
+int64_t Profiler::TotalWallNs() const {
+  int64_t total = 0;
+  for (const OpTrace& trace : traces_) {
+    total += trace.wall_ns;
+  }
+  return total;
+}
+
+int64_t Profiler::TotalStallNs() const {
+  int64_t total = 0;
+  for (const OpTrace& trace : traces_) {
+    total += trace.stall_ns;
+  }
+  return total;
+}
+
+std::string Profiler::ToString() const {
+  std::string out =
+      StrFormat("%-40s %10s %10s %12s %12s\n", "operator", "rows in",
+                "rows out", "cpu (ms)", "stall (ms)");
+  for (const OpTrace& trace : traces_) {
+    out += StrFormat("%-40s %10zu %10zu %12.3f %12.3f\n", trace.op.c_str(),
+                     trace.rows_in, trace.rows_out, trace.wall_ns / 1e6,
+                     trace.stall_ns / 1e6);
+  }
+  out += StrFormat("%-40s %10s %10s %12.3f %12.3f\n", "total", "", "",
+                   TotalWallNs() / 1e6, TotalStallNs() / 1e6);
+  return out;
+}
+
+}  // namespace db
+}  // namespace perfeval

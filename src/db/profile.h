@@ -1,0 +1,44 @@
+#ifndef PERFEVAL_DB_PROFILE_H_
+#define PERFEVAL_DB_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace db {
+
+/// One operator's execution record.
+struct OpTrace {
+  std::string op;        ///< e.g. "FilterScan(lineitem)".
+  size_t rows_in = 0;
+  size_t rows_out = 0;
+  int64_t wall_ns = 0;   ///< measured CPU-side time in the operator.
+  int64_t stall_ns = 0;  ///< simulated I/O stall charged inside it.
+};
+
+/// Per-operator trace of a query execution — the engine's answer to the
+/// paper's "use timings provided by the tested software" (slides 28–29,
+/// MonetDB's TRACE) and "find out where the time goes and why" (slide 18).
+class Profiler {
+ public:
+  void Record(OpTrace trace) { traces_.push_back(std::move(trace)); }
+
+  const std::vector<OpTrace>& traces() const { return traces_; }
+  void Clear() { traces_.clear(); }
+
+  int64_t TotalWallNs() const;
+  int64_t TotalStallNs() const;
+
+  /// MonetDB-TRACE-like rendering: one line per operator with times and
+  /// cardinalities.
+  std::string ToString() const;
+
+ private:
+  std::vector<OpTrace> traces_;
+};
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_PROFILE_H_

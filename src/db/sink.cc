@@ -1,0 +1,56 @@
+#include "db/sink.h"
+
+namespace perfeval {
+namespace db {
+
+const char* SinkKindName(SinkKind kind) {
+  switch (kind) {
+    case SinkKind::kDiscard:
+      return "discard";
+    case SinkKind::kFile:
+      return "file";
+    case SinkKind::kTerminal:
+      return "terminal";
+  }
+  return "unknown";
+}
+
+SinkReport SendToSink(const Table& table, SinkKind kind,
+                      const SinkModel& model) {
+  SinkReport report;
+  if (kind == SinkKind::kDiscard) {
+    return report;
+  }
+  // Render every row (real CPU work, like a DB client's result formatter).
+  std::string line;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    line.clear();
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) {
+        line += " | ";
+      }
+      line += table.ValueAt(r, c).ToString();
+    }
+    line += "\n";
+    report.bytes += line.size();
+    ++report.lines;
+  }
+  switch (kind) {
+    case SinkKind::kFile:
+      report.stall_ns = static_cast<int64_t>(
+          static_cast<double>(report.bytes) * model.file_ns_per_byte);
+      break;
+    case SinkKind::kTerminal:
+      report.stall_ns =
+          static_cast<int64_t>(static_cast<double>(report.bytes) *
+                               model.terminal_ns_per_byte) +
+          static_cast<int64_t>(report.lines) * model.terminal_ns_per_line;
+      break;
+    case SinkKind::kDiscard:
+      break;
+  }
+  return report;
+}
+
+}  // namespace db
+}  // namespace perfeval

@@ -1,0 +1,53 @@
+#ifndef PERFEVAL_DB_SINK_H_
+#define PERFEVAL_DB_SINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "db/table.h"
+
+namespace perfeval {
+namespace db {
+
+/// Where query results go. The paper's slide-23 table shows that *where the
+/// output went* changes measured client time — Q16's 1.2MB result costs
+/// twice as much printed to a terminal as written to a file. We model the
+/// three destinations it compares:
+///  - kDiscard: result computed, never rendered (server-side-only timing).
+///  - kFile:    rendered to text, charged a buffered-write cost per byte.
+///  - kTerminal: rendered to text, charged a terminal-emulator cost per
+///               byte plus a per-line flush cost.
+/// Rendering cost is real CPU (string formatting happens); the device cost
+/// is simulated stall, consistent with the disk substitution (DESIGN.md).
+enum class SinkKind {
+  kDiscard,
+  kFile,
+  kTerminal,
+};
+
+const char* SinkKindName(SinkKind kind);
+
+/// Cost model of the output devices.
+struct SinkModel {
+  double file_ns_per_byte = 25.0;       ///< buffered local file write.
+  double terminal_ns_per_byte = 600.0;  ///< terminal emulator rendering.
+  int64_t terminal_ns_per_line = 50'000;  ///< per-line scroll/flush.
+};
+
+/// Result of sending a table to a sink.
+struct SinkReport {
+  size_t bytes = 0;      ///< rendered result size (0 for kDiscard).
+  size_t lines = 0;
+  int64_t stall_ns = 0;  ///< simulated device time.
+};
+
+/// Renders `table` as text and charges the sink's cost model.
+/// The rendered text itself is thrown away (we only need its size and the
+/// CPU cost of producing it).
+SinkReport SendToSink(const Table& table, SinkKind kind,
+                      const SinkModel& model = SinkModel());
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_SINK_H_

@@ -1,0 +1,147 @@
+#include "db/storage.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace db {
+
+std::string StorageStats::ToString() const {
+  return StrFormat(
+      "pages: %lld hits, %lld misses; %lld bytes read; %.3f ms stall",
+      static_cast<long long>(page_hits), static_cast<long long>(page_misses),
+      static_cast<long long>(bytes_read), stall_ns / 1e6);
+}
+
+StorageManager::StorageManager(DiskModel disk, size_t buffer_pool_pages,
+                               size_t rows_per_page)
+    : disk_(disk),
+      buffer_pool_pages_(buffer_pool_pages),
+      rows_per_page_(rows_per_page) {
+  PERFEVAL_CHECK_GE(buffer_pool_pages_, 1u);
+  PERFEVAL_CHECK_GE(rows_per_page_, 1u);
+}
+
+void StorageManager::RegisterTable(uint32_t table_id, const Table& table) {
+  std::vector<ColumnMeta> metas;
+  metas.reserve(table.num_columns());
+  size_t rows = table.num_rows();
+  size_t num_chunks = (rows + rows_per_page_ - 1) / rows_per_page_;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    ColumnMeta meta;
+    meta.num_chunks = num_chunks;
+    meta.bytes_per_chunk =
+        rows == 0 ? 0 : column.ByteSize() / std::max<size_t>(num_chunks, 1);
+    meta.zone_maps.resize(num_chunks);
+    if (IsNumeric(column.type())) {
+      for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+        size_t begin = chunk * rows_per_page_;
+        size_t end = std::min(rows, begin + rows_per_page_);
+        ZoneMap& zm = meta.zone_maps[chunk];
+        zm.valid = begin < end;
+        if (zm.valid) {
+          zm.min = column.GetNumeric(begin);
+          zm.max = zm.min;
+          for (size_t r = begin + 1; r < end; ++r) {
+            double v = column.GetNumeric(r);
+            zm.min = std::min(zm.min, v);
+            zm.max = std::max(zm.max, v);
+          }
+        }
+      }
+    }
+    metas.push_back(std::move(meta));
+  }
+  tables_[table_id] = std::move(metas);
+}
+
+const StorageManager::ColumnMeta& StorageManager::GetColumnMeta(
+    uint32_t table_id, uint32_t column_id) const {
+  auto it = tables_.find(table_id);
+  PERFEVAL_CHECK(it != tables_.end()) << "table " << table_id
+                                      << " not registered";
+  PERFEVAL_CHECK_LT(column_id, it->second.size());
+  return it->second[column_id];
+}
+
+size_t StorageManager::NumChunks(uint32_t table_id,
+                                 uint32_t column_id) const {
+  return GetColumnMeta(table_id, column_id).num_chunks;
+}
+
+const ZoneMap& StorageManager::GetZoneMap(uint32_t table_id,
+                                          uint32_t column_id,
+                                          uint32_t chunk) const {
+  const ColumnMeta& meta = GetColumnMeta(table_id, column_id);
+  PERFEVAL_CHECK_LT(chunk, meta.zone_maps.size());
+  return meta.zone_maps[chunk];
+}
+
+void StorageManager::TouchPage(const PageId& page) {
+  uint64_t key = page.Key();
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    // Hit: move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.page_hits;
+    return;
+  }
+  // Miss: charge the disk model. Sequential pages of the same column skip
+  // the seek (per-column stream heads model OS readahead per file).
+  const ColumnMeta& meta = GetColumnMeta(page.table_id, page.column_id);
+  uint64_t stream = (static_cast<uint64_t>(page.table_id) << 32) |
+                    page.column_id;
+  auto head = stream_heads_.find(stream);
+  bool sequential = head != stream_heads_.end() &&
+                    page.chunk == head->second + 1;
+  int64_t stall = static_cast<int64_t>(
+      meta.bytes_per_chunk * disk_.ns_per_byte);
+  if (!sequential) {
+    stall += disk_.seek_ns;
+  }
+  stream_heads_[stream] = page.chunk;
+  ++stats_.page_misses;
+  stats_.bytes_read += static_cast<int64_t>(meta.bytes_per_chunk);
+  stats_.stall_ns += stall;
+  total_stall_ns_ += stall;
+
+  // Insert at MRU; evict from LRU tail as needed.
+  lru_.push_front(key);
+  resident_[key] = lru_.begin();
+  while (resident_.size() > buffer_pool_pages_) {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    resident_.erase(victim);
+  }
+}
+
+void StorageManager::TouchColumnRange(uint32_t table_id, uint32_t column_id,
+                                      size_t row_begin, size_t row_end) {
+  if (row_end <= row_begin) {
+    return;
+  }
+  uint32_t first_chunk = static_cast<uint32_t>(row_begin / rows_per_page_);
+  uint32_t last_chunk =
+      static_cast<uint32_t>((row_end - 1) / rows_per_page_);
+  for (uint32_t chunk = first_chunk; chunk <= last_chunk; ++chunk) {
+    TouchPage(PageId{table_id, column_id, chunk});
+  }
+}
+
+void StorageManager::TouchColumn(uint32_t table_id, uint32_t column_id) {
+  size_t chunks = NumChunks(table_id, column_id);
+  for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
+    TouchPage(PageId{table_id, column_id, chunk});
+  }
+}
+
+void StorageManager::FlushCaches() {
+  lru_.clear();
+  resident_.clear();
+  stream_heads_.clear();
+}
+
+}  // namespace db
+}  // namespace perfeval

@@ -1,0 +1,146 @@
+#ifndef PERFEVAL_DB_STORAGE_H_
+#define PERFEVAL_DB_STORAGE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/table.h"
+
+namespace perfeval {
+namespace db {
+
+/// Cost model of the simulated disk. Substitutes the paper's physical
+/// 5400RPM laptop disk (DESIGN.md, substitutions): instead of blocking on
+/// real I/O, reads charge deterministic stall time which the measurement
+/// layer adds to "real" time. Defaults approximate a 5400RPM laptop drive:
+/// ~9ms average access, ~50MB/s sequential transfer.
+struct DiskModel {
+  int64_t seek_ns = 9'000'000;   ///< charged on non-sequential page reads.
+  double ns_per_byte = 20.0;     ///< 1/bandwidth: 20ns/B = 50MB/s.
+
+  /// An SSD-like profile for comparisons.
+  static DiskModel Ssd() { return DiskModel{80'000, 2.0}; }
+};
+
+/// Identifies one page: a fixed-size run of rows of one column of one table.
+struct PageId {
+  uint32_t table_id = 0;
+  uint32_t column_id = 0;
+  uint32_t chunk = 0;
+
+  uint64_t Key() const {
+    return (static_cast<uint64_t>(table_id) << 40) |
+           (static_cast<uint64_t>(column_id) << 28) | chunk;
+  }
+  bool operator==(const PageId& other) const {
+    return Key() == other.Key();
+  }
+};
+
+/// Min/max statistics of one numeric page — a zone map. Scans with simple
+/// range predicates skip pages whose [min, max] cannot match, avoiding both
+/// the I/O charge and the scan work.
+struct ZoneMap {
+  double min = 0.0;
+  double max = 0.0;
+  bool valid = false;
+};
+
+/// Buffer-pool and I/O statistics since the last ResetStats().
+struct StorageStats {
+  int64_t page_hits = 0;
+  int64_t page_misses = 0;
+  int64_t bytes_read = 0;
+  int64_t stall_ns = 0;
+
+  std::string ToString() const;
+};
+
+/// The storage manager: tracks which pages are resident (LRU buffer pool
+/// over the simulated disk) and charges stall time for misses.
+///
+/// Cold vs. hot runs (paper, slide 32) are implemented exactly as defined
+/// there: FlushCaches() produces the "clean state ... achieved via a system
+/// reboot"; running a query once re-populates the pool, making later runs
+/// hot.
+class StorageManager {
+ public:
+  StorageManager(DiskModel disk, size_t buffer_pool_pages,
+                 size_t rows_per_page);
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  size_t rows_per_page() const { return rows_per_page_; }
+  size_t buffer_pool_pages() const { return buffer_pool_pages_; }
+
+  /// Registers a table's columns so page counts, byte sizes and zone maps
+  /// are known. Must be called after the table is loaded.
+  void RegisterTable(uint32_t table_id, const Table& table);
+
+  /// Number of pages of a registered column.
+  size_t NumChunks(uint32_t table_id, uint32_t column_id) const;
+
+  /// Zone map of one page (invalid for string columns).
+  const ZoneMap& GetZoneMap(uint32_t table_id, uint32_t column_id,
+                            uint32_t chunk) const;
+
+  /// Marks a page accessed: buffer-pool hit (free) or miss (charges the
+  /// disk model and evicts LRU pages as needed).
+  void TouchPage(const PageId& page);
+
+  /// Touches every page overlapping rows [row_begin, row_end) of a column.
+  void TouchColumnRange(uint32_t table_id, uint32_t column_id,
+                        size_t row_begin, size_t row_end);
+
+  /// Touches all pages of a column (a full scan).
+  void TouchColumn(uint32_t table_id, uint32_t column_id);
+
+  /// Empties the buffer pool — the cold-run "reboot".
+  void FlushCaches();
+
+  const StorageStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = StorageStats(); }
+
+  /// Stall accumulated since construction; diff two readings to attribute
+  /// stalls to a measured interval.
+  int64_t total_stall_ns() const { return total_stall_ns_; }
+
+ private:
+  struct ColumnMeta {
+    size_t num_chunks = 0;
+    size_t bytes_per_chunk = 0;
+    std::vector<ZoneMap> zone_maps;
+  };
+
+  const ColumnMeta& GetColumnMeta(uint32_t table_id,
+                                  uint32_t column_id) const;
+
+  DiskModel disk_;
+  size_t buffer_pool_pages_;
+  size_t rows_per_page_;
+
+  /// table_id -> per-column metadata.
+  std::unordered_map<uint32_t, std::vector<ColumnMeta>> tables_;
+
+  /// LRU buffer pool: most-recent at front.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> resident_;
+
+  /// Per-column stream heads for sequential-read detection: reading chunk
+  /// c+1 of a column right after chunk c of the same column costs no seek,
+  /// even when reads of other columns interleave — modelling per-file OS
+  /// readahead.
+  std::unordered_map<uint64_t, uint32_t> stream_heads_;
+
+  StorageStats stats_;
+  int64_t total_stall_ns_ = 0;
+};
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_STORAGE_H_

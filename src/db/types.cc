@@ -1,0 +1,80 @@
+#include "db/types.h"
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace db {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble ||
+         type == DataType::kDate;
+}
+
+int32_t DateFromYmd(int year, int month, int day) {
+  // days_from_civil (Hinnant). Valid for the proleptic Gregorian calendar.
+  year -= month <= 2;
+  const int era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);  // [0, 399]
+  const unsigned doy = static_cast<unsigned>(
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1);  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
+  return static_cast<int32_t>(era * 146097 + static_cast<int>(doe) - 719468);
+}
+
+void YmdFromDate(int32_t days, int* year, int* month, int* day) {
+  // civil_from_days (Hinnant).
+  int z = days + 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0,146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  *year = y + (m <= 2);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+bool ParseDate(const std::string& text, int32_t* days) {
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') {
+    return false;
+  }
+  auto year = ParseInt64(text.substr(0, 4));
+  auto month = ParseInt64(text.substr(5, 2));
+  auto day = ParseInt64(text.substr(8, 2));
+  if (!year || !month || !day || *month < 1 || *month > 12 || *day < 1 ||
+      *day > 31) {
+    return false;
+  }
+  *days = DateFromYmd(static_cast<int>(*year), static_cast<int>(*month),
+                      static_cast<int>(*day));
+  return true;
+}
+
+std::string FormatDate(int32_t days) {
+  int year = 0;
+  int month = 0;
+  int day = 0;
+  YmdFromDate(days, &year, &month, &day);
+  return StrFormat("%04d-%02d-%02d", year, month, day);
+}
+
+}  // namespace db
+}  // namespace perfeval

@@ -1,0 +1,42 @@
+#ifndef PERFEVAL_DB_TYPES_H_
+#define PERFEVAL_DB_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace perfeval {
+namespace db {
+
+/// Column data types of the mini column-store. Dates are stored as int32
+/// day numbers (days since 1970-01-01) inside kDate columns, which keeps
+/// date comparisons integer comparisons — the same trick real columnar
+/// engines use.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+const char* DataTypeName(DataType type);
+
+/// True for kInt64, kDouble and kDate (totally ordered numerics).
+bool IsNumeric(DataType type);
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+/// Howard Hinnant's days_from_civil algorithm.
+int32_t DateFromYmd(int year, int month, int day);
+
+/// Inverse of DateFromYmd.
+void YmdFromDate(int32_t days, int* year, int* month, int* day);
+
+/// Parses "YYYY-MM-DD"; returns false on malformed input.
+bool ParseDate(const std::string& text, int32_t* days);
+
+/// "YYYY-MM-DD".
+std::string FormatDate(int32_t days);
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_TYPES_H_

@@ -1,0 +1,44 @@
+#include "db/value.h"
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace db {
+
+int Value::Compare(const Value& other) const {
+  bool this_string = type_ == DataType::kString;
+  bool other_string = other.type_ == DataType::kString;
+  PERFEVAL_CHECK_EQ(this_string, other_string)
+      << "cannot compare string with numeric";
+  if (this_string) {
+    const std::string& a = AsString();
+    const std::string& b = other.AsString();
+    if (a < b) {
+      return -1;
+    }
+    return a == b ? 0 : 1;
+  }
+  double a = AsDouble();
+  double b = other.AsDouble();
+  if (a < b) {
+    return -1;
+  }
+  return a == b ? 0 : 1;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(AsInt64()));
+    case DataType::kDouble:
+      return StrFormat("%.2f", AsDouble());
+    case DataType::kString:
+      return AsString();
+    case DataType::kDate:
+      return FormatDate(AsDate());
+  }
+  return "?";
+}
+
+}  // namespace db
+}  // namespace perfeval

@@ -1,0 +1,73 @@
+#ifndef PERFEVAL_DB_VALUE_H_
+#define PERFEVAL_DB_VALUE_H_
+
+#include <string>
+#include <variant>
+
+#include "common/check.h"
+#include "db/types.h"
+
+namespace perfeval {
+namespace db {
+
+/// A single typed scalar. Used at API boundaries (literals, row access,
+/// query results); the hot execution paths operate on raw column vectors
+/// instead.
+class Value {
+ public:
+  Value() : type_(DataType::kInt64), data_(int64_t{0}) {}
+
+  static Value Int64(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) { return Value(DataType::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(DataType::kString, std::move(v));
+  }
+  static Value Date(int32_t days) {
+    return Value(DataType::kDate, static_cast<int64_t>(days));
+  }
+
+  DataType type() const { return type_; }
+
+  int64_t AsInt64() const {
+    PERFEVAL_CHECK(type_ == DataType::kInt64 || type_ == DataType::kDate);
+    return std::get<int64_t>(data_);
+  }
+  double AsDouble() const {
+    if (type_ == DataType::kDouble) {
+      return std::get<double>(data_);
+    }
+    PERFEVAL_CHECK(type_ != DataType::kString) << "string is not numeric";
+    return static_cast<double>(std::get<int64_t>(data_));
+  }
+  const std::string& AsString() const {
+    PERFEVAL_CHECK(type_ == DataType::kString);
+    return std::get<std::string>(data_);
+  }
+  int32_t AsDate() const {
+    PERFEVAL_CHECK(type_ == DataType::kDate);
+    return static_cast<int32_t>(std::get<int64_t>(data_));
+  }
+
+  /// Total order within a type; numeric types compare numerically across
+  /// kInt64/kDouble/kDate. Comparing a string with a numeric aborts.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Human-readable rendering ("42", "3.14", "abc", "1998-09-02").
+  std::string ToString() const;
+
+ private:
+  Value(DataType type, int64_t v) : type_(type), data_(v) {}
+  Value(DataType type, double v) : type_(type), data_(v) {}
+  Value(DataType type, std::string v) : type_(type), data_(std::move(v)) {}
+
+  DataType type_;
+  std::variant<int64_t, double, std::string> data_;
+};
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_VALUE_H_

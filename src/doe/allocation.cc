@@ -1,0 +1,128 @@
+#include "doe/allocation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace perfeval {
+namespace doe {
+namespace {
+
+void SortComponents(std::vector<VariationComponent>* components) {
+  std::sort(components->begin(), components->end(),
+            [](const VariationComponent& a, const VariationComponent& b) {
+              return a.fraction > b.fraction;
+            });
+}
+
+}  // namespace
+
+double VariationAllocation::FractionFor(EffectMask effect) const {
+  for (const VariationComponent& c : components) {
+    if (!c.is_error && c.effect == effect) {
+      return c.fraction;
+    }
+  }
+  return 0.0;
+}
+
+double VariationAllocation::ErrorFraction() const {
+  for (const VariationComponent& c : components) {
+    if (c.is_error) {
+      return c.fraction;
+    }
+  }
+  return 0.0;
+}
+
+std::string VariationAllocation::ToTable() const {
+  std::string out = StrFormat("%-10s %12s %9s\n", "effect", "SS", "%var");
+  for (const VariationComponent& c : components) {
+    std::string label = c.is_error ? "error" : "q" + EffectName(c.effect);
+    out += StrFormat("%-10s %12.6g %8.1f%%\n", label.c_str(),
+                     c.sum_of_squares, c.fraction * 100.0);
+  }
+  out += StrFormat("%-10s %12.6g %8.1f%%\n", "SST", total_sum_of_squares,
+                   100.0);
+  return out;
+}
+
+VariationAllocation AllocateVariation(const SignTable& table,
+                                      const std::vector<double>& y) {
+  PERFEVAL_CHECK_EQ(y.size(), table.num_runs());
+  PERFEVAL_CHECK_EQ(size_t{1} << table.num_factors(), table.num_runs());
+  EffectModel model = EstimateEffects(table, y);
+  double mean = model.mean();
+  double sst = 0.0;
+  for (double value : y) {
+    sst += (value - mean) * (value - mean);
+  }
+  VariationAllocation allocation;
+  allocation.total_sum_of_squares = sst;
+  double n = static_cast<double>(table.num_runs());
+  for (const auto& [effect, q] : model.coefficients()) {
+    if (effect == 0) {
+      continue;
+    }
+    VariationComponent component;
+    component.effect = effect;
+    component.sum_of_squares = n * q * q;
+    component.fraction = sst > 0.0 ? component.sum_of_squares / sst : 0.0;
+    allocation.components.push_back(component);
+  }
+  SortComponents(&allocation.components);
+  return allocation;
+}
+
+VariationAllocation AllocateVariationReplicated(
+    const SignTable& table, const std::vector<std::vector<double>>& y) {
+  PERFEVAL_CHECK_EQ(y.size(), table.num_runs());
+  size_t replications = y[0].size();
+  PERFEVAL_CHECK_GE(replications, 1u);
+  for (const std::vector<double>& run : y) {
+    PERFEVAL_CHECK_EQ(run.size(), replications)
+        << "all runs must have equal replication";
+  }
+  std::vector<double> means(y.size());
+  for (size_t run = 0; run < y.size(); ++run) {
+    means[run] = stats::Mean(y[run]);
+  }
+  EffectModel model = EstimateEffects(table, means);
+  double grand_mean = model.mean();
+
+  double sst = 0.0;
+  double sse = 0.0;
+  for (size_t run = 0; run < y.size(); ++run) {
+    for (double obs : y[run]) {
+      sst += (obs - grand_mean) * (obs - grand_mean);
+      sse += (obs - means[run]) * (obs - means[run]);
+    }
+  }
+
+  VariationAllocation allocation;
+  allocation.total_sum_of_squares = sst;
+  double scale = static_cast<double>(table.num_runs()) *
+                 static_cast<double>(replications);
+  for (const auto& [effect, q] : model.coefficients()) {
+    if (effect == 0) {
+      continue;
+    }
+    VariationComponent component;
+    component.effect = effect;
+    component.sum_of_squares = scale * q * q;
+    component.fraction = sst > 0.0 ? component.sum_of_squares / sst : 0.0;
+    allocation.components.push_back(component);
+  }
+  VariationComponent error;
+  error.is_error = true;
+  error.sum_of_squares = sse;
+  error.fraction = sst > 0.0 ? sse / sst : 0.0;
+  allocation.components.push_back(error);
+  SortComponents(&allocation.components);
+  return allocation;
+}
+
+}  // namespace doe
+}  // namespace perfeval

@@ -1,0 +1,55 @@
+#ifndef PERFEVAL_DOE_ALLOCATION_H_
+#define PERFEVAL_DOE_ALLOCATION_H_
+
+#include <string>
+#include <vector>
+
+#include "doe/effects.h"
+#include "doe/sign_table.h"
+
+namespace perfeval {
+namespace doe {
+
+/// One component of the total variation, attributed to an effect or to
+/// experimental error.
+struct VariationComponent {
+  EffectMask effect = 0;  ///< Meaningless when is_error is true.
+  bool is_error = false;
+  double sum_of_squares = 0.0;
+  double fraction = 0.0;  ///< share of SST in [0, 1].
+};
+
+/// Allocation of variation for a 2^k design (paper, slides 81–93):
+/// SST = sum_i (y_i - mean)^2 is distributed among the factors as
+/// SST = 2^k qA^2 + 2^k qB^2 + ... ; the fraction explained by an effect
+/// measures its importance.
+struct VariationAllocation {
+  double total_sum_of_squares = 0.0;
+  std::vector<VariationComponent> components;  ///< sorted by fraction desc.
+
+  /// Fraction explained by `effect` (0 when absent).
+  double FractionFor(EffectMask effect) const;
+
+  /// Fraction attributed to experimental error (0 without replication).
+  double ErrorFraction() const;
+
+  /// Table such as the paper's slide 92: one row per effect,
+  /// "qA 17.2%" etc.
+  std::string ToTable() const;
+};
+
+/// Unreplicated allocation: one response per run of a full factorial table.
+VariationAllocation AllocateVariation(const SignTable& table,
+                                      const std::vector<double>& y);
+
+/// Replicated allocation: r responses per run. The within-run scatter forms
+/// the experimental-error component SSE, so effect importance can be judged
+/// against measurement noise (the paper's "common mistake #1", slide 59:
+/// variation due to experimental error is ignored).
+VariationAllocation AllocateVariationReplicated(
+    const SignTable& table, const std::vector<std::vector<double>>& y);
+
+}  // namespace doe
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DOE_ALLOCATION_H_

@@ -1,0 +1,93 @@
+#ifndef PERFEVAL_DOE_CONFOUNDING_H_
+#define PERFEVAL_DOE_CONFOUNDING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace doe {
+
+/// An effect in a 2^k experiment is identified by the set of factors whose
+/// interaction it is, encoded as a bitmask: bit i set <=> factor i
+/// participates. Mask 0 is the identity I (the mean); a single bit is a main
+/// effect; multiple bits are an interaction. Multiplying effects is XOR,
+/// because every factor column squares to I (its entries are +-1).
+using EffectMask = uint32_t;
+
+/// Letter name of an effect: "I", "A", "B", "AB", "ACD", ... Factor i maps
+/// to letter 'A' + i. Supports up to 26 factors.
+std::string EffectName(EffectMask mask);
+
+/// Name using caller-supplied factor names, joined with '*': "cache*memory".
+std::string EffectName(EffectMask mask,
+                       const std::vector<std::string>& factor_names);
+
+/// Parses "I", "A", "ABD" back into a mask. Returns false on invalid input.
+bool ParseEffectName(const std::string& name, EffectMask* mask);
+
+/// Number of factors in an effect (popcount). The "order" of an interaction.
+int EffectOrder(EffectMask mask);
+
+/// One generator of a fractional design: the sign column of `new_factor` is
+/// taken from the interaction column `base_mask` of the base (full
+/// factorial) factors — e.g. D=ABC is {new_factor: 3, base_mask: A|B|C}.
+struct Generator {
+  size_t new_factor = 0;
+  EffectMask base_mask = 0;
+};
+
+/// A 2^(k-p) fractional factorial design specification (paper, slides
+/// 95–109): k two-level factors tested in 2^(k-p) runs. The first k-p
+/// factors form a full factorial; each of the remaining p factors is aliased
+/// to an interaction of the base factors via a Generator.
+///
+/// The class implements the confounding algebra the paper walks through for
+/// D=ABC: defining words, alias sets, and design resolution, so two
+/// candidate fractions can be compared before any experiment is run.
+class FractionalDesignSpec {
+ public:
+  /// `k` total factors, `generators.size()` of which are aliased.
+  /// Requirements: every generator's new_factor is in [k-p, k); base masks
+  /// involve only base factors (bits < k-p) and at least two of them;
+  /// new_factor values are distinct.
+  FractionalDesignSpec(size_t k, std::vector<Generator> generators);
+
+  size_t k() const { return k_; }
+  size_t p() const { return generators_.size(); }
+  size_t num_runs() const { return size_t{1} << (k_ - p()); }
+  const std::vector<Generator>& generators() const { return generators_; }
+
+  /// The defining contrast subgroup: all 2^p products of the defining words
+  /// (including I). For D=ABC (k=4): {I, ABCD}.
+  std::vector<EffectMask> DefiningWords() const;
+
+  /// All effects confounded with `effect` in this design (its alias set),
+  /// sorted ascending by interaction order then mask. Includes `effect`.
+  std::vector<EffectMask> AliasSet(EffectMask effect) const;
+
+  /// Design resolution: the smallest order among non-identity defining
+  /// words. Resolution III confounds main effects with 2-way interactions;
+  /// resolution IV confounds main effects only with 3-way ones — hence the
+  /// paper's preference for D=ABC (IV) over D=AB (III).
+  int Resolution() const;
+
+  /// Multi-line description of every alias relation among effects up to
+  /// `max_order` (e.g. "A = BCD", "AB = CD").
+  std::string DescribeAliases(int max_order) const;
+
+ private:
+  size_t k_;
+  std::vector<Generator> generators_;
+};
+
+/// Returns true when `a` should be preferred over `b` under the sparsity-of-
+/// effects principle (slide 108): higher resolution wins; ties broken by
+/// fewer low-order words in the defining subgroup (aberration).
+bool PreferDesign(const FractionalDesignSpec& a,
+                  const FractionalDesignSpec& b);
+
+}  // namespace doe
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DOE_CONFOUNDING_H_

@@ -1,0 +1,188 @@
+#include "doe/design.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace doe {
+
+Design::Design(std::vector<Factor> factors, std::vector<DesignPoint> points,
+               std::string name)
+    : factors_(std::move(factors)),
+      points_(std::move(points)),
+      name_(std::move(name)) {
+  for (const DesignPoint& point : points_) {
+    PERFEVAL_CHECK_EQ(point.levels.size(), factors_.size());
+    for (size_t f = 0; f < factors_.size(); ++f) {
+      PERFEVAL_CHECK_LT(point.levels[f], factors_[f].num_levels());
+    }
+  }
+}
+
+const std::string& Design::LevelNameAt(size_t run_index,
+                                       size_t factor_index) const {
+  PERFEVAL_CHECK_LT(run_index, points_.size());
+  PERFEVAL_CHECK_LT(factor_index, factors_.size());
+  return factors_[factor_index].level_name(
+      points_[run_index].levels[factor_index]);
+}
+
+bool Design::CoversAllLevels() const {
+  for (size_t f = 0; f < factors_.size(); ++f) {
+    std::vector<bool> seen(factors_[f].num_levels(), false);
+    for (const DesignPoint& point : points_) {
+      seen[point.levels[f]] = true;
+    }
+    for (bool covered : seen) {
+      if (!covered) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Design::IsPairwiseBalanced() const {
+  for (size_t f1 = 0; f1 < factors_.size(); ++f1) {
+    for (size_t f2 = f1 + 1; f2 < factors_.size(); ++f2) {
+      std::map<std::pair<size_t, size_t>, int64_t> counts;
+      for (const DesignPoint& point : points_) {
+        ++counts[{point.levels[f1], point.levels[f2]}];
+      }
+      size_t expected_pairs =
+          factors_[f1].num_levels() * factors_[f2].num_levels();
+      // A balanced design need not cover every pair (fractional designs do
+      // not), but the pairs it covers must appear equally often and the
+      // per-factor marginals must be flat. Check equal counts among present
+      // pairs and flat marginals.
+      int64_t first = counts.begin()->second;
+      for (const auto& [pair, count] : counts) {
+        (void)pair;
+        if (count != first && counts.size() == expected_pairs) {
+          return false;
+        }
+      }
+      // Flat marginals per factor.
+      for (size_t f : {f1, f2}) {
+        std::map<size_t, int64_t> marginal;
+        for (const DesignPoint& point : points_) {
+          ++marginal[point.levels[f]];
+        }
+        int64_t m0 = marginal.begin()->second;
+        for (const auto& [level, count] : marginal) {
+          (void)level;
+          if (count != m0) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::string Design::ToTable() const {
+  std::vector<size_t> widths(factors_.size());
+  for (size_t f = 0; f < factors_.size(); ++f) {
+    widths[f] = factors_[f].name().size();
+    for (const std::string& level : factors_[f].level_names()) {
+      widths[f] = std::max(widths[f], level.size());
+    }
+  }
+  std::string out = PadLeft("run", 4);
+  for (size_t f = 0; f < factors_.size(); ++f) {
+    out += "  " + PadRight(factors_[f].name(), widths[f]);
+  }
+  out += "\n";
+  for (size_t r = 0; r < points_.size(); ++r) {
+    out += PadLeft(StrFormat("%zu", r + 1), 4);
+    for (size_t f = 0; f < factors_.size(); ++f) {
+      out += "  " + PadRight(LevelNameAt(r, f), widths[f]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Design SimpleDesign(std::vector<Factor> factors) {
+  PERFEVAL_CHECK(!factors.empty());
+  std::vector<DesignPoint> points;
+  DesignPoint baseline;
+  baseline.levels.assign(factors.size(), 0);
+  points.push_back(baseline);
+  for (size_t f = 0; f < factors.size(); ++f) {
+    for (size_t level = 1; level < factors[f].num_levels(); ++level) {
+      DesignPoint point = baseline;
+      point.levels[f] = level;
+      points.push_back(point);
+    }
+  }
+  return Design(std::move(factors), std::move(points), "simple");
+}
+
+Design FullFactorialDesign(std::vector<Factor> factors) {
+  PERFEVAL_CHECK(!factors.empty());
+  std::vector<DesignPoint> points;
+  DesignPoint current;
+  current.levels.assign(factors.size(), 0);
+  for (;;) {
+    points.push_back(current);
+    // Odometer increment, factor 0 fastest.
+    size_t f = 0;
+    while (f < factors.size()) {
+      if (++current.levels[f] < factors[f].num_levels()) {
+        break;
+      }
+      current.levels[f] = 0;
+      ++f;
+    }
+    if (f == factors.size()) {
+      break;
+    }
+  }
+  return Design(std::move(factors), std::move(points), "full-factorial");
+}
+
+Design TwoLevelFullFactorial(std::vector<Factor> factors) {
+  for (const Factor& factor : factors) {
+    PERFEVAL_CHECK_EQ(factor.num_levels(), 2u)
+        << "2^k design requires two-level factors; factor " << factor.name()
+        << " has " << factor.num_levels();
+  }
+  Design design = FullFactorialDesign(std::move(factors));
+  return Design(design.factors(), design.points(), "2^k");
+}
+
+int64_t SimpleDesignRuns(const std::vector<size_t>& levels_per_factor) {
+  int64_t runs = 1;
+  for (size_t n : levels_per_factor) {
+    PERFEVAL_CHECK_GE(n, 1u);
+    runs += static_cast<int64_t>(n) - 1;
+  }
+  return runs;
+}
+
+int64_t FullFactorialRuns(const std::vector<size_t>& levels_per_factor) {
+  int64_t runs = 1;
+  for (size_t n : levels_per_factor) {
+    PERFEVAL_CHECK_GE(n, 1u);
+    runs *= static_cast<int64_t>(n);
+  }
+  return runs;
+}
+
+int64_t TwoLevelRuns(size_t num_factors) {
+  PERFEVAL_CHECK_LT(num_factors, 63u);
+  return static_cast<int64_t>(1) << num_factors;
+}
+
+int64_t FractionalRuns(size_t num_factors, size_t p) {
+  PERFEVAL_CHECK_LT(p, num_factors);
+  PERFEVAL_CHECK_LT(num_factors - p, 63u);
+  return static_cast<int64_t>(1) << (num_factors - p);
+}
+
+}  // namespace doe
+}  // namespace perfeval

@@ -1,0 +1,77 @@
+#ifndef PERFEVAL_DOE_DESIGN_H_
+#define PERFEVAL_DOE_DESIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "doe/factor.h"
+
+namespace perfeval {
+namespace doe {
+
+/// One run of an experiment: a level index for each factor.
+struct DesignPoint {
+  std::vector<size_t> levels;
+};
+
+/// A design is the choice of experiments — which factor-level combinations
+/// to run (paper, slide 57). Designs are produced by the builder functions
+/// below and consumed by the harness (core::Runner) and the analysis code
+/// (doe::effects, doe::allocation).
+class Design {
+ public:
+  Design(std::vector<Factor> factors, std::vector<DesignPoint> points,
+         std::string name);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Factor>& factors() const { return factors_; }
+  const std::vector<DesignPoint>& points() const { return points_; }
+  size_t num_runs() const { return points_.size(); }
+  size_t num_factors() const { return factors_.size(); }
+
+  /// Level name of factor `factor_index` in run `run_index`.
+  const std::string& LevelNameAt(size_t run_index, size_t factor_index) const;
+
+  /// True when every level of every factor appears in at least one run.
+  bool CoversAllLevels() const;
+
+  /// True when, for every pair of factors, every pair of levels appears
+  /// equally often (pairwise orthogonality / balance — the property the
+  /// paper's fractional design on slide 67 is built to keep).
+  bool IsPairwiseBalanced() const;
+
+  /// Text table: header row of factor names, one row per run.
+  std::string ToTable() const;
+
+ private:
+  std::vector<Factor> factors_;
+  std::vector<DesignPoint> points_;
+  std::string name_;
+};
+
+/// Simple one-at-a-time design (slide 60): fix the baseline configuration
+/// (level 0 of every factor) and vary one factor at a time.
+/// Produces 1 + sum(ni - 1) runs. Cannot identify interactions.
+Design SimpleDesign(std::vector<Factor> factors);
+
+/// Full factorial design (slide 63): all level combinations, prod(ni) runs.
+/// (The slide's "1 + prod" is a typo for prod; see EXPERIMENTS.md T7.)
+Design FullFactorialDesign(std::vector<Factor> factors);
+
+/// 2^k design (slide 66): all factors restricted to two levels.
+/// All factors must have exactly two levels.
+Design TwoLevelFullFactorial(std::vector<Factor> factors);
+
+/// Number of runs each classical design would need — used for design-size
+/// comparisons before committing to an experiment (slide 56: 5 parameters
+/// with 10..40 values => 10^5 full-factorial runs).
+int64_t SimpleDesignRuns(const std::vector<size_t>& levels_per_factor);
+int64_t FullFactorialRuns(const std::vector<size_t>& levels_per_factor);
+int64_t TwoLevelRuns(size_t num_factors);            // 2^k
+int64_t FractionalRuns(size_t num_factors, size_t p);  // 2^(k-p)
+
+}  // namespace doe
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DOE_DESIGN_H_

@@ -1,0 +1,79 @@
+#include "doe/effects.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace perfeval {
+namespace doe {
+
+double EffectModel::Coefficient(EffectMask effect) const {
+  auto it = coefficients_.find(effect);
+  return it == coefficients_.end() ? 0.0 : it->second;
+}
+
+double EffectModel::Predict(const SignTable& table, size_t run) const {
+  double y = 0.0;
+  for (const auto& [effect, q] : coefficients_) {
+    y += q * table.ColumnSign(run, effect);
+  }
+  return y;
+}
+
+std::string EffectModel::ToString() const {
+  std::string out;
+  for (const auto& [effect, q] : coefficients_) {
+    out += StrFormat("q%-6s = %12.6g\n", EffectName(effect).c_str(), q);
+  }
+  return out;
+}
+
+EffectModel EstimateEffects(const SignTable& table,
+                            const std::vector<double>& y) {
+  PERFEVAL_CHECK_EQ(y.size(), table.num_runs());
+  PERFEVAL_CHECK_EQ(size_t{1} << table.num_factors(), table.num_runs())
+      << "EstimateEffects requires a full factorial table";
+  std::map<EffectMask, double> coefficients;
+  size_t n = table.num_runs();
+  for (EffectMask effect = 0; effect < (EffectMask{1} << table.num_factors());
+       ++effect) {
+    double dot = 0.0;
+    for (size_t run = 0; run < n; ++run) {
+      dot += table.ColumnSign(run, effect) * y[run];
+    }
+    coefficients[effect] = dot / static_cast<double>(n);
+  }
+  return EffectModel(std::move(coefficients));
+}
+
+EffectModel EstimateMainEffectsFractional(const SignTable& table,
+                                          const std::vector<double>& y) {
+  PERFEVAL_CHECK_EQ(y.size(), table.num_runs());
+  std::map<EffectMask, double> coefficients;
+  size_t n = table.num_runs();
+  // Mean.
+  coefficients[0] = stats::Mean(y);
+  for (size_t factor = 0; factor < table.num_factors(); ++factor) {
+    EffectMask effect = EffectMask{1} << factor;
+    double dot = 0.0;
+    for (size_t run = 0; run < n; ++run) {
+      dot += table.ColumnSign(run, effect) * y[run];
+    }
+    coefficients[effect] = dot / static_cast<double>(n);
+  }
+  return EffectModel(std::move(coefficients));
+}
+
+EffectModel EstimateEffectsReplicated(
+    const SignTable& table, const std::vector<std::vector<double>>& y) {
+  PERFEVAL_CHECK_EQ(y.size(), table.num_runs());
+  std::vector<double> means(y.size());
+  for (size_t run = 0; run < y.size(); ++run) {
+    PERFEVAL_CHECK(!y[run].empty()) << "run " << run << " has no samples";
+    means[run] = stats::Mean(y[run]);
+  }
+  return EstimateEffects(table, means);
+}
+
+}  // namespace doe
+}  // namespace perfeval

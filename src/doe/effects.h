@@ -1,0 +1,66 @@
+#ifndef PERFEVAL_DOE_EFFECTS_H_
+#define PERFEVAL_DOE_EFFECTS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "doe/sign_table.h"
+
+namespace perfeval {
+namespace doe {
+
+/// The fitted nonlinear regression model of a 2^k design (paper, slides
+/// 70–80):
+///   y = q0 + qA xA + qB xB + qAB xA xB + ...
+/// Coefficients are keyed by EffectMask; q[0] is the mean response q0.
+class EffectModel {
+ public:
+  EffectModel() = default;
+  explicit EffectModel(std::map<EffectMask, double> coefficients)
+      : coefficients_(std::move(coefficients)) {}
+
+  /// q0, the mean response.
+  double mean() const { return Coefficient(0); }
+
+  /// Coefficient of `effect`; 0.0 when absent from the model.
+  double Coefficient(EffectMask effect) const;
+
+  const std::map<EffectMask, double>& coefficients() const {
+    return coefficients_;
+  }
+
+  /// Predicted response for a run whose factor signs are given by the
+  /// table row (sum of coefficient * column sign).
+  double Predict(const SignTable& table, size_t run) const;
+
+  /// Multi-line "qA = 20 (effect of A)" rendering.
+  std::string ToString() const;
+
+ private:
+  std::map<EffectMask, double> coefficients_;
+};
+
+/// Estimates all 2^k coefficients from one response per run via the sign
+/// table method (slide 78): q_e = (column_e . y) / 2^k. The table must be a
+/// full factorial and y must have one entry per run.
+EffectModel EstimateEffects(const SignTable& table,
+                            const std::vector<double>& y);
+
+/// Estimate from a fractional table: only the k main-effect columns (plus
+/// the mean) are estimable; each estimate is really the confounded sum of
+/// its alias set. y must have one entry per run.
+EffectModel EstimateMainEffectsFractional(const SignTable& table,
+                                          const std::vector<double>& y);
+
+/// Replicated 2^k experiment: `y[run]` holds r >= 1 repeated measurements.
+/// Effects are estimated from run means; the caller can then attribute the
+/// residual within-run variation to experimental error via
+/// AllocateVariationReplicated (allocation.h).
+EffectModel EstimateEffectsReplicated(
+    const SignTable& table, const std::vector<std::vector<double>>& y);
+
+}  // namespace doe
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DOE_EFFECTS_H_

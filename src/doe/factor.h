@@ -1,0 +1,48 @@
+#ifndef PERFEVAL_DOE_FACTOR_H_
+#define PERFEVAL_DOE_FACTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace doe {
+
+/// A factor is any variable that affects the response variable (paper,
+/// slide 57): a parameter to be set or an environment variable. Its levels
+/// are the values it can take in an experiment.
+class Factor {
+ public:
+  Factor(std::string name, std::vector<std::string> level_names)
+      : name_(std::move(name)), level_names_(std::move(level_names)) {
+    PERFEVAL_CHECK_GE(level_names_.size(), 1u)
+        << "factor " << name_ << " needs at least one level";
+  }
+
+  /// Convenience constructor for a two-level (-1/+1) factor, the building
+  /// block of 2^k designs.
+  static Factor TwoLevel(std::string name, std::string low,
+                         std::string high) {
+    return Factor(std::move(name), {std::move(low), std::move(high)});
+  }
+
+  const std::string& name() const { return name_; }
+  size_t num_levels() const { return level_names_.size(); }
+
+  const std::string& level_name(size_t index) const {
+    PERFEVAL_CHECK_LT(index, level_names_.size());
+    return level_names_[index];
+  }
+  const std::vector<std::string>& level_names() const { return level_names_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> level_names_;
+};
+
+}  // namespace doe
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DOE_FACTOR_H_

@@ -1,0 +1,64 @@
+#include "doe/fractional3.h"
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace doe {
+
+bool IsPrime(size_t m) {
+  if (m < 2) {
+    return false;
+  }
+  for (size_t d = 2; d * d <= m; ++d) {
+    if (m % d == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Design LatinSquareFractional(std::vector<Factor> factors) {
+  PERFEVAL_CHECK_GE(factors.size(), 2u);
+  size_t m = factors[0].num_levels();
+  PERFEVAL_CHECK(IsPrime(m)) << "Latin-square construction needs prime m";
+  PERFEVAL_CHECK_LE(factors.size(), m + 1)
+      << "at most m+1 factors fit in m^2 runs";
+  for (const Factor& factor : factors) {
+    PERFEVAL_CHECK_EQ(factor.num_levels(), m)
+        << "all factors must have " << m << " levels";
+  }
+  std::vector<DesignPoint> points;
+  points.reserve(m * m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      DesignPoint point;
+      point.levels.resize(factors.size());
+      point.levels[0] = i;
+      point.levels[1] = j;
+      for (size_t t = 2; t < factors.size(); ++t) {
+        point.levels[t] = (i + (t - 1) * j) % m;
+      }
+      points.push_back(point);
+    }
+  }
+  return Design(std::move(factors), std::move(points),
+                "latin-square-fractional");
+}
+
+Design PaperSlide67Design() {
+  std::vector<Factor> factors;
+  factors.emplace_back("CPU",
+                       std::vector<std::string>{"6800", "Z80", "8086"});
+  factors.emplace_back("Memory",
+                       std::vector<std::string>{"512K", "2M", "8M"});
+  factors.emplace_back(
+      "Workload",
+      std::vector<std::string>{"Managerial", "Scientific", "Secretarial"});
+  factors.emplace_back(
+      "Education",
+      std::vector<std::string>{"High school", "Postgraduate", "College"});
+  return LatinSquareFractional(std::move(factors));
+}
+
+}  // namespace doe
+}  // namespace perfeval

@@ -1,0 +1,34 @@
+#ifndef PERFEVAL_DOE_FRACTIONAL3_H_
+#define PERFEVAL_DOE_FRACTIONAL3_H_
+
+#include "doe/design.h"
+
+namespace perfeval {
+namespace doe {
+
+/// Multi-level fractional factorial design built from mutually orthogonal
+/// Latin squares (the construction behind the paper's slide-67 example:
+/// 4 factors x 3 levels in 9 experiments instead of 81).
+///
+/// For `m` prime and k <= m + 1 factors of m levels each, produces m^2 runs:
+/// run (i, j) assigns factor 0 level i, factor 1 level j and factor t >= 2
+/// level (i + (t-1) * j) mod m. The result is pairwise balanced: every level
+/// pair of every factor pair appears exactly once.
+///
+/// All factors must have exactly `m` levels, m must be prime, and
+/// factors.size() <= m + 1.
+Design LatinSquareFractional(std::vector<Factor> factors);
+
+/// The classical L9 orthogonal array (3^4 in 9 runs) with the paper's
+/// slide-67 factor catalogue: CPU {6800, Z80, 8086}, Memory {512K, 2M, 8M},
+/// Workload {Managerial, Scientific, Secretarial}, Education
+/// {High school, Postgraduate, College}.
+Design PaperSlide67Design();
+
+/// True when `m` is prime (used to validate Latin-square constructions).
+bool IsPrime(size_t m);
+
+}  // namespace doe
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DOE_FRACTIONAL3_H_

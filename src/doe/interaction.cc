@@ -1,0 +1,59 @@
+#include "doe/interaction.h"
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace doe {
+namespace {
+
+/// Mean response over runs where factor_a has sign `sa` and factor_b has
+/// sign `sb`.
+double CellMean(const SignTable& table, const std::vector<double>& y,
+                size_t factor_a, size_t factor_b, int sa, int sb) {
+  double sum = 0.0;
+  int count = 0;
+  for (size_t run = 0; run < table.num_runs(); ++run) {
+    if (table.FactorSign(run, factor_a) == sa &&
+        table.FactorSign(run, factor_b) == sb) {
+      sum += y[run];
+      ++count;
+    }
+  }
+  PERFEVAL_CHECK_GT(count, 0);
+  return sum / count;
+}
+
+}  // namespace
+
+std::vector<core::Series> InteractionPlot(const SignTable& table,
+                                          const std::vector<double>& y,
+                                          size_t factor_a, size_t factor_b,
+                                          const std::string& b_name) {
+  PERFEVAL_CHECK_EQ(y.size(), table.num_runs());
+  PERFEVAL_CHECK_LT(factor_a, table.num_factors());
+  PERFEVAL_CHECK_LT(factor_b, table.num_factors());
+  PERFEVAL_CHECK_NE(factor_a, factor_b);
+  std::vector<core::Series> out;
+  for (int sb : {-1, 1}) {
+    core::Series series;
+    series.name = b_name + (sb < 0 ? " low" : " high");
+    for (int sa : {-1, 1}) {
+      series.Append(sa, CellMean(table, y, factor_a, factor_b, sa, sb));
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+double InteractionSlopeGap(const SignTable& table,
+                           const std::vector<double>& y, size_t factor_a,
+                           size_t factor_b) {
+  std::vector<core::Series> plot =
+      InteractionPlot(table, y, factor_a, factor_b);
+  double slope_low = (plot[0].y[1] - plot[0].y[0]) / 2.0;
+  double slope_high = (plot[1].y[1] - plot[1].y[0]) / 2.0;
+  return slope_high - slope_low;
+}
+
+}  // namespace doe
+}  // namespace perfeval

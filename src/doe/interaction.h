@@ -1,0 +1,31 @@
+#ifndef PERFEVAL_DOE_INTERACTION_H_
+#define PERFEVAL_DOE_INTERACTION_H_
+
+#include <vector>
+
+#include "core/metrics.h"
+#include "doe/sign_table.h"
+
+namespace perfeval {
+namespace doe {
+
+/// Builds the paper's slide-58 interaction plot for factors `a` and `b` of
+/// a full-factorial 2^k experiment: one series per level of B, each with
+/// two points (mean response at A = -1 and A = +1). Parallel lines mean no
+/// interaction; different slopes mean the effect of A depends on the level
+/// of B. Series are named "<b_name> low/high"; x values are -1 and +1.
+std::vector<core::Series> InteractionPlot(const SignTable& table,
+                                          const std::vector<double>& y,
+                                          size_t factor_a, size_t factor_b,
+                                          const std::string& b_name = "B");
+
+/// The difference in A-slope between B's levels — zero iff the lines are
+/// parallel. Equals 2*qAB of the fitted model for a 2^2 design.
+double InteractionSlopeGap(const SignTable& table,
+                           const std::vector<double>& y, size_t factor_a,
+                           size_t factor_b);
+
+}  // namespace doe
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DOE_INTERACTION_H_

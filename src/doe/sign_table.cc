@@ -1,0 +1,125 @@
+#include "doe/sign_table.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace doe {
+
+SignTable::SignTable(size_t num_runs, size_t num_factors,
+                     std::vector<int8_t> factor_signs)
+    : num_runs_(num_runs),
+      num_factors_(num_factors),
+      factor_signs_(std::move(factor_signs)) {
+  PERFEVAL_CHECK_EQ(factor_signs_.size(), num_runs_ * num_factors_);
+}
+
+SignTable SignTable::FullFactorial(size_t k) {
+  PERFEVAL_CHECK_GE(k, 1u);
+  PERFEVAL_CHECK_LE(k, 26u);
+  size_t runs = size_t{1} << k;
+  std::vector<int8_t> signs(runs * k);
+  for (size_t run = 0; run < runs; ++run) {
+    for (size_t factor = 0; factor < k; ++factor) {
+      signs[run * k + factor] =
+          (run & (size_t{1} << factor)) ? int8_t{1} : int8_t{-1};
+    }
+  }
+  return SignTable(runs, k, std::move(signs));
+}
+
+SignTable SignTable::Fractional(const FractionalDesignSpec& spec) {
+  size_t base = spec.k() - spec.p();
+  SignTable base_table = FullFactorial(base);
+  size_t runs = base_table.num_runs();
+  std::vector<int8_t> signs(runs * spec.k());
+  for (size_t run = 0; run < runs; ++run) {
+    for (size_t factor = 0; factor < base; ++factor) {
+      signs[run * spec.k() + factor] =
+          static_cast<int8_t>(base_table.FactorSign(run, factor));
+    }
+    for (const Generator& g : spec.generators()) {
+      signs[run * spec.k() + g.new_factor] =
+          static_cast<int8_t>(base_table.ColumnSign(run, g.base_mask));
+    }
+  }
+  return SignTable(runs, spec.k(), std::move(signs));
+}
+
+int SignTable::FactorSign(size_t run, size_t factor) const {
+  PERFEVAL_CHECK_LT(run, num_runs_);
+  PERFEVAL_CHECK_LT(factor, num_factors_);
+  return factor_signs_[run * num_factors_ + factor];
+}
+
+int SignTable::ColumnSign(size_t run, EffectMask effect) const {
+  PERFEVAL_CHECK_LT(run, num_runs_);
+  int sign = 1;
+  for (size_t factor = 0; factor < num_factors_; ++factor) {
+    if (effect & (EffectMask{1} << factor)) {
+      sign *= FactorSign(run, factor);
+    }
+  }
+  return sign;
+}
+
+std::vector<int> SignTable::Column(EffectMask effect) const {
+  std::vector<int> column(num_runs_);
+  for (size_t run = 0; run < num_runs_; ++run) {
+    column[run] = ColumnSign(run, effect);
+  }
+  return column;
+}
+
+bool SignTable::IsZeroSum(EffectMask effect) const {
+  int sum = 0;
+  for (size_t run = 0; run < num_runs_; ++run) {
+    sum += ColumnSign(run, effect);
+  }
+  return sum == 0;
+}
+
+bool SignTable::AreOrthogonal(EffectMask a, EffectMask b) const {
+  int dot = 0;
+  for (size_t run = 0; run < num_runs_; ++run) {
+    dot += ColumnSign(run, a) * ColumnSign(run, b);
+  }
+  return dot == 0;
+}
+
+bool SignTable::IsProper() const {
+  for (size_t f1 = 0; f1 < num_factors_; ++f1) {
+    EffectMask m1 = EffectMask{1} << f1;
+    if (!IsZeroSum(m1)) {
+      return false;
+    }
+    for (size_t f2 = f1 + 1; f2 < num_factors_; ++f2) {
+      EffectMask m2 = EffectMask{1} << f2;
+      if (!AreOrthogonal(m1, m2)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string SignTable::ToTable(const std::vector<EffectMask>& columns) const {
+  std::string out = PadLeft("run", 4);
+  out += "  " + PadLeft("I", 4);
+  for (EffectMask effect : columns) {
+    out += "  " + PadLeft(EffectName(effect), 4);
+  }
+  out += "\n";
+  for (size_t run = 0; run < num_runs_; ++run) {
+    out += PadLeft(StrFormat("%zu", run + 1), 4);
+    out += "  " + PadLeft("1", 4);
+    for (EffectMask effect : columns) {
+      out += "  " + PadLeft(ColumnSign(run, effect) > 0 ? "1" : "-1", 4);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace doe
+}  // namespace perfeval

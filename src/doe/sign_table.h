@@ -1,0 +1,70 @@
+#ifndef PERFEVAL_DOE_SIGN_TABLE_H_
+#define PERFEVAL_DOE_SIGN_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "doe/confounding.h"
+
+namespace perfeval {
+namespace doe {
+
+/// The sign table of a two-level design (paper, slides 78–80 and 100–107):
+/// one row per run, a +-1 sign for every factor, from which the sign of any
+/// interaction column is the product of the member factors' signs.
+///
+/// Rows follow the paper's standard order: factor A varies fastest
+/// (run r, factor i sign = +1 iff bit i of r is set).
+class SignTable {
+ public:
+  /// Full 2^k factorial table.
+  static SignTable FullFactorial(size_t k);
+
+  /// 2^(k-p) fractional table: base factors form a full 2^(k-p) factorial,
+  /// each generated factor's column equals its generator interaction column
+  /// (slide 100's construction method).
+  static SignTable Fractional(const FractionalDesignSpec& spec);
+
+  size_t num_runs() const { return num_runs_; }
+  size_t num_factors() const { return num_factors_; }
+
+  /// Sign (+1/-1) of factor `factor` in run `run`.
+  int FactorSign(size_t run, size_t factor) const;
+
+  /// Sign of the `effect` column (product of member factor signs) in `run`.
+  /// Effect 0 (I) is +1 everywhere.
+  int ColumnSign(size_t run, EffectMask effect) const;
+
+  /// Entire column for `effect`, one entry per run.
+  std::vector<int> Column(EffectMask effect) const;
+
+  /// True when the column sums to zero — both levels equally tested
+  /// (slide 103: "7 zero-sum columns").
+  bool IsZeroSum(EffectMask effect) const;
+
+  /// True when the two columns are orthogonal (dot product zero).
+  bool AreOrthogonal(EffectMask a, EffectMask b) const;
+
+  /// True when all non-identity single-factor columns are zero-sum and
+  /// pairwise orthogonal — the defining property of a usable sign table
+  /// (slide 100: "each column has sum zero; columns should be orthogonal").
+  bool IsProper() const;
+
+  /// Text rendering with I and the requested effect columns.
+  std::string ToTable(const std::vector<EffectMask>& columns) const;
+
+ private:
+  SignTable(size_t num_runs, size_t num_factors,
+            std::vector<int8_t> factor_signs);
+
+  size_t num_runs_;
+  size_t num_factors_;
+  /// Row-major: factor_signs_[run * num_factors_ + factor] in {-1, +1}.
+  std::vector<int8_t> factor_signs_;
+};
+
+}  // namespace doe
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DOE_SIGN_TABLE_H_

@@ -1,0 +1,82 @@
+#include "doe/significance.h"
+
+#include "common/check.h"
+#include "doe/effects.h"
+#include "stats/descriptive.h"
+
+namespace perfeval {
+namespace doe {
+
+stats::AnovaTable Anova2k(const SignTable& table,
+                          const std::vector<std::vector<double>>& y,
+                          double alpha,
+                          const std::vector<std::string>& factor_names) {
+  PERFEVAL_CHECK_EQ(y.size(), table.num_runs());
+  PERFEVAL_CHECK_EQ(size_t{1} << table.num_factors(), table.num_runs());
+  size_t replications = y[0].size();
+  PERFEVAL_CHECK_GE(replications, 2u)
+      << "significance testing needs replicated runs";
+  for (const std::vector<double>& run : y) {
+    PERFEVAL_CHECK_EQ(run.size(), replications);
+  }
+
+  std::vector<double> means(y.size());
+  for (size_t run = 0; run < y.size(); ++run) {
+    means[run] = stats::Mean(y[run]);
+  }
+  EffectModel model = EstimateEffects(table, means);
+
+  double sse = 0.0;
+  for (size_t run = 0; run < y.size(); ++run) {
+    for (double obs : y[run]) {
+      sse += (obs - means[run]) * (obs - means[run]);
+    }
+  }
+  double scale = static_cast<double>(table.num_runs()) *
+                 static_cast<double>(replications);
+  double df_error = static_cast<double>(table.num_runs()) *
+                    (static_cast<double>(replications) - 1.0);
+  double mse = sse / df_error;
+
+  stats::AnovaTable out;
+  out.alpha = alpha;
+  double ss_effects_total = 0.0;
+  for (const auto& [effect, q] : model.coefficients()) {
+    if (effect == 0) {
+      continue;
+    }
+    stats::AnovaRow row;
+    row.source = factor_names.empty() ? EffectName(effect)
+                                      : EffectName(effect, factor_names);
+    row.sum_of_squares = scale * q * q;
+    row.degrees_of_freedom = 1.0;
+    row.mean_square = row.sum_of_squares;
+    if (mse > 0.0) {
+      row.f_statistic = row.mean_square / mse;
+      row.p_value = 1.0 - stats::FCdf(row.f_statistic, 1.0, df_error);
+    } else {
+      row.f_statistic = row.sum_of_squares > 0.0 ? 1e308 : 0.0;
+      row.p_value = row.sum_of_squares > 0.0 ? 0.0 : 1.0;
+    }
+    row.significant = row.p_value < alpha;
+    ss_effects_total += row.sum_of_squares;
+    out.rows.push_back(std::move(row));
+  }
+
+  stats::AnovaRow error;
+  error.source = "error";
+  error.sum_of_squares = sse;
+  error.degrees_of_freedom = df_error;
+  error.mean_square = mse;
+  out.rows.push_back(error);
+
+  stats::AnovaRow total;
+  total.source = "total";
+  total.sum_of_squares = ss_effects_total + sse;
+  total.degrees_of_freedom = scale - 1.0;
+  out.rows.push_back(total);
+  return out;
+}
+
+}  // namespace doe
+}  // namespace perfeval

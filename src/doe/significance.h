@@ -1,0 +1,30 @@
+#ifndef PERFEVAL_DOE_SIGNIFICANCE_H_
+#define PERFEVAL_DOE_SIGNIFICANCE_H_
+
+#include <vector>
+
+#include "doe/sign_table.h"
+#include "stats/anova.h"
+
+namespace perfeval {
+namespace doe {
+
+/// ANOVA for a replicated 2^k design: every effect's variation is tested
+/// against the experimental-error mean square. This closes the loop on the
+/// paper's common mistake #1 (slide 59): "the variation due to a factor
+/// must be compared to that due of errors" — allocation of variation says
+/// how big an effect is, this says whether it is distinguishable from
+/// noise at all.
+///
+/// `y[run]` holds r >= 2 replicated measurements per run of a full
+/// factorial sign table. Rows: one per non-identity effect (named with
+/// letters, or `factor_names` when given), then "error" and "total".
+stats::AnovaTable Anova2k(const SignTable& table,
+                          const std::vector<std::vector<double>>& y,
+                          double alpha = 0.05,
+                          const std::vector<std::string>& factor_names = {});
+
+}  // namespace doe
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DOE_SIGNIFICANCE_H_

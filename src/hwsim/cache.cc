@@ -1,0 +1,158 @@
+#include "hwsim/cache.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace hwsim {
+
+CacheLevel::CacheLevel(CacheConfig config) : config_(std::move(config)) {
+  PERFEVAL_CHECK_GT(config_.size_bytes, 0u);
+  PERFEVAL_CHECK_GT(config_.line_bytes, 0u);
+  PERFEVAL_CHECK_GT(config_.associativity, 0u);
+  size_t num_lines = config_.size_bytes / config_.line_bytes;
+  PERFEVAL_CHECK_GT(num_lines, 0u);
+  PERFEVAL_CHECK_EQ(num_lines % config_.associativity, 0u)
+      << "cache lines must divide evenly into sets";
+  num_sets_ = num_lines / config_.associativity;
+  tags_.assign(num_lines, kInvalidTag);
+  stamps_.assign(num_lines, 0);
+}
+
+bool CacheLevel::Access(uint64_t address) {
+  ++counters_.accesses;
+  ++clock_;
+  uint64_t line = address / config_.line_bytes;
+  size_t set = static_cast<size_t>(line % num_sets_);
+  uint64_t tag = line / num_sets_;
+  size_t base = set * config_.associativity;
+
+  size_t lru_way = 0;
+  uint64_t lru_stamp = ~uint64_t{0};
+  for (size_t way = 0; way < config_.associativity; ++way) {
+    if (tags_[base + way] == tag) {
+      stamps_[base + way] = clock_;
+      ++counters_.hits;
+      return true;
+    }
+    if (stamps_[base + way] < lru_stamp) {
+      lru_stamp = stamps_[base + way];
+      lru_way = way;
+    }
+  }
+  ++counters_.misses;
+  tags_[base + lru_way] = tag;
+  stamps_[base + lru_way] = clock_;
+  return false;
+}
+
+void CacheLevel::Install(uint64_t address) {
+  ++clock_;
+  uint64_t line = address / config_.line_bytes;
+  size_t set = static_cast<size_t>(line % num_sets_);
+  uint64_t tag = line / num_sets_;
+  size_t base = set * config_.associativity;
+  size_t lru_way = 0;
+  uint64_t lru_stamp = ~uint64_t{0};
+  for (size_t way = 0; way < config_.associativity; ++way) {
+    if (tags_[base + way] == tag) {
+      stamps_[base + way] = clock_;
+      return;
+    }
+    if (stamps_[base + way] < lru_stamp) {
+      lru_stamp = stamps_[base + way];
+      lru_way = way;
+    }
+  }
+  tags_[base + lru_way] = tag;
+  stamps_[base + lru_way] = clock_;
+}
+
+void CacheLevel::Flush() {
+  tags_.assign(tags_.size(), kInvalidTag);
+  stamps_.assign(stamps_.size(), 0);
+}
+
+MemoryHierarchy::MemoryHierarchy(std::vector<CacheConfig> levels,
+                                 double cycle_ns, double memory_latency_ns)
+    : cycle_ns_(cycle_ns), memory_latency_ns_(memory_latency_ns) {
+  PERFEVAL_CHECK_GT(cycle_ns_, 0.0);
+  PERFEVAL_CHECK_GT(memory_latency_ns_, 0.0);
+  levels_.reserve(levels.size());
+  for (CacheConfig& config : levels) {
+    levels_.emplace_back(std::move(config));
+  }
+}
+
+void MemoryHierarchy::IssuePrefetch(uint64_t address) {
+  for (CacheLevel& level : levels_) {
+    level.Install(address);
+  }
+  ++prefetches_issued_;
+}
+
+double MemoryHierarchy::AccessNs(uint64_t address) {
+  // Stream prefetcher: while the access stream follows the learned
+  // stride, stay one step ahead of it (prefetch latency overlaps the
+  // hits, an idealized but standard model).
+  if (next_line_prefetch_ && stream_active_ && address == next_expected_) {
+    next_expected_ = address + static_cast<uint64_t>(stream_delta_);
+    IssuePrefetch(next_expected_);
+  }
+  double latency = 0.0;
+  for (CacheLevel& level : levels_) {
+    latency += level.config().hit_latency_cycles * cycle_ns_;
+    if (level.Access(address)) {
+      return latency;
+    }
+  }
+  ++memory_accesses_;
+  if (next_line_prefetch_) {
+    int64_t delta = static_cast<int64_t>(address) -
+                    static_cast<int64_t>(last_miss_address_);
+    if (have_last_miss_ && delta != 0 && delta == stream_delta_) {
+      // Two misses at a constant stride: arm the stream and fetch ahead.
+      stream_active_ = true;
+      next_expected_ = address + static_cast<uint64_t>(delta);
+      IssuePrefetch(next_expected_);
+    } else {
+      stream_active_ = false;
+      stream_delta_ = delta;
+    }
+    last_miss_address_ = address;
+    have_last_miss_ = true;
+  }
+  return latency + memory_latency_ns_;
+}
+
+void MemoryHierarchy::Flush() {
+  for (CacheLevel& level : levels_) {
+    level.Flush();
+  }
+}
+
+void MemoryHierarchy::ResetCounters() {
+  for (CacheLevel& level : levels_) {
+    level.ResetCounters();
+  }
+  memory_accesses_ = 0;
+}
+
+std::string MemoryHierarchy::CountersToString() const {
+  std::string out = StrFormat("%-6s %12s %12s %12s %10s\n", "level",
+                              "accesses", "hits", "misses", "miss rate");
+  for (const CacheLevel& level : levels_) {
+    const CacheCounters& c = level.counters();
+    out += StrFormat("%-6s %12lld %12lld %12lld %9.2f%%\n",
+                     level.config().name.c_str(),
+                     static_cast<long long>(c.accesses),
+                     static_cast<long long>(c.hits),
+                     static_cast<long long>(c.misses), c.MissRate() * 100.0);
+  }
+  out += StrFormat("%-6s %12lld\n", "memory",
+                   static_cast<long long>(memory_accesses_));
+  return out;
+}
+
+}  // namespace hwsim
+}  // namespace perfeval

@@ -1,0 +1,128 @@
+#ifndef PERFEVAL_HWSIM_CACHE_H_
+#define PERFEVAL_HWSIM_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace hwsim {
+
+/// Configuration of one cache level.
+struct CacheConfig {
+  std::string name = "L1";
+  size_t size_bytes = 32 * 1024;
+  size_t line_bytes = 64;
+  size_t associativity = 4;      ///< ways per set.
+  int hit_latency_cycles = 1;
+};
+
+/// Hit/miss counters of one level — the "hardware performance counters" the
+/// paper tells experimenters to read (slides 47–53: VTune, oprofile, PAPI…).
+/// Here they are filled by simulation, preserving the analysis workflow.
+struct CacheCounters {
+  int64_t accesses = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+
+  double MissRate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// A set-associative LRU cache level.
+class CacheLevel {
+ public:
+  explicit CacheLevel(CacheConfig config);
+
+  const CacheConfig& config() const { return config_; }
+  const CacheCounters& counters() const { return counters_; }
+
+  /// Looks up the line containing `address`; on a miss the line is
+  /// installed (evicting the set's LRU way). Returns true on hit.
+  bool Access(uint64_t address);
+
+  /// Installs the line containing `address` without counting the access
+  /// (used by prefetchers): tags/LRU update, counters untouched.
+  void Install(uint64_t address);
+
+  /// Empties the cache (cold state) without clearing counters.
+  void Flush();
+
+  void ResetCounters() { counters_ = CacheCounters(); }
+
+  size_t num_sets() const { return num_sets_; }
+
+ private:
+  CacheConfig config_;
+  size_t num_sets_;
+  /// tags_[set * associativity + way]; kInvalidTag marks an empty way.
+  std::vector<uint64_t> tags_;
+  /// LRU stamps parallel to tags_.
+  std::vector<uint64_t> stamps_;
+  uint64_t clock_ = 0;
+  CacheCounters counters_;
+
+  static constexpr uint64_t kInvalidTag = ~uint64_t{0};
+};
+
+/// A multi-level inclusive cache hierarchy over a flat memory with a fixed
+/// access latency. Access() walks L1 -> L2 -> ... -> memory and returns the
+/// time the access took.
+class MemoryHierarchy {
+ public:
+  /// `levels` ordered from closest (L1) outward. `cycle_ns` converts hit
+  /// latencies (in cycles) to time; `memory_latency_ns` is charged when all
+  /// levels miss.
+  MemoryHierarchy(std::vector<CacheConfig> levels, double cycle_ns,
+                  double memory_latency_ns);
+
+  /// Enables a stride-stream prefetcher: two consecutive demand misses at
+  /// a constant delta establish a stream; the prefetcher then runs one
+  /// delta ahead of the access stream (re-arming on every stream hit), so
+  /// a constant-stride scan stops missing after its first two accesses.
+  /// The mechanism that eventually broke the slide-46 figure's "memory
+  /// wall" for sequential scans — and does nothing for random access.
+  void set_next_line_prefetch(bool enabled) {
+    next_line_prefetch_ = enabled;
+  }
+  bool next_line_prefetch() const { return next_line_prefetch_; }
+
+  /// Simulated latency of a load at `address`, in nanoseconds.
+  double AccessNs(uint64_t address);
+
+  void Flush();
+  void ResetCounters();
+
+  size_t num_levels() const { return levels_.size(); }
+  const CacheLevel& level(size_t i) const { return levels_[i]; }
+  int64_t memory_accesses() const { return memory_accesses_; }
+  int64_t prefetches_issued() const { return prefetches_issued_; }
+
+  /// Per-level counter table.
+  std::string CountersToString() const;
+
+ private:
+  std::vector<CacheLevel> levels_;
+  double cycle_ns_;
+  double memory_latency_ns_;
+  int64_t memory_accesses_ = 0;
+  int64_t prefetches_issued_ = 0;
+  bool next_line_prefetch_ = false;
+
+  // Stream-detector state.
+  uint64_t last_miss_address_ = 0;
+  int64_t stream_delta_ = 0;
+  uint64_t next_expected_ = 0;
+  bool have_last_miss_ = false;
+  bool stream_active_ = false;
+
+  void IssuePrefetch(uint64_t address);
+};
+
+}  // namespace hwsim
+}  // namespace perfeval
+
+#endif  // PERFEVAL_HWSIM_CACHE_H_

@@ -1,0 +1,76 @@
+#include "hwsim/machine.h"
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace hwsim {
+
+const std::vector<MachineProfile>& HistoricalMachines() {
+  static const std::vector<MachineProfile>* machines = [] {
+    auto* v = new std::vector<MachineProfile>();
+    // Sun LX, 50 MHz microSPARC (1992): scalar in-order pipeline, small
+    // unified cache, DRAM of the era.
+    v->push_back({"Sun LX",
+                  "Sparc",
+                  1992,
+                  50.0,
+                  1.2,
+                  {{"L1", 8 * 1024, 32, 1, 1}},
+                  110.0});
+    // Sun Ultra 1, 200 MHz UltraSPARC (1996): 4-way superscalar,
+    // 16KB L1 + 512KB external L2.
+    v->push_back({"Sun Ultra",
+                  "UltraSparc",
+                  1996,
+                  200.0,
+                  1.0,
+                  {{"L1", 16 * 1024, 32, 1, 1},
+                   {"L2", 512 * 1024, 64, 2, 8}},
+                  130.0});
+    // Sun Ultra 2, 296 MHz UltraSPARC-II (1997).
+    v->push_back({"Sun Ultra2",
+                  "UltraSparcII",
+                  1997,
+                  296.0,
+                  0.9,
+                  {{"L1", 16 * 1024, 32, 1, 1},
+                   {"L2", 1024 * 1024, 64, 2, 10}},
+                  140.0});
+    // DEC AlphaServer, 500 MHz Alpha 21164 (1998): fastest clock of its
+    // day, deep hierarchy, but memory latency barely better.
+    v->push_back({"DEC Alpha",
+                  "Alpha",
+                  1998,
+                  500.0,
+                  0.8,
+                  {{"L1", 8 * 1024, 32, 1, 1},
+                   {"L2", 96 * 1024, 64, 3, 6},
+                   {"L3", 4 * 1024 * 1024, 64, 1, 20}},
+                  150.0});
+    // SGI Origin2000, 300 MHz R12000 (2000): ccNUMA — remote memory makes
+    // average latency the *worst* of the five.
+    v->push_back({"Origin2000",
+                  "R12000",
+                  2000,
+                  300.0,
+                  0.8,
+                  {{"L1", 32 * 1024, 32, 2, 1},
+                   {"L2", 8 * 1024 * 1024, 128, 2, 12}},
+                  260.0});
+    return v;
+  }();
+  return *machines;
+}
+
+const MachineProfile& MachineByName(const std::string& system) {
+  for (const MachineProfile& machine : HistoricalMachines()) {
+    if (machine.system == system) {
+      return machine;
+    }
+  }
+  PERFEVAL_CHECK(false) << "unknown machine " << system;
+  return HistoricalMachines()[0];
+}
+
+}  // namespace hwsim
+}  // namespace perfeval

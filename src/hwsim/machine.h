@@ -1,0 +1,47 @@
+#ifndef PERFEVAL_HWSIM_MACHINE_H_
+#define PERFEVAL_HWSIM_MACHINE_H_
+
+#include <string>
+#include <vector>
+
+#include "hwsim/cache.h"
+
+namespace perfeval {
+namespace hwsim {
+
+/// One machine generation's performance parameters: enough to predict how a
+/// memory-bound kernel behaves (clock, pipeline quality, cache hierarchy,
+/// memory latency).
+struct MachineProfile {
+  std::string system;  ///< e.g. "Sun LX".
+  std::string cpu;     ///< e.g. "Sparc".
+  int year = 0;
+  double clock_mhz = 0.0;
+  /// Average cycles per instruction for a simple scan loop (pipeline and
+  /// issue-width quality; superscalar machines go below 1).
+  double cpi = 1.0;
+  std::vector<CacheConfig> caches;
+  double memory_latency_ns = 100.0;
+
+  double CycleNs() const { return 1000.0 / clock_mhz; }
+
+  MemoryHierarchy MakeHierarchy() const {
+    return MemoryHierarchy(caches, CycleNs(), memory_latency_ns);
+  }
+};
+
+/// The five machine generations of the paper's slide-46 figure (Sun LX 1992
+/// through SGI Origin2000), with cache/latency parameters from the
+/// published hardware specs of those systems (DESIGN.md, substitutions:
+/// the physical machines are simulated). The story the figure tells —
+/// clock speed up 10x, scan time per iteration nearly flat because memory
+/// latency stalls dominate — is a property of these parameters.
+const std::vector<MachineProfile>& HistoricalMachines();
+
+/// Profile by system name ("Sun LX", ...); aborts when unknown.
+const MachineProfile& MachineByName(const std::string& system);
+
+}  // namespace hwsim
+}  // namespace perfeval
+
+#endif  // PERFEVAL_HWSIM_MACHINE_H_

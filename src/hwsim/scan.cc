@@ -1,0 +1,45 @@
+#include "hwsim/scan.h"
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace hwsim {
+
+const char* ScanLayoutName(ScanLayout layout) {
+  switch (layout) {
+    case ScanLayout::kColumnar:
+      return "columnar";
+    case ScanLayout::kRowStore:
+      return "row-store";
+  }
+  return "unknown";
+}
+
+ScanResult SimulateScanMax(const MachineProfile& machine,
+                           const ScanSpec& spec) {
+  PERFEVAL_CHECK_GT(spec.num_elements, 0);
+  PERFEVAL_CHECK_GE(spec.tuple_bytes, spec.value_bytes);
+  MemoryHierarchy hierarchy = machine.MakeHierarchy();
+  hierarchy.set_next_line_prefetch(spec.next_line_prefetch);
+
+  size_t stride = spec.layout == ScanLayout::kColumnar ? spec.value_bytes
+                                                       : spec.tuple_bytes;
+  double mem_ns_total = 0.0;
+  for (int64_t i = 0; i < spec.num_elements; ++i) {
+    mem_ns_total += hierarchy.AccessNs(static_cast<uint64_t>(i) * stride);
+  }
+
+  ScanResult result;
+  result.system = machine.system;
+  result.year = machine.year;
+  result.iterations = spec.num_elements;
+  result.cpu_ns_per_iter =
+      spec.instructions_per_iteration * machine.cpi * machine.CycleNs();
+  result.mem_ns_per_iter =
+      mem_ns_total / static_cast<double>(spec.num_elements);
+  result.counter_report = hierarchy.CountersToString();
+  return result;
+}
+
+}  // namespace hwsim
+}  // namespace perfeval

@@ -1,0 +1,66 @@
+#ifndef PERFEVAL_HWSIM_SCAN_H_
+#define PERFEVAL_HWSIM_SCAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hwsim/machine.h"
+
+namespace perfeval {
+namespace hwsim {
+
+/// Outcome of simulating `SELECT MAX(column) FROM table` on one machine,
+/// dissected the way the paper's slide-46/51 figure dissects it: CPU cycles
+/// vs memory-access time per loop iteration.
+struct ScanResult {
+  std::string system;
+  int year = 0;
+  int64_t iterations = 0;
+  double cpu_ns_per_iter = 0.0;  ///< instruction execution.
+  double mem_ns_per_iter = 0.0;  ///< cache/memory access time.
+  std::string counter_report;    ///< per-level hit/miss table.
+
+  double TotalNsPerIter() const { return cpu_ns_per_iter + mem_ns_per_iter; }
+  double MemoryShare() const {
+    double total = TotalNsPerIter();
+    return total == 0.0 ? 0.0 : mem_ns_per_iter / total;
+  }
+};
+
+/// Memory layout of the scanned attribute.
+///  - kColumnar: values packed contiguously (stride = value size), the
+///    MonetDB layout.
+///  - kRowStore: each value embedded in a wide tuple, so consecutive
+///    iterations touch different cache lines — the layout behind the
+///    paper's "hardly any performance improvement" observation.
+enum class ScanLayout {
+  kColumnar,
+  kRowStore,
+};
+
+const char* ScanLayoutName(ScanLayout layout);
+
+/// Parameters of the simulated scan loop.
+struct ScanSpec {
+  int64_t num_elements = 1 << 20;
+  size_t value_bytes = 8;
+  size_t tuple_bytes = 64;  ///< row-store tuple width (>= value_bytes).
+  ScanLayout layout = ScanLayout::kRowStore;
+  /// Instructions per loop iteration (load, compare, cmov/branch, index
+  /// arithmetic — a simple interpreted scan loop).
+  int instructions_per_iteration = 5;
+  /// Enable the hierarchy's next-line stream prefetcher (off on the
+  /// figure's 1990s machines; the knob that later softened the memory
+  /// wall for sequential scans).
+  bool next_line_prefetch = false;
+};
+
+/// Runs the scan loop through the machine's simulated cache hierarchy
+/// (cold caches) and returns the per-iteration cost split.
+ScanResult SimulateScanMax(const MachineProfile& machine,
+                           const ScanSpec& spec);
+
+}  // namespace hwsim
+}  // namespace perfeval
+
+#endif  // PERFEVAL_HWSIM_SCAN_H_

@@ -1,0 +1,34 @@
+#include "netsim/bus.h"
+
+#include <cstdint>
+
+namespace perfeval {
+namespace netsim {
+
+void SharedBus::Arbitrate(const std::vector<Request>& requests,
+                          std::vector<bool>* granted) {
+  granted->assign(requests.size(), false);
+  if (requests.empty()) {
+    return;
+  }
+  // Grant the requester whose processor id comes first at-or-after the
+  // round-robin pointer.
+  size_t winner = 0;
+  int best_rank = INT32_MAX;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    int p = requests[i].processor;
+    int rank = p - rr_pointer_;
+    if (rank < 0) {
+      rank += 1 << 20;  // wrap far behind.
+    }
+    if (rank < best_rank) {
+      best_rank = rank;
+      winner = i;
+    }
+  }
+  (*granted)[winner] = true;
+  rr_pointer_ = requests[winner].processor + 1;
+}
+
+}  // namespace netsim
+}  // namespace perfeval

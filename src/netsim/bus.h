@@ -1,0 +1,33 @@
+#ifndef PERFEVAL_NETSIM_BUS_H_
+#define PERFEVAL_NETSIM_BUS_H_
+
+#include "netsim/network.h"
+
+namespace perfeval {
+namespace netsim {
+
+/// A single shared bus: the cheapest interconnect — one transaction per
+/// cycle regardless of destination, round-robin among requesters. The
+/// baseline that makes the crossbar/Omega comparison three-sided:
+/// throughput is capped at 1/N per processor, so it collapses as the
+/// system grows.
+class SharedBus : public Interconnect {
+ public:
+  SharedBus() = default;
+
+  void Arbitrate(const std::vector<Request>& requests,
+                 std::vector<bool>* granted) override;
+
+  /// One bus transaction + one memory cycle.
+  int PathCycles() const override { return 2; }
+
+  std::string name() const override { return "Bus"; }
+
+ private:
+  int rr_pointer_ = 0;
+};
+
+}  // namespace netsim
+}  // namespace perfeval
+
+#endif  // PERFEVAL_NETSIM_BUS_H_

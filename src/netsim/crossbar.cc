@@ -1,0 +1,50 @@
+#include "netsim/crossbar.h"
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace netsim {
+
+Crossbar::Crossbar(int num_modules) : num_modules_(num_modules) {
+  PERFEVAL_CHECK_GT(num_modules_, 0);
+  rr_pointer_.assign(static_cast<size_t>(num_modules_), 0);
+}
+
+void Crossbar::Arbitrate(const std::vector<Request>& requests,
+                         std::vector<bool>* granted) {
+  granted->assign(requests.size(), false);
+  // Per-module round-robin: the winner is the contender whose processor
+  // index comes first at-or-after the module's pointer; the pointer then
+  // advances past the winner, so persistent contenders alternate fairly.
+  std::vector<int> winner(static_cast<size_t>(num_modules_), -1);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& req = requests[i];
+    PERFEVAL_CHECK_LT(req.destination, num_modules_);
+    size_t module = static_cast<size_t>(req.destination);
+    int& current = winner[module];
+    if (current < 0) {
+      current = static_cast<int>(i);
+      continue;
+    }
+    auto rank = [&](int processor) {
+      int p = processor % num_modules_;
+      int r = p - rr_pointer_[module];
+      return r < 0 ? r + num_modules_ : r;
+    };
+    if (rank(req.processor) < rank(requests[current].processor)) {
+      current = static_cast<int>(i);
+    }
+  }
+  for (int module = 0; module < num_modules_; ++module) {
+    int index = winner[static_cast<size_t>(module)];
+    if (index >= 0) {
+      (*granted)[static_cast<size_t>(index)] = true;
+      rr_pointer_[static_cast<size_t>(module)] =
+          (requests[static_cast<size_t>(index)].processor + 1) %
+          num_modules_;
+    }
+  }
+}
+
+}  // namespace netsim
+}  // namespace perfeval

@@ -1,0 +1,37 @@
+#ifndef PERFEVAL_NETSIM_CROSSBAR_H_
+#define PERFEVAL_NETSIM_CROSSBAR_H_
+
+#include <vector>
+
+#include "netsim/network.h"
+
+namespace perfeval {
+namespace netsim {
+
+/// An N x N crossbar: any one-to-one processor/module assignment routes in
+/// one pass; the only conflicts are two processors addressing the same
+/// memory module in the same cycle (output-port conflict). Round-robin
+/// priority rotates fairness across processors.
+class Crossbar : public Interconnect {
+ public:
+  explicit Crossbar(int num_modules);
+
+  void Arbitrate(const std::vector<Request>& requests,
+                 std::vector<bool>* granted) override;
+
+  /// One switch traversal + one memory cycle.
+  int PathCycles() const override { return 2; }
+
+  std::string name() const override { return "Crossbar"; }
+
+ private:
+  int num_modules_;
+  /// Per-module round-robin pointer: next processor index with top
+  /// priority at that module.
+  std::vector<int> rr_pointer_;
+};
+
+}  // namespace netsim
+}  // namespace perfeval
+
+#endif  // PERFEVAL_NETSIM_CROSSBAR_H_

@@ -1,0 +1,39 @@
+#ifndef PERFEVAL_NETSIM_NETWORK_H_
+#define PERFEVAL_NETSIM_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace netsim {
+
+/// One in-flight memory request.
+struct Request {
+  int processor = 0;
+  int destination = 0;
+  int64_t issue_cycle = 0;
+};
+
+/// A processor-to-memory interconnection network. Each cycle the simulator
+/// offers the set of pending requests; the network grants the subset that
+/// can be routed without conflict. Blocked requests retry in later cycles.
+class Interconnect {
+ public:
+  virtual ~Interconnect() = default;
+
+  /// Marks each request granted (true) or blocked (false) this cycle.
+  /// `granted` is resized to requests.size().
+  virtual void Arbitrate(const std::vector<Request>& requests,
+                         std::vector<bool>* granted) = 0;
+
+  /// Cycles a granted request spends inside the network plus memory
+  /// (excludes queueing/blocked cycles).
+  virtual int PathCycles() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace netsim
+}  // namespace perfeval
+
+#endif  // PERFEVAL_NETSIM_NETWORK_H_

@@ -1,0 +1,78 @@
+#include "netsim/omega.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace netsim {
+namespace {
+
+/// Perfect shuffle: rotate the wire label left by one bit (width bits).
+int Shuffle(int wire, int width) {
+  int msb = (wire >> (width - 1)) & 1;
+  return ((wire << 1) & ((1 << width) - 1)) | msb;
+}
+
+}  // namespace
+
+OmegaNetwork::OmegaNetwork(int num_modules) : num_modules_(num_modules) {
+  PERFEVAL_CHECK_GE(num_modules_, 2);
+  PERFEVAL_CHECK(std::has_single_bit(static_cast<unsigned>(num_modules_)))
+      << "Omega network size must be a power of two";
+  num_stages_ = std::bit_width(static_cast<unsigned>(num_modules_)) - 1;
+}
+
+void OmegaNetwork::Arbitrate(const std::vector<Request>& requests,
+                             std::vector<bool>* granted) {
+  granted->assign(requests.size(), false);
+  // Circuit-switched greedy setup in rotating-priority order: a request is
+  // granted when every stage's outgoing wire on its path is still free.
+  std::vector<std::vector<bool>> wire_busy(
+      static_cast<size_t>(num_stages_),
+      std::vector<bool>(static_cast<size_t>(num_modules_), false));
+
+  std::vector<size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Rotate processing order for fairness.
+  if (!order.empty()) {
+    size_t shift =
+        static_cast<size_t>(priority_offset_) % order.size();
+    std::rotate(order.begin(), order.begin() + static_cast<long>(shift),
+                order.end());
+  }
+  ++priority_offset_;
+
+  for (size_t index : order) {
+    const Request& req = requests[index];
+    PERFEVAL_CHECK_LT(req.destination, num_modules_);
+    // Trace the path.
+    int wire = req.processor % num_modules_;
+    std::vector<int> path(static_cast<size_t>(num_stages_));
+    bool free = true;
+    for (int stage = 0; stage < num_stages_; ++stage) {
+      int shuffled = Shuffle(wire, num_stages_);
+      int dst_bit = (req.destination >> (num_stages_ - 1 - stage)) & 1;
+      wire = (shuffled & ~1) | dst_bit;
+      path[static_cast<size_t>(stage)] = wire;
+      if (wire_busy[static_cast<size_t>(stage)][static_cast<size_t>(wire)]) {
+        free = false;
+        break;
+      }
+    }
+    if (!free) {
+      continue;
+    }
+    for (int stage = 0; stage < num_stages_; ++stage) {
+      wire_busy[static_cast<size_t>(stage)]
+               [static_cast<size_t>(path[static_cast<size_t>(stage)])] =
+                   true;
+    }
+    (*granted)[index] = true;
+  }
+}
+
+}  // namespace netsim
+}  // namespace perfeval

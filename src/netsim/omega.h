@@ -1,0 +1,39 @@
+#ifndef PERFEVAL_NETSIM_OMEGA_H_
+#define PERFEVAL_NETSIM_OMEGA_H_
+
+#include "netsim/network.h"
+
+namespace perfeval {
+namespace netsim {
+
+/// An N x N Omega multistage interconnection network: log2(N) stages of
+/// 2x2 switches connected by perfect shuffles. Cheaper than a crossbar
+/// (N/2 * log2 N switches vs N^2 crosspoints) but *blocking*: two requests
+/// can conflict inside a switch even when they target different memory
+/// modules — which is why it loses to the crossbar under both traffic
+/// patterns in the paper's slide-92 table.
+class OmegaNetwork : public Interconnect {
+ public:
+  /// `num_modules` must be a power of two >= 2.
+  explicit OmegaNetwork(int num_modules);
+
+  void Arbitrate(const std::vector<Request>& requests,
+                 std::vector<bool>* granted) override;
+
+  /// One cycle per stage + one memory cycle.
+  int PathCycles() const override { return num_stages_ + 1; }
+
+  std::string name() const override { return "Omega"; }
+
+  int num_stages() const { return num_stages_; }
+
+ private:
+  int num_modules_;
+  int num_stages_;
+  int priority_offset_ = 0;
+};
+
+}  // namespace netsim
+}  // namespace perfeval
+
+#endif  // PERFEVAL_NETSIM_OMEGA_H_

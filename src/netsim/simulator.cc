@@ -1,0 +1,130 @@
+#include "netsim/simulator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "netsim/bus.h"
+#include "netsim/crossbar.h"
+#include "netsim/omega.h"
+#include "stats/descriptive.h"
+
+namespace perfeval {
+namespace netsim {
+
+std::string NetworkMetrics::ToString() const {
+  return StrFormat("%-9s %-7s T=%.4f N=%.0f R=%.3f", network.c_str(),
+                   pattern.c_str(), throughput, transit_p90_cycles,
+                   avg_response_cycles);
+}
+
+NetworkMetrics Simulate(Interconnect* network, TrafficPattern* pattern,
+                        const SimulationConfig& config) {
+  PERFEVAL_CHECK(network != nullptr);
+  PERFEVAL_CHECK(pattern != nullptr);
+  PERFEVAL_CHECK_GT(config.num_processors, 0);
+
+  Pcg32 rng(config.seed);
+  const int n = config.num_processors;
+  // Per-processor outstanding request (every processor always has one; a
+  // completed request is immediately replaced next cycle).
+  std::vector<Request> pending(static_cast<size_t>(n));
+  std::vector<bool> has_request(static_cast<size_t>(n), false);
+
+  std::vector<double> transit_times;
+  int64_t granted_count = 0;
+  int64_t issued_count = 0;
+
+  int64_t total_cycles = config.warmup_cycles + config.measured_cycles;
+  std::vector<Request> offered;
+  std::vector<bool> granted;
+  std::vector<size_t> offered_index;
+
+  for (int64_t cycle = 0; cycle < total_cycles; ++cycle) {
+    bool measuring = cycle >= config.warmup_cycles;
+    // Issue new requests for idle processors.
+    for (int p = 0; p < n; ++p) {
+      if (!has_request[static_cast<size_t>(p)]) {
+        pending[static_cast<size_t>(p)] = Request{
+            p, pattern->Destination(p, cycle, rng), cycle};
+        has_request[static_cast<size_t>(p)] = true;
+        if (measuring) {
+          ++issued_count;
+        }
+      }
+    }
+    // Offer all pending requests.
+    offered.clear();
+    offered_index.clear();
+    for (int p = 0; p < n; ++p) {
+      if (has_request[static_cast<size_t>(p)]) {
+        offered.push_back(pending[static_cast<size_t>(p)]);
+        offered_index.push_back(static_cast<size_t>(p));
+      }
+    }
+    network->Arbitrate(offered, &granted);
+    for (size_t i = 0; i < offered.size(); ++i) {
+      if (!granted[i]) {
+        continue;
+      }
+      const Request& req = offered[i];
+      has_request[offered_index[i]] = false;
+      if (measuring) {
+        ++granted_count;
+        double transit = static_cast<double>(cycle - req.issue_cycle) +
+                         network->PathCycles();
+        transit_times.push_back(transit);
+      }
+    }
+  }
+
+  NetworkMetrics metrics;
+  metrics.network = network->name();
+  metrics.pattern = pattern->name();
+  metrics.total_requests = issued_count;
+  metrics.granted_requests = granted_count;
+  metrics.throughput = static_cast<double>(granted_count) /
+                       (static_cast<double>(config.measured_cycles) * n);
+  if (!transit_times.empty()) {
+    metrics.transit_p90_cycles = stats::Percentile(transit_times, 90.0);
+    metrics.avg_response_cycles = stats::Mean(transit_times);
+  }
+  return metrics;
+}
+
+std::unique_ptr<TrafficPattern> MakeRandomPattern(int num_modules) {
+  return std::make_unique<RandomPattern>(num_modules);
+}
+
+std::unique_ptr<TrafficPattern> MakeMatrixPattern(int num_modules,
+                                                  int row_length) {
+  return std::make_unique<MatrixPattern>(num_modules, row_length);
+}
+
+NetworkMetrics SimulateCell(const std::string& network_name,
+                            const std::string& pattern_name,
+                            const SimulationConfig& config) {
+  std::unique_ptr<Interconnect> network;
+  if (network_name == "Crossbar") {
+    network = std::make_unique<Crossbar>(config.num_processors);
+  } else if (network_name == "Bus") {
+    network = std::make_unique<SharedBus>();
+  } else if (network_name == "Omega") {
+    network = std::make_unique<OmegaNetwork>(config.num_processors);
+  } else {
+    PERFEVAL_CHECK(false) << "unknown network " << network_name;
+  }
+  std::unique_ptr<TrafficPattern> pattern;
+  if (pattern_name == "Random") {
+    pattern = MakeRandomPattern(config.num_processors);
+  } else if (pattern_name == "Matrix") {
+    pattern = MakeMatrixPattern(config.num_processors,
+                                config.matrix_row_length);
+  } else {
+    PERFEVAL_CHECK(false) << "unknown pattern " << pattern_name;
+  }
+  return Simulate(network.get(), pattern.get(), config);
+}
+
+}  // namespace netsim
+}  // namespace perfeval

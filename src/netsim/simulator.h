@@ -1,0 +1,51 @@
+#ifndef PERFEVAL_NETSIM_SIMULATOR_H_
+#define PERFEVAL_NETSIM_SIMULATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "netsim/network.h"
+#include "netsim/traffic.h"
+
+namespace perfeval {
+namespace netsim {
+
+/// The three response variables of the paper's slide-86 example.
+struct NetworkMetrics {
+  std::string network;
+  std::string pattern;
+  double throughput = 0.0;        ///< T: grants per processor per cycle.
+  double transit_p90_cycles = 0;  ///< N: 90th percentile transit time.
+  double avg_response_cycles = 0; ///< R: mean issue-to-completion time.
+  int64_t total_requests = 0;
+  int64_t granted_requests = 0;
+
+  std::string ToString() const;
+};
+
+/// Simulation parameters.
+struct SimulationConfig {
+  int num_processors = 16;        ///< == number of memory modules.
+  int64_t warmup_cycles = 200;
+  int64_t measured_cycles = 5000;
+  int matrix_row_length = 4;      ///< stride of MatrixPattern column walks.
+  uint64_t seed = 7;
+};
+
+/// Cycle-accurate simulation: every processor keeps one outstanding
+/// request; blocked requests retry (keeping their destination) until
+/// granted. Returns T, N and R measured over the post-warmup window.
+NetworkMetrics Simulate(Interconnect* network, TrafficPattern* pattern,
+                        const SimulationConfig& config);
+
+/// Convenience: runs one of the four paper cells by name.
+/// `network_name` in {"Crossbar", "Omega"}; `pattern_name` in
+/// {"Random", "Matrix"}.
+NetworkMetrics SimulateCell(const std::string& network_name,
+                            const std::string& pattern_name,
+                            const SimulationConfig& config);
+
+}  // namespace netsim
+}  // namespace perfeval
+
+#endif  // PERFEVAL_NETSIM_SIMULATOR_H_

@@ -1,0 +1,82 @@
+#ifndef PERFEVAL_NETSIM_TRAFFIC_H_
+#define PERFEVAL_NETSIM_TRAFFIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+
+namespace perfeval {
+namespace netsim {
+
+/// An address reference pattern: which memory module each processor asks
+/// for in a given cycle. The two patterns of the paper's slide-86 example
+/// (Jain's memory-interconnect study): Random and Matrix.
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+
+  /// Destination module for `processor` issuing in `cycle`.
+  virtual int Destination(int processor, int64_t cycle, Pcg32& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Uniformly random destinations — independent references.
+class RandomPattern : public TrafficPattern {
+ public:
+  explicit RandomPattern(int num_modules) : num_modules_(num_modules) {}
+
+  int Destination(int, int64_t, Pcg32& rng) override {
+    return static_cast<int>(
+        rng.NextBounded(static_cast<uint32_t>(num_modules_)));
+  }
+
+  std::string name() const override { return "Random"; }
+
+ private:
+  int num_modules_;
+};
+
+/// Matrix-workload references: processors sweep memory in lockstep strides
+/// (processor i touches module (i + t) mod N in cycle t) — a rotating
+/// permutation, conflict-free on a crossbar — with a small fraction of
+/// irregular accesses (index vectors, pointers) that are uniformly random.
+/// The structure is what makes "address pattern" the dominant factor in the
+/// paper's slide-92 allocation-of-variation table.
+class MatrixPattern : public TrafficPattern {
+ public:
+  /// `irregular_fraction`: probability of a random (non-strided) access.
+  MatrixPattern(int num_modules, int row_length,
+                double irregular_fraction = 0.05)
+      : num_modules_(num_modules),
+        row_length_(row_length),
+        irregular_fraction_(irregular_fraction) {}
+
+  int Destination(int processor, int64_t cycle, Pcg32& rng) override {
+    if (rng.NextBernoulli(irregular_fraction_)) {
+      return static_cast<int>(
+          rng.NextBounded(static_cast<uint32_t>(num_modules_)));
+    }
+    // Row-major sweep: stride 1 in module space, one rotation per cycle.
+    return static_cast<int>((processor + cycle) %
+                            static_cast<int64_t>(num_modules_));
+  }
+
+  std::string name() const override { return "Matrix"; }
+
+ private:
+  int num_modules_;
+  int row_length_;  ///< kept for column-walk experiments (see tests).
+  double irregular_fraction_;
+};
+
+std::unique_ptr<TrafficPattern> MakeRandomPattern(int num_modules);
+std::unique_ptr<TrafficPattern> MakeMatrixPattern(int num_modules,
+                                                  int row_length);
+
+}  // namespace netsim
+}  // namespace perfeval
+
+#endif  // PERFEVAL_NETSIM_TRAFFIC_H_

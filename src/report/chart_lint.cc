@@ -1,0 +1,161 @@
+#include "report/chart_lint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace report {
+namespace {
+
+bool LabelHasUnit(const std::string& label) {
+  // A unit is announced by parentheses ("time (ms)") or a slash
+  // ("queries/second"), or the label is dimensionless by convention.
+  if (label.find('(') != std::string::npos &&
+      label.find(')') != std::string::npos) {
+    return true;
+  }
+  if (label.find('/') != std::string::npos) {
+    return true;
+  }
+  static const char* kDimensionless[] = {"ratio",  "fraction", "share",
+                                         "factor", "count",    "speedup",
+                                         "%",      "percent"};
+  std::string lower = ToLower(label);
+  for (const char* word : kDimensionless) {
+    if (lower.find(word) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LooksSymbolic(const std::string& name) {
+  if (name.empty()) {
+    return true;
+  }
+  if (name.size() == 1 && !std::isdigit(static_cast<unsigned char>(name[0]))) {
+    return true;
+  }
+  // Greek-letter style identifiers: "mu=1", "λ" etc.
+  static const char* kSymbols[] = {"mu=", "lambda", "alpha", "beta", "μ",
+                                   "λ",   "α",      "β"};
+  std::string lower = ToLower(name);
+  for (const char* symbol : kSymbols) {
+    if (lower.find(symbol) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintChart(const ChartSpec& spec) {
+  std::vector<LintFinding> findings;
+  bool is_bar = spec.style == ChartStyle::kBars ||
+                spec.style == ChartStyle::kStackedBars;
+
+  if (!is_bar && spec.series.size() > 6) {
+    findings.push_back(
+        {"too-many-curves",
+         StrFormat("line chart has %zu curves; the rule of thumb is at "
+                   "most 6",
+                   spec.series.size())});
+  }
+  if (is_bar) {
+    size_t bars = spec.series.empty() ? 0 : spec.series[0].size();
+    if (spec.style == ChartStyle::kBars) {
+      bars *= spec.series.size();
+    }
+    if (bars > 10) {
+      findings.push_back(
+          {"too-many-bars",
+           StrFormat("bar chart has %zu bars; the rule of thumb is at "
+                     "most 10",
+                     bars)});
+    }
+  }
+  if (spec.x_label.empty()) {
+    findings.push_back({"missing-axis-label", "x axis has no label"});
+  }
+  if (spec.y_label.empty()) {
+    findings.push_back({"missing-axis-label", "y axis has no label"});
+  }
+  if (!spec.y_label.empty() && !LabelHasUnit(spec.y_label)) {
+    findings.push_back(
+        {"missing-unit", "y label \"" + spec.y_label +
+                             "\" has no unit; prefer e.g. \"CPU time (ms)\""});
+  }
+  if (spec.allow_nonzero_y_origin && !spec.logscale_y) {
+    findings.push_back(
+        {"nonzero-y-origin",
+         "y axis does not start at 0; differences will look exaggerated "
+         "(only do this deliberately)"});
+  }
+  // Mixed result variables: several series whose magnitudes differ wildly.
+  if (spec.series.size() >= 3) {
+    double min_mag = 0.0;
+    double max_mag = 0.0;
+    bool first = true;
+    for (const core::Series& s : spec.series) {
+      for (double y : s.y) {
+        double mag = std::fabs(y);
+        if (mag == 0.0) {
+          continue;
+        }
+        if (first) {
+          min_mag = mag;
+          max_mag = mag;
+          first = false;
+        } else {
+          min_mag = std::min(min_mag, mag);
+          max_mag = std::max(max_mag, mag);
+        }
+      }
+    }
+    if (!first && max_mag / min_mag > 100.0) {
+      findings.push_back(
+          {"mixed-y-axes",
+           StrFormat("series magnitudes span a factor of %.0f; this looks "
+                     "like several result variables on one chart",
+                     max_mag / min_mag)});
+    }
+  }
+  for (const core::Series& s : spec.series) {
+    if (LooksSymbolic(s.name)) {
+      findings.push_back(
+          {"symbolic-legend",
+           "series \"" + s.name +
+               "\" uses a symbol instead of a keyword; the reader's brain "
+               "is a poor join processor"});
+    }
+  }
+  return findings;
+}
+
+std::vector<LintFinding> LintHistogram(const stats::Histogram& histogram,
+                                       int64_t min_points) {
+  std::vector<LintFinding> findings;
+  if (!histogram.EveryCellHasAtLeast(min_points)) {
+    findings.push_back(
+        {"sparse-histogram-cell",
+         StrFormat("smallest cell holds %lld points; the rule of thumb "
+                   "requires at least %lld per cell",
+                   static_cast<long long>(histogram.MinCellCount()),
+                   static_cast<long long>(min_points))});
+  }
+  return findings;
+}
+
+std::string FindingsToString(const std::vector<LintFinding>& findings) {
+  std::string out;
+  for (const LintFinding& finding : findings) {
+    out += "[" + finding.rule + "] " + finding.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace report
+}  // namespace perfeval

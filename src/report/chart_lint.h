@@ -1,0 +1,46 @@
+#ifndef PERFEVAL_REPORT_CHART_LINT_H_
+#define PERFEVAL_REPORT_CHART_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "report/gnuplot.h"
+#include "stats/histogram.h"
+
+namespace perfeval {
+namespace report {
+
+/// One chart-guideline violation.
+struct LintFinding {
+  std::string rule;     ///< short rule id, e.g. "too-many-curves".
+  std::string message;  ///< human-readable explanation with the numbers.
+};
+
+/// Checks a chart against the paper's presentation guidelines
+/// (slides 118–148). Rules:
+///  - too-many-curves:    a line chart should be limited to 6 curves.
+///  - too-many-bars:      a bar chart should be limited to 10 bars.
+///  - missing-unit:       axis labels should include units, "CPU time (ms)"
+///                        not "CPU time".
+///  - missing-axis-label: both axes need informative labels.
+///  - nonzero-y-origin:   axes usually begin at 0; an opt-out must be
+///                        deliberate (the slide-138 pictorial game).
+///  - mixed-y-axes:       more than 3 series with y ranges differing by
+///                        over 100x suggests multiple result variables on
+///                        one chart (slide 129).
+///  - symbolic-legend:    single-character or symbol-only series names make
+///                        the reader compute a mental join (slide 131).
+std::vector<LintFinding> LintChart(const ChartSpec& spec);
+
+/// Checks a histogram against the slide-144 rule: every cell should
+/// contain at least `min_points` (default 5) observations.
+std::vector<LintFinding> LintHistogram(const stats::Histogram& histogram,
+                                       int64_t min_points = 5);
+
+/// Renders findings one per line; empty string when clean.
+std::string FindingsToString(const std::vector<LintFinding>& findings);
+
+}  // namespace report
+}  // namespace perfeval
+
+#endif  // PERFEVAL_REPORT_CHART_LINT_H_

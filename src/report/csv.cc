@@ -1,0 +1,125 @@
+#include "report/csv.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace report {
+namespace {
+
+std::string EscapeCsvField(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::filesystem::path fs_path(path);
+  std::error_code ec;
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    if (ec) {
+      return Status::IoError("cannot create directory for " + path + ": " +
+                             ec.message());
+    }
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << content;
+  if (!out) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PERFEVAL_CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  PERFEVAL_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    cells.push_back(StrFormat("%.6g", v));
+  }
+  AddRow(std::move(cells));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) {
+      out += ',';
+    }
+    out += EscapeCsvField(header_[c]);
+  }
+  out += '\n';
+  for (const std::vector<std::string>& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out += ',';
+      }
+      out += EscapeCsvField(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  return WriteTextFile(path, ToString());
+}
+
+Status WriteSeriesCsv(const std::vector<core::Series>& series,
+                      const std::string& path) {
+  if (series.empty()) {
+    return Status::InvalidArgument("no series to write");
+  }
+  for (const core::Series& s : series) {
+    if (s.size() != series[0].size()) {
+      return Status::InvalidArgument(
+          "series have different lengths: " + s.name);
+    }
+  }
+  std::vector<std::string> header = {"x"};
+  for (const core::Series& s : series) {
+    header.push_back(s.name);
+  }
+  CsvWriter writer(std::move(header));
+  for (size_t i = 0; i < series[0].size(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(StrFormat("%.6g", series[0].x[i]));
+    for (const core::Series& s : series) {
+      row.push_back(StrFormat("%.6g", s.y[i]));
+    }
+    writer.AddRow(std::move(row));
+  }
+  return writer.WriteToFile(path);
+}
+
+}  // namespace report
+}  // namespace perfeval

@@ -1,0 +1,45 @@
+#ifndef PERFEVAL_REPORT_CSV_H_
+#define PERFEVAL_REPORT_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/metrics.h"
+
+namespace perfeval {
+namespace report {
+
+/// CSV writer following the paper's repeatability workflow (slides
+/// 198–205): every experiment deposits machine-readable result files under
+/// a results directory, from which graphs are generated automatically —
+/// never assembled by hand (the copy-paste horror story of slide 212).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Numeric convenience.
+  void AddNumericRow(const std::vector<double>& row);
+
+  /// RFC-4180-style rendering (quotes fields containing comma/quote/NL).
+  std::string ToString() const;
+
+  /// Writes to `path`, creating parent directories as needed.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes one or more series as a CSV with columns x, <name1>, <name2>...
+/// All series must share the same x values.
+Status WriteSeriesCsv(const std::vector<core::Series>& series,
+                      const std::string& path);
+
+}  // namespace report
+}  // namespace perfeval
+
+#endif  // PERFEVAL_REPORT_CSV_H_

@@ -1,0 +1,113 @@
+#include "report/gnuplot.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "report/csv.h"
+#include "report/svg.h"
+
+namespace perfeval {
+namespace report {
+namespace {
+
+const char* StyleClause(ChartStyle style) {
+  switch (style) {
+    case ChartStyle::kLinesPoints:
+      return "linespoints";
+    case ChartStyle::kBars:
+    case ChartStyle::kStackedBars:
+      return "histograms";
+    case ChartStyle::kErrorBars:
+      return "yerrorlines";
+  }
+  return "linespoints";
+}
+
+}  // namespace
+
+std::string GnuplotScript(const ChartSpec& spec,
+                          const std::string& data_csv_path,
+                          const std::string& output_eps_path) {
+  std::string out;
+  out += "set terminal postscript eps color\n";
+  out += StrFormat("set output \"%s\"\n", output_eps_path.c_str());
+  out += StrFormat("set title \"%s\"\n", spec.title.c_str());
+  out += StrFormat("set xlabel \"%s\"\n", spec.x_label.c_str());
+  out += StrFormat("set ylabel \"%s\"\n", spec.y_label.c_str());
+  out += "set datafile separator \",\"\n";
+  out += "set key top left\n";
+  // Slide 146 rule of thumb: width of plot = x*\textwidth =>
+  // set size ratio 0 x*1.5,x.
+  out += StrFormat("set size ratio 0 %.3f,%.3f\n",
+                   spec.width_fraction * 1.5, spec.width_fraction);
+  if (!spec.allow_nonzero_y_origin && !spec.logscale_y) {
+    out += "set yrange [0:*]\n";
+  }
+  if (spec.logscale_x) {
+    out += "set logscale x\n";
+  }
+  if (spec.logscale_y) {
+    out += "set logscale y\n";
+  }
+  if (spec.style == ChartStyle::kBars ||
+      spec.style == ChartStyle::kStackedBars) {
+    out += "set style fill solid 0.8 border -1\n";
+    out += spec.style == ChartStyle::kStackedBars
+               ? "set style histogram rowstacked\n"
+               : "set style histogram clustered\n";
+    out += "set style data histograms\n";
+  }
+  out += "plot ";
+  for (size_t i = 0; i < spec.series.size(); ++i) {
+    if (i > 0) {
+      out += ", \\\n     ";
+    }
+    if (spec.style == ChartStyle::kBars ||
+        spec.style == ChartStyle::kStackedBars) {
+      out += StrFormat("\"%s\" using %zu:xtic(1) title \"%s\"",
+                       data_csv_path.c_str(), i + 2,
+                       spec.series[i].name.c_str());
+    } else {
+      out += StrFormat("\"%s\" using 1:%zu with %s title \"%s\"",
+                       data_csv_path.c_str(), i + 2,
+                       StyleClause(spec.style), spec.series[i].name.c_str());
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+Status WriteChart(const ChartSpec& spec, const std::string& stem) {
+  std::string csv_path = stem + ".csv";
+  std::string gnu_path = stem + ".gnu";
+  std::string eps_path = stem + ".eps";
+  PERFEVAL_RETURN_IF_ERROR(WriteSeriesCsv(spec.series, csv_path));
+  std::filesystem::path fs_path(gnu_path);
+  std::error_code ec;
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    if (ec) {
+      return Status::IoError("cannot create directory for " + gnu_path);
+    }
+  }
+  std::ofstream file(gnu_path);
+  if (!file) {
+    return Status::IoError("cannot open " + gnu_path);
+  }
+  file << GnuplotScript(spec, csv_path, eps_path);
+  if (!file) {
+    return Status::IoError("write failed for " + gnu_path);
+  }
+  // Also render a self-contained SVG so the figure is viewable without
+  // running gnuplot.
+  std::ofstream svg_file(stem + ".svg");
+  if (!svg_file) {
+    return Status::IoError("cannot open " + stem + ".svg");
+  }
+  svg_file << RenderSvg(spec);
+  return Status::OK();
+}
+
+}  // namespace report
+}  // namespace perfeval

@@ -1,0 +1,62 @@
+#ifndef PERFEVAL_REPORT_GNUPLOT_H_
+#define PERFEVAL_REPORT_GNUPLOT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/metrics.h"
+
+namespace perfeval {
+namespace report {
+
+/// Chart styles supported by the script generator.
+enum class ChartStyle {
+  kLinesPoints,
+  kBars,        ///< clustered histogram.
+  kStackedBars,
+  kErrorBars,   ///< linespoints with y error bars (confidence intervals).
+};
+
+/// A gnuplot chart specification, applying the paper's presentation
+/// guidelines by construction (slides 118–148):
+///  - informative axis labels with units (the builder warns without them
+///    via report::LintChart);
+///  - y axis starting at 0 unless explicitly overridden (slide 138's
+///    "MINE is better than YOURS" trick needs an explicit opt-out);
+///  - the 2:3 height:width aspect-ratio rule of slide 146
+///    (`set size ratio` computed from width_fraction).
+struct ChartSpec {
+  std::string title;
+  std::string x_label;   ///< include the unit: "Scale factor".
+  std::string y_label;   ///< include the unit: "Execution time (ms)".
+  ChartStyle style = ChartStyle::kLinesPoints;
+  std::vector<core::Series> series;
+
+  /// Fraction of \textwidth the plot will occupy in the paper; the script
+  /// sets `set size ratio 0 <x*1.5>,<x>` per the slide-146 rule of thumb.
+  double width_fraction = 0.5;
+
+  /// By default the y axis starts at 0. Setting this true (for good
+  /// reason) lets the data define the range.
+  bool allow_nonzero_y_origin = false;
+
+  bool logscale_x = false;
+  bool logscale_y = false;
+};
+
+/// Renders the gnuplot command file. `data_csv_path` is the CSV the script
+/// plots (written separately with WriteSeriesCsv); `output_eps_path` is the
+/// figure the script produces.
+std::string GnuplotScript(const ChartSpec& spec,
+                          const std::string& data_csv_path,
+                          const std::string& output_eps_path);
+
+/// Writes data CSV + gnuplot script next to each other:
+/// <stem>.csv and <stem>.gnu producing <stem>.eps.
+Status WriteChart(const ChartSpec& spec, const std::string& stem);
+
+}  // namespace report
+}  // namespace perfeval
+
+#endif  // PERFEVAL_REPORT_GNUPLOT_H_

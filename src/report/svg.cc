@@ -1,0 +1,379 @@
+#include "report/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "report/csv.h"
+
+namespace perfeval {
+namespace report {
+namespace {
+
+/// A qualitative palette with enough contrast for the 6-curve limit.
+const char* kColors[] = {"#1f77b4", "#d62728", "#2ca02c",
+                         "#ff7f0e", "#9467bd", "#8c564b",
+                         "#17becf", "#7f7f7f"};
+constexpr size_t kNumColors = 8;
+
+std::string EscapeXml(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// "Nice" tick step covering `span` with ~n ticks: 1/2/5 * 10^k.
+double NiceStep(double span, int target_ticks) {
+  double raw = span / std::max(target_ticks, 1);
+  double magnitude = std::pow(10.0, std::floor(std::log10(raw)));
+  double normalized = raw / magnitude;
+  double nice = normalized <= 1.0   ? 1.0
+                : normalized <= 2.0 ? 2.0
+                : normalized <= 5.0 ? 5.0
+                                    : 10.0;
+  return nice * magnitude;
+}
+
+std::string FormatTick(double v) {
+  if (v != 0.0 && (std::fabs(v) >= 100000.0 || std::fabs(v) < 0.01)) {
+    return StrFormat("%.0e", v);
+  }
+  if (v == std::floor(v)) {
+    return StrFormat("%.0f", v);
+  }
+  return StrFormat("%g", v);
+}
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Linear or log mapping from data to pixel coordinates.
+class AxisScale {
+ public:
+  AxisScale(Range range, double px_lo, double px_hi, bool log)
+      : range_(range), px_lo_(px_lo), px_hi_(px_hi), log_(log) {
+    if (log_) {
+      PERFEVAL_CHECK_GT(range_.lo, 0.0)
+          << "log axis needs positive range";
+    }
+    if (range_.hi <= range_.lo) {
+      range_.hi = range_.lo + 1.0;
+    }
+  }
+
+  double ToPx(double v) const {
+    double t;
+    if (log_) {
+      t = (std::log10(v) - std::log10(range_.lo)) /
+          (std::log10(range_.hi) - std::log10(range_.lo));
+    } else {
+      t = (v - range_.lo) / (range_.hi - range_.lo);
+    }
+    return px_lo_ + t * (px_hi_ - px_lo_);
+  }
+
+  /// Tick positions: 1/2/5 steps for linear, decades for log.
+  std::vector<double> Ticks() const {
+    std::vector<double> ticks;
+    if (log_) {
+      double decade = std::pow(10.0, std::floor(std::log10(range_.lo)));
+      for (; decade <= range_.hi * 1.0001; decade *= 10.0) {
+        if (decade >= range_.lo * 0.9999) {
+          ticks.push_back(decade);
+        }
+      }
+      return ticks;
+    }
+    double step = NiceStep(range_.hi - range_.lo, 6);
+    double first = std::ceil(range_.lo / step) * step;
+    for (double v = first; v <= range_.hi * 1.0001; v += step) {
+      ticks.push_back(std::fabs(v) < step * 1e-9 ? 0.0 : v);
+    }
+    return ticks;
+  }
+
+ private:
+  Range range_;
+  double px_lo_;
+  double px_hi_;
+  bool log_;
+};
+
+Range DataRange(const ChartSpec& spec, bool y_axis) {
+  Range range{1e300, -1e300};
+  for (const core::Series& series : spec.series) {
+    const std::vector<double>& values = y_axis ? series.y : series.x;
+    for (size_t i = 0; i < values.size(); ++i) {
+      double v = values[i];
+      double err = (y_axis && i < series.y_error.size())
+                       ? series.y_error[i]
+                       : 0.0;
+      range.lo = std::min(range.lo, v - err);
+      range.hi = std::max(range.hi, v + err);
+    }
+  }
+  if (range.lo > range.hi) {
+    range = {0.0, 1.0};
+  }
+  bool log_axis = y_axis ? spec.logscale_y : spec.logscale_x;
+  if (y_axis && !spec.allow_nonzero_y_origin && !log_axis) {
+    range.lo = std::min(range.lo, 0.0);
+    range.hi = std::max(range.hi, 0.0);
+  }
+  // 5% headroom at the top for linear axes.
+  if (!log_axis) {
+    double pad = (range.hi - range.lo) * 0.05;
+    range.hi += pad == 0.0 ? 1.0 : pad;
+  }
+  return range;
+}
+
+void AppendBarChart(const ChartSpec& spec, const AxisScale& y_scale,
+                    double plot_left, double plot_right, double plot_bottom,
+                    std::string* svg) {
+  // One cluster (or stack) per x position; x values become category
+  // labels.
+  size_t positions = spec.series.empty() ? 0 : spec.series[0].size();
+  if (positions == 0) {
+    return;
+  }
+  double slot = (plot_right - plot_left) / static_cast<double>(positions);
+  bool stacked = spec.style == ChartStyle::kStackedBars;
+  double bar_width =
+      stacked ? slot * 0.6
+              : slot * 0.8 / static_cast<double>(spec.series.size());
+  for (size_t p = 0; p < positions; ++p) {
+    double slot_left = plot_left + slot * static_cast<double>(p);
+    double stack_base = 0.0;
+    for (size_t s = 0; s < spec.series.size(); ++s) {
+      if (p >= spec.series[s].size()) {
+        continue;
+      }
+      double value = spec.series[s].y[p];
+      double x0;
+      double y_top;
+      double y_bottom;
+      if (stacked) {
+        x0 = slot_left + (slot - bar_width) / 2.0;
+        y_top = y_scale.ToPx(stack_base + value);
+        y_bottom = y_scale.ToPx(stack_base);
+        stack_base += value;
+      } else {
+        x0 = slot_left + slot * 0.1 + bar_width * static_cast<double>(s);
+        y_top = y_scale.ToPx(value);
+        y_bottom = y_scale.ToPx(0.0);
+      }
+      *svg += StrFormat(
+          "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+          "fill=\"%s\"/>\n",
+          x0, std::min(y_top, y_bottom), bar_width,
+          std::fabs(y_bottom - y_top), kColors[s % kNumColors]);
+    }
+    // Category label from the first series' x value.
+    *svg += StrFormat(
+        "  <text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+        "text-anchor=\"middle\">%s</text>\n",
+        slot_left + slot / 2.0, plot_bottom + 16.0,
+        EscapeXml(FormatTick(spec.series[0].x[p])).c_str());
+  }
+}
+
+}  // namespace
+
+std::string RenderSvg(const ChartSpec& spec, int width_px) {
+  PERFEVAL_CHECK_GE(width_px, 200);
+  // Slide-146 rule of thumb: height = 2/3 width.
+  const double width = width_px;
+  const double height = width * 2.0 / 3.0;
+  const double margin_left = 70.0;
+  const double margin_right = 20.0;
+  const double margin_top = 34.0;
+  const double legend_height = 18.0 * static_cast<double>(
+                                   std::max<size_t>(spec.series.size(), 1));
+  const double margin_bottom = 56.0;
+  const double plot_left = margin_left;
+  const double plot_right = width - margin_right;
+  const double plot_top = margin_top;
+  const double plot_bottom = height - margin_bottom;
+
+  bool is_bar = spec.style == ChartStyle::kBars ||
+                spec.style == ChartStyle::kStackedBars;
+
+  Range y_range = DataRange(spec, /*y_axis=*/true);
+  if (spec.style == ChartStyle::kStackedBars) {
+    // The y range must cover the stack totals.
+    size_t positions = spec.series.empty() ? 0 : spec.series[0].size();
+    for (size_t p = 0; p < positions; ++p) {
+      double total = 0.0;
+      for (const core::Series& series : spec.series) {
+        if (p < series.size()) {
+          total += series.y[p];
+        }
+      }
+      y_range.hi = std::max(y_range.hi, total * 1.05);
+    }
+  }
+  AxisScale y_scale(y_range, plot_bottom, plot_top, spec.logscale_y);
+
+  std::string svg = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+      "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\" font-family=\"sans-serif\""
+      ">\n",
+      width, height, width, height);
+  svg += "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg += StrFormat(
+      "  <text x=\"%.1f\" y=\"20\" font-size=\"15\" text-anchor=\"middle\" "
+      "font-weight=\"bold\">%s</text>\n",
+      width / 2.0, EscapeXml(spec.title).c_str());
+
+  // Axes frame.
+  svg += StrFormat(
+      "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+      "fill=\"none\" stroke=\"#333\"/>\n",
+      plot_left, plot_top, plot_right - plot_left, plot_bottom - plot_top);
+
+  // Y ticks + gridlines.
+  for (double tick : y_scale.Ticks()) {
+    double py = y_scale.ToPx(tick);
+    svg += StrFormat(
+        "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+        "stroke=\"#ddd\"/>\n",
+        plot_left, py, plot_right, py);
+    svg += StrFormat(
+        "  <text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+        "text-anchor=\"end\">%s</text>\n",
+        plot_left - 6.0, py + 4.0, EscapeXml(FormatTick(tick)).c_str());
+  }
+
+  if (is_bar) {
+    AppendBarChart(spec, y_scale, plot_left, plot_right, plot_bottom,
+                   &svg);
+  } else {
+    Range x_range = DataRange(spec, /*y_axis=*/false);
+    AxisScale x_scale(x_range, plot_left, plot_right, spec.logscale_x);
+    for (double tick : x_scale.Ticks()) {
+      double px = x_scale.ToPx(tick);
+      svg += StrFormat(
+          "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+          "stroke=\"#ddd\"/>\n",
+          px, plot_top, px, plot_bottom);
+      svg += StrFormat(
+          "  <text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+          "text-anchor=\"middle\">%s</text>\n",
+          px, plot_bottom + 16.0, EscapeXml(FormatTick(tick)).c_str());
+    }
+    for (size_t s = 0; s < spec.series.size(); ++s) {
+      const core::Series& series = spec.series[s];
+      const char* color = kColors[s % kNumColors];
+      std::string points;
+      for (size_t i = 0; i < series.size(); ++i) {
+        points += StrFormat("%.1f,%.1f ", x_scale.ToPx(series.x[i]),
+                            y_scale.ToPx(series.y[i]));
+      }
+      svg += StrFormat(
+          "  <polyline points=\"%s\" fill=\"none\" stroke=\"%s\" "
+          "stroke-width=\"2\"/>\n",
+          points.c_str(), color);
+      for (size_t i = 0; i < series.size(); ++i) {
+        double px = x_scale.ToPx(series.x[i]);
+        double py = y_scale.ToPx(series.y[i]);
+        svg += StrFormat(
+            "  <circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" fill=\"%s\"/>\n",
+            px, py, color);
+        if (spec.style == ChartStyle::kErrorBars &&
+            i < series.y_error.size() && series.y_error[i] > 0.0) {
+          double y_hi = y_scale.ToPx(series.y[i] + series.y_error[i]);
+          double y_lo = y_scale.ToPx(series.y[i] - series.y_error[i]);
+          svg += StrFormat(
+              "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+              "stroke=\"%s\"/>\n",
+              px, y_hi, px, y_lo, color);
+          for (double y_end : {y_hi, y_lo}) {
+            svg += StrFormat(
+                "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                "stroke=\"%s\"/>\n",
+                px - 4.0, y_end, px + 4.0, y_end, color);
+          }
+        }
+      }
+    }
+  }
+
+  // Axis labels.
+  svg += StrFormat(
+      "  <text x=\"%.1f\" y=\"%.1f\" font-size=\"12\" "
+      "text-anchor=\"middle\">%s</text>\n",
+      (plot_left + plot_right) / 2.0, height - 22.0,
+      EscapeXml(spec.x_label).c_str());
+  svg += StrFormat(
+      "  <text x=\"14\" y=\"%.1f\" font-size=\"12\" text-anchor=\"middle\" "
+      "transform=\"rotate(-90 14 %.1f)\">%s</text>\n",
+      (plot_top + plot_bottom) / 2.0, (plot_top + plot_bottom) / 2.0,
+      EscapeXml(spec.y_label).c_str());
+
+  // Legend: keywords, not symbols (slide 131).
+  double legend_y = plot_top + 8.0;
+  (void)legend_height;
+  for (size_t s = 0; s < spec.series.size(); ++s) {
+    const char* color = kColors[s % kNumColors];
+    svg += StrFormat(
+        "  <rect x=\"%.1f\" y=\"%.1f\" width=\"12\" height=\"12\" "
+        "fill=\"%s\"/>\n",
+        plot_left + 10.0, legend_y, color);
+    svg += StrFormat(
+        "  <text x=\"%.1f\" y=\"%.1f\" font-size=\"11\">%s</text>\n",
+        plot_left + 26.0, legend_y + 10.0,
+        EscapeXml(spec.series[s].name).c_str());
+    legend_y += 16.0;
+  }
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+Status WriteSvgChart(const ChartSpec& spec, const std::string& stem) {
+  PERFEVAL_RETURN_IF_ERROR(WriteSeriesCsv(spec.series, stem + ".csv"));
+  std::string path = stem + ".svg";
+  std::filesystem::path fs_path(path);
+  std::error_code ec;
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    if (ec) {
+      return Status::IoError("cannot create directory for " + path);
+    }
+  }
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open " + path);
+  }
+  file << RenderSvg(spec);
+  if (!file) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace report
+}  // namespace perfeval

@@ -1,0 +1,31 @@
+#ifndef PERFEVAL_REPORT_SVG_H_
+#define PERFEVAL_REPORT_SVG_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "report/gnuplot.h"
+
+namespace perfeval {
+namespace report {
+
+/// Renders a ChartSpec as a self-contained SVG document — figures viewable
+/// without gnuplot, applying the same presentation guidelines the gnuplot
+/// emitter applies (slides 118–148): y axis anchored at 0 unless
+/// explicitly opted out, keyword legend (no symbols), axis labels with
+/// units, and the slide-146 3:2 aspect ratio.
+///
+/// Supported styles: kLinesPoints (polyline + point markers),
+/// kErrorBars (plus vertical error whiskers from Series::y_error),
+/// kBars (clustered) and kStackedBars. Logarithmic x/y supported for the
+/// line styles.
+std::string RenderSvg(const ChartSpec& spec, int width_px = 720);
+
+/// Writes `<stem>.svg` (creating directories). Also writes the CSV next to
+/// it so the numbers behind the picture stay machine-readable.
+Status WriteSvgChart(const ChartSpec& spec, const std::string& stem);
+
+}  // namespace report
+}  // namespace perfeval
+
+#endif  // PERFEVAL_REPORT_SVG_H_

@@ -1,0 +1,161 @@
+#include "report/table_format.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace report {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::SetAlignments(std::vector<Align> alignments) {
+  alignments_ = std::move(alignments);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  PERFEVAL_CHECK_EQ(row.size(), header_.size())
+      << "row width must match header";
+  rows_.push_back({std::move(row), false});
+}
+
+void TextTable::AddSeparator() { rows_.push_back({{}, true}); }
+
+std::string TextTable::ToString() const {
+  PERFEVAL_CHECK(!header_.empty());
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  auto render_cell = [&](const std::string& text, size_t c) {
+    Align align = c < alignments_.size() ? alignments_[c] : Align::kRight;
+    return align == Align::kLeft ? PadRight(text, widths[c])
+                                 : PadLeft(text, widths[c]);
+  };
+  std::string out;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) {
+      out += "  ";
+    }
+    out += render_cell(header_[c], c);
+  }
+  out += "\n";
+  size_t total_width = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total_width += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out += std::string(total_width, '-');
+  out += "\n";
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out += std::string(total_width, '-');
+      out += "\n";
+      continue;
+    }
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      if (c > 0) {
+        out += "  ";
+      }
+      out += render_cell(row.cells[c], c);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TextTable::ToMarkdown() const {
+  PERFEVAL_CHECK(!header_.empty());
+  auto cell_align = [&](size_t c) {
+    return c < alignments_.size() ? alignments_[c] : Align::kRight;
+  };
+  std::string out = "|";
+  for (const std::string& h : header_) {
+    out += " " + h + " |";
+  }
+  out += "\n|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out += cell_align(c) == Align::kLeft ? ":---" : "---:";
+    out += "|";
+  }
+  out += "\n";
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;  // Markdown tables have no mid-table separators.
+    }
+    out += "|";
+    for (const std::string& cell : row.cells) {
+      out += " " + cell + " |";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string EscapeLatex(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '&':
+      case '%':
+      case '_':
+      case '#':
+      case '$':
+        out += '\\';
+        out += c;
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::ToLatex() const {
+  PERFEVAL_CHECK(!header_.empty());
+  std::string out = "\\begin{tabular}{";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    Align align = c < alignments_.size() ? alignments_[c] : Align::kRight;
+    out += align == Align::kLeft ? 'l' : 'r';
+  }
+  out += "}\n\\hline\n";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) {
+      out += " & ";
+    }
+    out += EscapeLatex(header_[c]);
+  }
+  out += " \\\\\n\\hline\n";
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out += "\\hline\n";
+      continue;
+    }
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      if (c > 0) {
+        out += " & ";
+      }
+      out += EscapeLatex(row.cells[c]);
+    }
+    out += " \\\\\n";
+  }
+  out += "\\hline\n\\end{tabular}\n";
+  return out;
+}
+
+}  // namespace report
+}  // namespace perfeval

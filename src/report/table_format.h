@@ -1,0 +1,54 @@
+#ifndef PERFEVAL_REPORT_TABLE_FORMAT_H_
+#define PERFEVAL_REPORT_TABLE_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace report {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// A simple aligned text-table builder for bench/report output: header,
+/// rows of strings, automatic column widths.
+class TextTable {
+ public:
+  /// Sets the header; defines the column count.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Per-column alignment (defaults to right for all columns).
+  void SetAlignments(std::vector<Align> alignments);
+
+  /// Adds a row; must match the header's column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Adds a horizontal separator line at this position.
+  void AddSeparator();
+
+  size_t num_rows() const { return rows_.size(); }
+
+  std::string ToString() const;
+
+  /// GitHub-flavored Markdown rendering (separators become plain rows of
+  /// em-dashes; alignment markers follow SetAlignments).
+  std::string ToMarkdown() const;
+
+  /// LaTeX tabular rendering (booktabs-free, `\hline` separators), with
+  /// the characters &, %, _, #, $ escaped — the paper's own medium.
+  std::string ToLatex() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace report
+}  // namespace perfeval
+
+#endif  // PERFEVAL_REPORT_TABLE_FORMAT_H_

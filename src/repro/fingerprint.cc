@@ -1,0 +1,31 @@
+#include "repro/fingerprint.h"
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace repro {
+
+uint64_t Fnv1a64(const std::string& data) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string SetupFingerprint::ShortId() const {
+  return StrFormat("fp-%016llx", static_cast<unsigned long long>(hash));
+}
+
+SetupFingerprint FingerprintSetup(const core::EnvironmentSpec& environment,
+                                  const Properties& properties) {
+  SetupFingerprint fp;
+  fp.environment_summary = environment.ToReportString();
+  fp.parameters = properties.Serialize();
+  fp.hash = Fnv1a64(fp.environment_summary + "\n" + fp.parameters);
+  return fp;
+}
+
+}  // namespace repro
+}  // namespace perfeval

@@ -1,0 +1,36 @@
+#ifndef PERFEVAL_REPRO_FINGERPRINT_H_
+#define PERFEVAL_REPRO_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/environment.h"
+#include "repro/properties.h"
+
+namespace perfeval {
+namespace repro {
+
+/// FNV-1a 64-bit hash, used to fingerprint configurations and environments.
+uint64_t Fnv1a64(const std::string& data);
+
+/// A compact identity of one experimental setup: the environment spec plus
+/// the full parameter set, hashed. Two runs with the same fingerprint used
+/// the same code knobs on the same class of machine — the precondition for
+/// comparing their numbers (paper, slides 37–45: the DBG/OPT war story is a
+/// fingerprint mismatch that went unnoticed for days).
+struct SetupFingerprint {
+  std::string environment_summary;
+  std::string parameters;  ///< serialized Properties.
+  uint64_t hash = 0;
+
+  /// "fp-<16 hex digits>".
+  std::string ShortId() const;
+};
+
+SetupFingerprint FingerprintSetup(const core::EnvironmentSpec& environment,
+                                  const Properties& properties);
+
+}  // namespace repro
+}  // namespace perfeval
+
+#endif  // PERFEVAL_REPRO_FINGERPRINT_H_

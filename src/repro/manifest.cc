@@ -1,0 +1,57 @@
+#include "repro/manifest.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace perfeval {
+namespace repro {
+
+RunManifest::RunManifest(std::string experiment_id,
+                         std::string protocol_description)
+    : experiment_id_(std::move(experiment_id)),
+      protocol_description_(std::move(protocol_description)) {}
+
+std::string RunManifest::ToString() const {
+  std::string out;
+  out += "[experiment]\n";
+  out += "id=" + experiment_id_ + "\n";
+  out += "protocol=" + protocol_description_ + "\n\n";
+  out += "[environment]\n";
+  out += environment_.ToReportString();
+  out += "\n[parameters]\n";
+  out += parameters_;
+  out += "\n[outputs]\n";
+  for (const std::string& output : outputs_) {
+    out += output + "\n";
+  }
+  if (!notes_.empty()) {
+    out += "\n[notes]\n";
+    for (const std::string& note : notes_) {
+      out += note + "\n";
+    }
+  }
+  return out;
+}
+
+Status RunManifest::WriteToFile(const std::string& path) const {
+  std::filesystem::path fs_path(path);
+  std::error_code ec;
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    if (ec) {
+      return Status::IoError("cannot create directory for " + path);
+    }
+  }
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open " + path);
+  }
+  file << ToString();
+  if (!file) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace repro
+}  // namespace perfeval

@@ -1,0 +1,50 @@
+#ifndef PERFEVAL_REPRO_MANIFEST_H_
+#define PERFEVAL_REPRO_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/environment.h"
+#include "repro/properties.h"
+
+namespace perfeval {
+namespace repro {
+
+/// A run manifest: the provenance record written next to every experiment's
+/// results so that "yourself, 3 years later when writing the thesis"
+/// (paper, slide 158) can reconstruct exactly what produced them. Captures
+/// the experiment id, the full parameter set, the environment spec, the
+/// run protocol in prose, and the output files produced.
+class RunManifest {
+ public:
+  RunManifest(std::string experiment_id, std::string protocol_description);
+
+  void set_environment(const core::EnvironmentSpec& environment) {
+    environment_ = environment;
+  }
+  void set_properties(const Properties& properties) {
+    parameters_ = properties.Serialize();
+  }
+  void AddOutput(const std::string& path) { outputs_.push_back(path); }
+  void AddNote(const std::string& note) { notes_.push_back(note); }
+
+  /// Human- and machine-readable rendering (INI-style sections).
+  std::string ToString() const;
+
+  /// Writes to `path` (creates parent directories).
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::string experiment_id_;
+  std::string protocol_description_;
+  core::EnvironmentSpec environment_;
+  std::string parameters_;
+  std::vector<std::string> outputs_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace repro
+}  // namespace perfeval
+
+#endif  // PERFEVAL_REPRO_MANIFEST_H_

@@ -1,0 +1,156 @@
+#include "repro/properties.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace repro {
+
+void Properties::SetDefault(const std::string& key,
+                            const std::string& value) {
+  defaults_[key] = value;
+}
+
+void Properties::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Properties::Has(const std::string& key) const {
+  return values_.count(key) > 0 || defaults_.count(key) > 0;
+}
+
+std::optional<std::string> Properties::Get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it != values_.end()) {
+    return it->second;
+  }
+  auto def = defaults_.find(key);
+  if (def != defaults_.end()) {
+    return def->second;
+  }
+  return std::nullopt;
+}
+
+std::string Properties::GetOr(const std::string& key,
+                              const std::string& fallback) const {
+  return Get(key).value_or(fallback);
+}
+
+int64_t Properties::GetInt(const std::string& key, int64_t fallback) const {
+  std::optional<std::string> value = Get(key);
+  if (!value) {
+    return fallback;
+  }
+  return ParseInt64(*value).value_or(fallback);
+}
+
+double Properties::GetDouble(const std::string& key, double fallback) const {
+  std::optional<std::string> value = Get(key);
+  if (!value) {
+    return fallback;
+  }
+  return ParseDouble(*value).value_or(fallback);
+}
+
+bool Properties::GetBool(const std::string& key, bool fallback) const {
+  std::optional<std::string> value = Get(key);
+  if (!value) {
+    return fallback;
+  }
+  return ParseBool(*value).value_or(fallback);
+}
+
+Status Properties::LoadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("configuration file not found: " + path);
+  }
+  std::string line;
+  int line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '!') {
+      continue;
+    }
+    size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: expected key=value, got \"%s\"", path.c_str(),
+                    line_number, trimmed.c_str()));
+    }
+    std::string key = Trim(trimmed.substr(0, eq));
+    std::string value = Trim(trimmed.substr(eq + 1));
+    if (key.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: empty key", path.c_str(), line_number));
+    }
+    values_[key] = value;
+  }
+  return Status::OK();
+}
+
+void Properties::OverrideFromEnv(const std::string& prefix) {
+  // Check every known key (default or explicit) against the environment.
+  for (const auto& [key, value] : defaults_) {
+    (void)value;
+    if (const char* env = std::getenv((prefix + key).c_str())) {
+      values_[key] = env;
+    }
+  }
+  for (auto& [key, value] : values_) {
+    (void)value;
+    if (const char* env = std::getenv((prefix + key).c_str())) {
+      values_[key] = env;
+    }
+  }
+}
+
+std::vector<std::string> Properties::OverrideFromArgs(int argc,
+                                                      char** argv) {
+  std::vector<std::string> remaining;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "-D")) {
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos && eq > 2) {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        continue;
+      }
+    }
+    remaining.push_back(arg);
+  }
+  return remaining;
+}
+
+std::vector<std::string> Properties::Keys() const {
+  std::map<std::string, bool> all;
+  for (const auto& [key, value] : defaults_) {
+    (void)value;
+    all[key] = true;
+  }
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    all[key] = true;
+  }
+  std::vector<std::string> keys;
+  keys.reserve(all.size());
+  for (const auto& [key, present] : all) {
+    (void)present;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+std::string Properties::Serialize() const {
+  std::string out;
+  for (const std::string& key : Keys()) {
+    out += key + "=" + GetOr(key, "") + "\n";
+  }
+  return out;
+}
+
+}  // namespace repro
+}  // namespace perfeval

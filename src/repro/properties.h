@@ -1,0 +1,71 @@
+#ifndef PERFEVAL_REPRO_PROPERTIES_H_
+#define PERFEVAL_REPRO_PROPERTIES_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace perfeval {
+namespace repro {
+
+/// The paper's recommended parameterization pattern (slides 183–195, the
+/// java.util.Properties walkthrough), in C++: a string key/value map with
+///  1. code-supplied defaults (SetDefault),
+///  2. optional configuration-file overrides (LoadFile),
+///  3. environment-variable overrides (OverrideFromEnv),
+///  4. command-line overrides -Dkey=value (OverrideFromArgs),
+/// applied in that order, so "have a very simple means to obtain a test for
+/// the values f1=v1 ... fk=vk" holds for every experiment binary.
+class Properties {
+ public:
+  Properties() = default;
+
+  /// Sets a default; does not overwrite an explicit value.
+  void SetDefault(const std::string& key, const std::string& value);
+
+  /// Sets an explicit value (overrides everything before it).
+  void Set(const std::string& key, const std::string& value);
+
+  bool Has(const std::string& key) const;
+
+  std::optional<std::string> Get(const std::string& key) const;
+  std::string GetOr(const std::string& key,
+                    const std::string& fallback) const;
+
+  /// Typed getters; return `fallback` when missing or unparsable.
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Loads `key=value` lines; '#' and '!' start comments; whitespace around
+  /// keys/values is trimmed. Missing file is an error (the paper: "report
+  /// meaningful error if the configuration file is not found").
+  Status LoadFile(const std::string& path);
+
+  /// Overrides from environment variables named <prefix><key>
+  /// (e.g. prefix "PERFEVAL_", key "dataDir" -> PERFEVAL_dataDir).
+  void OverrideFromEnv(const std::string& prefix);
+
+  /// Consumes -Dkey=value arguments; returns the remaining arguments in
+  /// order (argv[0] excluded).
+  std::vector<std::string> OverrideFromArgs(int argc, char** argv);
+
+  /// All keys in sorted order.
+  std::vector<std::string> Keys() const;
+
+  /// "key=value" lines, sorted by key — the serialized configuration for
+  /// manifests.
+  std::string Serialize() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> defaults_;
+};
+
+}  // namespace repro
+}  // namespace perfeval
+
+#endif  // PERFEVAL_REPRO_PROPERTIES_H_

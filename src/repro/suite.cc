@@ -1,0 +1,111 @@
+#include "repro/suite.h"
+
+namespace perfeval {
+namespace repro {
+
+ExperimentSuite::ExperimentSuite(std::string project_name,
+                                 std::string requirements)
+    : project_name_(std::move(project_name)),
+      requirements_(std::move(requirements)) {}
+
+Status ExperimentSuite::Register(ExperimentInfo info) {
+  if (Find(info.id) != nullptr) {
+    return Status::AlreadyExists("experiment " + info.id +
+                                 " already registered");
+  }
+  experiments_.push_back(std::move(info));
+  return Status::OK();
+}
+
+const ExperimentInfo* ExperimentSuite::Find(const std::string& id) const {
+  for (const ExperimentInfo& info : experiments_) {
+    if (info.id == id) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+std::string ExperimentSuite::InstructionsMarkdown() const {
+  std::string out = "# Repeating the " + project_name_ + " experiments\n\n";
+  out += "## Installation\n\n" + requirements_ + "\n\n";
+  out += "## Experiments\n\n";
+  for (const ExperimentInfo& info : experiments_) {
+    out += "### " + info.id + ": " + info.title + "\n\n";
+    if (!info.extra_setup.empty()) {
+      out += "- Extra setup: " + info.extra_setup + "\n";
+    }
+    out += "- Run: `" + info.command + "`\n";
+    out += "- Results: " + info.outputs + "\n";
+    out += "- Approximate runtime: " + info.approx_runtime + "\n\n";
+  }
+  return out;
+}
+
+const ExperimentSuite& PerfevalSuite() {
+  static const ExperimentSuite* suite = [] {
+    auto* s = new ExperimentSuite(
+        "perfeval",
+        "cmake >= 3.16, ninja, a C++20 compiler, GoogleTest and Google "
+        "Benchmark. Build with `cmake -B build -G Ninja && cmake --build "
+        "build`.");
+    auto add = [&](const char* id, const char* title, const char* command,
+                   const char* outputs, const char* runtime) {
+      Status status = s->Register({id, title, command, outputs, runtime, ""});
+      (void)status;
+    };
+    add("T1", "Server vs client time and output channels (slides 23-26)",
+        "build/bench/bench_output_channels",
+        "stdout + bench_results/t1_output_channels.csv", "tens of seconds");
+    add("T2", "Hot vs cold runs, user vs real time (slides 33-36)",
+        "build/bench/bench_hot_cold",
+        "stdout + bench_results/t2_hot_cold.csv", "tens of seconds");
+    add("F1", "DBG/OPT relative execution time, 22 queries (slide 41)",
+        "build/bench/bench_dbg_opt",
+        "stdout + bench_results/f1_dbg_opt.{csv,gnu}", "about a minute");
+    add("F2", "SELECT MAX scan across machine generations (slides 46/51)",
+        "build/bench/bench_scan_generations",
+        "stdout + bench_results/f2_scan_generations.{csv,gnu}", "seconds");
+    add("T3", "2^2 design, memory x cache MIPS example (slides 70-78)",
+        "build/bench/bench_sign_table_22", "stdout", "instant");
+    add("T4", "Allocation of variation, interconnects (slides 86-93)",
+        "build/bench/bench_allocation_variation",
+        "stdout + bench_results/t4_allocation.csv", "seconds");
+    add("T5", "3-level fractional factorial catalogue (slides 67-69)",
+        "build/bench/bench_fractional_3level", "stdout", "instant");
+    add("T6", "2^(7-4) and 2^(4-1) confounding algebra (slides 100-109)",
+        "build/bench/bench_confounding", "stdout", "instant");
+    add("T7", "Design sizes: simple vs full factorial vs 2^k (slides 56-66)",
+        "build/bench/bench_design_sizes", "stdout", "instant");
+    add("F3", "Chart-guideline linter on the paper's bad charts "
+        "(slides 118-131)",
+        "build/bench/bench_chart_lint", "stdout", "instant");
+    add("F4", "Histogram cell-size manipulation (slide 144)",
+        "build/bench/bench_histogram_cells", "stdout", "instant");
+    add("F5", "SIGMOD 2008 repeatability outcomes (slides 218-220)",
+        "build/bench/bench_repeatability_survey", "stdout", "instant");
+    add("T8", "Confidence-interval overlap comparisons (slide 142)",
+        "build/bench/bench_confidence_overlap", "stdout", "seconds");
+    add("A1", "Engine factor screening, 2^(k-p) + allocation (ablation)",
+        "build/bench/bench_engine_screening",
+        "stdout + bench_results/a1_screening.csv", "about a minute");
+    add("A2", "Operator crossovers: hash vs merge join, top-n vs sort "
+        "(ablation)",
+        "build/bench/bench_join_crossover",
+        "stdout + bench_results/a2_*.csv", "about a minute");
+    add("A3", "TPC-H-style power and throughput metrics (slide 22)",
+        "build/bench/bench_throughput",
+        "stdout + bench_results/a3_throughput.csv", "about a minute");
+    add("A4", "Foreign-key skew sweep: data profile and operator cost",
+        "build/bench/bench_skew",
+        "stdout + bench_results/a4_skew.csv", "about a minute");
+    add("A5", "Scale-up: query time vs TPC-H scale factor (slide 22)",
+        "build/bench/bench_scaleup",
+        "stdout + bench_results/a5_scaleup.{csv,gnu}", "about a minute");
+    return s;
+  }();
+  return *suite;
+}
+
+}  // namespace repro
+}  // namespace perfeval

@@ -1,0 +1,60 @@
+#ifndef PERFEVAL_REPRO_SUITE_H_
+#define PERFEVAL_REPRO_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace perfeval {
+namespace repro {
+
+/// One registered experiment: everything another human needs to repeat it
+/// (paper, slides 216–217: script to run, where to look for the graph, how
+/// long it takes, extra installation if any).
+struct ExperimentInfo {
+  std::string id;            ///< e.g. "T2".
+  std::string title;         ///< "Hot vs. cold runs, user vs. real time".
+  std::string command;       ///< e.g. "build/bench/bench_hot_cold".
+  std::string outputs;       ///< where results land, e.g. "bench_results/t2_*".
+  std::string approx_runtime;  ///< "a few seconds".
+  std::string extra_setup;   ///< "" when none.
+};
+
+/// Registry of a project's experiments; emits the repeatability
+/// instructions document.
+class ExperimentSuite {
+ public:
+  /// `requirements`: what the installation needs ("cmake, ninja, gtest…").
+  explicit ExperimentSuite(std::string project_name,
+                           std::string requirements);
+
+  /// Registers an experiment; duplicate ids are an error.
+  Status Register(ExperimentInfo info);
+
+  const std::vector<ExperimentInfo>& experiments() const {
+    return experiments_;
+  }
+
+  /// Finds an experiment by id; nullptr when absent.
+  const ExperimentInfo* Find(const std::string& id) const;
+
+  /// Generates the full instructions document (Markdown): installation,
+  /// then one section per experiment.
+  std::string InstructionsMarkdown() const;
+
+ private:
+  std::string project_name_;
+  std::string requirements_;
+  std::vector<ExperimentInfo> experiments_;
+};
+
+/// The suite describing this repository's own experiments (T1..T8, F1..F5,
+/// A1) — used by the bench binaries and by tests that check the suite is
+/// complete against DESIGN.md's index.
+const ExperimentSuite& PerfevalSuite();
+
+}  // namespace repro
+}  // namespace perfeval
+
+#endif  // PERFEVAL_REPRO_SUITE_H_

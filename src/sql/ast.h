@@ -1,0 +1,84 @@
+#ifndef PERFEVAL_SQL_AST_H_
+#define PERFEVAL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace sql {
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+/// Expression node kinds of the SQL subset.
+enum class AstExprKind {
+  kColumn,     ///< text = column name.
+  kIntLit,     ///< int_value.
+  kDoubleLit,  ///< double_value.
+  kStringLit,  ///< text = body.
+  kDateLit,    ///< text = "YYYY-MM-DD".
+  kBinary,     ///< text = operator ("AND","OR","=","<=","+","*",...),
+               ///< children = {lhs, rhs}.
+  kNot,        ///< children = {operand}.
+  kLike,       ///< children = {operand}; text = pattern.
+  kInList,     ///< children = {operand}; string_list or int_list.
+  kBetween,    ///< children = {operand, lo, hi}.
+  kCase,       ///< children = {condition, then, else}.
+  kFunc,       ///< text = function name ("year", "substr");
+               ///< children = arguments.
+  kAgg,        ///< text = "sum"/"avg"/"min"/"max"/"count";
+               ///< children = {argument} (empty for count(*)).
+};
+
+/// One parsed expression. A single tagged struct keeps the AST simple; the
+/// binder (planner.h) validates shapes.
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kColumn;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::vector<AstExprPtr> children;
+  std::vector<std::string> string_list;  ///< IN ('a', 'b').
+  std::vector<int64_t> int_list;         ///< IN (1, 2, 3).
+  bool distinct = false;                 ///< count(DISTINCT x).
+  size_t offset = 0;                     ///< source offset for errors.
+};
+
+/// SELECT-list entry: expression plus optional AS alias.
+struct SelectItem {
+  AstExprPtr expr;
+  std::string alias;
+};
+
+/// One JOIN clause: JOIN <table> ON <condition>.
+struct JoinClause {
+  std::string table;
+  AstExprPtr condition;
+};
+
+/// One ORDER BY key.
+struct OrderItem {
+  std::string column;
+  bool ascending = true;
+};
+
+/// A parsed SELECT statement (the only statement kind).
+struct SelectStatement {
+  bool explain = false;  ///< EXPLAIN SELECT ...
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  std::string from_table;
+  std::vector<JoinClause> joins;
+  AstExprPtr where;  ///< null when absent.
+  std::vector<std::string> group_by;
+  AstExprPtr having;  ///< null when absent.
+  std::vector<OrderItem> order_by;
+  std::optional<size_t> limit;
+};
+
+}  // namespace sql
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SQL_AST_H_

@@ -1,0 +1,473 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/token.h"
+
+namespace perfeval {
+namespace sql {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseStatement() {
+    SelectStatement stmt;
+    if (Current().IsKeyword("EXPLAIN")) {
+      stmt.explain = true;
+      Advance();
+    }
+    PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+
+    // Select list.
+    if (Current().IsSymbol("*")) {
+      stmt.select_star = true;
+      Advance();
+    } else {
+      for (;;) {
+        SelectItem item;
+        PERFEVAL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Current().IsKeyword("AS")) {
+          Advance();
+          if (Current().kind != TokenKind::kIdentifier) {
+            return ErrorHere("expected alias after AS");
+          }
+          item.alias = Current().text;
+          Advance();
+        }
+        stmt.items.push_back(std::move(item));
+        if (!Current().IsSymbol(",")) {
+          break;
+        }
+        Advance();
+      }
+    }
+
+    PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Current().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected table name after FROM");
+    }
+    stmt.from_table = Current().text;
+    Advance();
+
+    while (Current().IsKeyword("JOIN") || Current().IsKeyword("INNER")) {
+      if (Current().IsKeyword("INNER")) {
+        Advance();
+        if (!Current().IsKeyword("JOIN")) {
+          return ErrorHere("expected JOIN after INNER");
+        }
+      }
+      Advance();  // JOIN
+      if (Current().kind != TokenKind::kIdentifier) {
+        return ErrorHere("expected table name after JOIN");
+      }
+      JoinClause join;
+      join.table = Current().text;
+      Advance();
+      PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      PERFEVAL_ASSIGN_OR_RETURN(join.condition, ParseExpr());
+      stmt.joins.push_back(std::move(join));
+    }
+
+    if (Current().IsKeyword("WHERE")) {
+      Advance();
+      PERFEVAL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+
+    if (Current().IsKeyword("GROUP")) {
+      Advance();
+      PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      for (;;) {
+        if (Current().kind != TokenKind::kIdentifier) {
+          return ErrorHere("expected column name in GROUP BY");
+        }
+        stmt.group_by.push_back(Current().text);
+        Advance();
+        if (!Current().IsSymbol(",")) {
+          break;
+        }
+        Advance();
+      }
+    }
+
+    if (Current().IsKeyword("HAVING")) {
+      Advance();
+      PERFEVAL_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+
+    if (Current().IsKeyword("ORDER")) {
+      Advance();
+      PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      for (;;) {
+        if (Current().kind != TokenKind::kIdentifier) {
+          return ErrorHere("expected column name in ORDER BY");
+        }
+        OrderItem item;
+        item.column = Current().text;
+        Advance();
+        if (Current().IsKeyword("ASC")) {
+          Advance();
+        } else if (Current().IsKeyword("DESC")) {
+          item.ascending = false;
+          Advance();
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!Current().IsSymbol(",")) {
+          break;
+        }
+        Advance();
+      }
+    }
+
+    if (Current().IsKeyword("LIMIT")) {
+      Advance();
+      if (Current().kind != TokenKind::kInteger) {
+        return ErrorHere("expected integer after LIMIT");
+      }
+      stmt.limit = static_cast<size_t>(
+          ParseInt64(Current().text).value_or(0));
+      Advance();
+    }
+
+    if (Current().IsSymbol(";")) {
+      Advance();
+    }
+    if (Current().kind != TokenKind::kEnd) {
+      return ErrorHere("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[position_]; }
+  void Advance() {
+    if (position_ + 1 < tokens_.size()) {
+      ++position_;
+    }
+  }
+
+  Status ErrorHere(const std::string& message) const {
+    const Token& token = Current();
+    return Status::InvalidArgument(
+        StrFormat("%s at offset %zu (near '%s')", message.c_str(),
+                  token.offset, token.text.c_str()));
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!Current().IsKeyword(keyword)) {
+      return ErrorHere("expected " + keyword);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  static AstExprPtr MakeNode(AstExprKind kind, size_t offset) {
+    auto node = std::make_shared<AstExpr>();
+    node->kind = kind;
+    node->offset = offset;
+    return node;
+  }
+
+  // expr := or_expr
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseAnd());
+    while (Current().IsKeyword("OR")) {
+      size_t offset = Current().offset;
+      Advance();
+      PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseAnd());
+      AstExprPtr node = MakeNode(AstExprKind::kBinary, offset);
+      node->text = "OR";
+      node->children = {lhs, rhs};
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseNot());
+    while (Current().IsKeyword("AND")) {
+      size_t offset = Current().offset;
+      Advance();
+      PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseNot());
+      AstExprPtr node = MakeNode(AstExprKind::kBinary, offset);
+      node->text = "AND";
+      node->children = {lhs, rhs};
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseNot() {
+    if (Current().IsKeyword("NOT")) {
+      size_t offset = Current().offset;
+      Advance();
+      PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr operand, ParseNot());
+      AstExprPtr node = MakeNode(AstExprKind::kNot, offset);
+      node->children = {operand};
+      return node;
+    }
+    return ParsePredicate();
+  }
+
+  Result<AstExprPtr> ParsePredicate() {
+    PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseAdditive());
+    // Optional NOT before LIKE/IN.
+    bool negated = false;
+    if (Current().IsKeyword("NOT")) {
+      const Token& next = tokens_[position_ + 1];
+      if (next.IsKeyword("LIKE") || next.IsKeyword("IN")) {
+        negated = true;
+        Advance();
+      }
+    }
+    if (Current().IsKeyword("LIKE")) {
+      size_t offset = Current().offset;
+      Advance();
+      if (Current().kind != TokenKind::kString) {
+        return ErrorHere("expected string pattern after LIKE");
+      }
+      AstExprPtr node = MakeNode(AstExprKind::kLike, offset);
+      node->text = Current().text;
+      node->children = {lhs};
+      Advance();
+      return Negate(node, negated);
+    }
+    if (Current().IsKeyword("IN")) {
+      size_t offset = Current().offset;
+      Advance();
+      if (!Current().IsSymbol("(")) {
+        return ErrorHere("expected ( after IN");
+      }
+      Advance();
+      AstExprPtr node = MakeNode(AstExprKind::kInList, offset);
+      node->children = {lhs};
+      for (;;) {
+        if (Current().kind == TokenKind::kString) {
+          node->string_list.push_back(Current().text);
+        } else if (Current().kind == TokenKind::kInteger) {
+          node->int_list.push_back(ParseInt64(Current().text).value_or(0));
+        } else {
+          return ErrorHere("expected string or integer literal in IN list");
+        }
+        Advance();
+        if (Current().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (!node->string_list.empty() && !node->int_list.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "IN list at offset %zu mixes strings and integers", offset));
+      }
+      if (!Current().IsSymbol(")")) {
+        return ErrorHere("expected ) after IN list");
+      }
+      Advance();
+      return Negate(node, negated);
+    }
+    if (Current().IsKeyword("BETWEEN")) {
+      size_t offset = Current().offset;
+      Advance();
+      PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr lo, ParseAdditive());
+      PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr hi, ParseAdditive());
+      AstExprPtr node = MakeNode(AstExprKind::kBetween, offset);
+      node->children = {lhs, lo, hi};
+      return node;
+    }
+    static const char* kComparisons[] = {"=", "<>", "<=", ">=", "<", ">"};
+    for (const char* op : kComparisons) {
+      if (Current().IsSymbol(op)) {
+        size_t offset = Current().offset;
+        Advance();
+        PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseAdditive());
+        AstExprPtr node = MakeNode(AstExprKind::kBinary, offset);
+        node->text = op;
+        node->children = {lhs, rhs};
+        return node;
+      }
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> Negate(AstExprPtr node, bool negated) {
+    if (!negated) {
+      return node;
+    }
+    AstExprPtr wrapper = MakeNode(AstExprKind::kNot, node->offset);
+    wrapper->children = {std::move(node)};
+    return wrapper;
+  }
+
+  Result<AstExprPtr> ParseAdditive() {
+    PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseTerm());
+    while (Current().IsSymbol("+") || Current().IsSymbol("-")) {
+      std::string op = Current().text;
+      size_t offset = Current().offset;
+      Advance();
+      PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseTerm());
+      AstExprPtr node = MakeNode(AstExprKind::kBinary, offset);
+      node->text = op;
+      node->children = {lhs, rhs};
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseTerm() {
+    PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseFactor());
+    while (Current().IsSymbol("*") || Current().IsSymbol("/")) {
+      std::string op = Current().text;
+      size_t offset = Current().offset;
+      Advance();
+      PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseFactor());
+      AstExprPtr node = MakeNode(AstExprKind::kBinary, offset);
+      node->text = op;
+      node->children = {lhs, rhs};
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseFactor() {
+    const Token& token = Current();
+    if (token.IsSymbol("(")) {
+      Advance();
+      PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+      if (!Current().IsSymbol(")")) {
+        return ErrorHere("expected )");
+      }
+      Advance();
+      return inner;
+    }
+    if (token.kind == TokenKind::kInteger) {
+      AstExprPtr node = MakeNode(AstExprKind::kIntLit, token.offset);
+      node->int_value = ParseInt64(token.text).value_or(0);
+      Advance();
+      return node;
+    }
+    if (token.kind == TokenKind::kDouble) {
+      AstExprPtr node = MakeNode(AstExprKind::kDoubleLit, token.offset);
+      node->double_value = ParseDouble(token.text).value_or(0.0);
+      Advance();
+      return node;
+    }
+    if (token.kind == TokenKind::kString) {
+      AstExprPtr node = MakeNode(AstExprKind::kStringLit, token.offset);
+      node->text = token.text;
+      Advance();
+      return node;
+    }
+    if (token.IsKeyword("DATE")) {
+      Advance();
+      if (Current().kind != TokenKind::kString) {
+        return ErrorHere("expected 'YYYY-MM-DD' after DATE");
+      }
+      AstExprPtr node = MakeNode(AstExprKind::kDateLit, token.offset);
+      node->text = Current().text;
+      Advance();
+      return node;
+    }
+    if (token.IsKeyword("CASE")) {
+      Advance();
+      PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("WHEN"));
+      PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr condition, ParseExpr());
+      PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+      PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr then_expr, ParseExpr());
+      PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("ELSE"));
+      PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr else_expr, ParseExpr());
+      PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("END"));
+      AstExprPtr node = MakeNode(AstExprKind::kCase, token.offset);
+      node->children = {condition, then_expr, else_expr};
+      return node;
+    }
+    // Aggregates.
+    for (const char* agg : {"SUM", "AVG", "MIN", "MAX", "COUNT"}) {
+      if (token.IsKeyword(agg)) {
+        return ParseAggregate();
+      }
+    }
+    if (token.kind == TokenKind::kIdentifier) {
+      // Function call or column reference.
+      if (tokens_[position_ + 1].IsSymbol("(")) {
+        return ParseFunction();
+      }
+      AstExprPtr node = MakeNode(AstExprKind::kColumn, token.offset);
+      node->text = token.text;
+      Advance();
+      return node;
+    }
+    return ErrorHere("expected expression");
+  }
+
+  Result<AstExprPtr> ParseAggregate() {
+    const Token& name = Current();
+    AstExprPtr node = MakeNode(AstExprKind::kAgg, name.offset);
+    node->text = ToLower(name.text);
+    Advance();
+    if (!Current().IsSymbol("(")) {
+      return ErrorHere("expected ( after aggregate function");
+    }
+    Advance();
+    if (node->text == "count" && Current().IsSymbol("*")) {
+      Advance();
+    } else {
+      if (Current().IsKeyword("DISTINCT")) {
+        if (node->text != "count") {
+          return ErrorHere("DISTINCT is only supported inside count()");
+        }
+        node->distinct = true;
+        Advance();
+      }
+      PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+      node->children = {arg};
+    }
+    if (!Current().IsSymbol(")")) {
+      return ErrorHere("expected ) after aggregate argument");
+    }
+    Advance();
+    return node;
+  }
+
+  Result<AstExprPtr> ParseFunction() {
+    const Token& name = Current();
+    AstExprPtr node = MakeNode(AstExprKind::kFunc, name.offset);
+    node->text = name.text;
+    Advance();  // name
+    Advance();  // (
+    if (!Current().IsSymbol(")")) {
+      for (;;) {
+        PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+        node->children.push_back(std::move(arg));
+        if (Current().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!Current().IsSymbol(")")) {
+      return ErrorHere("expected ) after function arguments");
+    }
+    Advance();
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> Parse(const std::string& source) {
+  PERFEVAL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace perfeval

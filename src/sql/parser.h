@@ -1,0 +1,42 @@
+#ifndef PERFEVAL_SQL_PARSER_H_
+#define PERFEVAL_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace perfeval {
+namespace sql {
+
+/// Parses one SELECT statement (optionally prefixed with EXPLAIN and/or
+/// terminated with ';'). Grammar, in precedence order:
+///
+///   statement  := [EXPLAIN] SELECT select_list FROM identifier
+///                 {JOIN identifier ON expr} [WHERE expr]
+///                 [GROUP BY column {, column}] [HAVING expr]
+///                 [ORDER BY column [ASC|DESC] {, ...}] [LIMIT integer]
+///   select_list:= '*' | select_item {, select_item}
+///   select_item:= expr [AS identifier]
+///   expr       := or_expr
+///   or_expr    := and_expr {OR and_expr}
+///   and_expr   := not_expr {AND not_expr}
+///   not_expr   := NOT not_expr | predicate
+///   predicate  := additive [cmp additive | [NOT] LIKE string
+///                 | [NOT] IN '(' literal {, literal} ')'
+///                 | BETWEEN additive AND additive]
+///   additive   := term {(+|-) term}
+///   term       := factor {(*|/) factor}
+///   factor     := literal | column | DATE string | function '(' args ')'
+///                 | CASE WHEN expr THEN expr ELSE expr END | '(' expr ')'
+///
+/// Functions: year(x), substr(x, pos, len); aggregates: sum, avg, min,
+/// max, count(*), count([DISTINCT] x).
+///
+/// Errors carry the byte offset of the offending token.
+Result<SelectStatement> Parse(const std::string& source);
+
+}  // namespace sql
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SQL_PARSER_H_

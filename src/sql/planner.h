@@ -1,0 +1,50 @@
+#ifndef PERFEVAL_SQL_PLANNER_H_
+#define PERFEVAL_SQL_PLANNER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "db/plan.h"
+#include "sql/ast.h"
+
+namespace perfeval {
+namespace sql {
+
+/// A bound, executable query.
+struct PlannedQuery {
+  db::PlanPtr plan;
+  bool explain = false;  ///< EXPLAIN queries are described, not executed.
+};
+
+/// Binds a parsed statement against `database`'s catalog and builds a
+/// physical plan:
+///  - single-table WHERE conjuncts are pushed into FilterScans (zone-map
+///    eligible), the rest becomes a Filter above the joins;
+///  - JOIN ... ON clauses must contain one or two column equalities
+///    (hash join / composite hash join); non-equi residues become filters;
+///  - aggregates anywhere in the SELECT list or HAVING are extracted into
+///    an Aggregate operator, and the surrounding expressions are rewritten
+///    over its output (so `100 * sum(a) / sum(b)` works);
+///  - ORDER BY binds against the output schema, falling back to pre-
+///    projection columns;
+///  - column names must be unambiguous across the joined tables (TPC-H
+///    style prefixes); ambiguous or unknown names are errors.
+Result<PlannedQuery> PlanStatement(const SelectStatement& statement,
+                                   const db::Database& database);
+
+/// Parse + plan in one call.
+Result<PlannedQuery> PlanQuery(const std::string& sql_text,
+                               const db::Database& database);
+
+/// Convenience for tools: parse, plan and run `sql_text`; for EXPLAIN
+/// queries the result table has a single "plan" column holding the tree.
+Result<db::QueryResult> RunQuery(const std::string& sql_text,
+                                 db::Database& database,
+                                 db::ExecMode mode = db::ExecMode::kOptimized,
+                                 db::SinkKind sink = db::SinkKind::kDiscard);
+
+}  // namespace sql
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SQL_PLANNER_H_

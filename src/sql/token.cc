@@ -1,0 +1,159 @@
+#include "sql/token.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace sql {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* keywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",  "WHERE",  "GROUP", "BY",      "HAVING",
+      "ORDER",  "LIMIT", "AS",     "AND",   "OR",      "NOT",
+      "JOIN",   "ON",    "ASC",    "DESC",  "LIKE",    "IN",
+      "BETWEEN", "DATE", "SUM",    "AVG",   "MIN",     "MAX",
+      "COUNT",  "DISTINCT", "CASE", "WHEN", "THEN",    "ELSE",
+      "END",    "INNER", "EXPLAIN"};
+  return *keywords;
+}
+
+bool IsIdentifierStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentifierChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kKeyword:
+      return "keyword";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kDouble:
+      return "double";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kSymbol:
+      return "symbol";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "unknown";
+}
+
+Result<std::vector<Token>> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = source.size();
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments.
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentifierStart(c)) {
+      while (i < n && IsIdentifierChar(source[i])) {
+        ++i;
+      }
+      std::string word = source.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tokens.push_back({TokenKind::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenKind::kIdentifier, ToLower(word), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      if (i < n && source[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n &&
+               std::isdigit(static_cast<unsigned char>(source[i]))) {
+          ++i;
+        }
+      }
+      tokens.push_back({is_double ? TokenKind::kDouble : TokenKind::kInteger,
+                        source.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string body;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (source[i] == '\'') {
+          if (i + 1 < n && source[i + 1] == '\'') {
+            body += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        body += source[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(StrFormat(
+            "unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back({TokenKind::kString, body, start});
+      continue;
+    }
+    // Two-character symbols first.
+    if (i + 1 < n) {
+      std::string two = source.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tokens.push_back(
+            {TokenKind::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = "(),*+-/=<>.;%";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back({TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrFormat("unexpected character '%c' at offset %zu", c, start));
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace perfeval

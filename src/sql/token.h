@@ -1,0 +1,48 @@
+#ifndef PERFEVAL_SQL_TOKEN_H_
+#define PERFEVAL_SQL_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace perfeval {
+namespace sql {
+
+/// Token kinds of the SQL subset.
+enum class TokenKind {
+  kIdentifier,   ///< table/column names (case-preserving).
+  kKeyword,      ///< SELECT, FROM, ... (normalized to upper case).
+  kInteger,      ///< 42
+  kDouble,       ///< 3.14
+  kString,       ///< 'text' (single quotes, '' escapes a quote)
+  kSymbol,       ///< ( ) , * + - / = < > <= >= <> . ;
+  kEnd,          ///< end of input.
+};
+
+const char* TokenKindName(TokenKind kind);
+
+/// One lexed token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< keyword/symbol text, identifier, literal body.
+  size_t offset = 0;  ///< byte offset in the source string.
+
+  bool IsKeyword(const std::string& keyword) const {
+    return kind == TokenKind::kKeyword && text == keyword;
+  }
+  bool IsSymbol(const std::string& symbol) const {
+    return kind == TokenKind::kSymbol && text == symbol;
+  }
+};
+
+/// Lexes `source` into tokens (a kEnd token is appended). SQL keywords are
+/// recognized case-insensitively and normalized to upper case; anything
+/// word-like that is not a keyword is an identifier (lower-cased, since the
+/// engine's column names are lower case).
+Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace sql
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SQL_TOKEN_H_

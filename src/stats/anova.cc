@@ -1,0 +1,113 @@
+#include "stats/anova.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+#include "stats/tdist.h"
+
+namespace perfeval {
+namespace stats {
+
+double FCdf(double f, double d1, double d2) {
+  PERFEVAL_CHECK_GT(d1, 0.0);
+  PERFEVAL_CHECK_GT(d2, 0.0);
+  if (f <= 0.0) {
+    return 0.0;
+  }
+  double x = d1 * f / (d1 * f + d2);
+  return RegularizedIncompleteBeta(d1 / 2.0, d2 / 2.0, x);
+}
+
+const AnovaRow* AnovaTable::Find(const std::string& source) const {
+  for (const AnovaRow& row : rows) {
+    if (row.source == source) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+std::string AnovaTable::ToString() const {
+  std::string out = StrFormat("%-16s %12s %6s %12s %10s %10s %5s\n",
+                              "source", "SS", "df", "MS", "F", "p", "sig");
+  for (const AnovaRow& row : rows) {
+    if (row.f_statistic > 0.0) {
+      out += StrFormat("%-16s %12.5g %6.0f %12.5g %10.3f %10.4g %5s\n",
+                       row.source.c_str(), row.sum_of_squares,
+                       row.degrees_of_freedom, row.mean_square,
+                       row.f_statistic, row.p_value,
+                       row.significant ? "*" : "");
+    } else {
+      out += StrFormat("%-16s %12.5g %6.0f %12.5g\n", row.source.c_str(),
+                       row.sum_of_squares, row.degrees_of_freedom,
+                       row.mean_square);
+    }
+  }
+  return out;
+}
+
+AnovaTable OneWayAnova(const std::vector<std::vector<double>>& groups,
+                       double alpha) {
+  PERFEVAL_CHECK_GE(groups.size(), 2u);
+  size_t total_n = 0;
+  double grand_sum = 0.0;
+  for (const std::vector<double>& group : groups) {
+    PERFEVAL_CHECK_GE(group.size(), 2u)
+        << "each group needs >= 2 observations";
+    total_n += group.size();
+    grand_sum += Sum(group);
+  }
+  double grand_mean = grand_sum / static_cast<double>(total_n);
+
+  double ss_between = 0.0;
+  double ss_within = 0.0;
+  for (const std::vector<double>& group : groups) {
+    double group_mean = Mean(group);
+    double d = group_mean - grand_mean;
+    ss_between += static_cast<double>(group.size()) * d * d;
+    for (double x : group) {
+      ss_within += (x - group_mean) * (x - group_mean);
+    }
+  }
+  double df_between = static_cast<double>(groups.size()) - 1.0;
+  double df_within =
+      static_cast<double>(total_n) - static_cast<double>(groups.size());
+  double ms_between = ss_between / df_between;
+  double ms_within = df_within > 0 ? ss_within / df_within : 0.0;
+
+  AnovaTable table;
+  table.alpha = alpha;
+  AnovaRow between;
+  between.source = "between";
+  between.sum_of_squares = ss_between;
+  between.degrees_of_freedom = df_between;
+  between.mean_square = ms_between;
+  if (ms_within > 0.0) {
+    between.f_statistic = ms_between / ms_within;
+    between.p_value = 1.0 - FCdf(between.f_statistic, df_between, df_within);
+  } else {
+    // Zero within-group variance: any between-group difference is exact.
+    between.f_statistic = ss_between > 0.0 ? 1e308 : 0.0;
+    between.p_value = ss_between > 0.0 ? 0.0 : 1.0;
+  }
+  between.significant = between.p_value < alpha;
+  table.rows.push_back(between);
+
+  AnovaRow error;
+  error.source = "error";
+  error.sum_of_squares = ss_within;
+  error.degrees_of_freedom = df_within;
+  error.mean_square = ms_within;
+  table.rows.push_back(error);
+
+  AnovaRow total;
+  total.source = "total";
+  total.sum_of_squares = ss_between + ss_within;
+  total.degrees_of_freedom = static_cast<double>(total_n) - 1.0;
+  total.mean_square = 0.0;
+  table.rows.push_back(total);
+  return table;
+}
+
+}  // namespace stats
+}  // namespace perfeval

@@ -1,0 +1,46 @@
+#ifndef PERFEVAL_STATS_ANOVA_H_
+#define PERFEVAL_STATS_ANOVA_H_
+
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace stats {
+
+/// CDF of the F distribution with (d1, d2) degrees of freedom.
+double FCdf(double f, double d1, double d2);
+
+/// One row of an ANOVA table.
+struct AnovaRow {
+  std::string source;         ///< effect name or "error"/"total".
+  double sum_of_squares = 0;
+  double degrees_of_freedom = 0;
+  double mean_square = 0;
+  double f_statistic = 0;     ///< 0 for error/total rows.
+  double p_value = 1.0;
+  bool significant = false;   ///< p < alpha.
+};
+
+/// A complete ANOVA decomposition.
+struct AnovaTable {
+  std::vector<AnovaRow> rows;  ///< effects, then error, then total.
+  double alpha = 0.05;
+
+  /// Row by source name (nullptr when absent).
+  const AnovaRow* Find(const std::string& source) const;
+
+  /// Aligned text rendering.
+  std::string ToString() const;
+};
+
+/// One-way ANOVA over k independent groups: is at least one group mean
+/// different? The paper's first "common mistake" (slide 59) is ignoring
+/// experimental error; the F test is the standard guard against it.
+/// Requires >= 2 groups, each with >= 2 observations.
+AnovaTable OneWayAnova(const std::vector<std::vector<double>>& groups,
+                       double alpha = 0.05);
+
+}  // namespace stats
+}  // namespace perfeval
+
+#endif  // PERFEVAL_STATS_ANOVA_H_

@@ -1,0 +1,108 @@
+#include "stats/compare.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+#include "stats/tdist.h"
+
+namespace perfeval {
+namespace stats {
+namespace {
+
+Verdict VerdictFromDifferenceCi(const ConfidenceInterval& diff) {
+  if (diff.Contains(0.0)) {
+    return Verdict::kIndifferent;
+  }
+  // difference = mean(A) - mean(B), lower-is-better response:
+  // strictly negative interval => A smaller => A better.
+  return diff.upper < 0.0 ? Verdict::kAIsBetter : Verdict::kBIsBetter;
+}
+
+}  // namespace
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kAIsBetter:
+      return "A is better";
+    case Verdict::kBIsBetter:
+      return "B is better";
+    case Verdict::kIndifferent:
+      return "statistically indifferent";
+  }
+  return "unknown";
+}
+
+std::string Comparison::ToString() const {
+  return StrFormat("mean(A)=%.6g mean(B)=%.6g diff CI %s => %s", mean_a,
+                   mean_b, difference.ToString().c_str(),
+                   VerdictName(verdict));
+}
+
+Comparison ComparePaired(const std::vector<double>& a,
+                         const std::vector<double>& b, double confidence) {
+  PERFEVAL_CHECK_EQ(a.size(), b.size());
+  PERFEVAL_CHECK_GE(a.size(), 2u);
+  std::vector<double> diffs(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    diffs[i] = a[i] - b[i];
+  }
+  Comparison cmp;
+  cmp.mean_a = Mean(a);
+  cmp.mean_b = Mean(b);
+  cmp.difference = MeanConfidenceInterval(diffs, confidence);
+  cmp.verdict = VerdictFromDifferenceCi(cmp.difference);
+  return cmp;
+}
+
+Comparison CompareUnpaired(const std::vector<double>& a,
+                           const std::vector<double>& b, double confidence) {
+  PERFEVAL_CHECK_GE(a.size(), 2u);
+  PERFEVAL_CHECK_GE(b.size(), 2u);
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  double va = Variance(a) / na;
+  double vb = Variance(b) / nb;
+  double se = std::sqrt(va + vb);
+  // Welch–Satterthwaite degrees of freedom.
+  double df;
+  if (va + vb == 0.0) {
+    df = na + nb - 2.0;
+  } else {
+    df = (va + vb) * (va + vb) /
+         (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  }
+  if (df < 1.0) {
+    df = 1.0;
+  }
+  double t = TwoSidedTCritical(confidence, df);
+  Comparison cmp;
+  cmp.mean_a = Mean(a);
+  cmp.mean_b = Mean(b);
+  double d = cmp.mean_a - cmp.mean_b;
+  cmp.difference.mean = d;
+  cmp.difference.lower = d - t * se;
+  cmp.difference.upper = d + t * se;
+  cmp.difference.confidence = confidence;
+  cmp.verdict = VerdictFromDifferenceCi(cmp.difference);
+  return cmp;
+}
+
+double Speedup(double before, double after) {
+  PERFEVAL_CHECK_GT(after, 0.0);
+  return before / after;
+}
+
+double ScaleupEfficiency(double work_small, double time_small,
+                         double work_large, double time_large) {
+  PERFEVAL_CHECK_GT(work_small, 0.0);
+  PERFEVAL_CHECK_GT(time_small, 0.0);
+  PERFEVAL_CHECK_GT(time_large, 0.0);
+  double work_ratio = work_large / work_small;
+  double time_ratio = time_large / time_small;
+  return work_ratio / time_ratio;
+}
+
+}  // namespace stats
+}  // namespace perfeval

@@ -1,0 +1,57 @@
+#ifndef PERFEVAL_STATS_COMPARE_H_
+#define PERFEVAL_STATS_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "stats/confidence.h"
+
+namespace perfeval {
+namespace stats {
+
+/// Outcome of comparing two alternatives A and B on a lower-is-better
+/// response (e.g. execution time). Per the paper (slide 142): if the CI of
+/// the difference contains zero, the alternatives are statistically
+/// indifferent — "MINE is better than YOURS" is not a legitimate claim.
+enum class Verdict {
+  kAIsBetter,
+  kBIsBetter,
+  kIndifferent,
+};
+
+const char* VerdictName(Verdict verdict);
+
+/// Result of a two-alternative comparison.
+struct Comparison {
+  ConfidenceInterval difference;  ///< CI of mean(A) - mean(B).
+  Verdict verdict = Verdict::kIndifferent;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Paired comparison: samples a[i] and b[i] come from the same experiment
+/// unit (e.g. the same query run on both systems). Builds the CI of the
+/// per-pair difference. Requires equal sizes >= 2.
+Comparison ComparePaired(const std::vector<double>& a,
+                         const std::vector<double>& b, double confidence);
+
+/// Unpaired comparison with unequal variances (Welch's t interval).
+/// Requires both samples to have >= 2 observations.
+Comparison CompareUnpaired(const std::vector<double>& a,
+                           const std::vector<double>& b, double confidence);
+
+/// Speed-up of `after` relative to `before`: before/after for lower-is-better
+/// metrics. > 1 means `after` is faster.
+double Speedup(double before, double after);
+
+/// Scale-up efficiency: (work_large/work_small) / (time_large/time_small).
+/// 1.0 means perfect (linear) scale-up.
+double ScaleupEfficiency(double work_small, double time_small,
+                         double work_large, double time_large);
+
+}  // namespace stats
+}  // namespace perfeval
+
+#endif  // PERFEVAL_STATS_COMPARE_H_

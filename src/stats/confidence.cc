@@ -1,0 +1,72 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+#include "stats/tdist.h"
+
+namespace perfeval {
+namespace stats {
+
+std::string ConfidenceInterval::ToString() const {
+  return StrFormat("%.6g [%.6g, %.6g] @ %.0f%%", mean, lower, upper,
+                   confidence * 100.0);
+}
+
+ConfidenceInterval MeanConfidenceInterval(const std::vector<double>& samples,
+                                          double confidence) {
+  PERFEVAL_CHECK_GE(samples.size(), 2u)
+      << "confidence interval needs >= 2 samples";
+  PERFEVAL_CHECK_GT(confidence, 0.0);
+  PERFEVAL_CHECK_LT(confidence, 1.0);
+  double mean = Mean(samples);
+  double stderr_mean =
+      StdDev(samples) / std::sqrt(static_cast<double>(samples.size()));
+  double df = static_cast<double>(samples.size() - 1);
+  double t = TwoSidedTCritical(confidence, df);
+  ConfidenceInterval ci;
+  ci.mean = mean;
+  ci.lower = mean - t * stderr_mean;
+  ci.upper = mean + t * stderr_mean;
+  ci.confidence = confidence;
+  return ci;
+}
+
+ConfidenceInterval ProportionConfidenceInterval(int64_t successes,
+                                                int64_t trials,
+                                                double confidence) {
+  PERFEVAL_CHECK_GE(trials, 1);
+  PERFEVAL_CHECK_GE(successes, 0);
+  PERFEVAL_CHECK_LE(successes, trials);
+  PERFEVAL_CHECK_GT(confidence, 0.0);
+  PERFEVAL_CHECK_LT(confidence, 1.0);
+  double p = static_cast<double>(successes) / static_cast<double>(trials);
+  double z = NormalQuantile(1.0 - (1.0 - confidence) / 2.0);
+  double half = z * std::sqrt(p * (1.0 - p) / static_cast<double>(trials));
+  ConfidenceInterval ci;
+  ci.mean = p;
+  ci.lower = p - half < 0.0 ? 0.0 : p - half;
+  ci.upper = p + half > 1.0 ? 1.0 : p + half;
+  ci.confidence = confidence;
+  return ci;
+}
+
+int64_t RequiredReplications(const std::vector<double>& pilot_samples,
+                             double confidence, double relative_error) {
+  PERFEVAL_CHECK_GE(pilot_samples.size(), 2u);
+  PERFEVAL_CHECK_GT(relative_error, 0.0);
+  double mean = Mean(pilot_samples);
+  PERFEVAL_CHECK(mean != 0.0) << "relative error undefined for zero mean";
+  double sd = StdDev(pilot_samples);
+  double df = static_cast<double>(pilot_samples.size() - 1);
+  double t = TwoSidedTCritical(confidence, df);
+  double n = (t * sd / (relative_error * std::fabs(mean)));
+  n = n * n;
+  int64_t needed = static_cast<int64_t>(std::ceil(n));
+  return needed < 2 ? 2 : needed;
+}
+
+}  // namespace stats
+}  // namespace perfeval

@@ -1,0 +1,55 @@
+#ifndef PERFEVAL_STATS_CONFIDENCE_H_
+#define PERFEVAL_STATS_CONFIDENCE_H_
+
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace stats {
+
+/// A two-sided confidence interval around a point estimate.
+///
+/// The paper insists that random quantities be plotted *with* confidence
+/// intervals (slide 142); every harness result in this library can carry one.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  double confidence = 0.0;  ///< e.g. 0.95
+
+  double HalfWidth() const { return (upper - lower) / 2.0; }
+
+  /// True when the two intervals share any point. Per the paper,
+  /// overlapping intervals can mean the quantities are statistically
+  /// indifferent.
+  bool Overlaps(const ConfidenceInterval& other) const {
+    return lower <= other.upper && other.lower <= upper;
+  }
+
+  bool Contains(double x) const { return lower <= x && x <= upper; }
+
+  /// "mean [lower, upper] @ 95%".
+  std::string ToString() const;
+};
+
+/// Student-t confidence interval for the mean of `samples`.
+/// Requires >= 2 samples and confidence in (0, 1).
+ConfidenceInterval MeanConfidenceInterval(const std::vector<double>& samples,
+                                          double confidence);
+
+/// Normal-approximation (Wald) interval for a proportion successes/trials.
+/// Requires trials >= 1.
+ConfidenceInterval ProportionConfidenceInterval(int64_t successes,
+                                                int64_t trials,
+                                                double confidence);
+
+/// Number of replications needed so the half-width of the mean's CI is at
+/// most `relative_error` * mean, given a pilot sample. (Jain, ch. 25 —
+/// the paper's "replication" design parameter.) Returns at least 2.
+int64_t RequiredReplications(const std::vector<double>& pilot_samples,
+                             double confidence, double relative_error);
+
+}  // namespace stats
+}  // namespace perfeval
+
+#endif  // PERFEVAL_STATS_CONFIDENCE_H_

@@ -1,0 +1,61 @@
+#ifndef PERFEVAL_STATS_DESCRIPTIVE_H_
+#define PERFEVAL_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace stats {
+
+/// Sum of all samples.
+double Sum(const std::vector<double>& samples);
+
+/// Arithmetic mean. Requires at least one sample.
+double Mean(const std::vector<double>& samples);
+
+/// Unbiased sample variance (divides by n-1). Requires >= 2 samples.
+double Variance(const std::vector<double>& samples);
+
+/// Square root of Variance().
+double StdDev(const std::vector<double>& samples);
+
+/// StdDev / Mean. Requires a non-zero mean.
+double CoefficientOfVariation(const std::vector<double>& samples);
+
+double Min(const std::vector<double>& samples);
+double Max(const std::vector<double>& samples);
+
+/// Median (average of the two middle values for even n).
+double Median(const std::vector<double>& samples);
+
+/// Linear-interpolation percentile, p in [0, 100]. p=50 matches Median().
+double Percentile(const std::vector<double>& samples, double p);
+
+/// Geometric mean; all samples must be positive. The correct mean for
+/// normalized ratios such as the paper's DBG/OPT relative execution times.
+double GeometricMean(const std::vector<double>& samples);
+
+/// Harmonic mean; all samples must be positive. The correct mean for rates
+/// (e.g. queries/second) over a fixed amount of work.
+double HarmonicMean(const std::vector<double>& samples);
+
+/// One-pass summary of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< 0 when count < 2.
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes all Summary fields. Requires at least one sample.
+Summary Summarize(const std::vector<double>& samples);
+
+}  // namespace stats
+}  // namespace perfeval
+
+#endif  // PERFEVAL_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,92 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace perfeval {
+namespace stats {
+
+std::string HistogramCell::Label() const {
+  return StrFormat("[%g,%g)", lower, upper);
+}
+
+Histogram::Histogram(double lower, double upper, int num_cells)
+    : lower_(lower), upper_(upper) {
+  PERFEVAL_CHECK_GE(num_cells, 1);
+  PERFEVAL_CHECK_LT(lower, upper);
+  width_ = (upper - lower) / static_cast<double>(num_cells);
+  cells_.resize(static_cast<size_t>(num_cells));
+  for (int i = 0; i < num_cells; ++i) {
+    cells_[static_cast<size_t>(i)].lower = lower + width_ * i;
+    cells_[static_cast<size_t>(i)].upper = lower + width_ * (i + 1);
+  }
+  cells_.back().upper = upper;  // avoid drift on the final edge.
+}
+
+void Histogram::Add(double value) {
+  ++total_count_;
+  double clamped = value;
+  if (value < lower_ || value > upper_) {
+    ++out_of_range_;
+    clamped = std::clamp(value, lower_, upper_);
+  }
+  auto index = static_cast<size_t>((clamped - lower_) / width_);
+  if (index >= cells_.size()) {
+    index = cells_.size() - 1;  // upper boundary goes to the last cell.
+  }
+  ++cells_[index].count;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) {
+    Add(v);
+  }
+}
+
+bool Histogram::EveryCellHasAtLeast(int64_t min_points) const {
+  return MinCellCount() >= min_points;
+}
+
+int64_t Histogram::MinCellCount() const {
+  if (cells_.empty()) {
+    return 0;
+  }
+  int64_t min_count = cells_[0].count;
+  for (const HistogramCell& cell : cells_) {
+    min_count = std::min(min_count, cell.count);
+  }
+  return min_count;
+}
+
+int Histogram::SuggestCellCount(size_t sample_size) {
+  if (sample_size <= 1) {
+    return 1;
+  }
+  return static_cast<int>(
+             std::ceil(std::log2(static_cast<double>(sample_size)))) +
+         1;
+}
+
+std::string Histogram::ToString() const {
+  int64_t max_count = 1;
+  for (const HistogramCell& cell : cells_) {
+    max_count = std::max(max_count, cell.count);
+  }
+  std::string out;
+  for (const HistogramCell& cell : cells_) {
+    int bar = static_cast<int>(50.0 * static_cast<double>(cell.count) /
+                               static_cast<double>(max_count));
+    out += PadRight(cell.Label(), 16);
+    out += PadLeft(StrFormat("%lld", static_cast<long long>(cell.count)), 8);
+    out += "  ";
+    out += std::string(static_cast<size_t>(bar), '#');
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace stats
+}  // namespace perfeval

@@ -1,0 +1,68 @@
+#ifndef PERFEVAL_STATS_HISTOGRAM_H_
+#define PERFEVAL_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace stats {
+
+/// One histogram cell [lower, upper) — the last cell is closed on both ends.
+struct HistogramCell {
+  double lower = 0.0;
+  double upper = 0.0;
+  int64_t count = 0;
+
+  /// "[lower,upper)".
+  std::string Label() const;
+};
+
+/// Equal-width histogram over a fixed range.
+///
+/// The paper warns about manipulating cell size (slide 144) and gives the
+/// rule of thumb that every cell should hold at least five points; this
+/// class computes the counts and exposes the rule as a query so presentation
+/// code (report::ChartLint) can flag violations.
+class Histogram {
+ public:
+  /// Builds `num_cells` equal-width cells covering [lower, upper].
+  /// Requires num_cells >= 1 and lower < upper.
+  Histogram(double lower, double upper, int num_cells);
+
+  /// Adds one observation. Values outside [lower, upper] are clamped into
+  /// the first/last cell and counted in `out_of_range()`.
+  void Add(double value);
+
+  void AddAll(const std::vector<double>& values);
+
+  const std::vector<HistogramCell>& cells() const { return cells_; }
+  int64_t total_count() const { return total_count_; }
+  int64_t out_of_range() const { return out_of_range_; }
+
+  /// Paper rule of thumb: every non-empty histogram needs >= `min_points`
+  /// observations per cell. Returns true when all cells satisfy it.
+  bool EveryCellHasAtLeast(int64_t min_points) const;
+
+  /// Smallest cell count (0 for an empty histogram).
+  int64_t MinCellCount() const;
+
+  /// Sturges' rule suggestion for the number of cells given a sample size.
+  static int SuggestCellCount(size_t sample_size);
+
+  /// Multi-line text rendering: one row per cell with count and a bar.
+  std::string ToString() const;
+
+ private:
+  double lower_;
+  double upper_;
+  double width_;
+  std::vector<HistogramCell> cells_;
+  int64_t total_count_ = 0;
+  int64_t out_of_range_ = 0;
+};
+
+}  // namespace stats
+}  // namespace perfeval
+
+#endif  // PERFEVAL_STATS_HISTOGRAM_H_

@@ -1,0 +1,55 @@
+#include "stats/outliers.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace perfeval {
+namespace stats {
+
+std::string OutlierReport::ToString() const {
+  return StrFormat(
+      "IQR fences [%.6g, %.6g] (Q1=%.6g, Q3=%.6g): %zu outlier(s)",
+      lower_fence, upper_fence, q1, q3, outlier_indices.size());
+}
+
+OutlierReport DetectOutliers(const std::vector<double>& samples, double k) {
+  PERFEVAL_CHECK_GE(samples.size(), 4u)
+      << "outlier fences need >= 4 samples";
+  PERFEVAL_CHECK_GT(k, 0.0);
+  OutlierReport report;
+  report.q1 = Percentile(samples, 25.0);
+  report.q3 = Percentile(samples, 75.0);
+  double iqr = report.q3 - report.q1;
+  report.lower_fence = report.q1 - k * iqr;
+  report.upper_fence = report.q3 + k * iqr;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i] < report.lower_fence ||
+        samples[i] > report.upper_fence) {
+      report.outlier_indices.push_back(i);
+    }
+  }
+  return report;
+}
+
+std::vector<double> RemoveOutliers(const std::vector<double>& samples,
+                                   double k) {
+  OutlierReport report = DetectOutliers(samples, k);
+  if (report.outlier_indices.size() >= samples.size()) {
+    return samples;
+  }
+  std::vector<double> kept;
+  size_t next_outlier = 0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (next_outlier < report.outlier_indices.size() &&
+        report.outlier_indices[next_outlier] == i) {
+      ++next_outlier;
+      continue;
+    }
+    kept.push_back(samples[i]);
+  }
+  return kept;
+}
+
+}  // namespace stats
+}  // namespace perfeval

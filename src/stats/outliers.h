@@ -1,0 +1,39 @@
+#ifndef PERFEVAL_STATS_OUTLIERS_H_
+#define PERFEVAL_STATS_OUTLIERS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace perfeval {
+namespace stats {
+
+/// Tukey-fence outlier classification of a sample: values outside
+/// [Q1 - k*IQR, Q3 + k*IQR] are outliers (k = 1.5 by convention, 3.0 for
+/// "far out"). Measurement harnesses use this to flag runs perturbed by
+/// background activity before aggregating — a concrete guard for the
+/// paper's "variation due to experimental error" warning (slide 59).
+struct OutlierReport {
+  double q1 = 0.0;
+  double q3 = 0.0;
+  double lower_fence = 0.0;
+  double upper_fence = 0.0;
+  std::vector<size_t> outlier_indices;  ///< into the input sample.
+
+  bool HasOutliers() const { return !outlier_indices.empty(); }
+  std::string ToString() const;
+};
+
+/// Classifies `samples` (>= 4 values) with fence factor `k`.
+OutlierReport DetectOutliers(const std::vector<double>& samples,
+                             double k = 1.5);
+
+/// Returns `samples` with outliers removed (k-fence). When everything
+/// would be removed (degenerate), returns the input unchanged.
+std::vector<double> RemoveOutliers(const std::vector<double>& samples,
+                                   double k = 1.5);
+
+}  // namespace stats
+}  // namespace perfeval
+
+#endif  // PERFEVAL_STATS_OUTLIERS_H_

@@ -1,0 +1,60 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+#include "stats/tdist.h"
+
+namespace perfeval {
+namespace stats {
+
+std::string LinearFit::ToString() const {
+  return StrFormat("y = %.6g + %.6g * x  (r^2 = %.4f, n = %zu)", intercept,
+                   slope, r_squared, n);
+}
+
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  PERFEVAL_CHECK_EQ(x.size(), y.size());
+  PERFEVAL_CHECK_GE(x.size(), 3u) << "linear fit needs >= 3 points";
+  double x_mean = Mean(x);
+  double y_mean = Mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - x_mean;
+    double dy = y[i] - y_mean;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  PERFEVAL_CHECK_GT(sxx, 0.0) << "x values are constant";
+
+  LinearFit fit;
+  fit.n = x.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = y_mean - fit.slope * x_mean;
+
+  double ss_residual = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double r = y[i] - fit.Predict(x[i]);
+    ss_residual += r * r;
+  }
+  fit.r_squared = syy > 0.0 ? 1.0 - ss_residual / syy : 1.0;
+  double df = static_cast<double>(fit.n) - 2.0;
+  fit.residual_stderr = std::sqrt(ss_residual / df);
+
+  double slope_se = fit.residual_stderr / std::sqrt(sxx);
+  double t = TwoSidedTCritical(0.95, df);
+  fit.slope_ci.mean = fit.slope;
+  fit.slope_ci.lower = fit.slope - t * slope_se;
+  fit.slope_ci.upper = fit.slope + t * slope_se;
+  fit.slope_ci.confidence = 0.95;
+  return fit;
+}
+
+}  // namespace stats
+}  // namespace perfeval

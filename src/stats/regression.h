@@ -1,0 +1,41 @@
+#ifndef PERFEVAL_STATS_REGRESSION_H_
+#define PERFEVAL_STATS_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "stats/confidence.h"
+
+namespace perfeval {
+namespace stats {
+
+/// Ordinary-least-squares fit of y = intercept + slope * x.
+///
+/// Cost-model fitting is a recurring move in performance evaluation
+/// (e.g. scan time = fixed + per-seek * seeks): the fit quantifies the
+/// per-unit cost and r^2 says how much of the variation the model
+/// explains — the regression-model view of slides 70-73 for a continuous
+/// factor.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  double residual_stderr = 0.0;     ///< s of the residuals.
+  ConfidenceInterval slope_ci;      ///< 95% CI of the slope.
+  size_t n = 0;
+
+  /// Predicted y at `x`.
+  double Predict(double x) const { return intercept + slope * x; }
+
+  /// "y = a + b x (r^2 = ...)".
+  std::string ToString() const;
+};
+
+/// Fits by least squares. Requires >= 3 points and non-constant x.
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y);
+
+}  // namespace stats
+}  // namespace perfeval
+
+#endif  // PERFEVAL_STATS_REGRESSION_H_

@@ -1,0 +1,197 @@
+#include "stats/tdist.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace stats {
+namespace {
+
+/// log Gamma via Lanczos approximation (g=7, n=9), accurate to ~1e-13.
+double LogGamma(double x) {
+  static const double kCoefficients[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(3.14159265358979323846 /
+                    std::sin(3.14159265358979323846 * x)) -
+           LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoefficients[0];
+  double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) {
+    a += kCoefficients[i] / (x + static_cast<double>(i));
+  }
+  return 0.5 * std::log(2.0 * 3.14159265358979323846) +
+         (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+/// Continued fraction for the incomplete beta function (NR "betacf").
+double BetaContinuedFraction(double a, double b, double x) {
+  const int kMaxIterations = 300;
+  const double kEpsilon = 3.0e-14;
+  const double kFloor = 1.0e-30;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFloor) {
+    d = kFloor;
+  }
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFloor) {
+      d = kFloor;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFloor) {
+      c = kFloor;
+    }
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFloor) {
+      d = kFloor;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFloor) {
+      c = kFloor;
+    }
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) {
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double NormalQuantile(double p) {
+  PERFEVAL_CHECK_GT(p, 0.0);
+  PERFEVAL_CHECK_LT(p, 1.0);
+  // Acklam's rational approximation.
+  static const double a[6] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                              -2.759285104469687e+02, 1.383577518672690e+02,
+                              -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[5] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                              -1.556989798598866e+02, 6.680131188771972e+01,
+                              -1.328068155288572e+01};
+  static const double c[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                              -2.400758277161838e+00, -2.549732539343734e+00,
+                              4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                              2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double x = 0.0;
+  if (p < p_low) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    double q = p - 0.5;
+    double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step.
+  double e = NormalCdf(x) - p;
+  double u = e * std::sqrt(2.0 * 3.14159265358979323846) *
+             std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  PERFEVAL_CHECK_GT(a, 0.0);
+  PERFEVAL_CHECK_GT(b, 0.0);
+  PERFEVAL_CHECK_GE(x, 0.0);
+  PERFEVAL_CHECK_LE(x, 1.0);
+  if (x == 0.0) {
+    return 0.0;
+  }
+  if (x == 1.0) {
+    return 1.0;
+  }
+  double ln_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                    a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  PERFEVAL_CHECK_GE(df, 1.0);
+  double x = df / (df + t * t);
+  double tail = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double StudentTQuantile(double p, double df) {
+  PERFEVAL_CHECK_GT(p, 0.0);
+  PERFEVAL_CHECK_LT(p, 1.0);
+  PERFEVAL_CHECK_GE(df, 1.0);
+  if (p == 0.5) {
+    return 0.0;
+  }
+  // Bracket around the normal quantile, then bisect (t CDF is monotone).
+  double lo = -1.0;
+  double hi = 1.0;
+  double guess = NormalQuantile(p);
+  lo = guess - 1.0;
+  hi = guess + 1.0;
+  while (StudentTCdf(lo, df) > p) {
+    lo = lo * 2.0 - 1.0;
+  }
+  while (StudentTCdf(hi, df) < p) {
+    hi = hi * 2.0 + 1.0;
+  }
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (StudentTCdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12) {
+      break;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double TwoSidedTCritical(double confidence, double df) {
+  PERFEVAL_CHECK_GT(confidence, 0.0);
+  PERFEVAL_CHECK_LT(confidence, 1.0);
+  double upper_tail_p = 1.0 - (1.0 - confidence) / 2.0;
+  return StudentTQuantile(upper_tail_p, df);
+}
+
+}  // namespace stats
+}  // namespace perfeval

@@ -1,0 +1,32 @@
+#ifndef PERFEVAL_STATS_TDIST_H_
+#define PERFEVAL_STATS_TDIST_H_
+
+namespace perfeval {
+namespace stats {
+
+/// Cumulative distribution function of the standard normal.
+double NormalCdf(double x);
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, refined by
+/// one Halley step). `p` must be in (0, 1).
+double NormalQuantile(double p);
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction
+/// evaluation (Numerical Recipes style). x in [0, 1], a > 0, b > 0.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Quantile of Student's t: the value t such that StudentTCdf(t, df) == p.
+/// `p` must be in (0, 1), `df` >= 1.
+double StudentTQuantile(double p, double df);
+
+/// Two-sided critical value: t* with P(|T| <= t*) == confidence.
+/// E.g. TwoSidedTCritical(0.95, 10) ≈ 2.228.
+double TwoSidedTCritical(double confidence, double df);
+
+}  // namespace stats
+}  // namespace perfeval
+
+#endif  // PERFEVAL_STATS_TDIST_H_

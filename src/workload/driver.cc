@@ -1,0 +1,87 @@
+#include "workload/driver.h"
+
+#include <numeric>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "stats/descriptive.h"
+#include "workload/tpch_queries.h"
+
+namespace perfeval {
+namespace workload {
+
+TpchDriver::TpchDriver(db::Database* database,
+                       std::vector<int> query_numbers, db::ExecMode mode)
+    : database_(database),
+      query_numbers_(std::move(query_numbers)),
+      mode_(mode) {
+  PERFEVAL_CHECK(database_ != nullptr);
+  if (query_numbers_.empty()) {
+    query_numbers_.resize(22);
+    std::iota(query_numbers_.begin(), query_numbers_.end(), 1);
+  }
+  for (int q : query_numbers_) {
+    PERFEVAL_CHECK_GE(q, 1);
+    PERFEVAL_CHECK_LE(q, 22);
+  }
+}
+
+double TpchDriver::RunQueryMs(int query_number) {
+  db::PlanPtr plan = GetTpchQuery(query_number).Build(*database_);
+  return database_->Run(plan, mode_).ServerRealMs();
+}
+
+PowerResult TpchDriver::RunPowerTest() {
+  // Warm-up pass, un-measured.
+  for (int q : query_numbers_) {
+    (void)RunQueryMs(q);
+  }
+  PowerResult result;
+  result.stream.query_order = query_numbers_;
+  for (int q : query_numbers_) {
+    double ms = RunQueryMs(q);
+    result.stream.query_ms.push_back(ms);
+    result.stream.total_ms += ms;
+  }
+  // Geometric mean needs strictly positive values; clamp timer-resolution
+  // zeros to one microsecond.
+  std::vector<double> clamped = result.stream.query_ms;
+  for (double& ms : clamped) {
+    ms = std::max(ms, 1e-3);
+  }
+  result.geomean_ms = stats::GeometricMean(clamped);
+  result.power_qph = 3600'000.0 / result.geomean_ms;
+  return result;
+}
+
+ThroughputResult TpchDriver::RunThroughputTest(int num_streams,
+                                               uint64_t seed) {
+  PERFEVAL_CHECK_GE(num_streams, 1);
+  ThroughputResult result;
+  Pcg32 rng(seed);
+  for (int s = 0; s < num_streams; ++s) {
+    StreamResult stream;
+    stream.query_order = query_numbers_;
+    // Fisher-Yates permutation, distinct per stream via the shared RNG.
+    for (size_t i = stream.query_order.size(); i > 1; --i) {
+      size_t j = rng.NextBounded(static_cast<uint32_t>(i));
+      std::swap(stream.query_order[i - 1], stream.query_order[j]);
+    }
+    for (int q : stream.query_order) {
+      double ms = RunQueryMs(q);
+      stream.query_ms.push_back(ms);
+      stream.total_ms += ms;
+    }
+    result.total_ms += stream.total_ms;
+    result.streams.push_back(std::move(stream));
+  }
+  double total_queries = static_cast<double>(num_streams) *
+                         static_cast<double>(query_numbers_.size());
+  result.throughput_qph =
+      result.total_ms > 0.0 ? total_queries * 3600'000.0 / result.total_ms
+                            : 0.0;
+  return result;
+}
+
+}  // namespace workload
+}  // namespace perfeval

@@ -1,0 +1,69 @@
+#ifndef PERFEVAL_WORKLOAD_DRIVER_H_
+#define PERFEVAL_WORKLOAD_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace perfeval {
+namespace workload {
+
+/// One stream's execution record.
+struct StreamResult {
+  std::vector<int> query_order;     ///< permutation of the query numbers.
+  std::vector<double> query_ms;     ///< per query, in execution order.
+  double total_ms = 0.0;
+};
+
+/// TPC-H-style power test result: every query once, single stream.
+struct PowerResult {
+  StreamResult stream;
+  double geomean_ms = 0.0;
+  /// The TPC-H-style power metric: queries per hour a stream of
+  /// geomean-cost queries would sustain (3600000 / geomean_ms).
+  double power_qph = 0.0;
+};
+
+/// TPC-H-style throughput test result: S streams, each a different
+/// permutation of the query set, run back to back.
+struct ThroughputResult {
+  std::vector<StreamResult> streams;
+  double total_ms = 0.0;
+  /// Queries per hour: streams * queries * 3600000 / total_ms.
+  double throughput_qph = 0.0;
+};
+
+/// Runs TPC-H-style workload tests over an already-loaded database —
+/// the paper's first metric, "Throughput: queries per time" (slide 22),
+/// measured the way the standard benchmark defines it: a single-stream
+/// power test (geometric mean, so no query dominates) and a multi-stream
+/// throughput test over distinct query permutations.
+class TpchDriver {
+ public:
+  /// `query_numbers` defaults to all 22 when empty.
+  TpchDriver(db::Database* database, std::vector<int> query_numbers = {},
+             db::ExecMode mode = db::ExecMode::kOptimized);
+
+  /// Single stream, queries in ascending order, hot (one warm-up pass).
+  PowerResult RunPowerTest();
+
+  /// `num_streams` sequential streams; stream s runs the query set in a
+  /// seeded permutation (distinct per stream), so caching effects differ
+  /// per stream as in the real benchmark.
+  ThroughputResult RunThroughputTest(int num_streams, uint64_t seed = 1);
+
+  const std::vector<int>& query_numbers() const { return query_numbers_; }
+
+ private:
+  double RunQueryMs(int query_number);
+
+  db::Database* database_;
+  std::vector<int> query_numbers_;
+  db::ExecMode mode_;
+};
+
+}  // namespace workload
+}  // namespace perfeval
+
+#endif  // PERFEVAL_WORKLOAD_DRIVER_H_

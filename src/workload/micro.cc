@@ -1,0 +1,130 @@
+#include "workload/micro.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace perfeval {
+namespace workload {
+
+const char* DistributionName(Distribution distribution) {
+  switch (distribution) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kZipf:
+      return "zipf";
+    case Distribution::kSequential:
+      return "sequential";
+    case Distribution::kGaussian:
+      return "gaussian";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<db::Table> GenerateMicroTable(const MicroTableSpec& spec) {
+  PERFEVAL_CHECK(!spec.columns.empty());
+  std::vector<db::ColumnSpec> schema_specs;
+  for (const MicroColumnSpec& column : spec.columns) {
+    schema_specs.push_back({column.name, db::DataType::kInt64});
+  }
+  auto table = std::make_shared<db::Table>(db::Schema(schema_specs));
+  table->ReserveRows(spec.num_rows);
+
+  Pcg32 rng(spec.seed);
+  std::vector<int64_t> previous_column;
+  for (size_t c = 0; c < spec.columns.size(); ++c) {
+    const MicroColumnSpec& cs = spec.columns[c];
+    PERFEVAL_CHECK_LE(cs.min_value, cs.max_value);
+    PERFEVAL_CHECK_GE(cs.correlation, 0.0);
+    PERFEVAL_CHECK_LE(cs.correlation, 1.0);
+    double span = static_cast<double>(cs.max_value - cs.min_value);
+    std::unique_ptr<ZipfGenerator> zipf;
+    if (cs.distribution == Distribution::kZipf) {
+      uint64_t distinct =
+          std::min<uint64_t>(static_cast<uint64_t>(span) + 1, 100'000);
+      zipf = std::make_unique<ZipfGenerator>(distinct, cs.zipf_theta);
+    }
+    std::vector<int64_t> values(spec.num_rows);
+    for (size_t r = 0; r < spec.num_rows; ++r) {
+      int64_t v = 0;
+      switch (cs.distribution) {
+        case Distribution::kUniform:
+          v = rng.NextInRange(cs.min_value, cs.max_value);
+          break;
+        case Distribution::kZipf: {
+          uint64_t rank = zipf->Next(rng);
+          double fraction = static_cast<double>(rank - 1) /
+                            static_cast<double>(zipf->n());
+          v = cs.min_value + static_cast<int64_t>(fraction * span);
+          break;
+        }
+        case Distribution::kSequential:
+          v = cs.min_value + static_cast<int64_t>(r);
+          break;
+        case Distribution::kGaussian: {
+          double mean = static_cast<double>(cs.min_value) + span / 2.0;
+          double sd = span / 6.0;
+          double g = mean + sd * rng.NextGaussian();
+          v = std::clamp(static_cast<int64_t>(std::llround(g)),
+                         cs.min_value, cs.max_value);
+          break;
+        }
+      }
+      if (c > 0 && cs.correlation > 0.0) {
+        // Blend with the previous column: corr=1 copies it exactly.
+        double blended =
+            cs.correlation * static_cast<double>(previous_column[r]) +
+            (1.0 - cs.correlation) * static_cast<double>(v);
+        v = static_cast<int64_t>(std::llround(blended));
+      }
+      values[r] = v;
+    }
+    db::Column& column = table->column(c);
+    for (int64_t v : values) {
+      column.AppendInt64(v);
+    }
+    previous_column = std::move(values);
+  }
+  table->FinishBulkLoad();
+  return table;
+}
+
+db::ExprPtr PredicateForSelectivity(const db::Table& table,
+                                    const std::string& column,
+                                    double selectivity) {
+  PERFEVAL_CHECK_GE(selectivity, 0.0);
+  PERFEVAL_CHECK_LE(selectivity, 1.0);
+  const db::Column& col = table.ColumnByName(column);
+  PERFEVAL_CHECK(col.type() == db::DataType::kInt64);
+  std::vector<int64_t> sorted = col.ints();
+  PERFEVAL_CHECK(!sorted.empty());
+  std::sort(sorted.begin(), sorted.end());
+  size_t index = selectivity >= 1.0
+                     ? sorted.size() - 1
+                     : static_cast<size_t>(selectivity *
+                                           static_cast<double>(sorted.size()));
+  int64_t threshold =
+      selectivity <= 0.0 ? sorted.front() - 1 : sorted[index];
+  return db::Le(db::Col(table.schema(), column), db::LitInt(threshold));
+}
+
+double MeasuredSelectivity(const db::Table& table, const std::string& column,
+                           double selectivity) {
+  db::ExprPtr pred = PredicateForSelectivity(table, column, selectivity);
+  size_t matches = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (pred->EvalBool(table, r)) {
+      ++matches;
+    }
+  }
+  return table.num_rows() == 0
+             ? 0.0
+             : static_cast<double>(matches) /
+                   static_cast<double>(table.num_rows());
+}
+
+}  // namespace workload
+}  // namespace perfeval

@@ -1,0 +1,63 @@
+#ifndef PERFEVAL_WORKLOAD_MICRO_H_
+#define PERFEVAL_WORKLOAD_MICRO_H_
+
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+#include "db/expr.h"
+#include "db/table.h"
+
+namespace perfeval {
+namespace workload {
+
+/// Value distribution of a generated micro-benchmark column.
+enum class Distribution {
+  kUniform,
+  kZipf,        ///< skewed; theta controls skew.
+  kSequential,  ///< 0, 1, 2, ... (sorted, unique).
+  kGaussian,    ///< mean = (lo+hi)/2, sd = (hi-lo)/6, clamped.
+};
+
+const char* DistributionName(Distribution distribution);
+
+/// Specification of one synthetic column (paper, slide 11: micro-benchmarks
+/// give control over data size, value ranges, distribution, correlation).
+struct MicroColumnSpec {
+  std::string name = "v";
+  Distribution distribution = Distribution::kUniform;
+  int64_t min_value = 0;
+  int64_t max_value = 1'000'000;
+  double zipf_theta = 1.0;
+  /// Correlation with the previous column in the table: 0 = independent,
+  /// 1 = identical ordering (value = previous column's value + noise).
+  double correlation = 0.0;
+};
+
+/// Specification of a synthetic table.
+struct MicroTableSpec {
+  std::string name = "micro";
+  size_t num_rows = 100'000;
+  uint64_t seed = 42;
+  std::vector<MicroColumnSpec> columns;
+};
+
+/// Generates the table described by `spec` (all columns kInt64).
+std::shared_ptr<db::Table> GenerateMicroTable(const MicroTableSpec& spec);
+
+/// A `column <= threshold` predicate that selects approximately
+/// `selectivity` (in [0, 1]) of the table's rows; the threshold is the
+/// empirical quantile. Micro-benchmarks sweep selectivity this way.
+db::ExprPtr PredicateForSelectivity(const db::Table& table,
+                                    const std::string& column,
+                                    double selectivity);
+
+/// The exact fraction of rows the predicate built by
+/// PredicateForSelectivity selects.
+double MeasuredSelectivity(const db::Table& table, const std::string& column,
+                           double selectivity);
+
+}  // namespace workload
+}  // namespace perfeval
+
+#endif  // PERFEVAL_WORKLOAD_MICRO_H_

@@ -1,0 +1,74 @@
+#ifndef PERFEVAL_WORKLOAD_TPCH_GEN_H_
+#define PERFEVAL_WORKLOAD_TPCH_GEN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "db/database.h"
+#include "db/table.h"
+
+namespace perfeval {
+namespace workload {
+
+/// Scaled-down, seedable TPC-H data generator.
+///
+/// A (seed, scale_factor) pair fully determines the data set — the
+/// repeatability property the paper demands of experiment inputs
+/// (slides 157–163, and the war story on slide 227 about data sets whose
+/// identity was lost). Value distributions follow the TPC-H spec in the
+/// aspects the queries depend on: date ranges and the shipdate/commitdate/
+/// receiptdate ordering, returnflag/linestatus derivation from dates,
+/// discount/tax/quantity ranges, brand/type/container vocabularies, and
+/// uniform foreign keys.
+class TpchGenerator {
+ public:
+  /// `fk_zipf_theta` > 0 skews the foreign keys (l_partkey, l_suppkey,
+  /// o_custkey) with a Zipf distribution of that parameter — hot parts,
+  /// hot suppliers, hot customers — the "controllable value distribution"
+  /// knob of slide 11 applied to the standard benchmark; 0 keeps the
+  /// spec's uniform keys.
+  explicit TpchGenerator(double scale_factor, uint64_t seed = 19920101,
+                         double fk_zipf_theta = 0.0);
+
+  double scale_factor() const { return scale_factor_; }
+
+  /// Generates one table by TPC-H name ("lineitem", "orders", ...).
+  std::shared_ptr<db::Table> Generate(const std::string& table_name);
+
+  /// Generates all eight tables and registers them with `database`.
+  void LoadAll(db::Database* database);
+
+  /// Expected cardinality of a table at this scale factor (lineitem is
+  /// approximate: lines per order are random in [1, 7]).
+  int64_t Cardinality(const std::string& table_name) const;
+
+ private:
+  std::shared_ptr<db::Table> GenerateRegion();
+  std::shared_ptr<db::Table> GenerateNation();
+  std::shared_ptr<db::Table> GenerateSupplier();
+  std::shared_ptr<db::Table> GenerateCustomer();
+  std::shared_ptr<db::Table> GeneratePart();
+  std::shared_ptr<db::Table> GeneratePartsupp();
+  std::shared_ptr<db::Table> GenerateOrders();
+  std::shared_ptr<db::Table> GenerateLineitem();
+
+  double scale_factor_;
+  uint64_t seed_;
+  double fk_zipf_theta_;
+
+  /// Orders and lineitem must agree on order keys/dates; generating orders
+  /// caches what lineitem needs.
+  struct OrderInfo {
+    int64_t orderkey;
+    int32_t orderdate;
+    int num_lines;
+  };
+  std::vector<OrderInfo> order_infos_;
+  bool orders_generated_ = false;
+};
+
+}  // namespace workload
+}  // namespace perfeval
+
+#endif  // PERFEVAL_WORKLOAD_TPCH_GEN_H_

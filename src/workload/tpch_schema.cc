@@ -1,0 +1,94 @@
+#include "workload/tpch_schema.h"
+
+namespace perfeval {
+namespace workload {
+
+using db::DataType;
+
+db::Schema RegionSchema() {
+  return db::Schema({{"r_regionkey", DataType::kInt64},
+                     {"r_name", DataType::kString},
+                     {"r_comment", DataType::kString}});
+}
+
+db::Schema NationSchema() {
+  return db::Schema({{"n_nationkey", DataType::kInt64},
+                     {"n_name", DataType::kString},
+                     {"n_regionkey", DataType::kInt64},
+                     {"n_comment", DataType::kString}});
+}
+
+db::Schema SupplierSchema() {
+  return db::Schema({{"s_suppkey", DataType::kInt64},
+                     {"s_name", DataType::kString},
+                     {"s_address", DataType::kString},
+                     {"s_nationkey", DataType::kInt64},
+                     {"s_phone", DataType::kString},
+                     {"s_acctbal", DataType::kDouble},
+                     {"s_comment", DataType::kString}});
+}
+
+db::Schema CustomerSchema() {
+  return db::Schema({{"c_custkey", DataType::kInt64},
+                     {"c_name", DataType::kString},
+                     {"c_address", DataType::kString},
+                     {"c_nationkey", DataType::kInt64},
+                     {"c_phone", DataType::kString},
+                     {"c_acctbal", DataType::kDouble},
+                     {"c_mktsegment", DataType::kString},
+                     {"c_comment", DataType::kString}});
+}
+
+db::Schema PartSchema() {
+  return db::Schema({{"p_partkey", DataType::kInt64},
+                     {"p_name", DataType::kString},
+                     {"p_mfgr", DataType::kString},
+                     {"p_brand", DataType::kString},
+                     {"p_type", DataType::kString},
+                     {"p_size", DataType::kInt64},
+                     {"p_container", DataType::kString},
+                     {"p_retailprice", DataType::kDouble},
+                     {"p_comment", DataType::kString}});
+}
+
+db::Schema PartsuppSchema() {
+  return db::Schema({{"ps_partkey", DataType::kInt64},
+                     {"ps_suppkey", DataType::kInt64},
+                     {"ps_availqty", DataType::kInt64},
+                     {"ps_supplycost", DataType::kDouble},
+                     {"ps_comment", DataType::kString}});
+}
+
+db::Schema OrdersSchema() {
+  return db::Schema({{"o_orderkey", DataType::kInt64},
+                     {"o_custkey", DataType::kInt64},
+                     {"o_orderstatus", DataType::kString},
+                     {"o_totalprice", DataType::kDouble},
+                     {"o_orderdate", DataType::kDate},
+                     {"o_orderpriority", DataType::kString},
+                     {"o_clerk", DataType::kString},
+                     {"o_shippriority", DataType::kInt64},
+                     {"o_comment", DataType::kString}});
+}
+
+db::Schema LineitemSchema() {
+  return db::Schema({{"l_orderkey", DataType::kInt64},
+                     {"l_partkey", DataType::kInt64},
+                     {"l_suppkey", DataType::kInt64},
+                     {"l_linenumber", DataType::kInt64},
+                     {"l_quantity", DataType::kDouble},
+                     {"l_extendedprice", DataType::kDouble},
+                     {"l_discount", DataType::kDouble},
+                     {"l_tax", DataType::kDouble},
+                     {"l_returnflag", DataType::kString},
+                     {"l_linestatus", DataType::kString},
+                     {"l_shipdate", DataType::kDate},
+                     {"l_commitdate", DataType::kDate},
+                     {"l_receiptdate", DataType::kDate},
+                     {"l_shipinstruct", DataType::kString},
+                     {"l_shipmode", DataType::kString},
+                     {"l_comment", DataType::kString}});
+}
+
+}  // namespace workload
+}  // namespace perfeval

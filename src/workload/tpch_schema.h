@@ -1,0 +1,32 @@
+#ifndef PERFEVAL_WORKLOAD_TPCH_SCHEMA_H_
+#define PERFEVAL_WORKLOAD_TPCH_SCHEMA_H_
+
+#include "db/table.h"
+
+namespace perfeval {
+namespace workload {
+
+/// The eight TPC-H tables with their standard column names. Our generator
+/// is a scaled-down dbgen substitute (DESIGN.md, substitutions): same
+/// schema shape and value structure, smaller default scale factor.
+db::Schema RegionSchema();
+db::Schema NationSchema();
+db::Schema SupplierSchema();
+db::Schema CustomerSchema();
+db::Schema PartSchema();
+db::Schema PartsuppSchema();
+db::Schema OrdersSchema();
+db::Schema LineitemSchema();
+
+/// Base (scale factor 1) cardinalities of the scalable tables.
+inline constexpr int64_t kSupplierBase = 10'000;
+inline constexpr int64_t kCustomerBase = 150'000;
+inline constexpr int64_t kPartBase = 200'000;
+inline constexpr int64_t kOrdersBase = 1'500'000;
+inline constexpr int kPartsuppPerPart = 4;
+inline constexpr int kMaxLineitemsPerOrder = 7;
+
+}  // namespace workload
+}  // namespace perfeval
+
+#endif  // PERFEVAL_WORKLOAD_TPCH_SCHEMA_H_

@@ -1,0 +1,42 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  PERFEVAL_CHECK(1 + 1 == 2);
+  PERFEVAL_CHECK_EQ(3, 3);
+  PERFEVAL_CHECK_NE(3, 4);
+  PERFEVAL_CHECK_LT(3, 4);
+  PERFEVAL_CHECK_LE(3, 3);
+  PERFEVAL_CHECK_GT(4, 3);
+  PERFEVAL_CHECK_GE(4, 4);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(PERFEVAL_CHECK(false), "CHECK failed");
+}
+
+TEST(CheckDeathTest, FailureIncludesStreamedDetail) {
+  int n = -3;
+  EXPECT_DEATH(PERFEVAL_CHECK(n > 0) << "n=" << n, "n=-3");
+}
+
+TEST(CheckDeathTest, ComparisonMacroShowsExpression) {
+  EXPECT_DEATH(PERFEVAL_CHECK_EQ(2 + 2, 5), "CHECK failed");
+}
+
+TEST(CheckTest, DanglingElseSafe) {
+  // The macro must compose with unbraced if/else.
+  bool reached_else = false;
+  if (false)
+    PERFEVAL_CHECK(true);
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+}  // namespace
+}  // namespace perfeval

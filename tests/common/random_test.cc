@@ -1,0 +1,148 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123);
+  Pcg32 b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiverge) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(Pcg32Test, DifferentStreamsDiverge) {
+  Pcg32 a(1, 10);
+  Pcg32 b(1, 11);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(Pcg32Test, BoundedStaysInBounds) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(Pcg32Test, BoundedIsRoughlyUniform) {
+  Pcg32 rng(9);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBounded(10)];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Pcg32Test, RangeInclusive) {
+  Pcg32 rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInRange(5, 8);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 8);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32Test, NegativeRange) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Pcg32Test, DoubleInUnitInterval) {
+  Pcg32 rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Pcg32Test, GaussianMomentsMatch) {
+  Pcg32 rng(19);
+  const int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / kDraws;
+  double variance = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(variance, 1.0, 0.03);
+}
+
+TEST(Pcg32Test, ExponentialMeanMatchesRate) {
+  Pcg32 rng(23);
+  const int kDraws = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.NextExponential(2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Pcg32Test, BernoulliFrequencyMatchesP) {
+  Pcg32 rng(29);
+  int hits = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+class Pcg32BoundSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(Pcg32BoundSweepTest, NoValueEscapesBound) {
+  uint32_t bound = GetParam();
+  Pcg32 rng(bound);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, Pcg32BoundSweepTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 16u, 100u, 1000u,
+                                           1u << 20, ~0u));
+
+}  // namespace
+}  // namespace perfeval

@@ -1,0 +1,71 @@
+#include "common/result.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<std::string> result(std::string("hello"));
+  EXPECT_EQ(result.value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  std::vector<int> moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return Status::InvalidArgument("not positive");
+  }
+  return x;
+}
+
+Status UseParsed(int x, int* out) {
+  PERFEVAL_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseParsed(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  Status status = UseParsed(-1, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH((void)result.value(), "boom");
+}
+
+TEST(ResultDeathTest, OkStatusRejected) {
+  EXPECT_DEATH(Result<int>{Status::OK()}, "OK status");
+}
+
+}  // namespace
+}  // namespace perfeval

@@ -1,0 +1,100 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, AdjacentDelimitersYieldEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, TrailingDelimiter) {
+  EXPECT_EQ(Split("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(JoinTest, EmptyAndSingle) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("nochange"), "nochange");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("lineitem", "line"));
+  EXPECT_FALSE(StartsWith("line", "lineitem"));
+  EXPECT_TRUE(EndsWith("lineitem", "item"));
+  EXPECT_FALSE(EndsWith("item", "lineitem"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 42, "q", 3.14159), "42-q-3.14");
+}
+
+TEST(StrFormatTest, LongOutputNotTruncated) {
+  std::string long_arg(5000, 'x');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5002u);
+}
+
+TEST(ParseInt64Test, StrictParsing) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64(" -7 "), -7);
+  EXPECT_FALSE(ParseInt64("12abc").has_value());
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("3.5").has_value());
+}
+
+TEST(ParseDoubleTest, StrictParsing) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("x").has_value());
+  EXPECT_FALSE(ParseDouble("1.5 stuff").has_value());
+}
+
+TEST(ParseBoolTest, AcceptedSpellings) {
+  EXPECT_TRUE(ParseBool("true").value());
+  EXPECT_TRUE(ParseBool("YES").value());
+  EXPECT_TRUE(ParseBool("1").value());
+  EXPECT_TRUE(ParseBool("on").value());
+  EXPECT_FALSE(ParseBool("false").value());
+  EXPECT_FALSE(ParseBool("0").value());
+  EXPECT_FALSE(ParseBool("off").value());
+  EXPECT_FALSE(ParseBool("maybe").has_value());
+}
+
+TEST(PaddingTest, PadsToWidthWithoutTruncation) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace perfeval

@@ -1,0 +1,76 @@
+#include "common/zipf.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace {
+
+TEST(ZipfTest, ValuesStayInDomain) {
+  ZipfGenerator zipf(100, 1.0);
+  Pcg32 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = zipf.Next(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfTest, RankOneIsMostFrequent) {
+  ZipfGenerator zipf(50, 1.0);
+  Pcg32 rng(2);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[zipf.Next(rng)];
+  }
+  // Frequency of rank 1 should exceed rank 10 which exceeds rank 50.
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[50]);
+}
+
+TEST(ZipfTest, ThetaZeroDegeneratesToUniform) {
+  ZipfGenerator zipf(10, 0.0);
+  Pcg32 rng(3);
+  std::map<uint64_t, int> counts;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[zipf.Next(rng)];
+  }
+  for (uint64_t v = 1; v <= 10; ++v) {
+    EXPECT_NEAR(counts[v], kDraws / 10, kDraws / 50);
+  }
+}
+
+TEST(ZipfTest, HigherThetaMeansMoreSkew) {
+  Pcg32 rng1(4);
+  Pcg32 rng2(4);
+  ZipfGenerator mild(100, 0.5);
+  ZipfGenerator heavy(100, 1.5);
+  int mild_rank1 = 0;
+  int heavy_rank1 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    mild_rank1 += mild.Next(rng1) == 1 ? 1 : 0;
+    heavy_rank1 += heavy.Next(rng2) == 1 ? 1 : 0;
+  }
+  EXPECT_GT(heavy_rank1, mild_rank1 * 2);
+}
+
+TEST(ZipfTest, TheoreticalFrequencyOfRankOne) {
+  // For n=2, theta=1: P(1) = (1/1)/(1/1 + 1/2) = 2/3.
+  ZipfGenerator zipf(2, 1.0);
+  Pcg32 rng(5);
+  int rank1 = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    rank1 += zipf.Next(rng) == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(rank1) / kDraws, 2.0 / 3.0, 0.01);
+}
+
+TEST(ZipfDeathTest, RejectsEmptyDomain) {
+  EXPECT_DEATH(ZipfGenerator(0, 1.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace perfeval

@@ -1,0 +1,70 @@
+#include "core/environment.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace core {
+namespace {
+
+TEST(EnvironmentTest, CaptureFillsSoftwareFields) {
+  EnvironmentSpec spec = CaptureEnvironment();
+  EXPECT_FALSE(spec.compiler.empty());
+  EXPECT_FALSE(spec.build_type.empty());
+  EXPECT_FALSE(spec.library_version.empty());
+  EXPECT_FALSE(spec.os.empty());
+  EXPECT_GE(spec.num_cpus, 1);
+}
+
+TEST(EnvironmentTest, CaptureFillsHardwareFieldsOnLinux) {
+  EnvironmentSpec spec = CaptureEnvironment();
+  // /proc/meminfo always exists on Linux.
+  EXPECT_GT(spec.ram_mb, 0);
+}
+
+TEST(EnvironmentTest, ReportHasTheRightGranularity) {
+  // The slide-149/155 rule: the report must name CPU, memory, OS,
+  // compiler — no more, no less.
+  EnvironmentSpec spec;
+  spec.cpu_model = "Intel(R) Pentium(R) M processor 1.50GHz";
+  spec.cpu_mhz = 1500.0;
+  spec.cache_kb = 2048;
+  spec.num_cpus = 1;
+  spec.ram_mb = 2048;
+  spec.os = "Linux 2.6";
+  spec.compiler = "gcc 3.4";
+  spec.build_type = "optimized";
+  spec.library_version = "perfeval 1.0.0";
+  std::string report = spec.ToReportString();
+  EXPECT_NE(report.find("Pentium"), std::string::npos);
+  EXPECT_NE(report.find("2048 KB cache"), std::string::npos);
+  EXPECT_NE(report.find("2048 MB RAM"), std::string::npos);
+  EXPECT_NE(report.find("gcc 3.4"), std::string::npos);
+  // Not an lspci dump: a handful of lines only (over-specification check).
+  int lines = 0;
+  for (char c : report) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_LE(lines, 8);
+}
+
+TEST(EnvironmentTest, UnderSpecifiedSpecIsNotPublishable) {
+  // "We use a machine with 3.4 GHz" (slide 149) is under-specified.
+  EnvironmentSpec spec;
+  spec.cpu_mhz = 3400.0;
+  EXPECT_FALSE(spec.IsPublishable());
+}
+
+TEST(EnvironmentTest, CompleteSpecIsPublishable) {
+  EnvironmentSpec spec;
+  spec.cpu_model = "test";
+  spec.cpu_mhz = 1000.0;
+  spec.cache_kb = 512;
+  spec.ram_mb = 1024;
+  spec.os = "Linux";
+  spec.compiler = "gcc";
+  EXPECT_TRUE(spec.IsPublishable());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace perfeval

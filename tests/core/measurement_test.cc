@@ -1,0 +1,47 @@
+#include "core/measurement.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace core {
+namespace {
+
+TEST(MeasurementTest, ObservedRealAddsSimulatedStall) {
+  Measurement m;
+  m.real_ns = 2'000'000;
+  m.simulated_stall_ns = 3'000'000;
+  EXPECT_EQ(m.ObservedRealNs(), 5'000'000);
+  EXPECT_DOUBLE_EQ(m.ObservedRealMs(), 5.0);
+}
+
+TEST(MeasurementTest, AdditionIsComponentwise) {
+  Measurement a{10, 6, 1, 100};
+  Measurement b{5, 3, 1, 50};
+  Measurement sum = a + b;
+  EXPECT_EQ(sum.real_ns, 15);
+  EXPECT_EQ(sum.user_ns, 9);
+  EXPECT_EQ(sum.sys_ns, 2);
+  EXPECT_EQ(sum.simulated_stall_ns, 150);
+}
+
+TEST(MeasurementTest, MeasureOnceTimesTheBody) {
+  Measurement m = MeasureOnce([] {
+    volatile double sink = 0.0;
+    for (int i = 0; i < 3'000'000; ++i) {
+      sink += i * 1e-9;
+    }
+  });
+  EXPECT_GT(m.real_ns, 100'000);    // a few million FLOPs > 0.1 ms.
+  EXPECT_EQ(m.simulated_stall_ns, 0);  // caller's responsibility.
+}
+
+TEST(MeasurementTest, ToStringShowsObservedAndMeasured) {
+  Measurement m{1'000'000, 900'000, 50'000, 2'000'000};
+  std::string text = m.ToString();
+  EXPECT_NE(text.find("real=1.000ms"), std::string::npos);
+  EXPECT_NE(text.find("observed 3.000ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace perfeval

@@ -1,0 +1,49 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace core {
+namespace {
+
+TEST(ThroughputTest, QueriesPerSecond) {
+  // 100 queries in 2 seconds = 50 qps.
+  EXPECT_DOUBLE_EQ(ThroughputPerSecond(100, 2'000'000'000), 50.0);
+}
+
+TEST(ThroughputTest, SubSecondInterval) {
+  EXPECT_DOUBLE_EQ(ThroughputPerSecond(10, 1'000'000), 10'000'000.0 / 1000);
+}
+
+TEST(ThroughputDeathTest, ZeroElapsedAborts) {
+  EXPECT_DEATH(ThroughputPerSecond(1, 0), "CHECK failed");
+}
+
+TEST(FormatBytesTest, UnitsScale) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2048), "2.0KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0MB");
+  EXPECT_EQ(FormatBytes(int64_t{5} * 1024 * 1024 * 1024), "5.0GB");
+}
+
+TEST(FormatMsTest, AdaptivePrecision) {
+  EXPECT_EQ(FormatMs(3534.2), "3534 ms");
+  EXPECT_EQ(FormatMs(12.34), "12.3 ms");
+  EXPECT_EQ(FormatMs(0.273), "0.273 ms");
+}
+
+TEST(SeriesTest, AppendKeepsParallelArrays) {
+  Series series;
+  series.name = "Q1";
+  series.Append(1.0, 10.0);
+  series.AppendWithError(2.0, 20.0, 1.5);
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.x[1], 2.0);
+  EXPECT_DOUBLE_EQ(series.y[1], 20.0);
+  ASSERT_EQ(series.y_error.size(), 1u);
+  EXPECT_DOUBLE_EQ(series.y_error[0], 1.5);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace perfeval

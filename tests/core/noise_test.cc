@@ -1,0 +1,46 @@
+#include "core/noise.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace core {
+namespace {
+
+TEST(NoiseTest, ReportFieldsAreSane) {
+  NoiseReport report = MeasureNoiseFloor(10, 200'000);
+  EXPECT_EQ(report.samples, 10);
+  EXPECT_GT(report.median_ns, 0.0);
+  EXPECT_GE(report.p95_ns, report.median_ns);
+  EXPECT_GE(report.p95_over_median, 1.0);
+  EXPECT_GE(report.coefficient_of_variation, 0.0);
+  EXPECT_GT(report.timer_resolution_ns, 0);
+}
+
+TEST(NoiseTest, QuietnessThreshold) {
+  NoiseReport report;
+  report.coefficient_of_variation = 0.02;
+  EXPECT_TRUE(report.IsQuiet());
+  EXPECT_FALSE(report.IsQuiet(0.01));
+  report.coefficient_of_variation = 0.5;
+  EXPECT_FALSE(report.IsQuiet());
+}
+
+TEST(NoiseTest, ToStringStatesVerdict) {
+  NoiseReport quiet;
+  quiet.coefficient_of_variation = 0.01;
+  quiet.median_ns = 1e6;
+  quiet.p95_ns = 1.05e6;
+  quiet.p95_over_median = 1.05;
+  EXPECT_NE(quiet.ToString().find("quiet enough"), std::string::npos);
+  NoiseReport noisy = quiet;
+  noisy.coefficient_of_variation = 0.4;
+  EXPECT_NE(noisy.ToString().find("NOISY"), std::string::npos);
+}
+
+TEST(NoiseDeathTest, RejectsTooFewSamples) {
+  EXPECT_DEATH(MeasureNoiseFloor(2, 200'000), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace perfeval

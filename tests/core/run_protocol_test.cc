@@ -1,0 +1,62 @@
+#include "core/run_protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace core {
+namespace {
+
+TEST(RunProtocolTest, PaperDefaultIsLastOfThreeHotRuns) {
+  RunProtocol protocol = RunProtocol::PaperDefault();
+  EXPECT_EQ(protocol.thermal, ThermalState::kHot);
+  EXPECT_EQ(protocol.measured_runs, 3);
+  EXPECT_EQ(protocol.aggregation, Aggregation::kLast);
+}
+
+TEST(RunProtocolTest, ColdFactory) {
+  RunProtocol protocol = RunProtocol::Cold(5);
+  EXPECT_EQ(protocol.thermal, ThermalState::kCold);
+  EXPECT_EQ(protocol.warmup_runs, 0);
+  EXPECT_EQ(protocol.measured_runs, 5);
+}
+
+TEST(RunProtocolTest, DescribeDocumentsTheChoice) {
+  // "Be aware and document what you do / choose" (slide 32).
+  std::string hot = RunProtocol::PaperDefault().Describe();
+  EXPECT_NE(hot.find("hot"), std::string::npos);
+  EXPECT_NE(hot.find("3 measured"), std::string::npos);
+  EXPECT_NE(hot.find("last"), std::string::npos);
+  std::string cold = RunProtocol::Cold(4).Describe();
+  EXPECT_NE(cold.find("cold"), std::string::npos);
+  EXPECT_NE(cold.find("flushed"), std::string::npos);
+}
+
+TEST(AggregateTest, AllPolicies) {
+  std::vector<double> samples = {30.0, 10.0, 20.0};
+  EXPECT_DOUBLE_EQ(Aggregate(Aggregation::kLast, samples), 20.0);
+  EXPECT_DOUBLE_EQ(Aggregate(Aggregation::kMin, samples), 10.0);
+  EXPECT_DOUBLE_EQ(Aggregate(Aggregation::kMean, samples), 20.0);
+  EXPECT_DOUBLE_EQ(Aggregate(Aggregation::kMedian, samples), 20.0);
+}
+
+TEST(AggregateTest, SingleSample) {
+  std::vector<double> one = {42.0};
+  for (Aggregation agg : {Aggregation::kLast, Aggregation::kMin,
+                          Aggregation::kMean, Aggregation::kMedian}) {
+    EXPECT_DOUBLE_EQ(Aggregate(agg, one), 42.0);
+  }
+}
+
+TEST(AggregateDeathTest, EmptySamplesAbort) {
+  EXPECT_DEATH(Aggregate(Aggregation::kMean, {}), "CHECK failed");
+}
+
+TEST(NamesTest, StableStrings) {
+  EXPECT_STREQ(ThermalStateName(ThermalState::kCold), "cold");
+  EXPECT_STREQ(ThermalStateName(ThermalState::kHot), "hot");
+  EXPECT_STREQ(AggregationName(Aggregation::kMedian), "median");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace perfeval

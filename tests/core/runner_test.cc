@@ -1,0 +1,199 @@
+#include "core/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace core {
+namespace {
+
+doe::Design TwoByTwo() {
+  return doe::TwoLevelFullFactorial({doe::Factor::TwoLevel("A", "lo", "hi"),
+                                     doe::Factor::TwoLevel("B", "lo", "hi")});
+}
+
+/// A deterministic fake system under test: the "measured" time is a
+/// function of the configuration plus warm-up state.
+struct FakeSystem {
+  int runs_since_flush = 0;
+  int total_runs = 0;
+  int flushes = 0;
+
+  Measurement Run(const doe::DesignPoint& point) {
+    ++total_runs;
+    ++runs_since_flush;
+    Measurement m;
+    int64_t base = 100 + 50 * static_cast<int64_t>(point.levels[0]) +
+                   20 * static_cast<int64_t>(point.levels[1]);
+    m.real_ns = base * 1'000'000;
+    m.user_ns = base * 900'000;
+    // First run after a flush pays simulated I/O (cold).
+    m.simulated_stall_ns = runs_since_flush == 1 ? 500'000'000 : 0;
+    return m;
+  }
+
+  void Flush() {
+    runs_since_flush = 0;
+    ++flushes;
+  }
+};
+
+TEST(RunnerTest, HotProtocolRunsWarmupsUnmeasured) {
+  FakeSystem system;
+  system.runs_since_flush = 0;
+  RunProtocol protocol;
+  protocol.warmup_runs = 2;
+  protocol.measured_runs = 3;
+  ExperimentRunner runner(protocol, ResponseMetric::kObservedRealMs);
+  doe::Design design = TwoByTwo();
+  ExperimentResult result = runner.Run(
+      design, [&](const doe::DesignPoint& p) { return system.Run(p); });
+  ASSERT_EQ(result.runs.size(), 4u);
+  // 4 points x (2 warmup + 3 measured).
+  EXPECT_EQ(system.total_runs, 20);
+  for (const RunResult& run : result.runs) {
+    EXPECT_EQ(run.responses.size(), 3u);
+  }
+}
+
+TEST(RunnerTest, ColdProtocolFlushesBeforeEveryMeasuredRun) {
+  FakeSystem system;
+  RunProtocol protocol = RunProtocol::Cold(3);
+  ExperimentRunner runner(protocol, ResponseMetric::kObservedRealMs);
+  runner.set_flush_hook([&] { system.Flush(); });
+  doe::Design design = TwoByTwo();
+  ExperimentResult result = runner.Run(
+      design, [&](const doe::DesignPoint& p) { return system.Run(p); });
+  EXPECT_EQ(system.flushes, 12);  // 4 points x 3 measured runs.
+  // Every measured cold run pays the stall: observed >> user-only view.
+  for (const RunResult& run : result.runs) {
+    for (const Measurement& m : run.measurements) {
+      EXPECT_EQ(m.simulated_stall_ns, 500'000'000);
+    }
+  }
+}
+
+TEST(RunnerTest, HotRunsAfterWarmupPayNoStall) {
+  FakeSystem system;
+  RunProtocol protocol;
+  protocol.warmup_runs = 1;
+  protocol.measured_runs = 2;
+  ExperimentRunner runner(protocol, ResponseMetric::kObservedRealMs);
+  doe::Design design = TwoByTwo();
+  ExperimentResult result = runner.Run(
+      design, [&](const doe::DesignPoint& p) { return system.Run(p); });
+  for (const RunResult& run : result.runs) {
+    for (const Measurement& m : run.measurements) {
+      EXPECT_EQ(m.simulated_stall_ns, 0);
+    }
+  }
+}
+
+TEST(RunnerTest, ResponsesFollowConfiguration) {
+  FakeSystem system;
+  system.runs_since_flush = 5;  // warm
+  RunProtocol protocol;
+  protocol.warmup_runs = 0;
+  protocol.measured_runs = 1;
+  protocol.aggregation = Aggregation::kLast;
+  ExperimentRunner runner(protocol, ResponseMetric::kUserMs);
+  doe::Design design = TwoByTwo();
+  ExperimentResult result = runner.Run(
+      design, [&](const doe::DesignPoint& p) { return system.Run(p); });
+  std::vector<double> y = result.AggregatedResponses();
+  ASSERT_EQ(y.size(), 4u);
+  // user_ms = 0.9 * (100 + 50*a + 20*b).
+  EXPECT_NEAR(y[0], 90.0, 1e-9);
+  EXPECT_NEAR(y[1], 135.0, 1e-9);
+  EXPECT_NEAR(y[2], 108.0, 1e-9);
+  EXPECT_NEAR(y[3], 153.0, 1e-9);
+}
+
+TEST(RunnerTest, ConfidenceIntervalPresentWithReplication) {
+  FakeSystem system;
+  system.runs_since_flush = 5;
+  RunProtocol protocol;
+  protocol.warmup_runs = 0;
+  protocol.measured_runs = 3;
+  ExperimentRunner runner(protocol, ResponseMetric::kRealMs);
+  ExperimentResult result = runner.Run(TwoByTwo(), [&](const auto& p) {
+    return system.Run(p);
+  });
+  for (const RunResult& run : result.runs) {
+    ASSERT_TRUE(run.confidence.has_value());
+    EXPECT_TRUE(run.confidence->Contains(run.aggregated));
+  }
+}
+
+TEST(RunnerTest, ResultTableMentionsProtocolAndLevels) {
+  FakeSystem system;
+  RunProtocol protocol;
+  ExperimentRunner runner(protocol, ResponseMetric::kRealMs);
+  doe::Design design = TwoByTwo();
+  ExperimentResult result = runner.Run(
+      design, [&](const doe::DesignPoint& p) { return system.Run(p); });
+  std::string table = result.ToTable(design);
+  EXPECT_NE(table.find("protocol:"), std::string::npos);
+  EXPECT_NE(table.find("hi"), std::string::npos);
+}
+
+TEST(RunnerTest, MeasureSingleAggregates) {
+  RunProtocol protocol;
+  protocol.warmup_runs = 0;
+  protocol.measured_runs = 3;
+  protocol.aggregation = Aggregation::kMin;
+  ExperimentRunner runner(protocol, ResponseMetric::kRealMs);
+  int call = 0;
+  RunResult run = runner.MeasureSingle([&] {
+    ++call;
+    Measurement m;
+    m.real_ns = call * 1'000'000;  // 1ms, 2ms, 3ms.
+    return m;
+  });
+  EXPECT_EQ(call, 3);
+  EXPECT_NEAR(run.aggregated, 1.0, 1e-9);
+}
+
+
+TEST(RunnerTest, OutlierRunsAreFlagged) {
+  RunProtocol protocol;
+  protocol.warmup_runs = 0;
+  protocol.measured_runs = 8;
+  ExperimentRunner runner(protocol, ResponseMetric::kRealMs);
+  int call = 0;
+  RunResult run = runner.MeasureSingle([&] {
+    ++call;
+    Measurement m;
+    // Seven quiet runs and one spike (run index 4).
+    m.real_ns = call == 5 ? 90'000'000 : 10'000'000 + call * 10'000;
+    return m;
+  });
+  ASSERT_EQ(run.outlier_runs.size(), 1u);
+  EXPECT_EQ(run.outlier_runs[0], 4u);
+}
+
+TEST(RunnerTest, NoOutliersOnQuietRuns) {
+  RunProtocol protocol;
+  protocol.warmup_runs = 0;
+  protocol.measured_runs = 6;
+  ExperimentRunner runner(protocol, ResponseMetric::kRealMs);
+  RunResult run = runner.MeasureSingle([&] {
+    Measurement m;
+    m.real_ns = 10'000'000;
+    return m;
+  });
+  EXPECT_TRUE(run.outlier_runs.empty());
+}
+
+TEST(ResponseMetricTest, ExtractionMatchesFields) {
+  Measurement m;
+  m.real_ns = 2'000'000;
+  m.user_ns = 1'000'000;
+  m.simulated_stall_ns = 3'000'000;
+  EXPECT_DOUBLE_EQ(ExtractResponse(ResponseMetric::kRealMs, m), 2.0);
+  EXPECT_DOUBLE_EQ(ExtractResponse(ResponseMetric::kUserMs, m), 1.0);
+  EXPECT_DOUBLE_EQ(ExtractResponse(ResponseMetric::kObservedRealMs, m), 5.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace perfeval

@@ -1,0 +1,65 @@
+#include "core/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace core {
+namespace {
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer timer;
+  int64_t first = timer.ElapsedNs();
+  int64_t second = timer.ElapsedNs();
+  EXPECT_GE(first, 0);
+  EXPECT_GE(second, first);
+}
+
+TEST(WallTimerTest, MeasuresRealWork) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) {
+    sink += i * 0.5;
+  }
+  // A million FLOPs cannot complete in under a microsecond on anything.
+  EXPECT_GT(timer.ElapsedNs(), 1000);
+  (void)sink;
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer timer;
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink += i;
+  }
+  int64_t before_restart = timer.ElapsedNs();
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedNs(), before_restart + 1000000);
+  (void)sink;
+}
+
+TEST(WallTimerTest, UnitConversions) {
+  WallTimer timer;
+  double ms = timer.ElapsedMs();
+  double s = timer.ElapsedSeconds();
+  EXPECT_GE(ms, 0.0);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);  // constructing and reading takes well under a second.
+}
+
+TEST(TimerCalibrationTest, ResolutionIsPositiveAndSane) {
+  int64_t resolution = MeasureTimerResolutionNs();
+  EXPECT_GT(resolution, 0);
+  // steady_clock on Linux resolves far better than the 10ms the paper
+  // warns about for timeGetTime.
+  EXPECT_LT(resolution, 10'000'000);
+}
+
+TEST(TimerCalibrationTest, OverheadIsSmall) {
+  double overhead = MeasureTimerOverheadNs();
+  EXPECT_GT(overhead, 0.0);
+  EXPECT_LT(overhead, 10'000.0);  // < 10us per reading.
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace perfeval

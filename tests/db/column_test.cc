@@ -1,0 +1,77 @@
+#include "db/column.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace db {
+namespace {
+
+TEST(ColumnTest, Int64AppendAndGet) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(10);
+  col.AppendInt64(-5);
+  EXPECT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.GetInt64(0), 10);
+  EXPECT_EQ(col.GetInt64(1), -5);
+}
+
+TEST(ColumnTest, DoubleColumn) {
+  Column col(DataType::kDouble);
+  col.AppendDouble(1.5);
+  EXPECT_DOUBLE_EQ(col.GetDouble(0), 1.5);
+  EXPECT_DOUBLE_EQ(col.GetNumeric(0), 1.5);
+}
+
+TEST(ColumnTest, StringColumn) {
+  Column col(DataType::kString);
+  col.AppendString("hello");
+  EXPECT_EQ(col.GetString(0), "hello");
+  EXPECT_EQ(col.strings().size(), 1u);
+}
+
+TEST(ColumnTest, DateColumnSharesIntStorage) {
+  Column col(DataType::kDate);
+  col.AppendDate(DateFromYmd(1995, 6, 17));
+  EXPECT_EQ(col.GetDate(0), DateFromYmd(1995, 6, 17));
+  EXPECT_DOUBLE_EQ(col.GetNumeric(0),
+                   static_cast<double>(DateFromYmd(1995, 6, 17)));
+}
+
+TEST(ColumnTest, AppendValueDispatchesOnType) {
+  Column ints(DataType::kInt64);
+  ints.AppendValue(Value::Int64(3));
+  EXPECT_EQ(ints.GetValue(0), Value::Int64(3));
+  Column dates(DataType::kDate);
+  dates.AppendValue(Value::Date(10));
+  EXPECT_EQ(dates.GetValue(0).AsDate(), 10);
+  Column strs(DataType::kString);
+  strs.AppendValue(Value::String("s"));
+  EXPECT_EQ(strs.GetValue(0).AsString(), "s");
+}
+
+TEST(ColumnTest, ByteSizeScalesWithRows) {
+  Column col(DataType::kInt64);
+  for (int i = 0; i < 100; ++i) {
+    col.AppendInt64(i);
+  }
+  EXPECT_EQ(col.ByteSize(), 100 * sizeof(int64_t));
+}
+
+TEST(ColumnTest, StringByteSizeIncludesContent) {
+  Column col(DataType::kString);
+  col.AppendString(std::string(1000, 'x'));
+  EXPECT_GE(col.ByteSize(), 1000u);
+}
+
+TEST(ColumnDeathTest, TypeMismatchAborts) {
+  Column col(DataType::kInt64);
+  EXPECT_DEATH(col.AppendDouble(1.0), "CHECK failed");
+  EXPECT_DEATH(col.AppendString("x"), "CHECK failed");
+  Column strs(DataType::kString);
+  strs.AppendString("x");
+  EXPECT_DEATH(strs.GetNumeric(0), "GetNumeric on string");
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace perfeval

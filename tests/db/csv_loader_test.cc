@@ -1,0 +1,125 @@
+#include "db/csv_loader.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace db {
+namespace {
+
+TEST(CsvLoaderTest, TypeInference) {
+  const std::string text =
+      "id,price,when,label\n"
+      "1,9.99,2020-01-31,widget\n"
+      "2,19.5,2020-02-01,gadget\n";
+  Result<std::shared_ptr<Table>> result = ParseCsvText(text, nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& table = **result;
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.schema().column(0).type, DataType::kInt64);
+  EXPECT_EQ(table.schema().column(1).type, DataType::kDouble);
+  EXPECT_EQ(table.schema().column(2).type, DataType::kDate);
+  EXPECT_EQ(table.schema().column(3).type, DataType::kString);
+  EXPECT_EQ(table.ValueAt(1, 0).AsInt64(), 2);
+  EXPECT_DOUBLE_EQ(table.ValueAt(0, 1).AsDouble(), 9.99);
+  EXPECT_EQ(table.ValueAt(0, 2).ToString(), "2020-01-31");
+  EXPECT_EQ(table.ValueAt(1, 3).AsString(), "gadget");
+}
+
+TEST(CsvLoaderTest, IntegersPreferIntOverDouble) {
+  Result<std::shared_ptr<Table>> result =
+      ParseCsvText("n\n1\n2\n3\n", nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->schema().column(0).type, DataType::kInt64);
+}
+
+TEST(CsvLoaderTest, MixedIntDoubleBecomesDouble) {
+  Result<std::shared_ptr<Table>> result =
+      ParseCsvText("n\n1\n2.5\n", nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->schema().column(0).type, DataType::kDouble);
+}
+
+TEST(CsvLoaderTest, QuotedFieldsWithCommasAndNewlines) {
+  const std::string text =
+      "name,comment\n"
+      "\"Smith, John\",\"said \"\"hello\"\"\nand left\"\n";
+  Result<std::shared_ptr<Table>> result = ParseCsvText(text, nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& table = **result;
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.ValueAt(0, 0).AsString(), "Smith, John");
+  EXPECT_EQ(table.ValueAt(0, 1).AsString(), "said \"hello\"\nand left");
+}
+
+TEST(CsvLoaderTest, ExplicitSchemaValidatesHeaderAndTypes) {
+  Schema schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+  Result<std::shared_ptr<Table>> ok =
+      ParseCsvText("id,v\n7,1.5\n", &schema);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)->ValueAt(0, 0).AsInt64(), 7);
+
+  Result<std::shared_ptr<Table>> bad_header =
+      ParseCsvText("id,wrong\n7,1.5\n", &schema);
+  ASSERT_FALSE(bad_header.ok());
+  EXPECT_NE(bad_header.status().message().find("does not match"),
+            std::string::npos);
+
+  Result<std::shared_ptr<Table>> bad_value =
+      ParseCsvText("id,v\nseven,1.5\n", &schema);
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_NE(bad_value.status().message().find("not a valid int64"),
+            std::string::npos);
+  EXPECT_NE(bad_value.status().message().find("row 2"), std::string::npos);
+}
+
+TEST(CsvLoaderTest, RaggedRowRejectedWithRowNumber) {
+  Result<std::shared_ptr<Table>> result =
+      ParseCsvText("a,b\n1,2\n3\n", nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("row 3"), std::string::npos);
+}
+
+TEST(CsvLoaderTest, BlankLinesSkippedCrLfHandled) {
+  Result<std::shared_ptr<Table>> result =
+      ParseCsvText("a\r\n1\r\n\r\n2\r\n", nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->num_rows(), 2u);
+}
+
+TEST(CsvLoaderTest, UnterminatedQuoteRejected) {
+  Result<std::shared_ptr<Table>> result =
+      ParseCsvText("a\n\"oops\n", nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(CsvLoaderTest, EmptyInputRejected) {
+  EXPECT_FALSE(ParseCsvText("", nullptr).ok());
+}
+
+TEST(CsvLoaderTest, LoadFromFile) {
+  std::string path = ::testing::TempDir() + "/csv_loader_test.csv";
+  {
+    std::ofstream file(path);
+    file << "k,v\n1,10\n2,20\n";
+  }
+  Result<std::shared_ptr<Table>> result = LoadCsv(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 2u);
+  EXPECT_EQ(LoadCsv("/no/such/file.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvLoaderTest, HeaderOnlyGivesEmptyStringTable) {
+  Result<std::shared_ptr<Table>> result = ParseCsvText("a,b\n", nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 0u);
+  EXPECT_EQ((*result)->schema().column(0).type, DataType::kString);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace perfeval

@@ -1,0 +1,140 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace db {
+namespace {
+
+std::shared_ptr<Table> MakeTable(size_t rows) {
+  auto table = std::make_shared<Table>(
+      Schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}}));
+  for (size_t i = 0; i < rows; ++i) {
+    table->AppendRow({Value::Int64(static_cast<int64_t>(i)),
+                      Value::Double(static_cast<double>(i) * 1.5)});
+  }
+  return table;
+}
+
+TEST(DatabaseTest, CatalogBasics) {
+  Database database;
+  database.RegisterTable("t1", MakeTable(10));
+  database.RegisterTable("t2", MakeTable(5));
+  EXPECT_TRUE(database.HasTable("t1"));
+  EXPECT_FALSE(database.HasTable("t3"));
+  EXPECT_EQ(database.GetTable("t2").num_rows(), 5u);
+  EXPECT_EQ(database.TableNames(),
+            (std::vector<std::string>{"t1", "t2"}));
+  EXPECT_NE(database.TableId("t1"), database.TableId("t2"));
+}
+
+TEST(DatabaseDeathTest, DuplicateRegistrationAborts) {
+  Database database;
+  database.RegisterTable("t", MakeTable(1));
+  EXPECT_DEATH(database.RegisterTable("t", MakeTable(1)),
+               "already registered");
+}
+
+TEST(DatabaseDeathTest, MissingTableAborts) {
+  Database database;
+  EXPECT_DEATH(database.GetTable("nope"), "no table named");
+}
+
+TEST(DatabaseTest, ColdRunPaysStallHotRunDoesNot) {
+  DatabaseOptions options;
+  options.rows_per_page = 64;
+  options.buffer_pool_pages = 1024;
+  Database database(options);
+  database.RegisterTable("t", MakeTable(10000));
+  PlanPtr plan = Scan("t");
+
+  QueryResult cold = database.Run(plan);
+  EXPECT_GT(cold.server.simulated_stall_ns, 0);
+
+  QueryResult hot = database.Run(plan);
+  EXPECT_EQ(hot.server.simulated_stall_ns, 0);
+
+  // Flush -> cold again (the slide-32 definition).
+  database.FlushCaches();
+  QueryResult cold_again = database.Run(plan);
+  EXPECT_EQ(cold_again.server.simulated_stall_ns,
+            cold.server.simulated_stall_ns);
+}
+
+TEST(DatabaseTest, ColdRealExceedsUserHotRealDoesNot) {
+  // The slide-33 table: cold real >> user; hot real ~ user.
+  DatabaseOptions options;
+  options.rows_per_page = 64;
+  options.buffer_pool_pages = 4096;  // table fits: hot runs stay hot.
+  Database database(options);
+  database.RegisterTable("t", MakeTable(50000));
+  PlanPtr plan = Scan("t");
+  QueryResult cold = database.Run(plan);
+  QueryResult hot = database.Run(plan);
+  EXPECT_GT(cold.ServerRealMs(), 3 * hot.ServerRealMs());
+}
+
+TEST(DatabaseTest, ClientTimeIncludesSinkCost) {
+  Database database;
+  database.RegisterTable("t", MakeTable(5000));
+  PlanPtr plan = Scan("t");
+  (void)database.Run(plan);  // warm.
+  QueryResult discard = database.Run(plan, ExecMode::kOptimized,
+                                     SinkKind::kDiscard);
+  QueryResult terminal = database.Run(plan, ExecMode::kOptimized,
+                                      SinkKind::kTerminal);
+  EXPECT_EQ(discard.sink.bytes, 0u);
+  EXPECT_GT(terminal.sink.bytes, 0u);
+  EXPECT_GT(terminal.ClientRealMs() - terminal.ServerRealMs(),
+            discard.ClientRealMs() - discard.ServerRealMs());
+}
+
+TEST(DatabaseTest, ServerAndClientMeasurementsNest) {
+  Database database;
+  database.RegisterTable("t", MakeTable(100));
+  QueryResult result = database.Run(Scan("t"), ExecMode::kOptimized,
+                                    SinkKind::kFile);
+  EXPECT_GE(result.client.real_ns, result.server.real_ns);
+  EXPECT_GE(result.client.simulated_stall_ns,
+            result.server.simulated_stall_ns);
+}
+
+TEST(DatabaseTest, SelectionResultsAreMaterialized) {
+  Database database;
+  database.RegisterTable("t", MakeTable(100));
+  const Schema& schema = database.GetTable("t").schema();
+  PlanPtr plan =
+      FilterScan("t", {"k", "v"}, Lt(Col(schema, "k"), LitInt(10)));
+  QueryResult result = database.Run(plan);
+  EXPECT_EQ(result.table->num_rows(), 10u);
+  // The materialized result carries actual values, not row ids.
+  EXPECT_DOUBLE_EQ(result.table->ColumnByName("v").GetDouble(9), 13.5);
+}
+
+TEST(DatabaseTest, PerQueryStorageStats) {
+  DatabaseOptions options;
+  options.rows_per_page = 64;
+  options.buffer_pool_pages = 1024;
+  Database database(options);
+  database.RegisterTable("t", MakeTable(10000));
+  PlanPtr plan = Scan("t");
+  QueryResult cold = database.Run(plan);
+  EXPECT_GT(cold.storage.page_misses, 0);
+  EXPECT_EQ(cold.storage.page_hits, 0);
+  EXPECT_GT(cold.storage.bytes_read, 0);
+  QueryResult hot = database.Run(plan);
+  EXPECT_EQ(hot.storage.page_misses, 0);
+  EXPECT_EQ(hot.storage.page_hits, cold.storage.page_misses);
+  EXPECT_EQ(hot.storage.stall_ns, 0);
+}
+
+TEST(DatabaseTest, ProfileAccompaniesEveryRun) {
+  Database database;
+  database.RegisterTable("t", MakeTable(100));
+  QueryResult result = database.Run(Scan("t"));
+  EXPECT_FALSE(result.profile.traces().empty());
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace perfeval

@@ -1,0 +1,47 @@
+#include "db/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace db {
+namespace {
+
+TEST(ProfilerTest, RecordsAndTotals) {
+  Profiler profiler;
+  profiler.Record({"Scan(lineitem)", 1000, 1000, 5'000'000, 2'000'000});
+  profiler.Record({"Filter", 1000, 120, 1'000'000, 0});
+  EXPECT_EQ(profiler.traces().size(), 2u);
+  EXPECT_EQ(profiler.TotalWallNs(), 6'000'000);
+  EXPECT_EQ(profiler.TotalStallNs(), 2'000'000);
+}
+
+TEST(ProfilerTest, ClearEmpties) {
+  Profiler profiler;
+  profiler.Record({"Sort", 10, 10, 100, 0});
+  profiler.Clear();
+  EXPECT_TRUE(profiler.traces().empty());
+  EXPECT_EQ(profiler.TotalWallNs(), 0);
+}
+
+TEST(ProfilerTest, RenderingIsMonetTraceLike) {
+  Profiler profiler;
+  profiler.Record({"FilterScan(lineitem)", 59928, 4883, 2'500'000,
+                   9'200'000});
+  std::string text = profiler.ToString();
+  EXPECT_NE(text.find("operator"), std::string::npos);
+  EXPECT_NE(text.find("FilterScan(lineitem)"), std::string::npos);
+  EXPECT_NE(text.find("59928"), std::string::npos);
+  EXPECT_NE(text.find("4883"), std::string::npos);
+  EXPECT_NE(text.find("2.500"), std::string::npos);   // cpu ms
+  EXPECT_NE(text.find("9.200"), std::string::npos);   // stall ms
+  EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+TEST(ProfilerTest, EmptyProfilerStillRendersHeader) {
+  Profiler profiler;
+  EXPECT_NE(profiler.ToString().find("operator"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace perfeval

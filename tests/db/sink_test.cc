@@ -1,0 +1,79 @@
+#include "db/sink.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace db {
+namespace {
+
+Table MakeResult(size_t rows) {
+  Table table(Schema({{"k", DataType::kInt64}, {"v", DataType::kString}}));
+  for (size_t i = 0; i < rows; ++i) {
+    table.AppendRow({Value::Int64(static_cast<int64_t>(i)),
+                     Value::String("value-" + std::to_string(i))});
+  }
+  return table;
+}
+
+TEST(SinkTest, DiscardCostsNothing) {
+  Table result = MakeResult(100);
+  SinkReport report = SendToSink(result, SinkKind::kDiscard);
+  EXPECT_EQ(report.bytes, 0u);
+  EXPECT_EQ(report.lines, 0u);
+  EXPECT_EQ(report.stall_ns, 0);
+}
+
+TEST(SinkTest, FileCountsBytesAndLines) {
+  Table result = MakeResult(10);
+  SinkReport report = SendToSink(result, SinkKind::kFile);
+  EXPECT_EQ(report.lines, 10u);
+  EXPECT_GT(report.bytes, 10u * 10);  // each row renders > 10 chars.
+  EXPECT_GT(report.stall_ns, 0);
+}
+
+TEST(SinkTest, TerminalIsSlowerThanFile) {
+  // The slide-23 observation: the same result costs more on a terminal.
+  Table result = MakeResult(1000);
+  SinkReport file = SendToSink(result, SinkKind::kFile);
+  SinkReport terminal = SendToSink(result, SinkKind::kTerminal);
+  EXPECT_EQ(file.bytes, terminal.bytes);
+  EXPECT_GT(terminal.stall_ns, 5 * file.stall_ns);
+}
+
+TEST(SinkTest, TerminalGapGrowsWithResultSize) {
+  // Q1's 1.3KB result shows a small gap; Q16's 1.2MB result doubles the
+  // client time. The gap must scale with bytes.
+  Table small = MakeResult(4);
+  Table large = MakeResult(4000);
+  int64_t small_gap = SendToSink(small, SinkKind::kTerminal).stall_ns -
+                      SendToSink(small, SinkKind::kFile).stall_ns;
+  int64_t large_gap = SendToSink(large, SinkKind::kTerminal).stall_ns -
+                      SendToSink(large, SinkKind::kFile).stall_ns;
+  EXPECT_GT(large_gap, 100 * small_gap / 2);
+}
+
+TEST(SinkTest, CustomModelScalesCosts) {
+  Table result = MakeResult(10);
+  SinkModel expensive;
+  expensive.file_ns_per_byte = 1000.0;
+  SinkReport cheap = SendToSink(result, SinkKind::kFile);
+  SinkReport costly = SendToSink(result, SinkKind::kFile, expensive);
+  EXPECT_GT(costly.stall_ns, cheap.stall_ns);
+}
+
+TEST(SinkTest, EmptyResultCostsAlmostNothing) {
+  Table result = MakeResult(0);
+  SinkReport report = SendToSink(result, SinkKind::kTerminal);
+  EXPECT_EQ(report.bytes, 0u);
+  EXPECT_EQ(report.stall_ns, 0);
+}
+
+TEST(SinkTest, KindNames) {
+  EXPECT_STREQ(SinkKindName(SinkKind::kDiscard), "discard");
+  EXPECT_STREQ(SinkKindName(SinkKind::kFile), "file");
+  EXPECT_STREQ(SinkKindName(SinkKind::kTerminal), "terminal");
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace perfeval

@@ -1,0 +1,168 @@
+#include "db/storage.h"
+
+#include <gtest/gtest.h>
+
+#include "db/expr.h"
+
+namespace perfeval {
+namespace db {
+namespace {
+
+std::shared_ptr<Table> MakeIntTable(size_t rows) {
+  auto table = std::make_shared<Table>(
+      Schema({{"v", DataType::kInt64}, {"w", DataType::kInt64}}));
+  for (size_t i = 0; i < rows; ++i) {
+    table->AppendRow({Value::Int64(static_cast<int64_t>(i)),
+                      Value::Int64(static_cast<int64_t>(i * 2))});
+  }
+  return table;
+}
+
+TEST(StorageTest, RegistrationComputesChunks) {
+  StorageManager storage(DiskModel(), 16, 100);
+  auto table = MakeIntTable(250);
+  storage.RegisterTable(1, *table);
+  EXPECT_EQ(storage.NumChunks(1, 0), 3u);  // 100+100+50.
+  EXPECT_EQ(storage.NumChunks(1, 1), 3u);
+}
+
+TEST(StorageTest, ZoneMapsTrackMinMax) {
+  StorageManager storage(DiskModel(), 16, 100);
+  auto table = MakeIntTable(250);
+  storage.RegisterTable(1, *table);
+  const ZoneMap& zm0 = storage.GetZoneMap(1, 0, 0);
+  EXPECT_TRUE(zm0.valid);
+  EXPECT_DOUBLE_EQ(zm0.min, 0.0);
+  EXPECT_DOUBLE_EQ(zm0.max, 99.0);
+  const ZoneMap& zm2 = storage.GetZoneMap(1, 0, 2);
+  EXPECT_DOUBLE_EQ(zm2.min, 200.0);
+  EXPECT_DOUBLE_EQ(zm2.max, 249.0);
+}
+
+TEST(StorageTest, FirstTouchMissesSecondHits) {
+  StorageManager storage(DiskModel(), 16, 100);
+  auto table = MakeIntTable(250);
+  storage.RegisterTable(1, *table);
+  storage.TouchColumn(1, 0);
+  EXPECT_EQ(storage.stats().page_misses, 3);
+  EXPECT_EQ(storage.stats().page_hits, 0);
+  storage.TouchColumn(1, 0);
+  EXPECT_EQ(storage.stats().page_misses, 3);
+  EXPECT_EQ(storage.stats().page_hits, 3);
+}
+
+TEST(StorageTest, FlushMakesPagesColdAgain) {
+  StorageManager storage(DiskModel(), 16, 100);
+  auto table = MakeIntTable(250);
+  storage.RegisterTable(1, *table);
+  storage.TouchColumn(1, 0);
+  storage.FlushCaches();
+  storage.ResetStats();
+  storage.TouchColumn(1, 0);
+  EXPECT_EQ(storage.stats().page_misses, 3);
+}
+
+TEST(StorageTest, MissesChargeStallTime) {
+  DiskModel slow;
+  slow.seek_ns = 1'000'000;
+  slow.ns_per_byte = 100.0;
+  StorageManager storage(slow, 16, 100);
+  auto table = MakeIntTable(100);
+  storage.RegisterTable(1, *table);
+  EXPECT_EQ(storage.total_stall_ns(), 0);
+  storage.TouchColumn(1, 0);
+  // One page: seek + 800 bytes * 100 ns.
+  EXPECT_EQ(storage.total_stall_ns(), 1'000'000 + 80'000);
+  int64_t after_miss = storage.total_stall_ns();
+  storage.TouchColumn(1, 0);  // hit: no extra charge.
+  EXPECT_EQ(storage.total_stall_ns(), after_miss);
+}
+
+TEST(StorageTest, SequentialReadsSkipSeek) {
+  DiskModel model;
+  model.seek_ns = 1'000'000;
+  model.ns_per_byte = 0.0;
+  StorageManager storage(model, 16, 10);
+  auto table = MakeIntTable(40);  // 4 chunks per column.
+  storage.RegisterTable(1, *table);
+  storage.TouchColumn(1, 0);
+  // First page seeks, the following three are sequential.
+  EXPECT_EQ(storage.total_stall_ns(), 1'000'000);
+}
+
+TEST(StorageTest, LruEvictionUnderPressure) {
+  // Pool holds 2 pages; touching 3 pages cycles them out.
+  StorageManager storage(DiskModel(), 2, 10);
+  auto table = MakeIntTable(30);  // 3 chunks.
+  storage.RegisterTable(1, *table);
+  storage.TouchColumn(1, 0);  // pages 0,1,2: page 0 evicted.
+  storage.ResetStats();
+  storage.TouchPage(PageId{1, 0, 0});
+  EXPECT_EQ(storage.stats().page_misses, 1);  // evicted earlier.
+  storage.ResetStats();
+  storage.TouchPage(PageId{1, 0, 0});
+  EXPECT_EQ(storage.stats().page_hits, 1);
+}
+
+TEST(StorageTest, LruKeepsRecentlyUsedPage) {
+  StorageManager storage(DiskModel(), 2, 10);
+  auto table = MakeIntTable(30);
+  storage.RegisterTable(1, *table);
+  storage.TouchPage(PageId{1, 0, 0});
+  storage.TouchPage(PageId{1, 0, 1});
+  storage.TouchPage(PageId{1, 0, 0});  // refresh page 0.
+  storage.TouchPage(PageId{1, 0, 2});  // evicts page 1, not page 0.
+  storage.ResetStats();
+  storage.TouchPage(PageId{1, 0, 0});
+  EXPECT_EQ(storage.stats().page_hits, 1);
+  storage.TouchPage(PageId{1, 0, 1});
+  EXPECT_EQ(storage.stats().page_misses, 1);
+}
+
+TEST(StorageTest, TouchColumnRangeOnlyTouchesOverlappingPages) {
+  StorageManager storage(DiskModel(), 16, 100);
+  auto table = MakeIntTable(1000);  // 10 chunks.
+  storage.RegisterTable(1, *table);
+  storage.TouchColumnRange(1, 0, 250, 451);  // chunks 2, 3, 4.
+  EXPECT_EQ(storage.stats().page_misses, 3);
+}
+
+TEST(StorageTest, StringColumnsHaveInvalidZoneMaps) {
+  StorageManager storage(DiskModel(), 16, 100);
+  Table table(Schema({{"s", DataType::kString}}));
+  table.AppendRow({Value::String("a")});
+  storage.RegisterTable(2, table);
+  EXPECT_FALSE(storage.GetZoneMap(2, 0, 0).valid);
+}
+
+TEST(StorageTest, StatsToStringMentionsPages) {
+  StorageManager storage(DiskModel(), 4, 10);
+  auto table = MakeIntTable(10);
+  storage.RegisterTable(1, *table);
+  storage.TouchColumn(1, 0);
+  EXPECT_NE(storage.stats().ToString().find("misses"), std::string::npos);
+}
+
+TEST(SimplePredicateTest, ZoneMapPruning) {
+  SimplePredicate le{0, CmpOp::kLe, 50.0};
+  EXPECT_TRUE(le.MightMatch(0.0, 100.0));
+  EXPECT_FALSE(le.MightMatch(51.0, 100.0));
+  SimplePredicate gt{0, CmpOp::kGt, 50.0};
+  EXPECT_FALSE(gt.MightMatch(0.0, 50.0));
+  EXPECT_TRUE(gt.MightMatch(0.0, 50.5));
+  SimplePredicate eq{0, CmpOp::kEq, 25.0};
+  EXPECT_TRUE(eq.MightMatch(0.0, 50.0));
+  EXPECT_FALSE(eq.MightMatch(26.0, 50.0));
+  SimplePredicate ne{0, CmpOp::kNe, 25.0};
+  EXPECT_FALSE(ne.MightMatch(25.0, 25.0));
+  EXPECT_TRUE(ne.MightMatch(25.0, 26.0));
+}
+
+TEST(StorageDeathTest, UnregisteredTableAborts) {
+  StorageManager storage(DiskModel(), 4, 10);
+  EXPECT_DEATH(storage.TouchPage(PageId{9, 0, 0}), "not registered");
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace perfeval

@@ -1,0 +1,91 @@
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace db {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"name", DataType::kString}});
+}
+
+TEST(SchemaTest, IndexLookup) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(schema.num_columns(), 3u);
+  EXPECT_EQ(schema.IndexOf("price"), 1);
+  EXPECT_EQ(schema.IndexOf("missing"), -1);
+  EXPECT_EQ(schema.MustIndexOf("name"), 2u);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(TestSchema().ToString(),
+            "(id int64, price double, name string)");
+}
+
+TEST(SchemaDeathTest, MustIndexOfAbortsOnMissing) {
+  EXPECT_DEATH(TestSchema().MustIndexOf("nope"), "no column named nope");
+}
+
+TEST(TableTest, AppendRowGrowsAllColumns) {
+  Table table(TestSchema());
+  table.AppendRow({Value::Int64(1), Value::Double(9.99),
+                   Value::String("widget")});
+  table.AppendRow({Value::Int64(2), Value::Double(19.99),
+                   Value::String("gadget")});
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.ValueAt(1, 2).AsString(), "gadget");
+  EXPECT_EQ(table.ColumnByName("id").GetInt64(0), 1);
+}
+
+TEST(TableTest, BulkLoadViaColumns) {
+  Table table(TestSchema());
+  table.column(0).AppendInt64(1);
+  table.column(1).AppendDouble(2.0);
+  table.column(2).AppendString("x");
+  table.FinishBulkLoad();
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TableDeathTest, RaggedBulkLoadAborts) {
+  Table table(TestSchema());
+  table.column(0).AppendInt64(1);
+  // price and name columns left empty.
+  EXPECT_DEATH(table.FinishBulkLoad(), "ragged");
+}
+
+TEST(TableDeathTest, WrongRowWidthAborts) {
+  Table table(TestSchema());
+  EXPECT_DEATH(table.AppendRow({Value::Int64(1)}), "CHECK failed");
+}
+
+TEST(TableTest, ByteSizeAggregatesColumns) {
+  Table table(TestSchema());
+  table.AppendRow({Value::Int64(1), Value::Double(1.0),
+                   Value::String("abc")});
+  EXPECT_GE(table.ByteSize(), 2 * sizeof(int64_t));
+}
+
+TEST(TableTest, ToStringTruncatesLongTables) {
+  Table table(Schema({{"n", DataType::kInt64}}));
+  for (int i = 0; i < 50; ++i) {
+    table.AppendRow({Value::Int64(i)});
+  }
+  std::string text = table.ToString(5);
+  EXPECT_NE(text.find("50 rows total"), std::string::npos);
+}
+
+TEST(TableTest, ToStringAlignsHeader) {
+  Table table(TestSchema());
+  table.AppendRow({Value::Int64(7), Value::Double(1.5),
+                   Value::String("thing")});
+  std::string text = table.ToString();
+  EXPECT_NE(text.find("id"), std::string::npos);
+  EXPECT_NE(text.find("thing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace perfeval

@@ -1,0 +1,69 @@
+#include "db/types.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace db {
+namespace {
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(DateFromYmd(1970, 1, 1), 0);
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(DateFromYmd(1970, 1, 2), 1);
+  EXPECT_EQ(DateFromYmd(1969, 12, 31), -1);
+  EXPECT_EQ(DateFromYmd(2000, 1, 1), 10957);
+  // TPC-H range endpoints.
+  EXPECT_EQ(DateFromYmd(1992, 1, 1), 8035);
+  EXPECT_EQ(DateFromYmd(1998, 12, 31), 10591);
+}
+
+TEST(DateTest, RoundTripsOverTpchRange) {
+  for (int32_t days = DateFromYmd(1992, 1, 1);
+       days <= DateFromYmd(1998, 12, 31); ++days) {
+    int y = 0;
+    int m = 0;
+    int d = 0;
+    YmdFromDate(days, &y, &m, &d);
+    EXPECT_EQ(DateFromYmd(y, m, d), days);
+  }
+}
+
+TEST(DateTest, LeapYearHandling) {
+  // 2000 was a leap year (divisible by 400), 1900 was not.
+  EXPECT_EQ(DateFromYmd(2000, 3, 1) - DateFromYmd(2000, 2, 28), 2);
+  EXPECT_EQ(DateFromYmd(1900, 3, 1) - DateFromYmd(1900, 2, 28), 1);
+  EXPECT_EQ(DateFromYmd(1996, 2, 29) + 1, DateFromYmd(1996, 3, 1));
+}
+
+TEST(DateTest, ParseAndFormatRoundTrip) {
+  int32_t days = 0;
+  ASSERT_TRUE(ParseDate("1998-09-02", &days));
+  EXPECT_EQ(days, DateFromYmd(1998, 9, 2));
+  EXPECT_EQ(FormatDate(days), "1998-09-02");
+}
+
+TEST(DateTest, ParseRejectsMalformed) {
+  int32_t days = 0;
+  EXPECT_FALSE(ParseDate("1998/09/02", &days));
+  EXPECT_FALSE(ParseDate("1998-9-2", &days));
+  EXPECT_FALSE(ParseDate("not-a-date", &days));
+  EXPECT_FALSE(ParseDate("1998-13-01", &days));
+  EXPECT_FALSE(ParseDate("1998-00-01", &days));
+  EXPECT_FALSE(ParseDate("1998-01-32", &days));
+  EXPECT_FALSE(ParseDate("", &days));
+}
+
+TEST(DataTypeTest, NamesAndNumericClassification) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "string");
+  EXPECT_TRUE(IsNumeric(DataType::kInt64));
+  EXPECT_TRUE(IsNumeric(DataType::kDouble));
+  EXPECT_TRUE(IsNumeric(DataType::kDate));
+  EXPECT_FALSE(IsNumeric(DataType::kString));
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace perfeval

@@ -1,0 +1,64 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace db {
+namespace {
+
+TEST(ValueTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(Value::Int64(42).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_EQ(Value::Date(100).AsDate(), 100);
+}
+
+TEST(ValueTest, NumericCoercionViaAsDouble) {
+  EXPECT_DOUBLE_EQ(Value::Int64(7).AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::Date(5).AsDouble(), 5.0);
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Int64(2)), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+  EXPECT_EQ(Value::Double(1.5).Compare(Value::Double(1.5)), 0);
+}
+
+TEST(ValueTest, CrossNumericCompare) {
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int64(1).Compare(Value::Double(1.5)), 0);
+}
+
+TEST(ValueTest, OperatorsMatchCompare) {
+  EXPECT_TRUE(Value::Int64(3) == Value::Int64(3));
+  EXPECT_TRUE(Value::Int64(2) < Value::Int64(3));
+  EXPECT_FALSE(Value::Int64(3) < Value::Int64(3));
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(3.14159).ToString(), "3.14");
+  EXPECT_EQ(Value::String("xyz").ToString(), "xyz");
+  EXPECT_EQ(Value::Date(DateFromYmd(1998, 9, 2)).ToString(), "1998-09-02");
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.type(), DataType::kInt64);
+  EXPECT_EQ(v.AsInt64(), 0);
+}
+
+TEST(ValueDeathTest, StringNumericComparisonAborts) {
+  EXPECT_DEATH(Value::String("a").Compare(Value::Int64(1)),
+               "cannot compare");
+}
+
+TEST(ValueDeathTest, WrongAccessorAborts) {
+  EXPECT_DEATH(Value::Int64(1).AsString(), "CHECK failed");
+  EXPECT_DEATH(Value::String("a").AsDouble(), "not numeric");
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace perfeval

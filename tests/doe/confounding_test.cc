@@ -1,0 +1,146 @@
+#include "doe/confounding.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace doe {
+namespace {
+
+EffectMask M(const std::string& name) {
+  EffectMask mask = 0;
+  EXPECT_TRUE(ParseEffectName(name, &mask)) << name;
+  return mask;
+}
+
+TEST(EffectNameTest, RoundTrips) {
+  for (const char* name : {"I", "A", "B", "AB", "ACD", "ABCDEFG"}) {
+    EffectMask mask = 0;
+    ASSERT_TRUE(ParseEffectName(name, &mask));
+    EXPECT_EQ(EffectName(mask), name);
+  }
+}
+
+TEST(EffectNameTest, RejectsGarbage) {
+  EffectMask mask = 0;
+  EXPECT_FALSE(ParseEffectName("", &mask));
+  EXPECT_FALSE(ParseEffectName("a", &mask));
+  EXPECT_FALSE(ParseEffectName("AA", &mask));
+  EXPECT_FALSE(ParseEffectName("A B", &mask));
+}
+
+TEST(EffectNameTest, CustomFactorNames) {
+  EXPECT_EQ(EffectName(0b11, {"cache", "memory"}), "cache*memory");
+  EXPECT_EQ(EffectName(0, {"cache", "memory"}), "I");
+}
+
+TEST(EffectOrderTest, CountsFactors) {
+  EXPECT_EQ(EffectOrder(M("I")), 0);
+  EXPECT_EQ(EffectOrder(M("A")), 1);
+  EXPECT_EQ(EffectOrder(M("ABD")), 3);
+}
+
+TEST(ConfoundingTest, PaperSlide105AliasesForDEqualsABC) {
+  // D = ABC in a 2^(4-1) design. The paper derives:
+  // AD=BC, BD=AC, AB=CD, A=BCD, B=ACD, C=ABD, I=ABCD.
+  FractionalDesignSpec spec(4, {Generator{3, M("ABC")}});
+
+  std::vector<EffectMask> words = spec.DefiningWords();
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], M("I"));
+  EXPECT_EQ(words[1], M("ABCD"));
+
+  auto aliased_with = [&](const std::string& a, const std::string& b) {
+    std::vector<EffectMask> alias_set = spec.AliasSet(M(a));
+    return std::find(alias_set.begin(), alias_set.end(), M(b)) !=
+           alias_set.end();
+  };
+  EXPECT_TRUE(aliased_with("AD", "BC"));
+  EXPECT_TRUE(aliased_with("BD", "AC"));
+  EXPECT_TRUE(aliased_with("AB", "CD"));
+  EXPECT_TRUE(aliased_with("A", "BCD"));
+  EXPECT_TRUE(aliased_with("B", "ACD"));
+  EXPECT_TRUE(aliased_with("C", "ABD"));
+  EXPECT_TRUE(aliased_with("I", "ABCD"));
+  // And a non-alias: A is not confounded with B.
+  EXPECT_FALSE(aliased_with("A", "B"));
+}
+
+TEST(ConfoundingTest, PaperSlide108AliasesForDEqualsAB) {
+  // D = AB: A=BD, B=AD, D=AB, I=ABD, AC=BCD, BC=ACD, CD=ABC, C=ABCD.
+  FractionalDesignSpec spec(4, {Generator{3, M("AB")}});
+  auto aliased_with = [&](const std::string& a, const std::string& b) {
+    std::vector<EffectMask> alias_set = spec.AliasSet(M(a));
+    return std::find(alias_set.begin(), alias_set.end(), M(b)) !=
+           alias_set.end();
+  };
+  EXPECT_TRUE(aliased_with("A", "BD"));
+  EXPECT_TRUE(aliased_with("B", "AD"));
+  EXPECT_TRUE(aliased_with("D", "AB"));
+  EXPECT_TRUE(aliased_with("I", "ABD"));
+  EXPECT_TRUE(aliased_with("AC", "BCD"));
+  EXPECT_TRUE(aliased_with("C", "ABCD"));
+}
+
+TEST(ConfoundingTest, ResolutionRanksTheTwoDesigns) {
+  // Slide 108: D=ABC (resolution IV) is preferred over D=AB (III).
+  FractionalDesignSpec d_abc(4, {Generator{3, M("ABC")}});
+  FractionalDesignSpec d_ab(4, {Generator{3, M("AB")}});
+  EXPECT_EQ(d_abc.Resolution(), 4);
+  EXPECT_EQ(d_ab.Resolution(), 3);
+  EXPECT_TRUE(PreferDesign(d_abc, d_ab));
+  EXPECT_FALSE(PreferDesign(d_ab, d_abc));
+}
+
+TEST(ConfoundingTest, TwoToSevenMinusFourHasResolutionThree) {
+  FractionalDesignSpec spec(7, {Generator{3, M("AB")}, Generator{4, M("AC")},
+                                Generator{5, M("BC")},
+                                Generator{6, M("ABC")}});
+  EXPECT_EQ(spec.num_runs(), 8u);
+  EXPECT_EQ(spec.DefiningWords().size(), 16u);
+  EXPECT_EQ(spec.Resolution(), 3);
+}
+
+TEST(ConfoundingTest, AliasSetSizeIsTwoToTheP) {
+  FractionalDesignSpec spec(6, {Generator{4, M("ABC")},
+                                Generator{5, M("BCD")}});
+  EXPECT_EQ(spec.AliasSet(M("A")).size(), 4u);
+}
+
+TEST(ConfoundingTest, AliasSetsPartitionAllEffects) {
+  // Every effect appears in exactly one alias set.
+  FractionalDesignSpec spec(4, {Generator{3, M("ABC")}});
+  std::set<std::vector<EffectMask>> distinct_sets;
+  for (EffectMask e = 0; e < 16; ++e) {
+    distinct_sets.insert(spec.AliasSet(e));
+  }
+  EXPECT_EQ(distinct_sets.size(), 8u);  // 16 effects / 2 per set.
+  size_t total = 0;
+  for (const auto& alias_set : distinct_sets) {
+    total += alias_set.size();
+  }
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(ConfoundingTest, DescribeAliasesMentionsMainEffects) {
+  FractionalDesignSpec spec(4, {Generator{3, M("ABC")}});
+  std::string description = spec.DescribeAliases(2);
+  EXPECT_NE(description.find("A = BCD"), std::string::npos);
+  EXPECT_NE(description.find("AB = CD"), std::string::npos);
+}
+
+TEST(ConfoundingDeathTest, RejectsMainEffectGenerator) {
+  EXPECT_DEATH(FractionalDesignSpec(4, {Generator{3, M("A")}}),
+               "interaction");
+}
+
+TEST(ConfoundingDeathTest, RejectsBaseFactorTarget) {
+  EXPECT_DEATH(FractionalDesignSpec(4, {Generator{0, M("AB")}}),
+               "non-base");
+}
+
+}  // namespace
+}  // namespace doe
+}  // namespace perfeval

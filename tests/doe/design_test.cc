@@ -1,0 +1,107 @@
+#include "doe/design.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace doe {
+namespace {
+
+std::vector<Factor> ThreeFactors() {
+  return {Factor("buffer", {"small", "medium", "large"}),
+          Factor("vectorized", {"off", "on"}),
+          Factor("disk", {"hdd", "ssd"})};
+}
+
+TEST(SimpleDesignTest, RunCountMatchesFormula) {
+  Design design = SimpleDesign(ThreeFactors());
+  // 1 + (3-1) + (2-1) + (2-1) = 5.
+  EXPECT_EQ(design.num_runs(), 5u);
+  EXPECT_EQ(SimpleDesignRuns({3, 2, 2}), 5);
+}
+
+TEST(SimpleDesignTest, VariesOneFactorAtATime) {
+  Design design = SimpleDesign(ThreeFactors());
+  const DesignPoint& baseline = design.points()[0];
+  for (size_t r = 1; r < design.num_runs(); ++r) {
+    int changed = 0;
+    for (size_t f = 0; f < design.num_factors(); ++f) {
+      changed += design.points()[r].levels[f] != baseline.levels[f] ? 1 : 0;
+    }
+    EXPECT_EQ(changed, 1) << "run " << r;
+  }
+}
+
+TEST(SimpleDesignTest, CoversAllLevels) {
+  EXPECT_TRUE(SimpleDesign(ThreeFactors()).CoversAllLevels());
+}
+
+TEST(FullFactorialTest, AllCombinationsPresent) {
+  Design design = FullFactorialDesign(ThreeFactors());
+  EXPECT_EQ(design.num_runs(), 12u);  // 3*2*2
+  EXPECT_EQ(FullFactorialRuns({3, 2, 2}), 12);
+  // Every combination unique.
+  std::set<std::vector<size_t>> seen;
+  for (const DesignPoint& point : design.points()) {
+    EXPECT_TRUE(seen.insert(point.levels).second);
+  }
+  EXPECT_TRUE(design.CoversAllLevels());
+  EXPECT_TRUE(design.IsPairwiseBalanced());
+}
+
+TEST(TwoLevelTest, ProducesPowerOfTwoRuns) {
+  std::vector<Factor> factors = {Factor::TwoLevel("A", "-", "+"),
+                                 Factor::TwoLevel("B", "-", "+"),
+                                 Factor::TwoLevel("C", "-", "+")};
+  Design design = TwoLevelFullFactorial(factors);
+  EXPECT_EQ(design.num_runs(), 8u);
+  EXPECT_EQ(TwoLevelRuns(3), 8);
+}
+
+TEST(TwoLevelDeathTest, RejectsMultiLevelFactors) {
+  std::vector<Factor> factors = {Factor("A", {"1", "2", "3"})};
+  EXPECT_DEATH(TwoLevelFullFactorial(factors), "two-level");
+}
+
+TEST(DesignSizeTest, PaperScenarioSlide56) {
+  // "5 parameters, each has between 10 and 40 values": full factorial is
+  // infeasible (10^5 at the low end), 2^k is 32, simple is 1+sum(ni-1).
+  std::vector<size_t> levels = {10, 20, 30, 40, 25};
+  EXPECT_EQ(FullFactorialRuns(levels), 10LL * 20 * 30 * 40 * 25);
+  EXPECT_EQ(TwoLevelRuns(5), 32);
+  EXPECT_EQ(SimpleDesignRuns(levels), 1 + 9 + 19 + 29 + 39 + 24);
+  EXPECT_LT(TwoLevelRuns(5), SimpleDesignRuns(levels));
+}
+
+TEST(DesignSizeTest, FractionalRunsFormula) {
+  EXPECT_EQ(FractionalRuns(7, 4), 8);   // the slide-102 2^(7-4) design.
+  EXPECT_EQ(FractionalRuns(4, 1), 8);   // the slide-104 2^(4-1) design.
+}
+
+TEST(DesignTest, TableRenderingListsAllRuns) {
+  Design design = SimpleDesign(ThreeFactors());
+  std::string table = design.ToTable();
+  EXPECT_NE(table.find("buffer"), std::string::npos);
+  EXPECT_NE(table.find("medium"), std::string::npos);
+  int lines = 0;
+  for (char c : table) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, static_cast<int>(design.num_runs()) + 1);
+}
+
+TEST(DesignTest, LevelNameAt) {
+  Design design = FullFactorialDesign(ThreeFactors());
+  EXPECT_EQ(design.LevelNameAt(0, 0), "small");
+  // Factor 0 varies fastest.
+  EXPECT_EQ(design.LevelNameAt(1, 0), "medium");
+}
+
+TEST(FactorDeathTest, NeedsAtLeastOneLevel) {
+  EXPECT_DEATH(Factor("empty", {}), "at least one level");
+}
+
+}  // namespace
+}  // namespace doe
+}  // namespace perfeval

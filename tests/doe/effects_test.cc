@@ -1,0 +1,110 @@
+#include "doe/effects.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace perfeval {
+namespace doe {
+namespace {
+
+TEST(EffectsTest, PaperSlide72MemoryCacheExample) {
+  // The paper's 2^2 example: MIPS of a workstation for memory {4MB,16MB} x
+  // cache {1KB,2KB}: y = (15, 45, 25, 75) in sign-table order.
+  // Solved model: y = 40 + 20 xA + 10 xB + 5 xA xB.
+  SignTable table = SignTable::FullFactorial(2);
+  std::vector<double> y = {15.0, 45.0, 25.0, 75.0};
+  EffectModel model = EstimateEffects(table, y);
+  EXPECT_DOUBLE_EQ(model.mean(), 40.0);
+  EXPECT_DOUBLE_EQ(model.Coefficient(0b01), 20.0);  // qA (memory)
+  EXPECT_DOUBLE_EQ(model.Coefficient(0b10), 10.0);  // qB (cache)
+  EXPECT_DOUBLE_EQ(model.Coefficient(0b11), 5.0);   // qAB
+}
+
+TEST(EffectsTest, ModelReproducesEveryObservation) {
+  // With 2^k coefficients and 2^k observations the fit is exact.
+  SignTable table = SignTable::FullFactorial(3);
+  Pcg32 rng(7);
+  std::vector<double> y;
+  for (size_t i = 0; i < 8; ++i) {
+    y.push_back(rng.NextDoubleInRange(0.0, 100.0));
+  }
+  EffectModel model = EstimateEffects(table, y);
+  for (size_t run = 0; run < 8; ++run) {
+    EXPECT_NEAR(model.Predict(table, run), y[run], 1e-9);
+  }
+}
+
+TEST(EffectsTest, RecoversPlantedLinearModel) {
+  // Generate responses from a known model; estimation must recover it.
+  SignTable table = SignTable::FullFactorial(4);
+  const double q0 = 12.0;
+  const double qA = 3.0;
+  const double qBC = -1.5;
+  std::vector<double> y(16);
+  for (size_t run = 0; run < 16; ++run) {
+    y[run] = q0 + qA * table.ColumnSign(run, 0b0001) +
+             qBC * table.ColumnSign(run, 0b0110);
+  }
+  EffectModel model = EstimateEffects(table, y);
+  EXPECT_NEAR(model.mean(), q0, 1e-9);
+  EXPECT_NEAR(model.Coefficient(0b0001), qA, 1e-9);
+  EXPECT_NEAR(model.Coefficient(0b0110), qBC, 1e-9);
+  // All unplanted coefficients are zero.
+  EXPECT_NEAR(model.Coefficient(0b0010), 0.0, 1e-9);
+  EXPECT_NEAR(model.Coefficient(0b1111), 0.0, 1e-9);
+}
+
+TEST(EffectsTest, ConstantResponseHasOnlyMean) {
+  SignTable table = SignTable::FullFactorial(2);
+  EffectModel model = EstimateEffects(table, {7.0, 7.0, 7.0, 7.0});
+  EXPECT_DOUBLE_EQ(model.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(model.Coefficient(0b01), 0.0);
+  EXPECT_DOUBLE_EQ(model.Coefficient(0b10), 0.0);
+  EXPECT_DOUBLE_EQ(model.Coefficient(0b11), 0.0);
+}
+
+TEST(EffectsTest, FractionalEstimatesConfoundedSums) {
+  // In D=ABC, the estimate labelled "D" is really qD + qABC.
+  FractionalDesignSpec spec(4, {Generator{3, 0b0111}});
+  SignTable fractional = SignTable::Fractional(spec);
+  // Plant a model with qD = 2 and qABC = 1 over a full 2^4 table, then
+  // evaluate its responses at the fraction's 8 runs.
+  SignTable full = SignTable::FullFactorial(4);
+  std::vector<double> y;
+  for (size_t run = 0; run < fractional.num_runs(); ++run) {
+    double response = 10.0 + 2.0 * fractional.ColumnSign(run, 0b1000) +
+                      1.0 * fractional.ColumnSign(run, 0b0111);
+    y.push_back(response);
+  }
+  EffectModel model = EstimateMainEffectsFractional(fractional, y);
+  // D and ABC share a column in the fraction, so the estimate is 3.
+  EXPECT_NEAR(model.Coefficient(0b1000), 3.0, 1e-9);
+  (void)full;
+}
+
+TEST(EffectsTest, ReplicatedUsesRunMeans) {
+  SignTable table = SignTable::FullFactorial(2);
+  std::vector<std::vector<double>> y = {
+      {14.0, 16.0}, {44.0, 46.0}, {24.0, 26.0}, {74.0, 76.0}};
+  EffectModel model = EstimateEffectsReplicated(table, y);
+  EXPECT_DOUBLE_EQ(model.mean(), 40.0);
+  EXPECT_DOUBLE_EQ(model.Coefficient(0b01), 20.0);
+}
+
+TEST(EffectsTest, ToStringListsCoefficients) {
+  SignTable table = SignTable::FullFactorial(2);
+  EffectModel model = EstimateEffects(table, {15.0, 45.0, 25.0, 75.0});
+  std::string text = model.ToString();
+  EXPECT_NE(text.find("qI"), std::string::npos);
+  EXPECT_NE(text.find("qAB"), std::string::npos);
+}
+
+TEST(EffectsDeathTest, ResponseCountMustMatchRuns) {
+  SignTable table = SignTable::FullFactorial(2);
+  EXPECT_DEATH(EstimateEffects(table, {1.0, 2.0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace doe
+}  // namespace perfeval

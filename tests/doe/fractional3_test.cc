@@ -1,0 +1,110 @@
+#include "doe/fractional3.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace doe {
+namespace {
+
+TEST(IsPrimeTest, SmallValues) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(5));
+  EXPECT_FALSE(IsPrime(9));
+  EXPECT_TRUE(IsPrime(13));
+}
+
+TEST(Slide67Test, NineRunsForFourThreeLevelFactors) {
+  Design design = PaperSlide67Design();
+  EXPECT_EQ(design.num_runs(), 9u);
+  EXPECT_EQ(design.num_factors(), 4u);
+  // 9 of 81 possible combinations.
+  EXPECT_EQ(FullFactorialRuns({3, 3, 3, 3}), 81);
+}
+
+TEST(Slide67Test, EveryLevelAppearsExactlyThreeTimes) {
+  Design design = PaperSlide67Design();
+  for (size_t f = 0; f < design.num_factors(); ++f) {
+    std::map<size_t, int> counts;
+    for (const DesignPoint& point : design.points()) {
+      ++counts[point.levels[f]];
+    }
+    ASSERT_EQ(counts.size(), 3u);
+    for (const auto& [level, count] : counts) {
+      EXPECT_EQ(count, 3) << "factor " << f << " level " << level;
+    }
+  }
+}
+
+TEST(Slide67Test, PairwiseOrthogonal) {
+  // Every pair of levels of every pair of factors appears exactly once —
+  // the property that lets main effects be estimated from 9 runs.
+  Design design = PaperSlide67Design();
+  for (size_t f1 = 0; f1 < 4; ++f1) {
+    for (size_t f2 = f1 + 1; f2 < 4; ++f2) {
+      std::set<std::pair<size_t, size_t>> pairs;
+      for (const DesignPoint& point : design.points()) {
+        EXPECT_TRUE(
+            pairs.insert({point.levels[f1], point.levels[f2]}).second)
+            << "duplicate pair for factors " << f1 << "," << f2;
+      }
+      EXPECT_EQ(pairs.size(), 9u);
+    }
+  }
+  EXPECT_TRUE(design.IsPairwiseBalanced());
+}
+
+TEST(Slide67Test, UsesThePaperCatalogue) {
+  Design design = PaperSlide67Design();
+  EXPECT_EQ(design.factors()[0].name(), "CPU");
+  EXPECT_EQ(design.factors()[0].level_name(1), "Z80");
+  EXPECT_EQ(design.factors()[3].level_name(0), "High school");
+  std::string table = design.ToTable();
+  EXPECT_NE(table.find("8086"), std::string::npos);
+  EXPECT_NE(table.find("Postgraduate"), std::string::npos);
+}
+
+class LatinSquareSweepTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(LatinSquareSweepTest, BalancedForPrimeSizes) {
+  auto [m, k] = GetParam();
+  std::vector<Factor> factors;
+  for (size_t f = 0; f < k; ++f) {
+    std::vector<std::string> levels;
+    for (size_t l = 0; l < m; ++l) {
+      levels.push_back(std::to_string(l));
+    }
+    factors.emplace_back("F" + std::to_string(f), levels);
+  }
+  Design design = LatinSquareFractional(factors);
+  EXPECT_EQ(design.num_runs(), m * m);
+  EXPECT_TRUE(design.CoversAllLevels());
+  EXPECT_TRUE(design.IsPairwiseBalanced());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LatinSquareSweepTest,
+    ::testing::Values(std::make_tuple(2u, 3u), std::make_tuple(3u, 3u),
+                      std::make_tuple(3u, 4u), std::make_tuple(5u, 4u),
+                      std::make_tuple(5u, 6u), std::make_tuple(7u, 8u)));
+
+TEST(LatinSquareDeathTest, RejectsNonPrime) {
+  std::vector<Factor> factors(3, Factor("F", {"0", "1", "2", "3"}));
+  EXPECT_DEATH(LatinSquareFractional(factors), "prime");
+}
+
+TEST(LatinSquareDeathTest, RejectsTooManyFactors) {
+  std::vector<Factor> factors(5, Factor("F", {"0", "1", "2"}));
+  EXPECT_DEATH(LatinSquareFractional(factors), "m\\+1");
+}
+
+}  // namespace
+}  // namespace doe
+}  // namespace perfeval

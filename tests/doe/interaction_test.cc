@@ -1,0 +1,65 @@
+#include "doe/interaction.h"
+
+#include <gtest/gtest.h>
+
+#include "doe/effects.h"
+
+namespace perfeval {
+namespace doe {
+namespace {
+
+TEST(InteractionTest, PaperSlide58NoInteraction) {
+  // Table (a): A1/A2 x B1/B2 = 3,5 / 6,8 — the effect of A is +2
+  // regardless of B: parallel lines, zero gap.
+  SignTable table = SignTable::FullFactorial(2);
+  std::vector<double> y = {3.0, 5.0, 6.0, 8.0};
+  std::vector<core::Series> plot = InteractionPlot(table, y, 0, 1, "B");
+  ASSERT_EQ(plot.size(), 2u);
+  EXPECT_EQ(plot[0].name, "B low");
+  EXPECT_EQ(plot[1].name, "B high");
+  EXPECT_DOUBLE_EQ(plot[0].y[0], 3.0);
+  EXPECT_DOUBLE_EQ(plot[0].y[1], 5.0);
+  EXPECT_DOUBLE_EQ(plot[1].y[0], 6.0);
+  EXPECT_DOUBLE_EQ(plot[1].y[1], 8.0);
+  EXPECT_DOUBLE_EQ(InteractionSlopeGap(table, y, 0, 1), 0.0);
+}
+
+TEST(InteractionTest, PaperSlide58WithInteraction) {
+  // Table (b): 3,5 / 6,9 — A's effect is +2 at B1 but +3 at B2. Slopes
+  // are per unit of x in [-1, +1], so the gap is (3-2)/2 = 0.5 = 2*qAB.
+  SignTable table = SignTable::FullFactorial(2);
+  std::vector<double> y = {3.0, 5.0, 6.0, 9.0};
+  EXPECT_DOUBLE_EQ(InteractionSlopeGap(table, y, 0, 1), 0.5);
+}
+
+TEST(InteractionTest, GapEqualsTwiceQab) {
+  SignTable table = SignTable::FullFactorial(2);
+  std::vector<double> y = {15.0, 45.0, 25.0, 75.0};  // slide 72: qAB = 5.
+  EffectModel model = EstimateEffects(table, y);
+  EXPECT_DOUBLE_EQ(InteractionSlopeGap(table, y, 0, 1),
+                   2.0 * model.Coefficient(0b11));
+}
+
+TEST(InteractionTest, MarginalizesOverOtherFactorsInLargerDesigns) {
+  // 2^3 with a planted pure AB interaction; C is noise the plot averages
+  // out exactly.
+  SignTable table = SignTable::FullFactorial(3);
+  std::vector<double> y(8);
+  for (size_t run = 0; run < 8; ++run) {
+    y[run] = 10.0 + 4.0 * table.ColumnSign(run, 0b011) +
+             100.0 * table.ColumnSign(run, 0b100);
+  }
+  EXPECT_NEAR(InteractionSlopeGap(table, y, 0, 1), 8.0, 1e-9);
+  // And no spurious interaction between A and C.
+  EXPECT_NEAR(InteractionSlopeGap(table, y, 0, 2), 0.0, 1e-9);
+}
+
+TEST(InteractionDeathTest, RejectsSameFactorTwice) {
+  SignTable table = SignTable::FullFactorial(2);
+  std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DEATH(InteractionPlot(table, y, 1, 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace doe
+}  // namespace perfeval

@@ -1,0 +1,112 @@
+#include "doe/sign_table.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace doe {
+namespace {
+
+TEST(SignTableTest, TwoFactorTableMatchesPaperSlide74) {
+  // Slide 74: runs (A,B) = (-1,-1), (1,-1), (-1,1), (1,1) with AB column
+  // 1, -1, -1, 1.
+  SignTable table = SignTable::FullFactorial(2);
+  ASSERT_EQ(table.num_runs(), 4u);
+  const EffectMask A = 0b01;
+  const EffectMask B = 0b10;
+  const EffectMask AB = 0b11;
+  EXPECT_EQ(table.Column(A), (std::vector<int>{-1, 1, -1, 1}));
+  EXPECT_EQ(table.Column(B), (std::vector<int>{-1, -1, 1, 1}));
+  EXPECT_EQ(table.Column(AB), (std::vector<int>{1, -1, -1, 1}));
+  EXPECT_EQ(table.Column(0), (std::vector<int>{1, 1, 1, 1}));
+}
+
+class SignTablePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SignTablePropertyTest, AllColumnsZeroSum) {
+  SignTable table = SignTable::FullFactorial(GetParam());
+  for (EffectMask e = 1; e < (EffectMask{1} << GetParam()); ++e) {
+    EXPECT_TRUE(table.IsZeroSum(e)) << EffectName(e);
+  }
+}
+
+TEST_P(SignTablePropertyTest, AllColumnPairsOrthogonal) {
+  size_t k = GetParam();
+  SignTable table = SignTable::FullFactorial(k);
+  for (EffectMask a = 0; a < (EffectMask{1} << k); ++a) {
+    for (EffectMask b = a + 1; b < (EffectMask{1} << k); ++b) {
+      EXPECT_TRUE(table.AreOrthogonal(a, b))
+          << EffectName(a) << " vs " << EffectName(b);
+    }
+  }
+}
+
+TEST_P(SignTablePropertyTest, IsProper) {
+  EXPECT_TRUE(SignTable::FullFactorial(GetParam()).IsProper());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SignTablePropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(FractionalSignTableTest, PaperSlide102Construction) {
+  // 2^(7-4): base factors A,B,C; D=AB? No — slide 102 labels the
+  // rightmost interaction columns AB, AC, BC, ABC as D, E, F, G.
+  FractionalDesignSpec spec(
+      7, {Generator{3, 0b011},    // D = AB
+          Generator{4, 0b101},    // E = AC
+          Generator{5, 0b110},    // F = BC
+          Generator{6, 0b111}});  // G = ABC
+  SignTable table = SignTable::Fractional(spec);
+  EXPECT_EQ(table.num_runs(), 8u);
+  EXPECT_EQ(table.num_factors(), 7u);
+  // Slide 103: 7 zero-sum columns, base factor columns orthogonal.
+  for (size_t f = 0; f < 7; ++f) {
+    EXPECT_TRUE(table.IsZeroSum(EffectMask{1} << f)) << f;
+  }
+  EXPECT_TRUE(table.IsProper());
+  // Row 1 of slide 102: A=-1 B=-1 C=-1 -> D=AB=1, E=AC=1, F=BC=1, G=-1.
+  EXPECT_EQ(table.FactorSign(0, 3), 1);
+  EXPECT_EQ(table.FactorSign(0, 4), 1);
+  EXPECT_EQ(table.FactorSign(0, 5), 1);
+  EXPECT_EQ(table.FactorSign(0, 6), -1);
+  // Row 2: A=1 B=-1 C=-1 -> D=-1, E=-1, F=1, G=1.
+  EXPECT_EQ(table.FactorSign(1, 3), -1);
+  EXPECT_EQ(table.FactorSign(1, 4), -1);
+  EXPECT_EQ(table.FactorSign(1, 5), 1);
+  EXPECT_EQ(table.FactorSign(1, 6), 1);
+}
+
+TEST(FractionalSignTableTest, GeneratedColumnEqualsInteraction) {
+  // D = ABC in a 2^(4-1): column D equals column ABC of the base table.
+  FractionalDesignSpec spec(4, {Generator{3, 0b111}});
+  SignTable fractional = SignTable::Fractional(spec);
+  SignTable base = SignTable::FullFactorial(3);
+  for (size_t run = 0; run < 8; ++run) {
+    EXPECT_EQ(fractional.FactorSign(run, 3), base.ColumnSign(run, 0b111));
+  }
+}
+
+TEST(FractionalSignTableTest, ConfoundedColumnsAreIdentical) {
+  // In D=ABC, the AD column equals the BC column (slide 105).
+  FractionalDesignSpec spec(4, {Generator{3, 0b111}});
+  SignTable table = SignTable::Fractional(spec);
+  EffectMask AD = 0b1001;
+  EffectMask BC = 0b0110;
+  for (size_t run = 0; run < table.num_runs(); ++run) {
+    EXPECT_EQ(table.ColumnSign(run, AD), table.ColumnSign(run, BC));
+  }
+}
+
+TEST(SignTableTest, ToTableContainsSigns) {
+  SignTable table = SignTable::FullFactorial(2);
+  std::string rendered = table.ToTable({0b01, 0b10, 0b11});
+  EXPECT_NE(rendered.find("AB"), std::string::npos);
+  EXPECT_NE(rendered.find("-1"), std::string::npos);
+}
+
+TEST(SignTableDeathTest, RejectsZeroFactors) {
+  EXPECT_DEATH(SignTable::FullFactorial(0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace doe
+}  // namespace perfeval

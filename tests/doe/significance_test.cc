@@ -1,0 +1,108 @@
+#include "doe/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace perfeval {
+namespace doe {
+namespace {
+
+/// Replicated responses from a planted model y = 100 + qA*xA + qB*xB +
+/// noise; qAB = 0.
+std::vector<std::vector<double>> PlantedResponses(const SignTable& table,
+                                                  double q_a, double q_b,
+                                                  double noise_sd,
+                                                  int replications,
+                                                  uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<std::vector<double>> y(table.num_runs());
+  for (size_t run = 0; run < table.num_runs(); ++run) {
+    double mean = 100.0 + q_a * table.ColumnSign(run, 0b01) +
+                  q_b * table.ColumnSign(run, 0b10);
+    for (int i = 0; i < replications; ++i) {
+      y[run].push_back(mean + noise_sd * rng.NextGaussian());
+    }
+  }
+  return y;
+}
+
+TEST(Anova2kTest, DetectsRealEffectsRejectsAbsentOnes) {
+  SignTable table = SignTable::FullFactorial(2);
+  // A is a big effect, B tiny relative to noise, AB zero.
+  std::vector<std::vector<double>> y =
+      PlantedResponses(table, 10.0, 0.05, 1.0, 5, 42);
+  stats::AnovaTable anova = Anova2k(table, y);
+  const stats::AnovaRow* a = anova.Find("A");
+  const stats::AnovaRow* b = anova.Find("B");
+  const stats::AnovaRow* ab = anova.Find("AB");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(ab, nullptr);
+  EXPECT_TRUE(a->significant);
+  EXPECT_LT(a->p_value, 1e-6);
+  EXPECT_FALSE(b->significant);
+  EXPECT_FALSE(ab->significant);
+}
+
+TEST(Anova2kTest, PureNoiseRarelySignificant) {
+  SignTable table = SignTable::FullFactorial(3);
+  int false_positives = 0;
+  const int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<std::vector<double>> y =
+        PlantedResponses(table, 0.0, 0.0, 1.0, 3,
+                         static_cast<uint64_t>(trial) + 1000);
+    stats::AnovaTable anova = Anova2k(table, y);
+    false_positives += anova.Find("A")->significant ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(false_positives) / kTrials, 0.05, 0.05);
+}
+
+TEST(Anova2kTest, SumOfSquaresDecomposes) {
+  SignTable table = SignTable::FullFactorial(2);
+  std::vector<std::vector<double>> y =
+      PlantedResponses(table, 5.0, 2.0, 0.5, 4, 7);
+  stats::AnovaTable anova = Anova2k(table, y);
+  double effects = 0.0;
+  for (const stats::AnovaRow& row : anova.rows) {
+    if (row.source != "error" && row.source != "total") {
+      effects += row.sum_of_squares;
+    }
+  }
+  EXPECT_NEAR(effects + anova.Find("error")->sum_of_squares,
+              anova.Find("total")->sum_of_squares,
+              1e-6 * anova.Find("total")->sum_of_squares);
+  // df: 3 effects * 1 + error 4*(4-1)=12 = total 15.
+  EXPECT_EQ(anova.Find("error")->degrees_of_freedom, 12.0);
+  EXPECT_EQ(anova.Find("total")->degrees_of_freedom, 15.0);
+}
+
+TEST(Anova2kTest, CustomFactorNames) {
+  SignTable table = SignTable::FullFactorial(2);
+  std::vector<std::vector<double>> y =
+      PlantedResponses(table, 10.0, 0.0, 0.5, 3, 3);
+  stats::AnovaTable anova =
+      Anova2k(table, y, 0.05, {"cache", "memory"});
+  EXPECT_NE(anova.Find("cache"), nullptr);
+  EXPECT_NE(anova.Find("cache*memory"), nullptr);
+}
+
+TEST(Anova2kTest, NoiseFreeReplicasGiveZeroPValues) {
+  SignTable table = SignTable::FullFactorial(2);
+  std::vector<std::vector<double>> y = {
+      {15.0, 15.0}, {45.0, 45.0}, {25.0, 25.0}, {75.0, 75.0}};
+  stats::AnovaTable anova = Anova2k(table, y);
+  EXPECT_TRUE(anova.Find("A")->significant);
+  EXPECT_DOUBLE_EQ(anova.Find("A")->p_value, 0.0);
+}
+
+TEST(Anova2kDeathTest, RequiresReplication) {
+  SignTable table = SignTable::FullFactorial(2);
+  std::vector<std::vector<double>> y = {{1.0}, {2.0}, {3.0}, {4.0}};
+  EXPECT_DEATH(Anova2k(table, y), "replicated");
+}
+
+}  // namespace
+}  // namespace doe
+}  // namespace perfeval

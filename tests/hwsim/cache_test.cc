@@ -1,0 +1,200 @@
+#include "hwsim/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace perfeval {
+namespace hwsim {
+namespace {
+
+CacheConfig SmallCache() {
+  // 1KB, 64B lines, 2-way: 16 lines, 8 sets.
+  return CacheConfig{"L1", 1024, 64, 2, 1};
+}
+
+TEST(CacheLevelTest, GeometryFromConfig) {
+  CacheLevel cache(SmallCache());
+  EXPECT_EQ(cache.num_sets(), 8u);
+}
+
+TEST(CacheLevelTest, FirstAccessMissesRepeatHits) {
+  CacheLevel cache(SmallCache());
+  EXPECT_FALSE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(63));   // same line.
+  EXPECT_FALSE(cache.Access(64));  // next line.
+  EXPECT_EQ(cache.counters().accesses, 4);
+  EXPECT_EQ(cache.counters().hits, 2);
+  EXPECT_EQ(cache.counters().misses, 2);
+}
+
+TEST(CacheLevelTest, LruEvictionWithinSet) {
+  CacheLevel cache(SmallCache());
+  // Three lines mapping to set 0: line numbers 0, 8, 16 (8 sets).
+  uint64_t a = 0;
+  uint64_t b = 8 * 64;
+  uint64_t c = 16 * 64;
+  cache.Access(a);
+  cache.Access(b);
+  cache.Access(a);  // refresh a: b becomes LRU.
+  cache.Access(c);  // evicts b.
+  EXPECT_TRUE(cache.Access(a));
+  EXPECT_FALSE(cache.Access(b));
+}
+
+TEST(CacheLevelTest, FlushEmptiesButKeepsCounters) {
+  CacheLevel cache(SmallCache());
+  cache.Access(0);
+  cache.Access(0);
+  cache.Flush();
+  EXPECT_FALSE(cache.Access(0));
+  EXPECT_EQ(cache.counters().accesses, 3);
+}
+
+TEST(CacheLevelTest, SequentialScanMissRateEqualsInverseLineRatio) {
+  CacheLevel cache(SmallCache());
+  // Scan 8-byte elements sequentially: one miss per 64B line -> 1/8.
+  const int kElements = 8000;
+  for (int i = 0; i < kElements; ++i) {
+    cache.Access(static_cast<uint64_t>(i) * 8);
+  }
+  EXPECT_NEAR(cache.counters().MissRate(), 1.0 / 8.0, 0.001);
+}
+
+TEST(CacheLevelTest, StrideEqualToLineMissesEveryTime) {
+  CacheLevel cache(SmallCache());
+  for (int i = 0; i < 1000; ++i) {
+    cache.Access(static_cast<uint64_t>(i) * 64);
+  }
+  EXPECT_NEAR(cache.counters().MissRate(), 1.0, 0.001);
+}
+
+TEST(CacheLevelTest, WorkingSetThatFitsHasNoCapacityMisses) {
+  CacheLevel cache(SmallCache());  // 1KB.
+  // Loop repeatedly over 512 bytes: after the first pass, all hits.
+  for (int pass = 0; pass < 10; ++pass) {
+    for (uint64_t addr = 0; addr < 512; addr += 64) {
+      cache.Access(addr);
+    }
+  }
+  EXPECT_EQ(cache.counters().misses, 8);  // cold misses only.
+}
+
+TEST(CacheLevelTest, WorkingSetLargerThanCacheThrashes) {
+  CacheLevel cache(SmallCache());  // 16 lines.
+  // Loop over 64 lines repeatedly: LRU keeps evicting.
+  for (int pass = 0; pass < 5; ++pass) {
+    for (uint64_t line = 0; line < 64; ++line) {
+      cache.Access(line * 64);
+    }
+  }
+  EXPECT_NEAR(cache.counters().MissRate(), 1.0, 0.01);
+}
+
+TEST(MemoryHierarchyTest, HitAndMissLatencies) {
+  MemoryHierarchy hierarchy({{"L1", 1024, 64, 2, 1}}, 2.0, 100.0);
+  // Cold access: L1 lookup (1 cycle = 2ns) + memory (100ns).
+  EXPECT_DOUBLE_EQ(hierarchy.AccessNs(0), 102.0);
+  // Hot access: L1 hit only.
+  EXPECT_DOUBLE_EQ(hierarchy.AccessNs(0), 2.0);
+  EXPECT_EQ(hierarchy.memory_accesses(), 1);
+}
+
+TEST(MemoryHierarchyTest, TwoLevelsFilterMisses) {
+  MemoryHierarchy hierarchy(
+      {{"L1", 1024, 64, 2, 1}, {"L2", 8192, 64, 4, 10}}, 1.0, 100.0);
+  // Touch 64 lines (4KB): fits L2 (8KB), not L1 (1KB).
+  for (uint64_t line = 0; line < 64; ++line) {
+    hierarchy.AccessNs(line * 64);
+  }
+  // Second pass: all L1 misses (thrash) but all L2 hits.
+  int64_t memory_before = hierarchy.memory_accesses();
+  for (uint64_t line = 0; line < 64; ++line) {
+    double ns = hierarchy.AccessNs(line * 64);
+    EXPECT_DOUBLE_EQ(ns, 11.0);  // L1 1 cycle + L2 10 cycles.
+  }
+  EXPECT_EQ(hierarchy.memory_accesses(), memory_before);
+}
+
+TEST(MemoryHierarchyTest, FlushRestoresColdState) {
+  MemoryHierarchy hierarchy({{"L1", 1024, 64, 2, 1}}, 1.0, 50.0);
+  hierarchy.AccessNs(0);
+  hierarchy.Flush();
+  EXPECT_DOUBLE_EQ(hierarchy.AccessNs(0), 51.0);
+}
+
+TEST(MemoryHierarchyTest, CountersReportIsTabular) {
+  MemoryHierarchy hierarchy({{"L1", 1024, 64, 2, 1}}, 1.0, 50.0);
+  hierarchy.AccessNs(0);
+  std::string report = hierarchy.CountersToString();
+  EXPECT_NE(report.find("L1"), std::string::npos);
+  EXPECT_NE(report.find("miss rate"), std::string::npos);
+  EXPECT_NE(report.find("memory"), std::string::npos);
+}
+
+
+TEST(PrefetchTest, StreamPrefetchKillsConstantStrideMisses) {
+  MemoryHierarchy plain({{"L1", 1024, 64, 2, 1}}, 1.0, 100.0);
+  MemoryHierarchy prefetching({{"L1", 1024, 64, 2, 1}}, 1.0, 100.0);
+  prefetching.set_next_line_prefetch(true);
+  for (uint64_t line = 0; line < 512; ++line) {
+    plain.AccessNs(line * 64);
+    prefetching.AccessNs(line * 64);
+  }
+  EXPECT_EQ(plain.memory_accesses(), 512);
+  // Two training misses arm the stream; everything after hits.
+  EXPECT_LE(prefetching.memory_accesses(), 3);
+  EXPECT_GE(prefetching.prefetches_issued(), 500);
+}
+
+TEST(PrefetchTest, NonLineStrideStillStreams) {
+  // 64-byte stride over 32-byte lines (the row-store layout on the 1990s
+  // machines): the stream detector keys on the delta, not the line size.
+  MemoryHierarchy prefetching({{"L1", 1024, 32, 2, 1}}, 1.0, 100.0);
+  prefetching.set_next_line_prefetch(true);
+  for (uint64_t i = 0; i < 512; ++i) {
+    prefetching.AccessNs(i * 64);
+  }
+  EXPECT_LE(prefetching.memory_accesses(), 3);
+}
+
+TEST(PrefetchTest, InstallDoesNotPolluteCounters) {
+  CacheLevel cache(SmallCache());
+  cache.Install(0);
+  EXPECT_EQ(cache.counters().accesses, 0);
+  EXPECT_TRUE(cache.Access(0));  // installed line hits.
+  EXPECT_EQ(cache.counters().accesses, 1);
+  EXPECT_EQ(cache.counters().hits, 1);
+}
+
+TEST(PrefetchTest, RandomAccessGainsNothing) {
+  MemoryHierarchy plain({{"L1", 1024, 64, 2, 1}}, 1.0, 100.0);
+  MemoryHierarchy prefetching({{"L1", 1024, 64, 2, 1}}, 1.0, 100.0);
+  prefetching.set_next_line_prefetch(true);
+  uint32_t state = 99;
+  auto next = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<uint64_t>(state % 100000) * 64;
+  };
+  int64_t plain_mem = 0;
+  int64_t prefetch_mem = 0;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t addr = next();
+    plain.AccessNs(addr);
+    prefetching.AccessNs(addr);
+  }
+  plain_mem = plain.memory_accesses();
+  prefetch_mem = prefetching.memory_accesses();
+  // Random lines rarely follow a prefetched neighbour.
+  EXPECT_GT(prefetch_mem, plain_mem * 9 / 10);
+}
+
+TEST(CacheDeathTest, RejectsInvalidGeometry) {
+  EXPECT_DEATH(CacheLevel(CacheConfig{"bad", 100, 64, 3, 1}),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace hwsim
+}  // namespace perfeval

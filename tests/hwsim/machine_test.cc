@@ -1,0 +1,74 @@
+#include "hwsim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace hwsim {
+namespace {
+
+TEST(MachineTest, FiveHistoricalGenerations) {
+  const std::vector<MachineProfile>& machines = HistoricalMachines();
+  ASSERT_EQ(machines.size(), 5u);
+  EXPECT_EQ(machines[0].system, "Sun LX");
+  EXPECT_EQ(machines[0].year, 1992);
+  EXPECT_EQ(machines[4].system, "Origin2000");
+  EXPECT_EQ(machines[4].year, 2000);
+}
+
+TEST(MachineTest, ClockSpeedsMatchTheFigure) {
+  // Slide 46's header row: 50, 200, 296, 500, 300 MHz.
+  const std::vector<MachineProfile>& machines = HistoricalMachines();
+  EXPECT_DOUBLE_EQ(machines[0].clock_mhz, 50.0);
+  EXPECT_DOUBLE_EQ(machines[1].clock_mhz, 200.0);
+  EXPECT_DOUBLE_EQ(machines[2].clock_mhz, 296.0);
+  EXPECT_DOUBLE_EQ(machines[3].clock_mhz, 500.0);
+  EXPECT_DOUBLE_EQ(machines[4].clock_mhz, 300.0);
+}
+
+TEST(MachineTest, TenXClockImprovement) {
+  // "Up to 10x improvement in CPU clock-speed" (slide 47).
+  const std::vector<MachineProfile>& machines = HistoricalMachines();
+  double min_clock = machines[0].clock_mhz;
+  double max_clock = 0.0;
+  for (const MachineProfile& m : machines) {
+    max_clock = std::max(max_clock, m.clock_mhz);
+  }
+  EXPECT_DOUBLE_EQ(max_clock / min_clock, 10.0);
+}
+
+TEST(MachineTest, MemoryLatencyBarelyImproves) {
+  // The figure's crux: while clocks improved 10x, memory latency did not
+  // improve at all across these systems.
+  const std::vector<MachineProfile>& machines = HistoricalMachines();
+  for (const MachineProfile& m : machines) {
+    EXPECT_GE(m.memory_latency_ns, 100.0) << m.system;
+    EXPECT_LE(m.memory_latency_ns, 300.0) << m.system;
+  }
+}
+
+TEST(MachineTest, CycleTimeFromClock) {
+  EXPECT_DOUBLE_EQ(MachineByName("Sun LX").CycleNs(), 20.0);
+  EXPECT_DOUBLE_EQ(MachineByName("DEC Alpha").CycleNs(), 2.0);
+}
+
+TEST(MachineTest, HierarchiesAreConstructible) {
+  for (const MachineProfile& m : HistoricalMachines()) {
+    MemoryHierarchy hierarchy = m.MakeHierarchy();
+    EXPECT_GE(hierarchy.num_levels(), 1u) << m.system;
+    // Cold access costs at least the memory latency.
+    EXPECT_GE(hierarchy.AccessNs(0), m.memory_latency_ns) << m.system;
+  }
+}
+
+TEST(MachineTest, LaterMachinesHaveDeeperHierarchies) {
+  EXPECT_EQ(MachineByName("Sun LX").caches.size(), 1u);
+  EXPECT_EQ(MachineByName("DEC Alpha").caches.size(), 3u);
+}
+
+TEST(MachineDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(MachineByName("Cray-1"), "unknown machine");
+}
+
+}  // namespace
+}  // namespace hwsim
+}  // namespace perfeval

@@ -1,0 +1,118 @@
+#include "hwsim/scan.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace hwsim {
+namespace {
+
+ScanSpec SmallScan() {
+  ScanSpec spec;
+  spec.num_elements = 1 << 16;
+  return spec;
+}
+
+std::vector<ScanResult> RunAllMachines(const ScanSpec& spec) {
+  std::vector<ScanResult> results;
+  for (const MachineProfile& machine : HistoricalMachines()) {
+    results.push_back(SimulateScanMax(machine, spec));
+  }
+  return results;
+}
+
+TEST(ScanFigureTest, HardlyAnyPerformanceImprovement) {
+  // The slide-46/51 message: 10x clock improvement, yet total time per
+  // iteration improves by well under 2x.
+  std::vector<ScanResult> results = RunAllMachines(SmallScan());
+  double slowest = 0.0;
+  double fastest = 1e18;
+  for (const ScanResult& r : results) {
+    slowest = std::max(slowest, r.TotalNsPerIter());
+    fastest = std::min(fastest, r.TotalNsPerIter());
+  }
+  EXPECT_LT(slowest / fastest, 2.0);
+}
+
+TEST(ScanFigureTest, CpuShareCollapsesMemoryDominates) {
+  std::vector<ScanResult> results = RunAllMachines(SmallScan());
+  // 1992: CPU is roughly half the cost. 1998 (500MHz Alpha): memory is
+  // essentially everything.
+  EXPECT_GT(results[0].cpu_ns_per_iter, results[0].mem_ns_per_iter * 0.5);
+  EXPECT_GT(results[3].MemoryShare(), 0.90);
+  // Memory share in 1992 is the smallest of the five.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GT(results[i].MemoryShare(), results[0].MemoryShare());
+  }
+}
+
+TEST(ScanFigureTest, CpuTimeTracksClockSpeed) {
+  std::vector<ScanResult> results = RunAllMachines(SmallScan());
+  // CPU ns/iter = instrs * cpi * cycle: strictly ordered by clock/cpi.
+  EXPECT_GT(results[0].cpu_ns_per_iter, 10 * results[3].cpu_ns_per_iter);
+}
+
+TEST(ScanLayoutTest, ColumnarBeatsRowStore) {
+  // The columnar layout (MonetDB's answer to the figure) amortizes each
+  // line fetch over line/value elements.
+  const MachineProfile& machine = MachineByName("DEC Alpha");
+  ScanSpec row = SmallScan();
+  row.layout = ScanLayout::kRowStore;
+  ScanSpec col = SmallScan();
+  col.layout = ScanLayout::kColumnar;
+  ScanResult row_result = SimulateScanMax(machine, row);
+  ScanResult col_result = SimulateScanMax(machine, col);
+  EXPECT_LT(col_result.mem_ns_per_iter, row_result.mem_ns_per_iter / 3);
+  // CPU cost is layout-independent.
+  EXPECT_DOUBLE_EQ(col_result.cpu_ns_per_iter, row_result.cpu_ns_per_iter);
+}
+
+TEST(ScanTest, MemoryCostScalesWithLatency) {
+  MachineProfile fast = MachineByName("Sun Ultra");
+  MachineProfile slow = fast;
+  slow.memory_latency_ns *= 3.0;
+  ScanResult fast_result = SimulateScanMax(fast, SmallScan());
+  ScanResult slow_result = SimulateScanMax(slow, SmallScan());
+  EXPECT_GT(slow_result.mem_ns_per_iter,
+            2.0 * fast_result.mem_ns_per_iter);
+}
+
+TEST(ScanTest, CountersReportPresent) {
+  ScanResult result =
+      SimulateScanMax(MachineByName("Sun LX"), SmallScan());
+  EXPECT_NE(result.counter_report.find("L1"), std::string::npos);
+  EXPECT_EQ(result.iterations, SmallScan().num_elements);
+  EXPECT_EQ(result.system, "Sun LX");
+}
+
+TEST(ScanTest, MoreInstructionsMoreCpuTime) {
+  ScanSpec light = SmallScan();
+  light.instructions_per_iteration = 2;
+  ScanSpec heavy = SmallScan();
+  heavy.instructions_per_iteration = 20;
+  const MachineProfile& machine = MachineByName("Sun LX");
+  EXPECT_DOUBLE_EQ(
+      SimulateScanMax(machine, heavy).cpu_ns_per_iter,
+      10.0 * SimulateScanMax(machine, light).cpu_ns_per_iter);
+}
+
+
+TEST(ScanTest, PrefetcherCutsRowStoreMemoryTime) {
+  const MachineProfile& machine = MachineByName("DEC Alpha");
+  ScanSpec plain = SmallScan();
+  ScanSpec prefetched = SmallScan();
+  prefetched.next_line_prefetch = true;
+  ScanResult without = SimulateScanMax(machine, plain);
+  ScanResult with = SimulateScanMax(machine, prefetched);
+  // Next-line prefetch halves demand misses of a stride-64/line-64 scan.
+  EXPECT_LT(with.mem_ns_per_iter, without.mem_ns_per_iter * 0.6);
+  EXPECT_DOUBLE_EQ(with.cpu_ns_per_iter, without.cpu_ns_per_iter);
+}
+
+TEST(ScanTest, LayoutNames) {
+  EXPECT_STREQ(ScanLayoutName(ScanLayout::kColumnar), "columnar");
+  EXPECT_STREQ(ScanLayoutName(ScanLayout::kRowStore), "row-store");
+}
+
+}  // namespace
+}  // namespace hwsim
+}  // namespace perfeval

@@ -1,0 +1,83 @@
+#include "netsim/bus.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/simulator.h"
+
+namespace perfeval {
+namespace netsim {
+namespace {
+
+TEST(BusTest, GrantsExactlyOnePerCycle) {
+  SharedBus bus;
+  std::vector<Request> requests = {{0, 1, 0}, {1, 2, 0}, {2, 3, 0}};
+  std::vector<bool> granted;
+  bus.Arbitrate(requests, &granted);
+  int grants = 0;
+  for (bool g : granted) {
+    grants += g ? 1 : 0;
+  }
+  EXPECT_EQ(grants, 1);
+}
+
+TEST(BusTest, RoundRobinAlternates) {
+  SharedBus bus;
+  std::vector<int> winners;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    std::vector<Request> requests = {{0, 0, cycle}, {1, 0, cycle},
+                                     {2, 0, cycle}};
+    std::vector<bool> granted;
+    bus.Arbitrate(requests, &granted);
+    for (size_t i = 0; i < granted.size(); ++i) {
+      if (granted[i]) {
+        winners.push_back(requests[i].processor);
+      }
+    }
+  }
+  EXPECT_EQ(winners, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(BusTest, EmptyOfferIsFine) {
+  SharedBus bus;
+  std::vector<bool> granted;
+  bus.Arbitrate({}, &granted);
+  EXPECT_TRUE(granted.empty());
+}
+
+TEST(BusTest, ThroughputCapsAtOneOverN) {
+  SimulationConfig config;
+  config.num_processors = 16;
+  config.measured_cycles = 2000;
+  NetworkMetrics bus = SimulateCell("Bus", "Random", config);
+  EXPECT_NEAR(bus.throughput, 1.0 / 16.0, 0.005);
+}
+
+TEST(BusTest, LosesToBothSwitchedNetworks) {
+  SimulationConfig config;
+  config.num_processors = 16;
+  config.measured_cycles = 2000;
+  NetworkMetrics bus = SimulateCell("Bus", "Random", config);
+  NetworkMetrics omega = SimulateCell("Omega", "Random", config);
+  NetworkMetrics crossbar = SimulateCell("Crossbar", "Random", config);
+  EXPECT_LT(bus.throughput, omega.throughput / 4);
+  EXPECT_LT(bus.throughput, crossbar.throughput / 4);
+}
+
+TEST(BusTest, GapGrowsWithSystemSize) {
+  SimulationConfig small;
+  small.num_processors = 4;
+  small.measured_cycles = 2000;
+  SimulationConfig large = small;
+  large.num_processors = 64;
+  double small_ratio =
+      SimulateCell("Crossbar", "Random", small).throughput /
+      SimulateCell("Bus", "Random", small).throughput;
+  double large_ratio =
+      SimulateCell("Crossbar", "Random", large).throughput /
+      SimulateCell("Bus", "Random", large).throughput;
+  EXPECT_GT(large_ratio, 3.0 * small_ratio);
+}
+
+}  // namespace
+}  // namespace netsim
+}  // namespace perfeval

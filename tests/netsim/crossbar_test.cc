@@ -1,0 +1,77 @@
+#include "netsim/crossbar.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace netsim {
+namespace {
+
+TEST(CrossbarTest, PermutationRoutesWithoutConflict) {
+  Crossbar crossbar(8);
+  std::vector<Request> requests;
+  for (int p = 0; p < 8; ++p) {
+    requests.push_back({p, (p + 3) % 8, 0});
+  }
+  std::vector<bool> granted;
+  crossbar.Arbitrate(requests, &granted);
+  for (bool g : granted) {
+    EXPECT_TRUE(g);
+  }
+}
+
+TEST(CrossbarTest, SameModuleConflictGrantsExactlyOne) {
+  Crossbar crossbar(8);
+  std::vector<Request> requests = {{0, 5, 0}, {1, 5, 0}, {2, 5, 0}};
+  std::vector<bool> granted;
+  crossbar.Arbitrate(requests, &granted);
+  int grants = 0;
+  for (bool g : granted) {
+    grants += g ? 1 : 0;
+  }
+  EXPECT_EQ(grants, 1);
+}
+
+TEST(CrossbarTest, IndependentConflictsResolvedPerModule) {
+  Crossbar crossbar(8);
+  std::vector<Request> requests = {{0, 1, 0}, {1, 1, 0},   // module 1
+                                   {2, 2, 0}, {3, 2, 0},   // module 2
+                                   {4, 3, 0}};             // module 3
+  std::vector<bool> granted;
+  crossbar.Arbitrate(requests, &granted);
+  int grants = 0;
+  for (bool g : granted) {
+    grants += g ? 1 : 0;
+  }
+  EXPECT_EQ(grants, 3);
+  EXPECT_TRUE(granted[4]);
+}
+
+TEST(CrossbarTest, RotatingPriorityIsFairOverTime) {
+  Crossbar crossbar(4);
+  // Two processors fight for module 0 every cycle.
+  int wins[2] = {0, 0};
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    std::vector<Request> requests = {{0, 0, cycle}, {1, 0, cycle}};
+    std::vector<bool> granted;
+    crossbar.Arbitrate(requests, &granted);
+    wins[0] += granted[0] ? 1 : 0;
+    wins[1] += granted[1] ? 1 : 0;
+  }
+  EXPECT_EQ(wins[0] + wins[1], 100);
+  EXPECT_NEAR(wins[0], 50, 10);
+}
+
+TEST(CrossbarTest, PathIsTwoCycles) {
+  EXPECT_EQ(Crossbar(16).PathCycles(), 2);
+}
+
+TEST(CrossbarTest, EmptyOfferIsFine) {
+  Crossbar crossbar(4);
+  std::vector<bool> granted;
+  crossbar.Arbitrate({}, &granted);
+  EXPECT_TRUE(granted.empty());
+}
+
+}  // namespace
+}  // namespace netsim
+}  // namespace perfeval

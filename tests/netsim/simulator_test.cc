@@ -1,0 +1,118 @@
+#include "netsim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "doe/allocation.h"
+
+namespace perfeval {
+namespace netsim {
+namespace {
+
+SimulationConfig FastConfig() {
+  SimulationConfig config;
+  config.measured_cycles = 2000;
+  config.warmup_cycles = 100;
+  return config;
+}
+
+TEST(SimulatorTest, ThroughputIsAFraction) {
+  for (const char* net : {"Crossbar", "Omega"}) {
+    for (const char* pattern : {"Random", "Matrix"}) {
+      NetworkMetrics m = SimulateCell(net, pattern, FastConfig());
+      EXPECT_GT(m.throughput, 0.0) << net << "/" << pattern;
+      EXPECT_LE(m.throughput, 1.0) << net << "/" << pattern;
+      EXPECT_GT(m.granted_requests, 0);
+    }
+  }
+}
+
+TEST(SimulatorTest, CrossbarBeatsOmegaOnBothPatterns) {
+  // The paper's slide-92 direction: the crossbar wins under both
+  // patterns because the Omega network blocks internally.
+  SimulationConfig config = FastConfig();
+  for (const char* pattern : {"Random", "Matrix"}) {
+    NetworkMetrics crossbar = SimulateCell("Crossbar", pattern, config);
+    NetworkMetrics omega = SimulateCell("Omega", pattern, config);
+    EXPECT_GT(crossbar.throughput, omega.throughput) << pattern;
+    EXPECT_LT(crossbar.avg_response_cycles, omega.avg_response_cycles)
+        << pattern;
+  }
+}
+
+TEST(SimulatorTest, MatrixPatternBeatsRandomOnBothNetworks) {
+  SimulationConfig config = FastConfig();
+  for (const char* net : {"Crossbar", "Omega"}) {
+    NetworkMetrics random = SimulateCell(net, "Random", config);
+    NetworkMetrics matrix = SimulateCell(net, "Matrix", config);
+    EXPECT_GT(matrix.throughput, random.throughput) << net;
+  }
+}
+
+TEST(SimulatorTest, CrossbarRandomThroughputNearBirthdayBound) {
+  // With uniform random destinations, expected distinct modules per cycle
+  // is N(1 - (1-1/N)^N) ~ 0.63N; retries keep the steady state near it.
+  NetworkMetrics m = SimulateCell("Crossbar", "Random", FastConfig());
+  EXPECT_NEAR(m.throughput, 0.62, 0.05);
+}
+
+TEST(SimulatorTest, PaperShapeAllocationOfVariation) {
+  // Reproduce the slide-92 analysis on simulated data: the address
+  // pattern explains the largest share of the variation in T, the
+  // interaction the smallest (the paper's conclusion).
+  SimulationConfig config = FastConfig();
+  config.measured_cycles = 4000;
+  doe::SignTable table = doe::SignTable::FullFactorial(2);
+  // Factor A = pattern (Random/Matrix), factor B = network.
+  std::vector<double> t = {
+      SimulateCell("Crossbar", "Random", config).throughput,
+      SimulateCell("Crossbar", "Matrix", config).throughput,
+      SimulateCell("Omega", "Random", config).throughput,
+      SimulateCell("Omega", "Matrix", config).throughput,
+  };
+  doe::VariationAllocation allocation = doe::AllocateVariation(table, t);
+  double pattern = allocation.FractionFor(0b01);
+  double network = allocation.FractionFor(0b10);
+  double interaction = allocation.FractionFor(0b11);
+  EXPECT_GT(pattern, network);
+  EXPECT_GT(pattern, 0.5);
+  EXPECT_LT(interaction, 0.1);
+}
+
+TEST(SimulatorTest, TransitTimesRespectPathLengths) {
+  SimulationConfig config = FastConfig();
+  NetworkMetrics crossbar = SimulateCell("Crossbar", "Random", config);
+  NetworkMetrics omega = SimulateCell("Omega", "Random", config);
+  // Minimum possible transit = path cycles.
+  EXPECT_GE(crossbar.transit_p90_cycles, 2.0);
+  EXPECT_GE(omega.transit_p90_cycles, 5.0);
+  EXPECT_GE(crossbar.avg_response_cycles, 2.0);
+}
+
+TEST(SimulatorTest, DeterministicForSeed) {
+  SimulationConfig config = FastConfig();
+  NetworkMetrics a = SimulateCell("Omega", "Random", config);
+  NetworkMetrics b = SimulateCell("Omega", "Random", config);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  config.seed = 99;
+  NetworkMetrics c = SimulateCell("Omega", "Random", config);
+  EXPECT_NE(a.granted_requests, c.granted_requests);
+}
+
+TEST(SimulatorTest, MetricsToStringMentionsCell) {
+  NetworkMetrics m = SimulateCell("Crossbar", "Matrix", FastConfig());
+  std::string text = m.ToString();
+  EXPECT_NE(text.find("Crossbar"), std::string::npos);
+  EXPECT_NE(text.find("Matrix"), std::string::npos);
+  EXPECT_NE(text.find("T="), std::string::npos);
+}
+
+TEST(SimulatorDeathTest, UnknownCellNamesAbort) {
+  EXPECT_DEATH(SimulateCell("Mesh", "Random", FastConfig()),
+               "unknown network");
+  EXPECT_DEATH(SimulateCell("Omega", "Bursty", FastConfig()),
+               "unknown pattern");
+}
+
+}  // namespace
+}  // namespace netsim
+}  // namespace perfeval

@@ -1,0 +1,151 @@
+#include "report/chart_lint.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace report {
+namespace {
+
+core::Series MakeSeries(const std::string& name, double scale = 1.0) {
+  core::Series series;
+  series.name = name;
+  for (int i = 0; i < 5; ++i) {
+    series.Append(i, scale * (10.0 + i));
+  }
+  return series;
+}
+
+ChartSpec CleanSpec() {
+  ChartSpec spec;
+  spec.title = "Response time under load";
+  spec.x_label = "Number of users";
+  spec.y_label = "Response time (ms)";
+  spec.series = {MakeSeries("system A"), MakeSeries("system B")};
+  return spec;
+}
+
+bool HasRule(const std::vector<LintFinding>& findings,
+             const std::string& rule) {
+  for (const LintFinding& finding : findings) {
+    if (finding.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ChartLintTest, CleanChartHasNoFindings) {
+  EXPECT_TRUE(LintChart(CleanSpec()).empty());
+}
+
+TEST(ChartLintTest, TooManyCurves) {
+  // Slide 128: "A line chart should be limited at 6 curves".
+  ChartSpec spec = CleanSpec();
+  spec.series.clear();
+  for (int i = 0; i < 7; ++i) {
+    spec.series.push_back(MakeSeries("system " + std::to_string(i)));
+  }
+  EXPECT_TRUE(HasRule(LintChart(spec), "too-many-curves"));
+}
+
+TEST(ChartLintTest, SixCurvesAreStillFine) {
+  ChartSpec spec = CleanSpec();
+  spec.series.clear();
+  for (int i = 0; i < 6; ++i) {
+    spec.series.push_back(MakeSeries("system " + std::to_string(i)));
+  }
+  EXPECT_FALSE(HasRule(LintChart(spec), "too-many-curves"));
+}
+
+TEST(ChartLintTest, TooManyBars) {
+  // Slide 128: "A column chart or bar should be limited to 10 bars".
+  ChartSpec spec = CleanSpec();
+  spec.style = ChartStyle::kBars;
+  spec.series.clear();
+  core::Series wide = MakeSeries("times");
+  for (int i = 5; i < 12; ++i) {
+    wide.Append(i, 10.0 + i);
+  }
+  spec.series = {wide};  // 12 x-positions x 1 series = 12 bars.
+  EXPECT_TRUE(HasRule(LintChart(spec), "too-many-bars"));
+}
+
+TEST(ChartLintTest, MissingUnitInYLabel) {
+  // Slide 122: prefer "CPU time (ms)" to "CPU time".
+  ChartSpec spec = CleanSpec();
+  spec.y_label = "CPU time";
+  EXPECT_TRUE(HasRule(LintChart(spec), "missing-unit"));
+}
+
+TEST(ChartLintTest, DimensionlessLabelsNeedNoUnit) {
+  ChartSpec spec = CleanSpec();
+  spec.y_label = "relative execution time: DBG/OPT ratio";
+  EXPECT_FALSE(HasRule(LintChart(spec), "missing-unit"));
+  spec.y_label = "Speedup factor";
+  EXPECT_FALSE(HasRule(LintChart(spec), "missing-unit"));
+}
+
+TEST(ChartLintTest, MissingAxisLabels) {
+  ChartSpec spec = CleanSpec();
+  spec.x_label = "";
+  std::vector<LintFinding> findings = LintChart(spec);
+  EXPECT_TRUE(HasRule(findings, "missing-axis-label"));
+}
+
+TEST(ChartLintTest, NonzeroYOriginFlagged) {
+  // The "MINE is better than YOURS" pictorial game (slide 138).
+  ChartSpec spec = CleanSpec();
+  spec.allow_nonzero_y_origin = true;
+  EXPECT_TRUE(HasRule(LintChart(spec), "nonzero-y-origin"));
+}
+
+TEST(ChartLintTest, LogScaleExemptFromZeroOrigin) {
+  ChartSpec spec = CleanSpec();
+  spec.allow_nonzero_y_origin = true;
+  spec.logscale_y = true;
+  EXPECT_FALSE(HasRule(LintChart(spec), "nonzero-y-origin"));
+}
+
+TEST(ChartLintTest, MixedResultVariablesDetected) {
+  // Slide 129: response time + utilization + throughput on one chart.
+  ChartSpec spec = CleanSpec();
+  spec.series = {MakeSeries("response time", 1.0),
+                 MakeSeries("utilization", 0.001),
+                 MakeSeries("throughput", 1000.0)};
+  EXPECT_TRUE(HasRule(LintChart(spec), "mixed-y-axes"));
+}
+
+TEST(ChartLintTest, SymbolicLegendDetected) {
+  // Slide 131: "mu=1" makes the reader's brain compute a join.
+  ChartSpec spec = CleanSpec();
+  spec.series = {MakeSeries("mu=1"), MakeSeries("mu=2")};
+  std::vector<LintFinding> findings = LintChart(spec);
+  EXPECT_TRUE(HasRule(findings, "symbolic-legend"));
+  // Keyword names like "1 job/sec" pass.
+  spec.series = {MakeSeries("1 job/sec"), MakeSeries("2 jobs/sec")};
+  EXPECT_FALSE(HasRule(LintChart(spec), "symbolic-legend"));
+}
+
+TEST(ChartLintTest, HistogramCellRule) {
+  stats::Histogram sparse(0.0, 12.0, 6);
+  sparse.Add(1.0);  // one cell with 1 point, others empty.
+  EXPECT_FALSE(LintHistogram(sparse).empty());
+
+  stats::Histogram dense(0.0, 2.0, 1);
+  for (int i = 0; i < 10; ++i) {
+    dense.Add(1.0);
+  }
+  EXPECT_TRUE(LintHistogram(dense).empty());
+}
+
+TEST(ChartLintTest, FindingsToStringFormat) {
+  ChartSpec spec = CleanSpec();
+  spec.y_label = "CPU time";
+  std::string text = FindingsToString(LintChart(spec));
+  EXPECT_NE(text.find("[missing-unit]"), std::string::npos);
+  EXPECT_EQ(FindingsToString({}), "");
+}
+
+}  // namespace
+}  // namespace report
+}  // namespace perfeval

@@ -1,0 +1,84 @@
+#include "report/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace report {
+namespace {
+
+TEST(CsvTest, BasicRendering) {
+  CsvWriter writer({"x", "y"});
+  writer.AddRow({"1", "2"});
+  writer.AddNumericRow({3.5, 4.25});
+  EXPECT_EQ(writer.ToString(), "x,y\n1,2\n3.5,4.25\n");
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  CsvWriter writer({"name"});
+  writer.AddRow({"has,comma"});
+  writer.AddRow({"has\"quote"});
+  writer.AddRow({"has\nnewline"});
+  EXPECT_EQ(writer.ToString(),
+            "name\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvTest, WritesToFileCreatingDirectories) {
+  std::string dir = ::testing::TempDir() + "/csv_test_sub";
+  std::string path = dir + "/deep/result.csv";
+  CsvWriter writer({"a"});
+  writer.AddRow({"1"});
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  std::ifstream file(path);
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a\n1\n");
+}
+
+TEST(CsvDeathTest, EmptyHeaderAborts) {
+  EXPECT_DEATH(CsvWriter({}), "CHECK failed");
+}
+
+TEST(CsvDeathTest, RowWidthMismatchAborts) {
+  CsvWriter writer({"a", "b"});
+  EXPECT_DEATH(writer.AddRow({"1"}), "CHECK failed");
+}
+
+TEST(SeriesCsvTest, MultipleSeriesShareX) {
+  core::Series s1;
+  s1.name = "DBG";
+  s1.Append(1, 100);
+  s1.Append(2, 200);
+  core::Series s2;
+  s2.name = "OPT";
+  s2.Append(1, 50);
+  s2.Append(2, 90);
+  std::string path = ::testing::TempDir() + "/series.csv";
+  ASSERT_TRUE(WriteSeriesCsv({s1, s2}, path).ok());
+  std::ifstream file(path);
+  std::string line;
+  std::getline(file, line);
+  EXPECT_EQ(line, "x,DBG,OPT");
+  std::getline(file, line);
+  EXPECT_EQ(line, "1,100,50");
+}
+
+TEST(SeriesCsvTest, MismatchedLengthsRejected) {
+  core::Series s1;
+  s1.Append(1, 1);
+  core::Series s2;
+  s2.Append(1, 1);
+  s2.Append(2, 2);
+  Status status = WriteSeriesCsv({s1, s2}, "/tmp/nope.csv");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SeriesCsvTest, EmptySeriesListRejected) {
+  EXPECT_FALSE(WriteSeriesCsv({}, "/tmp/nope.csv").ok());
+}
+
+}  // namespace
+}  // namespace report
+}  // namespace perfeval

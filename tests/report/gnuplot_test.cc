@@ -1,0 +1,115 @@
+#include "report/gnuplot.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace report {
+namespace {
+
+ChartSpec BasicSpec() {
+  ChartSpec spec;
+  spec.title = "Execution time for various scale factors";
+  spec.x_label = "Scale factor";
+  spec.y_label = "Execution time (ms)";
+  core::Series series;
+  series.name = "Q1";
+  series.Append(1, 1234);
+  series.Append(2, 2467);
+  series.Append(3, 4623);
+  spec.series.push_back(series);
+  return spec;
+}
+
+TEST(GnuplotTest, ScriptContainsPaperElements) {
+  // Mirrors the paper's slide-202 example command file.
+  std::string script =
+      GnuplotScript(BasicSpec(), "results.csv", "results.eps");
+  EXPECT_NE(script.find("set terminal postscript"), std::string::npos);
+  EXPECT_NE(script.find("set output \"results.eps\""), std::string::npos);
+  EXPECT_NE(script.find(
+                "set title \"Execution time for various scale factors\""),
+            std::string::npos);
+  EXPECT_NE(script.find("set xlabel \"Scale factor\""), std::string::npos);
+  EXPECT_NE(script.find("set ylabel \"Execution time (ms)\""),
+            std::string::npos);
+  EXPECT_NE(script.find("plot \"results.csv\""), std::string::npos);
+  EXPECT_NE(script.find("linespoints"), std::string::npos);
+}
+
+TEST(GnuplotTest, AspectRatioRuleFromSlide146) {
+  // width_fraction x of \textwidth => set size ratio 0 x*1.5,x.
+  ChartSpec spec = BasicSpec();
+  spec.width_fraction = 0.5;
+  std::string script = GnuplotScript(spec, "d.csv", "d.eps");
+  EXPECT_NE(script.find("set size ratio 0 0.750,0.500"), std::string::npos);
+}
+
+TEST(GnuplotTest, YAxisStartsAtZeroByDefault) {
+  std::string script = GnuplotScript(BasicSpec(), "d.csv", "d.eps");
+  EXPECT_NE(script.find("set yrange [0:*]"), std::string::npos);
+}
+
+TEST(GnuplotTest, NonzeroOriginIsOptIn) {
+  ChartSpec spec = BasicSpec();
+  spec.allow_nonzero_y_origin = true;
+  std::string script = GnuplotScript(spec, "d.csv", "d.eps");
+  EXPECT_EQ(script.find("set yrange [0:*]"), std::string::npos);
+}
+
+TEST(GnuplotTest, LogScales) {
+  ChartSpec spec = BasicSpec();
+  spec.logscale_x = true;
+  spec.logscale_y = true;
+  std::string script = GnuplotScript(spec, "d.csv", "d.eps");
+  EXPECT_NE(script.find("set logscale x"), std::string::npos);
+  EXPECT_NE(script.find("set logscale y"), std::string::npos);
+}
+
+TEST(GnuplotTest, MultipleSeriesGetOwnPlotClauses) {
+  ChartSpec spec = BasicSpec();
+  core::Series second;
+  second.name = "Q16";
+  second.Append(1, 10);
+  second.Append(2, 20);
+  second.Append(3, 30);
+  spec.series.push_back(second);
+  std::string script = GnuplotScript(spec, "d.csv", "d.eps");
+  EXPECT_NE(script.find("title \"Q1\""), std::string::npos);
+  EXPECT_NE(script.find("title \"Q16\""), std::string::npos);
+  EXPECT_NE(script.find("using 1:3"), std::string::npos);
+}
+
+TEST(GnuplotTest, BarChartsUseHistogramStyle) {
+  ChartSpec spec = BasicSpec();
+  spec.style = ChartStyle::kBars;
+  std::string script = GnuplotScript(spec, "d.csv", "d.eps");
+  EXPECT_NE(script.find("histogram"), std::string::npos);
+  EXPECT_NE(script.find("xtic(1)"), std::string::npos);
+}
+
+TEST(GnuplotTest, StackedBars) {
+  ChartSpec spec = BasicSpec();
+  spec.style = ChartStyle::kStackedBars;
+  std::string script = GnuplotScript(spec, "d.csv", "d.eps");
+  EXPECT_NE(script.find("rowstacked"), std::string::npos);
+}
+
+TEST(GnuplotTest, WriteChartEmitsCsvAndScript) {
+  std::string stem = ::testing::TempDir() + "/chart_test/f2";
+  ASSERT_TRUE(WriteChart(BasicSpec(), stem).ok());
+  std::ifstream csv(stem + ".csv");
+  std::ifstream gnu(stem + ".gnu");
+  EXPECT_TRUE(csv.good());
+  EXPECT_TRUE(gnu.good());
+  std::string first_line;
+  std::getline(csv, first_line);
+  EXPECT_EQ(first_line, "x,Q1");
+  std::ifstream svg(stem + ".svg");
+  EXPECT_TRUE(svg.good());
+}
+
+}  // namespace
+}  // namespace report
+}  // namespace perfeval

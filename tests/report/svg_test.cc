@@ -1,0 +1,174 @@
+#include "report/svg.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace report {
+namespace {
+
+int CountOccurrences(const std::string& haystack,
+                     const std::string& needle) {
+  int count = 0;
+  size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+ChartSpec LineSpec() {
+  ChartSpec spec;
+  spec.title = "Execution time for various scale factors";
+  spec.x_label = "Scale factor";
+  spec.y_label = "Execution time (ms)";
+  core::Series q1;
+  q1.name = "Q1";
+  q1.Append(1, 1234);
+  q1.Append(2, 2467);
+  q1.Append(3, 4623);
+  core::Series q6;
+  q6.name = "Q6";
+  q6.Append(1, 400);
+  q6.Append(2, 800);
+  q6.Append(3, 1200);
+  spec.series = {q1, q6};
+  return spec;
+}
+
+TEST(SvgTest, DocumentStructure) {
+  std::string svg = RenderSvg(LineSpec());
+  EXPECT_NE(svg.find("<svg xmlns=\"http://www.w3.org/2000/svg\""),
+            std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Execution time for various scale factors"),
+            std::string::npos);
+  EXPECT_NE(svg.find("Scale factor"), std::string::npos);
+  EXPECT_NE(svg.find("Execution time (ms)"), std::string::npos);
+}
+
+TEST(SvgTest, OnePolylinePerSeriesPlusLegend) {
+  std::string svg = RenderSvg(LineSpec());
+  EXPECT_EQ(CountOccurrences(svg, "<polyline"), 2);
+  // Legend keywords present.
+  EXPECT_NE(svg.find(">Q1</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">Q6</text>"), std::string::npos);
+  // One point marker per data point.
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 6);
+}
+
+TEST(SvgTest, YAxisAnchoredAtZero) {
+  // Data minimum is 400, but the y ticks must include 0 (slide 138).
+  std::string svg = RenderSvg(LineSpec());
+  EXPECT_NE(svg.find(">0</text>"), std::string::npos);
+}
+
+TEST(SvgTest, NonzeroOriginOnlyWhenOptedIn) {
+  ChartSpec spec = LineSpec();
+  spec.allow_nonzero_y_origin = true;
+  // All y values >= 400: with a free origin the 0 tick disappears.
+  std::string svg = RenderSvg(spec);
+  EXPECT_EQ(svg.find(">0</text>"), std::string::npos);
+}
+
+TEST(SvgTest, AspectRatioIsTwoThirds) {
+  std::string svg = RenderSvg(LineSpec(), 720);
+  EXPECT_NE(svg.find("width=\"720\" height=\"480\""), std::string::npos);
+}
+
+TEST(SvgTest, ErrorBarsDrawWhiskers) {
+  ChartSpec spec;
+  spec.title = "with error bars";
+  spec.x_label = "x";
+  spec.y_label = "y (ms)";
+  spec.style = ChartStyle::kErrorBars;
+  core::Series series;
+  series.name = "measured";
+  series.AppendWithError(1, 10, 2);
+  series.AppendWithError(2, 12, 1);
+  spec.series = {series};
+  std::string svg = RenderSvg(spec);
+  // 3 lines per point (stem + 2 caps) on top of gridlines.
+  EXPECT_GE(CountOccurrences(svg, "<line"), 6);
+}
+
+TEST(SvgTest, BarChartRectangles) {
+  ChartSpec spec;
+  spec.title = "bars";
+  spec.x_label = "year";
+  spec.y_label = "ns/iteration (ns)";
+  spec.style = ChartStyle::kBars;
+  core::Series cpu;
+  cpu.name = "CPU";
+  cpu.Append(1992, 120);
+  cpu.Append(1996, 25);
+  core::Series mem;
+  mem.name = "Memory";
+  mem.Append(1992, 130);
+  mem.Append(1996, 175);
+  spec.series = {cpu, mem};
+  std::string svg = RenderSvg(spec);
+  // Background + legend swatches (2) + data bars (4).
+  EXPECT_GE(CountOccurrences(svg, "<rect"), 7);
+  EXPECT_NE(svg.find(">1992</text>"), std::string::npos);
+}
+
+TEST(SvgTest, StackedBarsCoverTotals) {
+  ChartSpec spec;
+  spec.title = "stacked";
+  spec.x_label = "year";
+  spec.y_label = "time (ns)";
+  spec.style = ChartStyle::kStackedBars;
+  core::Series a;
+  a.name = "CPU";
+  a.Append(1, 100);
+  core::Series b;
+  b.name = "Memory";
+  b.Append(1, 150);
+  spec.series = {a, b};
+  std::string svg = RenderSvg(spec);
+  // The y axis must reach the stack total (250): a tick at or above 250.
+  EXPECT_NE(svg.find(">250</text>"), std::string::npos);
+}
+
+TEST(SvgTest, LogScaleDecadeTicks) {
+  ChartSpec spec = LineSpec();
+  spec.logscale_x = true;
+  spec.logscale_y = true;
+  spec.series[0].x = {10, 100, 1000};
+  spec.series[1].x = {10, 100, 1000};
+  std::string svg = RenderSvg(spec);
+  EXPECT_NE(svg.find(">10</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">100</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">1000</text>"), std::string::npos);
+}
+
+TEST(SvgTest, XmlEscaping) {
+  ChartSpec spec = LineSpec();
+  spec.title = "a < b & c > d";
+  std::string svg = RenderSvg(spec);
+  EXPECT_NE(svg.find("a &lt; b &amp; c &gt; d"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b & c"), std::string::npos);
+}
+
+TEST(SvgTest, DeterministicOutput) {
+  EXPECT_EQ(RenderSvg(LineSpec()), RenderSvg(LineSpec()));
+}
+
+TEST(SvgTest, WriteSvgChartProducesBothFiles) {
+  std::string stem = ::testing::TempDir() + "/svg_chart_test/fig";
+  ASSERT_TRUE(WriteSvgChart(LineSpec(), stem).ok());
+  std::ifstream svg(stem + ".svg");
+  std::ifstream csv(stem + ".csv");
+  EXPECT_TRUE(svg.good());
+  EXPECT_TRUE(csv.good());
+  std::string first_line;
+  std::getline(svg, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace report
+}  // namespace perfeval

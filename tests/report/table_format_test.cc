@@ -1,0 +1,123 @@
+#include "report/table_format.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace report {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table;
+  table.SetHeader({"query", "time (ms)"});
+  table.AddRow({"Q1", "3534"});
+  table.AddRow({"Q16", "707"});
+  std::string text = table.ToString();
+  // Right-aligned by default: the shorter value is padded.
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("3534"), std::string::npos);
+  // Each line has the same length.
+  std::vector<size_t> lengths;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      if (i > start) {
+        lengths.push_back(i - start);
+      }
+      start = i + 1;
+    }
+  }
+  for (size_t len : lengths) {
+    EXPECT_EQ(len, lengths[0]);
+  }
+}
+
+TEST(TextTableTest, LeftAlignmentOption) {
+  TextTable table;
+  table.SetHeader({"name", "value"});
+  table.SetAlignments({Align::kLeft, Align::kRight});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "2"});
+  std::string text = table.ToString();
+  // "a" starts at column 0 of its row (left aligned).
+  EXPECT_NE(text.find("\na "), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorRows) {
+  TextTable table;
+  table.SetHeader({"x"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::string text = table.ToString();
+  // Header separator plus the explicit one.
+  int dashes_lines = 0;
+  size_t pos = 0;
+  while ((pos = text.find("\n-", pos)) != std::string::npos) {
+    ++dashes_lines;
+    pos += 2;
+  }
+  EXPECT_EQ(dashes_lines, 2);
+}
+
+TEST(TextTableDeathTest, RowWidthMismatchAborts) {
+  TextTable table;
+  table.SetHeader({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "row width");
+}
+
+TEST(TextTableTest, CountsDataRows) {
+  TextTable table;
+  table.SetHeader({"a"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+
+TEST(TextTableTest, MarkdownRendering) {
+  TextTable table;
+  table.SetHeader({"query", "time (ms)"});
+  table.SetAlignments({Align::kLeft, Align::kRight});
+  table.AddRow({"Q1", "3534"});
+  table.AddSeparator();
+  table.AddRow({"Q16", "707"});
+  EXPECT_EQ(table.ToMarkdown(),
+            "| query | time (ms) |\n"
+            "|:---|---:|\n"
+            "| Q1 | 3534 |\n"
+            "| Q16 | 707 |\n");
+}
+
+TEST(TextTableTest, LatexRenderingEscapesSpecials) {
+  TextTable table;
+  table.SetHeader({"effect", "%var"});
+  table.SetAlignments({Align::kLeft, Align::kRight});
+  table.AddRow({"q_A & co", "77.0%"});
+  std::string latex = table.ToLatex();
+  EXPECT_NE(latex.find("\\begin{tabular}{lr}"), std::string::npos);
+  EXPECT_NE(latex.find("effect & \\%var"), std::string::npos);
+  EXPECT_NE(latex.find("q\\_A \\& co & 77.0\\%"), std::string::npos);
+  EXPECT_NE(latex.find("\\end{tabular}"), std::string::npos);
+}
+
+TEST(TextTableTest, LatexSeparatorsBecomeHlines) {
+  TextTable table;
+  table.SetHeader({"a"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::string latex = table.ToLatex();
+  // header hline pair + separator + trailing = 4 \hline lines.
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = latex.find("\\hline", pos)) != std::string::npos) {
+    ++count;
+    pos += 6;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+}  // namespace
+}  // namespace report
+}  // namespace perfeval

@@ -1,0 +1,75 @@
+#include "repro/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace repro {
+namespace {
+
+core::EnvironmentSpec TestEnv() {
+  core::EnvironmentSpec env;
+  env.cpu_model = "Pentium M 1.50GHz";
+  env.cpu_mhz = 1500;
+  env.cache_kb = 2048;
+  env.num_cpus = 1;
+  env.ram_mb = 2048;
+  env.os = "Linux";
+  env.compiler = "gcc 12";
+  env.build_type = "optimized";
+  env.library_version = "perfeval 1.0.0";
+  return env;
+}
+
+TEST(Fnv1aTest, KnownVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(FingerprintTest, DeterministicForSameSetup) {
+  Properties props;
+  props.Set("scaleFactor", "0.01");
+  SetupFingerprint a = FingerprintSetup(TestEnv(), props);
+  SetupFingerprint b = FingerprintSetup(TestEnv(), props);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.ShortId(), b.ShortId());
+}
+
+TEST(FingerprintTest, ParameterChangeChangesHash) {
+  // The slide-37 war story: one side compiled with optimization, the
+  // other without — a setup difference a fingerprint catches.
+  Properties optimized;
+  optimized.Set("optimize", "true");
+  Properties debug;
+  debug.Set("optimize", "false");
+  EXPECT_NE(FingerprintSetup(TestEnv(), optimized).hash,
+            FingerprintSetup(TestEnv(), debug).hash);
+}
+
+TEST(FingerprintTest, EnvironmentChangeChangesHash) {
+  Properties props;
+  core::EnvironmentSpec other = TestEnv();
+  other.compiler = "clang 15";
+  EXPECT_NE(FingerprintSetup(TestEnv(), props).hash,
+            FingerprintSetup(other, props).hash);
+}
+
+TEST(FingerprintTest, ShortIdFormat) {
+  Properties props;
+  std::string id = FingerprintSetup(TestEnv(), props).ShortId();
+  EXPECT_EQ(id.size(), 3 + 16u);
+  EXPECT_EQ(id.substr(0, 3), "fp-");
+}
+
+TEST(FingerprintTest, CarriesHumanReadableParts) {
+  Properties props;
+  props.Set("bufferPages", "256");
+  SetupFingerprint fp = FingerprintSetup(TestEnv(), props);
+  EXPECT_NE(fp.environment_summary.find("Pentium"), std::string::npos);
+  EXPECT_NE(fp.parameters.find("bufferPages=256"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro
+}  // namespace perfeval

@@ -1,0 +1,62 @@
+#include "repro/manifest.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace repro {
+namespace {
+
+TEST(ManifestTest, RendersAllSections) {
+  RunManifest manifest("T2", "hot runs: 1 warm-up, 3 measured, last");
+  core::EnvironmentSpec env;
+  env.cpu_model = "TestCPU";
+  env.cpu_mhz = 1000;
+  env.cache_kb = 512;
+  env.ram_mb = 1024;
+  env.os = "Linux test";
+  env.compiler = "gcc";
+  env.build_type = "optimized";
+  env.library_version = "perfeval 1.0.0";
+  manifest.set_environment(env);
+  Properties props;
+  props.Set("scaleFactor", "0.02");
+  manifest.set_properties(props);
+  manifest.AddOutput("bench_results/t2_hot_cold.csv");
+  manifest.AddNote("cold achieved via buffer-pool flush");
+
+  std::string text = manifest.ToString();
+  EXPECT_NE(text.find("[experiment]"), std::string::npos);
+  EXPECT_NE(text.find("id=T2"), std::string::npos);
+  EXPECT_NE(text.find("protocol=hot runs"), std::string::npos);
+  EXPECT_NE(text.find("[environment]"), std::string::npos);
+  EXPECT_NE(text.find("TestCPU"), std::string::npos);
+  EXPECT_NE(text.find("[parameters]"), std::string::npos);
+  EXPECT_NE(text.find("scaleFactor=0.02"), std::string::npos);
+  EXPECT_NE(text.find("[outputs]"), std::string::npos);
+  EXPECT_NE(text.find("t2_hot_cold.csv"), std::string::npos);
+  EXPECT_NE(text.find("[notes]"), std::string::npos);
+  EXPECT_NE(text.find("buffer-pool flush"), std::string::npos);
+}
+
+TEST(ManifestTest, NotesSectionOmittedWhenEmpty) {
+  RunManifest manifest("T1", "protocol");
+  EXPECT_EQ(manifest.ToString().find("[notes]"), std::string::npos);
+}
+
+TEST(ManifestTest, WritesToFile) {
+  RunManifest manifest("F2", "cold simulated caches");
+  manifest.AddOutput("f2.csv");
+  std::string path =
+      ::testing::TempDir() + "/manifest_test/sub/manifest.txt";
+  ASSERT_TRUE(manifest.WriteToFile(path).ok());
+  std::ifstream file(path);
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("id=F2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro
+}  // namespace perfeval

@@ -1,0 +1,119 @@
+#include "repro/properties.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace repro {
+namespace {
+
+TEST(PropertiesTest, DefaultsAndOverrides) {
+  Properties props;
+  props.SetDefault("dataDir", "./data");
+  props.SetDefault("doStore", "true");
+  EXPECT_EQ(props.GetOr("dataDir", ""), "./data");
+  props.Set("dataDir", "/tmp/override");
+  EXPECT_EQ(props.GetOr("dataDir", ""), "/tmp/override");
+  // Re-setting a default does not clobber the explicit value.
+  props.SetDefault("dataDir", "./other");
+  EXPECT_EQ(props.GetOr("dataDir", ""), "/tmp/override");
+}
+
+TEST(PropertiesTest, MissingKeyFallsBack) {
+  Properties props;
+  EXPECT_FALSE(props.Has("nope"));
+  EXPECT_FALSE(props.Get("nope").has_value());
+  EXPECT_EQ(props.GetOr("nope", "fallback"), "fallback");
+}
+
+TEST(PropertiesTest, TypedGetters) {
+  Properties props;
+  props.Set("n", "42");
+  props.Set("x", "2.5");
+  props.Set("flag", "true");
+  props.Set("junk", "abc");
+  EXPECT_EQ(props.GetInt("n", -1), 42);
+  EXPECT_DOUBLE_EQ(props.GetDouble("x", -1.0), 2.5);
+  EXPECT_TRUE(props.GetBool("flag", false));
+  EXPECT_EQ(props.GetInt("junk", -1), -1);
+  EXPECT_EQ(props.GetInt("absent", 7), 7);
+}
+
+TEST(PropertiesTest, LoadFileParsesKeyValueLines) {
+  std::string path = ::testing::TempDir() + "/props_test.conf";
+  {
+    std::ofstream file(path);
+    file << "# comment line\n"
+         << "! also a comment\n"
+         << "\n"
+         << "scaleFactor = 0.05\n"
+         << "bufferPages=256\n"
+         << "  sink = terminal  \n";
+  }
+  Properties props;
+  ASSERT_TRUE(props.LoadFile(path).ok());
+  EXPECT_DOUBLE_EQ(props.GetDouble("scaleFactor", 0.0), 0.05);
+  EXPECT_EQ(props.GetInt("bufferPages", 0), 256);
+  EXPECT_EQ(props.GetOr("sink", ""), "terminal");
+}
+
+TEST(PropertiesTest, MissingFileIsMeaningfulError) {
+  // "Report meaningful error if the configuration file is not found"
+  // (slide 189).
+  Properties props;
+  Status status = props.LoadFile("/nonexistent/path.conf");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("/nonexistent/path.conf"),
+            std::string::npos);
+}
+
+TEST(PropertiesTest, MalformedLineReportsLineNumber) {
+  std::string path = ::testing::TempDir() + "/bad_props.conf";
+  {
+    std::ofstream file(path);
+    file << "good=1\n"
+         << "this line has no equals sign\n";
+  }
+  Properties props;
+  Status status = props.LoadFile(path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find(":2:"), std::string::npos);
+}
+
+TEST(PropertiesTest, CommandLineOverrides) {
+  // Mirrors the paper's
+  // `java -DdataDir=./test -DdoStore=false pack.AnyClass` (slide 195).
+  Properties props;
+  props.SetDefault("dataDir", "./data");
+  props.SetDefault("doStore", "true");
+  const char* argv[] = {"prog", "-DdataDir=./test", "-DdoStore=false",
+                        "positional"};
+  std::vector<std::string> rest =
+      props.OverrideFromArgs(4, const_cast<char**>(argv));
+  EXPECT_EQ(props.GetOr("dataDir", ""), "./test");
+  EXPECT_FALSE(props.GetBool("doStore", true));
+  EXPECT_EQ(rest, (std::vector<std::string>{"positional"}));
+}
+
+TEST(PropertiesTest, EnvironmentOverrides) {
+  Properties props;
+  props.SetDefault("envKeyForTest", "default");
+  ASSERT_EQ(setenv("PERFEVAL_envKeyForTest", "from-env", 1), 0);
+  props.OverrideFromEnv("PERFEVAL_");
+  EXPECT_EQ(props.GetOr("envKeyForTest", ""), "from-env");
+  unsetenv("PERFEVAL_envKeyForTest");
+}
+
+TEST(PropertiesTest, SerializeIsSortedAndComplete) {
+  Properties props;
+  props.SetDefault("zeta", "1");
+  props.Set("alpha", "2");
+  EXPECT_EQ(props.Serialize(), "alpha=2\nzeta=1\n");
+  EXPECT_EQ(props.Keys(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace repro
+}  // namespace perfeval

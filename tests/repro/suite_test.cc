@@ -1,0 +1,67 @@
+#include "repro/suite.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace repro {
+namespace {
+
+TEST(SuiteTest, RegisterAndFind) {
+  ExperimentSuite suite("demo", "a compiler");
+  ASSERT_TRUE(suite
+                  .Register({"E1", "first experiment", "bin/e1", "out/e1",
+                             "1 min", ""})
+                  .ok());
+  ASSERT_NE(suite.Find("E1"), nullptr);
+  EXPECT_EQ(suite.Find("E1")->title, "first experiment");
+  EXPECT_EQ(suite.Find("E2"), nullptr);
+}
+
+TEST(SuiteTest, DuplicateIdsRejected) {
+  ExperimentSuite suite("demo", "deps");
+  ASSERT_TRUE(suite.Register({"E1", "t", "c", "o", "r", ""}).ok());
+  Status status = suite.Register({"E1", "t2", "c2", "o2", "r2", ""});
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SuiteTest, InstructionsFollowSlide216Checklist) {
+  // Slide 216: specify installation, per experiment the script to run,
+  // where to look for the graph, how long it takes, extra setup.
+  ExperimentSuite suite("demo", "needs cmake and ninja");
+  ASSERT_TRUE(suite
+                  .Register({"E1", "warm scan", "bin/scan --warm",
+                             "results/scan.csv", "about 2 minutes",
+                             "generate data first"})
+                  .ok());
+  std::string doc = suite.InstructionsMarkdown();
+  EXPECT_NE(doc.find("## Installation"), std::string::npos);
+  EXPECT_NE(doc.find("needs cmake and ninja"), std::string::npos);
+  EXPECT_NE(doc.find("### E1: warm scan"), std::string::npos);
+  EXPECT_NE(doc.find("`bin/scan --warm`"), std::string::npos);
+  EXPECT_NE(doc.find("results/scan.csv"), std::string::npos);
+  EXPECT_NE(doc.find("about 2 minutes"), std::string::npos);
+  EXPECT_NE(doc.find("generate data first"), std::string::npos);
+}
+
+TEST(SuiteTest, PerfevalSuiteCoversDesignDocIndex) {
+  // Every experiment id from DESIGN.md's per-experiment index must be
+  // registered.
+  const ExperimentSuite& suite = PerfevalSuite();
+  for (const char* id : {"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
+                         "F1", "F2", "F3", "F4", "F5", "A1", "A2", "A3", "A4", "A5"}) {
+    EXPECT_NE(suite.Find(id), nullptr) << id;
+  }
+  EXPECT_EQ(suite.experiments().size(), 18u);
+}
+
+TEST(SuiteTest, PerfevalSuiteCommandsPointAtBenchBinaries) {
+  for (const ExperimentInfo& info : PerfevalSuite().experiments()) {
+    EXPECT_NE(info.command.find("build/bench/bench_"), std::string::npos)
+        << info.id;
+    EXPECT_FALSE(info.approx_runtime.empty()) << info.id;
+  }
+}
+
+}  // namespace
+}  // namespace repro
+}  // namespace perfeval

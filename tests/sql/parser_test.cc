@@ -1,0 +1,195 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace sql {
+namespace {
+
+SelectStatement MustParse(const std::string& source) {
+  Result<SelectStatement> result = Parse(source);
+  EXPECT_TRUE(result.ok()) << source << " -> "
+                           << result.status().ToString();
+  return result.ok() ? result.value() : SelectStatement{};
+}
+
+Status ParseError(const std::string& source) {
+  Result<SelectStatement> result = Parse(source);
+  EXPECT_FALSE(result.ok()) << source << " unexpectedly parsed";
+  return result.ok() ? Status::OK() : result.status();
+}
+
+TEST(ParserTest, SelectStar) {
+  SelectStatement stmt = MustParse("SELECT * FROM lineitem");
+  EXPECT_TRUE(stmt.select_star);
+  EXPECT_EQ(stmt.from_table, "lineitem");
+  EXPECT_FALSE(stmt.explain);
+  EXPECT_EQ(stmt.where, nullptr);
+}
+
+TEST(ParserTest, SelectListWithAliases) {
+  SelectStatement stmt =
+      MustParse("SELECT a, b AS bee, a + b AS total FROM t");
+  ASSERT_EQ(stmt.items.size(), 3u);
+  EXPECT_EQ(stmt.items[0].expr->kind, AstExprKind::kColumn);
+  EXPECT_EQ(stmt.items[0].alias, "");
+  EXPECT_EQ(stmt.items[1].alias, "bee");
+  EXPECT_EQ(stmt.items[2].expr->kind, AstExprKind::kBinary);
+  EXPECT_EQ(stmt.items[2].expr->text, "+");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  // a + b * c parses as a + (b * c).
+  SelectStatement stmt = MustParse("SELECT a + b * c FROM t");
+  const AstExprPtr& expr = stmt.items[0].expr;
+  ASSERT_EQ(expr->text, "+");
+  EXPECT_EQ(expr->children[1]->text, "*");
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  // a = 1 OR b = 2 AND c = 3  =>  OR(a=1, AND(b=2, c=3)).
+  SelectStatement stmt =
+      MustParse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_EQ(stmt.where->text, "OR");
+  EXPECT_EQ(stmt.where->children[1]->text, "AND");
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  SelectStatement stmt = MustParse("SELECT (a + b) * c FROM t");
+  ASSERT_EQ(stmt.items[0].expr->text, "*");
+  EXPECT_EQ(stmt.items[0].expr->children[0]->text, "+");
+}
+
+TEST(ParserTest, NotBindings) {
+  SelectStatement stmt =
+      MustParse("SELECT * FROM t WHERE NOT a = 1 AND b = 2");
+  // NOT binds tighter than AND.
+  ASSERT_EQ(stmt.where->text, "AND");
+  EXPECT_EQ(stmt.where->children[0]->kind, AstExprKind::kNot);
+}
+
+TEST(ParserTest, DateLiteral) {
+  SelectStatement stmt =
+      MustParse("SELECT * FROM t WHERE d >= DATE '1994-01-01'");
+  EXPECT_EQ(stmt.where->children[1]->kind, AstExprKind::kDateLit);
+  EXPECT_EQ(stmt.where->children[1]->text, "1994-01-01");
+}
+
+TEST(ParserTest, LikeAndNotLike) {
+  SelectStatement stmt =
+      MustParse("SELECT * FROM t WHERE a LIKE 'PROMO%' AND b NOT LIKE '%x'");
+  const AstExprPtr& both = stmt.where;
+  EXPECT_EQ(both->children[0]->kind, AstExprKind::kLike);
+  EXPECT_EQ(both->children[0]->text, "PROMO%");
+  EXPECT_EQ(both->children[1]->kind, AstExprKind::kNot);
+  EXPECT_EQ(both->children[1]->children[0]->kind, AstExprKind::kLike);
+}
+
+TEST(ParserTest, InLists) {
+  SelectStatement stmt = MustParse(
+      "SELECT * FROM t WHERE mode IN ('MAIL', 'SHIP') AND size IN (1, 2)");
+  const AstExprPtr& strings = stmt.where->children[0];
+  EXPECT_EQ(strings->kind, AstExprKind::kInList);
+  EXPECT_EQ(strings->string_list,
+            (std::vector<std::string>{"MAIL", "SHIP"}));
+  const AstExprPtr& ints = stmt.where->children[1];
+  EXPECT_EQ(ints->int_list, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(ParserTest, MixedInListRejected) {
+  ParseError("SELECT * FROM t WHERE a IN (1, 'x')");
+}
+
+TEST(ParserTest, Between) {
+  SelectStatement stmt =
+      MustParse("SELECT * FROM t WHERE x BETWEEN 0.05 AND 0.07");
+  EXPECT_EQ(stmt.where->kind, AstExprKind::kBetween);
+  EXPECT_EQ(stmt.where->children.size(), 3u);
+}
+
+TEST(ParserTest, CaseWhen) {
+  SelectStatement stmt = MustParse(
+      "SELECT sum(CASE WHEN p LIKE 'PROMO%' THEN x ELSE 0.0 END) FROM t");
+  const AstExprPtr& agg = stmt.items[0].expr;
+  ASSERT_EQ(agg->kind, AstExprKind::kAgg);
+  EXPECT_EQ(agg->children[0]->kind, AstExprKind::kCase);
+}
+
+TEST(ParserTest, Aggregates) {
+  SelectStatement stmt = MustParse(
+      "SELECT sum(a), avg(b), min(c), max(d), count(*), "
+      "count(DISTINCT e) FROM t");
+  ASSERT_EQ(stmt.items.size(), 6u);
+  EXPECT_EQ(stmt.items[0].expr->text, "sum");
+  EXPECT_EQ(stmt.items[4].expr->text, "count");
+  EXPECT_TRUE(stmt.items[4].expr->children.empty());
+  EXPECT_TRUE(stmt.items[5].expr->distinct);
+}
+
+TEST(ParserTest, DistinctOutsideCountRejected) {
+  ParseError("SELECT sum(DISTINCT a) FROM t");
+}
+
+TEST(ParserTest, Functions) {
+  SelectStatement stmt =
+      MustParse("SELECT year(d), substr(phone, 1, 2) FROM t");
+  EXPECT_EQ(stmt.items[0].expr->kind, AstExprKind::kFunc);
+  EXPECT_EQ(stmt.items[0].expr->text, "year");
+  EXPECT_EQ(stmt.items[1].expr->children.size(), 3u);
+}
+
+TEST(ParserTest, JoinsWithOn) {
+  SelectStatement stmt = MustParse(
+      "SELECT * FROM lineitem JOIN orders ON l_orderkey = o_orderkey "
+      "INNER JOIN customer ON o_custkey = c_custkey");
+  ASSERT_EQ(stmt.joins.size(), 2u);
+  EXPECT_EQ(stmt.joins[0].table, "orders");
+  EXPECT_EQ(stmt.joins[1].table, "customer");
+  EXPECT_EQ(stmt.joins[1].condition->text, "=");
+}
+
+TEST(ParserTest, GroupByHavingOrderByLimit) {
+  SelectStatement stmt = MustParse(
+      "SELECT region, sum(amount) AS total FROM sales "
+      "GROUP BY region HAVING sum(amount) > 100 "
+      "ORDER BY total DESC, region LIMIT 5");
+  EXPECT_EQ(stmt.group_by, (std::vector<std::string>{"region"}));
+  ASSERT_NE(stmt.having, nullptr);
+  ASSERT_EQ(stmt.order_by.size(), 2u);
+  EXPECT_FALSE(stmt.order_by[0].ascending);
+  EXPECT_TRUE(stmt.order_by[1].ascending);
+  EXPECT_EQ(stmt.limit, 5u);
+}
+
+TEST(ParserTest, ExplainPrefix) {
+  SelectStatement stmt = MustParse("EXPLAIN SELECT * FROM t");
+  EXPECT_TRUE(stmt.explain);
+}
+
+TEST(ParserTest, TrailingSemicolonOk) {
+  MustParse("SELECT * FROM t;");
+}
+
+TEST(ParserTest, ErrorsNameTheProblem) {
+  EXPECT_NE(ParseError("SELECT FROM t").message().find("expected"),
+            std::string::npos);
+  EXPECT_NE(ParseError("SELECT a t").message().find("FROM"),
+            std::string::npos);
+  EXPECT_NE(ParseError("SELECT a FROM t WHERE").message().find("expression"),
+            std::string::npos);
+  EXPECT_NE(ParseError("SELECT a FROM t LIMIT x").message().find("integer"),
+            std::string::npos);
+  EXPECT_NE(ParseError("SELECT a FROM t extra").message().find("trailing"),
+            std::string::npos);
+  EXPECT_NE(ParseError("SELECT a FROM t JOIN s").message().find("ON"),
+            std::string::npos);
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  Status status = ParseError("SELECT a FROM t WHERE (a = 1");
+  EXPECT_NE(status.message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace perfeval

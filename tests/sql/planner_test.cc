@@ -1,0 +1,293 @@
+#include "sql/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+namespace perfeval {
+namespace sql {
+namespace {
+
+using db::Database;
+using db::QueryResult;
+
+/// Shared TPC-H database (generation dominates test time).
+Database* Db() {
+  static Database* database = [] {
+    auto* d = new Database();
+    workload::TpchGenerator gen(0.005);
+    gen.LoadAll(d);
+    return d;
+  }();
+  return database;
+}
+
+QueryResult MustRun(const std::string& sql_text) {
+  Result<QueryResult> result = RunQuery(sql_text, *Db());
+  EXPECT_TRUE(result.ok()) << sql_text << "\n-> "
+                           << result.status().ToString();
+  return result.ok() ? std::move(result).value() : QueryResult{};
+}
+
+Status PlanError(const std::string& sql_text) {
+  Result<PlannedQuery> result = PlanQuery(sql_text, *Db());
+  EXPECT_FALSE(result.ok()) << sql_text << " unexpectedly planned";
+  return result.ok() ? Status::OK() : result.status();
+}
+
+TEST(PlannerTest, SelectStarScansWholeTable) {
+  QueryResult result = MustRun("SELECT * FROM nation");
+  EXPECT_EQ(result.table->num_rows(), 25u);
+  EXPECT_EQ(result.table->num_columns(), 4u);
+}
+
+TEST(PlannerTest, ProjectionAndAliases) {
+  QueryResult result = MustRun(
+      "SELECT n_name, n_nationkey + 100 AS shifted FROM nation LIMIT 3");
+  EXPECT_EQ(result.table->num_rows(), 3u);
+  EXPECT_EQ(result.table->schema().column(0).name, "n_name");
+  EXPECT_EQ(result.table->schema().column(1).name, "shifted");
+  EXPECT_DOUBLE_EQ(result.table->column(1).GetDouble(0), 100.0);
+}
+
+TEST(PlannerTest, WherePushdownProducesFilterScan) {
+  Result<PlannedQuery> planned = PlanQuery(
+      "SELECT l_quantity FROM lineitem WHERE l_quantity < 5", *Db());
+  ASSERT_TRUE(planned.ok());
+  std::string explain = db::Explain(planned->plan);
+  EXPECT_NE(explain.find("FilterScan lineitem"), std::string::npos);
+  EXPECT_EQ(explain.find("\nFilter ["), std::string::npos);
+}
+
+TEST(PlannerTest, CrossTablePredicateStaysAboveJoin) {
+  Result<PlannedQuery> planned = PlanQuery(
+      "SELECT o_orderkey FROM orders JOIN customer "
+      "ON o_custkey = c_custkey WHERE o_totalprice > c_acctbal",
+      *Db());
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  std::string explain = db::Explain(planned->plan);
+  EXPECT_NE(explain.find("Filter [o_totalprice > c_acctbal]"),
+            std::string::npos);
+  EXPECT_NE(explain.find("HashJoin"), std::string::npos);
+}
+
+TEST(PlannerTest, WhereSemanticsMatchManualCount) {
+  QueryResult result = MustRun(
+      "SELECT count(*) AS n FROM lineitem WHERE l_quantity <= 10");
+  const db::Table& lineitem = Db()->GetTable("lineitem");
+  const auto& qty = lineitem.ColumnByName("l_quantity").doubles();
+  int64_t expected = 0;
+  for (double q : qty) {
+    expected += q <= 10.0 ? 1 : 0;
+  }
+  EXPECT_EQ(result.table->ColumnByName("n").GetInt64(0), expected);
+}
+
+TEST(PlannerTest, JoinMatchesHandBuiltPlan) {
+  QueryResult via_sql = MustRun(
+      "SELECT count(*) AS n FROM lineitem JOIN orders "
+      "ON l_orderkey = o_orderkey");
+  // Every lineitem row joins its order exactly once.
+  EXPECT_EQ(
+      via_sql.table->ColumnByName("n").GetInt64(0),
+      static_cast<int64_t>(Db()->GetTable("lineitem").num_rows()));
+}
+
+TEST(PlannerTest, CompositeJoinKeys) {
+  QueryResult result = MustRun(
+      "SELECT count(*) AS n FROM lineitem JOIN partsupp "
+      "ON l_partkey = ps_partkey AND l_suppkey = ps_suppkey");
+  // Each lineitem references an existing (part, supplier) pair.
+  EXPECT_EQ(result.table->ColumnByName("n").GetInt64(0),
+            static_cast<int64_t>(Db()->GetTable("lineitem").num_rows()));
+}
+
+TEST(PlannerTest, GroupByWithHavingAndOrder) {
+  QueryResult result = MustRun(
+      "SELECT l_returnflag, count(*) AS n FROM lineitem "
+      "GROUP BY l_returnflag HAVING count(*) > 1 ORDER BY n DESC");
+  ASSERT_GE(result.table->num_rows(), 2u);
+  // Ordered descending.
+  const db::Column& n = result.table->ColumnByName("n");
+  for (size_t r = 1; r < result.table->num_rows(); ++r) {
+    EXPECT_LE(n.GetInt64(r), n.GetInt64(r - 1));
+  }
+}
+
+TEST(PlannerTest, AggregateInsideExpression) {
+  // The Q14 pattern: arithmetic over aggregates.
+  QueryResult result = MustRun(
+      "SELECT 100.0 * sum(l_discount) / count(*) AS avg_disc_pct "
+      "FROM lineitem");
+  ASSERT_EQ(result.table->num_rows(), 1u);
+  double pct = result.table->ColumnByName("avg_disc_pct").GetDouble(0);
+  EXPECT_GT(pct, 0.0);
+  EXPECT_LT(pct, 10.0 + 1e-9);  // discounts are 0..10%.
+}
+
+TEST(PlannerTest, SqlQ6MatchesHandBuiltQ6) {
+  QueryResult via_sql = MustRun(
+      "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem "
+      "WHERE l_shipdate >= DATE '1994-01-01' "
+      "AND l_shipdate < DATE '1995-01-01' "
+      "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24");
+  QueryResult via_api =
+      Db()->Run(workload::GetTpchQuery(6).Build(*Db()));
+  ASSERT_EQ(via_sql.table->num_rows(), 1u);
+  EXPECT_NEAR(via_sql.table->ColumnByName("revenue").GetDouble(0),
+              via_api.table->ColumnByName("revenue").GetDouble(0), 1e-6);
+}
+
+TEST(PlannerTest, SqlQ1MatchesHandBuiltQ1) {
+  QueryResult via_sql = MustRun(
+      "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, "
+      "count(*) AS count_order FROM lineitem "
+      "WHERE l_shipdate <= DATE '1998-09-02' "
+      "GROUP BY l_returnflag, l_linestatus "
+      "ORDER BY l_returnflag, l_linestatus");
+  QueryResult via_api = Db()->Run(workload::GetTpchQuery(1).Build(*Db()));
+  ASSERT_EQ(via_sql.table->num_rows(), via_api.table->num_rows());
+  for (size_t r = 0; r < via_sql.table->num_rows(); ++r) {
+    EXPECT_EQ(via_sql.table->ColumnByName("l_returnflag").GetString(r),
+              via_api.table->ColumnByName("l_returnflag").GetString(r));
+    EXPECT_NEAR(via_sql.table->ColumnByName("sum_qty").GetDouble(r),
+                via_api.table->ColumnByName("sum_qty").GetDouble(r), 1e-6);
+    EXPECT_EQ(via_sql.table->ColumnByName("count_order").GetInt64(r),
+              via_api.table->ColumnByName("count_order").GetInt64(r));
+  }
+}
+
+TEST(PlannerTest, FiveWayJoinRuns) {
+  QueryResult result = MustRun(
+      "SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue "
+      "FROM lineitem "
+      "JOIN orders ON l_orderkey = o_orderkey "
+      "JOIN customer ON o_custkey = c_custkey "
+      "JOIN nation ON c_nationkey = n_nationkey "
+      "JOIN region ON n_regionkey = r_regionkey "
+      "WHERE r_name = 'ASIA' GROUP BY n_name ORDER BY revenue DESC");
+  EXPECT_GT(result.table->num_rows(), 0u);
+  EXPECT_LE(result.table->num_rows(), 5u);  // ASIA has 5 nations.
+}
+
+TEST(PlannerTest, OrderByBaseColumnNotInSelect) {
+  QueryResult result = MustRun(
+      "SELECT n_name FROM nation ORDER BY n_nationkey DESC LIMIT 1");
+  ASSERT_EQ(result.table->num_rows(), 1u);
+  EXPECT_EQ(result.table->column(0).GetString(0), "UNITED STATES");
+}
+
+TEST(PlannerTest, CaseWhenAndLikeEndToEnd) {
+  QueryResult result = MustRun(
+      "SELECT sum(CASE WHEN p_type LIKE 'PROMO%' THEN 1.0 ELSE 0.0 END) "
+      "AS promos, count(*) AS total FROM part");
+  double promos = result.table->ColumnByName("promos").GetDouble(0);
+  int64_t total = result.table->ColumnByName("total").GetInt64(0);
+  EXPECT_GT(promos, 0.0);
+  EXPECT_LT(promos, static_cast<double>(total));
+}
+
+TEST(PlannerTest, YearAndSubstrFunctions) {
+  QueryResult result = MustRun(
+      "SELECT year(o_orderdate) AS y, count(*) AS n FROM orders "
+      "GROUP BY y ORDER BY y");
+  // Orders span 1992..1998.
+  EXPECT_EQ(result.table->num_rows(), 7u);
+  EXPECT_EQ(result.table->ColumnByName("y").GetInt64(0), 1992);
+
+  QueryResult codes = MustRun(
+      "SELECT substr(c_phone, 1, 2) AS code, count(*) AS n FROM customer "
+      "GROUP BY code ORDER BY code LIMIT 3");
+  EXPECT_EQ(codes.table->ColumnByName("code").GetString(0).size(), 2u);
+}
+
+TEST(PlannerTest, GroupByFunctionResultWorksViaAlias) {
+  // GROUP BY y where y = year(...) — supported because the planner groups
+  // over the aggregate input by name; year(o_orderdate) aliased as a
+  // select item is evaluated pre-aggregation... this subset instead
+  // requires grouping by a real column; the previous test works because
+  // the binder resolves "y"... Verify the error path for a non-column.
+  Status status = PlanError(
+      "SELECT o_orderstatus FROM orders GROUP BY nosuchcolumn");
+  EXPECT_NE(status.message().find("nosuchcolumn"), std::string::npos);
+}
+
+TEST(PlannerTest, ExplainReturnsPlanText) {
+  QueryResult result = MustRun(
+      "EXPLAIN SELECT count(*) FROM lineitem WHERE l_quantity < 5");
+  ASSERT_GT(result.table->num_rows(), 0u);
+  bool saw_filter_scan = false;
+  for (size_t r = 0; r < result.table->num_rows(); ++r) {
+    saw_filter_scan |= result.table->column(0).GetString(r).find(
+                           "FilterScan") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_filter_scan);
+}
+
+TEST(PlannerTest, DebugAndOptimizedModesAgreeOnSql) {
+  const std::string sql_text =
+      "SELECT l_shipmode, count(*) AS n FROM lineitem "
+      "JOIN orders ON l_orderkey = o_orderkey "
+      "WHERE o_orderpriority IN ('1-URGENT', '2-HIGH') "
+      "GROUP BY l_shipmode ORDER BY l_shipmode";
+  Result<QueryResult> optimized =
+      RunQuery(sql_text, *Db(), db::ExecMode::kOptimized);
+  Result<QueryResult> debug =
+      RunQuery(sql_text, *Db(), db::ExecMode::kDebug);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(debug.ok());
+  ASSERT_EQ(optimized->table->num_rows(), debug->table->num_rows());
+  for (size_t r = 0; r < optimized->table->num_rows(); ++r) {
+    EXPECT_EQ(optimized->table->ValueAt(r, 1).AsInt64(),
+              debug->table->ValueAt(r, 1).AsInt64());
+  }
+}
+
+TEST(PlannerTest, SemanticErrors) {
+  EXPECT_EQ(PlanError("SELECT * FROM nosuchtable").code(),
+            StatusCode::kNotFound);
+  EXPECT_NE(PlanError("SELECT nosuchcol FROM nation").message().find(
+                "unknown column"),
+            std::string::npos);
+  EXPECT_NE(PlanError("SELECT n_name, count(*) FROM nation")
+                .message()
+                .find("GROUP BY"),
+            std::string::npos);
+  EXPECT_NE(PlanError("SELECT n_name FROM nation HAVING n_nationkey > 1")
+                .message()
+                .find("HAVING"),
+            std::string::npos);
+  EXPECT_NE(PlanError("SELECT * FROM nation JOIN region ON n_name <> "
+                      "r_name")
+                .message()
+                .find("equalit"),
+            std::string::npos);
+  EXPECT_NE(
+      PlanError("SELECT n_name FROM nation ORDER BY nosuch").message().find(
+          "ORDER BY"),
+      std::string::npos);
+}
+
+TEST(PlannerTest, AmbiguousColumnRejected) {
+  // Join nation with itself is impossible (one name), but two tables with
+  // an overlapping column name must be rejected: build a tiny database.
+  db::Database database;
+  auto t1 = std::make_shared<db::Table>(
+      db::Schema({{"id", db::DataType::kInt64}}));
+  t1->AppendRow({db::Value::Int64(1)});
+  auto t2 = std::make_shared<db::Table>(
+      db::Schema({{"id", db::DataType::kInt64}}));
+  t2->AppendRow({db::Value::Int64(1)});
+  database.RegisterTable("t1", t1);
+  database.RegisterTable("t2", t2);
+  Result<PlannedQuery> planned =
+      PlanQuery("SELECT * FROM t1 JOIN t2 ON id = id", database);
+  ASSERT_FALSE(planned.ok());
+  EXPECT_NE(planned.status().message().find("ambiguous"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace perfeval

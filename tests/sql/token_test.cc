@@ -1,0 +1,98 @@
+#include "sql/token.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace sql {
+namespace {
+
+std::vector<Token> MustLex(const std::string& source) {
+  Result<std::vector<Token>> result = Lex(source);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+TEST(LexTest, EmptyInputYieldsEnd) {
+  std::vector<Token> tokens = MustLex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexTest, KeywordsAreCaseInsensitiveAndNormalized) {
+  std::vector<Token> tokens = MustLex("select SeLeCt FROM");
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[2].IsKeyword("FROM"));
+}
+
+TEST(LexTest, IdentifiersAreLowercased) {
+  std::vector<Token> tokens = MustLex("L_QuantitY lineitem");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "l_quantity");
+  EXPECT_EQ(tokens[1].text, "lineitem");
+}
+
+TEST(LexTest, NumbersIntAndDouble) {
+  std::vector<Token> tokens = MustLex("42 3.14 0.05");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDouble);
+  EXPECT_EQ(tokens[1].text, "3.14");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDouble);
+}
+
+TEST(LexTest, StringsWithEscapedQuotes) {
+  std::vector<Token> tokens = MustLex("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexTest, UnterminatedStringIsError) {
+  Result<std::vector<Token>> result = Lex("'oops");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(LexTest, TwoCharacterSymbols) {
+  std::vector<Token> tokens = MustLex("<= >= <> != < >");
+  EXPECT_TRUE(tokens[0].IsSymbol("<="));
+  EXPECT_TRUE(tokens[1].IsSymbol(">="));
+  EXPECT_TRUE(tokens[2].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[3].IsSymbol("<>"));  // != normalizes.
+  EXPECT_TRUE(tokens[4].IsSymbol("<"));
+  EXPECT_TRUE(tokens[5].IsSymbol(">"));
+}
+
+TEST(LexTest, LineCommentsSkipped) {
+  std::vector<Token> tokens = MustLex("select -- the list\n 1");
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kInteger);
+}
+
+TEST(LexTest, OffsetsPointAtSource) {
+  std::vector<Token> tokens = MustLex("select x");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 7u);
+}
+
+TEST(LexTest, UnexpectedCharacterIsError) {
+  Result<std::vector<Token>> result = Lex("select @");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("'@'"), std::string::npos);
+}
+
+TEST(LexTest, FullStatementTokenStream) {
+  std::vector<Token> tokens = MustLex(
+      "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem "
+      "WHERE l_shipdate >= DATE '1994-01-01';");
+  // Spot-check shape: starts with SELECT, ends with ';' then end.
+  EXPECT_TRUE(tokens.front().IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[tokens.size() - 2].IsSymbol(";"));
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace perfeval

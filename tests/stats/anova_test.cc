@@ -1,0 +1,109 @@
+#include "stats/anova.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace perfeval {
+namespace stats {
+namespace {
+
+TEST(FCdfTest, KnownValues) {
+  // F(1, 10): P(F <= 4.96) ~ 0.95 (t(10) critical 2.228 squared).
+  EXPECT_NEAR(FCdf(4.9646, 1, 10), 0.95, 0.001);
+  // F(2, 10): 95th percentile is 4.103.
+  EXPECT_NEAR(FCdf(4.103, 2, 10), 0.95, 0.001);
+  EXPECT_DOUBLE_EQ(FCdf(0.0, 3, 5), 0.0);
+  EXPECT_DOUBLE_EQ(FCdf(-1.0, 3, 5), 0.0);
+}
+
+TEST(FCdfTest, MonotoneInF) {
+  double previous = 0.0;
+  for (double f = 0.1; f < 20.0; f += 0.5) {
+    double current = FCdf(f, 3, 12);
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+  EXPECT_GT(previous, 0.99);
+}
+
+TEST(OneWayAnovaTest, ClearlyDifferentGroups) {
+  std::vector<std::vector<double>> groups = {
+      {10.0, 10.5, 9.5, 10.2},
+      {20.0, 20.5, 19.5, 20.2},
+      {30.0, 30.5, 29.5, 30.2}};
+  AnovaTable table = OneWayAnova(groups);
+  const AnovaRow* between = table.Find("between");
+  ASSERT_NE(between, nullptr);
+  EXPECT_TRUE(between->significant);
+  EXPECT_LT(between->p_value, 1e-6);
+  EXPECT_EQ(between->degrees_of_freedom, 2.0);
+  const AnovaRow* error = table.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->degrees_of_freedom, 9.0);
+}
+
+TEST(OneWayAnovaTest, IdenticalGroupsNotSignificant) {
+  Pcg32 rng(4);
+  std::vector<std::vector<double>> groups(3);
+  for (auto& group : groups) {
+    for (int i = 0; i < 8; ++i) {
+      group.push_back(50.0 + rng.NextGaussian());
+    }
+  }
+  AnovaTable table = OneWayAnova(groups);
+  // Same distribution: usually not significant (this seed is not).
+  EXPECT_FALSE(table.Find("between")->significant);
+  EXPECT_GT(table.Find("between")->p_value, 0.05);
+}
+
+TEST(OneWayAnovaTest, SumOfSquaresDecomposes) {
+  std::vector<std::vector<double>> groups = {{1.0, 2.0, 3.0},
+                                             {4.0, 6.0, 8.0}};
+  AnovaTable table = OneWayAnova(groups);
+  EXPECT_NEAR(table.Find("between")->sum_of_squares +
+                  table.Find("error")->sum_of_squares,
+              table.Find("total")->sum_of_squares, 1e-9);
+}
+
+TEST(OneWayAnovaTest, FalsePositiveRateNearAlpha) {
+  // Under the null, "significant at alpha=0.05" should fire ~5% of the
+  // time — the defining property of the test.
+  Pcg32 rng(9);
+  int significant = 0;
+  const int kTrials = 1000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<std::vector<double>> groups(2);
+    for (auto& group : groups) {
+      for (int i = 0; i < 6; ++i) {
+        group.push_back(rng.NextGaussian());
+      }
+    }
+    significant += OneWayAnova(groups).Find("between")->significant;
+  }
+  double rate = static_cast<double>(significant) / kTrials;
+  EXPECT_NEAR(rate, 0.05, 0.025);
+}
+
+TEST(OneWayAnovaTest, ZeroWithinVariance) {
+  std::vector<std::vector<double>> groups = {{5.0, 5.0}, {7.0, 7.0}};
+  AnovaTable table = OneWayAnova(groups);
+  EXPECT_TRUE(table.Find("between")->significant);
+  EXPECT_DOUBLE_EQ(table.Find("between")->p_value, 0.0);
+}
+
+TEST(OneWayAnovaTest, ToStringHasHeaderAndStar) {
+  std::vector<std::vector<double>> groups = {{1.0, 1.1}, {9.0, 9.1}};
+  std::string text = OneWayAnova(groups).ToString();
+  EXPECT_NE(text.find("source"), std::string::npos);
+  EXPECT_NE(text.find("*"), std::string::npos);
+}
+
+TEST(OneWayAnovaDeathTest, RejectsDegenerateInput) {
+  EXPECT_DEATH(OneWayAnova({{1.0, 2.0}}), "CHECK failed");
+  EXPECT_DEATH(OneWayAnova({{1.0, 2.0}, {1.0}}), ">= 2 observations");
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace perfeval

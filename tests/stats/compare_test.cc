@@ -1,0 +1,96 @@
+#include "stats/compare.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace perfeval {
+namespace stats {
+namespace {
+
+TEST(CompareTest, ClearlyDifferentPaired) {
+  std::vector<double> fast = {10.0, 11.0, 10.5, 10.2, 10.8};
+  std::vector<double> slow = {20.0, 21.0, 20.5, 20.2, 20.8};
+  Comparison cmp = ComparePaired(fast, slow, 0.95);
+  EXPECT_EQ(cmp.verdict, Verdict::kAIsBetter);
+  EXPECT_LT(cmp.difference.upper, 0.0);
+}
+
+TEST(CompareTest, ReversedOrderFlipsVerdict) {
+  std::vector<double> fast = {10.0, 11.0, 10.5, 10.2, 10.8};
+  std::vector<double> slow = {20.0, 21.0, 20.5, 20.2, 20.8};
+  Comparison cmp = ComparePaired(slow, fast, 0.95);
+  EXPECT_EQ(cmp.verdict, Verdict::kBIsBetter);
+}
+
+TEST(CompareTest, NoisyEqualSystemsAreIndifferent) {
+  // The paper's slide-142 point: overlapping intervals => no winner.
+  Pcg32 rng(3);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 10; ++i) {
+    a.push_back(100.0 + 10.0 * rng.NextGaussian());
+    b.push_back(100.0 + 10.0 * rng.NextGaussian());
+  }
+  Comparison cmp = CompareUnpaired(a, b, 0.95);
+  EXPECT_EQ(cmp.verdict, Verdict::kIndifferent);
+  EXPECT_TRUE(cmp.difference.Contains(0.0));
+}
+
+TEST(CompareTest, PairedBeatsUnpairedOnCorrelatedData) {
+  // Per-unit noise is huge but the per-pair difference is constant:
+  // the paired test must detect it, the unpaired one cannot.
+  Pcg32 rng(5);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 10; ++i) {
+    double workload = 100.0 + 50.0 * rng.NextGaussian();
+    a.push_back(workload);
+    b.push_back(workload + 2.0);  // B always 2 units slower.
+  }
+  EXPECT_EQ(ComparePaired(a, b, 0.95).verdict, Verdict::kAIsBetter);
+  EXPECT_EQ(CompareUnpaired(a, b, 0.95).verdict, Verdict::kIndifferent);
+}
+
+TEST(CompareTest, UnpairedHandlesUnequalSizes) {
+  std::vector<double> a = {1.0, 1.1, 0.9, 1.05};
+  std::vector<double> b = {5.0, 5.2, 4.8, 5.1, 5.05, 4.95};
+  Comparison cmp = CompareUnpaired(a, b, 0.95);
+  EXPECT_EQ(cmp.verdict, Verdict::kAIsBetter);
+}
+
+TEST(CompareTest, VerdictNames) {
+  EXPECT_STREQ(VerdictName(Verdict::kAIsBetter), "A is better");
+  EXPECT_STREQ(VerdictName(Verdict::kIndifferent),
+               "statistically indifferent");
+}
+
+TEST(CompareTest, ToStringContainsMeans) {
+  Comparison cmp = ComparePaired({1.0, 1.0}, {2.0, 2.0}, 0.95);
+  EXPECT_NE(cmp.ToString().find("mean(A)"), std::string::npos);
+}
+
+TEST(SpeedupTest, Basics) {
+  EXPECT_DOUBLE_EQ(Speedup(10.0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(Speedup(5.0, 10.0), 0.5);
+}
+
+TEST(ScaleupTest, PerfectScaleupIsOne) {
+  // 4x work in 4x time.
+  EXPECT_DOUBLE_EQ(ScaleupEfficiency(1.0, 10.0, 4.0, 40.0), 1.0);
+}
+
+TEST(ScaleupTest, SuperAndSubLinear) {
+  // 4x work in 2x time: efficiency 2 (super-linear).
+  EXPECT_DOUBLE_EQ(ScaleupEfficiency(1.0, 10.0, 4.0, 20.0), 2.0);
+  // 4x work in 8x time: efficiency 0.5.
+  EXPECT_DOUBLE_EQ(ScaleupEfficiency(1.0, 10.0, 4.0, 80.0), 0.5);
+}
+
+TEST(CompareDeathTest, PairedSizesMustMatch) {
+  EXPECT_DEATH(ComparePaired({1.0, 2.0}, {1.0}, 0.95), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace perfeval

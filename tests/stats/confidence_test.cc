@@ -1,0 +1,110 @@
+#include "stats/confidence.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stats/descriptive.h"
+
+namespace perfeval {
+namespace stats {
+namespace {
+
+TEST(ConfidenceTest, KnownInterval) {
+  // Sample {1..5}: mean 3, sd sqrt(2.5), n=5, t(0.95, 4)=2.776.
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  ConfidenceInterval ci = MeanConfidenceInterval(xs, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  double half = 2.776 * std::sqrt(2.5) / std::sqrt(5.0);
+  EXPECT_NEAR(ci.HalfWidth(), half, 0.01);
+  EXPECT_TRUE(ci.Contains(3.0));
+}
+
+TEST(ConfidenceTest, HigherConfidenceMeansWiderInterval) {
+  std::vector<double> xs = {10.0, 12.0, 11.0, 13.0, 9.0};
+  ConfidenceInterval ci90 = MeanConfidenceInterval(xs, 0.90);
+  ConfidenceInterval ci99 = MeanConfidenceInterval(xs, 0.99);
+  EXPECT_LT(ci90.HalfWidth(), ci99.HalfWidth());
+}
+
+TEST(ConfidenceTest, MoreSamplesMeanNarrowerInterval) {
+  Pcg32 rng(3);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 10; ++i) {
+    small.push_back(rng.NextGaussian());
+  }
+  for (int i = 0; i < 1000; ++i) {
+    large.push_back(rng.NextGaussian());
+  }
+  EXPECT_LT(MeanConfidenceInterval(large, 0.95).HalfWidth(),
+            MeanConfidenceInterval(small, 0.95).HalfWidth());
+}
+
+TEST(ConfidenceTest, OverlapDetection) {
+  ConfidenceInterval a{5.0, 4.0, 6.0, 0.95};
+  ConfidenceInterval b{6.5, 5.5, 7.5, 0.95};
+  ConfidenceInterval c{9.0, 8.0, 10.0, 0.95};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_TRUE(a.Overlaps(a));
+}
+
+TEST(ConfidenceTest, CoverageProperty) {
+  // Repeatedly sample from N(7, 2); the 95% CI should contain 7 about 95%
+  // of the time. This is the defining property of the interval.
+  Pcg32 rng(11);
+  const int kTrials = 2000;
+  int covered = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<double> xs;
+    for (int i = 0; i < 12; ++i) {
+      xs.push_back(7.0 + 2.0 * rng.NextGaussian());
+    }
+    if (MeanConfidenceInterval(xs, 0.95).Contains(7.0)) {
+      ++covered;
+    }
+  }
+  double coverage = static_cast<double>(covered) / kTrials;
+  EXPECT_NEAR(coverage, 0.95, 0.02);
+}
+
+TEST(ProportionCiTest, KnownValue) {
+  // p=0.5, n=100: half-width = 1.96 * sqrt(0.25/100) = 0.098.
+  ConfidenceInterval ci = ProportionConfidenceInterval(50, 100, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 0.5);
+  EXPECT_NEAR(ci.HalfWidth(), 0.098, 0.001);
+}
+
+TEST(ProportionCiTest, ClampedToUnitInterval) {
+  ConfidenceInterval lo = ProportionConfidenceInterval(0, 10, 0.95);
+  ConfidenceInterval hi = ProportionConfidenceInterval(10, 10, 0.95);
+  EXPECT_GE(lo.lower, 0.0);
+  EXPECT_LE(hi.upper, 1.0);
+}
+
+TEST(RequiredReplicationsTest, TighterTargetsNeedMoreRuns) {
+  std::vector<double> pilot = {100.0, 105.0, 95.0, 102.0, 98.0};
+  int64_t loose = RequiredReplications(pilot, 0.95, 0.10);
+  int64_t tight = RequiredReplications(pilot, 0.95, 0.01);
+  EXPECT_GE(tight, loose);
+  EXPECT_GE(loose, 2);
+}
+
+TEST(RequiredReplicationsTest, ZeroVariancePilotNeedsMinimum) {
+  std::vector<double> pilot = {50.0, 50.0, 50.0};
+  EXPECT_EQ(RequiredReplications(pilot, 0.95, 0.05), 2);
+}
+
+TEST(ConfidenceTest, ToStringMentionsLevel) {
+  ConfidenceInterval ci{1.0, 0.5, 1.5, 0.95};
+  EXPECT_NE(ci.ToString().find("95%"), std::string::npos);
+}
+
+TEST(ConfidenceDeathTest, NeedsTwoSamples) {
+  EXPECT_DEATH(MeanConfidenceInterval({1.0}, 0.95), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace perfeval

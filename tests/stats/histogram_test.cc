@@ -1,0 +1,105 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace perfeval {
+namespace stats {
+namespace {
+
+TEST(HistogramTest, CellEdgesCoverRangeEvenly) {
+  Histogram h(0.0, 12.0, 6);
+  ASSERT_EQ(h.cells().size(), 6u);
+  EXPECT_DOUBLE_EQ(h.cells()[0].lower, 0.0);
+  EXPECT_DOUBLE_EQ(h.cells()[0].upper, 2.0);
+  EXPECT_DOUBLE_EQ(h.cells()[5].lower, 10.0);
+  EXPECT_DOUBLE_EQ(h.cells()[5].upper, 12.0);
+}
+
+TEST(HistogramTest, ValuesLandInRightCells) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // cell 0
+  h.Add(2.0);   // cell 1
+  h.Add(9.99);  // cell 4
+  h.Add(10.0);  // upper boundary -> last cell
+  EXPECT_EQ(h.cells()[0].count, 1);
+  EXPECT_EQ(h.cells()[1].count, 1);
+  EXPECT_EQ(h.cells()[4].count, 2);
+  EXPECT_EQ(h.total_count(), 4);
+  EXPECT_EQ(h.out_of_range(), 0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-5.0);
+  h.Add(15.0);
+  EXPECT_EQ(h.out_of_range(), 2);
+  EXPECT_EQ(h.cells()[0].count, 1);
+  EXPECT_EQ(h.cells()[4].count, 1);
+}
+
+TEST(HistogramTest, TotalEqualsSumOfCells) {
+  Pcg32 rng(2);
+  Histogram h(0.0, 1.0, 7);
+  for (int i = 0; i < 500; ++i) {
+    h.Add(rng.NextDouble());
+  }
+  int64_t sum = 0;
+  for (const HistogramCell& cell : h.cells()) {
+    sum += cell.count;
+  }
+  EXPECT_EQ(sum, h.total_count());
+  EXPECT_EQ(sum, 500);
+}
+
+TEST(HistogramTest, PaperCellRule) {
+  // The slide-144 rule: each cell should have >= 5 points. The paper's
+  // 6-cell rendering of its 36-point sample violates it; the 2-cell
+  // rendering satisfies it.
+  std::vector<double> response_times;
+  // Reconstruct slide 144's histogram: counts per [0,2),[2,4),... cell
+  // are 2, 6, 12, 8, 6, 2 (36 points total).
+  const int counts[6] = {2, 6, 12, 8, 6, 2};
+  for (int cell = 0; cell < 6; ++cell) {
+    for (int i = 0; i < counts[cell]; ++i) {
+      response_times.push_back(cell * 2.0 + 1.0);
+    }
+  }
+  Histogram fine(0.0, 12.0, 6);
+  fine.AddAll(response_times);
+  EXPECT_FALSE(fine.EveryCellHasAtLeast(5));
+  EXPECT_EQ(fine.MinCellCount(), 2);
+
+  Histogram coarse(0.0, 12.0, 2);
+  coarse.AddAll(response_times);
+  EXPECT_TRUE(coarse.EveryCellHasAtLeast(5));
+  EXPECT_EQ(coarse.cells()[0].count, 20);
+  EXPECT_EQ(coarse.cells()[1].count, 16);
+}
+
+TEST(HistogramTest, SturgesSuggestion) {
+  EXPECT_EQ(Histogram::SuggestCellCount(1), 1);
+  EXPECT_EQ(Histogram::SuggestCellCount(32), 6);
+  EXPECT_EQ(Histogram::SuggestCellCount(1000), 11);
+}
+
+TEST(HistogramTest, ToStringHasOneLinePerCell) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(1.0);
+  std::string text = h.ToString();
+  int newlines = 0;
+  for (char c : text) {
+    newlines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(newlines, 4);
+}
+
+TEST(HistogramDeathTest, RejectsBadConstruction) {
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "CHECK failed");
+  EXPECT_DEATH(Histogram(2.0, 1.0, 3), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace perfeval

@@ -1,0 +1,84 @@
+#include "stats/outliers.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace perfeval {
+namespace stats {
+namespace {
+
+TEST(OutliersTest, CleanSampleHasNone) {
+  std::vector<double> xs = {10.0, 11.0, 10.5, 10.2, 10.8, 10.4};
+  OutlierReport report = DetectOutliers(xs);
+  EXPECT_FALSE(report.HasOutliers());
+}
+
+TEST(OutliersTest, SingleSpikeFlagged) {
+  // Nine quiet runs and one perturbed by background activity.
+  std::vector<double> xs = {10.0, 10.1, 9.9, 10.2, 9.8,
+                            10.0, 10.1, 9.9, 10.0, 35.0};
+  OutlierReport report = DetectOutliers(xs);
+  ASSERT_EQ(report.outlier_indices.size(), 1u);
+  EXPECT_EQ(report.outlier_indices[0], 9u);
+  EXPECT_GT(report.upper_fence, 10.2);
+  EXPECT_LT(report.upper_fence, 35.0);
+}
+
+TEST(OutliersTest, LowOutlierFlaggedToo) {
+  std::vector<double> xs = {10.0, 10.1, 9.9, 10.2, 9.8, 0.5};
+  OutlierReport report = DetectOutliers(xs);
+  ASSERT_EQ(report.outlier_indices.size(), 1u);
+  EXPECT_EQ(report.outlier_indices[0], 5u);
+}
+
+TEST(OutliersTest, WiderFenceIsMoreTolerant) {
+  // 10.9 is beyond the 1.5*IQR fence (10.55) but inside 3*IQR (10.925).
+  std::vector<double> xs = {10.0, 10.1, 9.9, 10.2, 9.8, 10.9};
+  EXPECT_TRUE(DetectOutliers(xs, 1.5).HasOutliers());
+  EXPECT_FALSE(DetectOutliers(xs, 3.0).HasOutliers());
+}
+
+TEST(OutliersTest, RemoveOutliersKeepsOrder) {
+  std::vector<double> xs = {10.0, 99.0, 10.1, 9.9, 10.2, 9.8};
+  std::vector<double> kept = RemoveOutliers(xs);
+  EXPECT_EQ(kept, (std::vector<double>{10.0, 10.1, 9.9, 10.2, 9.8}));
+}
+
+TEST(OutliersTest, ConstantSampleKeepsEverything) {
+  std::vector<double> xs = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_FALSE(DetectOutliers(xs).HasOutliers());
+  EXPECT_EQ(RemoveOutliers(xs), xs);
+}
+
+TEST(OutliersTest, GaussianFalsePositiveRateIsLow) {
+  Pcg32 rng(5);
+  int total_outliers = 0;
+  int total_samples = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> xs;
+    for (int i = 0; i < 50; ++i) {
+      xs.push_back(rng.NextGaussian());
+    }
+    total_outliers +=
+        static_cast<int>(DetectOutliers(xs).outlier_indices.size());
+    total_samples += 50;
+  }
+  // For a normal distribution ~0.7% of points fall outside 1.5 IQR.
+  double rate = static_cast<double>(total_outliers) / total_samples;
+  EXPECT_LT(rate, 0.04);
+}
+
+TEST(OutliersTest, ToStringMentionsFences) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NE(DetectOutliers(xs).ToString().find("fences"),
+            std::string::npos);
+}
+
+TEST(OutliersDeathTest, NeedsFourSamples) {
+  EXPECT_DEATH(DetectOutliers({1.0, 2.0, 3.0}), ">= 4 samples");
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace perfeval

@@ -1,0 +1,94 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace perfeval {
+namespace stats {
+namespace {
+
+TEST(RegressionTest, ExactLineRecoveredExactly) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y;
+  for (double v : x) {
+    y.push_back(3.0 + 2.5 * v);
+  }
+  LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.residual_stderr, 0.0, 1e-9);
+  EXPECT_NEAR(fit.Predict(10.0), 28.0, 1e-9);
+}
+
+TEST(RegressionTest, NoisyLineRecoveredApproximately) {
+  Pcg32 rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    double xi = rng.NextDoubleInRange(0.0, 100.0);
+    x.push_back(xi);
+    y.push_back(10.0 + 0.7 * xi + rng.NextGaussian() * 2.0);
+  }
+  LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 0.7, 0.03);
+  EXPECT_NEAR(fit.intercept, 10.0, 1.5);
+  EXPECT_GT(fit.r_squared, 0.98);
+  EXPECT_TRUE(fit.slope_ci.Contains(0.7));
+  EXPECT_NEAR(fit.residual_stderr, 2.0, 0.4);
+}
+
+TEST(RegressionTest, SlopeCiContainsTruthMostOfTheTime) {
+  Pcg32 rng(11);
+  int covered = 0;
+  const int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 15; ++i) {
+      double xi = static_cast<double>(i);
+      x.push_back(xi);
+      y.push_back(1.0 + 0.5 * xi + rng.NextGaussian());
+    }
+    covered += FitLinear(x, y).slope_ci.Contains(0.5) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(covered) / kTrials, 0.95, 0.04);
+}
+
+TEST(RegressionTest, FlatDataHasZeroSlope) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {7.0, 7.0, 7.0, 7.0};
+  LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);  // zero variance fully "explained".
+}
+
+TEST(RegressionTest, UncorrelatedDataLowRSquared) {
+  Pcg32 rng(17);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    x.push_back(rng.NextDouble());
+    y.push_back(rng.NextDouble());
+  }
+  LinearFit fit = FitLinear(x, y);
+  EXPECT_LT(fit.r_squared, 0.05);
+  EXPECT_TRUE(fit.slope_ci.Contains(0.0));
+}
+
+TEST(RegressionTest, ToStringShowsModel) {
+  LinearFit fit = FitLinear({1, 2, 3}, {2, 4, 6});
+  EXPECT_NE(fit.ToString().find("r^2"), std::string::npos);
+}
+
+TEST(RegressionDeathTest, DegenerateInputs) {
+  EXPECT_DEATH(FitLinear({1.0, 2.0}, {1.0, 2.0}), ">= 3 points");
+  EXPECT_DEATH(FitLinear({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), "constant");
+  EXPECT_DEATH(FitLinear({1.0, 2.0, 3.0}, {1.0, 2.0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace perfeval

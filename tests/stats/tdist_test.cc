@@ -1,0 +1,104 @@
+#include "stats/tdist.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace stats {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447461, 1e-8);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.95), 1.644853627, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 4.0, x),
+                1.0 - RegularizedIncompleteBeta(4.0, 2.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(StudentTTest, CdfSymmetry) {
+  for (double t : {0.5, 1.0, 2.0, 5.0}) {
+    for (double df : {1.0, 5.0, 30.0}) {
+      EXPECT_NEAR(StudentTCdf(t, df) + StudentTCdf(-t, df), 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(StudentTTest, CdfAtZeroIsHalf) {
+  EXPECT_NEAR(StudentTCdf(0.0, 7.0), 0.5, 1e-12);
+}
+
+TEST(StudentTTest, KnownCriticalValues) {
+  // Standard t-table two-sided 95% critical values.
+  EXPECT_NEAR(TwoSidedTCritical(0.95, 1), 12.706, 0.01);
+  EXPECT_NEAR(TwoSidedTCritical(0.95, 2), 4.303, 0.005);
+  EXPECT_NEAR(TwoSidedTCritical(0.95, 5), 2.571, 0.005);
+  EXPECT_NEAR(TwoSidedTCritical(0.95, 10), 2.228, 0.005);
+  EXPECT_NEAR(TwoSidedTCritical(0.95, 30), 2.042, 0.005);
+  // 99% two-sided.
+  EXPECT_NEAR(TwoSidedTCritical(0.99, 10), 3.169, 0.005);
+  // 90% two-sided.
+  EXPECT_NEAR(TwoSidedTCritical(0.90, 10), 1.812, 0.005);
+}
+
+TEST(StudentTTest, ConvergesToNormalForLargeDf) {
+  EXPECT_NEAR(TwoSidedTCritical(0.95, 100000), 1.95996, 0.001);
+}
+
+TEST(StudentTTest, QuantileInvertsCdf) {
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95, 0.995}) {
+    for (double df : {1.0, 3.0, 12.0, 60.0}) {
+      double t = StudentTQuantile(p, df);
+      EXPECT_NEAR(StudentTCdf(t, df), p, 1e-8)
+          << "p=" << p << " df=" << df;
+    }
+  }
+}
+
+class TCriticalMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TCriticalMonotoneTest, CriticalValueDecreasesWithDf) {
+  double confidence = GetParam();
+  double previous = TwoSidedTCritical(confidence, 1);
+  for (double df = 2; df <= 64; df *= 2) {
+    double current = TwoSidedTCritical(confidence, df);
+    EXPECT_LT(current, previous) << "df=" << df;
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Confidences, TCriticalMonotoneTest,
+                         ::testing::Values(0.80, 0.90, 0.95, 0.99));
+
+}  // namespace
+}  // namespace stats
+}  // namespace perfeval

@@ -1,0 +1,92 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/tpch_gen.h"
+
+namespace perfeval {
+namespace workload {
+namespace {
+
+db::Database* Db() {
+  static db::Database* database = [] {
+    auto* d = new db::Database();
+    TpchGenerator gen(0.002);
+    gen.LoadAll(d);
+    return d;
+  }();
+  return database;
+}
+
+TEST(DriverTest, DefaultsToAll22Queries) {
+  TpchDriver driver(Db());
+  EXPECT_EQ(driver.query_numbers().size(), 22u);
+  EXPECT_EQ(driver.query_numbers().front(), 1);
+  EXPECT_EQ(driver.query_numbers().back(), 22);
+}
+
+TEST(DriverTest, PowerTestShape) {
+  TpchDriver driver(Db(), {1, 6, 14});
+  PowerResult power = driver.RunPowerTest();
+  ASSERT_EQ(power.stream.query_ms.size(), 3u);
+  EXPECT_EQ(power.stream.query_order, (std::vector<int>{1, 6, 14}));
+  EXPECT_GT(power.geomean_ms, 0.0);
+  EXPECT_GT(power.power_qph, 0.0);
+  // Total is the sum of the parts.
+  double sum = 0.0;
+  for (double ms : power.stream.query_ms) {
+    sum += ms;
+  }
+  EXPECT_NEAR(power.stream.total_ms, sum, 1e-9);
+  // qph definition.
+  EXPECT_NEAR(power.power_qph, 3600'000.0 / power.geomean_ms, 1e-6);
+}
+
+TEST(DriverTest, ThroughputStreamsArePermutations) {
+  TpchDriver driver(Db(), {1, 6, 13, 14, 22});
+  ThroughputResult result = driver.RunThroughputTest(3);
+  ASSERT_EQ(result.streams.size(), 3u);
+  std::set<std::vector<int>> orders;
+  for (const StreamResult& stream : result.streams) {
+    // Every stream runs exactly the query set.
+    std::vector<int> sorted = stream.query_order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{1, 6, 13, 14, 22}));
+    EXPECT_EQ(stream.query_ms.size(), 5u);
+    orders.insert(stream.query_order);
+  }
+  // With 5! = 120 permutations, three draws almost surely differ.
+  EXPECT_GE(orders.size(), 2u);
+  // Totals add up.
+  double sum = 0.0;
+  for (const StreamResult& stream : result.streams) {
+    sum += stream.total_ms;
+  }
+  EXPECT_NEAR(result.total_ms, sum, 1e-9);
+  EXPECT_GT(result.throughput_qph, 0.0);
+}
+
+TEST(DriverTest, PermutationsAreSeedDeterministic) {
+  TpchDriver driver(Db(), {1, 6, 13, 14, 22});
+  ThroughputResult a = driver.RunThroughputTest(2, 9);
+  ThroughputResult b = driver.RunThroughputTest(2, 9);
+  for (size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(a.streams[s].query_order, b.streams[s].query_order);
+  }
+  ThroughputResult c = driver.RunThroughputTest(2, 10);
+  bool same = a.streams[0].query_order == c.streams[0].query_order &&
+              a.streams[1].query_order == c.streams[1].query_order;
+  EXPECT_FALSE(same);
+}
+
+TEST(DriverDeathTest, RejectsBadQueryNumbers) {
+  EXPECT_DEATH(TpchDriver(Db(), {0}), "CHECK failed");
+  EXPECT_DEATH(TpchDriver(Db(), {23}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace perfeval

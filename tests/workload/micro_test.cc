@@ -1,0 +1,186 @@
+#include "workload/micro.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace workload {
+namespace {
+
+MicroTableSpec OneColumnSpec(Distribution distribution, size_t rows) {
+  MicroTableSpec spec;
+  spec.num_rows = rows;
+  MicroColumnSpec column;
+  column.name = "v";
+  column.distribution = distribution;
+  column.min_value = 0;
+  column.max_value = 10000;
+  spec.columns.push_back(column);
+  return spec;
+}
+
+TEST(MicroTest, GeneratesRequestedShape) {
+  auto table = GenerateMicroTable(OneColumnSpec(Distribution::kUniform,
+                                                5000));
+  EXPECT_EQ(table->num_rows(), 5000u);
+  EXPECT_EQ(table->num_columns(), 1u);
+}
+
+TEST(MicroTest, ValuesStayInRange) {
+  for (Distribution d : {Distribution::kUniform, Distribution::kZipf,
+                         Distribution::kGaussian}) {
+    auto table = GenerateMicroTable(OneColumnSpec(d, 2000));
+    const auto& values = table->column(0).ints();
+    for (int64_t v : values) {
+      ASSERT_GE(v, 0) << DistributionName(d);
+      ASSERT_LE(v, 10000) << DistributionName(d);
+    }
+  }
+}
+
+TEST(MicroTest, SequentialIsSortedUnique) {
+  auto table = GenerateMicroTable(OneColumnSpec(Distribution::kSequential,
+                                                1000));
+  const auto& values = table->column(0).ints();
+  for (size_t i = 1; i < values.size(); ++i) {
+    ASSERT_EQ(values[i], values[i - 1] + 1);
+  }
+}
+
+TEST(MicroTest, DeterministicBySeed) {
+  MicroTableSpec spec = OneColumnSpec(Distribution::kUniform, 500);
+  auto a = GenerateMicroTable(spec);
+  auto b = GenerateMicroTable(spec);
+  EXPECT_EQ(a->column(0).ints(), b->column(0).ints());
+  spec.seed = 99;
+  auto c = GenerateMicroTable(spec);
+  EXPECT_NE(a->column(0).ints(), c->column(0).ints());
+}
+
+TEST(MicroTest, ZipfIsSkewedUniformIsNot) {
+  auto uniform = GenerateMicroTable(OneColumnSpec(Distribution::kUniform,
+                                                  20000));
+  MicroTableSpec zipf_spec = OneColumnSpec(Distribution::kZipf, 20000);
+  zipf_spec.columns[0].zipf_theta = 1.2;
+  auto zipf = GenerateMicroTable(zipf_spec);
+  auto median_of = [](const std::vector<int64_t>& v) {
+    std::vector<int64_t> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[sorted.size() / 2];
+  };
+  // A heavy-skew Zipf pushes the median far below the uniform's.
+  EXPECT_LT(median_of(zipf->column(0).ints()),
+            median_of(uniform->column(0).ints()) / 4);
+}
+
+TEST(MicroTest, GaussianConcentratesAroundMean) {
+  auto table = GenerateMicroTable(OneColumnSpec(Distribution::kGaussian,
+                                                20000));
+  const auto& values = table->column(0).ints();
+  int64_t in_middle = 0;
+  for (int64_t v : values) {
+    in_middle += (v > 3333 && v < 6667) ? 1 : 0;
+  }
+  // +-1 sd covers ~68%.
+  EXPECT_GT(in_middle, static_cast<int64_t>(values.size() * 6 / 10));
+}
+
+TEST(MicroTest, FullCorrelationCopiesColumn) {
+  MicroTableSpec spec;
+  spec.num_rows = 1000;
+  spec.columns.push_back({"a", Distribution::kUniform, 0, 1000, 1.0, 0.0});
+  spec.columns.push_back({"b", Distribution::kUniform, 0, 1000, 1.0, 1.0});
+  auto table = GenerateMicroTable(spec);
+  EXPECT_EQ(table->column(0).ints(), table->column(1).ints());
+}
+
+TEST(MicroTest, ZeroCorrelationIsIndependent) {
+  MicroTableSpec spec;
+  spec.num_rows = 20000;
+  spec.columns.push_back({"a", Distribution::kUniform, 0, 1000, 1.0, 0.0});
+  spec.columns.push_back({"b", Distribution::kUniform, 0, 1000, 1.0, 0.0});
+  auto table = GenerateMicroTable(spec);
+  // Empirical Pearson correlation near zero.
+  const auto& a = table->column(0).ints();
+  const auto& b = table->column(1).ints();
+  double n = static_cast<double>(a.size());
+  double ma = 0.0;
+  double mb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ma += static_cast<double>(a[i]) / n;
+    mb += static_cast<double>(b[i]) / n;
+  }
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = static_cast<double>(a[i]) - ma;
+    double db_ = static_cast<double>(b[i]) - mb;
+    cov += da * db_;
+    va += da * da;
+    vb += db_ * db_;
+  }
+  double r = cov / std::sqrt(va * vb);
+  EXPECT_NEAR(r, 0.0, 0.03);
+}
+
+TEST(MicroTest, PartialCorrelationIsBetween) {
+  MicroTableSpec spec;
+  spec.num_rows = 20000;
+  spec.columns.push_back({"a", Distribution::kUniform, 0, 1000, 1.0, 0.0});
+  spec.columns.push_back({"b", Distribution::kUniform, 0, 1000, 1.0, 0.8});
+  auto table = GenerateMicroTable(spec);
+  const auto& a = table->column(0).ints();
+  const auto& b = table->column(1).ints();
+  double n = static_cast<double>(a.size());
+  double ma = 0.0;
+  double mb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ma += static_cast<double>(a[i]) / n;
+    mb += static_cast<double>(b[i]) / n;
+  }
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = static_cast<double>(a[i]) - ma;
+    double db_ = static_cast<double>(b[i]) - mb;
+    cov += da * db_;
+    va += da * da;
+    vb += db_ * db_;
+  }
+  double r = cov / std::sqrt(va * vb);
+  EXPECT_GT(r, 0.8);
+  EXPECT_LT(r, 1.0);
+}
+
+class SelectivitySweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SelectivitySweepTest, PredicateHitsTarget) {
+  double target = GetParam();
+  auto table = GenerateMicroTable(OneColumnSpec(Distribution::kUniform,
+                                                50000));
+  double measured = MeasuredSelectivity(*table, "v", target);
+  EXPECT_NEAR(measured, target, 0.02) << "target " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, SelectivitySweepTest,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 1.0));
+
+TEST(SelectivityTest, WorksOnSkewedData) {
+  MicroTableSpec spec = OneColumnSpec(Distribution::kZipf, 50000);
+  spec.columns[0].zipf_theta = 1.0;
+  auto table = GenerateMicroTable(spec);
+  // Quantile-based thresholds adapt to the skew; duplicates make the
+  // match inexact but bounded.
+  double measured = MeasuredSelectivity(*table, "v", 0.5);
+  EXPECT_GT(measured, 0.40);
+  EXPECT_LT(measured, 0.75);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace perfeval

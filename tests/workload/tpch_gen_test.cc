@@ -1,0 +1,248 @@
+#include "workload/tpch_gen.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/tpch_schema.h"
+
+namespace perfeval {
+namespace workload {
+namespace {
+
+using db::DataType;
+using db::DateFromYmd;
+using db::Table;
+
+class TpchGenTest : public ::testing::Test {
+ protected:
+  TpchGenTest() : gen_(0.01) {}
+  TpchGenerator gen_;
+};
+
+TEST_F(TpchGenTest, CardinalitiesScale) {
+  EXPECT_EQ(gen_.Cardinality("region"), 5);
+  EXPECT_EQ(gen_.Cardinality("nation"), 25);
+  EXPECT_EQ(gen_.Cardinality("supplier"), 100);
+  EXPECT_EQ(gen_.Cardinality("customer"), 1500);
+  EXPECT_EQ(gen_.Cardinality("part"), 2000);
+  EXPECT_EQ(gen_.Cardinality("partsupp"), 8000);
+  EXPECT_EQ(gen_.Cardinality("orders"), 15000);
+}
+
+TEST_F(TpchGenTest, GeneratedSizesMatchCardinality) {
+  for (const char* name : {"region", "nation", "supplier", "customer",
+                           "part", "partsupp", "orders"}) {
+    auto table = gen_.Generate(name);
+    EXPECT_EQ(static_cast<int64_t>(table->num_rows()),
+              gen_.Cardinality(name))
+        << name;
+  }
+}
+
+TEST_F(TpchGenTest, LineitemSizeNearExpectation) {
+  auto lineitem = gen_.Generate("lineitem");
+  int64_t expected = gen_.Cardinality("lineitem");  // approximate.
+  EXPECT_GT(static_cast<int64_t>(lineitem->num_rows()), expected * 8 / 10);
+  EXPECT_LT(static_cast<int64_t>(lineitem->num_rows()), expected * 12 / 10);
+}
+
+TEST_F(TpchGenTest, DeterministicForSameSeed) {
+  TpchGenerator a(0.01, 7);
+  TpchGenerator b(0.01, 7);
+  auto ta = a.Generate("orders");
+  auto tb = b.Generate("orders");
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (size_t r = 0; r < std::min<size_t>(ta->num_rows(), 200); ++r) {
+    for (size_t c = 0; c < ta->num_columns(); ++c) {
+      EXPECT_EQ(ta->ValueAt(r, c).ToString(), tb->ValueAt(r, c).ToString());
+    }
+  }
+}
+
+TEST_F(TpchGenTest, DifferentSeedsProduceDifferentData) {
+  TpchGenerator a(0.01, 7);
+  TpchGenerator b(0.01, 8);
+  auto ta = a.Generate("orders");
+  auto tb = b.Generate("orders");
+  int differences = 0;
+  for (size_t r = 0; r < 100; ++r) {
+    if (ta->ValueAt(r, 4).ToString() != tb->ValueAt(r, 4).ToString()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 50);
+}
+
+TEST_F(TpchGenTest, ForeignKeysAreValid) {
+  db::Database database;
+  gen_.LoadAll(&database);
+  const Table& lineitem = database.GetTable("lineitem");
+  int64_t parts = gen_.Cardinality("part");
+  int64_t suppliers = gen_.Cardinality("supplier");
+  int64_t orders_count = gen_.Cardinality("orders");
+  const auto& partkeys = lineitem.ColumnByName("l_partkey").ints();
+  const auto& suppkeys = lineitem.ColumnByName("l_suppkey").ints();
+  const auto& orderkeys = lineitem.ColumnByName("l_orderkey").ints();
+  for (size_t r = 0; r < lineitem.num_rows(); ++r) {
+    ASSERT_GE(partkeys[r], 1);
+    ASSERT_LE(partkeys[r], parts);
+    ASSERT_GE(suppkeys[r], 1);
+    ASSERT_LE(suppkeys[r], suppliers);
+    ASSERT_GE(orderkeys[r], 1);
+    ASSERT_LE(orderkeys[r], orders_count);
+  }
+  const Table& orders = database.GetTable("orders");
+  int64_t customers = gen_.Cardinality("customer");
+  const auto& custkeys = orders.ColumnByName("o_custkey").ints();
+  for (size_t r = 0; r < orders.num_rows(); ++r) {
+    ASSERT_GE(custkeys[r], 1);
+    ASSERT_LE(custkeys[r], customers);
+  }
+}
+
+TEST_F(TpchGenTest, LineitemDateOrderingInvariant) {
+  // shipdate > orderdate; receiptdate > shipdate (spec-derived ordering
+  // that Q4/Q12/Q21 depend on).
+  db::Database database;
+  gen_.LoadAll(&database);
+  const Table& lineitem = database.GetTable("lineitem");
+  const Table& orders = database.GetTable("orders");
+  const auto& ship = lineitem.ColumnByName("l_shipdate").ints();
+  const auto& receipt = lineitem.ColumnByName("l_receiptdate").ints();
+  const auto& l_orderkey = lineitem.ColumnByName("l_orderkey").ints();
+  const auto& orderdate = orders.ColumnByName("o_orderdate").ints();
+  for (size_t r = 0; r < lineitem.num_rows(); ++r) {
+    int64_t order_row = l_orderkey[r] - 1;  // dense keys.
+    ASSERT_GT(ship[r], orderdate[static_cast<size_t>(order_row)]);
+    ASSERT_GT(receipt[r], ship[r]);
+  }
+}
+
+TEST_F(TpchGenTest, ValueRangesFollowSpec) {
+  auto lineitem = gen_.Generate("lineitem");
+  const auto& qty = lineitem->ColumnByName("l_quantity").doubles();
+  const auto& discount = lineitem->ColumnByName("l_discount").doubles();
+  const auto& tax = lineitem->ColumnByName("l_tax").doubles();
+  for (size_t r = 0; r < lineitem->num_rows(); ++r) {
+    ASSERT_GE(qty[r], 1.0);
+    ASSERT_LE(qty[r], 50.0);
+    ASSERT_GE(discount[r], 0.0);
+    ASSERT_LE(discount[r], 0.10);
+    ASSERT_GE(tax[r], 0.0);
+    ASSERT_LE(tax[r], 0.08);
+  }
+}
+
+TEST_F(TpchGenTest, OrderDatesInSpecWindow) {
+  auto orders = gen_.Generate("orders");
+  int32_t lo = DateFromYmd(1992, 1, 1);
+  int32_t hi = DateFromYmd(1998, 8, 2);
+  const auto& dates = orders->ColumnByName("o_orderdate").ints();
+  for (size_t r = 0; r < orders->num_rows(); ++r) {
+    ASSERT_GE(dates[r], lo);
+    ASSERT_LE(dates[r], hi);
+  }
+}
+
+TEST_F(TpchGenTest, ReturnFlagsAndStatusAreConsistent) {
+  auto lineitem = gen_.Generate("lineitem");
+  const auto& flags = lineitem->ColumnByName("l_returnflag").strings();
+  const auto& status = lineitem->ColumnByName("l_linestatus").strings();
+  std::set<std::string> flag_values(flags.begin(), flags.end());
+  std::set<std::string> status_values(status.begin(), status.end());
+  EXPECT_EQ(flag_values, (std::set<std::string>{"A", "N", "R"}));
+  EXPECT_EQ(status_values, (std::set<std::string>{"F", "O"}));
+}
+
+TEST_F(TpchGenTest, PartsuppPairsAreUnique) {
+  auto partsupp = gen_.Generate("partsupp");
+  const auto& pk = partsupp->ColumnByName("ps_partkey").ints();
+  const auto& sk = partsupp->ColumnByName("ps_suppkey").ints();
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (size_t r = 0; r < partsupp->num_rows(); ++r) {
+    EXPECT_TRUE(pairs.insert({pk[r], sk[r]}).second)
+        << "duplicate (" << pk[r] << ", " << sk[r] << ")";
+  }
+}
+
+TEST_F(TpchGenTest, BrandsBelongToManufacturers) {
+  auto part = gen_.Generate("part");
+  const auto& mfgr = part->ColumnByName("p_mfgr").strings();
+  const auto& brand = part->ColumnByName("p_brand").strings();
+  for (size_t r = 0; r < std::min<size_t>(part->num_rows(), 500); ++r) {
+    // "Manufacturer#M" owns "Brand#Mx".
+    char m = mfgr[r].back();
+    EXPECT_EQ(brand[r][6], m) << mfgr[r] << " vs " << brand[r];
+  }
+}
+
+TEST_F(TpchGenTest, LoadAllRegistersEightTables) {
+  db::Database database;
+  gen_.LoadAll(&database);
+  EXPECT_EQ(database.TableNames().size(), 8u);
+  EXPECT_TRUE(database.HasTable("lineitem"));
+  EXPECT_TRUE(database.HasTable("region"));
+}
+
+
+TEST(TpchSkewTest, ZipfThetaSkewsForeignKeys) {
+  TpchGenerator uniform(0.01, 7, 0.0);
+  TpchGenerator skewed(0.01, 7, 1.2);
+  (void)uniform.Generate("orders");
+  (void)skewed.Generate("orders");
+  auto count_top = [](const db::Table& t, const char* col) {
+    std::map<int64_t, int64_t> counts;
+    for (int64_t k : t.ColumnByName(col).ints()) {
+      ++counts[k];
+    }
+    int64_t top = 0;
+    for (const auto& [key, count] : counts) {
+      top = std::max(top, count);
+    }
+    return std::make_pair(top, static_cast<int64_t>(counts.size()));
+  };
+  auto uniform_li = uniform.Generate("lineitem");
+  auto skewed_li = skewed.Generate("lineitem");
+  auto [u_top, u_distinct] = count_top(*uniform_li, "l_partkey");
+  auto [s_top, s_distinct] = count_top(*skewed_li, "l_partkey");
+  EXPECT_GT(s_top, 10 * u_top);        // hottest key far hotter.
+  EXPECT_LT(s_distinct, u_distinct);   // fewer keys touched.
+  // Keys stay in the valid FK domain.
+  int64_t parts = skewed.Cardinality("part");
+  for (int64_t k : skewed_li->ColumnByName("l_partkey").ints()) {
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, parts);
+  }
+}
+
+TEST(TpchSkewTest, ThetaZeroMatchesDefaultGenerator) {
+  TpchGenerator a(0.005, 9);
+  TpchGenerator b(0.005, 9, 0.0);
+  auto ta = a.Generate("orders");
+  auto tb = b.Generate("orders");
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(ta->ValueAt(r, 1).AsInt64(), tb->ValueAt(r, 1).AsInt64());
+  }
+}
+
+TEST(TpchSkewDeathTest, NegativeThetaRejected) {
+  EXPECT_DEATH(TpchGenerator(0.01, 1, -0.5), "CHECK failed");
+}
+
+TEST(TpchGenScaleTest, TinyScaleFactorStillWorks) {
+  TpchGenerator gen(0.001);
+  auto lineitem = gen.Generate("lineitem");
+  EXPECT_GT(lineitem->num_rows(), 0u);
+  EXPECT_EQ(gen.Cardinality("supplier"), 10);
+}
+
+TEST(TpchGenDeathTest, RejectsNonPositiveScale) {
+  EXPECT_DEATH(TpchGenerator(0.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace perfeval

@@ -1,0 +1,24 @@
+// Generates REPRODUCING.md from the registered experiment suite — the
+// paper's slide-216 checklist (installation, per experiment: script, where
+// results land, how long it takes), produced from the same registry the
+// tests validate so the document cannot drift from the binaries.
+//
+// Usage: gen_instructions [output-path]   (default: REPRODUCING.md)
+
+#include <cstdio>
+#include <fstream>
+
+#include "repro/suite.h"
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "REPRODUCING.md";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  out << perfeval::repro::PerfevalSuite().InstructionsMarkdown();
+  std::printf("wrote %s (%zu experiments)\n", path,
+              perfeval::repro::PerfevalSuite().experiments().size());
+  return 0;
+}
