@@ -22,6 +22,7 @@
 #include "doe/effects.h"
 #include "report/csv.h"
 #include "report/table_format.h"
+#include "sched/scheduler.h"
 #include "workload/tpch_gen.h"
 #include "workload/tpch_queries.h"
 
@@ -83,20 +84,50 @@ int main(int argc, char** argv) {
   const std::vector<std::string> factor_names = {
       "pool", "zonemaps", "vectorized", "pagesize", "ssd"};
   doe::SignTable full = doe::SignTable::FullFactorial(5);
-  std::vector<double> y(full.num_runs());
+  // The same 32 configurations as a Design (both use the standard order:
+  // factor f of run r is "high" iff bit f of r is set), executed through
+  // the scheduler: --jobs/--order/--isolation control the worker pool, the
+  // run order and whether trials may overlap; the results are reassembled
+  // into design order, so they do not depend on any of the three.
+  doe::Design design = doe::TwoLevelFullFactorial(
+      {doe::Factor::TwoLevel("pool", "32", "4096"),
+       doe::Factor::TwoLevel("zonemaps", "off", "on"),
+       doe::Factor::TwoLevel("vectorized", "debug", "opt"),
+       doe::Factor::TwoLevel("pagesize", "512", "4096"),
+       doe::Factor::TwoLevel("ssd", "hdd", "ssd")});
+  core::RunProtocol protocol;
+  protocol.warmup_runs = 0;   // The cold+2-hot sequence is the trial itself.
+  protocol.measured_runs = 1;
+  protocol.aggregation = core::Aggregation::kLast;
+  sched::Scheduler scheduler(ctx.ScheduleOptions());
+  std::printf("schedule: %s\n\n",
+              scheduler.options().ToScheduleSpec().Describe().c_str());
+  Result<core::ExperimentResult> scheduled = scheduler.Run(
+      design, protocol, core::ResponseMetric::kRealMs,
+      [&](const doe::DesignPoint& point, const core::TrialSpec&) {
+        core::Measurement m;
+        m.real_ns = static_cast<int64_t>(
+            RunConfiguration(tables, point.levels[0] > 0,
+                             point.levels[1] > 0, point.levels[2] > 0,
+                             point.levels[3] > 0, point.levels[4] > 0) *
+            1e6);
+        return m;
+      });
+  if (!scheduled.ok()) {
+    std::fprintf(stderr, "scheduling failed: %s\n",
+                 scheduled.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<double> y = scheduled->AggregatedResponses();
   report::CsvWriter csv(
       {"pool", "zonemaps", "vectorized", "pagesize", "ssd", "total_ms"});
   for (size_t run = 0; run < full.num_runs(); ++run) {
-    bool big_pool = full.FactorSign(run, 0) > 0;
-    bool zone_maps = full.FactorSign(run, 1) > 0;
-    bool optimized = full.FactorSign(run, 2) > 0;
-    bool big_pages = full.FactorSign(run, 3) > 0;
-    bool ssd = full.FactorSign(run, 4) > 0;
-    y[run] = RunConfiguration(tables, big_pool, zone_maps, optimized,
-                              big_pages, ssd);
-    csv.AddNumericRow({big_pool ? 1.0 : 0.0, zone_maps ? 1.0 : 0.0,
-                       optimized ? 1.0 : 0.0, big_pages ? 1.0 : 0.0,
-                       ssd ? 1.0 : 0.0, y[run]});
+    const doe::DesignPoint& point = design.points()[run];
+    csv.AddNumericRow({point.levels[0] > 0 ? 1.0 : 0.0,
+                       point.levels[1] > 0 ? 1.0 : 0.0,
+                       point.levels[2] > 0 ? 1.0 : 0.0,
+                       point.levels[3] > 0 ? 1.0 : 0.0,
+                       point.levels[4] > 0 ? 1.0 : 0.0, y[run]});
   }
 
   doe::VariationAllocation allocation = doe::AllocateVariation(full, y);

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <unordered_map>
 
 #include "bench_util.h"
@@ -19,64 +20,70 @@
 #include "db/database.h"
 #include "report/csv.h"
 #include "report/table_format.h"
+#include "sched/scheduler.h"
 #include "stats/descriptive.h"
 #include "workload/tpch_gen.h"
 
 namespace perfeval {
 namespace {
 
-struct SkewPoint {
-  double theta;
-  int64_t distinct_parts;
-  double top_key_share;
-  double join_ms;
-  double group_ms;
+constexpr double kThetas[] = {0.0, 0.5, 1.0, 1.5};
+
+/// The generated tables for one theta, shared read-only by all of that
+/// theta's trials (each trial registers them into its own Database, so no
+/// execution state is shared between workers).
+struct SkewTables {
+  std::shared_ptr<db::Table> part;
+  std::shared_ptr<db::Table> orders;
+  std::shared_ptr<db::Table> lineitem;
 };
 
-double MinUserMs(db::Database& database, const db::PlanPtr& plan) {
-  (void)database.Run(plan);
-  std::vector<double> samples;
-  for (int i = 0; i < 3; ++i) {
-    samples.push_back(database.Run(plan).ServerUserMs());
-  }
-  return stats::Min(samples);
+struct DataProfile {
+  int64_t distinct_parts;
+  double top_key_share;
+};
+
+SkewTables GenerateAtTheta(double theta, double sf) {
+  workload::TpchGenerator gen(sf, 19920101, theta);
+  return {gen.Generate("part"), gen.Generate("orders"),
+          gen.Generate("lineitem")};
 }
 
-SkewPoint MeasureAtTheta(double theta, double sf) {
-  db::Database database;
-  workload::TpchGenerator gen(sf, 19920101, theta);
-  database.RegisterTable("part", gen.Generate("part"));
-  database.RegisterTable("orders", gen.Generate("orders"));
-  database.RegisterTable("lineitem", gen.Generate("lineitem"));
-
-  SkewPoint point;
-  point.theta = theta;
-
-  // Data profile.
-  const db::Table& lineitem = database.GetTable("lineitem");
-  const auto& partkeys = lineitem.ColumnByName("l_partkey").ints();
+DataProfile ProfileOf(const SkewTables& tables) {
+  const auto& partkeys = tables.lineitem->ColumnByName("l_partkey").ints();
   std::unordered_map<int64_t, int64_t> counts;
   for (int64_t k : partkeys) {
     ++counts[k];
   }
-  point.distinct_parts = static_cast<int64_t>(counts.size());
   int64_t top = 0;
   for (const auto& [key, count] : counts) {
     top = std::max(top, count);
   }
-  point.top_key_share =
-      static_cast<double>(top) / static_cast<double>(partkeys.size());
+  return {static_cast<int64_t>(counts.size()),
+          static_cast<double>(top) / static_cast<double>(partkeys.size())};
+}
 
-  db::PlanPtr join = db::HashJoin(
-      db::Scan("lineitem", {"l_partkey"}),
-      db::Scan("part", {"p_partkey"}), "l_partkey", "p_partkey");
-  point.join_ms = MinUserMs(database, join);
-
-  db::PlanPtr group =
-      db::Aggregate(db::Scan("lineitem", {"l_partkey"}), {"l_partkey"},
-                    {{db::AggOp::kCount, nullptr, "n"}});
-  point.group_ms = MinUserMs(database, group);
-  return point;
+/// One self-contained trial: a fresh Database over the shared tables, one
+/// un-measured warm-up execution of the plan, then the measured run. Each
+/// (theta, operator, replication) trial is an independent job for the
+/// scheduler, so `--jobs`/`--order` never change the reported numbers.
+core::Measurement MeasureTrial(const SkewTables& tables, bool join_op) {
+  db::Database database;
+  database.RegisterTable("part", tables.part);
+  database.RegisterTable("orders", tables.orders);
+  database.RegisterTable("lineitem", tables.lineitem);
+  db::PlanPtr plan =
+      join_op ? db::HashJoin(db::Scan("lineitem", {"l_partkey"}),
+                             db::Scan("part", {"p_partkey"}), "l_partkey",
+                             "p_partkey")
+              : db::Aggregate(db::Scan("lineitem", {"l_partkey"}),
+                              {"l_partkey"},
+                              {{db::AggOp::kCount, nullptr, "n"}});
+  (void)database.Run(plan);  // Warm this trial's own instance.
+  core::Measurement m;
+  m.user_ns =
+      static_cast<int64_t>(database.Run(plan).ServerUserMs() * 1e6);
+  return m;
 }
 
 }  // namespace
@@ -91,22 +98,60 @@ int main(int argc, char** argv) {
   ctx.PrintHeader("foreign-key skew sweep: data profile and operator cost");
 
   double sf = ctx.properties().GetDouble("scaleFactor", 0.02);
+
+  // Generate the four datasets once, serially (generation is the expensive
+  // part); profile them while the scheduler only measures operators.
+  std::vector<SkewTables> tables;
+  std::vector<DataProfile> profiles;
+  for (double theta : kThetas) {
+    tables.push_back(GenerateAtTheta(theta, sf));
+    profiles.push_back(ProfileOf(tables.back()));
+  }
+
+  // theta x operator design, measured through the scheduler: every
+  // (point, replication) pair is one self-contained trial.
+  doe::Design design = doe::FullFactorialDesign(
+      {doe::Factor("theta", {"0.0", "0.5", "1.0", "1.5"}),
+       doe::Factor("operator", {"join", "group-by"})});
+  core::RunProtocol protocol;
+  protocol.warmup_runs = 0;  // Each trial warms its own Database instance.
+  protocol.measured_runs = 3;
+  protocol.aggregation = core::Aggregation::kMin;
+  sched::Scheduler scheduler(ctx.ScheduleOptions());
+  std::printf("schedule: %s\n\n",
+              scheduler.options().ToScheduleSpec().Describe().c_str());
+  Result<core::ExperimentResult> scheduled = scheduler.Run(
+      design, protocol, core::ResponseMetric::kUserMs,
+      [&](const doe::DesignPoint& point, const core::TrialSpec&) {
+        return MeasureTrial(tables[point.levels[0]], point.levels[1] == 0);
+      });
+  if (!scheduled.ok()) {
+    std::fprintf(stderr, "scheduling failed: %s\n",
+                 scheduled.status().ToString().c_str());
+    return 1;
+  }
+  // Factor 0 (theta) varies fastest: points 0..3 are the join at each
+  // theta, points 4..7 the group-by.
+  std::vector<double> y = scheduled->AggregatedResponses();
+
   report::TextTable table;
   table.SetHeader({"zipf theta", "distinct parts", "hottest key share",
                    "join (ms)", "group-by (ms)"});
   report::CsvWriter csv({"theta", "distinct_parts", "top_share", "join_ms",
                          "group_ms"});
-  for (double theta : {0.0, 0.5, 1.0, 1.5}) {
-    SkewPoint point = MeasureAtTheta(theta, sf);
-    table.AddRow({StrFormat("%.1f", point.theta),
+  for (size_t t = 0; t < 4; ++t) {
+    double join_ms = y[t];
+    double group_ms = y[4 + t];
+    table.AddRow({StrFormat("%.1f", kThetas[t]),
                   StrFormat("%lld",
-                            static_cast<long long>(point.distinct_parts)),
-                  StrFormat("%.2f%%", point.top_key_share * 100.0),
-                  StrFormat("%.2f", point.join_ms),
-                  StrFormat("%.2f", point.group_ms)});
-    csv.AddNumericRow({point.theta,
-                       static_cast<double>(point.distinct_parts),
-                       point.top_key_share, point.join_ms, point.group_ms});
+                            static_cast<long long>(
+                                profiles[t].distinct_parts)),
+                  StrFormat("%.2f%%", profiles[t].top_key_share * 100.0),
+                  StrFormat("%.2f", join_ms),
+                  StrFormat("%.2f", group_ms)});
+    csv.AddNumericRow({kThetas[t],
+                       static_cast<double>(profiles[t].distinct_parts),
+                       profiles[t].top_key_share, join_ms, group_ms});
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(

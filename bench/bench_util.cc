@@ -1,11 +1,43 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "common/string_util.h"
 
 namespace perfeval {
 namespace bench {
+namespace {
+
+/// Maps the uniform scheduler flags onto properties so they flow into the
+/// manifest like every other parameter. Returns true when consumed.
+bool ConsumeScheduleFlag(const std::string& arg,
+                         repro::Properties* properties) {
+  const struct {
+    const char* prefix;
+    const char* key;
+  } kFlags[] = {
+      {"--jobs=", "jobs"},
+      {"--order=", "order"},
+      {"--isolation=", "isolation"},
+      {"--schedSeed=", "schedSeed"},
+  };
+  for (const auto& flag : kFlags) {
+    std::string prefix = flag.prefix;
+    if (arg.rfind(prefix, 0) == 0) {
+      properties->Set(flag.key, arg.substr(prefix.size()));
+      return true;
+    }
+  }
+  if (arg == "--progress") {
+    properties->Set("progress", "true");
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 BenchContext::BenchContext(const std::string& experiment_id,
                            const std::string& protocol_description,
@@ -14,10 +46,47 @@ BenchContext::BenchContext(const std::string& experiment_id,
       environment_(core::CaptureEnvironment()),
       manifest_(experiment_id, protocol_description) {
   properties_.SetDefault("resultsDir", "bench_results");
-  (void)properties_.OverrideFromArgs(argc, argv);
+  properties_.SetDefault("jobs", "1");
+  properties_.SetDefault("order", "design");
+  properties_.SetDefault("isolation", "exclusive");
+  properties_.SetDefault("schedSeed", "0");
+  properties_.SetDefault("progress", "false");
+  std::vector<std::string> rest = properties_.OverrideFromArgs(argc, argv);
+  for (const std::string& arg : rest) {
+    if (!ConsumeScheduleFlag(arg, &properties_)) {
+      std::fprintf(stderr, "warning: ignoring unknown argument '%s'\n",
+                   arg.c_str());
+    }
+  }
   properties_.OverrideFromEnv("PERFEVAL_");
   results_dir_ = properties_.GetOr("resultsDir", "bench_results");
   manifest_.set_environment(environment_);
+}
+
+sched::Options BenchContext::ScheduleOptions() const {
+  sched::Options options;
+  options.experiment_id = experiment_id_;
+  options.jobs = static_cast<int>(properties_.GetInt("jobs", 1));
+  options.seed =
+      static_cast<uint64_t>(properties_.GetInt("schedSeed", 0));
+  options.progress = properties_.GetBool("progress", false);
+  Result<core::RunOrder> order =
+      sched::ParseRunOrder(properties_.GetOr("order", "design"));
+  if (order.ok()) {
+    options.order = order.value();
+  } else {
+    std::fprintf(stderr, "warning: %s; using design order\n",
+                 order.status().message().c_str());
+  }
+  Result<core::IsolationPolicy> isolation =
+      sched::ParseIsolationPolicy(properties_.GetOr("isolation", "exclusive"));
+  if (isolation.ok()) {
+    options.isolation = isolation.value();
+  } else {
+    std::fprintf(stderr, "warning: %s; using exclusive isolation\n",
+                 isolation.status().message().c_str());
+  }
+  return options;
 }
 
 std::string BenchContext::ResultPath(const std::string& file_name) const {

@@ -6,13 +6,16 @@
 #include "core/environment.h"
 #include "repro/manifest.h"
 #include "repro/properties.h"
+#include "sched/options.h"
 
 namespace perfeval {
 namespace bench {
 
 /// Shared scaffolding for the experiment binaries: every bench
 ///  1. parses -Dkey=value overrides into Properties (paper, slides
-///     183–195),
+///     183–195) plus the uniform scheduler flags
+///     `--jobs=N --order=design|randomized|interleaved
+///      --isolation=concurrent|exclusive --progress`,
 ///  2. prints the environment spec at the paper's recommended granularity
 ///     (slides 149–156),
 ///  3. writes results + a provenance manifest under `results_dir`.
@@ -25,6 +28,14 @@ class BenchContext {
 
   repro::Properties& properties() { return properties_; }
   const core::EnvironmentSpec& environment() const { return environment_; }
+
+  /// Scheduler options assembled from the uniform flags (equivalently the
+  /// `jobs` / `order` / `isolation` / `schedSeed` / `progress` properties,
+  /// so PERFEVAL_jobs=4 and -Djobs=4 work too). Unparsable values fall
+  /// back to the serial defaults with a warning on stderr — a typo must
+  /// not silently change the experiment. The options land in the manifest
+  /// via the properties, so the documented protocol covers the schedule.
+  sched::Options ScheduleOptions() const;
 
   /// bench_results/<stem> — all artifacts of this experiment go there.
   std::string ResultPath(const std::string& file_name) const;

@@ -18,6 +18,7 @@
 #include "doe/effects.h"
 #include "report/gnuplot.h"
 #include "report/table_format.h"
+#include "sched/scheduler.h"
 #include "stats/confidence.h"
 #include "stats/regression.h"
 #include "workload/micro.h"
@@ -71,13 +72,54 @@ int main() {
               table.num_runs());
   std::printf("alias structure:\n%s\n", spec.DescribeAliases(1).c_str());
 
-  std::vector<double> y;
+  // The fractional sign table as a Design, executed through the
+  // experiment scheduler. The response is a deterministic simulated cold
+  // scan (virtual-time disk), so the trials are simulation-bound: the
+  // concurrent isolation policy may fan them out across workers without
+  // perturbing the results, and the randomized run order de-correlates run
+  // index from time-varying machine state — at identical reported numbers.
+  std::vector<doe::DesignPoint> points;
   for (size_t run = 0; run < table.num_runs(); ++run) {
-    y.push_back(MeasureConfig(data, table.FactorSign(run, 0) > 0,
-                              table.FactorSign(run, 1) > 0,
-                              table.FactorSign(run, 2) > 0,
-                              table.FactorSign(run, 3) > 0));
+    doe::DesignPoint point;
+    for (size_t f = 0; f < 4; ++f) {
+      point.levels.push_back(table.FactorSign(run, f) > 0 ? 1 : 0);
+    }
+    points.push_back(point);
   }
+  doe::Design design({doe::Factor::TwoLevel("pool", "16", "2048"),
+                      doe::Factor::TwoLevel("pagesize", "512", "8192"),
+                      doe::Factor::TwoLevel("ssd", "hdd", "ssd"),
+                      doe::Factor::TwoLevel("zonemaps", "off", "on")},
+                     points, "2^(4-1) D=ABC");
+  core::RunProtocol protocol;
+  protocol.warmup_runs = 0;  // MeasureConfig is cold by construction.
+  protocol.measured_runs = 1;
+  protocol.aggregation = core::Aggregation::kLast;
+  sched::Options sched_options;
+  sched_options.experiment_id = "doe_screening";
+  sched_options.jobs = 4;
+  sched_options.order = core::RunOrder::kRandomized;
+  sched_options.seed = 7;
+  sched_options.isolation = core::IsolationPolicy::kConcurrent;
+  sched::Scheduler scheduler(sched_options);
+  Result<core::ExperimentResult> screening = scheduler.Run(
+      design, protocol, core::ResponseMetric::kRealMs,
+      [&](const doe::DesignPoint& point, const core::TrialSpec&) {
+        core::Measurement m;
+        m.real_ns = static_cast<int64_t>(
+            MeasureConfig(data, point.levels[0] > 0, point.levels[1] > 0,
+                          point.levels[2] > 0, point.levels[3] > 0) *
+            1e6);
+        return m;
+      });
+  if (!screening.ok()) {
+    std::fprintf(stderr, "screening failed: %s\n",
+                 screening.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("protocol: %s\n\n",
+              screening->protocol_description.c_str());
+  std::vector<double> y = screening->AggregatedResponses();
   doe::EffectModel model = doe::EstimateMainEffectsFractional(table, y);
   report::TextTable effects;
   effects.SetHeader({"factor", "effect q (ms)"});

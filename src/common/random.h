@@ -8,6 +8,26 @@
 
 namespace perfeval {
 
+/// SplitMix64 finalizer (Steele et al. 2014): a cheap bijective mixer used
+/// to derive well-separated seeds from structured inputs (ids, indices).
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Mixes three structured values into one seed. Used by the experiment
+/// scheduler to give every (experiment, design point, replication) trial
+/// its own deterministic RNG stream, so results are independent of worker
+/// count and completion order.
+inline uint64_t MixSeed(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t h = SplitMix64(a);
+  h = SplitMix64(h ^ SplitMix64(b ^ 0x2545f4914f6cdd1dULL));
+  h = SplitMix64(h ^ SplitMix64(c ^ 0x9e6c63d0876a9a47ULL));
+  return h;
+}
+
 /// PCG-XSH-RR 32-bit pseudo-random generator (O'Neill 2014).
 ///
 /// Deterministic and seedable — a repeatability requirement from the paper

@@ -31,17 +31,53 @@ const char* AggregationName(Aggregation aggregation) {
   return "unknown";
 }
 
+const char* RunOrderName(RunOrder order) {
+  switch (order) {
+    case RunOrder::kDesignOrder:
+      return "design";
+    case RunOrder::kRandomized:
+      return "randomized";
+    case RunOrder::kInterleaved:
+      return "interleaved";
+  }
+  return "unknown";
+}
+
+const char* IsolationPolicyName(IsolationPolicy policy) {
+  switch (policy) {
+    case IsolationPolicy::kConcurrent:
+      return "concurrent";
+    case IsolationPolicy::kExclusive:
+      return "exclusive";
+  }
+  return "unknown";
+}
+
+std::string ScheduleSpec::Describe() const {
+  std::string out = StrFormat("%d job(s), %s order", jobs, RunOrderName(order));
+  if (order == RunOrder::kRandomized) {
+    out += StrFormat(" (seed %llu)", static_cast<unsigned long long>(seed));
+  }
+  out += StrFormat(", %s trials", IsolationPolicyName(isolation));
+  return out;
+}
+
 std::string RunProtocol::Describe() const {
+  std::string base;
   if (thermal == ThermalState::kCold) {
-    return StrFormat(
+    base = StrFormat(
         "cold runs: caches flushed before each of %d measured runs; "
         "reported value is the %s",
         measured_runs, AggregationName(aggregation));
+  } else {
+    base = StrFormat(
+        "hot runs: %d un-measured warm-up run(s), then %d measured runs; "
+        "reported value is the %s",
+        warmup_runs, measured_runs, AggregationName(aggregation));
   }
-  return StrFormat(
-      "hot runs: %d un-measured warm-up run(s), then %d measured runs; "
-      "reported value is the %s",
-      warmup_runs, measured_runs, AggregationName(aggregation));
+  // Slide 32: every report documents its full protocol — including how
+  // trials were scheduled (jobs, order, isolation).
+  return base + "; schedule: " + schedule.Describe();
 }
 
 double Aggregate(Aggregation aggregation,

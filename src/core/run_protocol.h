@@ -1,6 +1,7 @@
 #ifndef PERFEVAL_CORE_RUN_PROTOCOL_H_
 #define PERFEVAL_CORE_RUN_PROTOCOL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,43 @@ enum class Aggregation {
 
 const char* AggregationName(Aggregation aggregation);
 
+/// Order in which the scheduler executes the (design point, replication)
+/// trials of an experiment. The order never changes the reported results
+/// (trials are reassembled into design order and carry their own RNG
+/// streams); it changes only how trials correlate with time-varying system
+/// state — Kalibera & Jones's assignment-procedure concern.
+enum class RunOrder {
+  kDesignOrder,  ///< trials in design order, replications consecutive.
+  kRandomized,   ///< seeded shuffle of all (point, replication) pairs.
+  kInterleaved,  ///< round-robin over points: rep 0 of every point, then
+                 ///< rep 1, ... so one point's replications spread in time.
+};
+
+const char* RunOrderName(RunOrder order);
+
+/// Whether trials of an experiment may share the machine.
+enum class IsolationPolicy {
+  kConcurrent,  ///< trials fan out over all workers — safe for virtual-time
+                ///< (simulated) responses, which cannot perturb each other.
+  kExclusive,   ///< trials serialize on a single slot — required for
+                ///< timing-sensitive (real-time) responses.
+};
+
+const char* IsolationPolicyName(IsolationPolicy policy);
+
+/// The scheduling part of a run protocol: how many workers, in what order,
+/// and whether trials may overlap. Part of RunProtocol so that Describe()
+/// documents it with everything else (slide 32: "document what you do").
+struct ScheduleSpec {
+  int jobs = 1;  ///< worker threads; 1 = serial.
+  RunOrder order = RunOrder::kDesignOrder;
+  IsolationPolicy isolation = IsolationPolicy::kExclusive;
+  uint64_t seed = 0;  ///< shuffle seed for RunOrder::kRandomized.
+
+  /// Phrase for Describe(), e.g. "4 jobs, randomized order, concurrent".
+  std::string Describe() const;
+};
+
 /// A fully documented run protocol. The paper's core demand is "be aware
 /// and document what you do / choose" (slide 32) — Describe() emits the
 /// protocol in prose so reports can embed it.
@@ -38,6 +76,7 @@ struct RunProtocol {
   int warmup_runs = 1;    ///< un-measured runs before measuring (hot only).
   int measured_runs = 3;  ///< replication degree.
   Aggregation aggregation = Aggregation::kLast;
+  ScheduleSpec schedule;  ///< how trials are ordered and parallelized.
 
   /// The paper's own protocol for its TPC-H tables: hot, last of three
   /// consecutive runs.
@@ -46,8 +85,12 @@ struct RunProtocol {
   /// Cold protocol: no warmups, every measured run preceded by a cache
   /// flush (the runner invokes the experiment's flush hook).
   static RunProtocol Cold(int measured_runs) {
-    return RunProtocol{ThermalState::kCold, 0, measured_runs,
-                       Aggregation::kMean};
+    RunProtocol protocol;
+    protocol.thermal = ThermalState::kCold;
+    protocol.warmup_runs = 0;
+    protocol.measured_runs = measured_runs;
+    protocol.aggregation = Aggregation::kMean;
+    return protocol;
   }
 
   /// One-sentence documentation of the protocol.

@@ -1,6 +1,7 @@
 #include "core/runner.h"
 
 #include "common/check.h"
+#include "common/random.h"
 #include "common/string_util.h"
 
 namespace perfeval {
@@ -75,60 +76,18 @@ std::string ExperimentResult::ToTable(const doe::Design& design) const {
   return out;
 }
 
-ExperimentResult ExperimentRunner::Run(const doe::Design& design,
-                                       const RunFunction& run) const {
-  ExperimentResult result;
-  result.protocol_description = protocol_.Describe();
-  result.runs.reserve(design.num_runs());
-  for (const doe::DesignPoint& point : design.points()) {
-    RunResult run_result;
-    run_result.point = point;
-    if (protocol_.thermal == ThermalState::kHot) {
-      for (int i = 0; i < protocol_.warmup_runs; ++i) {
-        (void)run(point);
-      }
-    }
-    for (int i = 0; i < protocol_.measured_runs; ++i) {
-      if (protocol_.thermal == ThermalState::kCold && flush_) {
-        flush_();
-      }
-      Measurement m = run(point);
-      run_result.measurements.push_back(m);
-      run_result.responses.push_back(ExtractResponse(metric_, m));
-    }
-    run_result.aggregated =
-        Aggregate(protocol_.aggregation, run_result.responses);
-    if (run_result.responses.size() >= 2) {
-      run_result.confidence =
-          stats::MeanConfidenceInterval(run_result.responses, 0.95);
-    }
-    if (run_result.responses.size() >= 4) {
-      run_result.outlier_runs =
-          stats::DetectOutliers(run_result.responses).outlier_indices;
-    }
-    result.runs.push_back(std::move(run_result));
-  }
-  return result;
-}
-
-RunResult ExperimentRunner::MeasureSingle(
-    const std::function<Measurement()>& run) const {
+RunResult AssembleRunResult(const RunProtocol& protocol, ResponseMetric metric,
+                            doe::DesignPoint point,
+                            std::vector<Measurement> measurements) {
   RunResult run_result;
-  if (protocol_.thermal == ThermalState::kHot) {
-    for (int i = 0; i < protocol_.warmup_runs; ++i) {
-      (void)run();
-    }
-  }
-  for (int i = 0; i < protocol_.measured_runs; ++i) {
-    if (protocol_.thermal == ThermalState::kCold && flush_) {
-      flush_();
-    }
-    Measurement m = run();
-    run_result.measurements.push_back(m);
-    run_result.responses.push_back(ExtractResponse(metric_, m));
+  run_result.point = std::move(point);
+  run_result.measurements = std::move(measurements);
+  run_result.responses.reserve(run_result.measurements.size());
+  for (const Measurement& m : run_result.measurements) {
+    run_result.responses.push_back(ExtractResponse(metric, m));
   }
   run_result.aggregated =
-      Aggregate(protocol_.aggregation, run_result.responses);
+      Aggregate(protocol.aggregation, run_result.responses);
   if (run_result.responses.size() >= 2) {
     run_result.confidence =
         stats::MeanConfidenceInterval(run_result.responses, 0.95);
@@ -138,6 +97,115 @@ RunResult ExperimentRunner::MeasureSingle(
         stats::DetectOutliers(run_result.responses).outlier_indices;
   }
   return run_result;
+}
+
+ExperimentResult ExperimentRunner::Run(const doe::Design& design,
+                                       const RunFunction& run) const {
+  ExperimentResult result;
+  result.protocol_description = protocol_.Describe();
+  result.runs.reserve(design.num_runs());
+  for (const doe::DesignPoint& point : design.points()) {
+    if (protocol_.thermal == ThermalState::kHot) {
+      for (int i = 0; i < protocol_.warmup_runs; ++i) {
+        (void)run(point);
+      }
+    }
+    std::vector<Measurement> measurements;
+    measurements.reserve(protocol_.measured_runs);
+    for (int i = 0; i < protocol_.measured_runs; ++i) {
+      if (protocol_.thermal == ThermalState::kCold && flush_) {
+        flush_();
+      }
+      measurements.push_back(run(point));
+    }
+    result.runs.push_back(AssembleRunResult(protocol_, metric_, point,
+                                            std::move(measurements)));
+  }
+  return result;
+}
+
+Result<ExperimentResult> ExperimentRunner::Run(const doe::Design& design,
+                                               const TrialFunction& run,
+                                               TrialExecutor& executor) const {
+  PERFEVAL_CHECK_GT(protocol_.measured_runs, 0);
+  const size_t num_points = design.num_runs();
+  const size_t reps = static_cast<size_t>(protocol_.measured_runs);
+  std::vector<TrialSpec> trials;
+  trials.reserve(num_points * reps);
+  for (size_t p = 0; p < num_points; ++p) {
+    for (size_t r = 0; r < reps; ++r) {
+      TrialSpec spec;
+      spec.point_index = p;
+      spec.replication = static_cast<int>(r);
+      spec.seed = MixSeed(trial_seed_base_, p, r);
+      trials.push_back(spec);
+    }
+  }
+  // One slot per trial; `record` writes distinct slots, so concurrent
+  // executors need no lock here, and the executor's completion provides the
+  // happens-before edge for the reassembly below.
+  std::vector<Measurement> slots(trials.size());
+  auto run_trial = [&](const TrialSpec& spec) -> Measurement {
+    const doe::DesignPoint& point = design.points()[spec.point_index];
+    if (protocol_.thermal == ThermalState::kHot) {
+      TrialSpec warmup = spec;
+      warmup.warmup = true;
+      for (int i = 0; i < protocol_.warmup_runs; ++i) {
+        (void)run(point, warmup);
+      }
+    } else if (flush_) {
+      flush_();
+    }
+    return run(point, spec);
+  };
+  auto record = [&](const TrialSpec& spec, const Measurement& m) {
+    slots[spec.point_index * reps + static_cast<size_t>(spec.replication)] =
+        m;
+  };
+  PERFEVAL_RETURN_IF_ERROR(executor.ExecuteTrials(trials, run_trial, record));
+  // Reassemble into design order: result bookkeeping is independent of the
+  // order trials completed in.
+  ExperimentResult result;
+  result.protocol_description = protocol_.Describe();
+  result.runs.reserve(num_points);
+  for (size_t p = 0; p < num_points; ++p) {
+    std::vector<Measurement> measurements(
+        slots.begin() + static_cast<ptrdiff_t>(p * reps),
+        slots.begin() + static_cast<ptrdiff_t>((p + 1) * reps));
+    result.runs.push_back(AssembleRunResult(
+        protocol_, metric_, design.points()[p], std::move(measurements)));
+  }
+  return result;
+}
+
+Result<ExperimentResult> ExperimentRunner::Run(const doe::Design& design,
+                                               const RunFunction& run,
+                                               TrialExecutor& executor) const {
+  return Run(
+      design,
+      [&run](const doe::DesignPoint& point, const TrialSpec&) {
+        return run(point);
+      },
+      executor);
+}
+
+RunResult ExperimentRunner::MeasureSingle(
+    const std::function<Measurement()>& run) const {
+  if (protocol_.thermal == ThermalState::kHot) {
+    for (int i = 0; i < protocol_.warmup_runs; ++i) {
+      (void)run();
+    }
+  }
+  std::vector<Measurement> measurements;
+  measurements.reserve(protocol_.measured_runs);
+  for (int i = 0; i < protocol_.measured_runs; ++i) {
+    if (protocol_.thermal == ThermalState::kCold && flush_) {
+      flush_();
+    }
+    measurements.push_back(run());
+  }
+  return AssembleRunResult(protocol_, metric_, doe::DesignPoint{},
+                           std::move(measurements));
 }
 
 }  // namespace core

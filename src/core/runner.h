@@ -1,11 +1,14 @@
 #ifndef PERFEVAL_CORE_RUNNER_H_
 #define PERFEVAL_CORE_RUNNER_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "core/measurement.h"
 #include "core/run_protocol.h"
 #include "doe/design.h"
@@ -65,6 +68,47 @@ using RunFunction = std::function<Measurement(const doe::DesignPoint&)>;
 /// Invoked before each cold measured run to flush caches / restart state.
 using FlushFunction = std::function<void()>;
 
+/// One scheduled trial: design point `point_index`, replication
+/// `replication`, and the deterministic RNG seed derived from
+/// (experiment, point, replication) — the same trial always gets the same
+/// stream, whatever worker runs it and in whatever order.
+struct TrialSpec {
+  size_t point_index = 0;
+  int replication = 0;
+  uint64_t seed = 0;
+  bool warmup = false;  ///< true for the un-measured warm-up invocations.
+};
+
+/// Trial-aware run function: like RunFunction but also receives the trial's
+/// identity and seed, so randomized workloads can draw from the trial's own
+/// stream and stay bit-identical under any schedule.
+using TrialFunction =
+    std::function<Measurement(const doe::DesignPoint&, const TrialSpec&)>;
+
+/// Executes a batch of measured trials — possibly out of order, possibly
+/// concurrently. Implementations must invoke `run_trial` exactly once per
+/// spec and pass its result to `record` (specs map to distinct result
+/// slots, so `record` needs no external synchronization). A trial failure
+/// becomes a non-OK return value, but the remaining trials must still run.
+class TrialExecutor {
+ public:
+  virtual ~TrialExecutor() = default;
+  virtual Status ExecuteTrials(
+      const std::vector<TrialSpec>& trials,
+      const std::function<Measurement(const TrialSpec&)>& run_trial,
+      const std::function<void(const TrialSpec&, const Measurement&)>&
+          record) = 0;
+};
+
+/// Builds one design point's RunResult from its measurements (in
+/// replication order). Aggregation, the confidence interval, and the
+/// outlier fences are all pure functions of the response vector — never of
+/// the order trials happened to finish in — so a parallel schedule and the
+/// serial loop produce identical bookkeeping.
+RunResult AssembleRunResult(const RunProtocol& protocol, ResponseMetric metric,
+                            doe::DesignPoint point,
+                            std::vector<Measurement> measurements);
+
 /// Executes a Design under a RunProtocol: per design point, cold protocols
 /// flush-then-measure `measured_runs` times; hot protocols run `warmup_runs`
 /// un-measured warm-ups first. Deterministic run order (design order).
@@ -77,8 +121,32 @@ class ExperimentRunner {
   /// protocols with zero warm-ups (and the report says so).
   void set_flush_hook(FlushFunction flush) { flush_ = std::move(flush); }
 
+  /// Base value mixed into every trial's seed (typically a hash of the
+  /// experiment id — see sched::HashExperimentId).
+  void set_trial_seed_base(uint64_t base) { trial_seed_base_ = base; }
+
+  const RunProtocol& protocol() const { return protocol_; }
+  ResponseMetric metric() const { return metric_; }
+
   ExperimentResult Run(const doe::Design& design,
                        const RunFunction& run) const;
+
+  /// Scheduler-backed path: every (point, replication) pair becomes an
+  /// independent trial handed to `executor` (e.g. sched::Scheduler), then
+  /// results are reassembled into design order. Each trial is
+  /// self-contained: hot protocols re-run their warm-ups per trial and cold
+  /// protocols flush per trial, so trials can execute on any worker in any
+  /// order. Under a concurrent executor, `run` and the flush hook must be
+  /// thread-safe (typically by building per-trial state from the trial's
+  /// seed).
+  Result<ExperimentResult> Run(const doe::Design& design,
+                               const TrialFunction& run,
+                               TrialExecutor& executor) const;
+
+  /// RunFunction adaptor for the scheduler-backed path.
+  Result<ExperimentResult> Run(const doe::Design& design,
+                               const RunFunction& run,
+                               TrialExecutor& executor) const;
 
   /// Convenience: measure a single configuration (no design) under the
   /// protocol and return its RunResult.
@@ -88,6 +156,7 @@ class ExperimentRunner {
   RunProtocol protocol_;
   ResponseMetric metric_;
   FlushFunction flush_;
+  uint64_t trial_seed_base_ = 0;
 };
 
 }  // namespace core

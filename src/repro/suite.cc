@@ -17,6 +17,10 @@ Status ExperimentSuite::Register(ExperimentInfo info) {
   return Status::OK();
 }
 
+void ExperimentSuite::AddNote(std::string heading, std::string body) {
+  notes_.emplace_back(std::move(heading), std::move(body));
+}
+
 const ExperimentInfo* ExperimentSuite::Find(const std::string& id) const {
   for (const ExperimentInfo& info : experiments_) {
     if (info.id == id) {
@@ -38,6 +42,9 @@ std::string ExperimentSuite::InstructionsMarkdown() const {
     out += "- Run: `" + info.command + "`\n";
     out += "- Results: " + info.outputs + "\n";
     out += "- Approximate runtime: " + info.approx_runtime + "\n\n";
+  }
+  for (const auto& [heading, body] : notes_) {
+    out += "## " + heading + "\n\n" + body + "\n\n";
   }
   return out;
 }
@@ -102,6 +109,33 @@ const ExperimentSuite& PerfevalSuite() {
     add("A5", "Scale-up: query time vs TPC-H scale factor (slide 22)",
         "build/bench/bench_scaleup",
         "stdout + bench_results/a5_scaleup.{csv,gnu}", "about a minute");
+    add("A6", "Scheduler determinism: jobs=1 vs jobs=4 bit-identical "
+        "responses under design/randomized/interleaved orders",
+        "build/bench/bench_sched_determinism",
+        "stdout + bench_results/a6_sched_determinism.csv", "seconds");
+    s->AddNote(
+        "Parallel execution & determinism",
+        "Every bench binary takes uniform scheduling flags: `--jobs=N` "
+        "(worker threads), `--order=design|randomized|interleaved` (trial "
+        "execution order; `--schedSeed=S` seeds the shuffle), "
+        "`--isolation=exclusive|concurrent` (exclusive, the default, "
+        "serializes timing-sensitive trials on one slot; concurrent fans "
+        "simulation-bound trials over all workers), and `--progress` "
+        "(per-trial completion lines with an ETA).\n\n"
+        "None of these flags can change a reported number: each trial draws "
+        "from an RNG stream seeded with hash(experiment id, point index, "
+        "replication index) and results are reassembled into design order "
+        "before aggregation, so `--jobs=1` and `--jobs=4` are bit-identical "
+        "under every ordering. A6 verifies this end to end.");
+    s->AddNote(
+        "ThreadSanitizer",
+        "The scheduler's concurrency tests carry the ctest label `sched` "
+        "and should pass under ThreadSanitizer:\n\n"
+        "```sh\n"
+        "cmake -B build-tsan -S . -DPERFEVAL_SANITIZE=thread\n"
+        "cmake --build build-tsan --target sched_test\n"
+        "ctest --test-dir build-tsan -L sched\n"
+        "```");
     return s;
   }();
   return *suite;

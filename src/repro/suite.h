@@ -2,6 +2,7 @@
 #define PERFEVAL_REPRO_SUITE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -32,6 +33,15 @@ class ExperimentSuite {
   /// Registers an experiment; duplicate ids are an error.
   Status Register(ExperimentInfo info);
 
+  /// Adds a free-form note section (Markdown heading + body) emitted after
+  /// the per-experiment sections — e.g. suite-wide flags or sanitizer
+  /// instructions that apply to every experiment.
+  void AddNote(std::string heading, std::string body);
+
+  const std::vector<std::pair<std::string, std::string>>& notes() const {
+    return notes_;
+  }
+
   const std::vector<ExperimentInfo>& experiments() const {
     return experiments_;
   }
@@ -47,6 +57,7 @@ class ExperimentSuite {
   std::string project_name_;
   std::string requirements_;
   std::vector<ExperimentInfo> experiments_;
+  std::vector<std::pair<std::string, std::string>> notes_;
 };
 
 /// The suite describing this repository's own experiments (T1..T8, F1..F5,

@@ -1,0 +1,42 @@
+#include "sched/options.h"
+
+namespace perfeval {
+namespace sched {
+
+core::ScheduleSpec Options::ToScheduleSpec() const {
+  core::ScheduleSpec spec;
+  spec.jobs = jobs < 1 ? 1 : jobs;
+  spec.order = order;
+  spec.isolation = isolation;
+  spec.seed = seed;
+  return spec;
+}
+
+Result<core::RunOrder> ParseRunOrder(const std::string& text) {
+  if (text == "design") {
+    return core::RunOrder::kDesignOrder;
+  }
+  if (text == "randomized") {
+    return core::RunOrder::kRandomized;
+  }
+  if (text == "interleaved") {
+    return core::RunOrder::kInterleaved;
+  }
+  return Status::InvalidArgument(
+      "unknown run order '" + text +
+      "' (expected design|randomized|interleaved)");
+}
+
+Result<core::IsolationPolicy> ParseIsolationPolicy(const std::string& text) {
+  if (text == "concurrent") {
+    return core::IsolationPolicy::kConcurrent;
+  }
+  if (text == "exclusive") {
+    return core::IsolationPolicy::kExclusive;
+  }
+  return Status::InvalidArgument("unknown isolation policy '" + text +
+                                 "' (expected concurrent|exclusive)");
+}
+
+}  // namespace sched
+}  // namespace perfeval

@@ -1,0 +1,47 @@
+#ifndef PERFEVAL_SCHED_OPTIONS_H_
+#define PERFEVAL_SCHED_OPTIONS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/result.h"
+#include "core/run_protocol.h"
+
+namespace perfeval {
+namespace sched {
+
+/// Configuration of a Scheduler. The (jobs, order, isolation, seed)
+/// quadruple is the protocol-visible part (core::ScheduleSpec); the rest is
+/// identity and observability.
+struct Options {
+  int jobs = 1;  ///< worker threads; values < 1 are clamped to 1.
+  core::RunOrder order = core::RunOrder::kDesignOrder;
+  core::IsolationPolicy isolation = core::IsolationPolicy::kExclusive;
+  uint64_t seed = 0;  ///< shuffle seed for core::RunOrder::kRandomized.
+
+  /// Hashed into every trial's RNG seed (see sched::TrialSeed), so distinct
+  /// experiments draw from distinct streams.
+  std::string experiment_id;
+
+  /// When true, a per-trial progress line (completed/total and a
+  /// running-mean ETA) is printed to `progress_stream` (default stderr) —
+  /// long screenings stay observable.
+  bool progress = false;
+  std::FILE* progress_stream = nullptr;
+
+  /// The protocol-visible schedule settings, for RunProtocol::Describe().
+  core::ScheduleSpec ToScheduleSpec() const;
+};
+
+/// Parses a RunOrder name as accepted on bench command lines
+/// ("design" | "randomized" | "interleaved").
+Result<core::RunOrder> ParseRunOrder(const std::string& text);
+
+/// Parses an IsolationPolicy name ("concurrent" | "exclusive").
+Result<core::IsolationPolicy> ParseIsolationPolicy(const std::string& text);
+
+}  // namespace sched
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SCHED_OPTIONS_H_

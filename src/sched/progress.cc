@@ -1,0 +1,42 @@
+#include "sched/progress.h"
+
+namespace perfeval {
+namespace sched {
+
+ProgressMeter::ProgressMeter(size_t total_trials, bool enabled,
+                             std::FILE* stream)
+    : total_(total_trials),
+      enabled_(enabled),
+      stream_(stream != nullptr ? stream : stderr),
+      start_(std::chrono::steady_clock::now()) {}
+
+void ProgressMeter::Complete(const core::TrialSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  if (!enabled_) {
+    return;
+  }
+  double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  // Running mean trial time — with workers in flight it is an optimistic
+  // per-slot estimate, which is what an ETA wants.
+  double eta_s = completed_ > 0 && total_ > completed_
+                     ? elapsed_s / static_cast<double>(completed_) *
+                           static_cast<double>(total_ - completed_)
+                     : 0.0;
+  std::fprintf(stream_,
+               "[sched] %zu/%zu trials done (point %zu rep %d), eta %.1fs\n",
+               completed_, total_, spec.point_index, spec.replication,
+               eta_s);
+  std::fflush(stream_);
+}
+
+size_t ProgressMeter::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+}  // namespace sched
+}  // namespace perfeval

@@ -1,0 +1,41 @@
+#ifndef PERFEVAL_SCHED_PROGRESS_H_
+#define PERFEVAL_SCHED_PROGRESS_H_
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "core/runner.h"
+
+namespace perfeval {
+namespace sched {
+
+/// Thread-safe per-trial progress reporting: completed/total plus an ETA
+/// extrapolated from the running mean trial duration. Progress lines go to
+/// a stream (stderr by default), never into results — observability must
+/// not perturb what is being measured (paper, slides 23–26: output channels
+/// have a cost; keep them off the measured path).
+class ProgressMeter {
+ public:
+  /// Reporting is disabled entirely when `enabled` is false; Complete()
+  /// then only counts.
+  ProgressMeter(size_t total_trials, bool enabled, std::FILE* stream);
+
+  /// Records one finished trial and (when enabled) prints its line.
+  void Complete(const core::TrialSpec& spec);
+
+  size_t completed() const;
+
+ private:
+  const size_t total_;
+  const bool enabled_;
+  std::FILE* const stream_;
+  mutable std::mutex mu_;
+  size_t completed_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sched
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SCHED_PROGRESS_H_

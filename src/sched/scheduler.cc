@@ -1,0 +1,127 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "sched/progress.h"
+#include "sched/seed.h"
+#include "sched/worker_pool.h"
+
+namespace perfeval {
+namespace sched {
+
+std::vector<size_t> ExecutionOrder(const std::vector<core::TrialSpec>& trials,
+                                   core::RunOrder order, uint64_t seed) {
+  std::vector<size_t> indices(trials.size());
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  switch (order) {
+    case core::RunOrder::kDesignOrder:
+      break;
+    case core::RunOrder::kRandomized: {
+      // Fisher–Yates with the library RNG: the permutation is a pure
+      // function of the seed, so a documented (order, seed) pair makes the
+      // assignment procedure repeatable.
+      Pcg32 rng(seed, /*stream=*/0x5eedc0de);
+      for (size_t i = indices.size(); i > 1; --i) {
+        size_t j = rng.NextBounded(static_cast<uint32_t>(i));
+        std::swap(indices[i - 1], indices[j]);
+      }
+      break;
+    }
+    case core::RunOrder::kInterleaved:
+      // Round-robin over points: all rep-0 trials in point order, then all
+      // rep-1 trials, ... so replications of one point spread across the
+      // experiment's time span instead of clustering.
+      std::stable_sort(indices.begin(), indices.end(),
+                       [&trials](size_t a, size_t b) {
+                         if (trials[a].replication != trials[b].replication) {
+                           return trials[a].replication <
+                                  trials[b].replication;
+                         }
+                         return trials[a].point_index < trials[b].point_index;
+                       });
+      break;
+  }
+  return indices;
+}
+
+Scheduler::Scheduler(Options options) : options_(std::move(options)) {}
+
+int Scheduler::effective_jobs() const {
+  if (options_.isolation == core::IsolationPolicy::kExclusive) {
+    return 1;  // Timing-sensitive trials own the machine one at a time.
+  }
+  return options_.jobs < 1 ? 1 : options_.jobs;
+}
+
+Result<core::ExperimentResult> Scheduler::Run(
+    const doe::Design& design, const core::RunProtocol& protocol,
+    core::ResponseMetric metric, const core::TrialFunction& run) {
+  core::RunProtocol scheduled = protocol;
+  scheduled.schedule = options_.ToScheduleSpec();
+  core::ExperimentRunner runner(scheduled, metric);
+  runner.set_trial_seed_base(HashExperimentId(options_.experiment_id));
+  return runner.Run(design, run, *this);
+}
+
+Result<core::ExperimentResult> Scheduler::Run(
+    const doe::Design& design, const core::RunProtocol& protocol,
+    core::ResponseMetric metric, const core::RunFunction& run) {
+  return Run(design, protocol, metric,
+             [&run](const doe::DesignPoint& point, const core::TrialSpec&) {
+               return run(point);
+             });
+}
+
+Status Scheduler::ExecuteTrials(
+    const std::vector<core::TrialSpec>& trials,
+    const std::function<core::Measurement(const core::TrialSpec&)>& run_trial,
+    const std::function<void(const core::TrialSpec&,
+                             const core::Measurement&)>& record) {
+  const std::vector<size_t> order =
+      ExecutionOrder(trials, options_.order, options_.seed);
+  ProgressMeter progress(trials.size(), options_.progress,
+                         options_.progress_stream);
+  std::mutex error_mu;
+  Status first_error;  // First failure wins; later trials still run.
+  WorkerPool pool(effective_jobs());
+  for (size_t index : order) {
+    const core::TrialSpec& spec = trials[index];
+    pool.Submit([&, spec] {
+      // The library itself is exception-free, but user run functions may
+      // throw; a failing trial must not take down the pool or the
+      // remaining trials (its design point simply has no valid result, so
+      // the whole experiment reports the failure).
+      try {
+        core::Measurement m = run_trial(spec);
+        record(spec, m);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) {
+          first_error = Status::Internal(StrFormat(
+              "trial (point %zu, rep %d) threw: %s", spec.point_index,
+              spec.replication, e.what()));
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) {
+          first_error = Status::Internal(
+              StrFormat("trial (point %zu, rep %d) threw a non-exception",
+                        spec.point_index, spec.replication));
+        }
+      }
+      progress.Complete(spec);
+    });
+  }
+  pool.Drain();
+  return first_error;
+}
+
+}  // namespace sched
+}  // namespace perfeval

@@ -1,0 +1,81 @@
+#ifndef PERFEVAL_SCHED_SCHEDULER_H_
+#define PERFEVAL_SCHED_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/runner.h"
+#include "doe/design.h"
+#include "sched/options.h"
+
+namespace perfeval {
+namespace sched {
+
+/// The execution order the scheduler will use for `trials`: a permutation
+/// of [0, trials.size()). kDesignOrder is the identity, kRandomized a
+/// Fisher–Yates shuffle fully determined by `seed` (Kalibera & Jones's
+/// recommended assignment procedure), kInterleaved a round-robin over
+/// design points so one point's replications never cluster in time.
+/// Exposed for tests and for documenting a schedule before running it.
+std::vector<size_t> ExecutionOrder(const std::vector<core::TrialSpec>& trials,
+                                   core::RunOrder order, uint64_t seed);
+
+/// Parallel experiment scheduler: executes the (design point, replication)
+/// trials of an experiment on a fixed-size worker pool while *provably*
+/// preserving result determinism:
+///
+///  - every trial carries its own RNG seed, a pure function of
+///    (experiment id, point index, replication index);
+///  - results are reassembled into design order before any aggregation,
+///    confidence interval or outlier bookkeeping happens;
+///
+/// so `jobs=1` and `jobs=N` produce bit-identical ExperimentResults under
+/// every run order. The isolation policy decides whether trials may share
+/// the machine: kConcurrent fans simulation-bound trials (virtual-time
+/// responses — hwsim, netsim, the simulated disk) across all workers, while
+/// kExclusive serializes timing-sensitive trials on a single slot.
+class Scheduler : public core::TrialExecutor {
+ public:
+  explicit Scheduler(Options options);
+
+  const Options& options() const { return options_; }
+
+  /// Worker threads the pool will actually use (jobs clamped to >= 1, and
+  /// to 1 under IsolationPolicy::kExclusive).
+  int effective_jobs() const;
+
+  /// Runs `design` under `protocol` on the pool and reassembles the
+  /// results into design order. The protocol's ScheduleSpec is overwritten
+  /// from the scheduler's options so the result's protocol description
+  /// documents the full schedule. A throwing or failing trial turns into a
+  /// non-OK Status (the remaining trials still run).
+  Result<core::ExperimentResult> Run(const doe::Design& design,
+                                     const core::RunProtocol& protocol,
+                                     core::ResponseMetric metric,
+                                     const core::TrialFunction& run);
+
+  /// Convenience overload for run functions that ignore the trial seed.
+  Result<core::ExperimentResult> Run(const doe::Design& design,
+                                     const core::RunProtocol& protocol,
+                                     core::ResponseMetric metric,
+                                     const core::RunFunction& run);
+
+  /// core::TrialExecutor implementation — the low-level entry point used
+  /// by core::ExperimentRunner's scheduler-backed path.
+  Status ExecuteTrials(
+      const std::vector<core::TrialSpec>& trials,
+      const std::function<core::Measurement(const core::TrialSpec&)>&
+          run_trial,
+      const std::function<void(const core::TrialSpec&,
+                               const core::Measurement&)>& record) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace sched
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SCHED_SCHEDULER_H_

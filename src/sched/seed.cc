@@ -1,0 +1,24 @@
+#include "sched/seed.h"
+
+#include "common/random.h"
+
+namespace perfeval {
+namespace sched {
+
+uint64_t HashExperimentId(const std::string& experiment_id) {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+  for (char c : experiment_id) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;  // FNV prime.
+  }
+  return hash;
+}
+
+uint64_t TrialSeed(uint64_t experiment_hash, size_t point_index,
+                   int replication) {
+  return MixSeed(experiment_hash, point_index,
+                 static_cast<uint64_t>(replication));
+}
+
+}  // namespace sched
+}  // namespace perfeval

@@ -1,0 +1,25 @@
+#ifndef PERFEVAL_SCHED_SEED_H_
+#define PERFEVAL_SCHED_SEED_H_
+
+#include <cstdint>
+#include <string>
+
+namespace perfeval {
+namespace sched {
+
+/// Stable 64-bit hash of an experiment id (FNV-1a). Used as the base of
+/// every trial seed so two experiments never share RNG streams even at the
+/// same (point, replication) coordinates.
+uint64_t HashExperimentId(const std::string& experiment_id);
+
+/// The deterministic seed of trial (point_index, replication) of the
+/// experiment with base hash `experiment_hash`: a pure function of its
+/// inputs, independent of worker count, execution order and wall-clock —
+/// the repeatability invariant the scheduler is built around.
+uint64_t TrialSeed(uint64_t experiment_hash, size_t point_index,
+                   int replication);
+
+}  // namespace sched
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SCHED_SEED_H_

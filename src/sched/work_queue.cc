@@ -1,0 +1,37 @@
+#include "sched/work_queue.h"
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace sched {
+
+void WorkQueue::Push(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PERFEVAL_CHECK(!closed_) << "Push on a closed WorkQueue";
+    jobs_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+}
+
+bool WorkQueue::Pop(Job* job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) {
+    return false;
+  }
+  *job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return true;
+}
+
+void WorkQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+}  // namespace sched
+}  // namespace perfeval

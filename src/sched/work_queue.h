@@ -1,0 +1,42 @@
+#ifndef PERFEVAL_SCHED_WORK_QUEUE_H_
+#define PERFEVAL_SCHED_WORK_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace perfeval {
+namespace sched {
+
+/// A FIFO of jobs shared between a producer and the worker threads —
+/// classic mutex + condition-variable hand-off, no external dependencies.
+/// FIFO order is load-bearing: the scheduler encodes the run-order policy
+/// (design / randomized / interleaved) in the order it pushes jobs, and the
+/// queue must dispatch them in exactly that order.
+class WorkQueue {
+ public:
+  using Job = std::function<void()>;
+
+  /// Enqueues a job. Must not be called after Close().
+  void Push(Job job);
+
+  /// Blocks until a job is available or the queue is closed and drained.
+  /// Returns false — with `*job` untouched — only when no job will ever
+  /// arrive again; worker threads use that as their exit signal.
+  bool Pop(Job* job);
+
+  /// Signals that no further Push will happen; wakes all waiting workers.
+  void Close();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<Job> jobs_;
+  bool closed_ = false;
+};
+
+}  // namespace sched
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SCHED_WORK_QUEUE_H_

@@ -1,0 +1,37 @@
+#include "sched/worker_pool.h"
+
+namespace perfeval {
+namespace sched {
+
+WorkerPool::WorkerPool(int num_workers) {
+  if (num_workers < 1) {
+    num_workers = 1;
+  }
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] {
+      WorkQueue::Job job;
+      while (queue_.Pop(&job)) {
+        job();
+      }
+    });
+  }
+}
+
+WorkerPool::~WorkerPool() { Drain(); }
+
+void WorkerPool::Submit(WorkQueue::Job job) { queue_.Push(std::move(job)); }
+
+void WorkerPool::Drain() {
+  if (drained_) {
+    return;
+  }
+  drained_ = true;
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+}  // namespace sched
+}  // namespace perfeval

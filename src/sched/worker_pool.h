@@ -1,0 +1,44 @@
+#ifndef PERFEVAL_SCHED_WORKER_POOL_H_
+#define PERFEVAL_SCHED_WORKER_POOL_H_
+
+#include <thread>
+#include <vector>
+
+#include "sched/work_queue.h"
+
+namespace perfeval {
+namespace sched {
+
+/// A fixed-size pool of std::thread workers draining one WorkQueue. One
+/// batch per pool: Submit the jobs, then Drain() once to run them all to
+/// completion. Jobs must not throw — the scheduler wraps trial execution in
+/// its own failure capture before submitting.
+class WorkerPool {
+ public:
+  /// Spawns `num_workers` (clamped to >= 1) threads immediately.
+  explicit WorkerPool(int num_workers);
+
+  /// Joins the workers (calls Drain() if the caller has not).
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void Submit(WorkQueue::Job job);
+
+  /// Closes the queue and joins all workers; every submitted job has
+  /// finished when this returns. The pool is unusable afterwards.
+  void Drain();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  WorkQueue queue_;
+  std::vector<std::thread> workers_;
+  bool drained_ = false;
+};
+
+}  // namespace sched
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SCHED_WORKER_POOL_H_

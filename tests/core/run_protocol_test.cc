@@ -31,6 +31,36 @@ TEST(RunProtocolTest, DescribeDocumentsTheChoice) {
   EXPECT_NE(cold.find("flushed"), std::string::npos);
 }
 
+TEST(RunProtocolTest, DescribeDocumentsTheSchedule) {
+  // The schedule is part of the protocol: jobs, run order and isolation
+  // must appear in the documented description.
+  RunProtocol protocol = RunProtocol::PaperDefault();
+  std::string serial = protocol.Describe();
+  EXPECT_NE(serial.find("1 job(s)"), std::string::npos) << serial;
+  EXPECT_NE(serial.find("design order"), std::string::npos) << serial;
+  EXPECT_NE(serial.find("exclusive trials"), std::string::npos) << serial;
+
+  protocol.schedule.jobs = 4;
+  protocol.schedule.order = RunOrder::kRandomized;
+  protocol.schedule.seed = 7;
+  protocol.schedule.isolation = IsolationPolicy::kConcurrent;
+  std::string parallel = protocol.Describe();
+  EXPECT_NE(parallel.find("4 job(s)"), std::string::npos) << parallel;
+  EXPECT_NE(parallel.find("randomized order (seed 7)"), std::string::npos)
+      << parallel;
+  EXPECT_NE(parallel.find("concurrent trials"), std::string::npos) << parallel;
+}
+
+TEST(ScheduleSpecTest, SeedOnlyShownForRandomizedOrder) {
+  ScheduleSpec spec;
+  spec.seed = 9;
+  EXPECT_EQ(spec.Describe().find("seed"), std::string::npos);
+  spec.order = RunOrder::kInterleaved;
+  EXPECT_EQ(spec.Describe().find("seed"), std::string::npos);
+  spec.order = RunOrder::kRandomized;
+  EXPECT_NE(spec.Describe().find("seed 9"), std::string::npos);
+}
+
 TEST(AggregateTest, AllPolicies) {
   std::vector<double> samples = {30.0, 10.0, 20.0};
   EXPECT_DOUBLE_EQ(Aggregate(Aggregation::kLast, samples), 20.0);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace perfeval {
 namespace core {
 namespace {
@@ -182,6 +184,117 @@ TEST(RunnerTest, NoOutliersOnQuietRuns) {
     return m;
   });
   EXPECT_TRUE(run.outlier_runs.empty());
+}
+
+Measurement RealMs(double ms) {
+  Measurement m;
+  m.real_ns = static_cast<int64_t>(ms * 1e6);
+  return m;
+}
+
+TEST(AssembleRunResultTest, BookkeepingDependsOnlyOnResponses) {
+  // Pin for the parallel path: aggregation, the confidence interval and
+  // the outlier fences are pure functions of the response vector. Feeding
+  // the same measurements through AssembleRunResult must reproduce what
+  // the serial loop computed — this is what makes reassembly after a
+  // parallel schedule bit-identical.
+  RunProtocol protocol;
+  protocol.warmup_runs = 0;
+  protocol.measured_runs = 8;
+  protocol.aggregation = Aggregation::kMedian;
+  std::vector<Measurement> measurements;
+  for (int i = 0; i < 8; ++i) {
+    measurements.push_back(RealMs(i == 5 ? 90.0 : 10.0 + 0.01 * i));
+  }
+  RunResult direct = AssembleRunResult(protocol, ResponseMetric::kRealMs,
+                                       doe::DesignPoint{}, measurements);
+  ExperimentRunner runner(protocol, ResponseMetric::kRealMs);
+  int call = 0;
+  RunResult serial =
+      runner.MeasureSingle([&] { return measurements[call++]; });
+  EXPECT_EQ(direct.responses, serial.responses);
+  EXPECT_EQ(direct.aggregated, serial.aggregated);
+  EXPECT_EQ(direct.outlier_runs, serial.outlier_runs);
+  ASSERT_TRUE(direct.confidence.has_value());
+  ASSERT_TRUE(serial.confidence.has_value());
+  EXPECT_EQ(direct.confidence->mean, serial.confidence->mean);
+  EXPECT_EQ(direct.confidence->lower, serial.confidence->lower);
+  EXPECT_EQ(direct.confidence->upper, serial.confidence->upper);
+  // And the flagged outlier is the spike we injected.
+  ASSERT_EQ(direct.outlier_runs.size(), 1u);
+  EXPECT_EQ(direct.outlier_runs[0], 5u);
+}
+
+TEST(AssembleRunResultTest, FewSamplesSkipIntervalAndFences) {
+  RunProtocol protocol;
+  protocol.measured_runs = 1;
+  RunResult one = AssembleRunResult(protocol, ResponseMetric::kRealMs,
+                                    doe::DesignPoint{}, {RealMs(5.0)});
+  EXPECT_FALSE(one.confidence.has_value());
+  EXPECT_TRUE(one.outlier_runs.empty());
+  EXPECT_DOUBLE_EQ(one.aggregated, 5.0);
+}
+
+/// Minimal TrialExecutor that runs the batch in reverse, as a stand-in for
+/// an arbitrary schedule. Reassembly must put results back in design order.
+class ReverseExecutor : public TrialExecutor {
+ public:
+  Status ExecuteTrials(
+      const std::vector<TrialSpec>& trials,
+      const std::function<Measurement(const TrialSpec&)>& run_trial,
+      const std::function<void(const TrialSpec&, const Measurement&)>& record)
+      override {
+    for (auto it = trials.rbegin(); it != trials.rend(); ++it) {
+      record(*it, run_trial(*it));
+    }
+    return Status::OK();
+  }
+};
+
+TEST(RunnerTest, ExecutorPathMatchesSerialPath) {
+  FakeSystem serial_system;
+  serial_system.runs_since_flush = 5;  // warm
+  RunProtocol protocol;
+  protocol.warmup_runs = 0;
+  protocol.measured_runs = 2;
+  protocol.aggregation = Aggregation::kMean;
+  ExperimentRunner runner(protocol, ResponseMetric::kUserMs);
+  doe::Design design = TwoByTwo();
+  ExperimentResult serial = runner.Run(
+      design, [&](const doe::DesignPoint& p) { return serial_system.Run(p); });
+
+  ReverseExecutor executor;
+  Result<ExperimentResult> scheduled = runner.Run(
+      design,
+      [](const doe::DesignPoint& p, const TrialSpec&) {
+        FakeSystem per_trial;
+        per_trial.runs_since_flush = 5;
+        return per_trial.Run(p);
+      },
+      executor);
+  ASSERT_TRUE(scheduled.ok());
+  EXPECT_EQ(scheduled->AggregatedResponses(), serial.AggregatedResponses());
+}
+
+TEST(RunnerTest, ExecutorTrialsCarryDistinctSeeds) {
+  RunProtocol protocol;
+  protocol.warmup_runs = 0;
+  protocol.measured_runs = 3;
+  ExperimentRunner runner(protocol, ResponseMetric::kRealMs);
+  runner.set_trial_seed_base(0x1234);
+  std::vector<uint64_t> seeds;
+  ReverseExecutor executor;
+  Result<ExperimentResult> result = runner.Run(
+      TwoByTwo(),
+      [&](const doe::DesignPoint&, const TrialSpec& spec) {
+        seeds.push_back(spec.seed);
+        return RealMs(1.0);
+      },
+      executor);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(seeds.size(), 12u);  // 4 points x 3 reps.
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
 }
 
 TEST(ResponseMetricTest, ExtractionMatchesFields) {

@@ -43,15 +43,39 @@ TEST(SuiteTest, InstructionsFollowSlide216Checklist) {
   EXPECT_NE(doc.find("generate data first"), std::string::npos);
 }
 
+TEST(SuiteTest, NotesAppearAfterExperimentSections) {
+  ExperimentSuite suite("demo", "deps");
+  ASSERT_TRUE(suite.Register({"E1", "t", "c", "o", "r", ""}).ok());
+  suite.AddNote("Sanitizers", "run the labelled tests under TSan");
+  std::string doc = suite.InstructionsMarkdown();
+  size_t experiment = doc.find("### E1");
+  size_t note = doc.find("## Sanitizers");
+  ASSERT_NE(experiment, std::string::npos);
+  ASSERT_NE(note, std::string::npos);
+  EXPECT_LT(experiment, note);
+  EXPECT_NE(doc.find("run the labelled tests under TSan"), std::string::npos);
+}
+
+TEST(SuiteTest, PerfevalSuiteDocumentsSchedulingFlags) {
+  // The generated REPRODUCING.md must cover the uniform --jobs/--order
+  // flags and the ThreadSanitizer recipe for the sched-labelled tests.
+  std::string doc = PerfevalSuite().InstructionsMarkdown();
+  EXPECT_NE(doc.find("--jobs"), std::string::npos);
+  EXPECT_NE(doc.find("design|randomized|interleaved"), std::string::npos);
+  EXPECT_NE(doc.find("PERFEVAL_SANITIZE=thread"), std::string::npos);
+  EXPECT_NE(doc.find("-L sched"), std::string::npos);
+}
+
 TEST(SuiteTest, PerfevalSuiteCoversDesignDocIndex) {
   // Every experiment id from DESIGN.md's per-experiment index must be
   // registered.
   const ExperimentSuite& suite = PerfevalSuite();
-  for (const char* id : {"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
-                         "F1", "F2", "F3", "F4", "F5", "A1", "A2", "A3", "A4", "A5"}) {
+  for (const char* id :
+       {"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "F1", "F2", "F3",
+        "F4", "F5", "A1", "A2", "A3", "A4", "A5", "A6"}) {
     EXPECT_NE(suite.Find(id), nullptr) << id;
   }
-  EXPECT_EQ(suite.experiments().size(), 18u);
+  EXPECT_EQ(suite.experiments().size(), 19u);
 }
 
 TEST(SuiteTest, PerfevalSuiteCommandsPointAtBenchBinaries) {

@@ -1,0 +1,59 @@
+#include "sched/options.h"
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace sched {
+namespace {
+
+TEST(OptionsTest, ParseRunOrderAcceptsTheThreeNames) {
+  EXPECT_EQ(ParseRunOrder("design").value(), core::RunOrder::kDesignOrder);
+  EXPECT_EQ(ParseRunOrder("randomized").value(),
+            core::RunOrder::kRandomized);
+  EXPECT_EQ(ParseRunOrder("interleaved").value(),
+            core::RunOrder::kInterleaved);
+}
+
+TEST(OptionsTest, ParseRunOrderRejectsTypos) {
+  Result<core::RunOrder> result = ParseRunOrder("random");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptionsTest, ParseIsolationPolicy) {
+  EXPECT_EQ(ParseIsolationPolicy("concurrent").value(),
+            core::IsolationPolicy::kConcurrent);
+  EXPECT_EQ(ParseIsolationPolicy("exclusive").value(),
+            core::IsolationPolicy::kExclusive);
+  EXPECT_FALSE(ParseIsolationPolicy("alone").ok());
+}
+
+TEST(OptionsTest, ToScheduleSpecClampsJobs) {
+  Options options;
+  options.jobs = 0;
+  EXPECT_EQ(options.ToScheduleSpec().jobs, 1);
+  options.jobs = 8;
+  options.order = core::RunOrder::kRandomized;
+  options.seed = 99;
+  core::ScheduleSpec spec = options.ToScheduleSpec();
+  EXPECT_EQ(spec.jobs, 8);
+  EXPECT_EQ(spec.order, core::RunOrder::kRandomized);
+  EXPECT_EQ(spec.seed, 99u);
+}
+
+TEST(OptionsTest, RunOrderAndIsolationNamesRoundTrip) {
+  for (core::RunOrder order :
+       {core::RunOrder::kDesignOrder, core::RunOrder::kRandomized,
+        core::RunOrder::kInterleaved}) {
+    EXPECT_EQ(ParseRunOrder(core::RunOrderName(order)).value(), order);
+  }
+  for (core::IsolationPolicy policy : {core::IsolationPolicy::kConcurrent,
+                                       core::IsolationPolicy::kExclusive}) {
+    EXPECT_EQ(ParseIsolationPolicy(core::IsolationPolicyName(policy)).value(),
+              policy);
+  }
+}
+
+}  // namespace
+}  // namespace sched
+}  // namespace perfeval

@@ -1,0 +1,238 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.h"
+#include "sched/seed.h"
+
+namespace perfeval {
+namespace sched {
+namespace {
+
+doe::Design ThreeFactorDesign() {
+  return doe::TwoLevelFullFactorial(
+      {doe::Factor::TwoLevel("A", "lo", "hi"),
+       doe::Factor::TwoLevel("B", "lo", "hi"),
+       doe::Factor::TwoLevel("C", "lo", "hi")});
+}
+
+/// Seeded synthetic workload: a virtual-time response that depends on the
+/// design point and on noise from the trial's own RNG stream — the
+/// scheduler's determinism contract is that the schedule never leaks into
+/// this value.
+core::Measurement SyntheticTrial(const doe::DesignPoint& point,
+                                 const core::TrialSpec& spec) {
+  Pcg32 rng(spec.seed);
+  double base_ms = 10.0 + 5.0 * static_cast<double>(point.levels[0]) +
+                   3.0 * static_cast<double>(point.levels[1]) +
+                   1.0 * static_cast<double>(point.levels[2]);
+  core::Measurement m;
+  m.simulated_stall_ns = static_cast<int64_t>(
+      (base_ms + rng.NextGaussian()) * 1e6);
+  return m;
+}
+
+Options ConcurrentOptions(int jobs, core::RunOrder order,
+                          uint64_t seed = 42) {
+  Options options;
+  options.experiment_id = "sched-test";
+  options.jobs = jobs;
+  options.order = order;
+  options.seed = seed;
+  options.isolation = core::IsolationPolicy::kConcurrent;
+  return options;
+}
+
+core::RunProtocol Replicated(int measured_runs) {
+  core::RunProtocol protocol;
+  protocol.warmup_runs = 0;
+  protocol.measured_runs = measured_runs;
+  protocol.aggregation = core::Aggregation::kMean;
+  return protocol;
+}
+
+TEST(SchedulerTest, ParallelAndSerialProduceIdenticalResults) {
+  // The tentpole invariant: jobs=4 and jobs=1 are bit-identical, under
+  // every ordering — responses, aggregates, CIs and outlier sets alike.
+  doe::Design design = ThreeFactorDesign();
+  core::RunProtocol protocol = Replicated(6);
+  Scheduler serial(
+      ConcurrentOptions(1, core::RunOrder::kDesignOrder));
+  Result<core::ExperimentResult> reference = serial.Run(
+      design, protocol, core::ResponseMetric::kObservedRealMs,
+      SyntheticTrial);
+  ASSERT_TRUE(reference.ok());
+  for (core::RunOrder order :
+       {core::RunOrder::kDesignOrder, core::RunOrder::kRandomized,
+        core::RunOrder::kInterleaved}) {
+    Scheduler parallel(ConcurrentOptions(4, order));
+    Result<core::ExperimentResult> result = parallel.Run(
+        design, protocol, core::ResponseMetric::kObservedRealMs,
+        SyntheticTrial);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->runs.size(), reference->runs.size());
+    EXPECT_EQ(result->AggregatedResponses(),
+              reference->AggregatedResponses());
+    for (size_t p = 0; p < result->runs.size(); ++p) {
+      EXPECT_EQ(result->runs[p].responses, reference->runs[p].responses);
+      EXPECT_EQ(result->runs[p].outlier_runs,
+                reference->runs[p].outlier_runs);
+      ASSERT_TRUE(result->runs[p].confidence.has_value());
+      EXPECT_EQ(result->runs[p].confidence->mean,
+                reference->runs[p].confidence->mean);
+      EXPECT_EQ(result->runs[p].confidence->lower,
+                reference->runs[p].confidence->lower);
+    }
+  }
+}
+
+TEST(SchedulerTest, RandomizedOrderIsAReproduciblePermutation) {
+  std::vector<core::TrialSpec> trials;
+  for (size_t p = 0; p < 8; ++p) {
+    for (int r = 0; r < 3; ++r) {
+      core::TrialSpec spec;
+      spec.point_index = p;
+      spec.replication = r;
+      trials.push_back(spec);
+    }
+  }
+  std::vector<size_t> shuffled =
+      ExecutionOrder(trials, core::RunOrder::kRandomized, 7);
+  // A permutation of [0, n): every index exactly once.
+  std::set<size_t> unique(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(unique.size(), trials.size());
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), trials.size() - 1);
+  // Reproducible from the seed; a different seed gives a different order.
+  EXPECT_EQ(shuffled, ExecutionOrder(trials, core::RunOrder::kRandomized, 7));
+  EXPECT_NE(shuffled, ExecutionOrder(trials, core::RunOrder::kRandomized, 8));
+  // And it actually deviates from design order.
+  EXPECT_NE(shuffled,
+            ExecutionOrder(trials, core::RunOrder::kDesignOrder, 7));
+}
+
+TEST(SchedulerTest, InterleavedOrderRoundRobinsOverPoints) {
+  std::vector<core::TrialSpec> trials;
+  for (size_t p = 0; p < 3; ++p) {
+    for (int r = 0; r < 2; ++r) {
+      core::TrialSpec spec;
+      spec.point_index = p;
+      spec.replication = r;
+      trials.push_back(spec);
+    }
+  }
+  std::vector<size_t> order =
+      ExecutionOrder(trials, core::RunOrder::kInterleaved, 0);
+  // Expect (p0,r0) (p1,r0) (p2,r0) (p0,r1) (p1,r1) (p2,r1).
+  ASSERT_EQ(order.size(), 6u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(trials[order[i]].replication, 0);
+    EXPECT_EQ(trials[order[i]].point_index, i);
+    EXPECT_EQ(trials[order[3 + i]].replication, 1);
+    EXPECT_EQ(trials[order[3 + i]].point_index, i);
+  }
+}
+
+TEST(SchedulerTest, SurvivesAThrowingRunFunction) {
+  // One trial throws: the experiment reports a Status, but the pool must
+  // not die — every other trial still runs.
+  doe::Design design = ThreeFactorDesign();
+  core::RunProtocol protocol = Replicated(2);
+  std::atomic<int> executed{0};
+  Scheduler scheduler(
+      ConcurrentOptions(4, core::RunOrder::kDesignOrder));
+  Result<core::ExperimentResult> result = scheduler.Run(
+      design, protocol, core::ResponseMetric::kObservedRealMs,
+      [&](const doe::DesignPoint& point, const core::TrialSpec& spec) {
+        ++executed;
+        if (spec.point_index == 2 && spec.replication == 1) {
+          throw std::runtime_error("injected trial failure");
+        }
+        return SyntheticTrial(point, spec);
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("injected trial failure"),
+            std::string::npos);
+  // 8 points x 2 reps — all attempted despite the failure.
+  EXPECT_EQ(executed.load(), 16);
+}
+
+TEST(SchedulerTest, ExclusiveIsolationNeverOverlapsTrials) {
+  // kExclusive serializes timing-sensitive trials on one slot even when
+  // the caller asked for 4 jobs.
+  Scheduler scheduler([] {
+    Options options;
+    options.experiment_id = "sched-test";
+    options.jobs = 4;
+    options.isolation = core::IsolationPolicy::kExclusive;
+    return options;
+  }());
+  EXPECT_EQ(scheduler.effective_jobs(), 1);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  doe::Design design = ThreeFactorDesign();
+  Result<core::ExperimentResult> result = scheduler.Run(
+      design, Replicated(3), core::ResponseMetric::kObservedRealMs,
+      [&](const doe::DesignPoint& point, const core::TrialSpec& spec) {
+        int now = ++in_flight;
+        int seen = max_in_flight.load();
+        while (now > seen && !max_in_flight.compare_exchange_weak(seen, now)) {
+        }
+        core::Measurement m = SyntheticTrial(point, spec);
+        --in_flight;
+        return m;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(max_in_flight.load(), 1);
+}
+
+TEST(SchedulerTest, ProtocolDescriptionDocumentsTheSchedule) {
+  // Slide 32: the result's protocol line must document jobs, order and
+  // isolation — the schedule is part of the protocol.
+  doe::Design design = ThreeFactorDesign();
+  Scheduler scheduler(
+      ConcurrentOptions(4, core::RunOrder::kRandomized, 42));
+  Result<core::ExperimentResult> result = scheduler.Run(
+      design, Replicated(2), core::ResponseMetric::kObservedRealMs,
+      SyntheticTrial);
+  ASSERT_TRUE(result.ok());
+  const std::string& description = result->protocol_description;
+  EXPECT_NE(description.find("4 job(s)"), std::string::npos) << description;
+  EXPECT_NE(description.find("randomized order"), std::string::npos)
+      << description;
+  EXPECT_NE(description.find("seed 42"), std::string::npos) << description;
+  EXPECT_NE(description.find("concurrent trials"), std::string::npos)
+      << description;
+}
+
+TEST(SchedulerTest, TrialSeedsMatchTheDocumentedFormula) {
+  // The seed reaching a trial is hash(experiment, point, replication) —
+  // the documented contract, checkable by downstream tooling.
+  doe::Design design = ThreeFactorDesign();
+  uint64_t base = HashExperimentId("sched-test");
+  std::atomic<int> mismatches{0};
+  Scheduler scheduler(
+      ConcurrentOptions(2, core::RunOrder::kInterleaved));
+  Result<core::ExperimentResult> result = scheduler.Run(
+      design, Replicated(2), core::ResponseMetric::kObservedRealMs,
+      [&](const doe::DesignPoint& point, const core::TrialSpec& spec) {
+        if (spec.seed !=
+            TrialSeed(base, spec.point_index, spec.replication)) {
+          ++mismatches;
+        }
+        return SyntheticTrial(point, spec);
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace sched
+}  // namespace perfeval

@@ -1,0 +1,38 @@
+#include "sched/work_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace perfeval {
+namespace sched {
+namespace {
+
+TEST(WorkQueueTest, FifoOrderPreserved) {
+  // The scheduler encodes the run-order policy in push order; the queue
+  // must hand jobs out in exactly that order.
+  WorkQueue queue;
+  std::vector<int> seen;
+  for (int i = 0; i < 5; ++i) {
+    queue.Push([&seen, i] { seen.push_back(i); });
+  }
+  queue.Close();
+  WorkQueue::Job job;
+  while (queue.Pop(&job)) {
+    job();
+  }
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkQueueTest, PopReturnsFalseOnlyWhenClosedAndDrained) {
+  WorkQueue queue;
+  queue.Push([] {});
+  queue.Close();
+  WorkQueue::Job job;
+  EXPECT_TRUE(queue.Pop(&job));
+  EXPECT_FALSE(queue.Pop(&job));
+}
+
+}  // namespace
+}  // namespace sched
+}  // namespace perfeval
