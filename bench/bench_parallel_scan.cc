@@ -1,0 +1,152 @@
+// A7 — morsel-driven parallel query speedup. Scan-heavy TPC-H queries
+// (Q1: scan + group-by aggregation; Q6: scan + filter + sum) run hot at
+// 1/2/4/8 worker threads. Reported time is measured wall clock of the
+// server phase, excluding simulated I/O stall — the parallelism knob
+// speeds up compute, while the deterministic I/O accounting charges the
+// same stall at every thread count by design (A6 invariant: results and
+// storage stats are bit-identical across `threads`; this bench verifies
+// that on every run). Speedup above 1x needs physical cores: the JSON
+// records the host's core count so a reader can judge the numbers.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "db/database.h"
+#include "report/table_format.h"
+#include "stats/descriptive.h"
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+namespace perfeval {
+namespace {
+
+std::string Render(const db::Table& table) {
+  std::string out;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      out += table.ValueAt(r, c).ToString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace perfeval
+
+int main(int argc, char** argv) {
+  using namespace perfeval;  // NOLINT(build/namespaces) bench binary.
+  bench::BenchContext ctx(
+      "A7",
+      "hot runs: 1 warm-up, median of `runs` measured runs, server wall "
+      "time excluding simulated stall",
+      argc, argv);
+  ctx.properties().SetDefault("scaleFactor", "0.02");
+  ctx.properties().SetDefault("runs", "7");
+  ctx.properties().SetDefault("maxThreads", "8");
+  ctx.PrintHeader("morsel-driven parallel scan speedup (Q1, Q6)");
+
+  double sf = ctx.properties().GetDouble("scaleFactor", 0.02);
+  int runs = static_cast<int>(ctx.properties().GetInt("runs", 7));
+  int max_threads =
+      static_cast<int>(ctx.properties().GetInt("maxThreads", 8));
+  unsigned host_cores = std::thread::hardware_concurrency();
+
+  db::Database database;
+  workload::TpchGenerator gen(sf);
+  gen.LoadAll(&database);
+  std::printf("TPC-H scale factor %.3g, %u hardware thread(s)\n\n", sf,
+              host_cores);
+
+  const std::vector<int> kQueries = {1, 6};
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) {
+    thread_counts.push_back(t);
+  }
+
+  std::string json = "{\n";
+  json += StrFormat("  \"experiment\": \"A7\",\n");
+  json += StrFormat("  \"scale_factor\": %g,\n", sf);
+  json += StrFormat("  \"runs\": %d,\n", runs);
+  json += StrFormat("  \"hardware_threads\": %u,\n", host_cores);
+  json += "  \"queries\": [\n";
+
+  bool determinism_ok = true;
+  for (size_t qi = 0; qi < kQueries.size(); ++qi) {
+    int q = kQueries[qi];
+    db::PlanPtr plan = workload::GetTpchQuery(q).Build(database);
+
+    report::TextTable table;
+    table.SetHeader({"threads", "median wall (ms)", "speedup"});
+    json += StrFormat("    {\"query\": %d, \"results\": [", q);
+
+    std::string baseline_render;
+    double baseline_ns = 0.0;
+    for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+      int threads = thread_counts[ti];
+      database.set_threads(threads);
+      db::QueryResult warm = database.Run(plan);  // warm-up.
+      std::string rendered = Render(*warm.table);
+      if (threads == 1) {
+        baseline_render = rendered;
+      } else if (rendered != baseline_render) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: Q%d differs at threads=%d\n",
+                     q, threads);
+        determinism_ok = false;
+      }
+      std::vector<double> samples;
+      for (int r = 0; r < runs; ++r) {
+        samples.push_back(
+            static_cast<double>(database.Run(plan).server.real_ns));
+      }
+      double median_ns = stats::Median(samples);
+      if (threads == 1) {
+        baseline_ns = median_ns;
+      }
+      double speedup = median_ns > 0.0 ? baseline_ns / median_ns : 0.0;
+      table.AddRow({std::to_string(threads),
+                    StrFormat("%.3f", median_ns / 1e6),
+                    StrFormat("%.2fx", speedup)});
+      json += StrFormat("%s{\"threads\": %d, \"median_ns\": %.0f, "
+                        "\"speedup\": %.3f}",
+                        ti == 0 ? "" : ", ", threads, median_ns, speedup);
+    }
+    json += StrFormat("]}%s\n", qi + 1 < kQueries.size() ? "," : "");
+    std::printf("Q%d (%s):\n%s\n", q,
+                workload::GetTpchQuery(q).name.c_str(),
+                table.ToString().c_str());
+  }
+  database.set_threads(1);
+  json += "  ],\n";
+  json += StrFormat("  \"results_bit_identical_across_threads\": %s\n",
+                    determinism_ok ? "true" : "false");
+  json += "}\n";
+
+  std::printf(
+      "results were %s across all thread counts; speedup above 1x "
+      "requires spare physical cores (this host: %u).\n",
+      determinism_ok ? "bit-identical" : "NOT IDENTICAL (bug!)",
+      host_cores);
+
+  std::string json_path = ctx.ResultPath("BENCH_parallel_scan.json");
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  ctx.AddOutput(json_path);
+  ctx.AddNote(determinism_ok
+                  ? "results bit-identical across thread counts"
+                  : "DETERMINISM VIOLATION observed");
+  ctx.Finish();
+  return determinism_ok ? 0 : 1;
+}

@@ -22,6 +22,7 @@ bool ConsumeScheduleFlag(const std::string& arg,
       {"--order=", "order"},
       {"--isolation=", "isolation"},
       {"--schedSeed=", "schedSeed"},
+      {"--dbThreads=", "dbThreads"},
   };
   for (const auto& flag : kFlags) {
     std::string prefix = flag.prefix;
@@ -51,6 +52,7 @@ BenchContext::BenchContext(const std::string& experiment_id,
   properties_.SetDefault("isolation", "exclusive");
   properties_.SetDefault("schedSeed", "0");
   properties_.SetDefault("progress", "false");
+  properties_.SetDefault("dbThreads", "1");
   std::vector<std::string> rest = properties_.OverrideFromArgs(argc, argv);
   for (const std::string& arg : rest) {
     if (!ConsumeScheduleFlag(arg, &properties_)) {
@@ -87,6 +89,11 @@ sched::Options BenchContext::ScheduleOptions() const {
                  isolation.status().message().c_str());
   }
   return options;
+}
+
+int BenchContext::DbThreads() const {
+  int threads = static_cast<int>(properties_.GetInt("dbThreads", 1));
+  return threads < 1 ? 1 : threads;
 }
 
 std::string BenchContext::ResultPath(const std::string& file_name) const {

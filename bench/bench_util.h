@@ -37,6 +37,12 @@ class BenchContext {
   /// via the properties, so the documented protocol covers the schedule.
   sched::Options ScheduleOptions() const;
 
+  /// Worker threads for morsel-driven intra-query parallelism
+  /// (`--dbThreads=N`, equivalently the `dbThreads` property). A pure
+  /// concurrency knob: query results and storage stats are identical at
+  /// any setting, only wall-clock time changes. Clamped to >= 1.
+  int DbThreads() const;
+
   /// bench_results/<stem> — all artifacts of this experiment go there.
   std::string ResultPath(const std::string& file_name) const;
 

@@ -9,6 +9,7 @@
 //
 // Special commands:
 //   \mode debug|optimized    switch execution mode
+//   \threads N               set morsel-parallel worker threads
 //   \flush                   flush the buffer pool (next run is cold)
 //   \trace <sql>             run and print the per-operator trace
 //   \tables                  list catalog tables
@@ -16,6 +17,7 @@
 //   \q                       quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -99,6 +101,19 @@ int main(int argc, char** argv) {
           mode = db::ExecMode::kOptimized;
         }
         std::printf("execution mode: %s\n", db::ExecModeName(mode));
+        continue;
+      }
+      if (StartsWith(trimmed, "\\threads")) {
+        std::vector<std::string> parts = Split(trimmed, ' ');
+        if (parts.size() == 2) {
+          database.set_threads(std::atoi(parts[1].c_str()));
+        } else if (parts.size() > 2) {
+          std::printf("usage: \\threads <N>\n");
+          continue;
+        }
+        std::printf(
+            "worker threads: %d (results are identical at any setting)\n",
+            database.threads());
         continue;
       }
       if (StartsWith(trimmed, "\\load ")) {

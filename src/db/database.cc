@@ -57,15 +57,19 @@ QueryResult Database::Run(const PlanPtr& plan, ExecMode mode, SinkKind sink,
   ctx.storage = storage_.get();
   ctx.profiler = &result.profile;
   ctx.use_zone_maps = use_zone_maps;
+  ctx.threads = threads();
 
-  // Server phase: execute the plan.
-  StorageStats stats_before = storage_->stats();
+  // Server phase: execute the plan. Stats are read through the
+  // thread-safe snapshot so concurrent query streams never race on the
+  // counters (the per-query deltas are then only meaningful when streams
+  // run serially; the result table is deterministic either way).
+  StorageStats stats_before = storage_->StatsSnapshot();
   int64_t stall_before = storage_->total_stall_ns();
   Relation relation;
   result.server = core::MeasureOnce([&] { relation = plan->Execute(ctx); });
   result.server.simulated_stall_ns =
       storage_->total_stall_ns() - stall_before;
-  const StorageStats& stats_after = storage_->stats();
+  StorageStats stats_after = storage_->StatsSnapshot();
   result.storage.page_hits = stats_after.page_hits - stats_before.page_hits;
   result.storage.page_misses =
       stats_after.page_misses - stats_before.page_misses;

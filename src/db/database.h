@@ -24,6 +24,11 @@ struct DatabaseOptions {
   size_t buffer_pool_pages = 256;
   size_t rows_per_page = 4096;
   SinkModel sink_model;
+  /// Worker threads for morsel-driven intra-query parallelism (<= 1 runs
+  /// serially). A pure concurrency knob: result relations and reported
+  /// StorageStats are bit-identical at any setting; only wall-clock time
+  /// may change.
+  int threads = 1;
 };
 
 /// A query's complete outcome: the result table, server-side timing split
@@ -71,6 +76,13 @@ class Database {
 
   StorageManager& storage() { return *storage_; }
   const DatabaseOptions& options() const { return options_; }
+
+  /// Intra-query parallelism knob; adjustable at runtime (SQL shell
+  /// `\threads N`, bench `--dbThreads=N`). Clamped to >= 1.
+  int threads() const { return options_.threads; }
+  void set_threads(int threads) {
+    options_.threads = threads < 1 ? 1 : threads;
+  }
 
   /// Empties the buffer pool: the next run is a cold run (slide 32).
   void FlushCaches() { storage_->FlushCaches(); }

@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "core/timer.h"
 #include "db/database.h"
+#include "sched/parallel_for.h"
 
 namespace perfeval {
 namespace db {
@@ -50,6 +51,13 @@ std::vector<uint32_t> Relation::RowIds() const {
 }
 
 namespace {
+
+/// Rows per morsel for operators that are not page-aligned (Filter over an
+/// intermediate relation, Aggregate). Fixed — never derived from the
+/// thread count — so morsel boundaries, and with them every
+/// floating-point reduction order, are identical at any `threads` setting
+/// and in both execution modes.
+constexpr size_t kMorselRows = 4096;
 
 /// RAII operator trace: measures wall time and attributes storage stalls.
 class TraceScope {
@@ -294,52 +302,83 @@ class FilterScanNode : public PlanNode {
       }
     }
 
-    size_t rows_per_page =
-        ctx.storage != nullptr ? ctx.storage->rows_per_page() : 0;
+    size_t num_rows = table->num_rows();
+    // Morsels are page-aligned when storage is attached (morsel == chunk,
+    // so zone-map pruning and I/O accounting line up) and fixed-size
+    // otherwise. Boundaries never depend on ctx.threads.
+    size_t morsel_rows = ctx.storage != nullptr
+                             ? ctx.storage->rows_per_page()
+                             : kMorselRows;
     bool zone_maps = ctx.use_zone_maps && ctx.storage != nullptr &&
-                     !simple.empty() && table->num_rows() > 0;
+                     !simple.empty() && num_rows > 0;
     uint32_t table_id =
         ctx.storage != nullptr ? ctx.database->TableId(table_name_) : 0;
 
-    auto candidates = std::make_shared<std::vector<uint32_t>>();
-    candidates->reserve(table->num_rows());
+    struct Morsel {
+      size_t begin = 0;
+      size_t end = 0;
+    };
+    std::vector<Morsel> morsels;
+    morsels.reserve(num_rows / std::max<size_t>(morsel_rows, 1) + 1);
     if (zone_maps) {
-      size_t num_chunks =
-          (table->num_rows() + rows_per_page - 1) / rows_per_page;
+      std::vector<uint32_t> column_ids;
+      column_ids.reserve(columns_.size());
+      for (const std::string& name : columns_) {
+        column_ids.push_back(
+            static_cast<uint32_t>(table->schema().MustIndexOf(name)));
+      }
+      size_t num_chunks = (num_rows + morsel_rows - 1) / morsel_rows;
       for (uint32_t chunk = 0; chunk < num_chunks; ++chunk) {
-        bool might_match = true;
+        bool pruned = false;
         for (const SimplePredicate& sp : simple) {
           const ZoneMap& zm = ctx.storage->GetZoneMap(
               table_id, static_cast<uint32_t>(sp.column), chunk);
-          if (zm.valid && !sp.MightMatch(zm.min, zm.max)) {
-            might_match = false;
+          if (zm.Prunable(sp.MightMatch(zm.min, zm.max))) {
+            pruned = true;
             break;
           }
         }
-        if (!might_match) {
+        if (pruned) {
           continue;  // page never read, rows never scanned.
         }
-        size_t begin = static_cast<size_t>(chunk) * rows_per_page;
-        size_t end = std::min(table->num_rows(), begin + rows_per_page);
-        // Touch the pages of all used columns for this chunk.
-        for (const std::string& name : columns_) {
-          ctx.storage->TouchColumnRange(
-              table_id,
-              static_cast<uint32_t>(table->schema().MustIndexOf(name)),
-              begin, end);
-        }
-        for (size_t r = begin; r < end; ++r) {
-          candidates->push_back(static_cast<uint32_t>(r));
-        }
+        size_t begin = static_cast<size_t>(chunk) * morsel_rows;
+        size_t end = std::min(num_rows, begin + morsel_rows);
+        // I/O accounting happens here, on the coordinating thread, one
+        // morsel at a time in chunk order — never from the workers — so
+        // hits/misses/bytes/stall are identical at any thread count.
+        ctx.storage->TouchMorsel(table_id, column_ids, begin, end);
+        morsels.push_back({begin, end});
       }
     } else {
       TouchColumns(ctx, table_name_, *table, columns_);
-      for (size_t r = 0; r < table->num_rows(); ++r) {
-        candidates->push_back(static_cast<uint32_t>(r));
+      for (size_t begin = 0; begin < num_rows; begin += morsel_rows) {
+        morsels.push_back({begin, std::min(num_rows, begin + morsel_rows)});
       }
     }
 
-    ApplyPredicate(ctx, *table, predicate_, candidates.get());
+    // Compute: each morsel evaluates the predicate into its own selection
+    // vector; workers claim morsels from a shared counter, and the partial
+    // selections are concatenated in chunk order afterwards.
+    std::vector<std::vector<uint32_t>> partial(morsels.size());
+    sched::ParallelFor(
+        ctx.threads, morsels.size(), [&](size_t m) {
+          std::vector<uint32_t>& rows = partial[m];
+          rows.reserve(morsels[m].end - morsels[m].begin);
+          for (size_t r = morsels[m].begin; r < morsels[m].end; ++r) {
+            rows.push_back(static_cast<uint32_t>(r));
+          }
+          ApplyPredicate(ctx, *table, predicate_, &rows);
+        });
+
+    auto candidates = std::make_shared<std::vector<uint32_t>>();
+    size_t total = 0;
+    for (const std::vector<uint32_t>& rows : partial) {
+      total += rows.size();
+    }
+    candidates->reserve(total);
+    for (const std::vector<uint32_t>& rows : partial) {
+      candidates->insert(candidates->end(), rows.begin(), rows.end());
+    }
     Relation out;
     out.table = table;
     out.selection = candidates;
@@ -365,8 +404,33 @@ class FilterNode : public PlanNode {
   Relation Execute(ExecContext& ctx) const override {
     Relation input = child_->Execute(ctx);
     TraceScope trace(ctx, "Filter", input.num_rows());
-    auto rows = std::make_shared<std::vector<uint32_t>>(input.RowIds());
-    ApplyPredicate(ctx, *input.table, predicate_, rows.get());
+    std::vector<uint32_t> ids = input.RowIds();
+    auto rows = std::make_shared<std::vector<uint32_t>>();
+    size_t num_morsels = (ids.size() + kMorselRows - 1) / kMorselRows;
+    if (ctx.threads <= 1 || num_morsels <= 1) {
+      *rows = std::move(ids);
+      ApplyPredicate(ctx, *input.table, predicate_, rows.get());
+    } else {
+      // Fixed-size morsels over the input selection; per-morsel survivor
+      // vectors concatenated in morsel order reproduce the serial output
+      // exactly (the predicate is per-row, so no cross-morsel state).
+      std::vector<std::vector<uint32_t>> partial(num_morsels);
+      sched::ParallelFor(ctx.threads, num_morsels, [&](size_t m) {
+        size_t begin = m * kMorselRows;
+        size_t end = std::min(ids.size(), begin + kMorselRows);
+        partial[m].assign(ids.begin() + static_cast<long>(begin),
+                          ids.begin() + static_cast<long>(end));
+        ApplyPredicate(ctx, *input.table, predicate_, &partial[m]);
+      });
+      size_t total = 0;
+      for (const std::vector<uint32_t>& survivors : partial) {
+        total += survivors.size();
+      }
+      rows->reserve(total);
+      for (const std::vector<uint32_t>& survivors : partial) {
+        rows->insert(rows->end(), survivors.begin(), survivors.end());
+      }
+    }
     Relation out;
     out.table = input.table;
     out.selection = rows;
@@ -747,6 +811,34 @@ struct AggState {
     sum += v;
     ++count;
   }
+
+  /// Folds another partial state in. Callers merge partials in morsel
+  /// order, so `sum` accumulates in a fixed order at any thread count.
+  void MergeFrom(const AggState& other) {
+    if (other.count > 0) {
+      if (count == 0) {
+        min = other.min;
+        max = other.max;
+      } else {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+      }
+    }
+    sum += other.sum;
+    count += other.count;
+    distinct.insert(other.distinct.begin(), other.distinct.end());
+  }
+};
+
+/// One morsel's partial aggregation: local groups in first-occurrence
+/// order (int keys on the single-int-key fast path, composite string keys
+/// otherwise) plus one accumulator per (aggregate, local group). Built by
+/// exactly one worker; merged on the coordinator in morsel order.
+struct MorselAggState {
+  std::vector<int64_t> int_keys;
+  std::vector<std::string> str_keys;
+  std::vector<uint32_t> first_rows;
+  std::vector<std::vector<AggState>> states;  ///< [aggregate][local group].
 };
 
 class AggregateNode : public PlanNode {
@@ -767,81 +859,64 @@ class AggregateNode : public PlanNode {
     for (const std::string& name : group_by_) {
       group_cols.push_back(table.schema().MustIndexOf(name));
     }
-
-    // Assign a dense group index to every input row. Optimized mode has a
-    // fast path for the common single-int-key grouping; the general path
-    // builds a composite string key per tuple.
-    std::vector<uint32_t> first_row_of_group;
-    std::vector<size_t> row_group(rows.size());
+    // Optimized mode has a fast path for the common single-int-key
+    // grouping; the general path builds a composite string key per tuple.
     bool int_fast_path =
         ctx.mode == ExecMode::kOptimized && group_cols.size() == 1 &&
         table.column(group_cols[0]).type() == DataType::kInt64;
-    if (int_fast_path) {
-      std::unordered_map<int64_t, size_t> group_index;
-      group_index.reserve(rows.size() / 4 + 16);
-      const std::vector<int64_t>& keys = table.column(group_cols[0]).ints();
-      for (size_t i = 0; i < rows.size(); ++i) {
-        uint32_t r = rows[i];
-        auto [it, inserted] =
-            group_index.try_emplace(keys[r], group_index.size());
-        if (inserted) {
-          first_row_of_group.push_back(r);
+
+    // Accumulate per-morsel partial states. Every mode and thread count
+    // goes through the same morsel structure and the same in-order merge,
+    // so floating-point sums (non-associative) come out bit-identical at
+    // any `threads` setting and across kDebug/kOptimized.
+    size_t num_morsels = (rows.size() + kMorselRows - 1) / kMorselRows;
+    std::vector<MorselAggState> partials(num_morsels);
+    sched::ParallelFor(ctx.threads, num_morsels, [&](size_t m) {
+      size_t begin = m * kMorselRows;
+      size_t end = std::min(rows.size(), begin + kMorselRows);
+      AccumulateMorsel(ctx, table, group_cols, int_fast_path, &rows[begin],
+                       end - begin, &partials[m]);
+    });
+
+    // Merge partials in morsel order. Groups are created in global
+    // first-occurrence order — the order the serial scan would discover
+    // them — which fixes both the output row order and the accumulation
+    // order of every group's state.
+    std::vector<uint32_t> first_row_of_group;
+    std::vector<std::vector<AggState>> states(aggregates_.size());
+    std::unordered_map<int64_t, size_t> int_index;
+    std::unordered_map<std::string, size_t> str_index;
+    for (MorselAggState& part : partials) {
+      for (size_t g = 0; g < part.first_rows.size(); ++g) {
+        size_t global;
+        bool created;
+        if (int_fast_path) {
+          auto [it, inserted] =
+              int_index.try_emplace(part.int_keys[g], int_index.size());
+          global = it->second;
+          created = inserted;
+        } else {
+          auto [it, inserted] = str_index.try_emplace(
+              std::move(part.str_keys[g]), str_index.size());
+          global = it->second;
+          created = inserted;
         }
-        row_group[i] = it->second;
-      }
-    } else {
-      std::unordered_map<std::string, size_t> group_index;
-      std::string key;
-      for (size_t i = 0; i < rows.size(); ++i) {
-        uint32_t r = rows[i];
-        key.clear();
-        for (size_t c : group_cols) {
-          key += table.column(c).GetValue(r).ToString();
-          key += '\x1f';
+        if (created) {
+          first_row_of_group.push_back(part.first_rows[g]);
+          for (size_t a = 0; a < aggregates_.size(); ++a) {
+            states[a].emplace_back();
+          }
         }
-        auto [it, inserted] =
-            group_index.try_emplace(key, group_index.size());
-        if (inserted) {
-          first_row_of_group.push_back(r);
+        for (size_t a = 0; a < aggregates_.size(); ++a) {
+          states[a][global].MergeFrom(part.states[a][g]);
         }
-        row_group[i] = it->second;
       }
     }
-    if (group_cols.empty() && rows.empty()) {
+    if (group_cols.empty() && first_row_of_group.empty()) {
       // Global aggregate over zero rows still yields one group.
       first_row_of_group.push_back(0);
-    }
-    if (group_cols.empty() && !rows.empty() && first_row_of_group.empty()) {
-      first_row_of_group.push_back(rows[0]);
-    }
-    size_t num_groups = std::max<size_t>(first_row_of_group.size(), 1);
-
-    // Accumulate.
-    std::vector<std::vector<AggState>> states(
-        aggregates_.size(), std::vector<AggState>(num_groups));
-    for (size_t a = 0; a < aggregates_.size(); ++a) {
-      const AggSpec& spec = aggregates_[a];
-      std::vector<AggState>& agg_states = states[a];
-      if (spec.op == AggOp::kCount) {
-        for (size_t i = 0; i < rows.size(); ++i) {
-          ++agg_states[row_group[i]].count;
-        }
-      } else if (spec.op == AggOp::kCountDistinct) {
-        for (size_t i = 0; i < rows.size(); ++i) {
-          agg_states[row_group[i]]
-              .distinct[spec.expr->EvalRow(table, rows[i]).ToString()] = true;
-        }
-      } else if (ctx.mode == ExecMode::kOptimized) {
-        std::vector<double> values;
-        spec.expr->EvalNumericBatch(table, rows, &values);
-        for (size_t i = 0; i < rows.size(); ++i) {
-          agg_states[row_group[i]].AddNumeric(values[i]);
-        }
-      } else {
-        for (size_t i = 0; i < rows.size(); ++i) {
-          agg_states[row_group[i]].AddNumeric(
-              spec.expr->EvalRow(table, rows[i]).AsDouble());
-        }
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        states[a].emplace_back();
       }
     }
 
@@ -923,6 +998,83 @@ class AggregateNode : public PlanNode {
   }
 
  private:
+  /// Builds one morsel's partial state from `rows[0..n)`: local dense
+  /// group ids in first-occurrence order, then one accumulator per
+  /// (aggregate, local group). Runs on a worker thread; reads only shared
+  /// immutable data and writes only `*out`.
+  void AccumulateMorsel(const ExecContext& ctx, const Table& table,
+                        const std::vector<size_t>& group_cols,
+                        bool int_fast_path, const uint32_t* rows, size_t n,
+                        MorselAggState* out) const {
+    std::vector<size_t> row_group(n);
+    if (int_fast_path) {
+      std::unordered_map<int64_t, size_t> group_index;
+      group_index.reserve(n / 4 + 16);
+      const std::vector<int64_t>& keys = table.column(group_cols[0]).ints();
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t r = rows[i];
+        auto [it, inserted] =
+            group_index.try_emplace(keys[r], group_index.size());
+        if (inserted) {
+          out->int_keys.push_back(keys[r]);
+          out->first_rows.push_back(r);
+        }
+        row_group[i] = it->second;
+      }
+    } else {
+      std::unordered_map<std::string, size_t> group_index;
+      std::string key;
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t r = rows[i];
+        key.clear();
+        for (size_t c : group_cols) {
+          key += table.column(c).GetValue(r).ToString();
+          key += '\x1f';
+        }
+        auto [it, inserted] =
+            group_index.try_emplace(key, group_index.size());
+        if (inserted) {
+          out->str_keys.push_back(key);
+          out->first_rows.push_back(r);
+        }
+        row_group[i] = it->second;
+      }
+    }
+    size_t num_groups = out->first_rows.size();
+    out->states.assign(aggregates_.size(),
+                       std::vector<AggState>(num_groups));
+    std::vector<uint32_t> batch_rows;
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const AggSpec& spec = aggregates_[a];
+      std::vector<AggState>& agg_states = out->states[a];
+      if (spec.op == AggOp::kCount) {
+        for (size_t i = 0; i < n; ++i) {
+          ++agg_states[row_group[i]].count;
+        }
+      } else if (spec.op == AggOp::kCountDistinct) {
+        for (size_t i = 0; i < n; ++i) {
+          agg_states[row_group[i]]
+              .distinct[spec.expr->EvalRow(table, rows[i]).ToString()] =
+              true;
+        }
+      } else if (ctx.mode == ExecMode::kOptimized) {
+        if (batch_rows.empty() && n > 0) {
+          batch_rows.assign(rows, rows + n);
+        }
+        std::vector<double> values;
+        spec.expr->EvalNumericBatch(table, batch_rows, &values);
+        for (size_t i = 0; i < n; ++i) {
+          agg_states[row_group[i]].AddNumeric(values[i]);
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          agg_states[row_group[i]].AddNumeric(
+              spec.expr->EvalRow(table, rows[i]).AsDouble());
+        }
+      }
+    }
+  }
+
   PlanPtr child_;
   std::vector<std::string> group_by_;
   std::vector<AggSpec> aggregates_;

@@ -34,6 +34,14 @@ struct ExecContext {
   StorageManager* storage = nullptr;   ///< optional: page I/O accounting.
   Profiler* profiler = nullptr;        ///< optional: operator traces.
   bool use_zone_maps = true;           ///< page skipping in FilterScan.
+  /// Intra-query parallelism: scan/filter/aggregate fan morsels out over
+  /// this many workers (<= 1 runs inline). A pure concurrency knob — per
+  /// the repo's determinism invariant it may change wall-clock time but
+  /// never a result relation or the reported StorageStats: morsel
+  /// boundaries are thread-count-independent, partial states are reduced
+  /// in morsel order, and I/O is accounted from the coordinator in chunk
+  /// order.
+  int threads = 1;
 };
 
 /// An intermediate result: a table plus an optional selection vector.

@@ -1,11 +1,36 @@
 #include "db/storage.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/string_util.h"
 
 namespace perfeval {
 namespace db {
+namespace {
+
+/// Exact bytes of rows [begin, end) of a column, consistent with
+/// Column::ByteSize(): fixed-width payloads plus, for strings, the actual
+/// per-row footprint.
+size_t ChunkByteSize(const Column& column, size_t begin, size_t end) {
+  switch (column.type()) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      return (end - begin) * sizeof(int64_t);
+    case DataType::kDouble:
+      return (end - begin) * sizeof(double);
+    case DataType::kString: {
+      size_t bytes = 0;
+      for (size_t r = begin; r < end; ++r) {
+        bytes += column.GetString(r).size() + sizeof(std::string);
+      }
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 std::string StorageStats::ToString() const {
   return StrFormat(
@@ -32,25 +57,36 @@ void StorageManager::RegisterTable(uint32_t table_id, const Table& table) {
     const Column& column = table.column(c);
     ColumnMeta meta;
     meta.num_chunks = num_chunks;
-    meta.bytes_per_chunk =
-        rows == 0 ? 0 : column.ByteSize() / std::max<size_t>(num_chunks, 1);
+    meta.chunk_bytes.resize(num_chunks, 0);
     meta.zone_maps.resize(num_chunks);
-    if (IsNumeric(column.type())) {
-      for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
-        size_t begin = chunk * rows_per_page_;
-        size_t end = std::min(rows, begin + rows_per_page_);
-        ZoneMap& zm = meta.zone_maps[chunk];
-        zm.valid = begin < end;
-        if (zm.valid) {
-          zm.min = column.GetNumeric(begin);
-          zm.max = zm.min;
-          for (size_t r = begin + 1; r < end; ++r) {
-            double v = column.GetNumeric(r);
-            zm.min = std::min(zm.min, v);
-            zm.max = std::max(zm.max, v);
-          }
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      size_t begin = chunk * rows_per_page_;
+      size_t end = std::min(rows, begin + rows_per_page_);
+      meta.chunk_bytes[chunk] = ChunkByteSize(column, begin, end);
+      if (!IsNumeric(column.type())) {
+        continue;
+      }
+      ZoneMap& zm = meta.zone_maps[chunk];
+      // NaN-safe min/max fold: NaN poisons std::min/std::max (the result
+      // depends on operand order), so NaN values are excluded from the
+      // bounds and flagged instead; a zone holding a NaN is never pruned.
+      bool seen = false;
+      for (size_t r = begin; r < end; ++r) {
+        double v = column.GetNumeric(r);
+        if (std::isnan(v)) {
+          zm.has_nan = true;
+          continue;
+        }
+        if (!seen) {
+          zm.min = v;
+          zm.max = v;
+          seen = true;
+        } else {
+          if (v < zm.min) zm.min = v;
+          if (v > zm.max) zm.max = v;
         }
       }
+      zm.valid = seen;
     }
     metas.push_back(std::move(meta));
   }
@@ -79,33 +115,37 @@ const ZoneMap& StorageManager::GetZoneMap(uint32_t table_id,
   return meta.zone_maps[chunk];
 }
 
-void StorageManager::TouchPage(const PageId& page) {
+void StorageManager::TouchPageLocked(const PageId& page) {
   uint64_t key = page.Key();
+  uint64_t stream = (static_cast<uint64_t>(page.table_id) << 32) |
+                    page.column_id;
   auto it = resident_.find(key);
   if (it != resident_.end()) {
-    // Hit: move to MRU position.
+    // Hit: move to MRU position. The stream head advances on hits too —
+    // a warm page in the middle of a sequential scan must not make the
+    // next miss look like a random access and pay a spurious seek.
     lru_.splice(lru_.begin(), lru_, it->second);
+    stream_heads_[stream] = page.chunk;
     ++stats_.page_hits;
     return;
   }
   // Miss: charge the disk model. Sequential pages of the same column skip
   // the seek (per-column stream heads model OS readahead per file).
   const ColumnMeta& meta = GetColumnMeta(page.table_id, page.column_id);
-  uint64_t stream = (static_cast<uint64_t>(page.table_id) << 32) |
-                    page.column_id;
+  PERFEVAL_CHECK_LT(page.chunk, meta.num_chunks);
+  size_t bytes = meta.chunk_bytes[page.chunk];
   auto head = stream_heads_.find(stream);
   bool sequential = head != stream_heads_.end() &&
                     page.chunk == head->second + 1;
-  int64_t stall = static_cast<int64_t>(
-      meta.bytes_per_chunk * disk_.ns_per_byte);
+  int64_t stall = static_cast<int64_t>(bytes * disk_.ns_per_byte);
   if (!sequential) {
     stall += disk_.seek_ns;
   }
   stream_heads_[stream] = page.chunk;
   ++stats_.page_misses;
-  stats_.bytes_read += static_cast<int64_t>(meta.bytes_per_chunk);
+  stats_.bytes_read += static_cast<int64_t>(bytes);
   stats_.stall_ns += stall;
-  total_stall_ns_ += stall;
+  total_stall_ns_.fetch_add(stall, std::memory_order_relaxed);
 
   // Insert at MRU; evict from LRU tail as needed.
   lru_.push_front(key);
@@ -117,30 +157,72 @@ void StorageManager::TouchPage(const PageId& page) {
   }
 }
 
+void StorageManager::TouchPage(const PageId& page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TouchPageLocked(page);
+}
+
 void StorageManager::TouchColumnRange(uint32_t table_id, uint32_t column_id,
                                       size_t row_begin, size_t row_end) {
   if (row_end <= row_begin) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   uint32_t first_chunk = static_cast<uint32_t>(row_begin / rows_per_page_);
   uint32_t last_chunk =
       static_cast<uint32_t>((row_end - 1) / rows_per_page_);
   for (uint32_t chunk = first_chunk; chunk <= last_chunk; ++chunk) {
-    TouchPage(PageId{table_id, column_id, chunk});
+    TouchPageLocked(PageId{table_id, column_id, chunk});
   }
+}
+
+StorageStats StorageManager::TouchMorsel(
+    uint32_t table_id, const std::vector<uint32_t>& column_ids,
+    size_t row_begin, size_t row_end) {
+  if (row_end <= row_begin || column_ids.empty()) {
+    return StorageStats();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  StorageStats before = stats_;
+  uint32_t first_chunk = static_cast<uint32_t>(row_begin / rows_per_page_);
+  uint32_t last_chunk =
+      static_cast<uint32_t>((row_end - 1) / rows_per_page_);
+  for (uint32_t column_id : column_ids) {
+    for (uint32_t chunk = first_chunk; chunk <= last_chunk; ++chunk) {
+      TouchPageLocked(PageId{table_id, column_id, chunk});
+    }
+  }
+  StorageStats delta;
+  delta.page_hits = stats_.page_hits - before.page_hits;
+  delta.page_misses = stats_.page_misses - before.page_misses;
+  delta.bytes_read = stats_.bytes_read - before.bytes_read;
+  delta.stall_ns = stats_.stall_ns - before.stall_ns;
+  return delta;
 }
 
 void StorageManager::TouchColumn(uint32_t table_id, uint32_t column_id) {
   size_t chunks = NumChunks(table_id, column_id);
+  std::lock_guard<std::mutex> lock(mu_);
   for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
-    TouchPage(PageId{table_id, column_id, chunk});
+    TouchPageLocked(PageId{table_id, column_id, chunk});
   }
 }
 
 void StorageManager::FlushCaches() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   resident_.clear();
   stream_heads_.clear();
+}
+
+StorageStats StorageManager::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void StorageManager::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = StorageStats();
 }
 
 }  // namespace db

@@ -1,8 +1,10 @@
 #ifndef PERFEVAL_DB_STORAGE_H_
 #define PERFEVAL_DB_STORAGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,11 +44,22 @@ struct PageId {
 
 /// Min/max statistics of one numeric page — a zone map. Scans with simple
 /// range predicates skip pages whose [min, max] cannot match, avoiding both
-/// the I/O charge and the scan work.
+/// the I/O charge and the scan work. `min`/`max` cover the non-NaN values
+/// only; a page containing any NaN sets `has_nan` and must never be pruned
+/// (NaN compares false against every bound, so [min, max] says nothing
+/// about whether its rows match).
 struct ZoneMap {
   double min = 0.0;
   double max = 0.0;
-  bool valid = false;
+  bool valid = false;    ///< true when the page has at least one non-NaN value.
+  bool has_nan = false;  ///< page holds a NaN; pruning must skip this zone.
+
+  /// True when a range predicate may safely skip the page: the zone is
+  /// valid, NaN-free, and `might_match` (the predicate's verdict on
+  /// [min, max]) is false.
+  bool Prunable(bool might_match) const {
+    return valid && !has_nan && !might_match;
+  }
 };
 
 /// Buffer-pool and I/O statistics since the last ResetStats().
@@ -55,6 +68,14 @@ struct StorageStats {
   int64_t page_misses = 0;
   int64_t bytes_read = 0;
   int64_t stall_ns = 0;
+
+  StorageStats& operator+=(const StorageStats& other) {
+    page_hits += other.page_hits;
+    page_misses += other.page_misses;
+    bytes_read += other.bytes_read;
+    stall_ns += other.stall_ns;
+    return *this;
+  }
 
   std::string ToString() const;
 };
@@ -66,6 +87,14 @@ struct StorageStats {
 /// there: FlushCaches() produces the "clean state ... achieved via a system
 /// reboot"; running a query once re-populates the pool, making later runs
 /// hot.
+///
+/// Thread safety: all page-touch entry points, FlushCaches, ResetStats and
+/// StatsSnapshot serialize on one internal mutex, so concurrent query
+/// streams may share a StorageManager. Determinism under intra-query
+/// parallelism is the caller's contract: parallel scans account their I/O
+/// through TouchMorsel from the coordinating thread in chunk order (one
+/// morsel at a time), so hits/misses/bytes/stall are independent of how
+/// the compute morsels interleave across workers.
 class StorageManager {
  public:
   StorageManager(DiskModel disk, size_t buffer_pool_pages,
@@ -99,32 +128,62 @@ class StorageManager {
   /// Touches all pages of a column (a full scan).
   void TouchColumn(uint32_t table_id, uint32_t column_id);
 
+  /// One morsel's I/O, accounted as a unit: touches the pages of every
+  /// column in `column_ids` overlapping rows [row_begin, row_end) — in
+  /// the given column order, chunks ascending — under a single lock, and
+  /// returns the stats delta charged to exactly this call. Parallel scans
+  /// invoke this per morsel in chunk order from the coordinator and reduce
+  /// the returned deltas in that same order, which makes the aggregate
+  /// StorageStats independent of worker interleaving.
+  StorageStats TouchMorsel(uint32_t table_id,
+                           const std::vector<uint32_t>& column_ids,
+                           size_t row_begin, size_t row_end);
+
   /// Empties the buffer pool — the cold-run "reboot".
   void FlushCaches();
 
+  /// Not synchronized: single-threaded callers (tests, serial tools) only.
+  /// Concurrent readers must use StatsSnapshot().
   const StorageStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = StorageStats(); }
+
+  /// Thread-safe copy of the counters.
+  StorageStats StatsSnapshot() const;
+
+  void ResetStats();
 
   /// Stall accumulated since construction; diff two readings to attribute
-  /// stalls to a measured interval.
-  int64_t total_stall_ns() const { return total_stall_ns_; }
+  /// stalls to a measured interval. Thread-safe (atomic).
+  int64_t total_stall_ns() const {
+    return total_stall_ns_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ColumnMeta {
     size_t num_chunks = 0;
-    size_t bytes_per_chunk = 0;
+    /// Exact bytes per chunk: fixed-width columns charge rows-in-chunk *
+    /// value width (the last chunk of a non-divisible row count is
+    /// smaller); string columns charge the actual footprint of the rows in
+    /// the chunk. Sums to Column::ByteSize().
+    std::vector<size_t> chunk_bytes;
     std::vector<ZoneMap> zone_maps;
   };
 
   const ColumnMeta& GetColumnMeta(uint32_t table_id,
                                   uint32_t column_id) const;
 
+  /// TouchPage body; mu_ must be held.
+  void TouchPageLocked(const PageId& page);
+
   DiskModel disk_;
   size_t buffer_pool_pages_;
   size_t rows_per_page_;
 
-  /// table_id -> per-column metadata.
+  /// table_id -> per-column metadata. Written only by RegisterTable
+  /// (single-threaded load phase), read-only afterwards.
   std::unordered_map<uint32_t, std::vector<ColumnMeta>> tables_;
+
+  /// Guards the buffer pool, stream heads and stats_.
+  mutable std::mutex mu_;
 
   /// LRU buffer pool: most-recent at front.
   std::list<uint64_t> lru_;
@@ -133,11 +192,13 @@ class StorageManager {
   /// Per-column stream heads for sequential-read detection: reading chunk
   /// c+1 of a column right after chunk c of the same column costs no seek,
   /// even when reads of other columns interleave — modelling per-file OS
-  /// readahead.
+  /// readahead. Hits advance the head too: a warm page in the middle of a
+  /// sequential scan keeps the head moving, so the next miss continues the
+  /// stream instead of paying a spurious seek.
   std::unordered_map<uint64_t, uint32_t> stream_heads_;
 
   StorageStats stats_;
-  int64_t total_stall_ns_ = 0;
+  std::atomic<int64_t> total_stall_ns_{0};
 };
 
 }  // namespace db

@@ -113,6 +113,10 @@ const ExperimentSuite& PerfevalSuite() {
         "responses under design/randomized/interleaved orders",
         "build/bench/bench_sched_determinism",
         "stdout + bench_results/a6_sched_determinism.csv", "seconds");
+    add("A7", "Morsel-driven parallel query speedup, Q1/Q6 at 1-8 worker "
+        "threads (results bit-identical at every setting)",
+        "build/bench/bench_parallel_scan",
+        "stdout + bench_results/BENCH_parallel_scan.json", "about a minute");
     s->AddNote(
         "Parallel execution & determinism",
         "Every bench binary takes uniform scheduling flags: `--jobs=N` "
@@ -126,15 +130,27 @@ const ExperimentSuite& PerfevalSuite() {
         "from an RNG stream seeded with hash(experiment id, point index, "
         "replication index) and results are reassembled into design order "
         "before aggregation, so `--jobs=1` and `--jobs=4` are bit-identical "
-        "under every ordering. A6 verifies this end to end.");
+        "under every ordering. A6 verifies this end to end.\n\n"
+        "The database engine itself carries the same invariant one layer "
+        "down: `--dbThreads=N` (equivalently the `dbThreads` property, the "
+        "SQL shell's `\\threads N`, or `db::Database::set_threads`) turns "
+        "on morsel-driven intra-query parallelism — scans, filters and "
+        "aggregations split the input into fixed-size morsels claimed by "
+        "workers from a shared counter, while the coordinator accounts "
+        "simulated I/O per morsel in chunk order. Partial results merge in "
+        "morsel order, so result relations and StorageStats are "
+        "bit-identical at any thread count, in both execution modes. A7 "
+        "measures the speedup and re-verifies the invariant on every run.");
     s->AddNote(
         "ThreadSanitizer",
-        "The scheduler's concurrency tests carry the ctest label `sched` "
-        "and should pass under ThreadSanitizer:\n\n"
+        "The concurrency tests carry ctest labels — `sched` for the "
+        "scheduler, `db` for morsel-parallel query execution — and should "
+        "pass under ThreadSanitizer:\n\n"
         "```sh\n"
         "cmake -B build-tsan -S . -DPERFEVAL_SANITIZE=thread\n"
-        "cmake --build build-tsan --target sched_test\n"
+        "cmake --build build-tsan --target sched_test db_parallel_test\n"
         "ctest --test-dir build-tsan -L sched\n"
+        "ctest --test-dir build-tsan -L db\n"
         "```");
     return s;
   }();

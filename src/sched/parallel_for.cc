@@ -1,0 +1,35 @@
+#include "sched/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "sched/worker_pool.h"
+
+namespace perfeval {
+namespace sched {
+
+void ParallelFor(int threads, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  if (threads <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  int workers =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(threads), count));
+  WorkerPool pool(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool.Submit([&next, count, &fn] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    });
+  }
+  pool.Drain();
+}
+
+}  // namespace sched
+}  // namespace perfeval

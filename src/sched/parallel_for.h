@@ -1,0 +1,27 @@
+#ifndef PERFEVAL_SCHED_PARALLEL_FOR_H_
+#define PERFEVAL_SCHED_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace perfeval {
+namespace sched {
+
+/// Morsel-driven parallel loop: `threads` workers claim indexes [0, count)
+/// from a shared atomic counter and invoke `fn(index)` — the dispatch
+/// discipline of morsel-driven query execution, reusing the sched worker
+/// pool. Claim order is nondeterministic, so callers that need
+/// deterministic output must keep per-index ("per-morsel") state and reduce
+/// it in index order after the call returns; `fn` itself must be safe to
+/// run concurrently for distinct indexes.
+///
+/// Runs inline on the calling thread when `threads` <= 1 or `count` <= 1,
+/// so a threads knob can be wired through unconditionally. All indexes
+/// have completed when the call returns.
+void ParallelFor(int threads, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace sched
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SCHED_PARALLEL_FOR_H_

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "core/timer.h"
+#include "sched/worker_pool.h"
 #include "stats/descriptive.h"
 #include "workload/tpch_queries.h"
 
@@ -58,6 +60,58 @@ ThroughputResult TpchDriver::RunThroughputTest(int num_streams,
                                                uint64_t seed) {
   PERFEVAL_CHECK_GE(num_streams, 1);
   ThroughputResult result;
+  result.streams = MakeStreams(num_streams, seed);
+  for (StreamResult& stream : result.streams) {
+    for (int q : stream.query_order) {
+      double ms = RunQueryMs(q);
+      stream.query_ms.push_back(ms);
+      stream.total_ms += ms;
+    }
+    result.total_ms += stream.total_ms;
+  }
+  double total_queries = static_cast<double>(num_streams) *
+                         static_cast<double>(query_numbers_.size());
+  result.throughput_qph =
+      result.total_ms > 0.0 ? total_queries * 3600'000.0 / result.total_ms
+                            : 0.0;
+  return result;
+}
+
+ThroughputResult TpchDriver::RunConcurrentThroughputTest(int num_streams,
+                                                         uint64_t seed) {
+  PERFEVAL_CHECK_GE(num_streams, 1);
+  ThroughputResult result;
+  result.streams = MakeStreams(num_streams, seed);
+  core::WallTimer wall;
+  {
+    // One worker per stream; each stream owns its pre-allocated
+    // StreamResult slot, so workers never write shared state.
+    sched::WorkerPool pool(num_streams);
+    for (StreamResult& stream_ref : result.streams) {
+      StreamResult* stream = &stream_ref;
+      pool.Submit([this, stream] {
+        for (int q : stream->query_order) {
+          double ms = RunQueryMs(q);
+          stream->query_ms.push_back(ms);
+          stream->total_ms += ms;
+        }
+      });
+    }
+    pool.Drain();
+  }
+  result.total_ms = wall.ElapsedMs();
+  double total_queries = static_cast<double>(num_streams) *
+                         static_cast<double>(query_numbers_.size());
+  result.throughput_qph =
+      result.total_ms > 0.0 ? total_queries * 3600'000.0 / result.total_ms
+                            : 0.0;
+  return result;
+}
+
+std::vector<StreamResult> TpchDriver::MakeStreams(int num_streams,
+                                                  uint64_t seed) {
+  std::vector<StreamResult> streams;
+  streams.reserve(num_streams);
   Pcg32 rng(seed);
   for (int s = 0; s < num_streams; ++s) {
     StreamResult stream;
@@ -67,20 +121,10 @@ ThroughputResult TpchDriver::RunThroughputTest(int num_streams,
       size_t j = rng.NextBounded(static_cast<uint32_t>(i));
       std::swap(stream.query_order[i - 1], stream.query_order[j]);
     }
-    for (int q : stream.query_order) {
-      double ms = RunQueryMs(q);
-      stream.query_ms.push_back(ms);
-      stream.total_ms += ms;
-    }
-    result.total_ms += stream.total_ms;
-    result.streams.push_back(std::move(stream));
+    stream.query_ms.reserve(stream.query_order.size());
+    streams.push_back(std::move(stream));
   }
-  double total_queries = static_cast<double>(num_streams) *
-                         static_cast<double>(query_numbers_.size());
-  result.throughput_qph =
-      result.total_ms > 0.0 ? total_queries * 3600'000.0 / result.total_ms
-                            : 0.0;
-  return result;
+  return streams;
 }
 
 }  // namespace workload

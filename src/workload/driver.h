@@ -26,9 +26,12 @@ struct PowerResult {
 };
 
 /// TPC-H-style throughput test result: S streams, each a different
-/// permutation of the query set, run back to back.
+/// permutation of the query set, run back to back (sequential test) or
+/// at the same time on one worker thread per stream (concurrent test).
 struct ThroughputResult {
   std::vector<StreamResult> streams;
+  /// Sequential test: sum of per-stream totals. Concurrent test: wall
+  /// clock from first stream start to last stream finish.
   double total_ms = 0.0;
   /// Queries per hour: streams * queries * 3600000 / total_ms.
   double throughput_qph = 0.0;
@@ -53,10 +56,22 @@ class TpchDriver {
   /// per stream as in the real benchmark.
   ThroughputResult RunThroughputTest(int num_streams, uint64_t seed = 1);
 
+  /// Same streams and per-stream permutations as RunThroughputTest (the
+  /// permutations depend only on `seed`), but every stream runs on its own
+  /// worker thread against the shared database. `total_ms` is the wall
+  /// clock of the whole batch, so `throughput_qph` measures multi-stream
+  /// scale-up. Result relations stay deterministic; per-query times are
+  /// subject to contention, as in any real concurrent throughput test.
+  ThroughputResult RunConcurrentThroughputTest(int num_streams,
+                                               uint64_t seed = 1);
+
   const std::vector<int>& query_numbers() const { return query_numbers_; }
 
  private:
   double RunQueryMs(int query_number);
+  /// Builds `num_streams` StreamResults with their seeded permutations
+  /// (shared by the sequential and concurrent throughput tests).
+  std::vector<StreamResult> MakeStreams(int num_streams, uint64_t seed);
 
   db::Database* database_;
   std::vector<int> query_numbers_;

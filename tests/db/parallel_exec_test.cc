@@ -1,0 +1,194 @@
+// Determinism tests for morsel-driven parallel execution: thread count is
+// a pure concurrency knob (PR 1's A6 invariant), so result relations AND
+// simulated I/O accounting must be bit-identical at any `threads` setting,
+// in both execution modes. Runs under PERFEVAL_SANITIZE=thread via the
+// `db` ctest label.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "sql/planner.h"
+#include "workload/driver.h"
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+namespace perfeval {
+namespace db {
+namespace {
+
+Database* SharedTpchDb() {
+  static Database* database = [] {
+    auto* d = new Database();
+    workload::TpchGenerator gen(0.005);
+    gen.LoadAll(d);
+    return d;
+  }();
+  return database;
+}
+
+std::string Render(const Table& table) {
+  std::string out;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      out += table.ValueAt(r, c).ToString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+struct RunRecord {
+  std::string rendered;
+  std::string storage_stats;
+};
+
+/// Runs one TPC-H query from a cold, counter-reset storage state so the
+/// accumulated StorageStats of the run are comparable across settings.
+RunRecord RunCold(Database* database, int query_number, ExecMode mode,
+                  int threads) {
+  database->set_threads(threads);
+  database->FlushCaches();
+  database->storage().ResetStats();
+  PlanPtr plan = workload::GetTpchQuery(query_number).Build(*database);
+  QueryResult result = database->Run(plan, mode);
+  RunRecord record;
+  record.rendered = Render(*result.table);
+  record.storage_stats = database->storage().StatsSnapshot().ToString();
+  return record;
+}
+
+class TpchParallelParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchParallelParamTest, ResultsAndStatsBitIdenticalAcrossThreads) {
+  Database* database = SharedTpchDb();
+  for (ExecMode mode : {ExecMode::kOptimized, ExecMode::kDebug}) {
+    SCOPED_TRACE(ExecModeName(mode));
+    RunRecord serial = RunCold(database, GetParam(), mode, 1);
+    RunRecord parallel = RunCold(database, GetParam(), mode, 8);
+    EXPECT_EQ(serial.rendered, parallel.rendered);
+    EXPECT_EQ(serial.storage_stats, parallel.storage_stats);
+  }
+  database->set_threads(1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchParallelParamTest,
+                         ::testing::Range(1, 23));
+
+TEST(ParallelExecTest, RepeatedParallelRunsAreIdentical) {
+  // Same query, same setting, run twice: any scheduling-dependent leak
+  // into results or stats shows up as a diff here.
+  Database* database = SharedTpchDb();
+  RunRecord first = RunCold(database, 1, ExecMode::kOptimized, 8);
+  RunRecord second = RunCold(database, 1, ExecMode::kOptimized, 8);
+  EXPECT_EQ(first.rendered, second.rendered);
+  EXPECT_EQ(first.storage_stats, second.storage_stats);
+  database->set_threads(1);
+}
+
+/// A database whose page size makes morsel boundaries land mid-table, with
+/// a partial last morsel.
+std::unique_ptr<Database> MakeBoundaryDb(size_t rows) {
+  DatabaseOptions options;
+  options.rows_per_page = 1000;
+  auto database = std::make_unique<Database>(options);
+  auto table = std::make_shared<Table>(Schema({{"id", DataType::kInt64},
+                                               {"k", DataType::kInt64},
+                                               {"s", DataType::kString},
+                                               {"v", DataType::kDouble}}));
+  for (size_t i = 0; i < rows; ++i) {
+    table->AppendRow({Value::Int64(static_cast<int64_t>(i)),
+                      Value::Int64(static_cast<int64_t>(i % 7)),
+                      Value::String("g" + std::to_string(i % 5)),
+                      Value::Double(0.001 * static_cast<double>(i) + 0.1)});
+  }
+  database->RegisterTable("t", table);
+  return database;
+}
+
+std::string RunSql(Database* database, const std::string& sql_text,
+                   ExecMode mode, int threads) {
+  database->set_threads(threads);
+  Result<QueryResult> result = sql::RunQuery(sql_text, *database, mode);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? Render(*result->table) : std::string();
+}
+
+class MorselBoundaryParamTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MorselBoundaryParamTest, FilterConcatenationPreservesRowOrder) {
+  // No ORDER BY: the output order is the selection order, so a morsel
+  // concatenated out of place changes the rendering.
+  auto database = MakeBoundaryDb(GetParam());
+  const std::string sql_text = "SELECT id, v FROM t WHERE v < 2.0";
+  for (ExecMode mode : {ExecMode::kOptimized, ExecMode::kDebug}) {
+    SCOPED_TRACE(ExecModeName(mode));
+    std::string serial = RunSql(database.get(), sql_text, mode, 1);
+    EXPECT_EQ(serial, RunSql(database.get(), sql_text, mode, 3));
+    EXPECT_EQ(serial, RunSql(database.get(), sql_text, mode, 8));
+  }
+}
+
+TEST_P(MorselBoundaryParamTest, GroupOrderIsFirstOccurrenceOrder) {
+  auto database = MakeBoundaryDb(GetParam());
+  // Int64 single-key grouping (the optimized fast path) and string-key
+  // grouping; no ORDER BY, so group emission order must be the global
+  // first-occurrence order regardless of which worker saw a group first.
+  for (const std::string& sql_text :
+       {std::string("SELECT k, sum(v) AS s, count(*) AS c FROM t "
+                    "GROUP BY k"),
+        std::string("SELECT s, min(v) AS lo, max(v) AS hi, "
+                    "avg(v) AS mean FROM t GROUP BY s")}) {
+    SCOPED_TRACE(sql_text);
+    for (ExecMode mode : {ExecMode::kOptimized, ExecMode::kDebug}) {
+      SCOPED_TRACE(ExecModeName(mode));
+      std::string serial = RunSql(database.get(), sql_text, mode, 1);
+      EXPECT_EQ(serial, RunSql(database.get(), sql_text, mode, 3));
+      EXPECT_EQ(serial, RunSql(database.get(), sql_text, mode, 8));
+    }
+  }
+}
+
+// 999/1000/1001 straddle the 1000-row page (= morsel) boundary; 2500 adds
+// multiple full morsels plus a partial one; 1 is the degenerate case.
+INSTANTIATE_TEST_SUITE_P(Sizes, MorselBoundaryParamTest,
+                         ::testing::Values(1, 999, 1000, 1001, 2500));
+
+TEST(ParallelExecTest, ConcurrentStreamsMatchSequentialPermutations) {
+  Database* database = SharedTpchDb();
+  database->set_threads(1);
+  workload::TpchDriver driver(database, {1, 6});
+  workload::ThroughputResult sequential = driver.RunThroughputTest(3, 42);
+  workload::ThroughputResult concurrent =
+      driver.RunConcurrentThroughputTest(3, 42);
+  ASSERT_EQ(sequential.streams.size(), concurrent.streams.size());
+  for (size_t s = 0; s < sequential.streams.size(); ++s) {
+    // Identical seeded permutations; every query ran and was timed.
+    EXPECT_EQ(sequential.streams[s].query_order,
+              concurrent.streams[s].query_order);
+    EXPECT_EQ(concurrent.streams[s].query_ms.size(), 2u);
+  }
+  EXPECT_GT(concurrent.total_ms, 0.0);
+  EXPECT_GT(concurrent.throughput_qph, 0.0);
+}
+
+TEST(ParallelExecTest, ConcurrentStreamsLeaveResultsDeterministic) {
+  // Queries executed while other streams run concurrently still return
+  // the same relation as a quiet serial run.
+  Database* database = SharedTpchDb();
+  database->set_threads(2);
+  workload::TpchDriver driver(database, {1, 3, 6});
+  (void)driver.RunConcurrentThroughputTest(4, 7);
+  database->set_threads(1);
+  RunRecord after = RunCold(database, 6, ExecMode::kOptimized, 1);
+  RunRecord baseline = RunCold(database, 6, ExecMode::kOptimized, 1);
+  EXPECT_EQ(after.rendered, baseline.rendered);
+  EXPECT_EQ(after.storage_stats, baseline.storage_stats);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace perfeval

@@ -64,6 +64,10 @@ TEST(SuiteTest, PerfevalSuiteDocumentsSchedulingFlags) {
   EXPECT_NE(doc.find("design|randomized|interleaved"), std::string::npos);
   EXPECT_NE(doc.find("PERFEVAL_SANITIZE=thread"), std::string::npos);
   EXPECT_NE(doc.find("-L sched"), std::string::npos);
+  // ... and the engine-level parallelism knob plus its db-labelled tests.
+  EXPECT_NE(doc.find("--dbThreads"), std::string::npos);
+  EXPECT_NE(doc.find("-L db"), std::string::npos);
+  EXPECT_NE(doc.find("morsel"), std::string::npos);
 }
 
 TEST(SuiteTest, PerfevalSuiteCoversDesignDocIndex) {
@@ -72,10 +76,10 @@ TEST(SuiteTest, PerfevalSuiteCoversDesignDocIndex) {
   const ExperimentSuite& suite = PerfevalSuite();
   for (const char* id :
        {"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "F1", "F2", "F3",
-        "F4", "F5", "A1", "A2", "A3", "A4", "A5", "A6"}) {
+        "F4", "F5", "A1", "A2", "A3", "A4", "A5", "A6", "A7"}) {
     EXPECT_NE(suite.Find(id), nullptr) << id;
   }
-  EXPECT_EQ(suite.experiments().size(), 19u);
+  EXPECT_EQ(suite.experiments().size(), 20u);
 }
 
 TEST(SuiteTest, PerfevalSuiteCommandsPointAtBenchBinaries) {

@@ -1,0 +1,76 @@
+#include "sched/parallel_for.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace perfeval {
+namespace sched {
+namespace {
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  for (auto& h : hits) {
+    h.store(0);
+  }
+  ParallelFor(4, kCount, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SingleThreadRunsInlineInOrder) {
+  std::vector<size_t> order;
+  ParallelFor(1, 17, [&](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 17u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ParallelForTest, ZeroCountNeverInvokes) {
+  bool called = false;
+  ParallelFor(4, 0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleIndexRunsInline) {
+  // count <= 1 must not spin up workers (callers rely on this for cheap
+  // single-morsel plans).
+  std::vector<size_t> order;
+  ParallelFor(8, 1, [&](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST(ParallelForTest, PerIndexSlotsReduceInIndexOrder) {
+  // The intended usage pattern: nondeterministic claim order, per-index
+  // output slots, deterministic reduction by index afterwards.
+  constexpr size_t kCount = 256;
+  std::vector<long long> partial(kCount, 0);
+  ParallelFor(4, kCount, [&](size_t i) {
+    partial[i] = static_cast<long long>(i) * static_cast<long long>(i);
+  });
+  long long sum = 0;
+  for (size_t i = 0; i < kCount; ++i) {
+    sum += partial[i];
+  }
+  EXPECT_EQ(sum, 5559680);  // sum of squares 0..255.
+}
+
+TEST(ParallelForTest, ExcessThreadsClampedToCount) {
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) {
+    h.store(0);
+  }
+  ParallelFor(64, 3, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace sched
+}  // namespace perfeval

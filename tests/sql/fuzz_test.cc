@@ -1,8 +1,9 @@
 // Property test: generate hundreds of random valid SQL queries over the
 // TPC-H schema and check, for each, that the planner accepts them and that
-// debug and optimized execution produce identical results. Guards the
-// whole parse -> bind -> execute pipeline against combination bugs no
-// hand-written test enumerates.
+// debug and optimized execution produce identical results — at one worker
+// thread and at four (morsel-driven parallelism must never change a
+// result). Guards the whole parse -> bind -> execute pipeline against
+// combination bugs no hand-written test enumerates.
 
 #include <set>
 
@@ -38,11 +39,14 @@ class QueryGen {
     std::string sql_text = "SELECT ";
     std::vector<std::string> output_names;
     if (aggregate) {
+      // Mixes string keys with int64 keys (l_suppkey, l_linenumber) so the
+      // single-int-key aggregation fast path is fuzzed too.
       std::string group_col = join ? PickOne({"l_returnflag", "l_shipmode",
                                               "o_orderpriority",
-                                              "o_orderstatus"})
+                                              "o_orderstatus", "l_suppkey"})
                                    : PickOne({"l_returnflag", "l_shipmode",
-                                              "l_linestatus"});
+                                              "l_linestatus", "l_suppkey",
+                                              "l_linenumber"});
       sql_text += group_col + ", " + RandomAggregate() + " AS agg_val";
       output_names = {group_col, "agg_val"};
       sql_text += " FROM lineitem";
@@ -154,28 +158,53 @@ std::string Render(const db::Table& table) {
   return out;
 }
 
-TEST(SqlFuzzTest, RandomQueriesPlanRunAndAgreeAcrossModes) {
+TEST(SqlFuzzTest, RandomQueriesPlanRunAndAgreeAcrossModesAndThreads) {
   QueryGen gen(2026);
   int aggregate_queries = 0;
+  int int_key_groups = 0;
   for (int i = 0; i < 300; ++i) {
     std::string sql_text = gen.Next();
     SCOPED_TRACE(sql_text);
     Result<PlannedQuery> planned = PlanQuery(sql_text, *Db());
     ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+
+    // Every query runs in all four mode x threads combinations; the four
+    // result relations must be bit-identical (A6: concurrency knobs never
+    // change reported results).
+    Db()->set_threads(1);
     Result<db::QueryResult> optimized =
         RunQuery(sql_text, *Db(), db::ExecMode::kOptimized);
     Result<db::QueryResult> debug =
         RunQuery(sql_text, *Db(), db::ExecMode::kDebug);
+    Db()->set_threads(4);
+    Result<db::QueryResult> optimized4 =
+        RunQuery(sql_text, *Db(), db::ExecMode::kOptimized);
+    Result<db::QueryResult> debug4 =
+        RunQuery(sql_text, *Db(), db::ExecMode::kDebug);
+    Db()->set_threads(1);
     ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
     ASSERT_TRUE(debug.ok()) << debug.status().ToString();
+    ASSERT_TRUE(optimized4.ok()) << optimized4.status().ToString();
+    ASSERT_TRUE(debug4.ok()) << debug4.status().ToString();
     ASSERT_EQ(optimized->table->num_rows(), debug->table->num_rows());
-    EXPECT_EQ(Render(*optimized->table), Render(*debug->table));
+    std::string expected = Render(*optimized->table);
+    EXPECT_EQ(expected, Render(*debug->table));
+    EXPECT_EQ(expected, Render(*optimized4->table));
+    EXPECT_EQ(expected, Render(*debug4->table));
+
     aggregate_queries +=
         sql_text.find("GROUP BY") != std::string::npos ? 1 : 0;
+    int_key_groups +=
+        (sql_text.find("GROUP BY l_suppkey") != std::string::npos ||
+         sql_text.find("GROUP BY l_linenumber") != std::string::npos)
+            ? 1
+            : 0;
   }
-  // The generator really exercises both shapes.
+  // The generator really exercises both shapes, including the
+  // single-int-key aggregation fast path.
   EXPECT_GT(aggregate_queries, 100);
   EXPECT_LT(aggregate_queries, 280);
+  EXPECT_GT(int_key_groups, 10);
 }
 
 TEST(SqlFuzzTest, GeneratorIsDeterministic) {
