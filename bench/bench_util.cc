@@ -23,6 +23,8 @@ bool ConsumeScheduleFlag(const std::string& arg,
       {"--isolation=", "isolation"},
       {"--schedSeed=", "schedSeed"},
       {"--dbThreads=", "dbThreads"},
+      {"--dbJoin=", "dbJoin"},
+      {"--radixBits=", "radixBits"},
   };
   for (const auto& flag : kFlags) {
     std::string prefix = flag.prefix;
@@ -33,6 +35,10 @@ bool ConsumeScheduleFlag(const std::string& arg,
   }
   if (arg == "--progress") {
     properties->Set("progress", "true");
+    return true;
+  }
+  if (arg == "--smoke") {
+    properties->Set("smoke", "true");
     return true;
   }
   return false;
@@ -53,6 +59,7 @@ BenchContext::BenchContext(const std::string& experiment_id,
   properties_.SetDefault("schedSeed", "0");
   properties_.SetDefault("progress", "false");
   properties_.SetDefault("dbThreads", "1");
+  properties_.SetDefault("smoke", "false");
   std::vector<std::string> rest = properties_.OverrideFromArgs(argc, argv);
   for (const std::string& arg : rest) {
     if (!ConsumeScheduleFlag(arg, &properties_)) {
@@ -94,6 +101,10 @@ sched::Options BenchContext::ScheduleOptions() const {
 int BenchContext::DbThreads() const {
   int threads = static_cast<int>(properties_.GetInt("dbThreads", 1));
   return threads < 1 ? 1 : threads;
+}
+
+bool BenchContext::Smoke() const {
+  return properties_.GetBool("smoke", false);
 }
 
 std::string BenchContext::ResultPath(const std::string& file_name) const {

@@ -43,6 +43,12 @@ class BenchContext {
   /// any setting, only wall-clock time changes. Clamped to >= 1.
   int DbThreads() const;
 
+  /// `--smoke` (equivalently `-Dsmoke=true`): ask the bench for its
+  /// seconds-scale fast path — tiny configs, few repetitions — so ctest
+  /// can exercise the full measurement/report pipeline on every run. The
+  /// emitted numbers are pipeline checks, not publishable measurements.
+  bool Smoke() const;
+
   /// bench_results/<stem> — all artifacts of this experiment go there.
   std::string ResultPath(const std::string& file_name) const;
 

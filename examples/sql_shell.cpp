@@ -10,6 +10,8 @@
 // Special commands:
 //   \mode debug|optimized    switch execution mode
 //   \threads N               set morsel-parallel worker threads
+//   \join ALGO [BITS]        set equi-join algorithm: legacy|hash|radix
+//                            |merge; optional radix fan-out bits (0=auto)
 //   \flush                   flush the buffer pool (next run is cold)
 //   \trace <sql>             run and print the per-operator trace
 //   \tables                  list catalog tables
@@ -114,6 +116,28 @@ int main(int argc, char** argv) {
         std::printf(
             "worker threads: %d (results are identical at any setting)\n",
             database.threads());
+        continue;
+      }
+      if (StartsWith(trimmed, "\\join")) {
+        std::vector<std::string> parts = Split(trimmed, ' ');
+        if (parts.size() == 2 || parts.size() == 3) {
+          Result<db::JoinAlgo> algo = db::ParseJoinAlgo(parts[1]);
+          if (!algo.ok()) {
+            std::printf("error: %s\n", algo.status().ToString().c_str());
+            continue;
+          }
+          database.set_join_algo(*algo);
+          if (parts.size() == 3) {
+            database.set_radix_bits(std::atoi(parts[2].c_str()));
+          }
+        } else if (parts.size() > 3) {
+          std::printf("usage: \\join <legacy|hash|radix|merge> [bits]\n");
+          continue;
+        }
+        std::printf("join algorithm: %s (radix bits: %d%s)\n",
+                    db::JoinAlgoName(database.join_algo()),
+                    database.radix_bits(),
+                    database.radix_bits() <= 0 ? " = auto" : "");
         continue;
       }
       if (StartsWith(trimmed, "\\load ")) {

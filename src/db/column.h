@@ -83,6 +83,23 @@ class Column {
   const std::vector<double>& doubles() const { return doubles_; }
   const std::vector<std::string>& strings() const { return strings_; }
 
+  /// Mutable raw access for bulk-build kernels (parallel gather): resize
+  /// first, then fill disjoint index ranges from worker threads. Callers
+  /// must leave all columns of a table equally sized and then call
+  /// Table::FinishBulkLoad().
+  std::vector<int64_t>& mutable_ints() {
+    PERFEVAL_CHECK(type_ == DataType::kInt64 || type_ == DataType::kDate);
+    return ints_;
+  }
+  std::vector<double>& mutable_doubles() {
+    PERFEVAL_CHECK(type_ == DataType::kDouble);
+    return doubles_;
+  }
+  std::vector<std::string>& mutable_strings() {
+    PERFEVAL_CHECK(type_ == DataType::kString);
+    return strings_;
+  }
+
   /// Approximate in-memory footprint, used to derive page I/O volume.
   size_t ByteSize() const;
 

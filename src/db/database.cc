@@ -58,6 +58,8 @@ QueryResult Database::Run(const PlanPtr& plan, ExecMode mode, SinkKind sink,
   ctx.profiler = &result.profile;
   ctx.use_zone_maps = use_zone_maps;
   ctx.threads = threads();
+  ctx.join_algo = options_.join_algo;
+  ctx.radix_bits = options_.radix_bits;
 
   // Server phase: execute the plan. Stats are read through the
   // thread-safe snapshot so concurrent query streams never race on the

@@ -29,6 +29,12 @@ struct DatabaseOptions {
   /// StorageStats are bit-identical at any setting; only wall-clock time
   /// may change.
   int threads = 1;
+  /// Physical algorithm for equi-join nodes; a performance knob, not a
+  /// semantic one (see db/join.h).
+  JoinAlgo join_algo = JoinAlgo::kRadix;
+  /// Radix fan-out (log2 partitions) for JoinAlgo::kRadix; <= 0 derives it
+  /// from the hwsim L2 cache profile (ChooseRadixBits).
+  int radix_bits = 0;
 };
 
 /// A query's complete outcome: the result table, server-side timing split
@@ -83,6 +89,15 @@ class Database {
   void set_threads(int threads) {
     options_.threads = threads < 1 ? 1 : threads;
   }
+
+  /// Join algorithm knob; adjustable at runtime (SQL shell `\join ALGO`,
+  /// bench `--dbJoin=ALGO`).
+  JoinAlgo join_algo() const { return options_.join_algo; }
+  void set_join_algo(JoinAlgo algo) { options_.join_algo = algo; }
+
+  /// Radix fan-out override for JoinAlgo::kRadix (<= 0 = auto).
+  int radix_bits() const { return options_.radix_bits; }
+  void set_radix_bits(int bits) { options_.radix_bits = bits; }
 
   /// Empties the buffer pool: the next run is a cold run (slide 32).
   void FlushCaches() { storage_->FlushCaches(); }

@@ -6,6 +6,8 @@
 #include "common/string_util.h"
 #include "core/timer.h"
 #include "db/database.h"
+#include "db/join.h"
+#include "db/sort.h"
 #include "sched/parallel_for.h"
 
 namespace perfeval {
@@ -90,15 +92,18 @@ class TraceScope {
 };
 
 /// Gather: new table containing `rows` of `source` in order. Optimized
-/// mode runs typed tight loops; debug mode goes tuple-at-a-time through
-/// the generic Value path with per-row validation (the interpreted,
-/// assertion-heavy code path of an un-optimized build).
+/// mode runs typed tight loops, morsel-parallel when `threads` > 1 — each
+/// morsel fills a disjoint index range of the pre-sized output vectors, a
+/// pure scatter-by-index, so the result is byte-identical at any thread
+/// count. Debug mode goes tuple-at-a-time through the generic Value path
+/// with per-row validation (the interpreted, assertion-heavy code path of
+/// an un-optimized build).
 std::shared_ptr<Table> GatherRows(const Table& source,
                                   const std::vector<uint32_t>& rows,
-                                  ExecMode mode) {
+                                  ExecMode mode, int threads = 1) {
   auto out = std::make_shared<Table>(source.schema());
-  out->ReserveRows(rows.size());
   if (mode == ExecMode::kDebug) {
+    out->ReserveRows(rows.size());
     for (uint32_t r : rows) {
       PERFEVAL_CHECK_LT(r, source.num_rows());
       std::vector<Value> row;
@@ -110,6 +115,18 @@ std::shared_ptr<Table> GatherRows(const Table& source,
     }
     return out;
   }
+  size_t n = rows.size();
+  size_t num_morsels = (n + kMorselRows - 1) / kMorselRows;
+  auto for_each_range = [&](auto&& fill) {
+    if (threads <= 1 || num_morsels <= 1) {
+      fill(size_t{0}, n);
+      return;
+    }
+    sched::ParallelFor(threads, num_morsels, [&](size_t m) {
+      size_t begin = m * kMorselRows;
+      fill(begin, std::min(n, begin + kMorselRows));
+    });
+  };
   for (size_t c = 0; c < source.num_columns(); ++c) {
     const Column& in = source.column(c);
     Column& dst = out->column(c);
@@ -117,23 +134,35 @@ std::shared_ptr<Table> GatherRows(const Table& source,
       case DataType::kInt64:
       case DataType::kDate: {
         const std::vector<int64_t>& data = in.ints();
-        for (uint32_t r : rows) {
-          dst.AppendInt64(data[r]);
-        }
+        std::vector<int64_t>& target = dst.mutable_ints();
+        target.resize(n);
+        for_each_range([&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            target[i] = data[rows[i]];
+          }
+        });
         break;
       }
       case DataType::kDouble: {
         const std::vector<double>& data = in.doubles();
-        for (uint32_t r : rows) {
-          dst.AppendDouble(data[r]);
-        }
+        std::vector<double>& target = dst.mutable_doubles();
+        target.resize(n);
+        for_each_range([&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            target[i] = data[rows[i]];
+          }
+        });
         break;
       }
       case DataType::kString: {
         const std::vector<std::string>& data = in.strings();
-        for (uint32_t r : rows) {
-          dst.AppendString(data[r]);
-        }
+        std::vector<std::string>& target = dst.mutable_strings();
+        target.resize(n);
+        for_each_range([&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            target[i] = data[rows[i]];
+          }
+        });
         break;
       }
     }
@@ -518,6 +547,73 @@ class ProjectNode : public PlanNode {
   std::vector<std::string> names_;
 };
 
+/// Extracts the (possibly composite) int64 join key for every row in
+/// `rows`. Composite keys pack two 31-bit non-negative columns as
+/// (k1 << 32) | k2 — order-preserving, so the same packing serves hash,
+/// radix and merge algorithms. Debug mode interprets tuple-at-a-time with
+/// validation; optimized mode fills the output morsel-parallel (disjoint
+/// index ranges, so the result is identical at any thread count).
+std::vector<int64_t> ExtractKeys(ExecContext& ctx, const Relation& rel,
+                                 const std::vector<std::string>& names,
+                                 const std::vector<uint32_t>& rows) {
+  PERFEVAL_CHECK(names.size() == 1 || names.size() == 2);
+  std::vector<int64_t> keys(rows.size());
+  if (ctx.mode == ExecMode::kDebug) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      uint32_t r = rows[i];
+      PERFEVAL_CHECK_LT(r, rel.table->num_rows());
+      if (names.size() == 1) {
+        keys[i] = rel.table->ColumnByName(names[0]).GetValue(r).AsInt64();
+        continue;
+      }
+      int64_t k1 = rel.table->ColumnByName(names[0]).GetValue(r).AsInt64();
+      int64_t k2 = rel.table->ColumnByName(names[1]).GetValue(r).AsInt64();
+      PERFEVAL_CHECK(k1 >= 0 && k1 < (int64_t{1} << 31) && k2 >= 0 &&
+                     k2 < (int64_t{1} << 31))
+          << "composite join keys must fit in 31 bits";
+      keys[i] = (k1 << 32) | k2;
+    }
+    return keys;
+  }
+  std::vector<const std::vector<int64_t>*> cols;
+  for (const std::string& name : names) {
+    const Column& column = rel.table->ColumnByName(name);
+    PERFEVAL_CHECK(column.type() == DataType::kInt64)
+        << "hash join requires int64 keys (" << name << ")";
+    cols.push_back(&column.ints());
+  }
+  size_t n = rows.size();
+  size_t num_morsels = (n + kMorselRows - 1) / kMorselRows;
+  auto fill = [&](size_t begin, size_t end) {
+    if (names.size() == 1) {
+      const std::vector<int64_t>& data = *cols[0];
+      for (size_t i = begin; i < end; ++i) {
+        keys[i] = data[rows[i]];
+      }
+      return;
+    }
+    const std::vector<int64_t>& data1 = *cols[0];
+    const std::vector<int64_t>& data2 = *cols[1];
+    for (size_t i = begin; i < end; ++i) {
+      int64_t k1 = data1[rows[i]];
+      int64_t k2 = data2[rows[i]];
+      PERFEVAL_CHECK(k1 >= 0 && k1 < (int64_t{1} << 31) && k2 >= 0 &&
+                     k2 < (int64_t{1} << 31))
+          << "composite join keys must fit in 31 bits";
+      keys[i] = (k1 << 32) | k2;
+    }
+  };
+  if (ctx.threads <= 1 || num_morsels <= 1) {
+    fill(0, n);
+  } else {
+    sched::ParallelFor(ctx.threads, num_morsels, [&](size_t m) {
+      size_t begin = m * kMorselRows;
+      fill(begin, std::min(n, begin + kMorselRows));
+    });
+  }
+  return keys;
+}
+
 class HashJoinNode : public PlanNode {
  public:
   HashJoinNode(PlanPtr left, PlanPtr right,
@@ -536,84 +632,29 @@ class HashJoinNode : public PlanNode {
     Relation left = left_->Execute(ctx);
     Relation right = right_->Execute(ctx);
     TraceScope trace(
-        ctx, "HashJoin(" + left_keys_[0] + "=" + right_keys_[0] + ")",
+        ctx,
+        std::string("HashJoin(") + left_keys_[0] + "=" + right_keys_[0] +
+            ", " + JoinAlgoName(ctx.join_algo) + ")",
         left.num_rows() + right.num_rows());
 
-    auto key_columns = [](const Relation& rel,
-                          const std::vector<std::string>& names) {
-      std::vector<const std::vector<int64_t>*> cols;
-      for (const std::string& name : names) {
-        const Column& column = rel.table->ColumnByName(name);
-        PERFEVAL_CHECK(column.type() == DataType::kInt64)
-            << "hash join requires int64 keys (" << name << ")";
-        cols.push_back(&column.ints());
-      }
-      return cols;
-    };
-    std::vector<const std::vector<int64_t>*> build_cols =
-        key_columns(right, right_keys_);
-    std::vector<const std::vector<int64_t>*> probe_cols =
-        key_columns(left, left_keys_);
+    // Key extraction: the (possibly composite) join key per qualifying
+    // row, plus the row ids, as flat arrays — the match kernels in
+    // db/join.cc are all driven from these. Debug mode derives keys
+    // tuple-at-a-time through the generic Value accessor with per-row
+    // validation (the interpreted path); optimized mode reads raw key
+    // vectors morsel-parallel. Both produce identical keys.
+    std::vector<uint32_t> probe_rows = left.RowIds();
+    std::vector<uint32_t> build_rows = right.RowIds();
+    std::vector<int64_t> probe_keys =
+        ExtractKeys(ctx, left, left_keys_, probe_rows);
+    std::vector<int64_t> build_keys =
+        ExtractKeys(ctx, right, right_keys_, build_rows);
 
-    auto make_key = [](const std::vector<const std::vector<int64_t>*>& cols,
-                       uint32_t r) -> int64_t {
-      if (cols.size() == 1) {
-        return (*cols[0])[r];
-      }
-      int64_t k1 = (*cols[0])[r];
-      int64_t k2 = (*cols[1])[r];
-      PERFEVAL_CHECK(k1 >= 0 && k1 < (int64_t{1} << 31) && k2 >= 0 &&
-                     k2 < (int64_t{1} << 31))
-          << "composite join keys must fit in 31 bits";
-      return (k1 << 32) | k2;
-    };
-
-    // Debug mode derives keys tuple-at-a-time through the generic Value
-    // accessor with per-row validation (the interpreted path); optimized
-    // mode reads raw key vectors. Both produce identical keys.
-    auto make_key_checked = [](const Relation& rel,
-                               const std::vector<std::string>& names,
-                               uint32_t r) -> int64_t {
-      PERFEVAL_CHECK_LT(r, rel.table->num_rows());
-      if (names.size() == 1) {
-        return rel.table->ColumnByName(names[0]).GetValue(r).AsInt64();
-      }
-      int64_t k1 = rel.table->ColumnByName(names[0]).GetValue(r).AsInt64();
-      int64_t k2 = rel.table->ColumnByName(names[1]).GetValue(r).AsInt64();
-      PERFEVAL_CHECK(k1 >= 0 && k1 < (int64_t{1} << 31) && k2 >= 0 &&
-                     k2 < (int64_t{1} << 31))
-          << "composite join keys must fit in 31 bits";
-      return (k1 << 32) | k2;
-    };
-
-    // Build side: key -> row ids.
-    std::unordered_map<int64_t, std::vector<uint32_t>> hash_table;
-    hash_table.reserve(right.num_rows());
-    for (size_t i = 0; i < right.num_rows(); ++i) {
-      uint32_t r = right.RowAt(i);
-      int64_t key = ctx.mode == ExecMode::kDebug
-                        ? make_key_checked(right, right_keys_, r)
-                        : make_key(build_cols, r);
-      hash_table[key].push_back(r);
-    }
-
-    // Probe side.
-    std::vector<uint32_t> out_left;
-    std::vector<uint32_t> out_right;
-    for (size_t i = 0; i < left.num_rows(); ++i) {
-      uint32_t r = left.RowAt(i);
-      int64_t key = ctx.mode == ExecMode::kDebug
-                        ? make_key_checked(left, left_keys_, r)
-                        : make_key(probe_cols, r);
-      auto it = hash_table.find(key);
-      if (it == hash_table.end()) {
-        continue;
-      }
-      for (uint32_t build_row : it->second) {
-        out_left.push_back(r);
-        out_right.push_back(build_row);
-      }
-    }
+    JoinMatches matches =
+        JoinMatch(ctx.join_algo, build_keys, build_rows, probe_keys,
+                  probe_rows, ctx.radix_bits, ctx.threads);
+    const std::vector<uint32_t>& out_left = matches.probe_rows;
+    const std::vector<uint32_t>& out_right = matches.build_rows;
 
     // Materialize: left columns then right columns.
     std::vector<ColumnSpec> specs;
@@ -626,9 +667,9 @@ class HashJoinNode : public PlanNode {
     auto out_table = std::make_shared<Table>(Schema(std::move(specs)));
     out_table->ReserveRows(out_left.size());
     std::shared_ptr<Table> left_part =
-        GatherRows(*left.table, out_left, ctx.mode);
+        GatherRows(*left.table, out_left, ctx.mode, ctx.threads);
     std::shared_ptr<Table> right_part =
-        GatherRows(*right.table, out_right, ctx.mode);
+        GatherRows(*right.table, out_right, ctx.mode, ctx.threads);
     for (size_t c = 0; c < left_part->num_columns(); ++c) {
       out_table->column(c) = left_part->column(c);
     }
@@ -759,9 +800,9 @@ class MergeJoinNode : public PlanNode {
     }
     auto out_table = std::make_shared<Table>(Schema(std::move(specs)));
     std::shared_ptr<Table> left_part =
-        GatherRows(*left.table, out_left, ctx.mode);
+        GatherRows(*left.table, out_left, ctx.mode, ctx.threads);
     std::shared_ptr<Table> right_part =
-        GatherRows(*right.table, out_right, ctx.mode);
+        GatherRows(*right.table, out_right, ctx.mode, ctx.threads);
     for (size_t c = 0; c < left_part->num_columns(); ++c) {
       out_table->column(c) = left_part->column(c);
     }
@@ -1091,25 +1132,11 @@ class SortNode : public PlanNode {
     const Table& table = *input.table;
     std::vector<uint32_t> rows = input.RowIds();
 
-    std::vector<size_t> key_cols;
-    for (const SortKey& key : keys_) {
-      key_cols.push_back(table.schema().MustIndexOf(key.column));
-    }
-    std::stable_sort(
-        rows.begin(), rows.end(), [&](uint32_t a, uint32_t b) {
-          for (size_t k = 0; k < key_cols.size(); ++k) {
-            int c = table.column(key_cols[k])
-                        .GetValue(a)
-                        .Compare(table.column(key_cols[k]).GetValue(b));
-            if (c != 0) {
-              return keys_[k].ascending ? c < 0 : c > 0;
-            }
-          }
-          return false;
-        });
+    RowComparator comparator(table, keys_);
+    StableSortRows(comparator, ctx.threads, &rows);
 
     Relation out;
-    out.table = GatherRows(table, rows, ctx.mode);
+    out.table = GatherRows(table, rows, ctx.mode, ctx.threads);
     trace.Finish(out.num_rows());
     return out;
   }
@@ -1177,21 +1204,10 @@ class TopNNode : public PlanNode {
     const Table& table = *input.table;
     std::vector<uint32_t> rows = input.RowIds();
 
-    std::vector<size_t> key_cols;
-    for (const SortKey& key : keys_) {
-      key_cols.push_back(table.schema().MustIndexOf(key.column));
-    }
-    auto less = [&](uint32_t a, uint32_t b) {
-      for (size_t k = 0; k < key_cols.size(); ++k) {
-        int c = table.column(key_cols[k])
-                    .GetValue(a)
-                    .Compare(table.column(key_cols[k]).GetValue(b));
-        if (c != 0) {
-          return keys_[k].ascending ? c < 0 : c > 0;
-        }
-      }
-      return false;
-    };
+    // Reuses the columnar comparator kernel from the parallel sort; the
+    // bounded partial_sort itself stays serial (O(rows log n) is already
+    // cheap relative to a full sort).
+    RowComparator less(table, keys_);
     if (rows.size() > n_) {
       std::partial_sort(rows.begin(),
                         rows.begin() + static_cast<long>(n_), rows.end(),
@@ -1202,7 +1218,7 @@ class TopNNode : public PlanNode {
     }
 
     Relation out;
-    out.table = GatherRows(table, rows, ctx.mode);
+    out.table = GatherRows(table, rows, ctx.mode, ctx.threads);
     trace.Finish(out.num_rows());
     return out;
   }

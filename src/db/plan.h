@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "db/expr.h"
+#include "db/join.h"
 #include "db/profile.h"
 #include "db/storage.h"
 #include "db/table.h"
@@ -34,14 +35,22 @@ struct ExecContext {
   StorageManager* storage = nullptr;   ///< optional: page I/O accounting.
   Profiler* profiler = nullptr;        ///< optional: operator traces.
   bool use_zone_maps = true;           ///< page skipping in FilterScan.
-  /// Intra-query parallelism: scan/filter/aggregate fan morsels out over
-  /// this many workers (<= 1 runs inline). A pure concurrency knob — per
-  /// the repo's determinism invariant it may change wall-clock time but
-  /// never a result relation or the reported StorageStats: morsel
+  /// Intra-query parallelism: scan/filter/aggregate/join/sort fan work out
+  /// over this many workers (<= 1 runs inline). A pure concurrency knob —
+  /// per the repo's determinism invariant it may change wall-clock time
+  /// but never a result relation or the reported StorageStats: morsel
   /// boundaries are thread-count-independent, partial states are reduced
   /// in morsel order, and I/O is accounted from the coordinator in chunk
   /// order.
   int threads = 1;
+  /// Physical algorithm for equi-join nodes (HashJoin / HashJoin2). For
+  /// each algorithm the join output is deterministic at any `threads`
+  /// setting; different algorithms may emit matches in different (but
+  /// fixed) orders. See db/join.h.
+  JoinAlgo join_algo = JoinAlgo::kRadix;
+  /// Radix fan-out (log2 partitions) for JoinAlgo::kRadix; <= 0 sizes
+  /// partitions to the hwsim L2 profile (ChooseRadixBits).
+  int radix_bits = 0;
 };
 
 /// An intermediate result: a table plus an optional selection vector.

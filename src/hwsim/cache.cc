@@ -91,13 +91,80 @@ void MemoryHierarchy::IssuePrefetch(uint64_t address) {
   ++prefetches_issued_;
 }
 
+void MemoryHierarchy::TrainStream(uint64_t address) {
+  // Per-page training: consecutive misses inside one 4KB page at a
+  // constant delta arm a stream. Pages train independently, so interleaved
+  // sequential streams (a scan plus scattered partition writes) each get
+  // their own detector — up to the stream capacity.
+  uint64_t page = address / kTrainPageBytes;
+  StreamTrainer* trainer = nullptr;
+  StreamTrainer* lru = nullptr;
+  for (StreamTrainer& t : trainers_) {
+    if (t.page == page) {
+      trainer = &t;
+      break;
+    }
+    if (lru == nullptr || t.last_use < lru->last_use) {
+      lru = &t;
+    }
+  }
+  if (trainer == nullptr) {
+    if (trainers_.size() < kMaxStreams) {
+      trainers_.push_back(StreamTrainer());
+      trainer = &trainers_.back();
+    } else {
+      trainer = lru;
+    }
+    trainer->page = page;
+    trainer->last_addr = address;
+    trainer->last_delta = 0;
+    trainer->last_use = prefetch_clock_;
+    return;
+  }
+  int64_t delta = static_cast<int64_t>(address) -
+                  static_cast<int64_t>(trainer->last_addr);
+  if (delta != 0 && delta == trainer->last_delta) {
+    // Two equal same-page strides: arm a stream (reuse an idle slot or
+    // evict the least recently advanced one) and fetch ahead.
+    PrefetchStream* slot = nullptr;
+    for (PrefetchStream& s : streams_) {
+      if (!s.active) {
+        slot = &s;
+        break;
+      }
+      if (slot == nullptr || s.last_use < slot->last_use) {
+        slot = &s;
+      }
+    }
+    if (slot == nullptr || (slot->active && streams_.size() < kMaxStreams)) {
+      streams_.push_back(PrefetchStream());
+      slot = &streams_.back();
+    }
+    slot->active = true;
+    slot->delta = delta;
+    slot->next_expected = address + static_cast<uint64_t>(delta);
+    slot->last_use = prefetch_clock_;
+    IssuePrefetch(slot->next_expected);
+  }
+  trainer->last_delta = delta;
+  trainer->last_addr = address;
+  trainer->last_use = prefetch_clock_;
+}
+
 double MemoryHierarchy::AccessNs(uint64_t address) {
-  // Stream prefetcher: while the access stream follows the learned
-  // stride, stay one step ahead of it (prefetch latency overlaps the
-  // hits, an idealized but standard model).
-  if (next_line_prefetch_ && stream_active_ && address == next_expected_) {
-    next_expected_ = address + static_cast<uint64_t>(stream_delta_);
-    IssuePrefetch(next_expected_);
+  // Stream prefetcher: while the access stream follows a learned stride,
+  // stay one step ahead of it (prefetch latency overlaps the hits, an
+  // idealized but standard model).
+  if (next_line_prefetch_) {
+    ++prefetch_clock_;
+    for (PrefetchStream& s : streams_) {
+      if (s.active && address == s.next_expected) {
+        s.next_expected = address + static_cast<uint64_t>(s.delta);
+        s.last_use = prefetch_clock_;
+        IssuePrefetch(s.next_expected);
+        break;
+      }
+    }
   }
   double latency = 0.0;
   for (CacheLevel& level : levels_) {
@@ -108,19 +175,7 @@ double MemoryHierarchy::AccessNs(uint64_t address) {
   }
   ++memory_accesses_;
   if (next_line_prefetch_) {
-    int64_t delta = static_cast<int64_t>(address) -
-                    static_cast<int64_t>(last_miss_address_);
-    if (have_last_miss_ && delta != 0 && delta == stream_delta_) {
-      // Two misses at a constant stride: arm the stream and fetch ahead.
-      stream_active_ = true;
-      next_expected_ = address + static_cast<uint64_t>(delta);
-      IssuePrefetch(next_expected_);
-    } else {
-      stream_active_ = false;
-      stream_delta_ = delta;
-    }
-    last_miss_address_ = address;
-    have_last_miss_ = true;
+    TrainStream(address);
   }
   return latency + memory_latency_ns_;
 }

@@ -79,16 +79,27 @@ class MemoryHierarchy {
   MemoryHierarchy(std::vector<CacheConfig> levels, double cycle_ns,
                   double memory_latency_ns);
 
-  /// Enables a stride-stream prefetcher: two consecutive demand misses at
-  /// a constant delta establish a stream; the prefetcher then runs one
-  /// delta ahead of the access stream (re-arming on every stream hit), so
-  /// a constant-stride scan stops missing after its first two accesses.
-  /// The mechanism that eventually broke the slide-46 figure's "memory
-  /// wall" for sequential scans — and does nothing for random access.
+  /// Enables a stride-stream prefetcher: demand misses train per-4KB-page
+  /// detectors, and two consecutive same-page misses at a constant delta
+  /// arm a stream that runs one delta ahead of the access stream
+  /// (re-arming on every stream hit), so a constant-stride scan stops
+  /// missing after its first few accesses. Up to kMaxStreams streams are
+  /// tracked concurrently (real L2 prefetchers track a few dozen), so
+  /// interleaved sequential streams — a scan plus the scattered
+  /// per-partition writes of a radix partition pass — are each covered
+  /// until the stream count exceeds capacity, after which LRU thrash turns
+  /// the excess streams back into demand misses. The mechanism that
+  /// eventually broke the slide-46 figure's "memory wall" for sequential
+  /// scans — and does nothing for random access.
   void set_next_line_prefetch(bool enabled) {
     next_line_prefetch_ = enabled;
   }
   bool next_line_prefetch() const { return next_line_prefetch_; }
+
+  /// Concurrent streams the prefetcher tracks; fan-out past this count
+  /// degrades to unprefetched misses (the capacity wall that caps useful
+  /// radix-partition fan-out).
+  static constexpr size_t kMaxStreams = 32;
 
   /// Simulated latency of a load at `address`, in nanoseconds.
   double AccessNs(uint64_t address);
@@ -112,14 +123,29 @@ class MemoryHierarchy {
   int64_t prefetches_issued_ = 0;
   bool next_line_prefetch_ = false;
 
-  // Stream-detector state.
-  uint64_t last_miss_address_ = 0;
-  int64_t stream_delta_ = 0;
-  uint64_t next_expected_ = 0;
-  bool have_last_miss_ = false;
-  bool stream_active_ = false;
+  /// An armed stream: fetches one `delta` ahead while accesses keep
+  /// landing on `next_expected`.
+  struct PrefetchStream {
+    uint64_t next_expected = 0;
+    int64_t delta = 0;
+    uint64_t last_use = 0;
+    bool active = false;
+  };
+  /// Per-page miss history used to detect new streams.
+  struct StreamTrainer {
+    uint64_t page = ~uint64_t{0};
+    uint64_t last_addr = 0;
+    int64_t last_delta = 0;
+    uint64_t last_use = 0;
+  };
+  static constexpr uint64_t kTrainPageBytes = 4096;
+
+  std::vector<PrefetchStream> streams_;
+  std::vector<StreamTrainer> trainers_;
+  uint64_t prefetch_clock_ = 0;
 
   void IssuePrefetch(uint64_t address);
+  void TrainStream(uint64_t address);
 };
 
 }  // namespace hwsim

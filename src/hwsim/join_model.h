@@ -1,0 +1,100 @@
+#ifndef PERFEVAL_HWSIM_JOIN_MODEL_H_
+#define PERFEVAL_HWSIM_JOIN_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwsim/machine.h"
+
+namespace perfeval {
+namespace hwsim {
+
+/// Cost split of one pass of the simulated join, dissected the way the
+/// paper's slide-46/51 figure dissects a scan: instruction-execution time
+/// vs cache/memory-access time per tuple.
+struct JoinPassCost {
+  std::string pass;  ///< "partition", "build", or "probe".
+  int64_t tuples = 0;
+  double cpu_ns_per_tuple = 0.0;
+  double mem_ns_per_tuple = 0.0;
+
+  double TotalNsPerTuple() const {
+    return cpu_ns_per_tuple + mem_ns_per_tuple;
+  }
+  double TotalNs() const {
+    return TotalNsPerTuple() * static_cast<double>(tuples);
+  }
+};
+
+/// Outcome of simulating an equi-join on one machine profile.
+struct JoinCostResult {
+  std::string system;
+  int year = 0;
+  int radix_bits = 0;
+  std::vector<JoinPassCost> passes;
+  std::string counter_report;  ///< per-level hit/miss table, all passes.
+
+  double TotalNs() const {
+    double total = 0.0;
+    for (const JoinPassCost& pass : passes) {
+      total += pass.TotalNs();
+    }
+    return total;
+  }
+  double MemNs() const {
+    double total = 0.0;
+    for (const JoinPassCost& pass : passes) {
+      total += pass.mem_ns_per_tuple * static_cast<double>(pass.tuples);
+    }
+    return total;
+  }
+  double MemoryShare() const {
+    double total = TotalNs();
+    return total == 0.0 ? 0.0 : MemNs() / total;
+  }
+};
+
+/// Parameters of the simulated join. Defaults mirror the engine's layout:
+/// 8-byte keys, a 12-byte partitioned (key, row) tuple, and a 16-byte
+/// hash-table slot per distinct build key.
+struct JoinSpec {
+  int64_t build_rows = 1 << 18;
+  int64_t probe_rows = 1 << 20;
+  /// Radix fan-out (log2 partitions). 0 simulates the non-partitioned
+  /// flat-table join: no partition pass, one hash table spanning the whole
+  /// build side.
+  int radix_bits = 0;
+  size_t key_bytes = 8;
+  size_t tuple_bytes = 12;
+  size_t slot_bytes = 16;
+  /// Instructions per tuple: hash+scatter for the partition pass,
+  /// hash+probe+link for build/probe (simple tight loops).
+  int partition_instructions = 8;
+  int build_instructions = 12;
+  int probe_instructions = 12;
+  /// Enable the hierarchy's stream prefetcher (default on: the engine the
+  /// model explains runs on hardware with one). The partition pass is a
+  /// bundle of sequential streams, so it is nearly free while the stream
+  /// count (1 read + 2^bits write cursors) fits the prefetcher's capacity
+  /// — and degrades past it, which is what caps useful fan-out.
+  bool next_line_prefetch = true;
+  /// Seed for the deterministic pseudo-random key stream.
+  uint64_t seed = 42;
+};
+
+/// Simulates a (radix-partitioned) hash join's address stream through the
+/// machine's cache hierarchy and returns the per-pass CPU/memory split —
+/// the model behind the engine's default radix fan-out: partitioning costs
+/// one extra sequential pass per side, but shrinks the random-access
+/// working set of build+probe from the whole build side to one partition,
+/// which pays off exactly when the whole-side hash table overflows the
+/// cache that partitions fit in. ChooseRadixBits in db/join.cc targets the
+/// L2 of the "Sun Ultra" profile; this model reproduces why.
+JoinCostResult SimulateRadixJoin(const MachineProfile& machine,
+                                 const JoinSpec& spec);
+
+}  // namespace hwsim
+}  // namespace perfeval
+
+#endif  // PERFEVAL_HWSIM_JOIN_MODEL_H_

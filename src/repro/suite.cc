@@ -96,10 +96,12 @@ const ExperimentSuite& PerfevalSuite() {
     add("A1", "Engine factor screening, 2^(k-p) + allocation (ablation)",
         "build/bench/bench_engine_screening",
         "stdout + bench_results/a1_screening.csv", "about a minute");
-    add("A2", "Operator crossovers: hash vs merge join, top-n vs sort "
-        "(ablation)",
+    add("A2", "Operator crossovers: hash vs merge join, top-n vs sort; "
+        "radix bits x threads sweep vs legacy hash join with bootstrap "
+        "CIs + hwsim cost dissection (ablation)",
         "build/bench/bench_join_crossover",
-        "stdout + bench_results/a2_*.csv", "about a minute");
+        "stdout + bench_results/a2_*.csv + "
+        "bench_results/BENCH_join_crossover.json", "about a minute");
     add("A3", "TPC-H-style power and throughput metrics (slide 22)",
         "build/bench/bench_throughput",
         "stdout + bench_results/a3_throughput.csv", "about a minute");

@@ -1,0 +1,41 @@
+#ifndef PERFEVAL_STATS_BOOTSTRAP_H_
+#define PERFEVAL_STATS_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/confidence.h"
+
+namespace perfeval {
+namespace stats {
+
+/// Resamples drawn per bootstrap interval. Large enough that the
+/// percentile endpoints are stable to well under the reporting precision.
+constexpr int kBootstrapResamples = 10000;
+
+/// Percentile-bootstrap confidence interval for the mean of `samples`:
+/// draw `kBootstrapResamples` resamples with replacement, take the
+/// empirical (alpha/2, 1-alpha/2) quantiles of the resampled means. Unlike
+/// the Student-t interval it assumes nothing about the sample
+/// distribution — benchmark timings are routinely skewed and multi-modal,
+/// which is why Kalibera & Jones recommend bootstrap intervals for
+/// reporting measured speedups. Deterministic: `seed` fully determines the
+/// resampling. Requires >= 2 samples.
+ConfidenceInterval BootstrapMeanCI(const std::vector<double>& samples,
+                                   double confidence, uint64_t seed);
+
+/// Percentile-bootstrap interval for the ratio mean(numerator) /
+/// mean(denominator) — the shape of a reported speedup, where numerator
+/// and denominator are independent per-repetition timings of the two
+/// systems. Each resample draws both sides independently with
+/// replacement. `mean` is the plug-in ratio of the full-sample means.
+/// Requires >= 2 samples on each side and a strictly positive denominator
+/// mean in every resample.
+ConfidenceInterval BootstrapRatioCI(const std::vector<double>& numerator,
+                                    const std::vector<double>& denominator,
+                                    double confidence, uint64_t seed);
+
+}  // namespace stats
+}  // namespace perfeval
+
+#endif  // PERFEVAL_STATS_BOOTSTRAP_H_

@@ -95,6 +95,70 @@ INSTANTIATE_TEST_SUITE_P(
                       JoinCase{200, 0, 10, false},     // empty right side.
                       JoinCase{0, 200, 10, false}));   // empty left side.
 
+TEST(MergeJoinTest, DescendingClusteredInputMustStillSort) {
+  // Keys clustered in DESCENDING order: monotone, but not the ascending
+  // order the skip-sort fast path detects (it checks key >= previous).
+  // Taking the fast path here would emit garbage matches, so this guards
+  // the detector's direction.
+  auto database = std::make_unique<Database>();
+  auto make = [&](const char* key_name, const char* value_name,
+                  uint64_t seed) {
+    Pcg32 rng(seed);
+    auto table = std::make_shared<Table>(
+        Schema({{key_name, DataType::kInt64},
+                {value_name, DataType::kInt64}}));
+    std::vector<int64_t> keys;
+    for (size_t i = 0; i < 400; ++i) {
+      keys.push_back(rng.NextInRange(0, 60));
+    }
+    std::sort(keys.begin(), keys.end(), std::greater<int64_t>());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      table->AppendRow({Value::Int64(keys[i]),
+                        Value::Int64(static_cast<int64_t>(i))});
+    }
+    return table;
+  };
+  database->RegisterTable("l", make("lk", "lv", 21));
+  database->RegisterTable("r", make("rk", "rv", 22));
+  PlanPtr hash = HashJoin(Scan("l"), Scan("r"), "lk", "rk");
+  PlanPtr merge = MergeJoin(Scan("l"), Scan("r"), "lk", "rk");
+  for (ExecMode mode : {ExecMode::kOptimized, ExecMode::kDebug}) {
+    QueryResult hash_result = database->Run(hash, mode);
+    QueryResult merge_result = database->Run(merge, mode);
+    ASSERT_GT(hash_result.table->num_rows(), 0u);
+    EXPECT_EQ(RowSet(*hash_result.table), RowSet(*merge_result.table));
+  }
+}
+
+class EmptyInputJoinTest : public ::testing::TestWithParam<JoinAlgo> {};
+
+TEST_P(EmptyInputJoinTest, EmptySidesYieldEmptyJoins) {
+  // Plan-level edge cases for every physical algorithm: empty build side,
+  // empty probe side, both empty. The schema must survive even when no
+  // row does.
+  for (auto [left_rows, right_rows] :
+       {std::pair<size_t, size_t>{0, 200}, {200, 0}, {0, 0}}) {
+    auto database = MakeRandomDb(left_rows, right_rows, 10, 31, false);
+    database->set_join_algo(GetParam());
+    for (PlanPtr plan : {HashJoin(Scan("l"), Scan("r"), "lk", "rk"),
+                         MergeJoin(Scan("l"), Scan("r"), "lk", "rk")}) {
+      for (ExecMode mode : {ExecMode::kOptimized, ExecMode::kDebug}) {
+        QueryResult result = database->Run(plan, mode);
+        EXPECT_EQ(result.table->num_rows(), 0u);
+        EXPECT_EQ(result.table->num_columns(), 4u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, EmptyInputJoinTest,
+                         ::testing::Values(JoinAlgo::kLegacy,
+                                           JoinAlgo::kHash,
+                                           JoinAlgo::kRadix),
+                         [](const auto& info) {
+                           return JoinAlgoName(info.param);
+                         });
+
 TEST(MergeJoinTest, FilteredInputsJoinCorrectly) {
   auto database = MakeRandomDb(300, 300, 50, 5, false);
   const Schema& left = database->GetTable("l").schema();

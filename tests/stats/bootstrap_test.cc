@@ -1,0 +1,97 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace perfeval {
+namespace stats {
+namespace {
+
+TEST(BootstrapMeanCI, BracketsTheSampleMean) {
+  std::vector<double> samples = {9.0, 10.0, 11.0, 10.5, 9.5, 10.2,
+                                 9.8,  10.1, 9.9,  10.4};
+  ConfidenceInterval ci = BootstrapMeanCI(samples, 0.95, 7);
+  EXPECT_NEAR(ci.mean, 10.04, 1e-9);
+  EXPECT_LT(ci.lower, ci.mean);
+  EXPECT_GT(ci.upper, ci.mean);
+  EXPECT_DOUBLE_EQ(ci.confidence, 0.95);
+  // The data spans [9, 11]; resampled means cannot leave that range.
+  EXPECT_GE(ci.lower, 9.0);
+  EXPECT_LE(ci.upper, 11.0);
+}
+
+TEST(BootstrapMeanCI, DeterministicForFixedSeed) {
+  // Continuous-valued samples so the resampled-mean distribution has no
+  // mass points and distinct seeds land on distinct quantile estimates.
+  Pcg32 gen(2024);
+  std::vector<double> samples;
+  for (int i = 0; i < 30; ++i) {
+    samples.push_back(50.0 + gen.NextGaussian() * 10.0);
+  }
+  ConfidenceInterval a = BootstrapMeanCI(samples, 0.95, 123);
+  ConfidenceInterval b = BootstrapMeanCI(samples, 0.95, 123);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+  ConfidenceInterval c = BootstrapMeanCI(samples, 0.95, 124);
+  EXPECT_TRUE(c.lower != a.lower || c.upper != a.upper);
+}
+
+TEST(BootstrapMeanCI, NarrowsWithMoreData) {
+  Pcg32 rng(99);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 200; ++i) {
+    double x = 100.0 + rng.NextGaussian() * 5.0;
+    if (i < 10) {
+      small.push_back(x);
+    }
+    large.push_back(x);
+  }
+  ConfidenceInterval narrow = BootstrapMeanCI(large, 0.95, 1);
+  ConfidenceInterval wide = BootstrapMeanCI(small, 0.95, 1);
+  EXPECT_LT(narrow.HalfWidth(), wide.HalfWidth());
+}
+
+TEST(BootstrapMeanCI, HigherConfidenceIsWider) {
+  std::vector<double> samples = {3.0, 5.0, 4.0, 6.0, 2.0, 5.5, 3.5, 4.5};
+  ConfidenceInterval c90 = BootstrapMeanCI(samples, 0.90, 5);
+  ConfidenceInterval c99 = BootstrapMeanCI(samples, 0.99, 5);
+  EXPECT_LE(c99.lower, c90.lower);
+  EXPECT_GE(c99.upper, c90.upper);
+}
+
+TEST(BootstrapRatioCI, PlugInRatioAndCoverage) {
+  // Numerator ~ 20, denominator ~ 10: the speedup is ~2x and the interval
+  // should comfortably exclude 1 (a real effect, per Kalibera & Jones the
+  // thing a reported speedup must demonstrate).
+  std::vector<double> num = {19.0, 20.0, 21.0, 20.5, 19.5, 20.2};
+  std::vector<double> den = {9.8, 10.1, 10.0, 9.9, 10.2, 10.0};
+  ConfidenceInterval ci = BootstrapRatioCI(num, den, 0.95, 11);
+  EXPECT_NEAR(ci.mean, 2.0, 0.05);
+  EXPECT_GT(ci.lower, 1.0);
+  EXPECT_LT(ci.lower, ci.upper);
+  EXPECT_TRUE(ci.Contains(ci.mean));
+}
+
+TEST(BootstrapRatioCI, DeterministicForFixedSeed) {
+  std::vector<double> num = {4.0, 5.0, 6.0};
+  std::vector<double> den = {2.0, 2.5, 3.0};
+  ConfidenceInterval a = BootstrapRatioCI(num, den, 0.95, 77);
+  ConfidenceInterval b = BootstrapRatioCI(num, den, 0.95, 77);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapRatioCI, NoEffectIntervalContainsOne) {
+  std::vector<double> num = {10.0, 10.4, 9.6, 10.2, 9.8, 10.1, 9.9, 10.0};
+  std::vector<double> den = {10.1, 9.9, 10.3, 9.7, 10.0, 10.2, 9.8, 10.0};
+  ConfidenceInterval ci = BootstrapRatioCI(num, den, 0.95, 3);
+  EXPECT_TRUE(ci.Contains(1.0));
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace perfeval
