@@ -12,6 +12,8 @@
 //   \threads N               set morsel-parallel worker threads
 //   \join ALGO [BITS]        set equi-join algorithm: legacy|hash|radix
 //                            |merge; optional radix fan-out bits (0=auto)
+//   \check on|off            checked execution: operators assert their
+//                            invariants (costs O(input) per operator)
 //   \flush                   flush the buffer pool (next run is cold)
 //   \trace <sql>             run and print the per-operator trace
 //   \tables                  list catalog tables
@@ -138,6 +140,18 @@ int main(int argc, char** argv) {
                     db::JoinAlgoName(database.join_algo()),
                     database.radix_bits(),
                     database.radix_bits() <= 0 ? " = auto" : "");
+        continue;
+      }
+      if (StartsWith(trimmed, "\\check")) {
+        std::vector<std::string> parts = Split(trimmed, ' ');
+        if (parts.size() == 2 && (parts[1] == "on" || parts[1] == "off")) {
+          database.set_check(parts[1] == "on");
+        } else if (parts.size() != 1) {
+          std::printf("usage: \\check on|off\n");
+          continue;
+        }
+        std::printf("checked execution: %s\n",
+                    database.check() ? "on" : "off");
         continue;
       }
       if (StartsWith(trimmed, "\\load ")) {

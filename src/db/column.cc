@@ -18,7 +18,27 @@ void Column::Reserve(size_t n) {
   }
 }
 
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+  }
+  NoteAppend(true);
+}
+
 void Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
   switch (type_) {
     case DataType::kInt64:
       AppendInt64(v.AsInt64());
@@ -36,6 +56,9 @@ void Column::AppendValue(const Value& v) {
 }
 
 Value Column::GetValue(size_t row) const {
+  if (IsNull(row)) {
+    return Value::Null(type_);
+  }
   switch (type_) {
     case DataType::kInt64:
       return Value::Int64(ints_[row]);

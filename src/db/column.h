@@ -40,19 +40,28 @@ class Column {
   void AppendInt64(int64_t v) {
     PERFEVAL_CHECK(type_ == DataType::kInt64 || type_ == DataType::kDate);
     ints_.push_back(v);
+    NoteAppend(false);
   }
   void AppendDouble(double v) {
     PERFEVAL_CHECK(type_ == DataType::kDouble);
     doubles_.push_back(v);
+    NoteAppend(false);
   }
   void AppendString(std::string v) {
     PERFEVAL_CHECK(type_ == DataType::kString);
     strings_.push_back(std::move(v));
+    NoteAppend(false);
   }
   void AppendDate(int32_t days) {
     PERFEVAL_CHECK(type_ == DataType::kDate);
     ints_.push_back(days);
+    NoteAppend(false);
   }
+  /// Appends SQL NULL: a zero/empty placeholder in the payload vector plus
+  /// a set bit in the (lazily materialized) null mask. Raw vector kernels
+  /// would read the placeholder, so execution falls back to Value-based
+  /// row paths whenever has_nulls() is true.
+  void AppendNull();
   void AppendValue(const Value& v);
 
   int64_t GetInt64(size_t row) const { return ints_[row]; }
@@ -77,6 +86,16 @@ class Column {
   }
 
   Value GetValue(size_t row) const;
+
+  /// True if row holds SQL NULL (the payload slot is a placeholder).
+  bool IsNull(size_t row) const {
+    return !nulls_.empty() && nulls_[row] != 0;
+  }
+  /// True if any NULL was ever appended. The mask is only materialized on
+  /// the first NULL, so null-free columns pay one empty() branch.
+  bool has_nulls() const { return !nulls_.empty(); }
+  /// Raw mask (empty when the column never saw a NULL; else 1 = NULL).
+  const std::vector<uint8_t>& null_mask() const { return nulls_; }
 
   /// Raw vector access for vectorized kernels.
   const std::vector<int64_t>& ints() const { return ints_; }
@@ -104,10 +123,28 @@ class Column {
   size_t ByteSize() const;
 
  private:
+  /// Keeps the lazily materialized null mask in sync after one payload
+  /// slot has been pushed.
+  void NoteAppend(bool is_null) {
+    if (is_null && nulls_.empty()) {
+      // Backfill zeros for the rows appended before the first NULL. When
+      // the NULL *is* the first row this leaves the mask empty, so the
+      // new bit must be pushed unconditionally — guarding it on
+      // !nulls_.empty() silently dropped the flag of a leading NULL.
+      nulls_.assign(size() - 1, 0);
+      nulls_.push_back(1);
+      return;
+    }
+    if (!nulls_.empty()) {
+      nulls_.push_back(is_null ? 1 : 0);
+    }
+  }
+
   DataType type_;
   std::vector<int64_t> ints_;      // kInt64 and kDate payloads.
   std::vector<double> doubles_;    // kDouble payload.
   std::vector<std::string> strings_;
+  std::vector<uint8_t> nulls_;     // empty unless a NULL was appended.
 };
 
 }  // namespace db

@@ -11,12 +11,16 @@ namespace {
 
 /// Splits one CSV record honoring quotes. Records may span lines when a
 /// quoted field contains '\n'; the caller passes the full text and an
-/// advancing cursor.
+/// advancing cursor. `*saw_quote` reports whether the record used any
+/// quoting — a line holding only `""` yields the same single empty field
+/// as a truly blank line, and the caller must not skip it as blank.
 Result<std::vector<std::string>> ReadRecord(const std::string& text,
-                                            size_t* cursor) {
+                                            size_t* cursor,
+                                            bool* saw_quote) {
   std::vector<std::string> fields;
   std::string field;
   bool in_quotes = false;
+  *saw_quote = false;
   size_t i = *cursor;
   const size_t n = text.size();
   for (; i < n; ++i) {
@@ -36,6 +40,7 @@ Result<std::vector<std::string>> ReadRecord(const std::string& text,
     }
     if (c == '"') {
       in_quotes = true;
+      *saw_quote = true;
     } else if (c == ',') {
       fields.push_back(std::move(field));
       field.clear();
@@ -68,13 +73,18 @@ DataType InferColumnType(const std::vector<std::vector<std::string>>& rows,
   bool all_int = true;
   bool all_date = true;
   bool all_double = true;
+  size_t non_empty = 0;
   for (const std::vector<std::string>& row : rows) {
     const std::string& value = row[column];
+    if (value.empty()) {
+      continue;  // empty fields load as NULL; they don't vote on the type.
+    }
+    ++non_empty;
     all_int &= IsInt(value);
     all_date &= IsDate(value);
     all_double &= IsDouble(value);
   }
-  if (rows.empty()) {
+  if (non_empty == 0) {
     return DataType::kString;
   }
   if (all_int) {
@@ -96,6 +106,10 @@ Result<Value> ParseTyped(const std::string& text, DataType type,
         StrFormat("row %zu, column '%s': '%s' is not a valid %s",
                   row_number, column.c_str(), text.c_str(), what));
   };
+  if (text.empty() && type != DataType::kString) {
+    // An empty numeric/date field is NULL (a string field stays "").
+    return Value::Null(type);
+  }
   switch (type) {
     case DataType::kInt64: {
       std::optional<int64_t> v = ParseInt64(text);
@@ -129,9 +143,10 @@ Result<Value> ParseTyped(const std::string& text, DataType type,
 Result<std::shared_ptr<Table>> ParseCsvText(const std::string& text,
                                             const Schema* schema) {
   size_t cursor = 0;
+  bool saw_quote = false;
   PERFEVAL_ASSIGN_OR_RETURN(std::vector<std::string> header,
-                            ReadRecord(text, &cursor));
-  if (header.size() == 1 && header[0].empty()) {
+                            ReadRecord(text, &cursor, &saw_quote));
+  if (header.size() == 1 && header[0].empty() && !saw_quote) {
     return Status::InvalidArgument("CSV has no header line");
   }
   if (schema != nullptr) {
@@ -153,9 +168,9 @@ Result<std::shared_ptr<Table>> ParseCsvText(const std::string& text,
   std::vector<std::vector<std::string>> records;
   while (cursor < text.size()) {
     PERFEVAL_ASSIGN_OR_RETURN(std::vector<std::string> record,
-                              ReadRecord(text, &cursor));
-    if (record.size() == 1 && record[0].empty()) {
-      continue;  // blank line.
+                              ReadRecord(text, &cursor, &saw_quote));
+    if (record.size() == 1 && record[0].empty() && !saw_quote) {
+      continue;  // blank line — but `""` is a real one-field record.
     }
     if (record.size() != header.size()) {
       return Status::InvalidArgument(StrFormat(
@@ -191,6 +206,85 @@ Result<std::shared_ptr<Table>> ParseCsvText(const std::string& text,
     table->AppendRow(row);
   }
   return table;
+}
+
+namespace {
+
+/// RFC-4180 quoting: fields holding the delimiter, a quote, or a line
+/// break are wrapped in quotes with `"` doubled. Everything else is
+/// written bare (so an empty field round-trips back to NULL for
+/// numeric/date columns).
+void AppendCsvField(const std::string& field, std::string* out) {
+  bool needs_quotes = field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quotes) {
+    *out += field;
+    return;
+  }
+  *out += '"';
+  for (char c : field) {
+    if (c == '"') {
+      *out += '"';
+    }
+    *out += c;
+  }
+  *out += '"';
+}
+
+std::string RenderCsvCell(const Column& column, size_t row) {
+  if (column.IsNull(row)) {
+    return "";
+  }
+  switch (column.type()) {
+    case DataType::kInt64:
+      return StrFormat("%lld",
+                       static_cast<long long>(column.GetInt64(row)));
+    case DataType::kDouble:
+      // Shortest round-trippable rendering: %.17g survives the
+      // text → double → text cycle bit-exactly.
+      return StrFormat("%.17g", column.GetDouble(row));
+    case DataType::kDate:
+      return FormatDate(column.GetDate(row));
+    case DataType::kString:
+      return column.GetString(row);
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string WriteCsvText(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) {
+      out += ',';
+    }
+    AppendCsvField(schema.column(c).name, &out);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) {
+        out += ',';
+      }
+      AppendCsvField(RenderCsvCell(table.column(c), r), &out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open CSV file for writing: " + path);
+  }
+  file << WriteCsvText(table);
+  file.close();
+  if (!file) {
+    return Status::IoError("failed writing CSV file: " + path);
+  }
+  return Status::OK();
 }
 
 Result<std::shared_ptr<Table>> LoadCsv(const std::string& path,

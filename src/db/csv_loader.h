@@ -11,12 +11,14 @@ namespace perfeval {
 namespace db {
 
 /// Loads a CSV file (RFC-4180-ish: ',' separator, '"' quoting with ""
-/// escapes, first line is the header) into a table. With an explicit
-/// schema, header names must match the schema's column names in order and
-/// values must parse as the declared types. Without one, types are
-/// inferred per column from the data: int64 if every value parses as an
-/// integer, else date if every value is "YYYY-MM-DD", else double, else
-/// string. Empty numeric/date fields are errors (the engine has no NULLs).
+/// escapes — delimiters and line breaks inside quoted fields are data —
+/// first line is the header; a missing trailing newline is fine) into a
+/// table. With an explicit schema, header names must match the schema's
+/// column names in order and values must parse as the declared types.
+/// Without one, types are inferred per column from the non-empty values:
+/// int64 if every one parses as an integer, else date if every one is
+/// "YYYY-MM-DD", else double, else string. An empty numeric/date field
+/// loads as NULL (empty string fields stay "").
 ///
 /// This is the on-ramp for experimenting on one's own data — the paper's
 /// real-life-application workload class (slides 16-17) — through the same
@@ -28,6 +30,14 @@ Result<std::shared_ptr<Table>> LoadCsv(const std::string& path);
 /// Parses CSV text directly (used by LoadCsv and tests).
 Result<std::shared_ptr<Table>> ParseCsvText(const std::string& text,
                                             const Schema* schema);
+
+/// Renders a table back to CSV with RFC-4180 quoting (fields holding the
+/// delimiter, quotes or line breaks are quoted; NULL renders as an empty
+/// field; doubles use a round-trippable %.17g). LoadCsv(WriteCsv(t))
+/// reproduces t exactly for any table whose strings are non-empty — an
+/// empty string and NULL both render as the empty field.
+std::string WriteCsvText(const Table& table);
+Status WriteCsv(const Table& table, const std::string& path);
 
 }  // namespace db
 }  // namespace perfeval

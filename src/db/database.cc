@@ -60,6 +60,7 @@ QueryResult Database::Run(const PlanPtr& plan, ExecMode mode, SinkKind sink,
   ctx.threads = threads();
   ctx.join_algo = options_.join_algo;
   ctx.radix_bits = options_.radix_bits;
+  ctx.check = options_.check;
 
   // Server phase: execute the plan. Stats are read through the
   // thread-safe snapshot so concurrent query streams never race on the

@@ -35,6 +35,10 @@ struct DatabaseOptions {
   /// Radix fan-out (log2 partitions) for JoinAlgo::kRadix; <= 0 derives it
   /// from the hwsim L2 cache profile (ChooseRadixBits).
   int radix_bits = 0;
+  /// Checked execution: operators assert their own invariants and queries
+  /// fail with QueryError on violation (see ExecContext::check). SQL shell
+  /// `\check on`.
+  bool check = false;
 };
 
 /// A query's complete outcome: the result table, server-side timing split
@@ -98,6 +102,10 @@ class Database {
   /// Radix fan-out override for JoinAlgo::kRadix (<= 0 = auto).
   int radix_bits() const { return options_.radix_bits; }
   void set_radix_bits(int bits) { options_.radix_bits = bits; }
+
+  /// Checked execution knob; adjustable at runtime (SQL shell `\check`).
+  bool check() const { return options_.check; }
+  void set_check(bool check) { options_.check = check; }
 
   /// Empties the buffer pool: the next run is a cold run (slide 32).
   void FlushCaches() { storage_->FlushCaches(); }

@@ -1,0 +1,45 @@
+#ifndef PERFEVAL_DB_ERROR_H_
+#define PERFEVAL_DB_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace perfeval {
+namespace db {
+
+/// A runtime query failure raised from inside plan execution: checked
+/// integer arithmetic that would wrap, or a checked-mode operator
+/// invariant that does not hold. The engine otherwise reports errors as
+/// Status values, but operator kernels sit several stack frames below
+/// Database::Run (including inside sched::ParallelFor worker lambdas,
+/// which catch and re-raise on the coordinator), so an exception is the
+/// only clean way out mid-query. sql::RunQuery converts a QueryError back
+/// into an error Status, keeping the public surface exception-free.
+class QueryError : public std::runtime_error {
+ public:
+  QueryError(StatusCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  StatusCode code() const { return code_; }
+  Status ToStatus() const { return Status(code_, what()); }
+
+  /// Checked arithmetic that would overflow/wrap.
+  static QueryError Overflow(std::string message) {
+    return QueryError(StatusCode::kOutOfRange, std::move(message));
+  }
+  /// A checked-mode operator invariant that failed — an engine bug.
+  static QueryError Invariant(std::string message) {
+    return QueryError(StatusCode::kInternal, std::move(message));
+  }
+
+ private:
+  StatusCode code_;
+};
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_ERROR_H_

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "db/invariants.h"
 
 namespace perfeval {
 namespace db {
@@ -58,7 +59,14 @@ bool SimplePredicate::MightMatch(double page_min, double page_max) const {
 }
 
 bool Expr::EvalBool(const Table& table, size_t row) const {
-  return EvalRow(table, row).AsInt64() != 0;
+  // Kleene three-valued logic inside the expression tree (EvalRow returns
+  // NULL for UNKNOWN), collapsed to "not selected" only here at the filter
+  // boundary. NOT over a null-condition row therefore also drops the row,
+  // so COUNT(P) + COUNT(NOT P) == COUNT(*) only holds for NULL-free
+  // inputs; with NULLs the rows where P is UNKNOWN form the third
+  // partition leg: COUNT(P) + COUNT(NOT P) + COUNT(P IS NULL) == COUNT(*).
+  Value v = EvalRow(table, row);
+  return !v.is_null() && v.AsInt64() != 0;
 }
 
 void Expr::EvalNumericBatch(const Table& table,
@@ -185,12 +193,25 @@ class CmpExpr : public Expr {
   }
 
   Value EvalRow(const Table& table, size_t row) const override {
-    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+    Value a = lhs_->EvalRow(table, row);
+    Value b = rhs_->EvalRow(table, row);
+    // Comparing against NULL is UNKNOWN (Kleene three-valued logic), so
+    // NOT / AND / OR above this node propagate it instead of treating it
+    // as a plain false.
+    if (a.is_null() || b.is_null()) {
+      return Value::Null(DataType::kInt64);
+    }
+    return Value::Int64(CompareValues(op_, a, b) ? 1 : 0);
   }
 
   bool EvalBool(const Table& table, size_t row) const override {
-    return CompareValues(op_, lhs_->EvalRow(table, row),
-                         rhs_->EvalRow(table, row));
+    Value a = lhs_->EvalRow(table, row);
+    Value b = rhs_->EvalRow(table, row);
+    // At the selection boundary UNKNOWN does not select the row.
+    if (a.is_null() || b.is_null()) {
+      return false;
+    }
+    return CompareValues(op_, a, b);
   }
 
   bool AsSimplePredicate(SimplePredicate* out) const override {
@@ -226,10 +247,24 @@ class AndExpr : public Expr {
   }
 
   Value EvalRow(const Table& table, size_t row) const override {
-    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+    // Kleene AND: FALSE dominates UNKNOWN.
+    Value a = lhs_->EvalRow(table, row);
+    if (!a.is_null() && a.AsInt64() == 0) {
+      return Value::Int64(0);
+    }
+    Value b = rhs_->EvalRow(table, row);
+    if (!b.is_null() && b.AsInt64() == 0) {
+      return Value::Int64(0);
+    }
+    if (a.is_null() || b.is_null()) {
+      return Value::Null(DataType::kInt64);
+    }
+    return Value::Int64(1);
   }
 
   bool EvalBool(const Table& table, size_t row) const override {
+    // Collapsing Kleene's UNKNOWN to "not selected" commutes with AND, so
+    // the short-circuit over the children's collapsed values is exact.
     return lhs_->EvalBool(table, row) && rhs_->EvalBool(table, row);
   }
 
@@ -258,10 +293,23 @@ class OrExpr : public Expr {
   }
 
   Value EvalRow(const Table& table, size_t row) const override {
-    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+    // Kleene OR: TRUE dominates UNKNOWN.
+    Value a = lhs_->EvalRow(table, row);
+    if (!a.is_null() && a.AsInt64() != 0) {
+      return Value::Int64(1);
+    }
+    Value b = rhs_->EvalRow(table, row);
+    if (!b.is_null() && b.AsInt64() != 0) {
+      return Value::Int64(1);
+    }
+    if (a.is_null() || b.is_null()) {
+      return Value::Null(DataType::kInt64);
+    }
+    return Value::Int64(0);
   }
 
   bool EvalBool(const Table& table, size_t row) const override {
+    // Collapsing UNKNOWN to "not selected" commutes with OR too.
     return lhs_->EvalBool(table, row) || rhs_->EvalBool(table, row);
   }
 
@@ -283,11 +331,19 @@ class NotExpr : public Expr {
   }
 
   Value EvalRow(const Table& table, size_t row) const override {
-    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+    // NOT UNKNOWN is UNKNOWN — negation must see the operand's three-
+    // valued result, not its collapsed boolean, or NOT(x > 0) would turn
+    // a NULL x into a selected row.
+    Value v = operand_->EvalRow(table, row);
+    if (v.is_null()) {
+      return Value::Null(DataType::kInt64);
+    }
+    return Value::Int64(v.AsInt64() != 0 ? 0 : 1);
   }
 
   bool EvalBool(const Table& table, size_t row) const override {
-    return !operand_->EvalBool(table, row);
+    Value v = operand_->EvalRow(table, row);
+    return !v.is_null() && v.AsInt64() == 0;
   }
 
   std::string ToString() const override {
@@ -301,21 +357,47 @@ class NotExpr : public Expr {
 class ArithExpr : public Expr {
  public:
   ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
-      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {
+    // Integer-typed operands stay in checked int64 arithmetic (division
+    // excepted: it produces a double ratio). Probing the children with an
+    // empty schema is safe: every node's ResultType ignores it except
+    // ColumnRefExpr, which resolved its type at construction.
+    Schema empty;
+    int_path_ = op_ != ArithOp::kDiv &&
+                lhs_->ResultType(empty) == DataType::kInt64 &&
+                rhs_->ResultType(empty) == DataType::kInt64;
+  }
 
   DataType ResultType(const Schema&) const override {
-    return DataType::kDouble;
+    return int_path_ ? DataType::kInt64 : DataType::kDouble;
   }
 
   Value EvalRow(const Table& table, size_t row) const override {
-    double a = lhs_->EvalRow(table, row).AsDouble();
-    double b = rhs_->EvalRow(table, row).AsDouble();
-    return Value::Double(Apply(a, b));
+    Value a = lhs_->EvalRow(table, row);
+    Value b = rhs_->EvalRow(table, row);
+    // NULL is absorbing in arithmetic.
+    if (a.is_null() || b.is_null()) {
+      return Value::Null(ResultType(table.schema()));
+    }
+    if (int_path_) {
+      return Value::Int64(ApplyInt(a.AsInt64(), b.AsInt64()));
+    }
+    return Value::Double(Apply(a.AsDouble(), b.AsDouble()));
   }
 
   void EvalNumericBatch(const Table& table,
                         const std::vector<uint32_t>& rows,
                         std::vector<double>* out) const override {
+    if (int_path_) {
+      // Keep the vectorized path on the exact same checked int64
+      // computation as EvalRow — an unchecked double fallback here would
+      // make overflow detection depend on the execution mode.
+      out->resize(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        (*out)[i] = static_cast<double>(EvalRow(table, rows[i]).AsInt64());
+      }
+      return;
+    }
     std::vector<double> lhs_values;
     std::vector<double> rhs_values;
     lhs_->EvalNumericBatch(table, rows, &lhs_values);
@@ -365,9 +447,25 @@ class ArithExpr : public Expr {
     return 0.0;
   }
 
+  int64_t ApplyInt(int64_t a, int64_t b) const {
+    switch (op_) {
+      case ArithOp::kAdd:
+        return CheckedAdd(a, b, "integer +");
+      case ArithOp::kSub:
+        return CheckedSub(a, b, "integer -");
+      case ArithOp::kMul:
+        return CheckedMul(a, b, "integer *");
+      case ArithOp::kDiv:
+        break;  // never on the int path.
+    }
+    PERFEVAL_CHECK(false) << "int arithmetic path on division";
+    return 0;
+  }
+
   ArithOp op_;
   ExprPtr lhs_;
   ExprPtr rhs_;
+  bool int_path_ = false;
 };
 
 /// SQL LIKE matcher: '%' matches any run, '_' any single character.
@@ -408,11 +506,16 @@ class LikeExpr : public Expr {
   }
 
   Value EvalRow(const Table& table, size_t row) const override {
-    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+    Value v = operand_->EvalRow(table, row);
+    if (v.is_null()) {  // NULL LIKE p is UNKNOWN, so NOT LIKE stays NULL.
+      return Value::Null(DataType::kInt64);
+    }
+    return Value::Int64(LikeMatch(v.AsString(), pattern_) ? 1 : 0);
   }
 
   bool EvalBool(const Table& table, size_t row) const override {
-    return LikeMatch(operand_->EvalRow(table, row).AsString(), pattern_);
+    Value v = operand_->EvalRow(table, row);
+    return !v.is_null() && LikeMatch(v.AsString(), pattern_);
   }
 
   std::string ToString() const override {
@@ -436,11 +539,16 @@ class InStringsExpr : public Expr {
   }
 
   Value EvalRow(const Table& table, size_t row) const override {
-    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+    Value v = operand_->EvalRow(table, row);
+    if (v.is_null()) {  // NULL IN (...) is UNKNOWN.
+      return Value::Null(DataType::kInt64);
+    }
+    return Value::Int64(values_.count(v.AsString()) > 0 ? 1 : 0);
   }
 
   bool EvalBool(const Table& table, size_t row) const override {
-    return values_.count(operand_->EvalRow(table, row).AsString()) > 0;
+    Value v = operand_->EvalRow(table, row);
+    return !v.is_null() && values_.count(v.AsString()) > 0;
   }
 
   std::string ToString() const override {
@@ -470,12 +578,18 @@ class ContainsExpr : public Expr {
   }
 
   Value EvalRow(const Table& table, size_t row) const override {
-    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+    Value v = operand_->EvalRow(table, row);
+    if (v.is_null()) {  // NULL never "contains" anything: UNKNOWN.
+      return Value::Null(DataType::kInt64);
+    }
+    return Value::Int64(
+        v.AsString().find(needle_) != std::string::npos ? 1 : 0);
   }
 
   bool EvalBool(const Table& table, size_t row) const override {
-    return operand_->EvalRow(table, row).AsString().find(needle_) !=
-           std::string::npos;
+    Value v = operand_->EvalRow(table, row);
+    return !v.is_null() &&
+           v.AsString().find(needle_) != std::string::npos;
   }
 
   std::string ToString() const override {
@@ -496,10 +610,14 @@ class YearExpr : public Expr {
   }
 
   Value EvalRow(const Table& table, size_t row) const override {
+    Value v = operand_->EvalRow(table, row);
+    if (v.is_null()) {
+      return Value::Null(DataType::kInt64);
+    }
     int year = 0;
     int month = 0;
     int day = 0;
-    YmdFromDate(operand_->EvalRow(table, row).AsDate(), &year, &month, &day);
+    YmdFromDate(v.AsDate(), &year, &month, &day);
     return Value::Int64(year);
   }
 
@@ -579,11 +697,16 @@ class InIntsExpr : public Expr {
   }
 
   Value EvalRow(const Table& table, size_t row) const override {
-    return Value::Int64(EvalBool(table, row) ? 1 : 0);
+    Value v = operand_->EvalRow(table, row);
+    if (v.is_null()) {  // NULL IN (...) is UNKNOWN.
+      return Value::Null(DataType::kInt64);
+    }
+    return Value::Int64(values_.count(v.AsInt64()) > 0 ? 1 : 0);
   }
 
   bool EvalBool(const Table& table, size_t row) const override {
-    return values_.count(operand_->EvalRow(table, row).AsInt64()) > 0;
+    Value v = operand_->EvalRow(table, row);
+    return !v.is_null() && values_.count(v.AsInt64()) > 0;
   }
 
   std::string ToString() const override {
@@ -615,7 +738,11 @@ class SubstrExpr : public Expr {
   }
 
   Value EvalRow(const Table& table, size_t row) const override {
-    const std::string s = operand_->EvalRow(table, row).AsString();
+    Value v = operand_->EvalRow(table, row);
+    if (v.is_null()) {
+      return Value::Null(DataType::kString);
+    }
+    const std::string s = v.AsString();
     size_t start = pos_ - 1;
     if (start >= s.size()) {
       return Value::String("");

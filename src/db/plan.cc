@@ -1,11 +1,15 @@
 #include "db/plan.h"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "common/string_util.h"
 #include "core/timer.h"
 #include "db/database.h"
+#include "db/error.h"
+#include "db/invariants.h"
 #include "db/join.h"
 #include "db/sort.h"
 #include "sched/parallel_for.h"
@@ -61,6 +65,28 @@ namespace {
 /// and in both execution modes.
 constexpr size_t kMorselRows = 4096;
 
+/// ParallelFor with QueryError containment: morsel work can throw (checked
+/// int64 aggregation, checked-mode assertions), but an exception escaping
+/// a sched::ParallelFor worker lambda would std::terminate the process.
+/// Each morsel's error is captured in its own slot and the lowest-index
+/// one is rethrown on the coordinator — deterministic at any thread count.
+void ParallelMorsels(int threads, size_t count,
+                     const std::function<void(size_t)>& fn) {
+  std::vector<std::unique_ptr<QueryError>> errors(count);
+  sched::ParallelFor(threads, count, [&](size_t m) {
+    try {
+      fn(m);
+    } catch (const QueryError& e) {
+      errors[m] = std::make_unique<QueryError>(e);
+    }
+  });
+  for (const std::unique_ptr<QueryError>& e : errors) {
+    if (e != nullptr) {
+      throw *e;
+    }
+  }
+}
+
 /// RAII operator trace: measures wall time and attributes storage stalls.
 class TraceScope {
  public:
@@ -102,7 +128,10 @@ std::shared_ptr<Table> GatherRows(const Table& source,
                                   const std::vector<uint32_t>& rows,
                                   ExecMode mode, int threads = 1) {
   auto out = std::make_shared<Table>(source.schema());
-  if (mode == ExecMode::kDebug) {
+  // The typed fast path copies raw payload vectors, which would silently
+  // turn NULLs into their placeholder values; nullable sources take the
+  // Value path, which preserves the null mask.
+  if (mode == ExecMode::kDebug || source.has_nulls()) {
     out->ReserveRows(rows.size());
     for (uint32_t r : rows) {
       PERFEVAL_CHECK_LT(r, source.num_rows());
@@ -236,6 +265,19 @@ void ApplyPredicate(ExecContext& ctx, const Table& table,
     rows->resize(kept);
     return;
   }
+  if (table.has_nulls()) {
+    // The vectorized kernels read raw payload vectors and would compare
+    // NULL placeholders as real values; nullable input takes the row path
+    // (EvalBool collapses UNKNOWN to false: NULL never matches).
+    size_t kept = 0;
+    for (uint32_t r : *rows) {
+      if (predicate->EvalBool(table, r)) {
+        (*rows)[kept++] = r;
+      }
+    }
+    rows->resize(kept);
+    return;
+  }
   std::vector<ExprPtr> conjuncts;
   predicate->CollectConjuncts(&conjuncts, predicate);
   for (const ExprPtr& conjunct : conjuncts) {
@@ -299,6 +341,14 @@ class ScanNode : public PlanNode {
     return "Scan " + table_name_;
   }
 
+  PlanSpec Spec() const override {
+    PlanSpec spec;
+    spec.kind = PlanKind::kScan;
+    spec.table_name = table_name_;
+    spec.columns = columns_;
+    return spec;
+  }
+
  private:
   std::string table_name_;
   std::vector<std::string> columns_;
@@ -349,6 +399,23 @@ class FilterScanNode : public PlanNode {
     };
     std::vector<Morsel> morsels;
     morsels.reserve(num_rows / std::max<size_t>(morsel_rows, 1) + 1);
+    if (ctx.check && zone_maps) {
+      // Checked mode: every zone map consulted for pruning must agree with
+      // the actual page contents — a stale map silently drops live rows.
+      size_t num_chunks = (num_rows + morsel_rows - 1) / morsel_rows;
+      for (const SimplePredicate& sp : simple) {
+        const Column& column = table->column(sp.column);
+        for (uint32_t chunk = 0; chunk < num_chunks; ++chunk) {
+          size_t begin = static_cast<size_t>(chunk) * morsel_rows;
+          CheckZoneMapConsistent(
+              column, begin, std::min(num_rows, begin + morsel_rows),
+              ctx.storage->GetZoneMap(
+                  table_id, static_cast<uint32_t>(sp.column), chunk),
+              "FilterScan " + table_name_ + "." +
+                  table->schema().column(sp.column).name);
+        }
+      }
+    }
     if (zone_maps) {
       std::vector<uint32_t> column_ids;
       column_ids.reserve(columns_.size());
@@ -389,7 +456,7 @@ class FilterScanNode : public PlanNode {
     // vector; workers claim morsels from a shared counter, and the partial
     // selections are concatenated in chunk order afterwards.
     std::vector<std::vector<uint32_t>> partial(morsels.size());
-    sched::ParallelFor(
+    ParallelMorsels(
         ctx.threads, morsels.size(), [&](size_t m) {
           std::vector<uint32_t>& rows = partial[m];
           rows.reserve(morsels[m].end - morsels[m].begin);
@@ -408,6 +475,9 @@ class FilterScanNode : public PlanNode {
     for (const std::vector<uint32_t>& rows : partial) {
       candidates->insert(candidates->end(), rows.begin(), rows.end());
     }
+    if (ctx.check) {
+      CheckSelectionStrictlyIncreasing(*candidates, "FilterScan");
+    }
     Relation out;
     out.table = table;
     out.selection = candidates;
@@ -417,6 +487,15 @@ class FilterScanNode : public PlanNode {
 
   std::string Describe() const override {
     return "FilterScan " + table_name_ + " [" + predicate_->ToString() + "]";
+  }
+
+  PlanSpec Spec() const override {
+    PlanSpec spec;
+    spec.kind = PlanKind::kFilterScan;
+    spec.table_name = table_name_;
+    spec.columns = columns_;
+    spec.predicate = predicate_;
+    return spec;
   }
 
  private:
@@ -444,7 +523,7 @@ class FilterNode : public PlanNode {
       // vectors concatenated in morsel order reproduce the serial output
       // exactly (the predicate is per-row, so no cross-morsel state).
       std::vector<std::vector<uint32_t>> partial(num_morsels);
-      sched::ParallelFor(ctx.threads, num_morsels, [&](size_t m) {
+      ParallelMorsels(ctx.threads, num_morsels, [&](size_t m) {
         size_t begin = m * kMorselRows;
         size_t end = std::min(ids.size(), begin + kMorselRows);
         partial[m].assign(ids.begin() + static_cast<long>(begin),
@@ -460,6 +539,12 @@ class FilterNode : public PlanNode {
         rows->insert(rows->end(), survivors.begin(), survivors.end());
       }
     }
+    if (ctx.check) {
+      // A filter may only drop rows: its output must be a subsequence of
+      // the input selection (identity when the child had no selection).
+      CheckSelectionSubsequence(*rows, input.selection.get(),
+                                input.table->num_rows(), "Filter");
+    }
     Relation out;
     out.table = input.table;
     out.selection = rows;
@@ -469,6 +554,13 @@ class FilterNode : public PlanNode {
 
   std::string Describe() const override {
     return "Filter [" + predicate_->ToString() + "]";
+  }
+
+  PlanSpec Spec() const override {
+    PlanSpec spec;
+    spec.kind = PlanKind::kFilter;
+    spec.predicate = predicate_;
+    return spec;
   }
 
   std::vector<const PlanNode*> Children() const override {
@@ -507,7 +599,10 @@ class ProjectNode : public PlanNode {
     for (size_t i = 0; i < exprs_.size(); ++i) {
       Column& dst = out_table->column(i);
       DataType type = out_table->schema().column(i).type;
-      if (ctx.mode == ExecMode::kOptimized && type == DataType::kDouble) {
+      // Nullable input takes the row path: the numeric batch kernels read
+      // raw payload vectors and would project NULL placeholders as zeros.
+      if (ctx.mode == ExecMode::kOptimized && type == DataType::kDouble &&
+          !input.table->has_nulls()) {
         std::vector<double> values;
         exprs_[i]->EvalNumericBatch(*input.table, rows, &values);
         for (double v : values) {
@@ -537,6 +632,14 @@ class ProjectNode : public PlanNode {
     return out + "]";
   }
 
+  PlanSpec Spec() const override {
+    PlanSpec spec;
+    spec.kind = PlanKind::kProject;
+    spec.exprs = exprs_;
+    spec.names = names_;
+    return spec;
+  }
+
   std::vector<const PlanNode*> Children() const override {
     return {child_.get()};
   }
@@ -557,6 +660,22 @@ std::vector<int64_t> ExtractKeys(ExecContext& ctx, const Relation& rel,
                                  const std::vector<std::string>& names,
                                  const std::vector<uint32_t>& rows) {
   PERFEVAL_CHECK(names.size() == 1 || names.size() == 2);
+  // The key kernels read raw int64 vectors, where a NULL is
+  // indistinguishable from its placeholder value; rather than silently
+  // joining on placeholders, NULL join keys are rejected up front.
+  for (const std::string& name : names) {
+    const Column& column = rel.table->ColumnByName(name);
+    if (column.has_nulls()) {
+      for (uint32_t r : rows) {
+        if (column.IsNull(r)) {
+          throw QueryError(
+              StatusCode::kInvalidArgument,
+              "join key column " + name + " contains NULL (row " +
+                  StrFormat("%u", r) + "); NULL join keys are unsupported");
+        }
+      }
+    }
+  }
   std::vector<int64_t> keys(rows.size());
   if (ctx.mode == ExecMode::kDebug) {
     for (size_t i = 0; i < rows.size(); ++i) {
@@ -655,6 +774,16 @@ class HashJoinNode : public PlanNode {
                   probe_rows, ctx.radix_bits, ctx.threads);
     const std::vector<uint32_t>& out_left = matches.probe_rows;
     const std::vector<uint32_t>& out_right = matches.build_rows;
+    if (ctx.check) {
+      // Match-count conservation: whatever order an algorithm emits in,
+      // the number of matches is fixed by the key multiplicities.
+      if (out_left.size() != out_right.size()) {
+        throw QueryError::Invariant(
+            "HashJoin: probe/build match vectors differ in length");
+      }
+      CheckJoinMatchConservation(probe_keys, build_keys, out_left.size(),
+                                 "HashJoin");
+    }
 
     // Materialize: left columns then right columns.
     std::vector<ColumnSpec> specs;
@@ -696,6 +825,14 @@ class HashJoinNode : public PlanNode {
     return out + "]";
   }
 
+  PlanSpec Spec() const override {
+    PlanSpec spec;
+    spec.kind = PlanKind::kHashJoin;
+    spec.left_keys = left_keys_;
+    spec.right_keys = right_keys_;
+    return spec;
+  }
+
   std::vector<const PlanNode*> Children() const override {
     return {left_.get(), right_.get()};
   }
@@ -732,6 +869,12 @@ class MergeJoinNode : public PlanNode {
       const Column& column = rel.table->ColumnByName(name);
       PERFEVAL_CHECK(column.type() == DataType::kInt64)
           << "merge join requires int64 keys (" << name << ")";
+      if (column.has_nulls()) {
+        throw QueryError(StatusCode::kInvalidArgument,
+                         "join key column " + name +
+                             " contains NULL; NULL join keys are "
+                             "unsupported");
+      }
       Keyed keyed;
       keyed.reserve(rel.num_rows());
       bool sorted = true;
@@ -793,6 +936,20 @@ class MergeJoinNode : public PlanNode {
         j = j_end;
       }
     }
+    if (ctx.check) {
+      std::vector<int64_t> probe_keys;
+      probe_keys.reserve(lk.size());
+      for (const auto& [key, row] : lk) {
+        probe_keys.push_back(key);
+      }
+      std::vector<int64_t> build_keys;
+      build_keys.reserve(rk.size());
+      for (const auto& [key, row] : rk) {
+        build_keys.push_back(key);
+      }
+      CheckJoinMatchConservation(probe_keys, build_keys, out_left.size(),
+                                 "MergeJoin");
+    }
 
     std::vector<ColumnSpec> specs = left.table->schema().columns();
     for (const ColumnSpec& spec : right.table->schema().columns()) {
@@ -822,6 +979,14 @@ class MergeJoinNode : public PlanNode {
     return "MergeJoin [" + left_key_ + " = " + right_key_ + "]";
   }
 
+  PlanSpec Spec() const override {
+    PlanSpec spec;
+    spec.kind = PlanKind::kMergeJoin;
+    spec.left_keys = {left_key_};
+    spec.right_keys = {right_key_};
+    return spec;
+  }
+
   std::vector<const PlanNode*> Children() const override {
     return {left_.get(), right_.get()};
   }
@@ -833,11 +998,19 @@ class MergeJoinNode : public PlanNode {
   std::string right_key_;
 };
 
-/// Accumulator state for one (group, aggregate) pair.
+/// Accumulator state for one (group, aggregate) pair. Doubles accumulate
+/// in `sum`/`min`/`max`; int64-typed aggregates use the exact integer
+/// accumulators `isum`/`imin`/`imax` with checked addition — summing
+/// int64 through a double silently loses precision past 2^53 and a bare
+/// int64 sum silently wraps, both of which turn benchmark output into
+/// plausible-looking garbage.
 struct AggState {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  int64_t isum = 0;
+  int64_t imin = 0;
+  int64_t imax = 0;
   int64_t count = 0;
   std::unordered_map<std::string, bool> distinct;
 
@@ -853,6 +1026,18 @@ struct AggState {
     ++count;
   }
 
+  void AddInt(int64_t v) {
+    if (count == 0) {
+      imin = v;
+      imax = v;
+    } else {
+      imin = std::min(imin, v);
+      imax = std::max(imax, v);
+    }
+    isum = CheckedAdd(isum, v, "SUM accumulator");
+    ++count;
+  }
+
   /// Folds another partial state in. Callers merge partials in morsel
   /// order, so `sum` accumulates in a fixed order at any thread count.
   void MergeFrom(const AggState& other) {
@@ -860,12 +1045,17 @@ struct AggState {
       if (count == 0) {
         min = other.min;
         max = other.max;
+        imin = other.imin;
+        imax = other.imax;
       } else {
         min = std::min(min, other.min);
         max = std::max(max, other.max);
+        imin = std::min(imin, other.imin);
+        imax = std::max(imax, other.imax);
       }
     }
     sum += other.sum;
+    isum = CheckedAdd(isum, other.isum, "SUM accumulator");
     count += other.count;
     distinct.insert(other.distinct.begin(), other.distinct.end());
   }
@@ -901,10 +1091,24 @@ class AggregateNode : public PlanNode {
       group_cols.push_back(table.schema().MustIndexOf(name));
     }
     // Optimized mode has a fast path for the common single-int-key
-    // grouping; the general path builds a composite string key per tuple.
+    // grouping; the general path builds a composite string key per tuple
+    // (which also covers NULL group keys — they render as "NULL").
     bool int_fast_path =
         ctx.mode == ExecMode::kOptimized && group_cols.size() == 1 &&
-        table.column(group_cols[0]).type() == DataType::kInt64;
+        table.column(group_cols[0]).type() == DataType::kInt64 &&
+        !table.column(group_cols[0]).has_nulls();
+    // Which aggregates run on the exact int64 accumulators.
+    std::vector<uint8_t> int_agg(aggregates_.size(), 0);
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const AggSpec& spec = aggregates_[a];
+      int_agg[a] = (spec.op == AggOp::kSum || spec.op == AggOp::kAvg ||
+                    spec.op == AggOp::kMin || spec.op == AggOp::kMax) &&
+                           spec.expr != nullptr &&
+                           spec.expr->ResultType(table.schema()) ==
+                               DataType::kInt64
+                       ? 1
+                       : 0;
+    }
 
     // Accumulate per-morsel partial states. Every mode and thread count
     // goes through the same morsel structure and the same in-order merge,
@@ -912,11 +1116,11 @@ class AggregateNode : public PlanNode {
     // any `threads` setting and across kDebug/kOptimized.
     size_t num_morsels = (rows.size() + kMorselRows - 1) / kMorselRows;
     std::vector<MorselAggState> partials(num_morsels);
-    sched::ParallelFor(ctx.threads, num_morsels, [&](size_t m) {
+    ParallelMorsels(ctx.threads, num_morsels, [&](size_t m) {
       size_t begin = m * kMorselRows;
       size_t end = std::min(rows.size(), begin + kMorselRows);
-      AccumulateMorsel(ctx, table, group_cols, int_fast_path, &rows[begin],
-                       end - begin, &partials[m]);
+      AccumulateMorsel(ctx, table, group_cols, int_fast_path, int_agg,
+                       &rows[begin], end - begin, &partials[m]);
     });
 
     // Merge partials in morsel order. Groups are created in global
@@ -961,18 +1165,48 @@ class AggregateNode : public PlanNode {
       }
     }
 
-    // Output schema: group columns keep their types; numeric aggregates are
-    // doubles, counts are int64.
+    if (ctx.check) {
+      // Recompute first-occurrence order with a plain serial scan over the
+      // same row ids and require the parallel merge to have produced it.
+      std::vector<uint32_t> expected;
+      if (int_fast_path) {
+        std::unordered_map<int64_t, size_t> seen;
+        const std::vector<int64_t>& keys =
+            table.column(group_cols[0]).ints();
+        for (uint32_t r : rows) {
+          if (seen.try_emplace(keys[r], seen.size()).second) {
+            expected.push_back(r);
+          }
+        }
+      } else if (!group_cols.empty()) {
+        std::unordered_map<std::string, size_t> seen;
+        std::string key;
+        for (uint32_t r : rows) {
+          key.clear();
+          for (size_t c : group_cols) {
+            key += table.column(c).GetValue(r).ToString();
+            key += '\x1f';
+          }
+          if (seen.try_emplace(key, seen.size()).second) {
+            expected.push_back(r);
+          }
+        }
+      }
+      if (!group_cols.empty()) {
+        CheckFirstOccurrenceOrder(expected, first_row_of_group, "Aggregate");
+      }
+    }
+
+    // Output schema: group columns keep their types; aggregate output
+    // types come from AggOutputType (counts and int SUM/MIN/MAX are
+    // int64, everything else double).
     std::vector<ColumnSpec> specs;
     for (size_t c : group_cols) {
       specs.push_back(table.schema().column(c));
     }
     for (const AggSpec& spec : aggregates_) {
-      DataType type = (spec.op == AggOp::kCount ||
-                       spec.op == AggOp::kCountDistinct)
-                          ? DataType::kInt64
-                          : DataType::kDouble;
-      specs.push_back({spec.output_name, type});
+      specs.push_back({spec.output_name,
+                       AggOutputType(spec, table.schema())});
     }
     auto out_table = std::make_shared<Table>(Schema(std::move(specs)));
     size_t emitted_groups =
@@ -986,20 +1220,48 @@ class AggregateNode : public PlanNode {
       for (size_t a = 0; a < aggregates_.size(); ++a) {
         const AggState& state = states[a][g];
         Column& dst = out_table->column(group_cols.size() + a);
+        bool is_int = int_agg[a] != 0;
         switch (aggregates_[a].op) {
           case AggOp::kSum:
-            dst.AppendDouble(state.sum);
+            // SUM/AVG/MIN/MAX over zero accumulated rows is NULL, not a
+            // fabricated 0 / 0.0 — the old behaviour made empty groups
+            // indistinguishable from groups summing to zero.
+            if (state.count == 0) {
+              dst.AppendValue(Value::Null(dst.type()));
+            } else if (is_int) {
+              dst.AppendInt64(state.isum);
+            } else {
+              dst.AppendDouble(state.sum);
+            }
             break;
           case AggOp::kAvg:
-            dst.AppendDouble(state.count > 0
-                                 ? state.sum / static_cast<double>(state.count)
-                                 : 0.0);
+            if (state.count == 0) {
+              dst.AppendValue(Value::Null(dst.type()));
+            } else if (is_int) {
+              dst.AppendDouble(static_cast<double>(state.isum) /
+                               static_cast<double>(state.count));
+            } else {
+              dst.AppendDouble(state.sum /
+                               static_cast<double>(state.count));
+            }
             break;
           case AggOp::kMin:
-            dst.AppendDouble(state.min);
+            if (state.count == 0) {
+              dst.AppendValue(Value::Null(dst.type()));
+            } else if (is_int) {
+              dst.AppendInt64(state.imin);
+            } else {
+              dst.AppendDouble(state.min);
+            }
             break;
           case AggOp::kMax:
-            dst.AppendDouble(state.max);
+            if (state.count == 0) {
+              dst.AppendValue(Value::Null(dst.type()));
+            } else if (is_int) {
+              dst.AppendInt64(state.imax);
+            } else {
+              dst.AppendDouble(state.max);
+            }
             break;
           case AggOp::kCount:
             dst.AppendInt64(state.count);
@@ -1034,6 +1296,14 @@ class AggregateNode : public PlanNode {
     return out + "]";
   }
 
+  PlanSpec Spec() const override {
+    PlanSpec spec;
+    spec.kind = PlanKind::kAggregate;
+    spec.group_by = group_by_;
+    spec.aggregates = aggregates_;
+    return spec;
+  }
+
   std::vector<const PlanNode*> Children() const override {
     return {child_.get()};
   }
@@ -1045,7 +1315,9 @@ class AggregateNode : public PlanNode {
   /// immutable data and writes only `*out`.
   void AccumulateMorsel(const ExecContext& ctx, const Table& table,
                         const std::vector<size_t>& group_cols,
-                        bool int_fast_path, const uint32_t* rows, size_t n,
+                        bool int_fast_path,
+                        const std::vector<uint8_t>& int_agg,
+                        const uint32_t* rows, size_t n,
                         MorselAggState* out) const {
     std::vector<size_t> row_group(n);
     if (int_fast_path) {
@@ -1085,20 +1357,43 @@ class AggregateNode : public PlanNode {
     out->states.assign(aggregates_.size(),
                        std::vector<AggState>(num_groups));
     std::vector<uint32_t> batch_rows;
+    bool nullable = table.has_nulls();
     for (size_t a = 0; a < aggregates_.size(); ++a) {
       const AggSpec& spec = aggregates_[a];
       std::vector<AggState>& agg_states = out->states[a];
       if (spec.op == AggOp::kCount) {
-        for (size_t i = 0; i < n; ++i) {
-          ++agg_states[row_group[i]].count;
+        if (spec.expr != nullptr && nullable) {
+          // COUNT(expr) counts rows where expr is non-NULL. The fast
+          // unconditional count below is identical on null-free tables.
+          for (size_t i = 0; i < n; ++i) {
+            if (!spec.expr->EvalRow(table, rows[i]).is_null()) {
+              ++agg_states[row_group[i]].count;
+            }
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            ++agg_states[row_group[i]].count;
+          }
         }
       } else if (spec.op == AggOp::kCountDistinct) {
         for (size_t i = 0; i < n; ++i) {
-          agg_states[row_group[i]]
-              .distinct[spec.expr->EvalRow(table, rows[i]).ToString()] =
-              true;
+          Value v = spec.expr->EvalRow(table, rows[i]);
+          if (v.is_null()) {
+            continue;  // NULL contributes no distinct value.
+          }
+          agg_states[row_group[i]].distinct[v.ToString()] = true;
         }
-      } else if (ctx.mode == ExecMode::kOptimized) {
+      } else if (int_agg[a] != 0) {
+        // Exact int64 accumulation with overflow checking; EvalRow keeps
+        // the arithmetic checked in both execution modes.
+        for (size_t i = 0; i < n; ++i) {
+          Value v = spec.expr->EvalRow(table, rows[i]);
+          if (v.is_null()) {
+            continue;  // SQL aggregates skip NULL inputs.
+          }
+          agg_states[row_group[i]].AddInt(v.AsInt64());
+        }
+      } else if (ctx.mode == ExecMode::kOptimized && !nullable) {
         if (batch_rows.empty() && n > 0) {
           batch_rows.assign(rows, rows + n);
         }
@@ -1109,8 +1404,11 @@ class AggregateNode : public PlanNode {
         }
       } else {
         for (size_t i = 0; i < n; ++i) {
-          agg_states[row_group[i]].AddNumeric(
-              spec.expr->EvalRow(table, rows[i]).AsDouble());
+          Value v = spec.expr->EvalRow(table, rows[i]);
+          if (v.is_null()) {
+            continue;  // SQL aggregates skip NULL inputs.
+          }
+          agg_states[row_group[i]].AddNumeric(v.AsDouble());
         }
       }
     }
@@ -1133,7 +1431,20 @@ class SortNode : public PlanNode {
     std::vector<uint32_t> rows = input.RowIds();
 
     RowComparator comparator(table, keys_);
+    std::vector<uint32_t> original;
+    if (ctx.check) {
+      original = rows;
+    }
     StableSortRows(comparator, ctx.threads, &rows);
+    if (ctx.check) {
+      CheckPermutation(original, rows, "Sort");
+      for (size_t i = 1; i < rows.size(); ++i) {
+        if (comparator(rows[i], rows[i - 1])) {
+          throw QueryError::Invariant(StrFormat(
+              "Sort: output not ordered at position %zu", i));
+        }
+      }
+    }
 
     Relation out;
     out.table = GatherRows(table, rows, ctx.mode, ctx.threads);
@@ -1150,6 +1461,13 @@ class SortNode : public PlanNode {
       out += keys_[i].column + (keys_[i].ascending ? " asc" : " desc");
     }
     return out + "]";
+  }
+
+  PlanSpec Spec() const override {
+    PlanSpec spec;
+    spec.kind = PlanKind::kSort;
+    spec.sort_keys = keys_;
+    return spec;
   }
 
   std::vector<const PlanNode*> Children() const override {
@@ -1180,6 +1498,13 @@ class LimitNode : public PlanNode {
 
   std::string Describe() const override {
     return StrFormat("Limit %zu", n_);
+  }
+
+  PlanSpec Spec() const override {
+    PlanSpec spec;
+    spec.kind = PlanKind::kLimit;
+    spec.limit = n_;
+    return spec;
   }
 
   std::vector<const PlanNode*> Children() const override {
@@ -1216,6 +1541,14 @@ class TopNNode : public PlanNode {
     } else {
       std::sort(rows.begin(), rows.end(), less);
     }
+    if (ctx.check) {
+      for (size_t i = 1; i < rows.size(); ++i) {
+        if (less(rows[i], rows[i - 1])) {
+          throw QueryError::Invariant(StrFormat(
+              "TopN: output not ordered at position %zu", i));
+        }
+      }
+    }
 
     Relation out;
     out.table = GatherRows(table, rows, ctx.mode, ctx.threads);
@@ -1232,6 +1565,14 @@ class TopNNode : public PlanNode {
       out += keys_[i].column + (keys_[i].ascending ? " asc" : " desc");
     }
     return out + "]";
+  }
+
+  PlanSpec Spec() const override {
+    PlanSpec spec;
+    spec.kind = PlanKind::kTopN;
+    spec.sort_keys = keys_;
+    spec.limit = n_;
+    return spec;
   }
 
   std::vector<const PlanNode*> Children() const override {
@@ -1254,6 +1595,25 @@ void ExplainInto(const PlanNode* node, int depth, std::string* out) {
 }
 
 }  // namespace
+
+DataType AggOutputType(const AggSpec& spec, const Schema& input_schema) {
+  switch (spec.op) {
+    case AggOp::kCount:
+    case AggOp::kCountDistinct:
+      return DataType::kInt64;
+    case AggOp::kSum:
+    case AggOp::kMin:
+    case AggOp::kMax:
+      if (spec.expr != nullptr &&
+          spec.expr->ResultType(input_schema) == DataType::kInt64) {
+        return DataType::kInt64;
+      }
+      return DataType::kDouble;
+    case AggOp::kAvg:
+      return DataType::kDouble;
+  }
+  return DataType::kDouble;
+}
 
 PlanPtr Scan(const std::string& table_name,
              std::vector<std::string> columns_used) {

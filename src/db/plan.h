@@ -51,6 +51,14 @@ struct ExecContext {
   /// Radix fan-out (log2 partitions) for JoinAlgo::kRadix; <= 0 sizes
   /// partitions to the hwsim L2 profile (ChooseRadixBits).
   int radix_bits = 0;
+  /// Checked execution: operators assert their own invariants (selection
+  /// vectors strictly increasing, zone maps consistent with page contents,
+  /// join match-count conservation, sort output a permutation of its
+  /// input, group output in first-occurrence order) and throw QueryError
+  /// on violation. Orthogonal to `mode` so the fast vectorized paths are
+  /// what gets checked; costs O(input) per operator. Checked (non-
+  /// wrapping) int64 arithmetic is always on, independent of this flag.
+  bool check = false;
 };
 
 /// An intermediate result: a table plus an optional selection vector.
@@ -71,24 +79,6 @@ struct Relation {
   std::vector<uint32_t> RowIds() const;
 };
 
-/// A physical plan operator. Plans are immutable trees built by the factory
-/// functions below; Execute() runs operator-at-a-time (full intermediate
-/// results, MonetDB style).
-class PlanNode {
- public:
-  virtual ~PlanNode() = default;
-
-  /// Executes the subtree. Records an OpTrace per node when profiling.
-  virtual Relation Execute(ExecContext& ctx) const = 0;
-
-  /// One-line operator description for EXPLAIN.
-  virtual std::string Describe() const = 0;
-
-  virtual std::vector<const PlanNode*> Children() const { return {}; }
-};
-
-using PlanPtr = std::shared_ptr<const PlanNode>;
-
 /// Aggregate functions.
 enum class AggOp { kSum, kAvg, kMin, kMax, kCount, kCountDistinct };
 const char* AggOpName(AggOp op);
@@ -106,6 +96,68 @@ struct SortKey {
   std::string column;
   bool ascending = true;
 };
+
+/// The operator kind of a plan node, for plan introspection.
+enum class PlanKind {
+  kScan,
+  kFilterScan,
+  kFilter,
+  kProject,
+  kHashJoin,
+  kMergeJoin,
+  kAggregate,
+  kSort,
+  kLimit,
+  kTopN,
+};
+
+/// A structural description of one plan node — everything an independent
+/// interpreter needs to re-execute the node's logical operation. Returned
+/// by PlanNode::Spec(); the concrete node classes stay private to plan.cc.
+/// Only the fields relevant to `kind` are populated.
+struct PlanSpec {
+  PlanKind kind = PlanKind::kScan;
+  std::string table_name;              ///< kScan / kFilterScan.
+  std::vector<std::string> columns;    ///< kScan / kFilterScan (may be empty).
+  ExprPtr predicate;                   ///< kFilterScan / kFilter.
+  std::vector<ExprPtr> exprs;          ///< kProject.
+  std::vector<std::string> names;      ///< kProject output names.
+  std::vector<std::string> left_keys;  ///< joins (1 or 2 key columns).
+  std::vector<std::string> right_keys;  ///< joins.
+  std::vector<std::string> group_by;   ///< kAggregate.
+  std::vector<AggSpec> aggregates;     ///< kAggregate.
+  std::vector<SortKey> sort_keys;      ///< kSort / kTopN.
+  size_t limit = 0;                    ///< kLimit / kTopN.
+};
+
+/// A physical plan operator. Plans are immutable trees built by the factory
+/// functions below; Execute() runs operator-at-a-time (full intermediate
+/// results, MonetDB style).
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  /// Executes the subtree. Records an OpTrace per node when profiling.
+  virtual Relation Execute(ExecContext& ctx) const = 0;
+
+  /// One-line operator description for EXPLAIN.
+  virtual std::string Describe() const = 0;
+
+  /// The node's logical operation, for independent re-execution (the
+  /// reference interpreter in db/reference.h).
+  virtual PlanSpec Spec() const = 0;
+
+  virtual std::vector<const PlanNode*> Children() const { return {}; }
+};
+
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// Output column type of one aggregate over `input_schema`: counts are
+/// int64; SUM/MIN/MAX of an int64-typed expression stay int64 (computed
+/// with checked accumulators); everything else — including AVG, which is
+/// a ratio — is double. Shared by AggregateNode and the SQL planner so
+/// the planned output schema always matches execution.
+DataType AggOutputType(const AggSpec& spec, const Schema& input_schema);
 
 // ---- Plan factories ----
 

@@ -1,0 +1,64 @@
+#ifndef PERFEVAL_DB_REFERENCE_H_
+#define PERFEVAL_DB_REFERENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "db/plan.h"
+
+namespace perfeval {
+namespace db {
+
+class Database;
+
+/// Row-at-a-time reference interpreter: re-executes a physical plan naively
+/// from its PlanSpec tree, with none of the engine's fast paths — no
+/// vectorized kernels, no zone-map pruning, no morsel parallelism, no
+/// radix/merge join machinery. It exists purely as a differential oracle
+/// (tests/sql/oracle_test.cc): the engine's output across every exec mode
+/// × thread count × join algorithm must match this interpreter's, so a bug
+/// must be present in both a tight loop and this straight-line code to go
+/// unnoticed.
+///
+/// Semantics mirrored from the engine:
+///   - Kleene three-valued logic in the expression tree, with UNKNOWN
+///     collapsing to "not selected" at the filter boundary;
+///   - aggregates skip NULL inputs; SUM/AVG/MIN/MAX over zero accumulated
+///     rows are NULL; int64-typed SUM/MIN/MAX stay exact int64 with
+///     checked (throwing) addition;
+///   - groups emit in first-occurrence order of the input;
+///   - sorts are stable with NULL smallest; joins reject NULL keys.
+/// Deliberately NOT mirrored: double SUM/AVG accumulate in flat input
+/// order rather than the engine's morsel-merge order, so comparisons of
+/// double aggregates need a small tolerance (DiffTables double_tol).
+/// TopN ties are resolved by a stable sort here but by std::partial_sort
+/// in the engine; comparisons are only exact when the keys totally order
+/// the rows (the oracle harness generates such queries).
+///
+/// Throws QueryError like the engine (checked overflow, NULL join keys),
+/// so differential tests can also compare failure behaviour.
+std::shared_ptr<const Table> ReferenceExecute(const PlanNode& plan,
+                                              const Database& database);
+
+inline std::shared_ptr<const Table> ReferenceExecute(
+    const PlanPtr& plan, const Database& database) {
+  return ReferenceExecute(*plan, database);
+}
+
+/// Structural + cell-wise comparison of two result tables, for the
+/// differential harness. Returns "" when they match, else a one-line
+/// human-readable description of the first mismatch (schema, row count, or
+/// cell). Doubles compare with relative tolerance
+/// |a-b| <= double_tol * max(1, |a|, |b|); everything else (ints, dates,
+/// strings, NULL flags) compares exactly. With ignore_row_order both
+/// tables are first sorted into a canonical row order over all columns
+/// (NULL smallest), so results that legitimately differ only in row order
+/// — e.g. hash vs radix join match order feeding an unordered aggregate —
+/// still compare equal.
+std::string DiffTables(const Table& actual, const Table& expected,
+                       double double_tol, bool ignore_row_order);
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_REFERENCE_H_

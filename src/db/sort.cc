@@ -24,6 +24,9 @@ RowComparator::RowComparator(const Table& table,
     Key key;
     key.type = column.type();
     key.ascending = spec.ascending;
+    if (column.has_nulls()) {
+      key.nulls = column.null_mask().data();
+    }
     switch (column.type()) {
       case DataType::kInt64:
       case DataType::kDate:
@@ -41,6 +44,14 @@ RowComparator::RowComparator(const Table& table,
 }
 
 int RowComparator::CompareOne(const Key& key, uint32_t a, uint32_t b) {
+  if (key.nulls != nullptr) {
+    // NULL payload slots are placeholders; order NULL below every value.
+    bool a_null = key.nulls[a] != 0;
+    bool b_null = key.nulls[b] != 0;
+    if (a_null || b_null) {
+      return a_null == b_null ? 0 : (a_null ? -1 : 1);
+    }
+  }
   switch (key.type) {
     case DataType::kInt64:
     case DataType::kDate: {

@@ -21,7 +21,9 @@ namespace db {
 /// compares "greater" against everything, including itself — the existing
 /// engine behaviour), strings lexicographically. Int64/date keys compare
 /// natively instead of through the double cast, which is identical for
-/// every value below 2^53.
+/// every value below 2^53. NULL sorts as the smallest value of its type
+/// (before the key's direction flip, so NULLs come first ascending and
+/// last descending); two NULLs tie.
 class RowComparator {
  public:
   RowComparator(const Table& table, const std::vector<SortKey>& keys);
@@ -45,6 +47,7 @@ class RowComparator {
     const int64_t* ints = nullptr;
     const double* doubles = nullptr;
     const std::string* strings = nullptr;
+    const uint8_t* nulls = nullptr;  ///< null mask, or nullptr if none.
     bool ascending = true;
   };
 

@@ -70,8 +70,15 @@ void StorageManager::RegisterTable(uint32_t table_id, const Table& table) {
       // NaN-safe min/max fold: NaN poisons std::min/std::max (the result
       // depends on operand order), so NaN values are excluded from the
       // bounds and flagged instead; a zone holding a NaN is never pruned.
+      // NULL rows get the same treatment: their payload slot is a
+      // placeholder that must not enter the bounds, and predicates over
+      // the zone cannot prune rows the row-path may still need to see.
       bool seen = false;
       for (size_t r = begin; r < end; ++r) {
+        if (column.IsNull(r)) {
+          zm.has_nan = true;
+          continue;
+        }
         double v = column.GetNumeric(r);
         if (std::isnan(v)) {
           zm.has_nan = true;

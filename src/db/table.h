@@ -79,6 +79,17 @@ class Table {
     return column(col).GetValue(row);
   }
 
+  /// True if any column holds a NULL; vectorized kernels that read raw
+  /// payload vectors fall back to row-at-a-time Value paths in that case.
+  bool has_nulls() const {
+    for (const Column& c : columns_) {
+      if (c.has_nulls()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Total approximate byte size over all columns.
   size_t ByteSize() const;
 

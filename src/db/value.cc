@@ -6,6 +6,7 @@ namespace perfeval {
 namespace db {
 
 int Value::Compare(const Value& other) const {
+  PERFEVAL_CHECK(!null_ && !other.null_) << "NULL has no order";
   bool this_string = type_ == DataType::kString;
   bool other_string = other.type_ == DataType::kString;
   PERFEVAL_CHECK_EQ(this_string, other_string)
@@ -13,6 +14,19 @@ int Value::Compare(const Value& other) const {
   if (this_string) {
     const std::string& a = AsString();
     const std::string& b = other.AsString();
+    if (a < b) {
+      return -1;
+    }
+    return a == b ? 0 : 1;
+  }
+  // Two integers (kInt64/kDate) compare natively: going through double
+  // would collapse values more than 2^53 apart from a power of two onto
+  // the same representation and report spurious equality.
+  bool this_double = type_ == DataType::kDouble;
+  bool other_double = other.type_ == DataType::kDouble;
+  if (!this_double && !other_double) {
+    int64_t a = std::get<int64_t>(data_);
+    int64_t b = std::get<int64_t>(other.data_);
     if (a < b) {
       return -1;
     }
@@ -27,6 +41,9 @@ int Value::Compare(const Value& other) const {
 }
 
 std::string Value::ToString() const {
+  if (null_) {
+    return "NULL";
+  }
   switch (type_) {
     case DataType::kInt64:
       return StrFormat("%lld", static_cast<long long>(AsInt64()));

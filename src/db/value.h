@@ -25,14 +25,27 @@ class Value {
   static Value Date(int32_t days) {
     return Value(DataType::kDate, static_cast<int64_t>(days));
   }
+  /// The SQL NULL of a given declared type. Accessing the payload of a
+  /// NULL aborts; callers must test is_null() first.
+  static Value Null(DataType type) {
+    Value v = (type == DataType::kDouble) ? Value(type, 0.0)
+              : (type == DataType::kString)
+                  ? Value(type, std::string())
+                  : Value(type, int64_t{0});
+    v.null_ = true;
+    return v;
+  }
 
   DataType type() const { return type_; }
+  bool is_null() const { return null_; }
 
   int64_t AsInt64() const {
+    PERFEVAL_CHECK(!null_) << "AsInt64 on NULL";
     PERFEVAL_CHECK(type_ == DataType::kInt64 || type_ == DataType::kDate);
     return std::get<int64_t>(data_);
   }
   double AsDouble() const {
+    PERFEVAL_CHECK(!null_) << "AsDouble on NULL";
     if (type_ == DataType::kDouble) {
       return std::get<double>(data_);
     }
@@ -40,22 +53,26 @@ class Value {
     return static_cast<double>(std::get<int64_t>(data_));
   }
   const std::string& AsString() const {
+    PERFEVAL_CHECK(!null_) << "AsString on NULL";
     PERFEVAL_CHECK(type_ == DataType::kString);
     return std::get<std::string>(data_);
   }
   int32_t AsDate() const {
+    PERFEVAL_CHECK(!null_) << "AsDate on NULL";
     PERFEVAL_CHECK(type_ == DataType::kDate);
     return static_cast<int32_t>(std::get<int64_t>(data_));
   }
 
   /// Total order within a type; numeric types compare numerically across
-  /// kInt64/kDouble/kDate. Comparing a string with a numeric aborts.
+  /// kInt64/kDouble/kDate (integers natively, so values beyond 2^53 stay
+  /// exact). Comparing a string with a numeric or a NULL aborts — NULL has
+  /// no order; expression code handles NULL before comparing.
   int Compare(const Value& other) const;
 
   bool operator==(const Value& other) const { return Compare(other) == 0; }
   bool operator<(const Value& other) const { return Compare(other) < 0; }
 
-  /// Human-readable rendering ("42", "3.14", "abc", "1998-09-02").
+  /// Human-readable rendering ("42", "3.14", "abc", "1998-09-02", "NULL").
   std::string ToString() const;
 
  private:
@@ -64,6 +81,7 @@ class Value {
   Value(DataType type, std::string v) : type_(type), data_(std::move(v)) {}
 
   DataType type_;
+  bool null_ = false;
   std::variant<int64_t, double, std::string> data_;
 };
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "db/error.h"
 #include "sql/parser.h"
 
 namespace perfeval {
@@ -577,11 +578,10 @@ class Planner {
           bound->schema.column(bound->schema.MustIndexOf(g)));
     }
     for (const db::AggSpec& spec : specs) {
-      db::DataType type = (spec.op == db::AggOp::kCount ||
-                           spec.op == db::AggOp::kCountDistinct)
-                              ? db::DataType::kInt64
-                              : db::DataType::kDouble;
-      out_specs.push_back({spec.output_name, type});
+      // Shared with AggregateNode so the planned schema always matches
+      // execution (int SUM/MIN/MAX stay int64, counts int64, rest double).
+      out_specs.push_back({spec.output_name,
+                           db::AggOutputType(spec, bound->schema)});
     }
     bound->plan =
         db::Aggregate(bound->plan, stmt_.group_by, std::move(specs));
@@ -770,7 +770,14 @@ Result<db::QueryResult> RunQuery(const std::string& sql_text,
     result.table = table;
     return result;
   }
-  return database.Run(planned.plan, mode, sink);
+  // Execution errors (checked-arithmetic overflow, checked-mode invariant
+  // violations, NULL join keys) surface as QueryError exceptions from deep
+  // inside operator loops; convert them back to Status at the API boundary.
+  try {
+    return database.Run(planned.plan, mode, sink);
+  } catch (const db::QueryError& e) {
+    return e.ToStatus();
+  }
 }
 
 }  // namespace sql

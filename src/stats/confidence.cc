@@ -1,6 +1,7 @@
 #include "stats/confidence.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "common/string_util.h"
@@ -17,10 +18,21 @@ std::string ConfidenceInterval::ToString() const {
 
 ConfidenceInterval MeanConfidenceInterval(const std::vector<double>& samples,
                                           double confidence) {
-  PERFEVAL_CHECK_GE(samples.size(), 2u)
-      << "confidence interval needs >= 2 samples";
+  PERFEVAL_CHECK_GE(samples.size(), 1u)
+      << "confidence interval needs >= 1 sample";
   PERFEVAL_CHECK_GT(confidence, 0.0);
   PERFEVAL_CHECK_LT(confidence, 1.0);
+  if (samples.size() == 1) {
+    // Zero degrees of freedom: the sample variance is undefined, so the
+    // only defensible interval is unbounded — not a garbage finite one
+    // computed from a 0/0 standard error.
+    ConfidenceInterval ci;
+    ci.mean = samples[0];
+    ci.lower = -std::numeric_limits<double>::infinity();
+    ci.upper = std::numeric_limits<double>::infinity();
+    ci.confidence = confidence;
+    return ci;
+  }
   double mean = Mean(samples);
   double stderr_mean =
       StdDev(samples) / std::sqrt(static_cast<double>(samples.size()));

@@ -33,7 +33,11 @@ struct ConfidenceInterval {
 };
 
 /// Student-t confidence interval for the mean of `samples`.
-/// Requires >= 2 samples and confidence in (0, 1).
+/// Requires >= 1 sample and confidence in (0, 1). With a single sample the
+/// variance is undefined (zero degrees of freedom), so the interval is the
+/// honest answer: mean = the sample, bounds = ±infinity. Earlier versions
+/// aborted on n=1, which turned a legitimate pilot-run edge case into a
+/// crash.
 ConfidenceInterval MeanConfidenceInterval(const std::vector<double>& samples,
                                           double confidence);
 

@@ -16,14 +16,21 @@ std::string HistogramCell::Label() const {
 Histogram::Histogram(double lower, double upper, int num_cells)
     : lower_(lower), upper_(upper) {
   PERFEVAL_CHECK_GE(num_cells, 1);
-  PERFEVAL_CHECK_LT(lower, upper);
-  width_ = (upper - lower) / static_cast<double>(num_cells);
+  PERFEVAL_CHECK_LE(lower, upper);
+  if (lower == upper) {
+    // Degenerate range (all-equal samples, the common "every run took the
+    // same time" case): widen to a unit interval around the value instead
+    // of building zero-width cells, where Add() would divide by zero.
+    lower_ = lower - 0.5;
+    upper_ = upper + 0.5;
+  }
+  width_ = (upper_ - lower_) / static_cast<double>(num_cells);
   cells_.resize(static_cast<size_t>(num_cells));
   for (int i = 0; i < num_cells; ++i) {
-    cells_[static_cast<size_t>(i)].lower = lower + width_ * i;
-    cells_[static_cast<size_t>(i)].upper = lower + width_ * (i + 1);
+    cells_[static_cast<size_t>(i)].lower = lower_ + width_ * i;
+    cells_[static_cast<size_t>(i)].upper = lower_ + width_ * (i + 1);
   }
-  cells_.back().upper = upper;  // avoid drift on the final edge.
+  cells_.back().upper = upper_;  // avoid drift on the final edge.
 }
 
 void Histogram::Add(double value) {

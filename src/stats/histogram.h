@@ -27,7 +27,9 @@ struct HistogramCell {
 class Histogram {
  public:
   /// Builds `num_cells` equal-width cells covering [lower, upper].
-  /// Requires num_cells >= 1 and lower < upper.
+  /// Requires num_cells >= 1 and lower <= upper; a degenerate range
+  /// (lower == upper, e.g. all-equal samples) is widened to
+  /// [lower - 0.5, upper + 0.5] instead of producing zero-width cells.
   Histogram(double lower, double upper, int num_cells);
 
   /// Adds one observation. Values outside [lower, upper] are clamped into

@@ -63,6 +63,38 @@ TEST(ColumnTest, StringByteSizeIncludesContent) {
   EXPECT_GE(col.ByteSize(), 1000u);
 }
 
+TEST(ColumnTest, NullMaskTracksAppends) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(1);
+  EXPECT_FALSE(col.has_nulls());
+  col.AppendNull();
+  col.AppendInt64(3);
+  ASSERT_TRUE(col.has_nulls());
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(2));
+  EXPECT_TRUE(col.GetValue(1).is_null());
+}
+
+// Regression: NoteAppend materialized the mask with assign(size()-1, 0),
+// which is empty when the very first append is the NULL, and the guarded
+// push_back then silently dropped the flag — a leading NULL came back as
+// the placeholder value 0. Flushed out by the differential oracle via
+// single-group aggregates whose first output cell is NULL.
+TEST(ColumnTest, LeadingNullIsNotDropped) {
+  Column col(DataType::kInt64);
+  col.AppendNull();
+  ASSERT_TRUE(col.has_nulls());
+  ASSERT_EQ(col.size(), 1u);
+  EXPECT_TRUE(col.IsNull(0));
+  EXPECT_TRUE(col.GetValue(0).is_null());
+  col.AppendInt64(7);
+  EXPECT_TRUE(col.IsNull(0));
+  EXPECT_FALSE(col.IsNull(1));
+  EXPECT_EQ(col.GetInt64(1), 7);
+}
+
 TEST(ColumnDeathTest, TypeMismatchAborts) {
   Column col(DataType::kInt64);
   EXPECT_DEATH(col.AppendDouble(1.0), "CHECK failed");

@@ -120,6 +120,78 @@ TEST(CsvLoaderTest, HeaderOnlyGivesEmptyStringTable) {
   EXPECT_EQ((*result)->schema().column(0).type, DataType::kString);
 }
 
+TEST(CsvLoaderTest, NoTrailingNewline) {
+  // Regression guard: the final record must not be dropped when the file
+  // lacks the trailing newline, including when its last field is quoted.
+  Result<std::shared_ptr<Table>> result =
+      ParseCsvText("k,v\n1,10\n2,\"a,b\"", nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ((*result)->num_rows(), 2u);
+  EXPECT_EQ((*result)->ValueAt(1, 1).AsString(), "a,b");
+}
+
+TEST(CsvLoaderTest, QuotedEmptyLineIsARecordNotBlank) {
+  // Regression: a line holding only `""` parsed to the same single empty
+  // field as a blank line and was silently skipped.
+  Result<std::shared_ptr<Table>> result =
+      ParseCsvText("name\nalpha\n\"\"\nbeta\n", nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ((*result)->num_rows(), 3u);
+  EXPECT_EQ((*result)->ValueAt(1, 0).AsString(), "");
+}
+
+TEST(CsvLoaderTest, EmptyNumericFieldsLoadAsNull) {
+  Result<std::shared_ptr<Table>> result =
+      ParseCsvText("k,v\n1,1.5\n2,\n3,2.5\n", nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& table = **result;
+  // The empty field neither votes on the inferred type nor poisons it.
+  EXPECT_EQ(table.schema().column(1).type, DataType::kDouble);
+  EXPECT_FALSE(table.column(1).IsNull(0));
+  EXPECT_TRUE(table.column(1).IsNull(1));
+  EXPECT_TRUE(table.ValueAt(1, 1).is_null());
+  EXPECT_DOUBLE_EQ(table.ValueAt(2, 1).AsDouble(), 2.5);
+}
+
+TEST(CsvLoaderTest, WriteReadRoundTrip) {
+  const std::string text =
+      "id,price,when,label\n"
+      "1,9.9900000000000002,2020-01-31,\"Smith, John\"\n"
+      "2,,2020-02-01,\"said \"\"hi\"\"\nand left\"\n";
+  Result<std::shared_ptr<Table>> first = ParseCsvText(text, nullptr);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string rendered = WriteCsvText(**first);
+  Result<std::shared_ptr<Table>> second = ParseCsvText(rendered, nullptr);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  const Table& a = **first;
+  const Table& b = **second;
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.schema().column(c).type, b.schema().column(c).type);
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      EXPECT_EQ(a.column(c).IsNull(r), b.column(c).IsNull(r))
+          << "row " << r << " col " << c;
+      if (!a.column(c).IsNull(r)) {
+        EXPECT_EQ(a.ValueAt(r, c).ToString(), b.ValueAt(r, c).ToString())
+            << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(CsvLoaderTest, WriteCsvToFileAndBack) {
+  std::string path = ::testing::TempDir() + "/csv_writer_test.csv";
+  Result<std::shared_ptr<Table>> original =
+      ParseCsvText("k,v\n1,alpha\n2,\"beta,gamma\"\n", nullptr);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(WriteCsv(**original, path).ok());
+  Result<std::shared_ptr<Table>> reloaded = LoadCsv(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_EQ((*reloaded)->num_rows(), 2u);
+  EXPECT_EQ((*reloaded)->ValueAt(1, 1).AsString(), "beta,gamma");
+}
+
 }  // namespace
 }  // namespace db
 }  // namespace perfeval

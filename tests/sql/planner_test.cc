@@ -48,7 +48,10 @@ TEST(PlannerTest, ProjectionAndAliases) {
   EXPECT_EQ(result.table->num_rows(), 3u);
   EXPECT_EQ(result.table->schema().column(0).name, "n_name");
   EXPECT_EQ(result.table->schema().column(1).name, "shifted");
-  EXPECT_DOUBLE_EQ(result.table->column(1).GetDouble(0), 100.0);
+  // Integer arithmetic stays int64 (checked) instead of widening to
+  // double.
+  EXPECT_EQ(result.table->schema().column(1).type, db::DataType::kInt64);
+  EXPECT_EQ(result.table->column(1).GetInt64(0), 100);
 }
 
 TEST(PlannerTest, WherePushdownProducesFilterScan) {

@@ -1,5 +1,7 @@
 #include "stats/confidence.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
@@ -101,8 +103,36 @@ TEST(ConfidenceTest, ToStringMentionsLevel) {
   EXPECT_NE(ci.ToString().find("95%"), std::string::npos);
 }
 
-TEST(ConfidenceDeathTest, NeedsTwoSamples) {
-  EXPECT_DEATH(MeanConfidenceInterval({1.0}, 0.95), "CHECK failed");
+TEST(ConfidenceTest, SingleSampleGivesUnboundedInterval) {
+  // Regression: n=1 used to abort. With zero degrees of freedom the only
+  // defensible interval is the sample with infinite bounds — never a
+  // garbage finite one.
+  ConfidenceInterval ci = MeanConfidenceInterval({42.0}, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 42.0);
+  EXPECT_TRUE(std::isinf(ci.lower));
+  EXPECT_TRUE(std::isinf(ci.upper));
+  EXPECT_LT(ci.lower, 0.0);
+  EXPECT_GT(ci.upper, 0.0);
+  EXPECT_TRUE(ci.Contains(42.0));
+  EXPECT_TRUE(ci.Contains(-1e300));
+}
+
+TEST(ConfidenceTest, SmallSampleUsesStudentT) {
+  // n=2 (df=1): t(0.95, 1) = 12.706 — more than 6x the normal z of 1.96.
+  // A normal-approximation bug here produces far-too-narrow intervals for
+  // exactly the small pilot samples where the interval matters most.
+  std::vector<double> xs = {1.0, 3.0};  // mean 2, sd sqrt(2).
+  ConfidenceInterval ci = MeanConfidenceInterval(xs, 0.95);
+  double expected_half = 12.706 * std::sqrt(2.0) / std::sqrt(2.0);
+  EXPECT_NEAR(ci.HalfWidth(), expected_half, 0.05);
+  // n=3 (df=2): t(0.95, 2) = 4.303.
+  std::vector<double> ys = {1.0, 2.0, 3.0};  // mean 2, sd 1.
+  ConfidenceInterval ci3 = MeanConfidenceInterval(ys, 0.95);
+  EXPECT_NEAR(ci3.HalfWidth(), 4.303 / std::sqrt(3.0), 0.02);
+}
+
+TEST(ConfidenceDeathTest, NeedsAtLeastOneSample) {
+  EXPECT_DEATH(MeanConfidenceInterval({}, 0.95), "CHECK failed");
 }
 
 }  // namespace

@@ -95,6 +95,29 @@ TEST(HistogramTest, ToStringHasOneLinePerCell) {
   EXPECT_EQ(newlines, 4);
 }
 
+TEST(HistogramTest, DegenerateRangeWidensInsteadOfZeroWidthCells) {
+  // Regression: lower == upper (every sample identical — common for
+  // quantized timers) used to abort; zero-width cells would also divide
+  // by zero in Add(). The range widens to a unit interval instead.
+  Histogram h(5.0, 5.0, 4);
+  ASSERT_EQ(h.cells().size(), 4u);
+  EXPECT_DOUBLE_EQ(h.cells().front().lower, 4.5);
+  EXPECT_DOUBLE_EQ(h.cells().back().upper, 5.5);
+  for (const HistogramCell& cell : h.cells()) {
+    EXPECT_GT(cell.upper, cell.lower);
+  }
+  h.Add(5.0);
+  h.Add(5.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.total_count(), 3);
+  EXPECT_EQ(h.out_of_range(), 0);
+  int64_t counted = 0;
+  for (const HistogramCell& cell : h.cells()) {
+    counted += cell.count;
+  }
+  EXPECT_EQ(counted, 3);
+}
+
 TEST(HistogramDeathTest, RejectsBadConstruction) {
   EXPECT_DEATH(Histogram(0.0, 1.0, 0), "CHECK failed");
   EXPECT_DEATH(Histogram(2.0, 1.0, 3), "CHECK failed");

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI entry point — the same jobs .github/workflows/ci.yml runs, invocable
+# locally: tools/ci.sh [tier1|asan|oracle|all]. Each job uses its own build
+# directory so they can be cached independently.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+job="${1:-all}"
+jobs_flag="-j$(nproc)"
+
+tier1() {
+  # The tier-1 gate: default Release build + the full test suite.
+  cmake -B build -S .
+  cmake --build build "$jobs_flag"
+  ctest --test-dir build --output-on-failure "$jobs_flag"
+}
+
+asan() {
+  # Memory job: ASan+UBSan over the whole suite. Catches the class of bug
+  # checked mode asserts against (OOB selection vectors, wrapping
+  # arithmetic) at the C++ level rather than the relational level.
+  cmake -B build-asan -S . -DPERFEVAL_SANITIZE=address
+  cmake --build build-asan "$jobs_flag"
+  ctest --test-dir build-asan --output-on-failure "$jobs_flag"
+}
+
+oracle() {
+  # Differential-oracle smoke: all 22 TPC-H plans + 200+ fuzzed queries on
+  # the engine (exec modes x threads x join algos) vs. the row-at-a-time
+  # reference interpreter, plus the fuzz/metamorphic suite in sql_test.
+  cmake -B build -S .
+  cmake --build build "$jobs_flag" --target oracle_test sql_test
+  ctest --test-dir build --output-on-failure -L oracle
+  ctest --test-dir build --output-on-failure -R 'SqlFuzzTest'
+}
+
+case "$job" in
+  tier1)  tier1 ;;
+  asan)   asan ;;
+  oracle) oracle ;;
+  all)    tier1; oracle; asan ;;
+  *)
+    echo "usage: tools/ci.sh [tier1|asan|oracle|all]" >&2
+    exit 2
+    ;;
+esac
