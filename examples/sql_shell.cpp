@@ -14,6 +14,9 @@
 //                            |merge; optional radix fan-out bits (0=auto)
 //   \check on|off            checked execution: operators assert their
 //                            invariants (costs O(input) per operator)
+//   \timing on|off           route queries through the serve::QueryService
+//                            and print the server-side split (queue wait /
+//                            exec / total) alongside client wall time
 //   \flush                   flush the buffer pool (next run is cold)
 //   \trace <sql>             run and print the per-operator trace
 //   \tables                  list catalog tables
@@ -23,17 +26,65 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/string_util.h"
+#include "core/timer.h"
 #include "repro/properties.h"
 #include "db/csv_loader.h"
+#include "serve/service.h"
 #include "sql/planner.h"
 #include "workload/tpch_gen.h"
 
 using namespace perfeval;  // NOLINT(build/namespaces) example binary.
 
 namespace {
+
+/// The \timing service: one worker, shed beyond a short queue — a shell
+/// issues one query at a time, so the split mostly shows dispatch cost,
+/// but the numbers come from the same code path a loaded service reports.
+std::unique_ptr<serve::QueryService> MakeTimingService(
+    db::Database& database, db::ExecMode mode) {
+  serve::ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  options.overload = serve::OverloadPolicy::kShed;
+  options.mode = mode;
+  options.sink = db::SinkKind::kFile;
+  options.fingerprint_results = false;
+  return std::make_unique<serve::QueryService>(&database, options);
+}
+
+/// Runs `sql_text` through the query service and prints the slide-23-style
+/// split: server queue wait + execution vs. the client's wall clock.
+void RunTimed(db::Database& database, serve::QueryService& service,
+              const std::string& sql_text) {
+  Result<sql::PlannedQuery> planned = sql::PlanQuery(sql_text, database);
+  if (!planned.ok()) {
+    std::printf("error: %s\n", planned.status().ToString().c_str());
+    return;
+  }
+  if (planned->explain) {
+    std::printf("%s\n", db::Explain(planned->plan).c_str());
+    return;
+  }
+  core::WallTimer client_wall;
+  serve::Request request;
+  request.plan = planned->plan;
+  serve::Response response = service.Execute(std::move(request));
+  double client_ms = client_wall.ElapsedMs();
+  if (!response.status.ok()) {
+    std::printf("error: %s\n", response.status.ToString().c_str());
+    return;
+  }
+  std::printf("%s", response.table->ToString(25).c_str());
+  std::printf("%zu row(s)\n", response.table->num_rows());
+  std::printf(
+      "Server %.3f msec (queue wait %.3f + exec %.3f), Client %.3f msec\n",
+      response.server.TotalNs() / 1e6, response.server.queue_wait_ns / 1e6,
+      response.server.exec_ns / 1e6, client_ms);
+}
 
 void RunAndPrint(db::Database& database, const std::string& sql_text,
                  db::ExecMode mode, bool with_trace) {
@@ -69,6 +120,10 @@ int main(int argc, char** argv) {
   workload::TpchGenerator gen(sf);
   gen.LoadAll(&database);
   db::ExecMode mode = db::ExecMode::kOptimized;
+  // Created on \timing on, recreated when \mode changes (the service binds
+  // its execution mode at construction).
+  std::unique_ptr<serve::QueryService> timing_service;
+  bool timing_on = false;
 
   std::printf("perfeval SQL shell — TPC-H sf %.3g loaded. \\q to quit.\n",
               sf);
@@ -104,7 +159,28 @@ int main(int argc, char** argv) {
         } else {
           mode = db::ExecMode::kOptimized;
         }
+        if (timing_on) {
+          timing_service = MakeTimingService(database, mode);
+        }
         std::printf("execution mode: %s\n", db::ExecModeName(mode));
+        continue;
+      }
+      if (StartsWith(trimmed, "\\timing")) {
+        std::vector<std::string> parts = Split(trimmed, ' ');
+        if (parts.size() == 2 && (parts[1] == "on" || parts[1] == "off")) {
+          timing_on = parts[1] == "on";
+        } else if (parts.size() != 1) {
+          std::printf("usage: \\timing on|off\n");
+          continue;
+        }
+        if (timing_on && timing_service == nullptr) {
+          timing_service = MakeTimingService(database, mode);
+        }
+        if (!timing_on) {
+          timing_service.reset();
+        }
+        std::printf("timing (server queue/exec split): %s\n",
+                    timing_on ? "on" : "off");
         continue;
       }
       if (StartsWith(trimmed, "\\threads")) {
@@ -190,7 +266,11 @@ int main(int argc, char** argv) {
     // typing its continuation on one line (the parser accepts newlines
     // inside, so pasting multi-line SQL as a block also works).
     statement = trimmed;
-    RunAndPrint(database, statement, mode, /*with_trace=*/false);
+    if (timing_on) {
+      RunTimed(database, *timing_service, statement);
+    } else {
+      RunAndPrint(database, statement, mode, /*with_trace=*/false);
+    }
     statement.clear();
   }
   std::printf("\n");

@@ -17,6 +17,8 @@ enum class StatusCode {
   kUnimplemented,
   kIoError,
   kInternal,
+  kOverloaded,         ///< shed by an admission controller; retry later.
+  kDeadlineExceeded,   ///< deadline passed before the work could run.
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"…).
@@ -60,6 +62,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

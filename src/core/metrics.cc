@@ -12,6 +12,13 @@ double ThroughputPerSecond(int64_t operations, int64_t elapsed_ns) {
          static_cast<double>(elapsed_ns);
 }
 
+double QueriesPerHour(double queries, double elapsed_ms) {
+  if (elapsed_ms <= 0.0) {
+    return 0.0;
+  }
+  return queries * 3600'000.0 / elapsed_ms;
+}
+
 std::string FormatBytes(int64_t bytes) {
   const char* units[] = {"B", "KB", "MB", "GB", "TB"};
   double value = static_cast<double>(bytes);

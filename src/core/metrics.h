@@ -11,6 +11,13 @@ namespace core {
 /// Throughput in operations per second from a count and an elapsed time.
 double ThroughputPerSecond(int64_t operations, int64_t elapsed_ns);
 
+/// Queries per hour from a count and an elapsed wall time in milliseconds —
+/// the TPC-H-style reporting unit used by the workload driver and the
+/// serving benches. Zero (not a division trap) when elapsed_ms <= 0, so a
+/// timer-resolution zero in a smoke run degrades to "no rate" instead of
+/// aborting the bench.
+double QueriesPerHour(double queries, double elapsed_ms);
+
 /// Memory footprint description used in hardware/software specs.
 std::string FormatBytes(int64_t bytes);
 

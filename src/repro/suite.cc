@@ -119,6 +119,14 @@ const ExperimentSuite& PerfevalSuite() {
         "threads (results bit-identical at every setting)",
         "build/bench/bench_parallel_scan",
         "stdout + bench_results/BENCH_parallel_scan.json", "about a minute");
+    add("A8", "Service latency under load: closed-loop capacity "
+        "calibration, open-loop Poisson sweep with percentile+CI "
+        "throughput-latency curves, and the closed-vs-open coordinated-"
+        "omission comparison at equal offered load",
+        "build/bench/bench_service_latency",
+        "stdout + bench_results/BENCH_service_latency.json + "
+        "bench_results/a8_service_latency.{csv,gnu,svg}",
+        "about a minute");
     s->AddNote(
         "Parallel execution & determinism",
         "Every bench binary takes uniform scheduling flags: `--jobs=N` "
@@ -146,14 +154,31 @@ const ExperimentSuite& PerfevalSuite() {
     s->AddNote(
         "ThreadSanitizer",
         "The concurrency tests carry ctest labels — `sched` for the "
-        "scheduler, `db` for morsel-parallel query execution — and should "
-        "pass under ThreadSanitizer:\n\n"
+        "scheduler, `db` for morsel-parallel query execution, `serve` for "
+        "the concurrent query service — and should pass under "
+        "ThreadSanitizer:\n\n"
         "```sh\n"
         "cmake -B build-tsan -S . -DPERFEVAL_SANITIZE=thread\n"
-        "cmake --build build-tsan --target sched_test db_parallel_test\n"
+        "cmake --build build-tsan --target sched_test db_parallel_test "
+        "serve_test\n"
         "ctest --test-dir build-tsan -L sched\n"
         "ctest --test-dir build-tsan -L db\n"
+        "ctest --test-dir build-tsan -L serve\n"
         "```");
+    s->AddNote(
+        "Serving & tail latency",
+        "A8 measures the engine behind a `serve::QueryService` — bounded "
+        "admission queue, worker-pool executor, per-request deadlines, and "
+        "a selectable overload policy (block / shed / timeout). The load "
+        "generator drives it both ways the literature distinguishes: "
+        "closed-loop (fixed client population; arrival adapts to service "
+        "speed) and open-loop (seeded Poisson arrivals on a virtual "
+        "schedule; a late dispatch is charged from the *intended* arrival, "
+        "so coordinated omission is measured rather than hidden). Latencies "
+        "land in a log2-bucketed histogram (<= 6.25% relative error) and "
+        "percentiles carry bootstrap confidence intervals. Schedules and "
+        "result fingerprints are pure functions of the run seed — identical "
+        "at any worker count, which serve_test verifies at 1/4/8 workers.");
     return s;
   }();
   return *suite;

@@ -1,0 +1,159 @@
+#include "serve/latency.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "stats/bootstrap.h"
+
+namespace perfeval {
+namespace serve {
+namespace {
+
+// Values saturate here so the top octave stays addressable: 2^62 - 1 ns is
+// about 146 years of latency, comfortably "stuck".
+constexpr int64_t kMaxTrackable = (int64_t{1} << 62) - 1;
+
+// Octaves 4..62 of 16 sub-buckets each, after the 16 exact small values.
+constexpr size_t kNumBuckets = 16 * 60;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : counts_(kNumBuckets, 0) {}
+
+size_t LatencyHistogram::BucketIndex(int64_t ns) {
+  if (ns < 0) {
+    ns = 0;
+  }
+  if (ns > kMaxTrackable) {
+    ns = kMaxTrackable;
+  }
+  if (ns < kSubBuckets) {
+    return static_cast<size_t>(ns);
+  }
+  int b = std::bit_width(static_cast<uint64_t>(ns)) - 1;  // floor(log2 ns)
+  int64_t sub = (ns >> (b - 4)) & (kSubBuckets - 1);
+  return static_cast<size_t>(16 * (b - 3) + sub);
+}
+
+int64_t LatencyHistogram::BucketLowerNs(size_t index) {
+  if (index < static_cast<size_t>(kSubBuckets)) {
+    return static_cast<int64_t>(index);
+  }
+  int b = static_cast<int>(index / 16) + 3;
+  int64_t sub = static_cast<int64_t>(index % 16);
+  return (int64_t{1} << b) + (sub << (b - 4));
+}
+
+double LatencyHistogram::BucketMidNs(size_t index) {
+  int64_t lower = BucketLowerNs(index);
+  int64_t width = index < static_cast<size_t>(kSubBuckets)
+                      ? 1
+                      : int64_t{1} << (static_cast<int>(index / 16) - 1);
+  // Integer values in this bucket span [lower, lower + width - 1], so the
+  // representative is the midpoint of that inclusive range — for the exact
+  // (width-1) buckets that is the recorded value itself.
+  return static_cast<double>(lower) + static_cast<double>(width - 1) / 2.0;
+}
+
+void LatencyHistogram::Record(int64_t ns) {
+  if (ns < 0) {
+    ns = 0;
+  }
+  size_t index = BucketIndex(ns);
+  counts_[index] += 1;
+  if (total_count_ == 0 || ns < min_ns_) {
+    min_ns_ = ns;
+  }
+  if (total_count_ == 0 || ns > max_ns_) {
+    max_ns_ = ns;
+  }
+  sum_ns_ += static_cast<double>(ns);
+  total_count_ += 1;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.total_count_ == 0) {
+    return;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (total_count_ == 0 || other.min_ns_ < min_ns_) {
+    min_ns_ = other.min_ns_;
+  }
+  if (total_count_ == 0 || other.max_ns_ > max_ns_) {
+    max_ns_ = other.max_ns_;
+  }
+  sum_ns_ += other.sum_ns_;
+  total_count_ += other.total_count_;
+}
+
+int64_t LatencyHistogram::MinNs() const { return min_ns_; }
+
+double LatencyHistogram::MeanNs() const {
+  PERFEVAL_CHECK_GT(total_count_, 0) << "mean of empty histogram";
+  return sum_ns_ / static_cast<double>(total_count_);
+}
+
+double LatencyHistogram::ValueAtPercentile(double p) const {
+  PERFEVAL_CHECK_GT(total_count_, 0) << "percentile of empty histogram";
+  PERFEVAL_CHECK_GE(p, 0.0);
+  PERFEVAL_CHECK_LE(p, 100.0);
+  if (p <= 0.0) {
+    return static_cast<double>(min_ns_);
+  }
+  if (p >= 100.0) {
+    return static_cast<double>(max_ns_);
+  }
+  int64_t target = static_cast<int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total_count_)));
+  target = std::max<int64_t>(target, 1);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      // The representative can overshoot the true extremes by up to half a
+      // bucket; clamp so reported percentiles never leave [min, max].
+      return std::clamp(BucketMidNs(i), static_cast<double>(min_ns_),
+                        static_cast<double>(max_ns_));
+    }
+  }
+  return static_cast<double>(max_ns_);
+}
+
+std::vector<double> LatencyHistogram::RepresentativeValues() const {
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(total_count_));
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double mid = std::clamp(BucketMidNs(i), static_cast<double>(min_ns_),
+                            static_cast<double>(max_ns_));
+    for (int64_t c = 0; c < counts_[i]; ++c) {
+      values.push_back(mid);
+    }
+  }
+  return values;
+}
+
+stats::ConfidenceInterval LatencyHistogram::PercentileCI(
+    double p, double confidence, uint64_t seed, int resamples) const {
+  PERFEVAL_CHECK_GE(total_count_, 2) << "bootstrap needs >= 2 observations";
+  return stats::BootstrapPercentileCI(RepresentativeValues(), p, confidence,
+                                      seed, resamples);
+}
+
+std::string LatencyHistogram::SummaryString() const {
+  if (total_count_ == 0) {
+    return "n=0";
+  }
+  return StrFormat(
+      "n=%lld p50=%.3fms p90=%.3fms p99=%.3fms p99.9=%.3fms max=%.3fms",
+      static_cast<long long>(total_count_), ValueAtPercentile(50.0) / 1e6,
+      ValueAtPercentile(90.0) / 1e6, ValueAtPercentile(99.0) / 1e6,
+      ValueAtPercentile(99.9) / 1e6, static_cast<double>(max_ns_) / 1e6);
+}
+
+}  // namespace serve
+}  // namespace perfeval

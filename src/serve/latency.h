@@ -1,0 +1,84 @@
+#ifndef PERFEVAL_SERVE_LATENCY_H_
+#define PERFEVAL_SERVE_LATENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/confidence.h"
+
+namespace perfeval {
+namespace serve {
+
+/// Log2-bucketed latency histogram (HdrHistogram-style): values below
+/// kSubBuckets are counted exactly; above that, each power-of-two octave is
+/// split into kSubBuckets linear sub-buckets, bounding the relative
+/// quantization error at 1/kSubBuckets (6.25%). Recording is O(1) with no
+/// allocation, so the serving path can record every request — the paper's
+/// slide-22/23 response-time metrics reported as a distribution, not the
+/// single mean slide 140 warns against.
+///
+/// Not thread-safe: each client/worker records into its own histogram and
+/// the collector Merge()s them — the same partial-then-merge discipline the
+/// morsel executor uses, so recording never serializes the load path.
+class LatencyHistogram {
+ public:
+  /// Sub-buckets per octave; must be a power of two.
+  static constexpr int64_t kSubBuckets = 16;
+
+  LatencyHistogram();
+
+  /// Records one latency. Negative values clamp to 0 (a clock step on a
+  /// sub-resolution interval), values above ~2^62 ns saturate the top
+  /// bucket.
+  void Record(int64_t ns);
+
+  /// Adds every count of `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  int64_t TotalCount() const { return total_count_; }
+  /// Exact (unquantized) extremes and sum of the recorded values.
+  int64_t MinNs() const;
+  int64_t MaxNs() const { return max_ns_; }
+  double MeanNs() const;
+
+  /// Value at percentile p in [0, 100]: the representative (bucket
+  /// midpoint) of the bucket holding the p-th of the recorded values;
+  /// p=0 / p=100 return the exact min/max. Requires a non-empty histogram.
+  double ValueAtPercentile(double p) const;
+
+  /// Bootstrap confidence interval for the percentile, resampling the
+  /// bucketed distribution (each observation enters at its bucket
+  /// representative) through stats::BootstrapPercentileCI. Deterministic in
+  /// `seed`. `resamples` trades precision for time when many intervals are
+  /// extracted per run. Requires >= 2 recorded values.
+  stats::ConfidenceInterval PercentileCI(double p, double confidence,
+                                         uint64_t seed,
+                                         int resamples = 1000) const;
+
+  /// The recorded distribution expanded to one representative value per
+  /// observation, in ascending order — the sample vector the bootstrap
+  /// resamples. O(TotalCount()) memory.
+  std::vector<double> RepresentativeValues() const;
+
+  /// "n=… p50=… p90=… p99=… p99.9=… max=…" with millisecond units.
+  std::string SummaryString() const;
+
+  /// Bucket index of `ns` — exposed for tests of the bucketing math.
+  static size_t BucketIndex(int64_t ns);
+  /// Inclusive lower edge and midpoint representative of bucket `index`.
+  static int64_t BucketLowerNs(size_t index);
+  static double BucketMidNs(size_t index);
+
+ private:
+  std::vector<int64_t> counts_;
+  int64_t total_count_ = 0;
+  int64_t min_ns_ = 0;
+  int64_t max_ns_ = 0;
+  double sum_ns_ = 0.0;
+};
+
+}  // namespace serve
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SERVE_LATENCY_H_

@@ -1,0 +1,225 @@
+#include "serve/loadgen.h"
+
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/metrics.h"
+#include "sched/worker_pool.h"
+
+namespace perfeval {
+namespace serve {
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<int> EffectiveMix(const LoadOptions& options) {
+  std::vector<int> mix = options.query_mix;
+  if (mix.empty()) {
+    mix.resize(22);
+    std::iota(mix.begin(), mix.end(), 1);
+  }
+  for (int q : mix) {
+    PERFEVAL_CHECK_GE(q, 1);
+    PERFEVAL_CHECK_LE(q, 22);
+  }
+  return mix;
+}
+
+Request ToRequest(const PlannedRequest& spec) {
+  Request request;
+  request.query = spec.query;
+  request.seed = spec.seed;
+  return request;
+}
+
+/// Folds one finished request into the shared result vectors. `partial`
+/// holds the thread-local histograms merged after the run.
+struct PartialResult {
+  LatencyHistogram client_latency;
+  LatencyHistogram queue_wait;
+  LatencyHistogram exec_time;
+  int64_t errors = 0;
+
+  void Record(const RequestOutcome& outcome) {
+    if (!outcome.status.ok()) {
+      ++errors;
+      return;
+    }
+    client_latency.Record(outcome.client_latency_ns);
+    queue_wait.Record(outcome.server.queue_wait_ns);
+    exec_time.Record(outcome.server.exec_ns);
+  }
+};
+
+LoadResult Assemble(std::vector<RequestOutcome> outcomes,
+                    std::vector<PartialResult> partials) {
+  LoadResult result;
+  result.outcomes = std::move(outcomes);
+  for (PartialResult& partial : partials) {
+    result.client_latency.Merge(partial.client_latency);
+    result.queue_wait.Merge(partial.queue_wait);
+    result.exec_time.Merge(partial.exec_time);
+    result.errors += partial.errors;
+  }
+  int64_t last_complete_ns = 0;
+  for (const RequestOutcome& outcome : result.outcomes) {
+    last_complete_ns = std::max(last_complete_ns, outcome.complete_ns);
+  }
+  result.wall_ms = static_cast<double>(last_complete_ns) / 1e6;
+  double completed =
+      static_cast<double>(result.client_latency.TotalCount());
+  result.qph = core::QueriesPerHour(completed, result.wall_ms);
+  result.achieved_qps = result.qph / 3600.0;
+  return result;
+}
+
+}  // namespace
+
+const char* LoadModeName(LoadMode mode) {
+  switch (mode) {
+    case LoadMode::kClosed:
+      return "closed";
+    case LoadMode::kOpen:
+      return "open";
+  }
+  return "unknown";
+}
+
+std::vector<PlannedRequest> BuildSchedule(const LoadOptions& options) {
+  PERFEVAL_CHECK_GE(options.requests, 1);
+  PERFEVAL_CHECK_GE(options.clients, 1);
+  PERFEVAL_CHECK_GE(options.think_ms_mean, 0.0);
+  std::vector<int> mix = EffectiveMix(options);
+  std::vector<PlannedRequest> schedule(
+      static_cast<size_t>(options.requests));
+  if (options.mode == LoadMode::kOpen) {
+    PERFEVAL_CHECK_GT(options.offered_qps, 0.0);
+    // Poisson arrivals: i.i.d. exponential gaps at the offered rate,
+    // accumulated into a virtual timeline fixed before the run starts.
+    double rate_per_ns = options.offered_qps / 1e9;
+    int64_t arrival_ns = 0;
+    for (int i = 0; i < options.requests; ++i) {
+      PlannedRequest& spec = schedule[static_cast<size_t>(i)];
+      spec.index = i;
+      spec.stream = 0;
+      spec.seed = MixSeed(options.run_seed, 0, static_cast<uint64_t>(i));
+      Pcg32 rng(spec.seed);
+      spec.query = mix[rng.NextBounded(static_cast<uint32_t>(mix.size()))];
+      arrival_ns +=
+          static_cast<int64_t>(std::llround(rng.NextExponential(rate_per_ns)));
+      spec.intended_ns = arrival_ns;
+    }
+  } else {
+    for (int i = 0; i < options.requests; ++i) {
+      PlannedRequest& spec = schedule[static_cast<size_t>(i)];
+      spec.index = i;
+      spec.stream = i % options.clients;
+      spec.seed = MixSeed(options.run_seed,
+                          static_cast<uint64_t>(spec.stream),
+                          static_cast<uint64_t>(i));
+      Pcg32 rng(spec.seed);
+      spec.query = mix[rng.NextBounded(static_cast<uint32_t>(mix.size()))];
+      if (options.think_ms_mean > 0.0) {
+        double mean_ns = options.think_ms_mean * 1e6;
+        spec.think_ns = static_cast<int64_t>(
+            std::llround(rng.NextExponential(1.0 / mean_ns)));
+      }
+    }
+  }
+  return schedule;
+}
+
+LoadGenerator::LoadGenerator(QueryService* service, LoadOptions options)
+    : service_(service), options_(std::move(options)) {
+  PERFEVAL_CHECK(service_ != nullptr);
+}
+
+LoadResult LoadGenerator::Run() {
+  std::vector<PlannedRequest> schedule = BuildSchedule(options_);
+  return options_.mode == LoadMode::kOpen ? RunOpen(schedule)
+                                          : RunClosed(schedule);
+}
+
+LoadResult LoadGenerator::RunClosed(
+    const std::vector<PlannedRequest>& schedule) {
+  int clients = options_.clients;
+  std::vector<RequestOutcome> outcomes(schedule.size());
+  std::vector<PartialResult> partials(static_cast<size_t>(clients));
+  int64_t run_start_ns = SteadyNowNs();
+  {
+    // One worker per client; each client owns its outcome slots (the
+    // indices congruent to its id), so clients never write shared state.
+    sched::WorkerPool pool(clients);
+    for (int c = 0; c < clients; ++c) {
+      pool.Submit([this, c, clients, run_start_ns, &schedule, &outcomes,
+                   &partials] {
+        PartialResult& partial = partials[static_cast<size_t>(c)];
+        for (size_t i = static_cast<size_t>(c); i < schedule.size();
+             i += static_cast<size_t>(clients)) {
+          const PlannedRequest& spec = schedule[i];
+          if (spec.think_ns > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(spec.think_ns));
+          }
+          RequestOutcome& outcome = outcomes[i];
+          outcome.spec = spec;
+          outcome.dispatch_ns = SteadyNowNs() - run_start_ns;
+          Response response = service_->Execute(ToRequest(spec));
+          outcome.complete_ns = SteadyNowNs() - run_start_ns;
+          outcome.status = response.status;
+          outcome.fingerprint = response.fingerprint;
+          outcome.server = response.server;
+          outcome.client_latency_ns =
+              outcome.complete_ns - outcome.dispatch_ns;
+          partial.Record(outcome);
+        }
+      });
+    }
+    pool.Drain();
+  }
+  return Assemble(std::move(outcomes), std::move(partials));
+}
+
+LoadResult LoadGenerator::RunOpen(
+    const std::vector<PlannedRequest>& schedule) {
+  std::vector<RequestOutcome> outcomes(schedule.size());
+  std::vector<ResponseHandle> handles(schedule.size());
+  int64_t run_start_ns = SteadyNowNs();
+  auto run_start_tp = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const PlannedRequest& spec = schedule[i];
+    // Dispatch at the intended arrival; when the service (or this
+    // dispatcher) falls behind, the request goes out late but its latency
+    // is still charged from intended_ns below — the coordinated-omission
+    // correction.
+    std::this_thread::sleep_until(
+        run_start_tp + std::chrono::nanoseconds(spec.intended_ns));
+    outcomes[i].spec = spec;
+    outcomes[i].dispatch_ns = SteadyNowNs() - run_start_ns;
+    handles[i] = service_->Submit(ToRequest(spec));
+  }
+  std::vector<PartialResult> partials(1);
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    RequestOutcome& outcome = outcomes[i];
+    const Response& response = handles[i]->Wait();
+    outcome.complete_ns = handles[i]->complete_steady_ns() - run_start_ns;
+    outcome.status = response.status;
+    outcome.fingerprint = response.fingerprint;
+    outcome.server = response.server;
+    outcome.client_latency_ns = outcome.complete_ns - outcome.spec.intended_ns;
+    partials[0].Record(outcome);
+  }
+  return Assemble(std::move(outcomes), std::move(partials));
+}
+
+}  // namespace serve
+}  // namespace perfeval

@@ -1,0 +1,120 @@
+#ifndef PERFEVAL_SERVE_LOADGEN_H_
+#define PERFEVAL_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/latency.h"
+#include "serve/service.h"
+
+namespace perfeval {
+namespace serve {
+
+/// The two textbook load-driver shapes (Schroeder et al., "Open Versus
+/// Closed: A Cautionary Tale"):
+///  - closed-loop: a fixed population of clients, each thinking, issuing
+///    one request, and waiting for the response. Arrival rate adapts to
+///    service speed, so a slow server silently stops being offered load —
+///    the coordinated-omission failure mode;
+///  - open-loop: requests arrive on a virtual Poisson schedule regardless
+///    of service state. A late dispatch is charged from the *intended*
+///    arrival time, so queueing that a closed driver would hide shows up
+///    in the measured tail.
+enum class LoadMode {
+  kClosed,
+  kOpen,
+};
+
+const char* LoadModeName(LoadMode mode);
+
+/// Configuration of one load-generation run.
+struct LoadOptions {
+  LoadMode mode = LoadMode::kClosed;
+  /// Total requests in the run (across all clients).
+  int requests = 256;
+  /// Closed-loop client population. Open-loop runs dispatch from a single
+  /// virtual timeline regardless of this setting.
+  int clients = 4;
+  /// Closed-loop mean think time between a response and the client's next
+  /// request, exponentially distributed; 0 disables thinking.
+  double think_ms_mean = 0.0;
+  /// Open-loop offered load: Poisson arrival rate, requests per second.
+  double offered_qps = 100.0;
+  /// Base seed of the run; request r of stream s draws everything it
+  /// randomizes from MixSeed(run_seed, s, r), so the whole schedule is a
+  /// pure function of (options) — independent of workers and wall clock.
+  uint64_t run_seed = 1;
+  /// TPC-H query numbers sampled per request; all 22 when empty.
+  std::vector<int> query_mix;
+};
+
+/// One scheduled request: everything decided before the run starts.
+struct PlannedRequest {
+  int index = 0;   ///< 0-based global request index.
+  int stream = 0;  ///< closed-loop: owning client; open-loop: 0.
+  int query = 1;   ///< TPC-H query number.
+  uint64_t seed = 0;  ///< MixSeed(run_seed, stream, index).
+  /// Open-loop: intended arrival on the virtual timeline (ns from run
+  /// start). Closed-loop: -1 (arrival is response-dependent by design).
+  int64_t intended_ns = -1;
+  /// Closed-loop: think time before this request, ns. Open-loop: 0.
+  int64_t think_ns = 0;
+};
+
+/// Builds the full request schedule for `options`: a pure function — same
+/// options, same schedule, bit for bit, at any worker count, on any
+/// machine. This is the replay invariant serve_test locks down.
+std::vector<PlannedRequest> BuildSchedule(const LoadOptions& options);
+
+/// Outcome of one request as the client observed it.
+struct RequestOutcome {
+  PlannedRequest spec;
+  Status status;
+  uint64_t fingerprint = 0;
+  ServerTiming server;
+  int64_t dispatch_ns = 0;  ///< actual submit time on the run timeline.
+  int64_t complete_ns = 0;  ///< response fulfillment on the run timeline.
+  /// Client-observed latency: open-loop from the intended arrival
+  /// (coordinated omission charged, not hidden), closed-loop from
+  /// dispatch.
+  int64_t client_latency_ns = 0;
+};
+
+/// Everything one run measured.
+struct LoadResult {
+  std::vector<RequestOutcome> outcomes;  ///< in request-index order.
+  double wall_ms = 0.0;       ///< first dispatch to last completion.
+  double achieved_qps = 0.0;  ///< completed OK requests per second.
+  double qph = 0.0;           ///< the same rate in queries/hour.
+  int64_t errors = 0;         ///< non-OK responses (shed, deadline, ...).
+  /// Distributions over requests that completed OK. Client latency is the
+  /// full client view; queue/exec are the server-side split.
+  LatencyHistogram client_latency;
+  LatencyHistogram queue_wait;
+  LatencyHistogram exec_time;
+};
+
+/// Drives a QueryService with the schedule of `options` and measures
+/// client-observed latency per request.
+class LoadGenerator {
+ public:
+  LoadGenerator(QueryService* service, LoadOptions options);
+
+  /// Runs the whole schedule to completion. May be called repeatedly; each
+  /// call replays the identical schedule.
+  LoadResult Run();
+
+  const LoadOptions& options() const { return options_; }
+
+ private:
+  LoadResult RunClosed(const std::vector<PlannedRequest>& schedule);
+  LoadResult RunOpen(const std::vector<PlannedRequest>& schedule);
+
+  QueryService* service_;
+  LoadOptions options_;
+};
+
+}  // namespace serve
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SERVE_LOADGEN_H_

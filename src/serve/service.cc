@@ -1,0 +1,217 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "db/error.h"
+#include "repro/fingerprint.h"
+#include "workload/tpch_queries.h"
+
+namespace perfeval {
+namespace serve {
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kShed:
+      return "shed";
+    case OverloadPolicy::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+const Response& PendingResponse::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return response_;
+}
+
+bool PendingResponse::Done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void PendingResponse::Fulfill(Response response) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PERFEVAL_CHECK(!done_) << "response fulfilled twice";
+    response_ = std::move(response);
+    complete_steady_ns_ = SteadyNowNs();
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+QueryService::QueryService(db::Database* database, ServiceOptions options)
+    : database_(database), options_(options) {
+  PERFEVAL_CHECK(database_ != nullptr);
+  PERFEVAL_CHECK_GE(options_.queue_capacity, 1u);
+  if (options_.workers < 1) {
+    options_.workers = 1;
+  }
+  pool_ = std::make_unique<sched::WorkerPool>(options_.workers);
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+uint64_t QueryService::FingerprintTable(const db::Table& table) {
+  std::string rendered;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      rendered += table.ValueAt(r, c).ToString();
+      rendered += '|';
+    }
+    rendered += '\n';
+  }
+  return repro::Fnv1a64(rendered);
+}
+
+ResponseHandle QueryService::Submit(Request request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto handle = std::make_shared<PendingResponse>();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!shutdown_ && queued_ >= options_.queue_capacity) {
+      switch (options_.overload) {
+        case OverloadPolicy::kBlock:
+          slot_free_.wait(lock, [this] {
+            return shutdown_ || queued_ < options_.queue_capacity;
+          });
+          break;
+        case OverloadPolicy::kShed:
+          break;  // fall through to the capacity re-check below.
+        case OverloadPolicy::kTimeout:
+          slot_free_.wait_for(
+              lock, std::chrono::nanoseconds(options_.admission_timeout_ns),
+              [this] {
+                return shutdown_ || queued_ < options_.queue_capacity;
+              });
+          break;
+      }
+    }
+    if (shutdown_) {
+      lock.unlock();
+      Response response;
+      response.status =
+          Status::FailedPrecondition("service is shut down");
+      response.seed = request.seed;
+      handle->Fulfill(std::move(response));
+      return handle;
+    }
+    if (queued_ >= options_.queue_capacity) {
+      lock.unlock();
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      Response response;
+      response.status = Status::Overloaded(
+          "admission queue full (" + std::to_string(options_.queue_capacity) +
+          " queued, policy " + OverloadPolicyName(options_.overload) + ")");
+      response.seed = request.seed;
+      handle->Fulfill(std::move(response));
+      return handle;
+    }
+    ++queued_;
+    // Enqueue while still holding mu_: Shutdown() flips shutdown_ under the
+    // same mutex before closing the pool, so a Push can never race a
+    // Close.
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    int64_t admit_ns = SteadyNowNs();
+    pool_->Submit(
+        [this, request = std::move(request), handle, admit_ns]() mutable {
+          RunRequest(std::move(request), handle, admit_ns);
+        });
+  }
+  return handle;
+}
+
+void QueryService::RunRequest(Request request, ResponseHandle handle,
+                              int64_t admit_ns) {
+  int64_t start_ns = SteadyNowNs();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PERFEVAL_CHECK_GE(queued_, 1u);
+    --queued_;
+  }
+  slot_free_.notify_one();
+  started_.fetch_add(1, std::memory_order_relaxed);
+
+  Response response;
+  response.seed = request.seed;
+  response.server.queue_wait_ns = start_ns - admit_ns;
+
+  if (request.deadline_ns > 0 &&
+      response.server.queue_wait_ns > request.deadline_ns) {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    response.status = Status::DeadlineExceeded(
+        "deadline passed after " +
+        std::to_string(response.server.queue_wait_ns) + "ns in queue");
+    handle->Fulfill(std::move(response));
+    return;
+  }
+
+  if (request.before_execute) {
+    request.before_execute();
+  }
+
+  // WorkerPool jobs must not throw: QueryError (checked arithmetic,
+  // invariant violations) is converted to an error response here, the same
+  // boundary conversion sql::RunQuery performs.
+  try {
+    db::PlanPtr plan = request.plan;
+    if (!plan) {
+      plan = workload::GetTpchQuery(request.query).Build(*database_);
+    }
+    db::QueryResult result =
+        database_->Run(plan, options_.mode, options_.sink);
+    response.server.exec_ns = result.server.ObservedRealNs();
+    response.table = result.table;
+    if (options_.fingerprint_results && result.table != nullptr) {
+      response.fingerprint = FingerprintTable(*result.table);
+    }
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const db::QueryError& e) {
+    response.status = e.ToStatus();
+  }
+  handle->Fulfill(std::move(response));
+}
+
+Response QueryService::Execute(Request request) {
+  return Submit(std::move(request))->Wait();
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+  }
+  slot_free_.notify_all();
+  pool_->Drain();
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.started = started_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.executed = executed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace serve
+}  // namespace perfeval

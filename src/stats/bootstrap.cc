@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "stats/descriptive.h"
 
 namespace perfeval {
 namespace stats {
@@ -80,6 +81,28 @@ ConfidenceInterval BootstrapRatioCI(const std::vector<double>& numerator,
   double den_mean = MeanOf(denominator);
   PERFEVAL_CHECK_GT(den_mean, 0.0);
   return FromResamples(&resamples, MeanOf(numerator) / den_mean, confidence);
+}
+
+ConfidenceInterval BootstrapPercentileCI(const std::vector<double>& samples,
+                                         double percentile, double confidence,
+                                         uint64_t seed, int resamples) {
+  PERFEVAL_CHECK_GE(samples.size(), 2u);
+  PERFEVAL_CHECK(confidence > 0.0 && confidence < 1.0);
+  PERFEVAL_CHECK_GE(percentile, 0.0);
+  PERFEVAL_CHECK_LE(percentile, 100.0);
+  PERFEVAL_CHECK_GE(resamples, 100);
+  Pcg32 rng(SplitMix64(seed), SplitMix64(seed ^ 0x7f4a7c15ULL));
+  uint32_t n = static_cast<uint32_t>(samples.size());
+  std::vector<double> resample(samples.size());
+  std::vector<double> statistics(resamples);
+  for (double& stat : statistics) {
+    for (double& value : resample) {
+      value = samples[rng.NextBounded(n)];
+    }
+    stat = Percentile(resample, percentile);
+  }
+  return FromResamples(&statistics, Percentile(samples, percentile),
+                       confidence);
 }
 
 }  // namespace stats

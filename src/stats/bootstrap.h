@@ -35,6 +35,20 @@ ConfidenceInterval BootstrapRatioCI(const std::vector<double>& numerator,
                                     const std::vector<double>& denominator,
                                     double confidence, uint64_t seed);
 
+/// Percentile-bootstrap interval for the p-th percentile (p in [0, 100]) of
+/// `samples` — the shape of a reported tail latency. Each resample draws n
+/// values with replacement and takes its R-7 percentile; the interval is
+/// the empirical (alpha/2, 1-alpha/2) band of those statistics. Tail
+/// percentiles of small samples have wide, asymmetric intervals — which is
+/// the point: a p99 reported from 200 requests should not look as certain
+/// as one from 20000 (Kalibera & Jones; paper slides 140–143). `resamples`
+/// can be lowered from the default when n is large and the caller computes
+/// many intervals per run. Requires >= 2 samples, no NaNs.
+ConfidenceInterval BootstrapPercentileCI(const std::vector<double>& samples,
+                                         double percentile, double confidence,
+                                         uint64_t seed,
+                                         int resamples = kBootstrapResamples);
+
 }  // namespace stats
 }  // namespace perfeval
 

@@ -61,6 +61,9 @@ double Percentile(const std::vector<double>& samples, double p) {
   PERFEVAL_CHECK(!samples.empty());
   PERFEVAL_CHECK_GE(p, 0.0);
   PERFEVAL_CHECK_LE(p, 100.0);
+  for (double x : samples) {
+    PERFEVAL_CHECK(!std::isnan(x)) << "Percentile over NaN is undefined";
+  }
   std::vector<double> sorted = samples;
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) {

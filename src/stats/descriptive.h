@@ -29,7 +29,10 @@ double Max(const std::vector<double>& samples);
 /// Median (average of the two middle values for even n).
 double Median(const std::vector<double>& samples);
 
-/// Linear-interpolation percentile, p in [0, 100]. p=50 matches Median().
+/// Linear-interpolation percentile (Hyndman–Fan R-7, the spreadsheet/NumPy
+/// default), p in [0, 100]. p=50 matches Median(); n=1 returns the sample.
+/// NaN samples are rejected — a NaN would silently poison std::sort's
+/// ordering and make the reported quantile depend on input order.
 double Percentile(const std::vector<double>& samples, double p);
 
 /// Geometric mean; all samples must be positive. The correct mean for

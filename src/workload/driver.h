@@ -14,6 +14,10 @@ struct StreamResult {
   std::vector<int> query_order;     ///< permutation of the query numbers.
   std::vector<double> query_ms;     ///< per query, in execution order.
   double total_ms = 0.0;
+  /// This stream's own rate, queries/hour over its total_ms. In the
+  /// concurrent test the spread across streams shows contention the
+  /// aggregate hides.
+  double qph = 0.0;
 };
 
 /// TPC-H-style power test result: every query once, single stream.
@@ -31,10 +35,17 @@ struct PowerResult {
 struct ThroughputResult {
   std::vector<StreamResult> streams;
   /// Sequential test: sum of per-stream totals. Concurrent test: wall
-  /// clock from first stream start to last stream finish.
+  /// clock of the measured window only (warm-up excluded), from first
+  /// stream start to last stream finish.
   double total_ms = 0.0;
   /// Queries per hour: streams * queries * 3600000 / total_ms.
   double throughput_qph = 0.0;
+  /// Spread of the per-stream rates — reporting only the aggregate is the
+  /// single-mean trap the paper warns about (slide 140): one starved
+  /// stream disappears inside a healthy total.
+  double stream_qph_min = 0.0;
+  double stream_qph_median = 0.0;
+  double stream_qph_max = 0.0;
 };
 
 /// Runs TPC-H-style workload tests over an already-loaded database —
@@ -58,10 +69,14 @@ class TpchDriver {
 
   /// Same streams and per-stream permutations as RunThroughputTest (the
   /// permutations depend only on `seed`), but every stream runs on its own
-  /// worker thread against the shared database. `total_ms` is the wall
-  /// clock of the whole batch, so `throughput_qph` measures multi-stream
-  /// scale-up. Result relations stay deterministic; per-query times are
-  /// subject to contention, as in any real concurrent throughput test.
+  /// worker thread against the shared database. An unmeasured concurrent
+  /// warm-up pass (each stream runs its permutation once) precedes the
+  /// measured window, so cold buffer-pool misses don't masquerade as
+  /// contention; `total_ms` is the wall clock of the measured window only,
+  /// so `throughput_qph` measures multi-stream scale-up, and the
+  /// per-stream qph spread (min/median/max) exposes stream starvation the
+  /// aggregate hides. Result relations stay deterministic; per-query times
+  /// are subject to contention, as in any real concurrent throughput test.
   ThroughputResult RunConcurrentThroughputTest(int num_streams,
                                                uint64_t seed = 1);
 
@@ -72,6 +87,9 @@ class TpchDriver {
   /// Builds `num_streams` StreamResults with their seeded permutations
   /// (shared by the sequential and concurrent throughput tests).
   std::vector<StreamResult> MakeStreams(int num_streams, uint64_t seed);
+  /// Computes the aggregate qph and the per-stream qph spread from the
+  /// per-stream totals already in `result`.
+  void FinishThroughputResult(ThroughputResult* result, int num_streams);
 
   db::Database* database_;
   std::vector<int> query_numbers_;

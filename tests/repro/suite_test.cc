@@ -76,10 +76,10 @@ TEST(SuiteTest, PerfevalSuiteCoversDesignDocIndex) {
   const ExperimentSuite& suite = PerfevalSuite();
   for (const char* id :
        {"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "F1", "F2", "F3",
-        "F4", "F5", "A1", "A2", "A3", "A4", "A5", "A6", "A7"}) {
+        "F4", "F5", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"}) {
     EXPECT_NE(suite.Find(id), nullptr) << id;
   }
-  EXPECT_EQ(suite.experiments().size(), 20u);
+  EXPECT_EQ(suite.experiments().size(), 21u);
 }
 
 TEST(SuiteTest, PerfevalSuiteCommandsPointAtBenchBinaries) {

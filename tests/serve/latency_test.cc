@@ -1,0 +1,140 @@
+#include "serve/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace perfeval {
+namespace serve {
+namespace {
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // Below two octaves of sub-buckets every value has its own bucket, so
+  // quantization starts only at 2 * kSubBuckets.
+  for (int64_t v = 0; v < 2 * LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), static_cast<size_t>(v));
+    EXPECT_EQ(LatencyHistogram::BucketLowerNs(static_cast<size_t>(v)), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotoneAndCoversEdges) {
+  const int64_t probes[] = {0,       1,        15,        16,      31,
+                            32,      33,       1000,      4095,    4096,
+                            1 << 20, 1'000'000'000, int64_t{1} << 40};
+  size_t prev = 0;
+  for (int64_t v : probes) {
+    size_t index = LatencyHistogram::BucketIndex(v);
+    EXPECT_GE(index, prev) << "non-monotone at " << v;
+    EXPECT_LE(LatencyHistogram::BucketLowerNs(index), v);
+    prev = index;
+  }
+}
+
+TEST(LatencyHistogramTest, RelativeErrorBounded) {
+  // The bucket midpoint must be within 1/kSubBuckets of the true value at
+  // every magnitude the service can plausibly record.
+  for (int64_t v = 1; v < (int64_t{1} << 40); v = v * 3 + 7) {
+    size_t index = LatencyHistogram::BucketIndex(v);
+    double mid = LatencyHistogram::BucketMidNs(index);
+    double rel = std::abs(mid - static_cast<double>(v)) /
+                 static_cast<double>(v);
+    EXPECT_LE(rel, 1.0 / LatencyHistogram::kSubBuckets)
+        << "value " << v << " -> midpoint " << mid;
+  }
+}
+
+TEST(LatencyHistogramTest, ExactExtremesAndMean) {
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(3000);
+  h.Record(2000);
+  EXPECT_EQ(h.TotalCount(), 3);
+  EXPECT_EQ(h.MinNs(), 1000);
+  EXPECT_EQ(h.MaxNs(), 3000);
+  EXPECT_DOUBLE_EQ(h.MeanNs(), 2000.0);
+}
+
+TEST(LatencyHistogramTest, NegativeClampsToZero) {
+  LatencyHistogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.TotalCount(), 1);
+  EXPECT_EQ(h.MinNs(), 0);
+  EXPECT_EQ(h.MaxNs(), 0);
+}
+
+TEST(LatencyHistogramTest, PercentilesWithinQuantizationError) {
+  LatencyHistogram h;
+  for (int64_t v = 1; v <= 10000; ++v) {
+    h.Record(v);
+  }
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(100.0), 10000.0);
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    double expected = p / 100.0 * 10000.0;
+    double got = h.ValueAtPercentile(p);
+    EXPECT_NEAR(got, expected, expected / LatencyHistogram::kSubBuckets)
+        << "p" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSingleHistogram) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram all;
+  for (int64_t v = 1; v <= 2000; ++v) {
+    ((v % 2 == 0) ? a : b).Record(v * 17);
+    all.Record(v * 17);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.TotalCount(), all.TotalCount());
+  EXPECT_EQ(a.MinNs(), all.MinNs());
+  EXPECT_EQ(a.MaxNs(), all.MaxNs());
+  EXPECT_DOUBLE_EQ(a.MeanNs(), all.MeanNs());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.ValueAtPercentile(p), all.ValueAtPercentile(p));
+  }
+}
+
+TEST(LatencyHistogramTest, RepresentativeValuesSortedAndComplete) {
+  LatencyHistogram h;
+  h.Record(100);
+  h.Record(90000);
+  h.Record(100);
+  h.Record(7);
+  std::vector<double> values = h.RepresentativeValues();
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(values.front(), 7.0);  // exact range: value itself.
+}
+
+TEST(LatencyHistogramTest, PercentileCIDeterministicInSeed) {
+  LatencyHistogram h;
+  for (int64_t v = 1; v <= 500; ++v) {
+    h.Record(v * 1000);
+  }
+  stats::ConfidenceInterval a = h.PercentileCI(99.0, 0.95, 42, 300);
+  stats::ConfidenceInterval b = h.PercentileCI(99.0, 0.95, 42, 300);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+  EXPECT_LE(a.lower, a.upper);
+  // The interval brackets the point estimate's neighborhood.
+  double p99 = h.ValueAtPercentile(99.0);
+  EXPECT_LE(a.lower, p99 * 1.01);
+  EXPECT_GE(a.upper, p99 * 0.9);
+}
+
+TEST(LatencyHistogramTest, SummaryStringMentionsCountAndTail) {
+  LatencyHistogram h;
+  h.Record(2'000'000);  // 2 ms
+  h.Record(4'000'000);
+  std::string s = h.SummaryString();
+  EXPECT_NE(s.find("n=2"), std::string::npos) << s;
+  EXPECT_NE(s.find("p99"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace perfeval

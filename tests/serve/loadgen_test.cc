@@ -1,0 +1,237 @@
+#include "serve/loadgen.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "db/database.h"
+#include "gtest/gtest.h"
+#include "workload/tpch_gen.h"
+
+namespace perfeval {
+namespace serve {
+namespace {
+
+db::Database* SharedDb() {
+  static db::Database* database = [] {
+    auto* d = new db::Database();
+    workload::TpchGenerator gen(0.005);
+    gen.LoadAll(d);
+    return d;
+  }();
+  return database;
+}
+
+TEST(BuildScheduleTest, PureFunctionOfOptions) {
+  LoadOptions options;
+  options.mode = LoadMode::kOpen;
+  options.requests = 64;
+  options.offered_qps = 500.0;
+  options.run_seed = 9;
+  std::vector<PlannedRequest> a = BuildSchedule(options);
+  std::vector<PlannedRequest> b = BuildSchedule(options);
+  ASSERT_EQ(a.size(), 64u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index);
+    EXPECT_EQ(a[i].stream, b[i].stream);
+    EXPECT_EQ(a[i].query, b[i].query);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].intended_ns, b[i].intended_ns);
+    EXPECT_EQ(a[i].think_ns, b[i].think_ns);
+  }
+}
+
+TEST(BuildScheduleTest, SeedChangesSchedule) {
+  LoadOptions options;
+  options.mode = LoadMode::kOpen;
+  options.requests = 64;
+  options.run_seed = 9;
+  std::vector<PlannedRequest> a = BuildSchedule(options);
+  options.run_seed = 10;
+  std::vector<PlannedRequest> b = BuildSchedule(options);
+  bool any_differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_differs |= a[i].query != b[i].query ||
+                   a[i].intended_ns != b[i].intended_ns;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(BuildScheduleTest, OpenLoopArrivalsNondecreasingAndPoissonLike) {
+  LoadOptions options;
+  options.mode = LoadMode::kOpen;
+  options.requests = 2000;
+  options.offered_qps = 1000.0;
+  options.run_seed = 3;
+  std::vector<PlannedRequest> schedule = BuildSchedule(options);
+  int64_t prev = 0;
+  for (const PlannedRequest& r : schedule) {
+    EXPECT_GE(r.intended_ns, prev);
+    prev = r.intended_ns;
+    EXPECT_EQ(r.think_ns, 0);
+  }
+  // Mean inter-arrival of a 1000 q/s Poisson process is 1 ms; 2000 draws
+  // put the sample mean within a few percent.
+  double mean_gap_ns =
+      static_cast<double>(schedule.back().intended_ns) / (2000 - 1);
+  EXPECT_NEAR(mean_gap_ns, 1e6, 1e5);
+}
+
+TEST(BuildScheduleTest, ClosedLoopAssignsStreamsRoundRobin) {
+  LoadOptions options;
+  options.mode = LoadMode::kClosed;
+  options.requests = 12;
+  options.clients = 4;
+  options.think_ms_mean = 1.0;
+  std::vector<PlannedRequest> schedule = BuildSchedule(options);
+  for (const PlannedRequest& r : schedule) {
+    EXPECT_EQ(r.stream, r.index % 4);
+    EXPECT_EQ(r.intended_ns, -1);
+    EXPECT_GE(r.think_ns, 0);
+  }
+}
+
+TEST(BuildScheduleTest, QueryMixRestrictsQueries) {
+  LoadOptions options;
+  options.requests = 100;
+  options.query_mix = {1, 6, 14};
+  std::vector<PlannedRequest> schedule = BuildSchedule(options);
+  std::set<int> seen;
+  for (const PlannedRequest& r : schedule) {
+    seen.insert(r.query);
+  }
+  for (int q : seen) {
+    EXPECT_TRUE(q == 1 || q == 6 || q == 14) << q;
+  }
+  EXPECT_GE(seen.size(), 2u);
+}
+
+/// The replay invariant of the whole subsystem: the same load options
+/// produce bit-identical schedules AND bit-identical result fingerprints
+/// at any service worker count — parallelism is a pure concurrency knob.
+TEST(LoadGeneratorTest, ReplayIdenticalAcrossWorkerCounts) {
+  LoadOptions load;
+  load.mode = LoadMode::kClosed;
+  load.requests = 44;  // two laps over all 22 queries.
+  load.clients = 4;
+  load.run_seed = 42;
+
+  std::vector<PlannedRequest> reference_schedule = BuildSchedule(load);
+  std::vector<uint64_t> reference_fingerprints;
+  for (int workers : {1, 4, 8}) {
+    ServiceOptions options;
+    options.workers = workers;
+    options.queue_capacity = 64;
+    QueryService service(SharedDb(), options);
+    LoadGenerator generator(&service, load);
+    LoadResult result = generator.Run();
+    ASSERT_EQ(result.outcomes.size(), reference_schedule.size());
+    EXPECT_EQ(result.errors, 0);
+
+    std::vector<uint64_t> fingerprints;
+    for (size_t i = 0; i < result.outcomes.size(); ++i) {
+      const RequestOutcome& outcome = result.outcomes[i];
+      ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+      // The executed schedule is the planned schedule, in order.
+      EXPECT_EQ(outcome.spec.index, reference_schedule[i].index);
+      EXPECT_EQ(outcome.spec.query, reference_schedule[i].query);
+      EXPECT_EQ(outcome.spec.seed, reference_schedule[i].seed);
+      EXPECT_NE(outcome.fingerprint, 0u);
+      fingerprints.push_back(outcome.fingerprint);
+    }
+    if (reference_fingerprints.empty()) {
+      reference_fingerprints = fingerprints;
+    } else {
+      EXPECT_EQ(fingerprints, reference_fingerprints)
+          << "results differ at " << workers << " workers";
+    }
+  }
+}
+
+TEST(LoadGeneratorTest, OpenLoopChargesFromIntendedArrival) {
+  ServiceOptions options;
+  options.workers = 1;  // serialize: the backlog makes dispatch late.
+  options.queue_capacity = 256;
+  options.fingerprint_results = false;
+  QueryService service(SharedDb(), options);
+
+  LoadOptions load;
+  load.mode = LoadMode::kOpen;
+  load.requests = 30;
+  load.offered_qps = 100000.0;  // far beyond capacity: all arrive at ~t=0.
+  load.query_mix = {1};
+  load.run_seed = 7;
+  LoadGenerator generator(&service, load);
+  LoadResult result = generator.Run();
+
+  ASSERT_EQ(result.outcomes.size(), 30u);
+  EXPECT_EQ(result.errors, 0);
+  int64_t prev_latency = 0;
+  for (const RequestOutcome& outcome : result.outcomes) {
+    // Coordinated omission charged: latency counts from the virtual
+    // schedule, so it can only exceed the service-side view.
+    EXPECT_EQ(outcome.client_latency_ns,
+              outcome.complete_ns - outcome.spec.intended_ns);
+    EXPECT_GE(outcome.client_latency_ns,
+              outcome.complete_ns - outcome.dispatch_ns);
+    prev_latency = outcome.client_latency_ns;
+  }
+  // The last request waited behind ~29 earlier ones on one worker: its
+  // charged latency dwarfs any single execution.
+  EXPECT_GT(prev_latency, result.outcomes.front().client_latency_ns);
+  EXPECT_EQ(result.client_latency.TotalCount(), 30);
+}
+
+TEST(LoadGeneratorTest, ShedRequestsCountAsErrorsNotLatency) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.overload = OverloadPolicy::kShed;
+  options.fingerprint_results = false;
+  QueryService service(SharedDb(), options);
+
+  LoadOptions load;
+  load.mode = LoadMode::kOpen;
+  load.requests = 40;
+  load.offered_qps = 100000.0;  // instant burst against a queue of one.
+  load.query_mix = {1};
+  load.run_seed = 11;
+  LoadGenerator generator(&service, load);
+  LoadResult result = generator.Run();
+
+  EXPECT_GT(result.errors, 0) << "burst against capacity-1 queue must shed";
+  EXPECT_EQ(result.client_latency.TotalCount() + result.errors, 40);
+  for (const RequestOutcome& outcome : result.outcomes) {
+    if (!outcome.status.ok()) {
+      EXPECT_EQ(outcome.status.code(), StatusCode::kOverloaded);
+    }
+  }
+}
+
+TEST(LoadGeneratorTest, ClosedLoopRecordsServerSplit) {
+  QueryService service(SharedDb(), ServiceOptions{});
+  LoadOptions load;
+  load.mode = LoadMode::kClosed;
+  load.requests = 16;
+  load.clients = 2;
+  load.query_mix = {1, 6};
+  LoadGenerator generator(&service, load);
+  LoadResult result = generator.Run();
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_EQ(result.queue_wait.TotalCount(), 16);
+  EXPECT_EQ(result.exec_time.TotalCount(), 16);
+  EXPECT_GT(result.exec_time.MeanNs(), 0.0);
+  EXPECT_GT(result.qph, 0.0);
+  EXPECT_GT(result.wall_ms, 0.0);
+  for (const RequestOutcome& outcome : result.outcomes) {
+    // Closed loop charges from dispatch. (No ordering claim against
+    // server.exec_ns: that clock includes *simulated* I/O stall, which
+    // the client's real clock never sees.)
+    EXPECT_EQ(outcome.client_latency_ns,
+              outcome.complete_ns - outcome.dispatch_ns);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace perfeval

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "stats/descriptive.h"
 
 namespace perfeval {
 namespace stats {
@@ -90,6 +91,46 @@ TEST(BootstrapRatioCI, NoEffectIntervalContainsOne) {
   std::vector<double> den = {10.1, 9.9, 10.3, 9.7, 10.0, 10.2, 9.8, 10.0};
   ConfidenceInterval ci = BootstrapRatioCI(num, den, 0.95, 3);
   EXPECT_TRUE(ci.Contains(1.0));
+}
+
+TEST(BootstrapPercentileCI, BracketsTheTruePercentile) {
+  // 1..1000: the true p90 is 900ish; the CI of a 1000-point sample should
+  // be tight around it and must contain the sample percentile itself.
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) {
+    xs.push_back(static_cast<double>(i));
+  }
+  ConfidenceInterval ci = BootstrapPercentileCI(xs, 90.0, 0.95, 5);
+  EXPECT_NEAR(ci.mean, Percentile(xs, 90.0), 20.0);
+  EXPECT_LE(ci.lower, Percentile(xs, 90.0));
+  EXPECT_GE(ci.upper, Percentile(xs, 90.0) - 30.0);
+  EXPECT_LT(ci.upper - ci.lower, 100.0);  // tight at n=1000.
+  EXPECT_DOUBLE_EQ(ci.confidence, 0.95);
+}
+
+TEST(BootstrapPercentileCI, DeterministicForFixedSeed) {
+  std::vector<double> xs = {3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3, 5.9};
+  ConfidenceInterval a = BootstrapPercentileCI(xs, 50.0, 0.95, 21);
+  ConfidenceInterval b = BootstrapPercentileCI(xs, 50.0, 0.95, 21);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+}
+
+TEST(BootstrapPercentileCI, AllEqualSamplesCollapseToPoint) {
+  std::vector<double> xs(32, 5.0);
+  ConfidenceInterval ci = BootstrapPercentileCI(xs, 99.0, 0.95, 1);
+  EXPECT_DOUBLE_EQ(ci.lower, 5.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 5.0);
+}
+
+TEST(BootstrapPercentileCIDeathTest, RejectsDegenerateInputs) {
+  EXPECT_DEATH(BootstrapPercentileCI({1.0}, 50.0, 0.95, 1),
+               "CHECK failed");
+  EXPECT_DEATH(BootstrapPercentileCI({1.0, 2.0}, 101.0, 0.95, 1),
+               "CHECK failed");
+  EXPECT_DEATH(BootstrapPercentileCI({1.0, 2.0}, 50.0, 1.5, 1),
+               "CHECK failed");
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/random.h"
 
 namespace perfeval {
@@ -110,6 +112,31 @@ TEST(DescriptiveDeathTest, VarianceNeedsTwo) {
 
 TEST(DescriptiveDeathTest, GeometricMeanRejectsNonPositive) {
   EXPECT_DEATH(GeometricMean({1.0, 0.0}), "positive");
+}
+
+TEST(DescriptiveTest, PercentileSingleSampleIsThatSample) {
+  for (double p : {0.0, 37.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile({42.0}, p), 42.0);
+  }
+}
+
+TEST(DescriptiveTest, PercentileAllEqualSamples) {
+  std::vector<double> xs(100, 7.5);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile(xs, p), 7.5);
+  }
+}
+
+TEST(DescriptiveDeathTest, PercentileRejectsNaN) {
+  // A NaN sorts unpredictably, so a percentile over it is whatever the
+  // sort happened to do — abort instead of returning garbage.
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(Percentile({1.0, nan, 3.0}, 50.0), "NaN");
+}
+
+TEST(DescriptiveDeathTest, PercentileRejectsOutOfRangeP) {
+  EXPECT_DEATH(Percentile({1.0, 2.0}, -1.0), "CHECK failed");
+  EXPECT_DEATH(Percentile({1.0, 2.0}, 101.0), "CHECK failed");
 }
 
 }  // namespace

@@ -82,6 +82,38 @@ TEST(DriverTest, PermutationsAreSeedDeterministic) {
   EXPECT_FALSE(same);
 }
 
+TEST(DriverTest, ConcurrentThroughputReportsPerStreamSpread) {
+  TpchDriver driver(Db(), {1, 6, 13, 14, 22});
+  ThroughputResult result = driver.RunConcurrentThroughputTest(3, 7);
+  ASSERT_EQ(result.streams.size(), 3u);
+  // total_ms is the measured window's wall clock (warm-up excluded), so
+  // it must not exceed the sum of stream times, and the aggregate qph is
+  // defined against it.
+  EXPECT_GT(result.total_ms, 0.0);
+  EXPECT_NEAR(result.throughput_qph, 15.0 * 3600'000.0 / result.total_ms,
+              1e-6);
+  // The spread statistics really are over the per-stream rates.
+  double min_qph = result.streams[0].qph;
+  double max_qph = result.streams[0].qph;
+  for (const StreamResult& stream : result.streams) {
+    EXPECT_GT(stream.qph, 0.0);
+    EXPECT_NEAR(stream.qph, 5.0 * 3600'000.0 / stream.total_ms, 1e-6);
+    min_qph = std::min(min_qph, stream.qph);
+    max_qph = std::max(max_qph, stream.qph);
+  }
+  EXPECT_DOUBLE_EQ(result.stream_qph_min, min_qph);
+  EXPECT_DOUBLE_EQ(result.stream_qph_max, max_qph);
+  EXPECT_GE(result.stream_qph_median, result.stream_qph_min);
+  EXPECT_LE(result.stream_qph_median, result.stream_qph_max);
+}
+
+TEST(DriverTest, SequentialThroughputAlsoCarriesSpread) {
+  TpchDriver driver(Db(), {1, 6});
+  ThroughputResult result = driver.RunThroughputTest(2, 5);
+  EXPECT_GT(result.stream_qph_min, 0.0);
+  EXPECT_LE(result.stream_qph_min, result.stream_qph_max);
+}
+
 TEST(DriverDeathTest, RejectsBadQueryNumbers) {
   EXPECT_DEATH(TpchDriver(Db(), {0}), "CHECK failed");
   EXPECT_DEATH(TpchDriver(Db(), {23}), "CHECK failed");

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point — the same jobs .github/workflows/ci.yml runs, invocable
-# locally: tools/ci.sh [tier1|asan|oracle|all]. Each job uses its own build
-# directory so they can be cached independently.
+# locally: tools/ci.sh [tier1|asan|oracle|serve|all]. Each job uses its own
+# build directory so they can be cached independently.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,13 +35,30 @@ oracle() {
   ctest --test-dir build --output-on-failure -R 'SqlFuzzTest'
 }
 
+serve() {
+  # Serving smoke: the query-service/load-generator suite (replay
+  # determinism, overload policies, deadlines) plus the A8 bench's fast
+  # path, then the same `serve`-labelled tests under ThreadSanitizer —
+  # the admission queue and response fulfillment are the newest
+  # concurrency surface in the tree.
+  cmake -B build -S .
+  cmake --build build "$jobs_flag" --target serve_test bench_service_latency
+  ctest --test-dir build --output-on-failure -L serve
+  cmake -B build-tsan -S . -DPERFEVAL_SANITIZE=thread
+  cmake --build build-tsan "$jobs_flag" --target serve_test
+  # -R keeps the TSan pass to the serve_test cases (the bench smoke under
+  # the same label is built only in the Release tree).
+  ctest --test-dir build-tsan --output-on-failure -L serve -R 'QueryService|LoadGenerator|LatencyHistogram|BuildSchedule'
+}
+
 case "$job" in
   tier1)  tier1 ;;
   asan)   asan ;;
   oracle) oracle ;;
-  all)    tier1; oracle; asan ;;
+  serve)  serve ;;
+  all)    tier1; oracle; serve; asan ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|oracle|all]" >&2
+    echo "usage: tools/ci.sh [tier1|asan|oracle|serve|all]" >&2
     exit 2
     ;;
 esac
