@@ -21,7 +21,14 @@
 //   \trace <sql>             run and print the per-operator trace
 //   \tables                  list catalog tables
 //   \load <name> <file.csv>  load a CSV (types inferred) as table <name>
+//   \wal                     show write-path stats (commits, WAL, fsyncs)
+//   \checkpoint              compact committed deltas, truncate the WAL
 //   \q                       quit
+//
+// INSERT INTO t VALUES (...) and DELETE FROM t [WHERE ...] run through
+// the write path (txn::DeltaStore over a virtual disk): each statement is
+// one auto-commit transaction — WAL append, fsync, apply — and later
+// SELECTs see the committed rows via the catalog refresh hook.
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +42,9 @@
 #include "db/csv_loader.h"
 #include "serve/service.h"
 #include "sql/planner.h"
+#include "txn/dml.h"
+#include "txn/store.h"
+#include "txn/vdisk.h"
 #include "workload/tpch_gen.h"
 
 using namespace perfeval;  // NOLINT(build/namespaces) example binary.
@@ -119,6 +129,18 @@ int main(int argc, char** argv) {
   db::Database database;
   workload::TpchGenerator gen(sf);
   gen.LoadAll(&database);
+  // The write path: INSERT/DELETE commit through a WAL on a virtual disk
+  // and become visible to queries via the catalog refresh hook.
+  txn::VirtualDisk disk;
+  txn::DeltaStore store(&database, &disk);
+  {
+    Status opened = store.Open();
+    if (!opened.ok()) {
+      std::printf("error opening write path: %s\n",
+                  opened.ToString().c_str());
+      return 1;
+    }
+  }
   db::ExecMode mode = db::ExecMode::kOptimized;
   // Created on \timing on, recreated when \mode changes (the service binds
   // its execution mode at construction).
@@ -218,7 +240,7 @@ int main(int argc, char** argv) {
                     database.radix_bits() <= 0 ? " = auto" : "");
         continue;
       }
-      if (StartsWith(trimmed, "\\check")) {
+      if (StartsWith(trimmed, "\\check") && trimmed != "\\checkpoint") {
         std::vector<std::string> parts = Split(trimmed, ' ');
         if (parts.size() == 2 && (parts[1] == "on" || parts[1] == "off")) {
           database.set_check(parts[1] == "on");
@@ -252,6 +274,36 @@ int main(int argc, char** argv) {
                     (*loaded)->schema().ToString().c_str());
         continue;
       }
+      if (trimmed == "\\wal") {
+        txn::DeltaStoreStats ts = store.stats();
+        db::StorageStats ws = disk.stats();
+        std::printf(
+            "commits %llu (aborts %llu), rows +%llu/-%llu, checkpoints "
+            "%llu, next LSN %llu\n",
+            static_cast<unsigned long long>(ts.commits),
+            static_cast<unsigned long long>(ts.aborts),
+            static_cast<unsigned long long>(ts.rows_inserted),
+            static_cast<unsigned long long>(ts.rows_deleted),
+            static_cast<unsigned long long>(ts.checkpoints),
+            static_cast<unsigned long long>(store.next_lsn()));
+        std::printf("WAL %zu bytes on disk, %lld bytes written, %lld "
+                    "fsyncs, %.3f msec write stall\n",
+                    disk.Exists("wal.log") ? disk.Size("wal.log") : 0,
+                    static_cast<long long>(ws.bytes_written),
+                    static_cast<long long>(ws.fsyncs),
+                    ws.write_stall_ns / 1e6);
+        continue;
+      }
+      if (trimmed == "\\checkpoint") {
+        Status ckpt = store.Checkpoint();
+        if (!ckpt.ok()) {
+          std::printf("error: %s\n", ckpt.ToString().c_str());
+          continue;
+        }
+        std::printf("checkpoint installed; WAL truncated to %zu bytes\n",
+                    disk.Exists("wal.log") ? disk.Size("wal.log") : 0);
+        continue;
+      }
       if (StartsWith(trimmed, "\\trace ")) {
         RunAndPrint(database, trimmed.substr(7), mode, /*with_trace=*/true);
         continue;
@@ -266,6 +318,20 @@ int main(int argc, char** argv) {
     // typing its continuation on one line (the parser accepts newlines
     // inside, so pasting multi-line SQL as a block also works).
     statement = trimmed;
+    std::string head = ToLower(statement.substr(0, 6));
+    if (head == "insert" || head == "delete") {
+      core::WallTimer wall;
+      Result<txn::DmlResult> dml = txn::ExecuteDml(statement, store);
+      if (!dml.ok()) {
+        std::printf("error: %s\n", dml.status().ToString().c_str());
+      } else {
+        std::printf("%llu row(s) affected, Client %.3f msec\n",
+                    static_cast<unsigned long long>(dml->rows_affected),
+                    wall.ElapsedMs());
+      }
+      statement.clear();
+      continue;
+    }
     if (timing_on) {
       RunTimed(database, *timing_service, statement);
     } else {

@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Overloaded";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -19,6 +19,8 @@ enum class StatusCode {
   kInternal,
   kOverloaded,         ///< shed by an admission controller; retry later.
   kDeadlineExceeded,   ///< deadline passed before the work could run.
+  kAborted,            ///< transaction aborted (conflict or explicit); retry.
+  kDataLoss,           ///< unrecoverable corruption of durable state.
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"…).
@@ -68,6 +70,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

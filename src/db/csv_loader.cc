@@ -10,16 +10,20 @@ namespace db {
 namespace {
 
 /// Splits one CSV record honoring quotes. Records may span lines when a
-/// quoted field contains '\n'; the caller passes the full text and an
-/// advancing cursor. `*saw_quote` reports whether the record used any
-/// quoting — a line holding only `""` yields the same single empty field
-/// as a truly blank line, and the caller must not skip it as blank.
+/// quoted field contains '\n'; the caller passes the full text, an
+/// advancing cursor, and a running physical line counter (1-based, kept
+/// in step with the cursor so error messages can point at the file).
+/// `*saw_quote` reports whether the record used any quoting — a line
+/// holding only `""` yields the same single empty field as a truly blank
+/// line, and the caller must not skip it as blank.
 Result<std::vector<std::string>> ReadRecord(const std::string& text,
-                                            size_t* cursor,
+                                            size_t* cursor, size_t* line,
                                             bool* saw_quote) {
   std::vector<std::string> fields;
   std::string field;
   bool in_quotes = false;
+  size_t quote_line = 0;   ///< line where the open quote started.
+  size_t quote_field = 0;  ///< 1-based field index of that quote.
   *saw_quote = false;
   size_t i = *cursor;
   const size_t n = text.size();
@@ -34,6 +38,9 @@ Result<std::vector<std::string>> ReadRecord(const std::string& text,
           in_quotes = false;
         }
       } else {
+        if (c == '\n') {
+          ++*line;
+        }
         field += c;
       }
       continue;
@@ -41,10 +48,13 @@ Result<std::vector<std::string>> ReadRecord(const std::string& text,
     if (c == '"') {
       in_quotes = true;
       *saw_quote = true;
+      quote_line = *line;
+      quote_field = fields.size() + 1;
     } else if (c == ',') {
       fields.push_back(std::move(field));
       field.clear();
     } else if (c == '\n') {
+      ++*line;
       ++i;
       break;
     } else if (c == '\r') {
@@ -54,7 +64,10 @@ Result<std::vector<std::string>> ReadRecord(const std::string& text,
     }
   }
   if (in_quotes) {
-    return Status::InvalidArgument("unterminated quoted field in CSV");
+    return Status::InvalidArgument(
+        StrFormat("unterminated quoted field in CSV: quote opened at "
+                  "line %zu, field %zu",
+                  quote_line, quote_field));
   }
   fields.push_back(std::move(field));
   *cursor = i;
@@ -100,11 +113,13 @@ DataType InferColumnType(const std::vector<std::vector<std::string>>& rows,
 }
 
 Result<Value> ParseTyped(const std::string& text, DataType type,
-                         size_t row_number, const std::string& column) {
+                         size_t row_number, size_t line_number,
+                         const std::string& column) {
   auto fail = [&](const char* what) {
     return Status::InvalidArgument(
-        StrFormat("row %zu, column '%s': '%s' is not a valid %s",
-                  row_number, column.c_str(), text.c_str(), what));
+        StrFormat("row %zu (line %zu), column '%s': '%s' is not a valid %s",
+                  row_number, line_number, column.c_str(), text.c_str(),
+                  what));
   };
   if (text.empty() && type != DataType::kString) {
     // An empty numeric/date field is NULL (a string field stays "").
@@ -143,9 +158,10 @@ Result<Value> ParseTyped(const std::string& text, DataType type,
 Result<std::shared_ptr<Table>> ParseCsvText(const std::string& text,
                                             const Schema* schema) {
   size_t cursor = 0;
+  size_t line = 1;
   bool saw_quote = false;
   PERFEVAL_ASSIGN_OR_RETURN(std::vector<std::string> header,
-                            ReadRecord(text, &cursor, &saw_quote));
+                            ReadRecord(text, &cursor, &line, &saw_quote));
   if (header.size() == 1 && header[0].empty() && !saw_quote) {
     return Status::InvalidArgument("CSV has no header line");
   }
@@ -166,18 +182,23 @@ Result<std::shared_ptr<Table>> ParseCsvText(const std::string& text,
   }
 
   std::vector<std::vector<std::string>> records;
+  // Physical line each record starts on — quoted fields may span lines,
+  // so the row number alone does not locate a record in the file.
+  std::vector<size_t> record_lines;
   while (cursor < text.size()) {
+    size_t record_line = line;
     PERFEVAL_ASSIGN_OR_RETURN(std::vector<std::string> record,
-                              ReadRecord(text, &cursor, &saw_quote));
+                              ReadRecord(text, &cursor, &line, &saw_quote));
     if (record.size() == 1 && record[0].empty() && !saw_quote) {
       continue;  // blank line — but `""` is a real one-field record.
     }
     if (record.size() != header.size()) {
       return Status::InvalidArgument(StrFormat(
-          "row %zu has %zu fields, expected %zu", records.size() + 2,
-          record.size(), header.size()));
+          "row %zu (line %zu) has %zu fields, expected %zu",
+          records.size() + 2, record_line, record.size(), header.size()));
     }
     records.push_back(std::move(record));
+    record_lines.push_back(record_line);
   }
 
   Schema resolved;
@@ -200,7 +221,7 @@ Result<std::shared_ptr<Table>> ParseCsvText(const std::string& text,
       PERFEVAL_ASSIGN_OR_RETURN(
           Value value,
           ParseTyped(records[r][c], resolved.column(c).type, r + 2,
-                     resolved.column(c).name));
+                     record_lines[r], resolved.column(c).name));
       row.push_back(std::move(value));
     }
     table->AppendRow(row);

@@ -14,6 +14,7 @@ Database::Database(DatabaseOptions options)
 void Database::RegisterTable(const std::string& name,
                              std::shared_ptr<Table> table) {
   PERFEVAL_CHECK(table != nullptr);
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   PERFEVAL_CHECK(tables_.find(name) == tables_.end())
       << "table " << name << " already registered";
   uint32_t id = static_cast<uint32_t>(table_order_.size());
@@ -23,11 +24,33 @@ void Database::RegisterTable(const std::string& name,
   table_order_.push_back(name);
 }
 
+void Database::ReplaceTable(const std::string& name,
+                            std::shared_ptr<Table> table) {
+  PERFEVAL_CHECK(table != nullptr);
+  // Exclusive gate first: wait out running queries, then swap catalog and
+  // storage metadata together so a scan never sees one without the other.
+  std::unique_lock<std::shared_mutex> gate(exec_gate_);
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  auto it = tables_.find(name);
+  PERFEVAL_CHECK(it != tables_.end()) << "no table named " << name;
+  PERFEVAL_CHECK_EQ(it->second->schema().num_columns(),
+                    table->schema().num_columns());
+  storage_->ReplaceTable(table_ids_[name], *table);
+  retired_.push_back(std::move(it->second));
+  it->second = std::move(table);
+}
+
+void Database::SetRefreshHook(std::function<void()> hook) {
+  refresh_hook_ = std::move(hook);
+}
+
 bool Database::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   return tables_.find(name) != tables_.end();
 }
 
 const Table& Database::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   auto it = tables_.find(name);
   PERFEVAL_CHECK(it != tables_.end()) << "no table named " << name;
   return *it->second;
@@ -35,21 +58,33 @@ const Table& Database::GetTable(const std::string& name) const {
 
 std::shared_ptr<const Table> Database::GetTableShared(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   auto it = tables_.find(name);
   PERFEVAL_CHECK(it != tables_.end()) << "no table named " << name;
   return it->second;
 }
 
 uint32_t Database::TableId(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   auto it = table_ids_.find(name);
   PERFEVAL_CHECK(it != table_ids_.end()) << "no table named " << name;
   return it->second;
 }
 
-std::vector<std::string> Database::TableNames() const { return table_order_; }
+std::vector<std::string> Database::TableNames() const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  return table_order_;
+}
 
 QueryResult Database::Run(const PlanPtr& plan, ExecMode mode, SinkKind sink,
                           bool use_zone_maps) {
+  // Fold freshly committed write-path deltas into the catalog before
+  // executing, so every query observes the latest committed snapshot. The
+  // hook may call ReplaceTable, which takes the exec gate exclusively, so
+  // it must run before this query acquires the gate in shared mode.
+  if (refresh_hook_) {
+    refresh_hook_();
+  }
   QueryResult result;
   ExecContext ctx;
   ctx.mode = mode;
@@ -69,7 +104,13 @@ QueryResult Database::Run(const PlanPtr& plan, ExecMode mode, SinkKind sink,
   StorageStats stats_before = storage_->StatsSnapshot();
   int64_t stall_before = storage_->total_stall_ns();
   Relation relation;
-  result.server = core::MeasureOnce([&] { relation = plan->Execute(ctx); });
+  {
+    // Shared exec gate: storage metadata (zone maps, chunk counts) stays
+    // stable for the whole server phase even while the write path swaps
+    // tables between queries.
+    std::shared_lock<std::shared_mutex> gate(exec_gate_);
+    result.server = core::MeasureOnce([&] { relation = plan->Execute(ctx); });
+  }
   result.server.simulated_stall_ns =
       storage_->total_stall_ns() - stall_before;
   StorageStats stats_after = storage_->StatsSnapshot();

@@ -1,7 +1,10 @@
 #ifndef PERFEVAL_DB_DATABASE_H_
 #define PERFEVAL_DB_DATABASE_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -78,6 +81,22 @@ class Database {
   /// storage manager. Aborts on duplicate names.
   void RegisterTable(const std::string& name, std::shared_ptr<Table> table);
 
+  /// Swaps the catalog entry of an existing table for new contents with
+  /// the same schema — the write path installing a freshly merged
+  /// base+delta snapshot. Keeps the table id, re-registers pages and zone
+  /// maps, and evicts the stale buffer-pool pages. Takes the exec gate
+  /// exclusively, so it waits for in-flight queries and blocks new ones
+  /// for the duration of the swap; the previous table object is kept
+  /// alive, so references handed out earlier stay valid (tables are
+  /// immutable once registered).
+  void ReplaceTable(const std::string& name, std::shared_ptr<Table> table);
+
+  /// Installs a hook run at the top of every Run() call, before the query
+  /// executes — the write path uses it to fold freshly committed deltas
+  /// into the catalog so every query sees the latest committed snapshot.
+  /// The hook runs outside the exec gate and may call ReplaceTable.
+  void SetRefreshHook(std::function<void()> hook);
+
   bool HasTable(const std::string& name) const;
   const Table& GetTable(const std::string& name) const;
   std::shared_ptr<const Table> GetTableShared(const std::string& name) const;
@@ -119,9 +138,22 @@ class Database {
  private:
   DatabaseOptions options_;
   std::unique_ptr<StorageManager> storage_;
+
+  /// Guards the catalog maps (lookup vs. ReplaceTable swap). Distinct from
+  /// the exec gate: lookups are lock-then-copy and never block queries.
+  mutable std::mutex catalog_mu_;
+  /// Queries hold this shared for the server phase; ReplaceTable holds it
+  /// exclusively so storage metadata (zone maps, chunk counts) is never
+  /// swapped under a running scan.
+  mutable std::shared_mutex exec_gate_;
+  std::function<void()> refresh_hook_;
+
   std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
   std::unordered_map<std::string, uint32_t> table_ids_;
   std::vector<std::string> table_order_;
+  /// Replaced table versions, kept alive so GetTable() references handed
+  /// out before a swap never dangle (a handful of entries per session).
+  std::vector<std::shared_ptr<Table>> retired_;
 };
 
 }  // namespace db

@@ -33,10 +33,16 @@ size_t ChunkByteSize(const Column& column, size_t begin, size_t end) {
 }  // namespace
 
 std::string StorageStats::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "pages: %lld hits, %lld misses; %lld bytes read; %.3f ms stall",
       static_cast<long long>(page_hits), static_cast<long long>(page_misses),
       static_cast<long long>(bytes_read), stall_ns / 1e6);
+  if (bytes_written != 0 || fsyncs != 0 || write_stall_ns != 0) {
+    out += StrFormat("; %lld bytes written, %lld fsyncs, %.3f ms write stall",
+                     static_cast<long long>(bytes_written),
+                     static_cast<long long>(fsyncs), write_stall_ns / 1e6);
+  }
+  return out;
 }
 
 StorageManager::StorageManager(DiskModel disk, size_t buffer_pool_pages,
@@ -98,6 +104,30 @@ void StorageManager::RegisterTable(uint32_t table_id, const Table& table) {
     metas.push_back(std::move(meta));
   }
   tables_[table_id] = std::move(metas);
+}
+
+void StorageManager::ReplaceTable(uint32_t table_id, const Table& table) {
+  PERFEVAL_CHECK(tables_.find(table_id) != tables_.end())
+      << "ReplaceTable on unregistered table " << table_id;
+  RegisterTable(table_id, table);
+  // Evict the stale pages: the page keys of the new version alias the old
+  // ones, and the old zone maps / byte counts no longer describe them.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (static_cast<uint32_t>(*it >> 40) == table_id) {
+      resident_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = stream_heads_.begin(); it != stream_heads_.end();) {
+    if (static_cast<uint32_t>(it->first >> 32) == table_id) {
+      it = stream_heads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 const StorageManager::ColumnMeta& StorageManager::GetColumnMeta(

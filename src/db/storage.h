@@ -62,18 +62,28 @@ struct ZoneMap {
   }
 };
 
-/// Buffer-pool and I/O statistics since the last ResetStats().
+/// Buffer-pool and I/O statistics since the last ResetStats(). The write
+/// fields are accounted by the write path (txn::VirtualDisk charges WAL
+/// appends and fsyncs through the same DiskModel); they stay zero for
+/// read-only workloads and ToString() only renders them when nonzero, so
+/// existing read-side reports are unchanged.
 struct StorageStats {
   int64_t page_hits = 0;
   int64_t page_misses = 0;
   int64_t bytes_read = 0;
   int64_t stall_ns = 0;
+  int64_t bytes_written = 0;   ///< durable-write traffic (WAL, checkpoints).
+  int64_t fsyncs = 0;          ///< Sync() barriers issued.
+  int64_t write_stall_ns = 0;  ///< simulated time charged to writes/syncs.
 
   StorageStats& operator+=(const StorageStats& other) {
     page_hits += other.page_hits;
     page_misses += other.page_misses;
     bytes_read += other.bytes_read;
     stall_ns += other.stall_ns;
+    bytes_written += other.bytes_written;
+    fsyncs += other.fsyncs;
+    write_stall_ns += other.write_stall_ns;
     return *this;
   }
 
@@ -109,6 +119,15 @@ class StorageManager {
   /// Registers a table's columns so page counts, byte sizes and zone maps
   /// are known. Must be called after the table is loaded.
   void RegisterTable(uint32_t table_id, const Table& table);
+
+  /// Re-registers an already-registered table id with new contents (the
+  /// write path's delta-merge refresh): page counts, byte sizes and zone
+  /// maps are recomputed and every resident page of the table is evicted —
+  /// the new version's pages are cold, exactly as a freshly written file
+  /// would be. Callers must exclude concurrent queries (Database holds its
+  /// exec gate exclusively around the call): NumChunks/GetZoneMap read the
+  /// metadata without taking `mu_`.
+  void ReplaceTable(uint32_t table_id, const Table& table);
 
   /// Number of pages of a registered column.
   size_t NumChunks(uint32_t table_id, uint32_t column_id) const;

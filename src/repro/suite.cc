@@ -127,6 +127,14 @@ const ExperimentSuite& PerfevalSuite() {
         "stdout + bench_results/BENCH_service_latency.json + "
         "bench_results/a8_service_latency.{csv,gnu,svg}",
         "about a minute");
+    add("A9", "Write path: ingest rate vs commit batch size with fsync "
+        "accounting, group-commit amortization, recovery time vs WAL "
+        "length (with the checkpoint bound), and closed-loop read "
+        "latency quiet vs under concurrent ingest",
+        "build/bench/bench_write_path",
+        "stdout + bench_results/BENCH_write_path.json + "
+        "bench_results/a9_{ingest_rate,recovery}.{csv,gnu,svg}",
+        "about a minute");
     s->AddNote(
         "Parallel execution & determinism",
         "Every bench binary takes uniform scheduling flags: `--jobs=N` "
@@ -155,15 +163,17 @@ const ExperimentSuite& PerfevalSuite() {
         "ThreadSanitizer",
         "The concurrency tests carry ctest labels — `sched` for the "
         "scheduler, `db` for morsel-parallel query execution, `serve` for "
-        "the concurrent query service — and should pass under "
-        "ThreadSanitizer:\n\n"
+        "the concurrent query service, `txn` for the write path "
+        "(concurrent ingest + scan, group commit, crash-point fuzzing) — "
+        "and should pass under ThreadSanitizer:\n\n"
         "```sh\n"
         "cmake -B build-tsan -S . -DPERFEVAL_SANITIZE=thread\n"
         "cmake --build build-tsan --target sched_test db_parallel_test "
-        "serve_test\n"
+        "serve_test txn_test\n"
         "ctest --test-dir build-tsan -L sched\n"
         "ctest --test-dir build-tsan -L db\n"
         "ctest --test-dir build-tsan -L serve\n"
+        "ctest --test-dir build-tsan -L txn\n"
         "```");
     s->AddNote(
         "Serving & tail latency",
@@ -179,6 +189,25 @@ const ExperimentSuite& PerfevalSuite() {
         "percentiles carry bootstrap confidence intervals. Schedules and "
         "result fingerprints are pure functions of the run seed — identical "
         "at any worker count, which serve_test verifies at 1/4/8 workers.");
+    s->AddNote(
+        "Write path & crash recovery",
+        "A9 measures `txn::DeltaStore` (DESIGN.md S15): INSERT/DELETE "
+        "transactions buffer writes, commit through a CRC-framed WAL on a "
+        "seedable virtual disk with explicit durability (data survives a "
+        "crash only up to the last fsync, plus a seeded torn prefix), and "
+        "apply to in-memory deltas that merge deterministically over the "
+        "immutable base columns at scan time. Checkpoints compact the "
+        "deltas, install via fsync-then-rename, and truncate the log; "
+        "`Open()` replays the tail. Correctness is held by two harnesses: "
+        "a crash-point fuzzer that kills the process at *every* mutating "
+        "disk operation of a seeded workload (200+ sites) and requires "
+        "recovery to match a shadow copy of exactly the acknowledged "
+        "commits, and the differential oracle, which re-runs all 22 TPC-H "
+        "queries against the reference interpreter after every randomized "
+        "interleaved INSERT/DELETE batch (`ctest -L oracle`). The fsync "
+        "accounting flows through the same DiskModel as the read path, so "
+        "A9's batch-size sweep prices the seek-per-commit the group-commit "
+        "protocol exists to amortize.");
     return s;
   }();
   return *suite;

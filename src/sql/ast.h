@@ -19,6 +19,7 @@ enum class AstExprKind {
   kDoubleLit,  ///< double_value.
   kStringLit,  ///< text = body.
   kDateLit,    ///< text = "YYYY-MM-DD".
+  kNullLit,    ///< SQL NULL (INSERT values only; type comes from the column).
   kBinary,     ///< text = operator ("AND","OR","=","<=","+","*",...),
                ///< children = {lhs, rhs}.
   kNot,        ///< children = {operand}.
@@ -64,7 +65,7 @@ struct OrderItem {
   bool ascending = true;
 };
 
-/// A parsed SELECT statement (the only statement kind).
+/// A parsed SELECT statement (the read side).
 struct SelectStatement {
   bool explain = false;  ///< EXPLAIN SELECT ...
   bool select_star = false;
@@ -76,6 +77,30 @@ struct SelectStatement {
   AstExprPtr having;  ///< null when absent.
   std::vector<OrderItem> order_by;
   std::optional<size_t> limit;
+};
+
+/// INSERT INTO t VALUES (lit, ...), (lit, ...). Values are literal
+/// expressions (optionally sign-prefixed numbers, strings, DATE, NULL);
+/// the DML binder (txn/dml.h) coerces them to the column types.
+struct InsertStatement {
+  std::string table;
+  std::vector<std::vector<AstExprPtr>> rows;
+};
+
+/// DELETE FROM t [WHERE expr]. An absent WHERE deletes every row.
+struct DeleteStatement {
+  std::string table;
+  AstExprPtr where;  ///< null when absent.
+};
+
+/// Any parsed statement: exactly one of the alternatives is populated,
+/// per `kind`.
+struct Statement {
+  enum class Kind { kSelect, kInsert, kDelete };
+  Kind kind = Kind::kSelect;
+  SelectStatement select;
+  InsertStatement insert;
+  DeleteStatement delete_from;
 };
 
 }  // namespace sql

@@ -12,7 +12,145 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<SelectStatement> ParseStatement() {
+  Result<Statement> ParseAnyStatement() {
+    Statement stmt;
+    if (Current().IsKeyword("INSERT")) {
+      stmt.kind = Statement::Kind::kInsert;
+      PERFEVAL_ASSIGN_OR_RETURN(stmt.insert, ParseInsertStatement());
+      return stmt;
+    }
+    if (Current().IsKeyword("DELETE")) {
+      stmt.kind = Statement::Kind::kDelete;
+      PERFEVAL_ASSIGN_OR_RETURN(stmt.delete_from, ParseDeleteStatement());
+      return stmt;
+    }
+    stmt.kind = Statement::Kind::kSelect;
+    PERFEVAL_ASSIGN_OR_RETURN(stmt.select, ParseSelectStatement());
+    return stmt;
+  }
+
+  Result<InsertStatement> ParseInsertStatement() {
+    InsertStatement stmt;
+    PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    if (Current().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected table name after INSERT INTO");
+    }
+    stmt.table = Current().text;
+    Advance();
+    PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    for (;;) {
+      if (!Current().IsSymbol("(")) {
+        return ErrorHere("expected ( to open a VALUES row");
+      }
+      Advance();
+      std::vector<AstExprPtr> row;
+      for (;;) {
+        PERFEVAL_ASSIGN_OR_RETURN(AstExprPtr value, ParseValueLiteral());
+        row.push_back(std::move(value));
+        if (Current().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (!Current().IsSymbol(")")) {
+        return ErrorHere("expected ) to close a VALUES row");
+      }
+      Advance();
+      stmt.rows.push_back(std::move(row));
+      if (Current().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    PERFEVAL_RETURN_IF_ERROR(ExpectStatementEnd());
+    return stmt;
+  }
+
+  Result<DeleteStatement> ParseDeleteStatement() {
+    DeleteStatement stmt;
+    PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    PERFEVAL_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Current().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected table name after DELETE FROM");
+    }
+    stmt.table = Current().text;
+    Advance();
+    if (Current().IsKeyword("WHERE")) {
+      Advance();
+      PERFEVAL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    PERFEVAL_RETURN_IF_ERROR(ExpectStatementEnd());
+    return stmt;
+  }
+
+  /// VALUES entry: a literal, optionally sign-prefixed when numeric, or
+  /// NULL. Deliberately not ParseExpr: inserted values must be constants.
+  Result<AstExprPtr> ParseValueLiteral() {
+    const Token& token = Current();
+    if (token.IsKeyword("NULL")) {
+      Advance();
+      return MakeNode(AstExprKind::kNullLit, token.offset);
+    }
+    bool negative = false;
+    if (token.IsSymbol("-") || token.IsSymbol("+")) {
+      negative = token.IsSymbol("-");
+      Advance();
+    }
+    const Token& lit = Current();
+    if (lit.kind == TokenKind::kInteger) {
+      AstExprPtr node = MakeNode(AstExprKind::kIntLit, lit.offset);
+      node->int_value = ParseInt64(lit.text).value_or(0);
+      if (negative) {
+        node->int_value = -node->int_value;
+      }
+      Advance();
+      return node;
+    }
+    if (lit.kind == TokenKind::kDouble) {
+      AstExprPtr node = MakeNode(AstExprKind::kDoubleLit, lit.offset);
+      node->double_value = ParseDouble(lit.text).value_or(0.0);
+      if (negative) {
+        node->double_value = -node->double_value;
+      }
+      Advance();
+      return node;
+    }
+    if (negative) {
+      return ErrorHere("expected number after sign");
+    }
+    if (lit.kind == TokenKind::kString) {
+      AstExprPtr node = MakeNode(AstExprKind::kStringLit, lit.offset);
+      node->text = lit.text;
+      Advance();
+      return node;
+    }
+    if (lit.IsKeyword("DATE")) {
+      Advance();
+      if (Current().kind != TokenKind::kString) {
+        return ErrorHere("expected 'YYYY-MM-DD' after DATE");
+      }
+      AstExprPtr node = MakeNode(AstExprKind::kDateLit, lit.offset);
+      node->text = Current().text;
+      Advance();
+      return node;
+    }
+    return ErrorHere("expected literal value");
+  }
+
+  Status ExpectStatementEnd() {
+    if (Current().IsSymbol(";")) {
+      Advance();
+    }
+    if (Current().kind != TokenKind::kEnd) {
+      return ErrorHere("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+  Result<SelectStatement> ParseSelectStatement() {
     SelectStatement stmt;
     if (Current().IsKeyword("EXPLAIN")) {
       stmt.explain = true;
@@ -466,7 +604,13 @@ class Parser {
 Result<SelectStatement> Parse(const std::string& source) {
   PERFEVAL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
   Parser parser(std::move(tokens));
-  return parser.ParseStatement();
+  return parser.ParseSelectStatement();
+}
+
+Result<Statement> ParseSql(const std::string& source) {
+  PERFEVAL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseAnyStatement();
 }
 
 }  // namespace sql

@@ -36,6 +36,16 @@ namespace sql {
 /// Errors carry the byte offset of the offending token.
 Result<SelectStatement> Parse(const std::string& source);
 
+/// Parses one statement of any kind. Beyond SELECT:
+///
+///   INSERT INTO identifier VALUES '(' literal {, literal} ')' {, row}
+///   DELETE FROM identifier [WHERE expr]
+///
+/// where INSERT literals are constants ([-] number, string, DATE 'd',
+/// NULL). DML statements execute through the write path
+/// (txn::ExecuteDml), not through Database::Run.
+Result<Statement> ParseSql(const std::string& source);
+
 }  // namespace sql
 }  // namespace perfeval
 

@@ -108,6 +108,8 @@ Result<db::ExprPtr> BindScalar(
       }
       return db::LitDate(node->text);
     }
+    case AstExprKind::kNullLit:
+      return ErrorAt(*node, "NULL literal is only allowed in INSERT VALUES");
     case AstExprKind::kBinary: {
       PERFEVAL_ASSIGN_OR_RETURN(
           db::ExprPtr lhs, BindScalar(node->children[0], schema, agg_names));
@@ -740,6 +742,11 @@ class Planner {
 };
 
 }  // namespace
+
+Result<db::ExprPtr> BindWhereExpr(const AstExprPtr& expr,
+                                  const db::Schema& schema) {
+  return BindScalar(expr, schema, {});
+}
 
 Result<PlannedQuery> PlanStatement(const SelectStatement& statement,
                                    const db::Database& database) {

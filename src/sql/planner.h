@@ -37,6 +37,12 @@ Result<PlannedQuery> PlanStatement(const SelectStatement& statement,
 Result<PlannedQuery> PlanQuery(const std::string& sql_text,
                                const db::Database& database);
 
+/// Binds a WHERE-style boolean expression against a single table schema
+/// (aggregates are errors). The write path uses this to turn a DELETE's
+/// WHERE clause into a row predicate over the merged snapshot.
+Result<db::ExprPtr> BindWhereExpr(const AstExprPtr& expr,
+                                  const db::Schema& schema);
+
 /// Convenience for tools: parse, plan and run `sql_text`; for EXPLAIN
 /// queries the result table has a single "plan" column holding the tree.
 Result<db::QueryResult> RunQuery(const std::string& sql_text,

@@ -16,7 +16,8 @@ const std::unordered_set<std::string>& Keywords() {
       "JOIN",   "ON",    "ASC",    "DESC",  "LIKE",    "IN",
       "BETWEEN", "DATE", "SUM",    "AVG",   "MIN",     "MAX",
       "COUNT",  "DISTINCT", "CASE", "WHEN", "THEN",    "ELSE",
-      "END",    "INNER", "EXPLAIN"};
+      "END",    "INNER", "EXPLAIN",
+      "INSERT", "INTO",  "VALUES", "DELETE", "NULL"};
   return *keywords;
 }
 

@@ -1,0 +1,89 @@
+#include "txn/codec.h"
+
+#include <array>
+#include <cstring>
+
+namespace perfeval {
+namespace txn {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+void PutValue(std::string* out, const db::Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  PutU8(out, v.is_null() ? 1 : 0);
+  if (v.is_null()) {
+    return;
+  }
+  switch (v.type()) {
+    case db::DataType::kInt64:
+      PutU64(out, static_cast<uint64_t>(v.AsInt64()));
+      break;
+    case db::DataType::kDouble: {
+      double d = v.AsDouble();
+      uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case db::DataType::kString:
+      PutString(out, v.AsString());
+      break;
+    case db::DataType::kDate:
+      PutU64(out, static_cast<uint64_t>(static_cast<int64_t>(v.AsDate())));
+      break;
+  }
+}
+
+db::Value GetValue(ByteCursor* c) {
+  uint8_t type_tag = c->GetU8();
+  uint8_t null_tag = c->GetU8();
+  if (type_tag > static_cast<uint8_t>(db::DataType::kDate) || null_tag > 1) {
+    c->Poison();
+    return db::Value();
+  }
+  db::DataType type = static_cast<db::DataType>(type_tag);
+  if (null_tag != 0) {
+    return db::Value::Null(type);
+  }
+  switch (type) {
+    case db::DataType::kInt64:
+      return db::Value::Int64(static_cast<int64_t>(c->GetU64()));
+    case db::DataType::kDouble: {
+      uint64_t bits = c->GetU64();
+      double d = 0;
+      std::memcpy(&d, &bits, sizeof(d));
+      return db::Value::Double(d);
+    }
+    case db::DataType::kString:
+      return db::Value::String(c->GetString());
+    case db::DataType::kDate:
+      return db::Value::Date(
+          static_cast<int32_t>(static_cast<int64_t>(c->GetU64())));
+  }
+  return db::Value();
+}
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = kTable[(c ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace txn
+}  // namespace perfeval

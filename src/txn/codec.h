@@ -1,0 +1,114 @@
+#ifndef PERFEVAL_TXN_CODEC_H_
+#define PERFEVAL_TXN_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "db/value.h"
+
+namespace perfeval {
+namespace txn {
+
+/// Little-endian byte-stream primitives shared by the WAL record format
+/// and the checkpoint image. Nothing here trusts its input: decoding goes
+/// through ByteCursor, whose reads are bounds-checked and which turns any
+/// overrun into a sticky "bad" state instead of undefined behavior — the
+/// CRC catches random damage, the cursor catches everything else.
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked little-endian read cursor over an immutable buffer.
+class ByteCursor {
+ public:
+  explicit ByteCursor(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+  /// Marks the cursor bad (decoding found a semantically invalid value,
+  /// e.g. an out-of-range enum tag).
+  void Poison() { ok_ = false; }
+
+  uint8_t GetU8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint32_t GetU32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t GetU64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::string GetString() {
+    uint32_t len = GetU32();
+    if (!Need(len)) return std::string();
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Self-describing scalar: [u8 type tag][u8 null flag][payload].
+void PutValue(std::string* out, const db::Value& v);
+
+/// Decodes one scalar; poisons the cursor on an invalid type tag.
+db::Value GetValue(ByteCursor* c);
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) — guards every WAL record
+/// and the checkpoint image against torn or corrupted bytes.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace txn
+}  // namespace perfeval
+
+#endif  // PERFEVAL_TXN_CODEC_H_

@@ -1,0 +1,362 @@
+#include "txn/crashfuzz.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "db/database.h"
+#include "db/reference.h"
+#include "txn/store.h"
+#include "txn/vdisk.h"
+
+namespace perfeval {
+namespace txn {
+namespace {
+
+// ---- Fixture: a small two-table database, fully deterministic ----
+
+const char* const kTables[] = {"items", "tags"};
+
+db::Schema ItemsSchema() {
+  return db::Schema({{"id", db::DataType::kInt64},
+                     {"val", db::DataType::kInt64},
+                     {"price", db::DataType::kDouble},
+                     {"name", db::DataType::kString}});
+}
+
+db::Schema TagsSchema() {
+  return db::Schema(
+      {{"id", db::DataType::kInt64}, {"tag", db::DataType::kString}});
+}
+
+std::vector<std::vector<db::Value>> BaseItemRows() {
+  std::vector<std::vector<db::Value>> rows;
+  for (int64_t i = 0; i < 16; ++i) {
+    rows.push_back({db::Value::Int64(i), db::Value::Int64(i % 7),
+                    db::Value::Double(i * 1.5),
+                    db::Value::String("base" + std::to_string(i))});
+  }
+  return rows;
+}
+
+std::vector<std::vector<db::Value>> BaseTagRows() {
+  std::vector<std::vector<db::Value>> rows;
+  for (int64_t i = 0; i < 8; ++i) {
+    rows.push_back({db::Value::Int64(i),
+                    db::Value::String("tag" + std::to_string(i % 3))});
+  }
+  return rows;
+}
+
+std::unique_ptr<db::Database> MakeFixtureDb() {
+  auto database = std::make_unique<db::Database>();
+  auto items = std::make_shared<db::Table>(ItemsSchema());
+  for (const auto& row : BaseItemRows()) {
+    items->AppendRow(row);
+  }
+  database->RegisterTable("items", std::move(items));
+  auto tags = std::make_shared<db::Table>(TagsSchema());
+  for (const auto& row : BaseTagRows()) {
+    tags->AppendRow(row);
+  }
+  database->RegisterTable("tags", std::move(tags));
+  return database;
+}
+
+// ---- Shadow model: the logical live rows of every table ----
+
+using Shadow = std::map<std::string, std::vector<std::vector<db::Value>>>;
+
+Shadow InitialShadow() {
+  Shadow shadow;
+  shadow["items"] = BaseItemRows();
+  shadow["tags"] = BaseTagRows();
+  return shadow;
+}
+
+/// A DELETE expressed as data, so the same predicate can run against the
+/// store (as a RowPredicate) and against the shadow (over value rows).
+struct DeleteSpec {
+  std::string table;
+  size_t col = 0;
+  int64_t mod = 1;
+  int64_t residue = 0;
+};
+
+RowPredicate PredFor(const DeleteSpec& spec) {
+  size_t col = spec.col;
+  int64_t mod = spec.mod;
+  int64_t residue = spec.residue;
+  return [col, mod, residue](const db::Table& table, uint32_t row) {
+    return table.ValueAt(row, col).AsInt64() % mod == residue;
+  };
+}
+
+/// The logical content of one committed step — applied to the shadow on
+/// ack, and the ambiguity unit when a crash hits mid-commit.
+struct StepEffect {
+  std::vector<std::pair<std::string, std::vector<std::vector<db::Value>>>>
+      inserts;
+  std::vector<DeleteSpec> deletes;
+};
+
+void ApplyToShadow(Shadow* shadow, const StepEffect& effect) {
+  // Deletes resolve against pre-transaction state, so they cannot touch
+  // the same step's inserts: apply them first, exactly like the store.
+  for (const DeleteSpec& spec : effect.deletes) {
+    auto& rows = (*shadow)[spec.table];
+    std::vector<std::vector<db::Value>> kept;
+    kept.reserve(rows.size());
+    for (auto& row : rows) {
+      if (row[spec.col].AsInt64() % spec.mod == spec.residue) {
+        continue;
+      }
+      kept.push_back(std::move(row));
+    }
+    rows = std::move(kept);
+  }
+  for (const auto& [table, rows] : effect.inserts) {
+    auto& dest = (*shadow)[table];
+    dest.insert(dest.end(), rows.begin(), rows.end());
+  }
+}
+
+std::vector<std::vector<db::Value>> MarkerRows(int step, int64_t marker) {
+  return {{db::Value::Int64(-(step * 10 + 1)), db::Value::Int64(marker),
+           db::Value::Double(0.0), db::Value::String("never-committed")}};
+}
+
+/// The scripted step `i`: inserts into items (and periodically tags),
+/// sometimes a modulus delete. All values derive from (seed, i) through
+/// the workload RNG, so every run of the same options replays the same
+/// script.
+StepEffect MakeEffect(int i, const CrashFuzzOptions& options, Pcg32* rng) {
+  StepEffect effect;
+  std::vector<std::vector<db::Value>> rows;
+  for (int j = 0; j < options.rows_per_insert; ++j) {
+    int64_t id = 10000 + static_cast<int64_t>(i) * 100 + j;
+    rows.push_back({db::Value::Int64(id),
+                    db::Value::Int64(rng->NextInRange(0, 99)),
+                    db::Value::Double(i + j * 0.25),
+                    db::Value::String("r" + std::to_string(i) + "_" +
+                                      std::to_string(j))});
+  }
+  effect.inserts.emplace_back("items", std::move(rows));
+  if (i % 5 == 0) {
+    effect.inserts.emplace_back(
+        "tags", std::vector<std::vector<db::Value>>{
+                    {db::Value::Int64(20000 + i),
+                     db::Value::String("t" + std::to_string(i))}});
+  }
+  if (rng->NextBounded(3) == 0) {
+    DeleteSpec spec;
+    spec.table = "items";
+    spec.col = 1;  // val
+    spec.mod = 5 + rng->NextBounded(5);
+    spec.residue = rng->NextBounded(static_cast<uint32_t>(spec.mod));
+    effect.deletes.push_back(spec);
+  }
+  if (i % 7 == 2) {
+    DeleteSpec spec;
+    spec.table = "tags";
+    spec.col = 0;  // id
+    spec.mod = 11;
+    spec.residue = rng->NextBounded(11);
+    effect.deletes.push_back(spec);
+  }
+  return effect;
+}
+
+/// Runs the scripted workload. Acked commits fold into `shadow`;
+/// `inflight` holds the effect of the commit currently being attempted so
+/// a CrashException escaping from Commit leaves the caller knowing the
+/// one ambiguous step. Throws CrashException when the armed site fires.
+Status RunWorkload(DeltaStore* store, const CrashFuzzOptions& options,
+                   Shadow* shadow, std::optional<StepEffect>* inflight) {
+  Pcg32 rng(MixSeed(options.seed, 0x5C21, 0x77));
+  uint64_t hanging = store->Begin();
+  int since_checkpoint = 0;
+  for (int i = 0; i < options.num_commits; ++i) {
+    if (i % 9 == 3) {
+      // An explicitly aborted transaction: its marker rows must never
+      // appear, before or after any crash.
+      uint64_t t = store->Begin();
+      PERFEVAL_RETURN_IF_ERROR(
+          store->BufferInsert(t, "items", MarkerRows(i, -999)));
+      store->Abort(t);
+    }
+    if (i % 10 == 5) {
+      // The hanging transaction accumulates writes and never commits.
+      PERFEVAL_RETURN_IF_ERROR(
+          store->BufferInsert(hanging, "items", MarkerRows(i, -777)));
+    }
+    StepEffect effect = MakeEffect(i, options, &rng);
+    uint64_t t = store->Begin();
+    for (const auto& [table, rows] : effect.inserts) {
+      PERFEVAL_RETURN_IF_ERROR(store->BufferInsert(t, table, rows));
+    }
+    for (const DeleteSpec& spec : effect.deletes) {
+      PERFEVAL_RETURN_IF_ERROR(
+          store->BufferDelete(t, spec.table, PredFor(spec)));
+    }
+    *inflight = effect;
+    PERFEVAL_RETURN_IF_ERROR(store->Commit(t));
+    ApplyToShadow(shadow, effect);
+    inflight->reset();
+    if (++since_checkpoint >= options.checkpoint_every) {
+      PERFEVAL_RETURN_IF_ERROR(store->Checkpoint());
+      since_checkpoint = 0;
+    }
+  }
+  return Status::OK();
+}
+
+/// Exact, order-sensitive oracle diff of every table against the shadow.
+/// Empty string == bit-identical.
+std::string DiffShadow(DeltaStore* store, const Shadow& shadow) {
+  for (const char* name : kTables) {
+    std::shared_ptr<db::Table> actual = store->MergedTable(name);
+    db::Table expected(actual->schema());
+    auto it = shadow.find(name);
+    if (it != shadow.end()) {
+      expected.ReserveRows(it->second.size());
+      for (const auto& row : it->second) {
+        expected.AppendRow(row);
+      }
+    }
+    std::string diff =
+        db::DiffTables(*actual, expected, /*double_tol=*/0.0,
+                       /*ignore_row_order=*/false);
+    if (!diff.empty()) {
+      return std::string(name) + ": " + diff;
+    }
+  }
+  return std::string();
+}
+
+}  // namespace
+
+Result<CrashFuzzReport> RunCrashFuzz(const CrashFuzzOptions& options) {
+  CrashFuzzReport report;
+
+  // Golden, crash-free run: records the total number of crash sites and
+  // proves the workload itself converges to its shadow.
+  {
+    VirtualDisk disk;
+    std::unique_ptr<db::Database> database = MakeFixtureDb();
+    DeltaStore store(database.get(), &disk);
+    Status opened = store.Open();
+    if (!opened.ok()) {
+      return Status::Internal("crash-free open failed: " + opened.ToString());
+    }
+    Shadow shadow = InitialShadow();
+    std::optional<StepEffect> inflight;
+    PERFEVAL_RETURN_IF_ERROR(RunWorkload(&store, options, &shadow, &inflight));
+    report.total_sites = disk.op_count();
+    std::string diff = DiffShadow(&store, shadow);
+    if (!diff.empty()) {
+      return Status::Internal("crash-free run diverged from shadow: " + diff);
+    }
+  }
+
+  int stride = options.site_stride < 1 ? 1 : options.site_stride;
+  for (int64_t site = 0; site < report.total_sites; site += stride) {
+    ++report.sites_tested;
+    VirtualDisk disk;
+    Shadow shadow = InitialShadow();
+    std::optional<StepEffect> inflight;
+    bool crashed = false;
+    {
+      std::unique_ptr<db::Database> database = MakeFixtureDb();
+      DeltaStore store(database.get(), &disk);
+      Status opened = store.Open();
+      if (!opened.ok()) {
+        return Status::Internal("pre-crash open failed: " + opened.ToString());
+      }
+      disk.ArmCrash(site, MixSeed(options.seed, 0xC4A5,
+                                  static_cast<uint64_t>(site)));
+      try {
+        Status ran = RunWorkload(&store, options, &shadow, &inflight);
+        if (!ran.ok()) {
+          return Status::Internal("workload failed at site " +
+                                  std::to_string(site) + ": " +
+                                  ran.ToString());
+        }
+      } catch (const CrashException&) {
+        crashed = true;
+      }
+      // The store and its database die with the simulated process; only
+      // the disk survives into recovery.
+    }
+    if (!crashed) {
+      // Deterministic replay means this cannot happen below total_sites.
+      return Status::Internal("site " + std::to_string(site) +
+                              " did not crash");
+    }
+    ++report.crashes_injected;
+
+    disk.Reopen();
+    std::unique_ptr<db::Database> recovered_db = MakeFixtureDb();
+    DeltaStore recovered(recovered_db.get(), &disk);
+    Status rec = recovered.Open();
+    auto fail = [&](const std::string& what) {
+      ++report.mismatches;
+      if (report.first_failure.empty()) {
+        report.first_failure =
+            "site " + std::to_string(site) + ": " + what;
+      }
+    };
+    if (!rec.ok()) {
+      fail("recovery failed: " + rec.ToString());
+      continue;
+    }
+    DeltaStoreStats stats = recovered.stats();
+    if (stats.torn_tail_bytes > 0) {
+      ++report.torn_tails_seen;
+    }
+    if (stats.wal_records_replayed > 0) {
+      ++report.replays_with_records;
+    }
+    Status integrity = recovered.CheckIntegrity();
+    if (!integrity.ok()) {
+      fail("integrity: " + integrity.ToString());
+      continue;
+    }
+    // Committed state must survive exactly; the one in-flight commit may
+    // be fully present or fully absent (it was appended but its ack never
+    // reached the client); nothing else may exist.
+    std::string diff = DiffShadow(&recovered, shadow);
+    if (!diff.empty() && inflight.has_value()) {
+      Shadow with_inflight = shadow;
+      ApplyToShadow(&with_inflight, *inflight);
+      std::string diff2 = DiffShadow(&recovered, with_inflight);
+      if (!diff2.empty()) {
+        fail("state matches neither acked (" + diff +
+             ") nor acked+inflight (" + diff2 + ")");
+        continue;
+      }
+    } else if (!diff.empty()) {
+      fail("state differs from acked commits: " + diff);
+      continue;
+    }
+    // The recovered store must be writable, not just readable.
+    uint64_t t = recovered.Begin();
+    Status buf = recovered.BufferInsert(
+        t, "items",
+        {{db::Value::Int64(900000 + site), db::Value::Int64(1),
+          db::Value::Double(0.5), db::Value::String("post-recovery")}});
+    Status committed = buf.ok() ? recovered.Commit(t) : buf;
+    if (!committed.ok()) {
+      fail("post-recovery commit failed: " + committed.ToString());
+      continue;
+    }
+    ++report.recoveries_ok;
+  }
+  return report;
+}
+
+}  // namespace txn
+}  // namespace perfeval

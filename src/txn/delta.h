@@ -1,0 +1,128 @@
+#ifndef PERFEVAL_TXN_DELTA_H_
+#define PERFEVAL_TXN_DELTA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "txn/codec.h"
+#include "db/table.h"
+
+namespace perfeval {
+namespace txn {
+
+/// Where a merged row came from: a position in the pristine base table or
+/// a position in the delta's insert side. Commit-time DELETE resolution
+/// maps predicate matches over the merged view back to physical rows
+/// through this.
+struct RowOrigin {
+  bool from_insert = false;
+  uint32_t pos = 0;
+};
+
+/// The merged read snapshot of one table: live base rows (in base order)
+/// followed by live inserted rows (in insertion order) — deterministic by
+/// construction, so scan results are bit-identical at any thread count.
+struct MergedSnapshot {
+  std::shared_ptr<db::Table> table;
+  std::vector<RowOrigin> origins;
+};
+
+/// The write-side state of one table, layered over its immutable base:
+///
+///   - a delete bitmap over the pristine base rows,
+///   - an append-only columnar insert table,
+///   - a delete bitmap plus strictly-increasing row ids over the inserts.
+///
+/// Mutations are validate-then-apply: ApplyDelete checks every target row
+/// first and applies nothing on rejection, so a WAL record either applies
+/// entirely or is skipped entirely — at runtime and during replay alike.
+///
+/// Not thread-safe; DeltaStore serializes all access under its state lock.
+class TableDelta {
+ public:
+  explicit TableDelta(std::shared_ptr<const db::Table> base);
+
+  const db::Schema& schema() const { return base_->schema(); }
+  const db::Table& base() const { return *base_; }
+
+  size_t num_base_rows() const { return base_->num_rows(); }
+  size_t num_base_deleted() const { return base_deleted_count_; }
+  size_t num_insert_rows() const { return insert_table_.num_rows(); }
+  size_t num_insert_deleted() const { return insert_deleted_count_; }
+  size_t num_live_rows() const {
+    return base_->num_rows() - base_deleted_count_ +
+           insert_table_.num_rows() - insert_deleted_count_;
+  }
+  /// True when the delta carries no mutations at all (merged == base).
+  bool empty() const {
+    return base_deleted_count_ == 0 && insert_table_.num_rows() == 0;
+  }
+
+  /// Appends rows to the insert side, assigning strictly increasing row
+  /// ids. Rows must match the schema (checked by Table::AppendRow).
+  void ApplyInsert(const std::vector<std::vector<db::Value>>& rows);
+
+  /// Checks whether the targeted rows can all be deleted: kAborted when
+  /// any target is already deleted or listed twice (a write-write
+  /// conflict: the row was gone by the time this commit reached its turn
+  /// in the apply order), kDataLoss on out-of-range positions. Changes
+  /// nothing — DeltaStore validates every table of a record before
+  /// applying any of it (per-record atomicity).
+  Status ValidateDelete(const std::vector<uint32_t>& base_rows,
+                        const std::vector<uint32_t>& insert_rows) const;
+
+  /// Marks base positions / insert positions deleted. Validates first
+  /// (ValidateDelete) and applies nothing on rejection.
+  Status ApplyDelete(const std::vector<uint32_t>& base_rows,
+                     const std::vector<uint32_t>& insert_rows);
+
+  /// Builds the merged read snapshot with its origin map.
+  MergedSnapshot BuildMerged() const;
+
+  /// Structural invariants, checked in checked execution mode and by the
+  /// crash fuzzer after every recovery: delete-bitmap popcounts match the
+  /// maintained counters (a bit was never set twice), bitmap sizes match
+  /// their tables, and insert row ids are strictly increasing. Returns
+  /// kDataLoss naming the violated invariant.
+  Status CheckIntegrity() const;
+
+  /// Drops deleted insert rows, renumbering the survivors' positions
+  /// deterministically (order preserved) — the checkpoint compaction.
+  /// Row ids are preserved, so they stay strictly increasing.
+  void Compact();
+
+  /// Serializes the delta for the checkpoint image.
+  void Encode(std::string* out) const;
+
+  /// Decodes a checkpoint-image delta over the given pristine base.
+  /// Returns kDataLoss on any structural damage.
+  static Result<TableDelta> Decode(ByteCursor* c,
+                                   std::shared_ptr<const db::Table> base);
+
+  /// Test hook: deliberately breaks one invariant so the checked-mode
+  /// negative test can prove CheckIntegrity actually fires.
+  enum class Corruption {
+    kDeleteCountMismatch,  ///< counter no longer matches the bitmap.
+    kRowIdOrder,           ///< insert row ids no longer increase.
+  };
+  void CorruptForTest(Corruption kind);
+
+ private:
+  std::shared_ptr<const db::Table> base_;
+  std::vector<uint8_t> base_deleted_;  ///< one flag per pristine base row.
+  size_t base_deleted_count_ = 0;
+
+  db::Table insert_table_;
+  std::vector<uint8_t> insert_deleted_;
+  size_t insert_deleted_count_ = 0;
+  std::vector<uint64_t> insert_rowids_;  ///< strictly increasing.
+  uint64_t next_rowid_ = 0;
+};
+
+}  // namespace txn
+}  // namespace perfeval
+
+#endif  // PERFEVAL_TXN_DELTA_H_

@@ -1,0 +1,40 @@
+#ifndef PERFEVAL_TXN_DML_H_
+#define PERFEVAL_TXN_DML_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "txn/store.h"
+
+namespace perfeval {
+namespace txn {
+
+/// Outcome of one DML statement.
+struct DmlResult {
+  uint64_t rows_affected = 0;
+};
+
+/// Executes one parsed INSERT as a single auto-commit transaction:
+/// literal values are coerced to the column types (integer literals fill
+/// DOUBLE columns, string literals fill DATE columns, NULL takes the
+/// column's type), then committed through the delta store.
+Result<DmlResult> ExecuteInsert(const sql::InsertStatement& statement,
+                                DeltaStore& store);
+
+/// Executes one parsed DELETE as a single auto-commit transaction: the
+/// WHERE clause is bound against the table schema (sql::BindWhereExpr)
+/// and resolved to physical rows over the merged snapshot at commit time.
+Result<DmlResult> ExecuteDelete(const sql::DeleteStatement& statement,
+                                DeltaStore& store);
+
+/// Parses `sql_text` and executes it if it is DML (INSERT or DELETE).
+/// SELECT statements are rejected with InvalidArgument — reads go through
+/// sql::RunQuery / Database::Run, which pick up committed writes via the
+/// refresh hook.
+Result<DmlResult> ExecuteDml(const std::string& sql_text, DeltaStore& store);
+
+}  // namespace txn
+}  // namespace perfeval
+
+#endif  // PERFEVAL_TXN_DML_H_

@@ -1,0 +1,164 @@
+#include "txn/vdisk.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace perfeval {
+namespace txn {
+namespace {
+
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a.
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+VirtualDisk::VirtualDisk(db::DiskModel model) : model_(model) {}
+
+void VirtualDisk::CountOpOrCrash() {
+  if (crashed_) {
+    throw CrashException();
+  }
+  if (crash_at_ >= 0 && op_count_ == crash_at_) {
+    crashed_ = true;
+    throw CrashException();
+  }
+  ++op_count_;
+}
+
+void VirtualDisk::Append(const std::string& file, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountOpOrCrash();
+  files_[file].volatile_.append(data.data(), data.size());
+  stats_.bytes_written += static_cast<int64_t>(data.size());
+}
+
+void VirtualDisk::Truncate(const std::string& file, size_t new_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountOpOrCrash();
+  auto it = files_.find(file);
+  PERFEVAL_CHECK(it != files_.end()) << "Truncate of missing file " << file;
+  std::string& v = it->second.volatile_;
+  if (new_size < v.size()) {
+    v.resize(new_size);
+  }
+}
+
+void VirtualDisk::Sync(const std::string& file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountOpOrCrash();
+  auto it = files_.find(file);
+  PERFEVAL_CHECK(it != files_.end()) << "Sync of missing file " << file;
+  File& f = it->second;
+  // An fsync pays one seek plus transfer for the bytes it makes durable.
+  // The dirty volume is measured against the longest common prefix, so a
+  // truncate-then-rewrite pays for the rewritten span, not the file size.
+  size_t common = 0;
+  size_t limit = std::min(f.durable.size(), f.volatile_.size());
+  while (common < limit && f.durable[common] == f.volatile_[common]) {
+    ++common;
+  }
+  size_t dirty = f.volatile_.size() - common;
+  int64_t stall =
+      model_.seek_ns + static_cast<int64_t>(dirty * model_.ns_per_byte);
+  ++stats_.fsyncs;
+  stats_.write_stall_ns += stall;
+  f.durable = f.volatile_;
+}
+
+void VirtualDisk::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountOpOrCrash();
+  auto it = files_.find(from);
+  PERFEVAL_CHECK(it != files_.end()) << "Rename of missing file " << from;
+  File moved = std::move(it->second);
+  files_.erase(it);
+  files_[to] = std::move(moved);
+}
+
+void VirtualDisk::Remove(const std::string& file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountOpOrCrash();
+  files_.erase(file);
+}
+
+bool VirtualDisk::Exists(const std::string& file) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.find(file) != files_.end();
+}
+
+std::string VirtualDisk::ReadAll(const std::string& file) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(file);
+  PERFEVAL_CHECK(it != files_.end()) << "ReadAll of missing file " << file;
+  return it->second.volatile_;
+}
+
+size_t VirtualDisk::Size(const std::string& file) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.volatile_.size();
+}
+
+void VirtualDisk::ArmCrash(int64_t op_index, uint64_t tear_seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_ = op_index;
+  tear_seed_ = tear_seed;
+}
+
+int64_t VirtualDisk::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_count_;
+}
+
+bool VirtualDisk::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void VirtualDisk::Reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, f] : files_) {
+    if (f.volatile_ == f.durable) {
+      continue;
+    }
+    uint64_t h = MixSeed(tear_seed_, HashName(name),
+                         static_cast<uint64_t>(op_count_));
+    if (f.volatile_.size() >= f.durable.size() &&
+        f.volatile_.compare(0, f.durable.size(), f.durable) == 0) {
+      // Pure appends since the last sync: an arbitrary seeded prefix of
+      // the unsynced tail survives — the torn write.
+      size_t tail = f.volatile_.size() - f.durable.size();
+      size_t kept = static_cast<size_t>(h % (tail + 1));
+      f.durable.append(f.volatile_, f.durable.size(), kept);
+    } else if ((h & 1) != 0) {
+      // Truncate/rewrite in flight: the filesystem may or may not have
+      // persisted it. Adversarially pick one, seeded.
+      f.durable = f.volatile_;
+    }
+    f.volatile_ = f.durable;
+  }
+  crashed_ = false;
+  crash_at_ = -1;
+  op_count_ = 0;
+}
+
+db::StorageStats VirtualDisk::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void VirtualDisk::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = db::StorageStats();
+}
+
+}  // namespace txn
+}  // namespace perfeval

@@ -1,0 +1,130 @@
+#ifndef PERFEVAL_TXN_VDISK_H_
+#define PERFEVAL_TXN_VDISK_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "db/storage.h"
+
+namespace perfeval {
+namespace txn {
+
+/// Thrown by VirtualDisk when an armed crash point fires: the simulated
+/// process dies mid-write. Not a QueryError — nothing about the query was
+/// wrong; the machine went away. The crash-point fuzzer catches it at the
+/// top of a scenario, reopens the disk, and recovers.
+class CrashException : public std::runtime_error {
+ public:
+  CrashException() : std::runtime_error("simulated crash") {}
+};
+
+/// The write-path counterpart of the read path's simulated disk
+/// (db::StorageManager): a set of named byte files with explicit
+/// durability. Substitutes a real filesystem the same way DiskModel
+/// substitutes a physical drive — deterministic, seedable, and with the
+/// one property a recovery protocol is actually built against:
+///
+///   data is durable only after Sync(); anything appended since the last
+///   Sync() may survive a crash only as a prefix (a torn write), chosen
+///   by the crash seed.
+///
+/// Rename() and Remove() model journaled metadata operations: atomic and
+/// immediately durable (either the old name or the new name exists after
+/// a crash, never a half state) — the standard contract checkpoint
+/// installation relies on.
+///
+/// Crash-point injection: ArmCrash(k) makes the k-th subsequent mutating
+/// operation (append/truncate/sync/rename/remove — each is one "site")
+/// throw CrashException *instead of* executing. After a crash every
+/// further operation throws too (the process is dead); Reopen() settles
+/// the surviving image (durable bytes plus a seeded torn prefix of any
+/// unsynced tail) and the disk is usable again, as if remounted.
+///
+/// Accounting: appends and fsyncs are charged through the same DiskModel
+/// as page reads, into the write fields of db::StorageStats — an fsync
+/// pays one seek plus transfer time for the unsynced bytes it makes
+/// durable, which is what makes group commit measurable.
+///
+/// Thread safety: every method serializes on one internal mutex.
+class VirtualDisk {
+ public:
+  explicit VirtualDisk(db::DiskModel model = db::DiskModel());
+
+  VirtualDisk(const VirtualDisk&) = delete;
+  VirtualDisk& operator=(const VirtualDisk&) = delete;
+
+  // ---- Mutating operations (each is one crash site) ----
+
+  /// Appends bytes to `file` (created if absent). Volatile until Sync().
+  void Append(const std::string& file, std::string_view data);
+
+  /// Truncates `file` to `new_size` logical bytes. Volatile until Sync().
+  void Truncate(const std::string& file, size_t new_size);
+
+  /// Makes `file`'s current logical content durable.
+  void Sync(const std::string& file);
+
+  /// Atomically and durably renames `from` to `to` (replacing `to`).
+  /// The volatile view moves with the durable one.
+  void Rename(const std::string& from, const std::string& to);
+
+  /// Durably removes `file`; no-op when absent.
+  void Remove(const std::string& file);
+
+  // ---- Reads (never crash sites) ----
+
+  bool Exists(const std::string& file) const;
+  /// Logical (volatile) content — what the running process observes.
+  std::string ReadAll(const std::string& file) const;
+  size_t Size(const std::string& file) const;
+
+  // ---- Crash machinery ----
+
+  /// Arms a crash at mutating operation number `op_index` (0-based,
+  /// counted from construction or the last Reopen()). Negative disarms.
+  void ArmCrash(int64_t op_index, uint64_t tear_seed);
+
+  /// Mutating operations performed since construction / last Reopen().
+  int64_t op_count() const;
+
+  bool crashed() const;
+
+  /// Settles the post-crash image: each file keeps its durable content
+  /// plus a seeded-length prefix of its unsynced tail (the torn write).
+  /// Clears the crashed state, disarms the crash point, and resets the
+  /// operation counter. Also callable on a healthy disk (volatile data
+  /// is lost, like a machine powered off without sync).
+  void Reopen();
+
+  /// Write accounting (read fields stay zero). Thread-safe copy.
+  db::StorageStats stats() const;
+  void ResetStats();
+
+ private:
+  struct File {
+    std::string durable;    ///< content as of the last Sync().
+    std::string volatile_;  ///< current logical content.
+  };
+
+  /// Counts one mutating operation and fires the armed crash point.
+  /// Returns normally when the operation should proceed.
+  void CountOpOrCrash();
+
+  db::DiskModel model_;
+  mutable std::mutex mu_;
+  std::map<std::string, File> files_;
+  int64_t op_count_ = 0;
+  int64_t crash_at_ = -1;
+  uint64_t tear_seed_ = 0;
+  bool crashed_ = false;
+  db::StorageStats stats_;
+};
+
+}  // namespace txn
+}  // namespace perfeval
+
+#endif  // PERFEVAL_TXN_VDISK_H_

@@ -1,0 +1,232 @@
+#include "txn/wal.h"
+
+#include "common/check.h"
+#include "txn/codec.h"
+
+namespace perfeval {
+namespace txn {
+namespace {
+
+void PutOp(std::string* out, const WalOp& op) {
+  PutU8(out, static_cast<uint8_t>(op.kind));
+  PutString(out, op.table);
+  if (op.kind == WalOp::Kind::kInsert) {
+    PutU32(out, static_cast<uint32_t>(op.rows.size()));
+    for (const auto& row : op.rows) {
+      PutU32(out, static_cast<uint32_t>(row.size()));
+      for (const auto& v : row) {
+        PutValue(out, v);
+      }
+    }
+  } else {
+    PutU32(out, static_cast<uint32_t>(op.base_rows.size()));
+    for (uint32_t r : op.base_rows) {
+      PutU32(out, r);
+    }
+    PutU32(out, static_cast<uint32_t>(op.insert_rows.size()));
+    for (uint32_t r : op.insert_rows) {
+      PutU32(out, r);
+    }
+  }
+}
+
+bool GetOp(ByteCursor* c, WalOp* op) {
+  uint8_t kind = c->GetU8();
+  if (kind != static_cast<uint8_t>(WalOp::Kind::kInsert) &&
+      kind != static_cast<uint8_t>(WalOp::Kind::kDelete)) {
+    c->Poison();
+    return false;
+  }
+  op->kind = static_cast<WalOp::Kind>(kind);
+  op->table = c->GetString();
+  if (op->kind == WalOp::Kind::kInsert) {
+    uint32_t num_rows = c->GetU32();
+    for (uint32_t i = 0; i < num_rows && c->ok(); ++i) {
+      uint32_t num_cols = c->GetU32();
+      std::vector<db::Value> row;
+      for (uint32_t j = 0; j < num_cols && c->ok(); ++j) {
+        row.push_back(GetValue(c));
+      }
+      op->rows.push_back(std::move(row));
+    }
+  } else {
+    uint32_t n = c->GetU32();
+    for (uint32_t i = 0; i < n && c->ok(); ++i) {
+      op->base_rows.push_back(c->GetU32());
+    }
+    n = c->GetU32();
+    for (uint32_t i = 0; i < n && c->ok(); ++i) {
+      op->insert_rows.push_back(c->GetU32());
+    }
+  }
+  return c->ok();
+}
+
+bool DecodePayload(std::string_view payload, WalRecord* record) {
+  ByteCursor c(payload);
+  record->lsn = c.GetU64();
+  record->txn_id = c.GetU64();
+  uint32_t num_ops = c.GetU32();
+  record->ops.clear();
+  for (uint32_t i = 0; i < num_ops && c.ok(); ++i) {
+    WalOp op;
+    if (!GetOp(&c, &op)) {
+      return false;
+    }
+    record->ops.push_back(std::move(op));
+  }
+  return c.AtEnd();
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload;
+  PutU64(&payload, record.lsn);
+  PutU64(&payload, record.txn_id);
+  PutU32(&payload, static_cast<uint32_t>(record.ops.size()));
+  for (const auto& op : record.ops) {
+    PutOp(&payload, op);
+  }
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload));
+  frame.append(payload);
+  return frame;
+}
+
+Result<WalContents> ReadWal(const VirtualDisk& disk, const std::string& file) {
+  WalContents out;
+  if (!disk.Exists(file)) {
+    return out;
+  }
+  std::string log = disk.ReadAll(file);
+  size_t pos = 0;
+  while (pos < log.size()) {
+    // A frame damaged at the very end of the log is a torn tail — the
+    // crash interrupted the final append, and the tear model only damages
+    // suffixes. The same damage followed by more valid bytes cannot be a
+    // torn append: the durable log itself is corrupt.
+    if (log.size() - pos < 8) {
+      out.torn_tail_bytes = log.size() - pos;
+      break;
+    }
+    ByteCursor header(std::string_view(log).substr(pos, 8));
+    uint32_t len = header.GetU32();
+    uint32_t crc = header.GetU32();
+    if (log.size() - pos - 8 < len) {
+      out.torn_tail_bytes = log.size() - pos;
+      break;
+    }
+    std::string_view payload = std::string_view(log).substr(pos + 8, len);
+    WalRecord record;
+    if (Crc32(payload) != crc || !DecodePayload(payload, &record)) {
+      if (pos + 8 + len == log.size()) {
+        out.torn_tail_bytes = log.size() - pos;
+        break;
+      }
+      return Status::DataLoss("WAL corrupt mid-log at offset " +
+                              std::to_string(pos) + " of " + file);
+    }
+    out.records.push_back(std::move(record));
+    pos += 8 + len;
+  }
+  return out;
+}
+
+WalWriter::WalWriter(VirtualDisk* disk, std::string file)
+    : disk_(disk), file_(std::move(file)) {
+  PERFEVAL_CHECK(disk_ != nullptr);
+}
+
+uint64_t WalWriter::Append(WalRecord record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_) {
+    throw CrashException();
+  }
+  record.lsn = next_lsn_++;
+  std::string frame = EncodeWalRecord(record);
+  // Append under the writer lock: frames land in LSN order, so a torn
+  // tail always truncates a suffix of the commit order.
+  try {
+    disk_->Append(file_, frame);
+  } catch (const CrashException&) {
+    poisoned_ = true;
+    synced_cv_.notify_all();
+    throw;
+  }
+  appended_lsn_ = record.lsn;
+  return record.lsn;
+}
+
+void WalWriter::SyncUpTo(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (poisoned_) {
+      throw CrashException();
+    }
+    if (synced_lsn_ >= lsn) {
+      return;
+    }
+    if (sync_in_flight_) {
+      // A leader's fsync is in flight; if our record was appended before
+      // it sampled its target we ride along for free. Wait and re-check.
+      synced_cv_.wait(lock);
+      continue;
+    }
+    // Leader: sync everything appended so far — followers whose records
+    // landed before this point share this one fsync (group commit).
+    sync_in_flight_ = true;
+    uint64_t target = appended_lsn_;
+    lock.unlock();
+    try {
+      disk_->Sync(file_);
+    } catch (const CrashException&) {
+      lock.lock();
+      sync_in_flight_ = false;
+      poisoned_ = true;
+      synced_cv_.notify_all();
+      throw;
+    }
+    lock.lock();
+    sync_in_flight_ = false;
+    if (target > synced_lsn_) {
+      synced_lsn_ = target;
+    }
+    synced_cv_.notify_all();
+  }
+}
+
+void WalWriter::TruncateLog(uint64_t next_lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_) {
+    throw CrashException();
+  }
+  try {
+    disk_->Truncate(file_, 0);
+    disk_->Sync(file_);
+  } catch (const CrashException&) {
+    poisoned_ = true;
+    synced_cv_.notify_all();
+    throw;
+  }
+  next_lsn_ = next_lsn;
+  appended_lsn_ = next_lsn - 1;
+  synced_lsn_ = next_lsn - 1;
+}
+
+uint64_t WalWriter::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+void WalWriter::set_next_lsn(uint64_t next_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_lsn_ = next_lsn;
+  appended_lsn_ = next_lsn - 1;
+  synced_lsn_ = next_lsn - 1;
+}
+
+}  // namespace txn
+}  // namespace perfeval

@@ -1,0 +1,105 @@
+#ifndef PERFEVAL_TXN_WAL_H_
+#define PERFEVAL_TXN_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/value.h"
+#include "txn/vdisk.h"
+
+namespace perfeval {
+namespace txn {
+
+/// One mutation inside a committed transaction. Deletes are logged as
+/// *resolved* physical row ids (pristine-base positions and delta-insert
+/// positions), never predicates, so replay applies exactly what commit
+/// applied without re-evaluating anything.
+struct WalOp {
+  enum class Kind : uint8_t { kInsert = 1, kDelete = 2 };
+
+  Kind kind = Kind::kInsert;
+  std::string table;
+  /// kInsert: full rows in schema column order (self-describing values).
+  std::vector<std::vector<db::Value>> rows;
+  /// kDelete: row positions in the pristine base / the insert-side delta.
+  std::vector<uint32_t> base_rows;
+  std::vector<uint32_t> insert_rows;
+};
+
+/// One WAL record == one committed transaction (per-commit records): all
+/// its ops, framed with a length and a CRC. A record is either entirely
+/// durable or it is a torn tail — which is exactly the atomic-commit
+/// property recovery needs.
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint64_t txn_id = 0;
+  std::vector<WalOp> ops;
+};
+
+/// Serializes `record` into the on-log frame:
+///   [u32 payload_len][u32 crc32(payload)][payload]
+/// with a self-describing little-endian payload (lsn, txn id, ops).
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// The decoded log plus what the tail looked like.
+struct WalContents {
+  std::vector<WalRecord> records;
+  /// Bytes of a torn (incomplete or CRC-failing) final frame that were
+  /// discarded. Zero when the log ends on a record boundary.
+  size_t torn_tail_bytes = 0;
+};
+
+/// Reads and validates every record of `file` on `disk` (missing file ==
+/// empty log). A short or CRC-failing frame at the very end is a torn
+/// tail — the crash interrupted the last append — and is discarded. The
+/// same damage anywhere *before* the tail cannot be explained by a torn
+/// append and is unrecoverable: kDataLoss.
+Result<WalContents> ReadWal(const VirtualDisk& disk, const std::string& file);
+
+/// Appends records and makes them durable with group commit: concurrent
+/// committers appending closely in time share one fsync (a leader syncs
+/// up to the highest appended LSN; followers wait on it) — the classic
+/// amortization that makes per-transaction durability affordable.
+class WalWriter {
+ public:
+  WalWriter(VirtualDisk* disk, std::string file);
+
+  /// Assigns the next LSN, frames the record and appends it to the log
+  /// (volatile until Sync'd). Returns the assigned LSN.
+  uint64_t Append(WalRecord record);
+
+  /// Blocks until every record up to and including `lsn` is durable.
+  void SyncUpTo(uint64_t lsn);
+
+  /// Truncates the log to empty and makes the truncation durable
+  /// (checkpoint installation). LSNs keep counting from `next_lsn`.
+  void TruncateLog(uint64_t next_lsn);
+
+  uint64_t next_lsn() const;
+
+  /// Resets the LSN counter (recovery: continue after the replayed tail).
+  void set_next_lsn(uint64_t next_lsn);
+
+ private:
+  VirtualDisk* disk_;
+  std::string file_;
+
+  mutable std::mutex mu_;
+  std::condition_variable synced_cv_;
+  uint64_t next_lsn_ = 1;
+  uint64_t appended_lsn_ = 0;  ///< highest LSN written to the log.
+  uint64_t synced_lsn_ = 0;    ///< highest LSN known durable.
+  bool sync_in_flight_ = false;
+  /// A crash escaped a leader's fsync: every waiter must die too (the
+  /// process is gone); set before broadcasting.
+  bool poisoned_ = false;
+};
+
+}  // namespace txn
+}  // namespace perfeval
+
+#endif  // PERFEVAL_TXN_WAL_H_

@@ -29,6 +29,25 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, WritePathCodesAreDistinctAndNotOk) {
+  // kAborted (a transaction lost a write-write conflict; retryable) and
+  // kDataLoss (durable state is corrupt; not retryable) must never
+  // collapse into each other or into any pre-existing code — recovery
+  // branches on exactly this distinction.
+  Status aborted = Status::Aborted("write-write conflict");
+  Status data_loss = Status::DataLoss("WAL corrupt mid-log");
+  EXPECT_FALSE(aborted.ok());
+  EXPECT_FALSE(data_loss.ok());
+  EXPECT_NE(aborted.code(), data_loss.code());
+  EXPECT_FALSE(aborted == data_loss);
+  EXPECT_EQ(aborted.ToString(), "Aborted: write-write conflict");
+  EXPECT_EQ(data_loss.ToString(), "DataLoss: WAL corrupt mid-log");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "Aborted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -96,6 +96,43 @@ TEST(CsvLoaderTest, UnterminatedQuoteRejected) {
             std::string::npos);
 }
 
+// ---- Error-position regression tests: parse errors name the physical
+// line (and field/column) so a bad cell in a large load is findable.
+
+TEST(CsvLoaderTest, BadValueErrorNamesLineAndColumn) {
+  Schema schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+  // Blank lines push the bad record's physical line past its row number:
+  // row 3 of the relation, but line 5 of the file.
+  Result<std::shared_ptr<Table>> result =
+      ParseCsvText("id,v\n1,1.5\n\n\n2,not-a-double\n", &schema);
+  ASSERT_FALSE(result.ok());
+  const std::string& message = result.status().message();
+  EXPECT_NE(message.find("row 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("line 5"), std::string::npos) << message;
+  EXPECT_NE(message.find("column 'v'"), std::string::npos) << message;
+  EXPECT_NE(message.find("not-a-double"), std::string::npos) << message;
+}
+
+TEST(CsvLoaderTest, RaggedRowErrorNamesPhysicalLine) {
+  // A quoted field spanning two lines shifts later records down: the
+  // ragged row is row 3 but sits on line 4.
+  Result<std::shared_ptr<Table>> result =
+      ParseCsvText("a,b\n\"x\ny\",2\n3\n", nullptr);
+  ASSERT_FALSE(result.ok());
+  const std::string& message = result.status().message();
+  EXPECT_NE(message.find("row 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+}
+
+TEST(CsvLoaderTest, UnterminatedQuoteErrorNamesLineAndField) {
+  Result<std::shared_ptr<Table>> result =
+      ParseCsvText("a,b\n1,2\n3,\"oops\n", nullptr);
+  ASSERT_FALSE(result.ok());
+  const std::string& message = result.status().message();
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("field 2"), std::string::npos) << message;
+}
+
 TEST(CsvLoaderTest, EmptyInputRejected) {
   EXPECT_FALSE(ParseCsvText("", nullptr).ok());
 }

@@ -68,6 +68,9 @@ TEST(SuiteTest, PerfevalSuiteDocumentsSchedulingFlags) {
   EXPECT_NE(doc.find("--dbThreads"), std::string::npos);
   EXPECT_NE(doc.find("-L db"), std::string::npos);
   EXPECT_NE(doc.find("morsel"), std::string::npos);
+  // ... and the write-path suite: its ctest label and crash fuzzer.
+  EXPECT_NE(doc.find("-L txn"), std::string::npos);
+  EXPECT_NE(doc.find("crash-point"), std::string::npos);
 }
 
 TEST(SuiteTest, PerfevalSuiteCoversDesignDocIndex) {
@@ -76,10 +79,11 @@ TEST(SuiteTest, PerfevalSuiteCoversDesignDocIndex) {
   const ExperimentSuite& suite = PerfevalSuite();
   for (const char* id :
        {"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "F1", "F2", "F3",
-        "F4", "F5", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"}) {
+        "F4", "F5", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8",
+        "A9"}) {
     EXPECT_NE(suite.Find(id), nullptr) << id;
   }
-  EXPECT_EQ(suite.experiments().size(), 21u);
+  EXPECT_EQ(suite.experiments().size(), 22u);
 }
 
 TEST(SuiteTest, PerfevalSuiteCommandsPointAtBenchBinaries) {

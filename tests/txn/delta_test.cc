@@ -1,0 +1,198 @@
+// TableDelta: the per-table write-side state. Covers merge determinism
+// and origins, validate-then-apply delete semantics (kAborted conflicts,
+// kDataLoss corruption), compaction, checkpoint encode/decode round
+// trips, and the seeded-corruption hooks the checked-mode negative
+// tests rely on.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/reference.h"
+#include "db/table.h"
+#include "txn/codec.h"
+#include "txn/delta.h"
+
+namespace perfeval {
+namespace txn {
+namespace {
+
+std::shared_ptr<db::Table> BaseTable(int rows = 4) {
+  auto table = std::make_shared<db::Table>(
+      db::Schema({{"id", db::DataType::kInt64}, {"name", db::DataType::kString}}));
+  for (int i = 0; i < rows; ++i) {
+    table->AppendRow(
+        {db::Value::Int64(i), db::Value::String("base" + std::to_string(i))});
+  }
+  return table;
+}
+
+std::vector<std::vector<db::Value>> Rows(std::vector<int64_t> ids) {
+  std::vector<std::vector<db::Value>> rows;
+  for (int64_t id : ids) {
+    rows.push_back(
+        {db::Value::Int64(id), db::Value::String("ins" + std::to_string(id))});
+  }
+  return rows;
+}
+
+std::vector<int64_t> Ids(const db::Table& table) {
+  std::vector<int64_t> ids;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    ids.push_back(table.ValueAt(r, 0).AsInt64());
+  }
+  return ids;
+}
+
+TEST(TableDeltaTest, MergedIsBaseLiveThenInsertLiveWithOrigins) {
+  TableDelta delta(BaseTable(4));
+  delta.ApplyInsert(Rows({100, 101}));
+  // Delete base row 1 and insert-side row 0 (id 100).
+  ASSERT_TRUE(delta.ApplyDelete({1}, {0}).ok());
+
+  EXPECT_EQ(delta.num_base_rows(), 4u);
+  EXPECT_EQ(delta.num_base_deleted(), 1u);
+  EXPECT_EQ(delta.num_insert_rows(), 2u);
+  EXPECT_EQ(delta.num_insert_deleted(), 1u);
+  EXPECT_EQ(delta.num_live_rows(), 4u);
+  EXPECT_FALSE(delta.empty());
+
+  MergedSnapshot merged = delta.BuildMerged();
+  EXPECT_EQ(Ids(*merged.table), (std::vector<int64_t>{0, 2, 3, 101}));
+  ASSERT_EQ(merged.origins.size(), 4u);
+  EXPECT_FALSE(merged.origins[0].from_insert);
+  EXPECT_EQ(merged.origins[0].pos, 0u);
+  EXPECT_FALSE(merged.origins[2].from_insert);
+  EXPECT_EQ(merged.origins[2].pos, 3u);
+  EXPECT_TRUE(merged.origins[3].from_insert);
+  EXPECT_EQ(merged.origins[3].pos, 1u);
+}
+
+TEST(TableDeltaTest, EmptyDeltaMergesToBaseExactly) {
+  auto base = BaseTable(3);
+  TableDelta delta(base);
+  EXPECT_TRUE(delta.empty());
+  MergedSnapshot merged = delta.BuildMerged();
+  EXPECT_EQ(db::DiffTables(*merged.table, *base, 0.0, false), "");
+}
+
+TEST(TableDeltaTest, DoubleDeleteIsAbortedAndChangesNothing) {
+  TableDelta delta(BaseTable(4));
+  ASSERT_TRUE(delta.ApplyDelete({2}, {}).ok());
+  Status again = delta.ApplyDelete({2}, {});
+  EXPECT_EQ(again.code(), StatusCode::kAborted);
+  EXPECT_EQ(delta.num_base_deleted(), 1u);
+}
+
+TEST(TableDeltaTest, DuplicateTargetInOneRecordIsAborted) {
+  TableDelta delta(BaseTable(4));
+  EXPECT_EQ(delta.ValidateDelete({1, 1}, {}).code(), StatusCode::kAborted);
+}
+
+TEST(TableDeltaTest, OutOfRangeDeleteIsDataLoss) {
+  TableDelta delta(BaseTable(4));
+  EXPECT_EQ(delta.ValidateDelete({4}, {}).code(), StatusCode::kDataLoss);
+  delta.ApplyInsert(Rows({100}));
+  EXPECT_EQ(delta.ValidateDelete({}, {1}).code(), StatusCode::kDataLoss);
+}
+
+TEST(TableDeltaTest, RejectedDeleteBatchAppliesNothing) {
+  TableDelta delta(BaseTable(4));
+  ASSERT_TRUE(delta.ApplyDelete({3}, {}).ok());
+  // Row 0 is deletable, row 3 is not: the whole batch must be a no-op.
+  Status s = delta.ApplyDelete({0, 3}, {});
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(delta.num_base_deleted(), 1u);
+  EXPECT_EQ(Ids(*delta.BuildMerged().table), (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(TableDeltaTest, CompactDropsDeletedInsertsAndKeepsOrder) {
+  TableDelta delta(BaseTable(2));
+  delta.ApplyInsert(Rows({100, 101, 102, 103}));
+  ASSERT_TRUE(delta.ApplyDelete({}, {0, 2}).ok());
+  delta.Compact();
+  EXPECT_EQ(delta.num_insert_rows(), 2u);
+  EXPECT_EQ(delta.num_insert_deleted(), 0u);
+  EXPECT_TRUE(delta.CheckIntegrity().ok());
+  EXPECT_EQ(Ids(*delta.BuildMerged().table),
+            (std::vector<int64_t>{0, 1, 101, 103}));
+  // Survivors keep their row ids, so later inserts still increase.
+  delta.ApplyInsert(Rows({104}));
+  EXPECT_TRUE(delta.CheckIntegrity().ok());
+}
+
+TEST(TableDeltaTest, EncodeDecodeRoundTripsEverything) {
+  auto base = BaseTable(4);
+  TableDelta delta(base);
+  delta.ApplyInsert(Rows({100, 101, 102}));
+  ASSERT_TRUE(delta.ApplyDelete({0, 3}, {1}).ok());
+
+  std::string bytes;
+  delta.Encode(&bytes);
+  ByteCursor c(bytes);
+  auto decoded = TableDelta::Decode(&c, base);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(c.AtEnd());
+  EXPECT_TRUE(decoded->CheckIntegrity().ok());
+  EXPECT_EQ(decoded->num_base_deleted(), 2u);
+  EXPECT_EQ(decoded->num_insert_rows(), 3u);
+  EXPECT_EQ(decoded->num_insert_deleted(), 1u);
+  EXPECT_EQ(db::DiffTables(*decoded->BuildMerged().table,
+                           *delta.BuildMerged().table, 0.0, false),
+            "");
+}
+
+TEST(TableDeltaTest, DecodeOfDamagedBytesIsDataLoss) {
+  auto base = BaseTable(4);
+  TableDelta delta(base);
+  delta.ApplyInsert(Rows({100}));
+  ASSERT_TRUE(delta.ApplyDelete({1}, {}).ok());
+  std::string bytes;
+  delta.Encode(&bytes);
+  // Flip every byte position in turn: decode must either fail cleanly
+  // with kDataLoss or produce a delta that still passes CheckIntegrity —
+  // never crash, never silently accept structural damage it can detect.
+  int rejected = 0;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string damaged = bytes;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0xFF);
+    ByteCursor c(damaged);
+    auto decoded = TableDelta::Decode(&c, base);
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss) << "byte " << i;
+      ++rejected;
+    } else {
+      EXPECT_TRUE(decoded->CheckIntegrity().ok()) << "byte " << i;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  // Truncation at any point is also detected.
+  ByteCursor shortc(std::string_view(bytes).substr(0, bytes.size() / 2));
+  EXPECT_FALSE(TableDelta::Decode(&shortc, base).ok());
+}
+
+TEST(TableDeltaTest, CorruptForTestBreaksExactlyOneInvariant) {
+  {
+    TableDelta delta(BaseTable(4));
+    EXPECT_TRUE(delta.CheckIntegrity().ok());
+    delta.CorruptForTest(TableDelta::Corruption::kDeleteCountMismatch);
+    Status s = delta.CheckIntegrity();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  }
+  {
+    TableDelta delta(BaseTable(4));
+    delta.ApplyInsert(Rows({100, 101}));
+    EXPECT_TRUE(delta.CheckIntegrity().ok());
+    delta.CorruptForTest(TableDelta::Corruption::kRowIdOrder);
+    Status s = delta.CheckIntegrity();
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("row id"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace txn
+}  // namespace perfeval

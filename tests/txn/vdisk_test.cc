@@ -1,0 +1,142 @@
+// VirtualDisk: the write path's simulated filesystem. Covers the one
+// contract recovery is built against (synced data survives a crash,
+// unsynced appends survive only as a seeded prefix), atomic+durable
+// rename, crash-point arming, and fsync accounting.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "txn/vdisk.h"
+
+namespace perfeval {
+namespace txn {
+namespace {
+
+TEST(VirtualDiskTest, SyncedDataSurvivesReopen) {
+  VirtualDisk disk;
+  disk.Append("f", "durable-part");
+  disk.Sync("f");
+  disk.Append("f", "-unsynced-tail");
+  disk.Reopen();
+  std::string after = disk.ReadAll("f");
+  // The synced prefix must survive byte-for-byte; the unsynced tail may
+  // survive only as a (possibly empty) prefix.
+  ASSERT_GE(after.size(), std::string("durable-part").size());
+  EXPECT_EQ(after.substr(0, 12), "durable-part");
+  EXPECT_LE(after.size(), std::string("durable-part-unsynced-tail").size());
+  EXPECT_EQ(std::string("durable-part-unsynced-tail").substr(0, after.size()),
+            after);
+}
+
+TEST(VirtualDiskTest, UnsyncedFileMayVanishEntirely) {
+  VirtualDisk disk;
+  disk.ArmCrash(-1, /*tear_seed=*/0);  // seed 0 with op_count 1 keeps 0 or
+                                       // more bytes; only the bound matters.
+  disk.Append("f", "never-synced");
+  disk.Reopen();
+  // Whatever survived must be a prefix of what was written.
+  std::string after = disk.Exists("f") ? disk.ReadAll("f") : std::string();
+  EXPECT_EQ(std::string("never-synced").substr(0, after.size()), after);
+}
+
+TEST(VirtualDiskTest, TornTailIsDeterministicInSeed) {
+  auto run = [](uint64_t seed) {
+    VirtualDisk disk;
+    disk.ArmCrash(-1, seed);
+    disk.Append("f", "0123456789");
+    disk.Sync("f");
+    disk.Append("f", "abcdefghij");
+    disk.Reopen();
+    return disk.ReadAll("f");
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_EQ(run(7).substr(0, 10), "0123456789");
+}
+
+TEST(VirtualDiskTest, RenameIsAtomicAndDurable) {
+  VirtualDisk disk;
+  disk.Append("a.tmp", "image");
+  disk.Sync("a.tmp");
+  disk.Rename("a.tmp", "a");
+  EXPECT_FALSE(disk.Exists("a.tmp"));
+  EXPECT_EQ(disk.ReadAll("a"), "image");
+  disk.Reopen();  // crash right after the rename
+  EXPECT_FALSE(disk.Exists("a.tmp"));
+  EXPECT_EQ(disk.ReadAll("a"), "image");
+}
+
+TEST(VirtualDiskTest, RemoveIsDurable) {
+  VirtualDisk disk;
+  disk.Append("f", "x");
+  disk.Sync("f");
+  disk.Remove("f");
+  EXPECT_FALSE(disk.Exists("f"));
+  disk.Reopen();
+  EXPECT_FALSE(disk.Exists("f"));
+  disk.Remove("f");  // removing an absent file is a no-op, not an error.
+}
+
+TEST(VirtualDiskTest, TruncateShrinksAndSyncMakesItDurable) {
+  VirtualDisk disk;
+  disk.Append("f", "0123456789");
+  disk.Sync("f");
+  disk.Truncate("f", 4);
+  EXPECT_EQ(disk.ReadAll("f"), "0123");
+  disk.Sync("f");
+  disk.Reopen();
+  EXPECT_EQ(disk.ReadAll("f"), "0123");
+}
+
+TEST(VirtualDiskTest, ArmedCrashFiresAtExactOperation) {
+  VirtualDisk disk;
+  disk.ArmCrash(2, /*tear_seed=*/99);
+  disk.Append("f", "one");  // op 0
+  disk.Append("f", "two");  // op 1
+  EXPECT_FALSE(disk.crashed());
+  EXPECT_THROW(disk.Append("f", "three"), CrashException);  // op 2 dies
+  EXPECT_TRUE(disk.crashed());
+  // The process is dead: every further mutation throws, reads still work.
+  EXPECT_THROW(disk.Sync("f"), CrashException);
+  EXPECT_THROW(disk.Append("g", "x"), CrashException);
+  EXPECT_EQ(disk.ReadAll("f"), "onetwo");
+  // Reopen clears the crash and resets the op counter.
+  disk.Reopen();
+  EXPECT_FALSE(disk.crashed());
+  EXPECT_EQ(disk.op_count(), 0);
+  disk.Append("f", "alive");
+  EXPECT_EQ(disk.op_count(), 1);
+}
+
+TEST(VirtualDiskTest, CrashedOperationDidNotExecute) {
+  VirtualDisk disk;
+  disk.Append("f", "keep");
+  disk.Sync("f");
+  disk.ArmCrash(disk.op_count(), /*tear_seed=*/1);
+  EXPECT_THROW(disk.Append("f", "lost"), CrashException);
+  disk.Reopen();
+  EXPECT_EQ(disk.ReadAll("f"), "keep");
+}
+
+TEST(VirtualDiskTest, FsyncAccountingChargesWriteStats) {
+  db::DiskModel model;
+  model.seek_ns = 1000;
+  model.ns_per_byte = 10;
+  VirtualDisk disk(model);
+  disk.Append("f", std::string(100, 'x'));
+  db::StorageStats before = disk.stats();
+  EXPECT_EQ(before.bytes_written, 100);
+  EXPECT_EQ(before.fsyncs, 0);
+  disk.Sync("f");
+  db::StorageStats after = disk.stats();
+  EXPECT_EQ(after.fsyncs, 1);
+  // One seek plus transfer for the 100 dirty bytes.
+  EXPECT_EQ(after.write_stall_ns - before.write_stall_ns, 1000 + 100 * 10);
+  // A second sync with nothing dirty pays only the seek.
+  disk.Sync("f");
+  EXPECT_EQ(disk.stats().write_stall_ns - after.write_stall_ns, 1000);
+}
+
+}  // namespace
+}  // namespace txn
+}  // namespace perfeval

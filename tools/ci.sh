@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point — the same jobs .github/workflows/ci.yml runs, invocable
-# locally: tools/ci.sh [tier1|asan|oracle|serve|all]. Each job uses its own
-# build directory so they can be cached independently.
+# locally: tools/ci.sh [tier1|asan|oracle|serve|txn|all]. Each job uses its
+# own build directory so they can be cached independently.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,14 +51,34 @@ serve() {
   ctest --test-dir build-tsan --output-on-failure -L serve -R 'QueryService|LoadGenerator|LatencyHistogram|BuildSchedule'
 }
 
+txn() {
+  # Write-path job: the WAL/checkpoint/recovery suite, the exhaustive
+  # crash-point fuzz sweep and the A9 bench's fast path in Release, then
+  # the crash fuzzer again under ASan+UBSan (recovery code paths shuffle
+  # buffers around torn/corrupt frames — exactly where an OOB hides), and
+  # the concurrent ingest+scan test under ThreadSanitizer.
+  cmake -B build -S .
+  cmake --build build "$jobs_flag" --target txn_test bench_write_path
+  ctest --test-dir build --output-on-failure -L txn
+  cmake -B build-asan -S . -DPERFEVAL_SANITIZE=address
+  cmake --build build-asan "$jobs_flag" --target txn_test
+  ctest --test-dir build-asan --output-on-failure -R 'CrashFuzz|Wal|VirtualDisk|TableDelta'
+  cmake -B build-tsan -S . -DPERFEVAL_SANITIZE=thread
+  cmake --build build-tsan "$jobs_flag" --target txn_test
+  # -R keeps the TSan pass to the txn_test cases (the bench smoke under
+  # the same label is built only in the Release tree).
+  ctest --test-dir build-tsan --output-on-failure -L txn -R 'DeltaStore'
+}
+
 case "$job" in
   tier1)  tier1 ;;
   asan)   asan ;;
   oracle) oracle ;;
   serve)  serve ;;
-  all)    tier1; oracle; serve; asan ;;
+  txn)    txn ;;
+  all)    tier1; oracle; serve; txn; asan ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|oracle|serve|all]" >&2
+    echo "usage: tools/ci.sh [tier1|asan|oracle|serve|txn|all]" >&2
     exit 2
     ;;
 esac
