@@ -55,6 +55,33 @@ void Column::AppendValue(const Value& v) {
   }
 }
 
+void Column::AppendColumn(const Column& other) {
+  PERFEVAL_CHECK(type_ == other.type_) << "AppendColumn type mismatch";
+  size_t old_size = size();
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
+      break;
+    case DataType::kDouble:
+      doubles_.insert(doubles_.end(), other.doubles_.begin(),
+                      other.doubles_.end());
+      break;
+    case DataType::kString:
+      strings_.insert(strings_.end(), other.strings_.begin(),
+                      other.strings_.end());
+      break;
+  }
+  if (!other.nulls_.empty()) {
+    if (nulls_.empty()) {
+      nulls_.assign(old_size, 0);  // backfill: prior rows were non-null.
+    }
+    nulls_.insert(nulls_.end(), other.nulls_.begin(), other.nulls_.end());
+  } else if (!nulls_.empty()) {
+    nulls_.resize(nulls_.size() + other.size(), 0);
+  }
+}
+
 Value Column::GetValue(size_t row) const {
   if (IsNull(row)) {
     return Value::Null(type_);

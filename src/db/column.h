@@ -64,6 +64,11 @@ class Column {
   void AppendNull();
   void AppendValue(const Value& v);
 
+  /// Appends all of `other`'s rows (same type required) — bulk vector
+  /// concatenation, null-mask aware. The chunked data generator builds
+  /// per-chunk sub-columns in parallel and glues them in chunk order.
+  void AppendColumn(const Column& other);
+
   int64_t GetInt64(size_t row) const { return ints_[row]; }
   double GetDouble(size_t row) const { return doubles_[row]; }
   const std::string& GetString(size_t row) const { return strings_[row]; }

@@ -93,6 +93,8 @@ QueryResult Database::Run(const PlanPtr& plan, ExecMode mode, SinkKind sink,
   ctx.profiler = &result.profile;
   ctx.use_zone_maps = use_zone_maps;
   ctx.threads = threads();
+  ctx.morsel = options_.morsel;
+  ctx.parallel_sim = &result.parallel;
   ctx.join_algo = options_.join_algo;
   ctx.radix_bits = options_.radix_bits;
   ctx.check = options_.check;

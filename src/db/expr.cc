@@ -80,6 +80,8 @@ void Expr::EvalNumericBatch(const Table& table,
 
 bool Expr::AsSimplePredicate(SimplePredicate*) const { return false; }
 
+bool Expr::AsColumnIndex(size_t*) const { return false; }
+
 void Expr::CollectConjuncts(std::vector<ExprPtr>* out,
                             const ExprPtr& self) const {
   out->push_back(self);
@@ -144,6 +146,11 @@ class ColumnRefExpr : public Expr {
         PERFEVAL_CHECK(false) << "numeric batch over string column "
                               << name_;
     }
+  }
+
+  bool AsColumnIndex(size_t* out) const override {
+    *out = index_;
+    return true;
   }
 
   std::string ToString() const override { return name_; }
@@ -761,7 +768,105 @@ class SubstrExpr : public Expr {
   size_t len_;
 };
 
+/// Shared inner loops of the branch-free kernels. `get(r)` reads the
+/// column value as double; the compiled loops carry no data-dependent
+/// branch — the row id is written unconditionally and the write cursor
+/// advances by the predicate's truth value.
+template <typename Getter, typename Pred>
+size_t EmitMatchingRange(Getter get, Pred pred, size_t begin, size_t end,
+                         uint32_t* dst) {
+  size_t kept = 0;
+  for (size_t r = begin; r < end; ++r) {
+    dst[kept] = static_cast<uint32_t>(r);
+    kept += static_cast<size_t>(pred(get(r)));
+  }
+  return kept;
+}
+
+template <typename Getter, typename Pred>
+size_t CompactMatching(Getter get, Pred pred, uint32_t* rows, size_t n) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t r = rows[i];
+    rows[kept] = r;
+    kept += static_cast<size_t>(pred(get(r)));
+  }
+  return kept;
+}
+
+/// Dispatches `op` to a monomorphized loop: the comparison is a template
+/// parameter, so each case compiles to a tight two-instruction body.
+template <typename Getter, typename Loop>
+size_t DispatchCmp(Getter get, CmpOp op, double v, Loop loop) {
+  switch (op) {
+    case CmpOp::kEq:
+      return loop(get, [v](double x) { return x == v; });
+    case CmpOp::kNe:
+      return loop(get, [v](double x) { return x != v; });
+    case CmpOp::kLt:
+      return loop(get, [v](double x) { return x < v; });
+    case CmpOp::kLe:
+      return loop(get, [v](double x) { return x <= v; });
+    case CmpOp::kGt:
+      return loop(get, [v](double x) { return x > v; });
+    case CmpOp::kGe:
+      return loop(get, [v](double x) { return x >= v; });
+  }
+  return 0;
+}
+
+template <typename Getter>
+size_t FilterRangeTyped(Getter get, CmpOp op, double value, size_t begin,
+                        size_t end, uint32_t* dst) {
+  return DispatchCmp(get, op, value, [begin, end, dst](auto g, auto pred) {
+    return EmitMatchingRange(g, pred, begin, end, dst);
+  });
+}
+
+template <typename Getter>
+size_t RefineTyped(Getter get, CmpOp op, double value, uint32_t* rows,
+                   size_t n) {
+  return DispatchCmp(get, op, value, [rows, n](auto g, auto pred) {
+    return CompactMatching(g, pred, rows, n);
+  });
+}
+
 }  // namespace
+
+void FilterColumnRange(const Column& column, CmpOp op, double value,
+                       size_t begin, size_t end, std::vector<uint32_t>* out) {
+  size_t base = out->size();
+  out->resize(base + (end - begin));
+  uint32_t* dst = out->data() + base;
+  size_t kept;
+  if (column.type() == DataType::kDouble) {
+    const double* data = column.doubles().data();
+    kept = FilterRangeTyped([data](size_t r) { return data[r]; }, op, value,
+                            begin, end, dst);
+  } else {
+    const int64_t* data = column.ints().data();
+    kept = FilterRangeTyped(
+        [data](size_t r) { return static_cast<double>(data[r]); }, op, value,
+        begin, end, dst);
+  }
+  out->resize(base + kept);
+}
+
+void RefineSelection(const Column& column, CmpOp op, double value,
+                     std::vector<uint32_t>* rows) {
+  size_t kept;
+  if (column.type() == DataType::kDouble) {
+    const double* data = column.doubles().data();
+    kept = RefineTyped([data](size_t r) { return data[r]; }, op, value,
+                       rows->data(), rows->size());
+  } else {
+    const int64_t* data = column.ints().data();
+    kept = RefineTyped(
+        [data](size_t r) { return static_cast<double>(data[r]); }, op, value,
+        rows->data(), rows->size());
+  }
+  rows->resize(kept);
+}
 
 ExprPtr Col(const Schema& schema, const std::string& name) {
   size_t index = schema.MustIndexOf(name);

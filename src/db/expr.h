@@ -64,6 +64,11 @@ class Expr {
   /// returns true (zone-map pushdown).
   virtual bool AsSimplePredicate(SimplePredicate* out) const;
 
+  /// If this node is a plain column reference, fills `out` with its column
+  /// index and returns true — the aggregate fast paths in plan.cc read the
+  /// column's raw payload vector directly instead of going through EvalRow.
+  virtual bool AsColumnIndex(size_t* out) const;
+
   /// Appends this predicate's top-level conjuncts to `out` (flattens AND).
   virtual void CollectConjuncts(std::vector<ExprPtr>* out,
                                 const ExprPtr& self) const;
@@ -71,6 +76,25 @@ class Expr {
   /// SQL-ish rendering for EXPLAIN output.
   virtual std::string ToString() const = 0;
 };
+
+// ---- Branch-free selection kernels (optimized mode, null-free data) ----
+//
+// Both kernels evaluate `column <op> value` with the comparison done in
+// double — the same semantics as SimplePredicate, over int64/date/double
+// payloads. The inner loops are branch-free (`out[kept] = r; kept +=
+// predicate`), so survivor-density has no branch-misprediction cost; on
+// mostly-true predicates like Q1's shipdate filter they run at copy speed.
+// Callers must ensure the column has no NULLs (placeholders would compare
+// as real values).
+
+/// Appends the rows of [begin, end) that satisfy the predicate to `*out`.
+void FilterColumnRange(const Column& column, CmpOp op, double value,
+                       size_t begin, size_t end, std::vector<uint32_t>* out);
+
+/// Compacts `*rows` in place to the rows satisfying the predicate,
+/// preserving order.
+void RefineSelection(const Column& column, CmpOp op, double value,
+                     std::vector<uint32_t>* rows);
 
 // ---- Factory functions (the public expression-building API) ----
 

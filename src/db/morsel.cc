@@ -1,0 +1,61 @@
+#include "db/morsel.h"
+
+#include <algorithm>
+
+#include "hwsim/machine.h"
+
+namespace perfeval {
+namespace db {
+namespace {
+
+/// Working-set bytes one scanned row drags through the cache: a few numeric
+/// payload columns plus the selection-vector entry being produced. The same
+/// order of magnitude as the radix join's per-row estimate in db/join.cc.
+constexpr size_t kScanBytesPerRow = 32;
+
+MorselPolicy Calibrate() {
+  // The same simulated machine the radix join calibrates against.
+  const hwsim::MachineProfile& machine = hwsim::MachineByName("Sun Ultra");
+  size_t l2_bytes = 512 * 1024;
+  for (const hwsim::CacheConfig& cache : machine.caches) {
+    if (cache.name == "L2") {
+      l2_bytes = cache.size_bytes;
+    }
+  }
+  MorselPolicy policy;
+  size_t target_rows = std::max<size_t>(1, l2_bytes / kScanBytesPerRow);
+  policy.morsel_rows = 1;
+  while (policy.morsel_rows * 2 <= target_rows) {
+    policy.morsel_rows *= 2;
+  }
+  // Two morsels per worker at full 8-way fan-out before parallelism is
+  // even considered, and at least two morsels of slack per extra worker.
+  policy.serial_cutoff_rows = policy.morsel_rows * 16;
+  policy.min_rows_per_worker = policy.morsel_rows * 2;
+  return policy;
+}
+
+}  // namespace
+
+int MorselPolicy::EffectiveThreads(size_t rows, int requested) const {
+  if (requested <= 1 || rows < serial_cutoff_rows) {
+    return 1;
+  }
+  size_t per_worker = std::max<size_t>(1, min_rows_per_worker);
+  size_t cap = std::max<size_t>(1, rows / per_worker);
+  return static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(requested), cap));
+}
+
+size_t MorselPolicy::NumMorsels(size_t rows) const {
+  size_t per_morsel = std::max<size_t>(1, morsel_rows);
+  return (rows + per_morsel - 1) / per_morsel;
+}
+
+const MorselPolicy& MorselPolicy::Hardware() {
+  static const MorselPolicy policy = Calibrate();
+  return policy;
+}
+
+}  // namespace db
+}  // namespace perfeval

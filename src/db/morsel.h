@@ -1,0 +1,55 @@
+#ifndef PERFEVAL_DB_MORSEL_H_
+#define PERFEVAL_DB_MORSEL_H_
+
+#include <cstddef>
+
+namespace perfeval {
+namespace db {
+
+/// The single knob set for morsel-driven parallelism: how big a morsel is
+/// and when fanning work out to threads pays at all. Every operator in
+/// plan.cc sizes its morsels from one of these objects instead of a local
+/// constant, so "how we chop work" cannot drift between the scan, filter
+/// and aggregate paths.
+///
+/// Determinism contract: all three fields are plain data, fixed before a
+/// query starts, and none of the derived quantities depends on the thread
+/// count. Morsel boundaries — and with them every floating-point reduction
+/// order — are identical at any `threads` setting. The thread count only
+/// ever changes how many workers claim the (fixed) morsels.
+struct MorselPolicy {
+  /// Rows per morsel. Calibrated so one morsel's working set sits in the
+  /// simulated L2 cache (see Hardware()); bigger morsels amortize claim
+  /// overhead, smaller ones would thrash nothing but the claim counter.
+  size_t morsel_rows = 16384;
+
+  /// Inputs below this many rows run serially no matter how many threads
+  /// were requested. Spawning workers costs tens of microseconds; under
+  /// the cutoff that overhead exceeds the whole scan, which is exactly the
+  /// sf=0.01 regression A7 used to document.
+  size_t serial_cutoff_rows = 262144;
+
+  /// Above the cutoff, fan-out is still capped so each worker gets at
+  /// least this many rows; a worker that claims less does no useful work
+  /// per wakeup.
+  size_t min_rows_per_worker = 32768;
+
+  /// Workers an operator over `rows` input rows should use when the query
+  /// asked for `requested` threads: 1 below the serial cutoff, otherwise
+  /// `requested` capped to rows / min_rows_per_worker.
+  int EffectiveThreads(size_t rows, int requested) const;
+
+  /// Number of morsels covering `rows` rows (at least 1 when rows > 0).
+  size_t NumMorsels(size_t rows) const;
+
+  /// The policy calibrated against the hwsim cache model (the "Sun Ultra"
+  /// profile whose L2 also sizes radix-join partitions, db/join.cc):
+  /// morsel_rows is the largest power of two whose working set fits L2,
+  /// and the cutoffs are fixed multiples of it. Computed once per process.
+  static const MorselPolicy& Hardware();
+};
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_MORSEL_H_

@@ -1,6 +1,7 @@
 #include "db/plan.h"
 
 #include <algorithm>
+#include <charconv>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -58,33 +59,60 @@ std::vector<uint32_t> Relation::RowIds() const {
 
 namespace {
 
-/// Rows per morsel for operators that are not page-aligned (Filter over an
-/// intermediate relation, Aggregate). Fixed — never derived from the
-/// thread count — so morsel boundaries, and with them every
-/// floating-point reduction order, are identical at any `threads` setting
-/// and in both execution modes.
-constexpr size_t kMorselRows = 4096;
-
-/// ParallelFor with QueryError containment: morsel work can throw (checked
-/// int64 aggregation, checked-mode assertions), but an exception escaping
-/// a sched::ParallelFor worker lambda would std::terminate the process.
-/// Each morsel's error is captured in its own slot and the lowest-index
-/// one is rethrown on the coordinator — deterministic at any thread count.
-void ParallelMorsels(int threads, size_t count,
-                     const std::function<void(size_t)>& fn) {
-  std::vector<std::unique_ptr<QueryError>> errors(count);
-  sched::ParallelFor(threads, count, [&](size_t m) {
-    try {
-      fn(m);
-    } catch (const QueryError& e) {
-      errors[m] = std::make_unique<QueryError>(e);
+/// Dispatches `count` morsels for an operator over `input_rows` input
+/// rows. The worker count is the policy's adaptive decision — 1 below the
+/// serial cutoff, where fan-out overhead would exceed the work itself (the
+/// sf=0.01 regression A7 used to document) — and never influences morsel
+/// boundaries, so every floating-point reduction order is identical at any
+/// `threads` setting and in both execution modes.
+///
+/// QueryError containment: morsel work can throw (checked int64
+/// aggregation, checked-mode assertions), but an exception escaping a
+/// sched::ParallelFor worker lambda would std::terminate the process. Each
+/// morsel's error is captured in its own slot and the lowest-index one is
+/// rethrown on the coordinator — deterministic at any thread count.
+///
+/// Parallel regions additionally record their wall time and critical path
+/// (max per-worker thread-CPU busy time) into ctx.parallel_sim. Returns
+/// the worker count used, for OpTrace::threads_used.
+int ParallelMorsels(ExecContext& ctx, size_t input_rows, size_t count,
+                    const std::function<void(size_t)>& fn) {
+  int threads = ctx.morsel.EffectiveThreads(input_rows, ctx.threads);
+  if (threads <= 1 || count <= 1) {
+    for (size_t m = 0; m < count; ++m) {
+      fn(m);  // runs on the coordinator; exceptions propagate directly.
     }
-  });
+    return 1;
+  }
+  std::vector<std::unique_ptr<QueryError>> errors(count);
+  sched::ParallelForStats stats;
+  core::WallTimer timer;
+  sched::ParallelFor(
+      threads, count,
+      [&](size_t m) {
+        try {
+          fn(m);
+        } catch (const QueryError& e) {
+          errors[m] = std::make_unique<QueryError>(e);
+        }
+      },
+      &stats);
+  if (ctx.parallel_sim != nullptr) {
+    int64_t wall = timer.ElapsedNs();
+    // A worker's CPU time cannot exceed the region's wall time; clamping
+    // guards against thread-CPU clock granularity making the modeled
+    // critical path longer than what was measured.
+    int64_t critical = std::min(stats.MaxBusyNs(), wall);
+    ctx.parallel_sim->region_wall_ns += wall;
+    ctx.parallel_sim->region_critical_ns += critical;
+    ++ctx.parallel_sim->regions;
+  }
   for (const std::unique_ptr<QueryError>& e : errors) {
     if (e != nullptr) {
       throw *e;
     }
   }
+  return stats.workers_spawned;
 }
 
 /// RAII operator trace: measures wall time and attributes storage stalls.
@@ -94,6 +122,10 @@ class TraceScope {
       : ctx_(ctx), op_(std::move(op)), rows_in_(rows_in) {
     stall_before_ = ctx_.storage ? ctx_.storage->total_stall_ns() : 0;
   }
+
+  /// Workers the operator's parallel region used (the ParallelMorsels
+  /// return value); left at 0 for operators without a parallel region.
+  void set_threads_used(int threads) { threads_used_ = threads; }
 
   void Finish(size_t rows_out) {
     if (ctx_.profiler == nullptr) {
@@ -106,6 +138,7 @@ class TraceScope {
     trace.wall_ns = timer_.ElapsedNs();
     trace.stall_ns =
         (ctx_.storage ? ctx_.storage->total_stall_ns() : 0) - stall_before_;
+    trace.threads_used = threads_used_;
     ctx_.profiler->Record(std::move(trace));
   }
 
@@ -114,24 +147,24 @@ class TraceScope {
   std::string op_;
   size_t rows_in_;
   int64_t stall_before_;
+  int threads_used_ = 0;
   core::WallTimer timer_;
 };
 
 /// Gather: new table containing `rows` of `source` in order. Optimized
-/// mode runs typed tight loops, morsel-parallel when `threads` > 1 — each
-/// morsel fills a disjoint index range of the pre-sized output vectors, a
-/// pure scatter-by-index, so the result is byte-identical at any thread
-/// count. Debug mode goes tuple-at-a-time through the generic Value path
-/// with per-row validation (the interpreted, assertion-heavy code path of
-/// an un-optimized build).
-std::shared_ptr<Table> GatherRows(const Table& source,
-                                  const std::vector<uint32_t>& rows,
-                                  ExecMode mode, int threads = 1) {
+/// mode runs typed tight loops, morsel-parallel when the adaptive policy
+/// decides the input is big enough — each morsel fills a disjoint index
+/// range of the pre-sized output vectors, a pure scatter-by-index, so the
+/// result is byte-identical at any thread count. Debug mode goes
+/// tuple-at-a-time through the generic Value path with per-row validation
+/// (the interpreted, assertion-heavy code path of an un-optimized build).
+std::shared_ptr<Table> GatherRows(ExecContext& ctx, const Table& source,
+                                  const std::vector<uint32_t>& rows) {
   auto out = std::make_shared<Table>(source.schema());
   // The typed fast path copies raw payload vectors, which would silently
   // turn NULLs into their placeholder values; nullable sources take the
   // Value path, which preserves the null mask.
-  if (mode == ExecMode::kDebug || source.has_nulls()) {
+  if (ctx.mode == ExecMode::kDebug || source.has_nulls()) {
     out->ReserveRows(rows.size());
     for (uint32_t r : rows) {
       PERFEVAL_CHECK_LT(r, source.num_rows());
@@ -145,15 +178,12 @@ std::shared_ptr<Table> GatherRows(const Table& source,
     return out;
   }
   size_t n = rows.size();
-  size_t num_morsels = (n + kMorselRows - 1) / kMorselRows;
+  size_t morsel_rows = std::max<size_t>(1, ctx.morsel.morsel_rows);
+  size_t num_morsels = ctx.morsel.NumMorsels(n);
   auto for_each_range = [&](auto&& fill) {
-    if (threads <= 1 || num_morsels <= 1) {
-      fill(size_t{0}, n);
-      return;
-    }
-    sched::ParallelFor(threads, num_morsels, [&](size_t m) {
-      size_t begin = m * kMorselRows;
-      fill(begin, std::min(n, begin + kMorselRows));
+    ParallelMorsels(ctx, n, num_morsels, [&](size_t m) {
+      size_t begin = m * morsel_rows;
+      fill(begin, std::min(n, begin + morsel_rows));
     });
   };
   for (size_t c = 0; c < source.num_columns(); ++c) {
@@ -200,65 +230,44 @@ std::shared_ptr<Table> GatherRows(const Table& source,
   return out;
 }
 
-/// In-place vectorized application of a simple predicate to a row list.
-void ApplySimplePredicate(const Column& column, CmpOp op, double value,
-                          std::vector<uint32_t>* rows) {
-  size_t kept = 0;
-  auto apply_typed = [&](auto getter) {
-    switch (op) {
-      case CmpOp::kEq:
-        for (uint32_t r : *rows) {
-          if (getter(r) == value) (*rows)[kept++] = r;
-        }
-        break;
-      case CmpOp::kNe:
-        for (uint32_t r : *rows) {
-          if (getter(r) != value) (*rows)[kept++] = r;
-        }
-        break;
-      case CmpOp::kLt:
-        for (uint32_t r : *rows) {
-          if (getter(r) < value) (*rows)[kept++] = r;
-        }
-        break;
-      case CmpOp::kLe:
-        for (uint32_t r : *rows) {
-          if (getter(r) <= value) (*rows)[kept++] = r;
-        }
-        break;
-      case CmpOp::kGt:
-        for (uint32_t r : *rows) {
-          if (getter(r) > value) (*rows)[kept++] = r;
-        }
-        break;
-      case CmpOp::kGe:
-        for (uint32_t r : *rows) {
-          if (getter(r) >= value) (*rows)[kept++] = r;
-        }
-        break;
-    }
-  };
-  if (column.type() == DataType::kDouble) {
-    const std::vector<double>& data = column.doubles();
-    apply_typed([&data](uint32_t r) { return data[r]; });
-  } else {
-    const std::vector<int64_t>& data = column.ints();
-    apply_typed(
-        [&data](uint32_t r) { return static_cast<double>(data[r]); });
+/// One predicate compiled once per operator: the flattened conjuncts plus
+/// their `column <op> constant` forms where available. Compiling once —
+/// instead of re-walking the expression tree in every morsel — keeps the
+/// per-morsel work purely computational.
+struct CompiledPredicate {
+  ExprPtr predicate;                    ///< whole tree (row paths).
+  std::vector<ExprPtr> conjuncts;
+  std::vector<SimplePredicate> simple;  ///< parallel to `conjuncts`.
+  std::vector<uint8_t> is_simple;       ///< parallel to `conjuncts`.
+};
+
+CompiledPredicate CompilePredicate(const ExprPtr& predicate) {
+  CompiledPredicate out;
+  out.predicate = predicate;
+  predicate->CollectConjuncts(&out.conjuncts, predicate);
+  out.simple.resize(out.conjuncts.size());
+  out.is_simple.assign(out.conjuncts.size(), 0);
+  for (size_t i = 0; i < out.conjuncts.size(); ++i) {
+    out.is_simple[i] =
+        out.conjuncts[i]->AsSimplePredicate(&out.simple[i]) ? 1 : 0;
   }
-  rows->resize(kept);
+  return out;
 }
 
-/// Applies a predicate to `rows` in place. Optimized mode splits the
-/// predicate into conjuncts and runs vectorized kernels for the simple
-/// ones; debug mode interprets the whole predicate tuple-at-a-time.
-void ApplyPredicate(ExecContext& ctx, const Table& table,
-                    const ExprPtr& predicate, std::vector<uint32_t>* rows) {
+/// Applies a compiled predicate to `rows` in place. Optimized mode runs
+/// the branch-free selection kernels for simple conjuncts and a row loop
+/// for the rest; debug mode interprets the whole predicate
+/// tuple-at-a-time. Nullable tables also take the row path — the kernels
+/// read raw payload vectors and would compare NULL placeholders as real
+/// values, while EvalBool collapses UNKNOWN to false (NULL never matches).
+void ApplyPredicate(const ExecContext& ctx, const Table& table,
+                    const CompiledPredicate& pred,
+                    std::vector<uint32_t>* rows) {
   if (ctx.mode == ExecMode::kDebug) {
     size_t kept = 0;
     for (uint32_t r : *rows) {
       PERFEVAL_CHECK_LT(r, table.num_rows());  // per-tuple validation.
-      if (predicate->EvalBool(table, r)) {
+      if (pred.predicate->EvalBool(table, r)) {
         (*rows)[kept++] = r;
       }
     }
@@ -266,29 +275,23 @@ void ApplyPredicate(ExecContext& ctx, const Table& table,
     return;
   }
   if (table.has_nulls()) {
-    // The vectorized kernels read raw payload vectors and would compare
-    // NULL placeholders as real values; nullable input takes the row path
-    // (EvalBool collapses UNKNOWN to false: NULL never matches).
     size_t kept = 0;
     for (uint32_t r : *rows) {
-      if (predicate->EvalBool(table, r)) {
+      if (pred.predicate->EvalBool(table, r)) {
         (*rows)[kept++] = r;
       }
     }
     rows->resize(kept);
     return;
   }
-  std::vector<ExprPtr> conjuncts;
-  predicate->CollectConjuncts(&conjuncts, predicate);
-  for (const ExprPtr& conjunct : conjuncts) {
-    SimplePredicate simple;
-    if (conjunct->AsSimplePredicate(&simple)) {
-      ApplySimplePredicate(table.column(simple.column), simple.op,
-                           simple.value, rows);
+  for (size_t i = 0; i < pred.conjuncts.size(); ++i) {
+    if (pred.is_simple[i] != 0) {
+      const SimplePredicate& sp = pred.simple[i];
+      RefineSelection(table.column(sp.column), sp.op, sp.value, rows);
     } else {
       size_t kept = 0;
       for (uint32_t r : *rows) {
-        if (conjunct->EvalBool(table, r)) {
+        if (pred.conjuncts[i]->EvalBool(table, r)) {
           (*rows)[kept++] = r;
         }
       }
@@ -298,6 +301,42 @@ void ApplyPredicate(ExecContext& ctx, const Table& table,
       break;
     }
   }
+}
+
+/// Evaluates a compiled predicate over the dense row range [begin, end),
+/// appending survivors to `*out` in row order. Equivalent to materializing
+/// the identity range and calling ApplyPredicate, but the optimized
+/// null-free path feeds the range straight through the first simple
+/// conjunct's branch-free kernel, so the identity vector never exists.
+void FilterRowRange(const ExecContext& ctx, const Table& table,
+                    const CompiledPredicate& pred, size_t begin, size_t end,
+                    std::vector<uint32_t>* out) {
+  if (ctx.mode == ExecMode::kOptimized && !table.has_nulls() &&
+      !pred.conjuncts.empty() && pred.is_simple[0] != 0) {
+    const SimplePredicate& first = pred.simple[0];
+    FilterColumnRange(table.column(first.column), first.op, first.value,
+                      begin, end, out);
+    for (size_t i = 1; i < pred.conjuncts.size() && !out->empty(); ++i) {
+      if (pred.is_simple[i] != 0) {
+        const SimplePredicate& sp = pred.simple[i];
+        RefineSelection(table.column(sp.column), sp.op, sp.value, out);
+      } else {
+        size_t kept = 0;
+        for (uint32_t r : *out) {
+          if (pred.conjuncts[i]->EvalBool(table, r)) {
+            (*out)[kept++] = r;
+          }
+        }
+        out->resize(kept);
+      }
+    }
+    return;
+  }
+  out->reserve(out->size() + (end - begin));
+  for (size_t r = begin; r < end; ++r) {
+    out->push_back(static_cast<uint32_t>(r));
+  }
+  ApplyPredicate(ctx, table, pred, out);
 }
 
 /// Touches the buffer-pool pages of the named columns (all when empty).
@@ -370,24 +409,27 @@ class FilterScanNode : public PlanNode {
                      table->num_rows());
 
     // Zone-map page skipping: a chunk participates only when all simple
-    // conjuncts might match its [min, max].
-    std::vector<ExprPtr> conjuncts;
-    predicate_->CollectConjuncts(&conjuncts, predicate_);
+    // conjuncts might match its [min, max]. The compiled form also feeds
+    // the per-morsel filter kernels below.
+    CompiledPredicate pred = CompilePredicate(predicate_);
     std::vector<SimplePredicate> simple;
-    for (const ExprPtr& conjunct : conjuncts) {
-      SimplePredicate sp;
-      if (conjunct->AsSimplePredicate(&sp)) {
-        simple.push_back(sp);
+    for (size_t i = 0; i < pred.conjuncts.size(); ++i) {
+      if (pred.is_simple[i] != 0) {
+        simple.push_back(pred.simple[i]);
       }
     }
 
     size_t num_rows = table->num_rows();
-    // Morsels are page-aligned when storage is attached (morsel == chunk,
-    // so zone-map pruning and I/O accounting line up) and fixed-size
-    // otherwise. Boundaries never depend on ctx.threads.
-    size_t morsel_rows = ctx.storage != nullptr
-                             ? ctx.storage->rows_per_page()
-                             : kMorselRows;
+    // Two granularities, decoupled on purpose: pruning and I/O accounting
+    // stay page-granular (zone maps and the buffer pool live per page),
+    // while compute morsels follow the cache-calibrated policy — adjacent
+    // surviving pages are coalesced up to policy.morsel_rows so the old
+    // one-page-per-morsel dispatch overhead is gone. Neither granularity
+    // depends on ctx.threads.
+    size_t page_rows = ctx.storage != nullptr ? ctx.storage->rows_per_page()
+                                              : ctx.morsel.morsel_rows;
+    page_rows = std::max<size_t>(page_rows, 1);
+    size_t compute_rows = std::max<size_t>(ctx.morsel.morsel_rows, 1);
     bool zone_maps = ctx.use_zone_maps && ctx.storage != nullptr &&
                      !simple.empty() && num_rows > 0;
     uint32_t table_id =
@@ -398,17 +440,27 @@ class FilterScanNode : public PlanNode {
       size_t end = 0;
     };
     std::vector<Morsel> morsels;
-    morsels.reserve(num_rows / std::max<size_t>(morsel_rows, 1) + 1);
+    morsels.reserve(num_rows / compute_rows + 1);
+    // Appends [begin, end) to the compute-morsel list, gluing it onto the
+    // previous morsel when adjacent and still under the policy size.
+    auto add_range = [&](size_t begin, size_t end) {
+      if (!morsels.empty() && morsels.back().end == begin &&
+          end - morsels.back().begin <= compute_rows) {
+        morsels.back().end = end;
+        return;
+      }
+      morsels.push_back({begin, end});
+    };
     if (ctx.check && zone_maps) {
       // Checked mode: every zone map consulted for pruning must agree with
       // the actual page contents — a stale map silently drops live rows.
-      size_t num_chunks = (num_rows + morsel_rows - 1) / morsel_rows;
+      size_t num_chunks = (num_rows + page_rows - 1) / page_rows;
       for (const SimplePredicate& sp : simple) {
         const Column& column = table->column(sp.column);
         for (uint32_t chunk = 0; chunk < num_chunks; ++chunk) {
-          size_t begin = static_cast<size_t>(chunk) * morsel_rows;
+          size_t begin = static_cast<size_t>(chunk) * page_rows;
           CheckZoneMapConsistent(
-              column, begin, std::min(num_rows, begin + morsel_rows),
+              column, begin, std::min(num_rows, begin + page_rows),
               ctx.storage->GetZoneMap(
                   table_id, static_cast<uint32_t>(sp.column), chunk),
               "FilterScan " + table_name_ + "." +
@@ -423,7 +475,7 @@ class FilterScanNode : public PlanNode {
         column_ids.push_back(
             static_cast<uint32_t>(table->schema().MustIndexOf(name)));
       }
-      size_t num_chunks = (num_rows + morsel_rows - 1) / morsel_rows;
+      size_t num_chunks = (num_rows + page_rows - 1) / page_rows;
       for (uint32_t chunk = 0; chunk < num_chunks; ++chunk) {
         bool pruned = false;
         for (const SimplePredicate& sp : simple) {
@@ -437,18 +489,18 @@ class FilterScanNode : public PlanNode {
         if (pruned) {
           continue;  // page never read, rows never scanned.
         }
-        size_t begin = static_cast<size_t>(chunk) * morsel_rows;
-        size_t end = std::min(num_rows, begin + morsel_rows);
+        size_t begin = static_cast<size_t>(chunk) * page_rows;
+        size_t end = std::min(num_rows, begin + page_rows);
         // I/O accounting happens here, on the coordinating thread, one
-        // morsel at a time in chunk order — never from the workers — so
+        // page at a time in chunk order — never from the workers — so
         // hits/misses/bytes/stall are identical at any thread count.
         ctx.storage->TouchMorsel(table_id, column_ids, begin, end);
-        morsels.push_back({begin, end});
+        add_range(begin, end);
       }
     } else {
       TouchColumns(ctx, table_name_, *table, columns_);
-      for (size_t begin = 0; begin < num_rows; begin += morsel_rows) {
-        morsels.push_back({begin, std::min(num_rows, begin + morsel_rows)});
+      for (size_t begin = 0; begin < num_rows; begin += compute_rows) {
+        morsels.push_back({begin, std::min(num_rows, begin + compute_rows)});
       }
     }
 
@@ -456,15 +508,11 @@ class FilterScanNode : public PlanNode {
     // vector; workers claim morsels from a shared counter, and the partial
     // selections are concatenated in chunk order afterwards.
     std::vector<std::vector<uint32_t>> partial(morsels.size());
-    ParallelMorsels(
-        ctx.threads, morsels.size(), [&](size_t m) {
-          std::vector<uint32_t>& rows = partial[m];
-          rows.reserve(morsels[m].end - morsels[m].begin);
-          for (size_t r = morsels[m].begin; r < morsels[m].end; ++r) {
-            rows.push_back(static_cast<uint32_t>(r));
-          }
-          ApplyPredicate(ctx, *table, predicate_, &rows);
-        });
+    int used = ParallelMorsels(ctx, num_rows, morsels.size(), [&](size_t m) {
+      FilterRowRange(ctx, *table, pred, morsels[m].begin, morsels[m].end,
+                     &partial[m]);
+    });
+    trace.set_threads_used(used);
 
     auto candidates = std::make_shared<std::vector<uint32_t>>();
     size_t total = 0;
@@ -514,22 +562,27 @@ class FilterNode : public PlanNode {
     TraceScope trace(ctx, "Filter", input.num_rows());
     std::vector<uint32_t> ids = input.RowIds();
     auto rows = std::make_shared<std::vector<uint32_t>>();
-    size_t num_morsels = (ids.size() + kMorselRows - 1) / kMorselRows;
-    if (ctx.threads <= 1 || num_morsels <= 1) {
+    CompiledPredicate pred = CompilePredicate(predicate_);
+    size_t morsel_rows = std::max<size_t>(ctx.morsel.morsel_rows, 1);
+    size_t num_morsels = ctx.morsel.NumMorsels(ids.size());
+    if (ctx.morsel.EffectiveThreads(ids.size(), ctx.threads) <= 1 ||
+        num_morsels <= 1) {
       *rows = std::move(ids);
-      ApplyPredicate(ctx, *input.table, predicate_, rows.get());
+      ApplyPredicate(ctx, *input.table, pred, rows.get());
+      trace.set_threads_used(1);
     } else {
-      // Fixed-size morsels over the input selection; per-morsel survivor
+      // Policy-sized morsels over the input selection; per-morsel survivor
       // vectors concatenated in morsel order reproduce the serial output
       // exactly (the predicate is per-row, so no cross-morsel state).
       std::vector<std::vector<uint32_t>> partial(num_morsels);
-      ParallelMorsels(ctx.threads, num_morsels, [&](size_t m) {
-        size_t begin = m * kMorselRows;
-        size_t end = std::min(ids.size(), begin + kMorselRows);
+      int used = ParallelMorsels(ctx, ids.size(), num_morsels, [&](size_t m) {
+        size_t begin = m * morsel_rows;
+        size_t end = std::min(ids.size(), begin + morsel_rows);
         partial[m].assign(ids.begin() + static_cast<long>(begin),
                           ids.begin() + static_cast<long>(end));
-        ApplyPredicate(ctx, *input.table, predicate_, &partial[m]);
+        ApplyPredicate(ctx, *input.table, pred, &partial[m]);
       });
+      trace.set_threads_used(used);
       size_t total = 0;
       for (const std::vector<uint32_t>& survivors : partial) {
         total += survivors.size();
@@ -702,7 +755,8 @@ std::vector<int64_t> ExtractKeys(ExecContext& ctx, const Relation& rel,
     cols.push_back(&column.ints());
   }
   size_t n = rows.size();
-  size_t num_morsels = (n + kMorselRows - 1) / kMorselRows;
+  size_t morsel_rows = std::max<size_t>(ctx.morsel.morsel_rows, 1);
+  size_t num_morsels = ctx.morsel.NumMorsels(n);
   auto fill = [&](size_t begin, size_t end) {
     if (names.size() == 1) {
       const std::vector<int64_t>& data = *cols[0];
@@ -722,14 +776,10 @@ std::vector<int64_t> ExtractKeys(ExecContext& ctx, const Relation& rel,
       keys[i] = (k1 << 32) | k2;
     }
   };
-  if (ctx.threads <= 1 || num_morsels <= 1) {
-    fill(0, n);
-  } else {
-    sched::ParallelFor(ctx.threads, num_morsels, [&](size_t m) {
-      size_t begin = m * kMorselRows;
-      fill(begin, std::min(n, begin + kMorselRows));
-    });
-  }
+  ParallelMorsels(ctx, n, num_morsels, [&](size_t m) {
+    size_t begin = m * morsel_rows;
+    fill(begin, std::min(n, begin + morsel_rows));
+  });
   return keys;
 }
 
@@ -769,9 +819,15 @@ class HashJoinNode : public PlanNode {
     std::vector<int64_t> build_keys =
         ExtractKeys(ctx, right, right_keys_, build_rows);
 
+    // The join kernels have their own internal parallelism; the adaptive
+    // policy gates it on the combined input size the same way the morsel
+    // dispatch does, so small joins never pay the fan-out overhead.
+    int join_threads = ctx.morsel.EffectiveThreads(
+        probe_rows.size() + build_rows.size(), ctx.threads);
+    trace.set_threads_used(join_threads);
     JoinMatches matches =
         JoinMatch(ctx.join_algo, build_keys, build_rows, probe_keys,
-                  probe_rows, ctx.radix_bits, ctx.threads);
+                  probe_rows, ctx.radix_bits, join_threads);
     const std::vector<uint32_t>& out_left = matches.probe_rows;
     const std::vector<uint32_t>& out_right = matches.build_rows;
     if (ctx.check) {
@@ -795,10 +851,9 @@ class HashJoinNode : public PlanNode {
     }
     auto out_table = std::make_shared<Table>(Schema(std::move(specs)));
     out_table->ReserveRows(out_left.size());
-    std::shared_ptr<Table> left_part =
-        GatherRows(*left.table, out_left, ctx.mode, ctx.threads);
+    std::shared_ptr<Table> left_part = GatherRows(ctx, *left.table, out_left);
     std::shared_ptr<Table> right_part =
-        GatherRows(*right.table, out_right, ctx.mode, ctx.threads);
+        GatherRows(ctx, *right.table, out_right);
     for (size_t c = 0; c < left_part->num_columns(); ++c) {
       out_table->column(c) = left_part->column(c);
     }
@@ -956,10 +1011,9 @@ class MergeJoinNode : public PlanNode {
       specs.push_back(spec);
     }
     auto out_table = std::make_shared<Table>(Schema(std::move(specs)));
-    std::shared_ptr<Table> left_part =
-        GatherRows(*left.table, out_left, ctx.mode, ctx.threads);
+    std::shared_ptr<Table> left_part = GatherRows(ctx, *left.table, out_left);
     std::shared_ptr<Table> right_part =
-        GatherRows(*right.table, out_right, ctx.mode, ctx.threads);
+        GatherRows(ctx, *right.table, out_right);
     for (size_t c = 0; c < left_part->num_columns(); ++c) {
       out_table->column(c) = left_part->column(c);
     }
@@ -1072,6 +1126,37 @@ struct MorselAggState {
   std::vector<std::vector<AggState>> states;  ///< [aggregate][local group].
 };
 
+/// Appends row `r`'s composite group key (one '\x1f'-terminated field per
+/// group column) to `*key`. Byte-identical to concatenating
+/// `GetValue(r).ToString()` per column — Value renders int64 as plain
+/// decimal and strings verbatim — but the common null-free string/int64
+/// fields skip the Value round trip. Shared by the morsel accumulator and
+/// the checked-mode recompute so both sides always agree on group
+/// identity.
+void AppendGroupKey(const Table& table, const std::vector<size_t>& group_cols,
+                    uint32_t r, std::string* key) {
+  for (size_t c : group_cols) {
+    const Column& column = table.column(c);
+    if (!column.IsNull(r)) {
+      if (column.type() == DataType::kString) {
+        *key += column.strings()[r];
+        *key += '\x1f';
+        continue;
+      }
+      if (column.type() == DataType::kInt64) {
+        char buf[24];
+        auto [end, ec] =
+            std::to_chars(buf, buf + sizeof(buf), column.ints()[r]);
+        key->append(buf, end);
+        *key += '\x1f';
+        continue;
+      }
+    }
+    *key += column.GetValue(r).ToString();
+    *key += '\x1f';
+  }
+}
+
 class AggregateNode : public PlanNode {
  public:
   AggregateNode(PlanPtr child, std::vector<std::string> group_by,
@@ -1109,19 +1194,31 @@ class AggregateNode : public PlanNode {
                        ? 1
                        : 0;
     }
+    // Aggregates over a bare column reference can read the raw payload
+    // vector in their tight loops; -1 means "go through the expression".
+    std::vector<int> agg_col(aggregates_.size(), -1);
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      size_t idx = 0;
+      if (aggregates_[a].expr != nullptr &&
+          aggregates_[a].expr->AsColumnIndex(&idx)) {
+        agg_col[a] = static_cast<int>(idx);
+      }
+    }
 
     // Accumulate per-morsel partial states. Every mode and thread count
     // goes through the same morsel structure and the same in-order merge,
     // so floating-point sums (non-associative) come out bit-identical at
     // any `threads` setting and across kDebug/kOptimized.
-    size_t num_morsels = (rows.size() + kMorselRows - 1) / kMorselRows;
+    size_t morsel_rows = std::max<size_t>(ctx.morsel.morsel_rows, 1);
+    size_t num_morsels = ctx.morsel.NumMorsels(rows.size());
     std::vector<MorselAggState> partials(num_morsels);
-    ParallelMorsels(ctx.threads, num_morsels, [&](size_t m) {
-      size_t begin = m * kMorselRows;
-      size_t end = std::min(rows.size(), begin + kMorselRows);
+    int used = ParallelMorsels(ctx, rows.size(), num_morsels, [&](size_t m) {
+      size_t begin = m * morsel_rows;
+      size_t end = std::min(rows.size(), begin + morsel_rows);
       AccumulateMorsel(ctx, table, group_cols, int_fast_path, int_agg,
-                       &rows[begin], end - begin, &partials[m]);
+                       agg_col, &rows[begin], end - begin, &partials[m]);
     });
+    trace.set_threads_used(used);
 
     // Merge partials in morsel order. Groups are created in global
     // first-occurrence order — the order the serial scan would discover
@@ -1183,10 +1280,7 @@ class AggregateNode : public PlanNode {
         std::string key;
         for (uint32_t r : rows) {
           key.clear();
-          for (size_t c : group_cols) {
-            key += table.column(c).GetValue(r).ToString();
-            key += '\x1f';
-          }
+          AppendGroupKey(table, group_cols, r, &key);
           if (seen.try_emplace(key, seen.size()).second) {
             expected.push_back(r);
           }
@@ -1313,14 +1407,27 @@ class AggregateNode : public PlanNode {
   /// group ids in first-occurrence order, then one accumulator per
   /// (aggregate, local group). Runs on a worker thread; reads only shared
   /// immutable data and writes only `*out`.
+  ///
+  /// A global aggregate (no group columns) skips the hash maps entirely —
+  /// one local group with the empty key — which unlocks the tight
+  /// single-accumulator loops below. Every fast path is written to
+  /// reproduce the generic path's accumulation order and floating-point
+  /// semantics exactly (AddNumeric's running `sum += v`, its min/max
+  /// comparison order) so kDebug and kOptimized still agree bit-for-bit.
   void AccumulateMorsel(const ExecContext& ctx, const Table& table,
                         const std::vector<size_t>& group_cols,
                         bool int_fast_path,
                         const std::vector<uint8_t>& int_agg,
+                        const std::vector<int>& agg_col,
                         const uint32_t* rows, size_t n,
                         MorselAggState* out) const {
-    std::vector<size_t> row_group(n);
-    if (int_fast_path) {
+    bool single_group = group_cols.empty();
+    std::vector<size_t> row_group;
+    if (single_group) {
+      out->str_keys.emplace_back();  // one global group, empty key.
+      out->first_rows.push_back(rows[0]);
+    } else if (int_fast_path) {
+      row_group.resize(n);
       std::unordered_map<int64_t, size_t> group_index;
       group_index.reserve(n / 4 + 16);
       const std::vector<int64_t>& keys = table.column(group_cols[0]).ints();
@@ -1335,15 +1442,13 @@ class AggregateNode : public PlanNode {
         row_group[i] = it->second;
       }
     } else {
+      row_group.resize(n);
       std::unordered_map<std::string, size_t> group_index;
       std::string key;
       for (size_t i = 0; i < n; ++i) {
         uint32_t r = rows[i];
         key.clear();
-        for (size_t c : group_cols) {
-          key += table.column(c).GetValue(r).ToString();
-          key += '\x1f';
-        }
+        AppendGroupKey(table, group_cols, r, &key);
         auto [it, inserted] =
             group_index.try_emplace(key, group_index.size());
         if (inserted) {
@@ -1358,21 +1463,38 @@ class AggregateNode : public PlanNode {
                        std::vector<AggState>(num_groups));
     std::vector<uint32_t> batch_rows;
     bool nullable = table.has_nulls();
+    bool vectorized = ctx.mode == ExecMode::kOptimized && !nullable;
+    auto gid = [&](size_t i) { return single_group ? size_t{0} : row_group[i]; };
     for (size_t a = 0; a < aggregates_.size(); ++a) {
       const AggSpec& spec = aggregates_[a];
       std::vector<AggState>& agg_states = out->states[a];
+      // The aggregate's input as a raw payload vector, when it is a bare
+      // column reference of the right type; nullptr takes the expression
+      // path.
+      const std::vector<int64_t>* int_data = nullptr;
+      const std::vector<double>* dbl_data = nullptr;
+      if (vectorized && agg_col[a] >= 0) {
+        const Column& column = table.column(static_cast<size_t>(agg_col[a]));
+        if (column.type() == DataType::kInt64) {
+          int_data = &column.ints();
+        } else if (column.type() == DataType::kDouble) {
+          dbl_data = &column.doubles();
+        }
+      }
       if (spec.op == AggOp::kCount) {
         if (spec.expr != nullptr && nullable) {
           // COUNT(expr) counts rows where expr is non-NULL. The fast
           // unconditional count below is identical on null-free tables.
           for (size_t i = 0; i < n; ++i) {
             if (!spec.expr->EvalRow(table, rows[i]).is_null()) {
-              ++agg_states[row_group[i]].count;
+              ++agg_states[gid(i)].count;
             }
           }
+        } else if (single_group) {
+          agg_states[0].count += static_cast<int64_t>(n);
         } else {
           for (size_t i = 0; i < n; ++i) {
-            ++agg_states[row_group[i]].count;
+            ++agg_states[gid(i)].count;
           }
         }
       } else if (spec.op == AggOp::kCountDistinct) {
@@ -1381,26 +1503,112 @@ class AggregateNode : public PlanNode {
           if (v.is_null()) {
             continue;  // NULL contributes no distinct value.
           }
-          agg_states[row_group[i]].distinct[v.ToString()] = true;
+          agg_states[gid(i)].distinct[v.ToString()] = true;
         }
       } else if (int_agg[a] != 0) {
-        // Exact int64 accumulation with overflow checking; EvalRow keeps
-        // the arithmetic checked in both execution modes.
-        for (size_t i = 0; i < n; ++i) {
-          Value v = spec.expr->EvalRow(table, rows[i]);
-          if (v.is_null()) {
-            continue;  // SQL aggregates skip NULL inputs.
+        if (single_group && int_data != nullptr && n > 0) {
+          // Tight single-accumulator loop with the overflow check hoisted
+          // out: a first pass finds the morsel's min/max, and when
+          // n * max|v| provably fits in int64 the sum cannot overflow at
+          // any prefix, so the hot loop needs no per-row check. Otherwise
+          // fall back to per-row CheckedAdd — same error text, and same
+          // first-overflowing-prefix behaviour as the generic path.
+          const std::vector<int64_t>& data = *int_data;
+          int64_t mn = data[rows[0]];
+          int64_t mx = mn;
+          for (size_t i = 1; i < n; ++i) {
+            int64_t v = data[rows[i]];
+            mn = v < mn ? v : mn;
+            mx = v > mx ? v : mx;
           }
-          agg_states[row_group[i]].AddInt(v.AsInt64());
+          auto abs_u64 = [](int64_t v) {
+            return v < 0 ? uint64_t{0} - static_cast<uint64_t>(v)
+                         : static_cast<uint64_t>(v);
+          };
+          uint64_t max_abs = std::max(abs_u64(mn), abs_u64(mx));
+          AggState& st = agg_states[0];
+          if (max_abs == 0 ||
+              static_cast<uint64_t>(n) <=
+                  static_cast<uint64_t>(INT64_MAX) / max_abs) {
+            int64_t sum = 0;
+            for (size_t i = 0; i < n; ++i) {
+              sum += data[rows[i]];
+            }
+            st.isum = sum;
+            st.imin = mn;
+            st.imax = mx;
+            st.count = static_cast<int64_t>(n);
+          } else {
+            for (size_t i = 0; i < n; ++i) {
+              st.AddInt(data[rows[i]]);
+            }
+          }
+        } else {
+          // Exact int64 accumulation with overflow checking; EvalRow keeps
+          // the arithmetic inside the expression checked in both modes.
+          for (size_t i = 0; i < n; ++i) {
+            Value v = spec.expr->EvalRow(table, rows[i]);
+            if (v.is_null()) {
+              continue;  // SQL aggregates skip NULL inputs.
+            }
+            agg_states[gid(i)].AddInt(v.AsInt64());
+          }
         }
-      } else if (ctx.mode == ExecMode::kOptimized && !nullable) {
-        if (batch_rows.empty() && n > 0) {
-          batch_rows.assign(rows, rows + n);
-        }
-        std::vector<double> values;
-        spec.expr->EvalNumericBatch(table, batch_rows, &values);
-        for (size_t i = 0; i < n; ++i) {
-          agg_states[row_group[i]].AddNumeric(values[i]);
+      } else if (vectorized) {
+        if (single_group && n > 0) {
+          // Single-accumulator double loop: read the raw column when the
+          // input is a bare double column, otherwise evaluate the
+          // expression batch once; then accumulate with AddNumeric's exact
+          // order (running sum, then min/max compares) in scalar locals.
+          std::vector<double> values;
+          const double* v = nullptr;
+          if (dbl_data != nullptr) {
+            // Gather through the selection without materializing.
+            double sum = 0.0;
+            const std::vector<double>& data = *dbl_data;
+            double mn = data[rows[0]];
+            double mx = mn;
+            for (size_t i = 0; i < n; ++i) {
+              double x = data[rows[i]];
+              mn = x < mn ? x : mn;
+              mx = x > mx ? x : mx;
+              sum += x;
+            }
+            AggState& st = agg_states[0];
+            st.sum = sum;
+            st.min = mn;
+            st.max = mx;
+            st.count = static_cast<int64_t>(n);
+            continue;
+          }
+          if (batch_rows.empty()) {
+            batch_rows.assign(rows, rows + n);
+          }
+          spec.expr->EvalNumericBatch(table, batch_rows, &values);
+          v = values.data();
+          double sum = 0.0;
+          double mn = v[0];
+          double mx = v[0];
+          for (size_t i = 0; i < n; ++i) {
+            double x = v[i];
+            mn = x < mn ? x : mn;
+            mx = x > mx ? x : mx;
+            sum += x;
+          }
+          AggState& st = agg_states[0];
+          st.sum = sum;
+          st.min = mn;
+          st.max = mx;
+          st.count = static_cast<int64_t>(n);
+        } else {
+          if (batch_rows.empty() && n > 0) {
+            batch_rows.assign(rows, rows + n);
+          }
+          std::vector<double> values;
+          spec.expr->EvalNumericBatch(table, batch_rows, &values);
+          for (size_t i = 0; i < n; ++i) {
+            agg_states[gid(i)].AddNumeric(values[i]);
+          }
         }
       } else {
         for (size_t i = 0; i < n; ++i) {
@@ -1408,7 +1616,7 @@ class AggregateNode : public PlanNode {
           if (v.is_null()) {
             continue;  // SQL aggregates skip NULL inputs.
           }
-          agg_states[row_group[i]].AddNumeric(v.AsDouble());
+          agg_states[gid(i)].AddNumeric(v.AsDouble());
         }
       }
     }
@@ -1435,7 +1643,12 @@ class SortNode : public PlanNode {
     if (ctx.check) {
       original = rows;
     }
-    StableSortRows(comparator, ctx.threads, &rows);
+    // The parallel merge sort in db/sort.cc produces the same permutation
+    // at any thread count; the adaptive policy just decides whether the
+    // fan-out is worth it for this input size.
+    int sort_threads = ctx.morsel.EffectiveThreads(rows.size(), ctx.threads);
+    trace.set_threads_used(sort_threads);
+    StableSortRows(comparator, sort_threads, &rows);
     if (ctx.check) {
       CheckPermutation(original, rows, "Sort");
       for (size_t i = 1; i < rows.size(); ++i) {
@@ -1447,7 +1660,7 @@ class SortNode : public PlanNode {
     }
 
     Relation out;
-    out.table = GatherRows(table, rows, ctx.mode, ctx.threads);
+    out.table = GatherRows(ctx, table, rows);
     trace.Finish(out.num_rows());
     return out;
   }
@@ -1491,7 +1704,7 @@ class LimitNode : public PlanNode {
       rows.resize(n_);
     }
     Relation out;
-    out.table = GatherRows(*input.table, rows, ctx.mode);
+    out.table = GatherRows(ctx, *input.table, rows);
     trace.Finish(out.num_rows());
     return out;
   }
@@ -1551,7 +1764,7 @@ class TopNNode : public PlanNode {
     }
 
     Relation out;
-    out.table = GatherRows(table, rows, ctx.mode, ctx.threads);
+    out.table = GatherRows(ctx, table, rows);
     trace.Finish(out.num_rows());
     return out;
   }

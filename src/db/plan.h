@@ -7,6 +7,7 @@
 
 #include "db/expr.h"
 #include "db/join.h"
+#include "db/morsel.h"
 #include "db/profile.h"
 #include "db/storage.h"
 #include "db/table.h"
@@ -28,6 +29,19 @@ enum class ExecMode {
 
 const char* ExecModeName(ExecMode mode);
 
+/// Accumulated over every parallel region of one query execution: the
+/// measured wall time spent inside the regions and, per region, the
+/// longest per-worker CPU busy time (the region's critical path). On a
+/// host with enough idle cores wall ≈ critical path; on an oversubscribed
+/// host (the workers time-slice one core) the pair is what lets a bench
+/// report the modeled parallel time honestly instead of pretending the
+/// measured wall clock shows scaling. See QueryResult::ModeledServerNs().
+struct ParallelSim {
+  int64_t region_wall_ns = 0;      ///< measured wall time inside regions.
+  int64_t region_critical_ns = 0;  ///< sum over regions of max worker busy.
+  int64_t regions = 0;             ///< parallel regions entered.
+};
+
 /// Per-execution context handed down the plan tree.
 struct ExecContext {
   ExecMode mode = ExecMode::kOptimized;
@@ -43,6 +57,14 @@ struct ExecContext {
   /// in morsel order, and I/O is accounted from the coordinator in chunk
   /// order.
   int threads = 1;
+  /// Morsel sizing and the adaptive go-parallel decision. Defaults match
+  /// MorselPolicy::Hardware(); tests override it to place the serial/
+  /// parallel boundary wherever they need it. Fields never depend on
+  /// `threads`, so changing `threads` can never move a morsel boundary.
+  MorselPolicy morsel;
+  /// Optional: accumulates parallel-region wall/critical-path times for
+  /// the whole execution (filled by the morsel dispatch in plan.cc).
+  ParallelSim* parallel_sim = nullptr;
   /// Physical algorithm for equi-join nodes (HashJoin / HashJoin2). For
   /// each algorithm the join output is deterministic at any `threads`
   /// setting; different algorithms may emit matches in different (but

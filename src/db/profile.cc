@@ -23,12 +23,13 @@ int64_t Profiler::TotalStallNs() const {
 
 std::string Profiler::ToString() const {
   std::string out =
-      StrFormat("%-40s %10s %10s %12s %12s\n", "operator", "rows in",
-                "rows out", "cpu (ms)", "stall (ms)");
+      StrFormat("%-40s %10s %10s %12s %12s %4s\n", "operator", "rows in",
+                "rows out", "cpu (ms)", "stall (ms)", "thr");
   for (const OpTrace& trace : traces_) {
-    out += StrFormat("%-40s %10zu %10zu %12.3f %12.3f\n", trace.op.c_str(),
-                     trace.rows_in, trace.rows_out, trace.wall_ns / 1e6,
-                     trace.stall_ns / 1e6);
+    out += StrFormat("%-40s %10zu %10zu %12.3f %12.3f %4d\n",
+                     trace.op.c_str(), trace.rows_in, trace.rows_out,
+                     trace.wall_ns / 1e6, trace.stall_ns / 1e6,
+                     trace.threads_used);
   }
   out += StrFormat("%-40s %10s %10s %12.3f %12.3f\n", "total", "", "",
                    TotalWallNs() / 1e6, TotalStallNs() / 1e6);

@@ -15,6 +15,11 @@ struct OpTrace {
   size_t rows_out = 0;
   int64_t wall_ns = 0;   ///< measured CPU-side time in the operator.
   int64_t stall_ns = 0;  ///< simulated I/O stall charged inside it.
+  /// Workers the operator's parallel region actually used after the
+  /// adaptive go-parallel decision (1 = it ran serially; 0 = the operator
+  /// has no parallel region). Observable proof that small inputs stay
+  /// serial even when many threads were requested.
+  int threads_used = 0;
 };
 
 /// Per-operator trace of a query execution — the engine's answer to the

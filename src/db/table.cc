@@ -49,6 +49,14 @@ void Table::AppendRow(const std::vector<Value>& values) {
   ++num_rows_;
 }
 
+void Table::AppendTable(const Table& other) {
+  PERFEVAL_CHECK_EQ(columns_.size(), other.columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendColumn(other.columns_[i]);
+  }
+  num_rows_ += other.num_rows_;
+}
+
 void Table::FinishBulkLoad() {
   if (columns_.empty()) {
     num_rows_ = 0;

@@ -73,6 +73,11 @@ class Table {
   /// All columns must have equal sizes.
   void FinishBulkLoad();
 
+  /// Appends all rows of `other` (identical column count and types
+  /// required). Column-wise vector concatenation — the merge step of the
+  /// chunk-parallel data generator.
+  void AppendTable(const Table& other);
+
   void ReserveRows(size_t n);
 
   Value ValueAt(size_t row, size_t col) const {

@@ -115,10 +115,14 @@ const ExperimentSuite& PerfevalSuite() {
         "responses under design/randomized/interleaved orders",
         "build/bench/bench_sched_determinism",
         "stdout + bench_results/a6_sched_determinism.csv", "seconds");
-    add("A7", "Morsel-driven parallel query speedup, Q1/Q6 at 1-8 worker "
-        "threads (results bit-identical at every setting)",
+    add("A7", "Adaptive morsel-driven parallel query speedup as a "
+        "2-factor study: Q1/Q6 at sf {0.01, 1} x threads {1, 2, 4, 8}, "
+        "modeled-compute speedups with bootstrap CIs, results and I/O "
+        "stats bit-identical at every setting (`--smoke` for the fast "
+        "sf=0.01 pass)",
         "build/bench/bench_parallel_scan",
-        "stdout + bench_results/BENCH_parallel_scan.json", "about a minute");
+        "stdout + bench_results/BENCH_parallel_scan.json",
+        "several minutes (sf=1 data generation dominates)");
     add("A8", "Service latency under load: closed-loop capacity "
         "calibration, open-loop Poisson sweep with percentile+CI "
         "throughput-latency curves, and the closed-vs-open coordinated-"
@@ -153,12 +157,16 @@ const ExperimentSuite& PerfevalSuite() {
         "down: `--dbThreads=N` (equivalently the `dbThreads` property, the "
         "SQL shell's `\\threads N`, or `db::Database::set_threads`) turns "
         "on morsel-driven intra-query parallelism — scans, filters and "
-        "aggregations split the input into fixed-size morsels claimed by "
+        "aggregations split the input into policy-sized morsels claimed by "
         "workers from a shared counter, while the coordinator accounts "
-        "simulated I/O per morsel in chunk order. Partial results merge in "
-        "morsel order, so result relations and StorageStats are "
-        "bit-identical at any thread count, in both execution modes. A7 "
-        "measures the speedup and re-verifies the invariant on every run.");
+        "simulated I/O per page in chunk order. The go-parallel decision "
+        "is adaptive (db::MorselPolicy): inputs under the serial cutoff "
+        "run inline no matter how many threads were requested, so small "
+        "scans never pay fan-out overhead. Morsel boundaries never depend "
+        "on the thread count and partial results merge in morsel order, so "
+        "result relations and StorageStats are bit-identical at any thread "
+        "count, in both execution modes. A7 measures the speedup and "
+        "re-verifies the invariant on every run.");
     s->AddNote(
         "ThreadSanitizer",
         "The concurrency tests carry ctest labels — `sched` for the "

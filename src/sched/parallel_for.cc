@@ -1,5 +1,7 @@
 #include "sched/parallel_for.h"
 
+#include <time.h>
+
 #include <algorithm>
 #include <atomic>
 
@@ -7,24 +9,72 @@
 
 namespace perfeval {
 namespace sched {
+namespace {
+
+/// CPU time consumed by the calling thread. Worker busy times are measured
+/// with this clock so that on an oversubscribed host (more workers than
+/// cores) a worker is not charged for the time it sat descheduled.
+int64_t ThreadCpuNs() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) {
+    return 0;
+  }
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+/// The shared claim counter on its own cache line: the workers hammer it
+/// with fetch_add, and without padding it can share a line with caller
+/// stack state that the coordinator keeps reading.
+struct alignas(64) PaddedCounter {
+  std::atomic<size_t> value{0};
+};
+
+}  // namespace
 
 void ParallelFor(int threads, size_t count,
-                 const std::function<void(size_t)>& fn) {
+                 const std::function<void(size_t)>& fn,
+                 ParallelForStats* stats) {
   if (threads <= 1 || count <= 1) {
+    if (stats != nullptr) {
+      stats->workers.assign(1, ParallelForStats::WorkerStats());
+      stats->workers_spawned = 1;
+      int64_t start = ThreadCpuNs();
+      for (size_t i = 0; i < count; ++i) {
+        fn(i);
+      }
+      stats->workers[0].claimed = count;
+      stats->workers[0].busy_ns = ThreadCpuNs() - start;
+      return;
+    }
     for (size_t i = 0; i < count; ++i) {
       fn(i);
     }
     return;
   }
-  std::atomic<size_t> next{0};
+  PaddedCounter next;
   int workers =
       static_cast<int>(std::min<size_t>(static_cast<size_t>(threads), count));
+  if (stats != nullptr) {
+    stats->workers.assign(static_cast<size_t>(workers),
+                          ParallelForStats::WorkerStats());
+    stats->workers_spawned = workers;
+  }
   WorkerPool pool(workers);
   for (int w = 0; w < workers; ++w) {
-    pool.Submit([&next, count, &fn] {
-      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
-           i = next.fetch_add(1, std::memory_order_relaxed)) {
+    ParallelForStats::WorkerStats* slot =
+        stats != nullptr ? &stats->workers[static_cast<size_t>(w)] : nullptr;
+    pool.Submit([&next, count, &fn, slot] {
+      int64_t start = slot != nullptr ? ThreadCpuNs() : 0;
+      size_t claimed = 0;
+      for (size_t i = next.value.fetch_add(1, std::memory_order_relaxed);
+           i < count;
+           i = next.value.fetch_add(1, std::memory_order_relaxed)) {
         fn(i);
+        ++claimed;
+      }
+      if (slot != nullptr) {
+        slot->claimed = claimed;
+        slot->busy_ns = ThreadCpuNs() - start;
       }
     });
   }

@@ -2,10 +2,50 @@
 #define PERFEVAL_SCHED_PARALLEL_FOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace perfeval {
 namespace sched {
+
+/// Per-run accounting of one ParallelFor call, filled when the caller
+/// passes a stats object. One slot per worker, each padded to its own
+/// cache line — a worker bumping its claim counter must not invalidate a
+/// neighbour's line (the same false-sharing hazard the shared claim
+/// counter itself is padded against).
+struct ParallelForStats {
+  struct alignas(64) WorkerStats {
+    /// Indexes this worker claimed and ran.
+    size_t claimed = 0;
+    /// CPU time this worker's thread spent inside its claim loop
+    /// (CLOCK_THREAD_CPUTIME_ID). On a host with fewer cores than
+    /// workers the per-worker CPU times overlap-free sum to the real
+    /// compute; their maximum is the region's critical path on ideal
+    /// parallel hardware.
+    int64_t busy_ns = 0;
+  };
+
+  std::vector<WorkerStats> workers;
+  /// Workers actually spawned: min(threads, count), or 1 for the inline
+  /// serial path.
+  int workers_spawned = 0;
+
+  size_t TotalClaimed() const {
+    size_t total = 0;
+    for (const WorkerStats& w : workers) {
+      total += w.claimed;
+    }
+    return total;
+  }
+  int64_t MaxBusyNs() const {
+    int64_t max_ns = 0;
+    for (const WorkerStats& w : workers) {
+      max_ns = w.busy_ns > max_ns ? w.busy_ns : max_ns;
+    }
+    return max_ns;
+  }
+};
 
 /// Morsel-driven parallel loop: `threads` workers claim indexes [0, count)
 /// from a shared atomic counter and invoke `fn(index)` — the dispatch
@@ -18,8 +58,13 @@ namespace sched {
 /// Runs inline on the calling thread when `threads` <= 1 or `count` <= 1,
 /// so a threads knob can be wired through unconditionally. All indexes
 /// have completed when the call returns.
+///
+/// When `stats` is non-null it is overwritten with this run's per-worker
+/// claim counts and busy times; the slots are written only by their own
+/// worker and must not be read until the call returns.
 void ParallelFor(int threads, size_t count,
-                 const std::function<void(size_t)>& fn);
+                 const std::function<void(size_t)>& fn,
+                 ParallelForStats* stats = nullptr);
 
 }  // namespace sched
 }  // namespace perfeval

@@ -1,10 +1,12 @@
 #ifndef PERFEVAL_WORKLOAD_TPCH_GEN_H_
 #define PERFEVAL_WORKLOAD_TPCH_GEN_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 
+#include "common/random.h"
 #include "db/database.h"
 #include "db/table.h"
 
@@ -33,6 +35,14 @@ class TpchGenerator {
 
   double scale_factor() const { return scale_factor_; }
 
+  /// Worker threads for chunk-parallel generation (<= 1 runs serially).
+  /// Purely a speed knob: the large tables are generated in fixed-size
+  /// chunks, each drawing from its own (seed, table, chunk) RNG stream and
+  /// concatenated in chunk order, so the data set is bit-identical at any
+  /// thread count — (seed, scale_factor) still fully determines it.
+  int threads() const { return threads_; }
+  void set_threads(int threads) { threads_ = threads < 1 ? 1 : threads; }
+
   /// Generates one table by TPC-H name ("lineitem", "orders", ...).
   std::shared_ptr<db::Table> Generate(const std::string& table_name);
 
@@ -53,9 +63,19 @@ class TpchGenerator {
   std::shared_ptr<db::Table> GenerateOrders();
   std::shared_ptr<db::Table> GenerateLineitem();
 
+  /// Chunk-parallel table builder: splits `units` work items (rows, or
+  /// orders for lineitem) into fixed-size chunks, runs `fill(rng, begin,
+  /// end, out)` per chunk with a chunk-specific RNG, and concatenates the
+  /// per-chunk tables in chunk order. Chunk boundaries and streams depend
+  /// only on (seed, stream, units), never on threads_.
+  std::shared_ptr<db::Table> BuildChunked(
+      int64_t units, uint64_t stream, const db::Schema& schema,
+      const std::function<void(Pcg32&, int64_t, int64_t, db::Table*)>& fill);
+
   double scale_factor_;
   uint64_t seed_;
   double fk_zipf_theta_;
+  int threads_ = 1;
 
   /// Orders and lineitem must agree on order keys/dates; generating orders
   /// caches what lineitem needs.

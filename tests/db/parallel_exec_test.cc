@@ -4,12 +4,14 @@
 // in both execution modes. Runs under PERFEVAL_SANITIZE=thread via the
 // `db` ctest label.
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "db/database.h"
+#include "db/morsel.h"
 #include "sql/planner.h"
 #include "workload/driver.h"
 #include "workload/tpch_gen.h"
@@ -164,6 +166,107 @@ TEST_P(MorselBoundaryParamTest, GroupOrderIsFirstOccurrenceOrder) {
 // multiple full morsels plus a partial one; 1 is the degenerate case.
 INSTANTIATE_TEST_SUITE_P(Sizes, MorselBoundaryParamTest,
                          ::testing::Values(1, 999, 1000, 1001, 2500));
+
+TEST(MorselPolicyTest, EffectiveThreadsHonorsSerialCutoff) {
+  MorselPolicy policy;
+  policy.morsel_rows = 1000;
+  policy.serial_cutoff_rows = 10000;
+  policy.min_rows_per_worker = 2000;
+  // Below the cutoff: serial, however many threads were requested.
+  EXPECT_EQ(policy.EffectiveThreads(0, 8), 1);
+  EXPECT_EQ(policy.EffectiveThreads(9999, 8), 1);
+  // At and above the cutoff: requested threads, capped so each worker has
+  // at least min_rows_per_worker rows.
+  EXPECT_EQ(policy.EffectiveThreads(10000, 8), 5);
+  EXPECT_EQ(policy.EffectiveThreads(16000, 8), 8);
+  EXPECT_EQ(policy.EffectiveThreads(1000000, 8), 8);
+  EXPECT_EQ(policy.EffectiveThreads(1000000, 2), 2);
+  // threads <= 1 is always serial.
+  EXPECT_EQ(policy.EffectiveThreads(1000000, 1), 1);
+  EXPECT_EQ(policy.EffectiveThreads(1000000, 0), 1);
+}
+
+TEST(MorselPolicyTest, HardwarePolicyIsCacheCalibratedAndStable) {
+  const MorselPolicy& hw = MorselPolicy::Hardware();
+  EXPECT_GT(hw.morsel_rows, 0u);
+  EXPECT_GE(hw.serial_cutoff_rows, hw.morsel_rows);
+  EXPECT_GE(hw.min_rows_per_worker, hw.morsel_rows);
+  // Computed once per process: repeated calls return the same object.
+  EXPECT_EQ(&hw, &MorselPolicy::Hardware());
+}
+
+/// Largest threads_used over the query's operator traces — what the
+/// adaptive go-parallel decision actually did.
+int MaxThreadsUsed(const QueryResult& result) {
+  int used = 0;
+  for (const OpTrace& trace : result.profile.traces()) {
+    used = std::max(used, trace.threads_used);
+  }
+  return used;
+}
+
+TEST(AdaptiveParallelismTest, TinyInputStaysSerialAtHighThreadCounts) {
+  // The A7 regression case: a small scan must not fan out just because
+  // threads were requested. threads_used in the operator traces is the
+  // observable proof.
+  auto database = MakeBoundaryDb(5000);  // far below any serial cutoff.
+  database->set_threads(8);
+  Result<QueryResult> result = sql::RunQuery(
+      "SELECT k, sum(v) AS s FROM t WHERE v < 900.0 GROUP BY k", *database,
+      ExecMode::kOptimized);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(MaxThreadsUsed(*result), 1)
+      << result->profile.ToString();
+}
+
+TEST(AdaptiveParallelismTest, LargeInputGoesParallelAboveCutoff) {
+  // Shrink the policy so a test-sized table crosses the cutoff; the same
+  // query that stayed serial above must now use > 1 worker.
+  auto database = MakeBoundaryDb(5000);
+  MorselPolicy policy;
+  policy.morsel_rows = 500;
+  policy.serial_cutoff_rows = 2000;
+  policy.min_rows_per_worker = 500;
+  database->set_morsel_policy(policy);
+  database->set_threads(8);
+  Result<QueryResult> result = sql::RunQuery(
+      "SELECT k, sum(v) AS s FROM t WHERE v < 900.0 GROUP BY k", *database,
+      ExecMode::kOptimized);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(MaxThreadsUsed(*result), 1) << result->profile.ToString();
+}
+
+class AdaptiveBoundaryParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdaptiveBoundaryParamTest, BitIdenticalAroundTheSerialCutoff) {
+  // Straddle the go-parallel decision boundary: at cutoff-1 rows the scan
+  // runs serially, at cutoff it fans out. Results — including the
+  // order-sensitive floating-point SUM/AVG — must be bit-identical across
+  // thread counts on both sides of the flip.
+  const size_t kCutoff = 2000;
+  size_t rows = static_cast<size_t>(static_cast<int>(kCutoff) + GetParam());
+  auto database = MakeBoundaryDb(rows);
+  MorselPolicy policy;
+  policy.morsel_rows = 500;
+  policy.serial_cutoff_rows = kCutoff;
+  policy.min_rows_per_worker = 500;
+  database->set_morsel_policy(policy);
+  for (const std::string& sql_text :
+       {std::string("SELECT id, v FROM t WHERE v < 900.0"),
+        std::string("SELECT k, sum(v) AS s, avg(v) AS a, count(*) AS c "
+                    "FROM t GROUP BY k")}) {
+    SCOPED_TRACE(sql_text);
+    for (ExecMode mode : {ExecMode::kOptimized, ExecMode::kDebug}) {
+      SCOPED_TRACE(ExecModeName(mode));
+      std::string serial = RunSql(database.get(), sql_text, mode, 1);
+      EXPECT_EQ(serial, RunSql(database.get(), sql_text, mode, 2));
+      EXPECT_EQ(serial, RunSql(database.get(), sql_text, mode, 8));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundCutoff, AdaptiveBoundaryParamTest,
+                         ::testing::Values(-1, 0, 1));
 
 TEST(ParallelExecTest, ConcurrentStreamsMatchSequentialPermutations) {
   Database* database = SharedTpchDb();

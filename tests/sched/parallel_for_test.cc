@@ -60,6 +60,52 @@ TEST(ParallelForTest, PerIndexSlotsReduceInIndexOrder) {
   EXPECT_EQ(sum, 5559680);  // sum of squares 0..255.
 }
 
+TEST(ParallelForTest, StatsAccountForEveryClaimAtEveryThreadCount) {
+  // Regression guard for the work-distribution accounting: at every thread
+  // count the per-worker claim counts must sum to `count`, every index must
+  // run exactly once, at least one worker must have claimed work, and
+  // workers_spawned must match the min(threads, count) clamp (1 for the
+  // inline serial path).
+  constexpr size_t kCount = 512;
+  for (int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE(threads);
+    std::vector<std::atomic<int>> hits(kCount);
+    for (auto& h : hits) {
+      h.store(0);
+    }
+    ParallelForStats stats;
+    ParallelFor(threads, kCount, [&](size_t i) { hits[i].fetch_add(1); },
+                &stats);
+    for (size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+    EXPECT_EQ(stats.TotalClaimed(), kCount);
+    EXPECT_EQ(stats.workers_spawned, threads);
+    EXPECT_EQ(stats.workers.size(), static_cast<size_t>(threads));
+    size_t workers_with_claims = 0;
+    for (const ParallelForStats::WorkerStats& w : stats.workers) {
+      workers_with_claims += w.claimed > 0 ? 1 : 0;
+    }
+    EXPECT_GE(workers_with_claims, 1u);
+  }
+}
+
+TEST(ParallelForTest, StatsSerialPathReportsOneWorker) {
+  ParallelForStats stats;
+  ParallelFor(8, 1, [](size_t) {}, &stats);
+  EXPECT_EQ(stats.workers_spawned, 1);
+  EXPECT_EQ(stats.TotalClaimed(), 1u);
+}
+
+TEST(ParallelForTest, WorkerStatsSlotsArePaddedToCacheLines) {
+  // The per-worker slots are written concurrently by their own workers;
+  // two slots sharing a cache line would false-share on every claim.
+  static_assert(alignof(ParallelForStats::WorkerStats) >= 64,
+                "worker stats slots must be cache-line aligned");
+  static_assert(sizeof(ParallelForStats::WorkerStats) >= 64,
+                "worker stats slots must span a full cache line");
+}
+
 TEST(ParallelForTest, ExcessThreadsClampedToCount) {
   std::vector<std::atomic<int>> hits(3);
   for (auto& h : hits) {

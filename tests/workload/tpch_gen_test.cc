@@ -243,6 +243,47 @@ TEST(TpchGenDeathTest, RejectsNonPositiveScale) {
   EXPECT_DEATH(TpchGenerator(0.0), "CHECK failed");
 }
 
+TEST(TpchGenParallelTest, ThreadCountDoesNotChangeTheData) {
+  // set_threads is a pure speed knob: chunk streams and chunk order are
+  // fixed by (seed, scale_factor), so parallel generation must be
+  // bit-identical to serial — every table, every row, every column.
+  TpchGenerator serial(0.01, 7);
+  TpchGenerator parallel(0.01, 7);
+  parallel.set_threads(4);
+  for (const char* name : {"customer", "part", "partsupp", "orders",
+                           "lineitem"}) {
+    SCOPED_TRACE(name);
+    auto ts = serial.Generate(name);
+    auto tp = parallel.Generate(name);
+    ASSERT_EQ(ts->num_rows(), tp->num_rows());
+    ASSERT_EQ(ts->num_columns(), tp->num_columns());
+    for (size_t r = 0; r < ts->num_rows(); ++r) {
+      for (size_t c = 0; c < ts->num_columns(); ++c) {
+        ASSERT_EQ(ts->ValueAt(r, c).ToString(), tp->ValueAt(r, c).ToString())
+            << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(TpchGenParallelTest, ChunkBoundariesDoNotShowInKeys) {
+  // Orderkeys must stay dense (row i holds orderkey i+1) and lineitem must
+  // stay clustered by orderkey across chunk seams — the invariants the
+  // merge join and the dense-key joins rely on.
+  TpchGenerator gen(0.02, 11);
+  gen.set_threads(8);
+  auto orders = gen.Generate("orders");
+  const auto& okey = orders->ColumnByName("o_orderkey").ints();
+  for (size_t i = 0; i < okey.size(); ++i) {
+    ASSERT_EQ(okey[i], static_cast<int64_t>(i) + 1);
+  }
+  auto lineitem = gen.Generate("lineitem");
+  const auto& lkey = lineitem->ColumnByName("l_orderkey").ints();
+  for (size_t i = 1; i < lkey.size(); ++i) {
+    ASSERT_LE(lkey[i - 1], lkey[i]);
+  }
+}
+
 }  // namespace
 }  // namespace workload
 }  // namespace perfeval

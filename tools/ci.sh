@@ -51,6 +51,25 @@ serve() {
   ctest --test-dir build-tsan --output-on-failure -L serve -R 'QueryService|LoadGenerator|LatencyHistogram|BuildSchedule'
 }
 
+parallel() {
+  # Parallel-execution job: the morsel-parallel determinism and adaptive-
+  # dispatch suite (db_parallel_test), the ParallelFor accounting tests
+  # (sched_test), the A7 bench's --smoke fast path (adaptive dispatch +
+  # cross-thread determinism check + bootstrap CIs end to end), then the
+  # same suites under ThreadSanitizer — morsel claiming and the padded
+  # per-worker stats are the shared-memory hot spots.
+  cmake -B build -S .
+  cmake --build build "$jobs_flag" --target db_parallel_test sched_test bench_parallel_scan
+  ctest --test-dir build --output-on-failure -L db
+  ctest --test-dir build --output-on-failure -L sched
+  cmake -B build-tsan -S . -DPERFEVAL_SANITIZE=thread
+  cmake --build build-tsan "$jobs_flag" --target db_parallel_test sched_test
+  # -R keeps the TSan pass to the test cases (the bench smoke under the
+  # same label is built only in the Release tree).
+  ctest --test-dir build-tsan --output-on-failure -L db -R 'Parallel|Morsel|Adaptive'
+  ctest --test-dir build-tsan --output-on-failure -L sched -R 'ParallelFor'
+}
+
 txn() {
   # Write-path job: the WAL/checkpoint/recovery suite, the exhaustive
   # crash-point fuzz sweep and the A9 bench's fast path in Release, then
@@ -71,14 +90,15 @@ txn() {
 }
 
 case "$job" in
-  tier1)  tier1 ;;
-  asan)   asan ;;
-  oracle) oracle ;;
-  serve)  serve ;;
-  txn)    txn ;;
-  all)    tier1; oracle; serve; txn; asan ;;
+  tier1)    tier1 ;;
+  asan)     asan ;;
+  oracle)   oracle ;;
+  serve)    serve ;;
+  parallel) parallel ;;
+  txn)      txn ;;
+  all)      tier1; oracle; serve; parallel; txn; asan ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|oracle|serve|txn|all]" >&2
+    echo "usage: tools/ci.sh [tier1|asan|oracle|serve|parallel|txn|all]" >&2
     exit 2
     ;;
 esac
