@@ -3,9 +3,10 @@
 // insists on (Schroeder et al.; paper slides 22–35: report server and
 // client time separately, and report distributions, not means).
 //
-// Protocol: a closed-loop calibration run (one client per worker, no
-// think time) measures the service's capacity; the sweep then offers
-// open-loop Poisson load at fractions of that capacity and reports
+// Protocol (the sweep itself lives in load_sweep.h, shared with A10's
+// sharded front-end): a closed-loop calibration run (one client per
+// worker, no think time) measures the service's capacity; the sweep then
+// offers open-loop Poisson load at fractions of that capacity and reports
 // client-observed percentiles with bootstrap CIs. The comparison cell
 // re-runs closed- and open-loop at the *same* offered load: the closed
 // driver stops issuing while the service is busy (coordinated omission),
@@ -20,79 +21,12 @@
 
 #include "bench_util.h"
 #include "common/string_util.h"
-#include "core/metrics.h"
 #include "db/database.h"
-#include "report/gnuplot.h"
-#include "report/svg.h"
+#include "load_sweep.h"
 #include "report/table_format.h"
 #include "serve/loadgen.h"
 #include "serve/service.h"
-#include "stats/confidence.h"
 #include "workload/tpch_gen.h"
-
-namespace perfeval {
-namespace {
-
-constexpr double kConfidence = 0.95;
-const double kPercentiles[] = {50.0, 90.0, 99.0, 99.9};
-const char* kPercentileNames[] = {"p50", "p90", "p99", "p99.9"};
-
-struct PercentileRow {
-  double ms = 0.0;
-  stats::ConfidenceInterval ci;  ///< in ms.
-};
-
-struct CellResult {
-  double offered_qps = 0.0;
-  double achieved_qph = 0.0;
-  int64_t errors = 0;
-  PercentileRow percentiles[4];
-};
-
-CellResult Summarize(double offered_qps, const serve::LoadResult& run,
-                     uint64_t ci_seed, int resamples) {
-  CellResult cell;
-  cell.offered_qps = offered_qps;
-  cell.achieved_qph = run.qph;
-  cell.errors = run.errors;
-  for (int i = 0; i < 4; ++i) {
-    cell.percentiles[i].ms =
-        run.client_latency.ValueAtPercentile(kPercentiles[i]) / 1e6;
-    stats::ConfidenceInterval ci = run.client_latency.PercentileCI(
-        kPercentiles[i], kConfidence, ci_seed + static_cast<uint64_t>(i),
-        resamples);
-    ci.mean /= 1e6;
-    ci.lower /= 1e6;
-    ci.upper /= 1e6;
-    cell.percentiles[i].ci = ci;
-  }
-  return cell;
-}
-
-std::string PercentilesJson(const CellResult& cell) {
-  std::string out = "{";
-  for (int i = 0; i < 4; ++i) {
-    out += StrFormat(
-        "%s\"%s\": {\"ms\": %.4f, \"ci_lower_ms\": %.4f, "
-        "\"ci_upper_ms\": %.4f, \"confidence\": %.2f}",
-        i == 0 ? "" : ", ", kPercentileNames[i], cell.percentiles[i].ms,
-        cell.percentiles[i].ci.lower, cell.percentiles[i].ci.upper,
-        kConfidence);
-  }
-  out += "}";
-  return out;
-}
-
-std::string CellJson(const CellResult& cell) {
-  return StrFormat(
-      "{\"offered_qps\": %.2f, \"achieved_qph\": %.0f, \"errors\": %lld, "
-      "\"percentiles\": %s}",
-      cell.offered_qps, cell.achieved_qph,
-      static_cast<long long>(cell.errors), PercentilesJson(cell).c_str());
-}
-
-}  // namespace
-}  // namespace perfeval
 
 int main(int argc, char** argv) {
   using namespace perfeval;  // NOLINT(build/namespaces) bench binary.
@@ -143,86 +77,47 @@ int main(int argc, char** argv) {
   std::printf("TPC-H sf %.3g, %d service workers, %d requests per cell\n\n",
               sf, workers, requests);
 
-  // --- Calibration: closed loop, one client per worker, no think time.
-  serve::LoadOptions closed_options;
-  closed_options.mode = serve::LoadMode::kClosed;
-  closed_options.requests = requests;
-  closed_options.clients = workers;
-  closed_options.run_seed = run_seed;
-  serve::LoadGenerator closed_gen(&service, closed_options);
-  (void)closed_gen.Run();  // warm the buffer pool, unmeasured.
-  serve::LoadResult closed_run = closed_gen.Run();
-  double capacity_qps = closed_run.achieved_qps;
+  // --- Calibration + open-loop offered-load sweep (shared machinery).
+  bench::LoadSweepOptions sweep_options;
+  sweep_options.requests = requests;
+  sweep_options.capacity_clients = workers;
+  sweep_options.fractions = smoke ? std::vector<double>{0.5, 1.0}
+                                  : std::vector<double>{0.3, 0.5, 0.7,
+                                                        0.85, 1.0};
+  sweep_options.run_seed = run_seed;
+  sweep_options.resamples = resamples;
+  bench::LoadSweepResult sweep = bench::RunLoadSweep(&service, sweep_options);
   std::printf(
       "capacity (closed loop, %d clients, zero think): %.1f q/s "
       "(%.0f qph)\n\n",
-      workers, capacity_qps, closed_run.qph);
-
-  // --- Offered-load sweep, open loop.
-  const std::vector<double> fractions =
-      smoke ? std::vector<double>{0.5, 1.0}
-            : std::vector<double>{0.3, 0.5, 0.7, 0.85, 1.0};
-  report::TextTable sweep_table;
-  sweep_table.SetHeader({"offered q/s", "achieved qph", "p50 (ms)",
-                         "p90 (ms)", "p99 (ms)", "p99.9 (ms)"});
-  std::vector<CellResult> sweep;
-  core::Series p50_series{"p50", {}, {}, {}};
-  core::Series p99_series{"p99", {}, {}, {}};
-  for (size_t i = 0; i < fractions.size(); ++i) {
-    double offered = capacity_qps * fractions[i];
-    serve::LoadOptions open_options;
-    open_options.mode = serve::LoadMode::kOpen;
-    open_options.requests = requests;
-    open_options.offered_qps = offered;
-    open_options.run_seed = run_seed + 1 + static_cast<uint64_t>(i);
-    serve::LoadGenerator open_gen(&service, open_options);
-    serve::LoadResult run = open_gen.Run();
-    CellResult cell =
-        Summarize(offered, run, run_seed * 977 + static_cast<uint64_t>(i),
-                  resamples);
-    sweep.push_back(cell);
-    sweep_table.AddRow(
-        {StrFormat("%.1f", offered), StrFormat("%.0f", cell.achieved_qph),
-         StrFormat("%.2f [%.2f,%.2f]", cell.percentiles[0].ms,
-                   cell.percentiles[0].ci.lower,
-                   cell.percentiles[0].ci.upper),
-         StrFormat("%.2f", cell.percentiles[1].ms),
-         StrFormat("%.2f [%.2f,%.2f]", cell.percentiles[2].ms,
-                   cell.percentiles[2].ci.lower,
-                   cell.percentiles[2].ci.upper),
-         StrFormat("%.2f", cell.percentiles[3].ms)});
-    p50_series.AppendWithError(offered, cell.percentiles[0].ms,
-                               cell.percentiles[0].ci.HalfWidth());
-    p99_series.AppendWithError(offered, cell.percentiles[2].ms,
-                               cell.percentiles[2].ci.HalfWidth());
-  }
+      workers, sweep.capacity_qps, sweep.closed_run.qph);
   std::printf("Open-loop offered-load sweep (client-observed latency, "
               "charged from intended arrival):\n%s\n",
-              sweep_table.ToString().c_str());
+              bench::SweepTable(sweep.cells).ToString().c_str());
 
   // --- Coordinated omission: closed vs open at the same offered load.
   // A closed driver with zero think time offers exactly what it achieves,
   // so the open-loop cell below offers the same load the closed cell
   // sustained — the only difference is whether arrivals wait for the
   // service (closed) or for nobody (open).
-  CellResult closed_cell =
-      Summarize(capacity_qps, closed_run, run_seed * 1979, resamples);
+  bench::LoadCell closed_cell = sweep.closed_cell;
   serve::LoadOptions matched_options;
   matched_options.mode = serve::LoadMode::kOpen;
   matched_options.requests = requests;
-  matched_options.offered_qps = capacity_qps;
+  matched_options.offered_qps = sweep.capacity_qps;
   matched_options.run_seed = run_seed + 101;
   serve::LoadGenerator matched_gen(&service, matched_options);
   serve::LoadResult matched_run = matched_gen.Run();
-  CellResult open_cell =
-      Summarize(capacity_qps, matched_run, run_seed * 2791, resamples);
+  bench::LoadCell open_cell = bench::SummarizeLoadRun(
+      sweep.capacity_qps, matched_run, run_seed * 2791, resamples);
 
   report::TextTable cmp_table;
   cmp_table.SetHeader({"driver", "offered q/s", "achieved qph", "p50 (ms)",
                        "p90 (ms)", "p99 (ms)", "p99.9 (ms)"});
   for (const auto& [name, cell] :
-       {std::pair<const char*, const CellResult&>{"closed", closed_cell},
-        std::pair<const char*, const CellResult&>{"open", open_cell}}) {
+       {std::pair<const char*, const bench::LoadCell&>{"closed",
+                                                       closed_cell},
+        std::pair<const char*, const bench::LoadCell&>{"open", open_cell}}) {
     cmp_table.AddRow({name, StrFormat("%.1f", cell.offered_qps),
                       StrFormat("%.0f", cell.achieved_qph),
                       StrFormat("%.2f", cell.percentiles[0].ms),
@@ -246,15 +141,10 @@ int main(int argc, char** argv) {
       omission_shown ? "demonstrated" : "not visible in this run");
 
   // --- Charts: throughput–latency curve with CI error bars.
-  report::ChartSpec chart;
-  chart.title = "Service latency vs offered load (open loop)";
-  chart.x_label = "Offered load (queries/s)";
-  chart.y_label = "Client latency (ms)";
-  chart.style = report::ChartStyle::kErrorBars;
-  chart.series = {p50_series, p99_series};
   std::string stem = ctx.ResultPath("a8_service_latency");
-  if (!report::WriteChart(chart, stem).ok() ||
-      !report::WriteSvgChart(chart, stem).ok()) {
+  if (!bench::WriteThroughputLatencyChart(
+           sweep, "Service latency vs offered load (open loop)", stem)
+           .ok()) {
     std::fprintf(stderr, "cannot write charts at %s\n", stem.c_str());
     return 1;
   }
@@ -268,17 +158,12 @@ int main(int argc, char** argv) {
   json += StrFormat("  \"workers\": %d,\n", workers);
   json += StrFormat("  \"requests_per_cell\": %d,\n", requests);
   json += StrFormat("  \"smoke\": %s,\n", smoke ? "true" : "false");
-  json += StrFormat("  \"capacity_qps\": %.2f,\n", capacity_qps);
-  json += "  \"sweep\": [\n";
-  for (size_t i = 0; i < sweep.size(); ++i) {
-    json += "    " + CellJson(sweep[i]) +
-            (i + 1 < sweep.size() ? ",\n" : "\n");
-  }
-  json += "  ],\n";
+  json += StrFormat("  \"capacity_qps\": %.2f,\n", sweep.capacity_qps);
+  json += "  \"sweep\": " + bench::SweepJson(sweep.cells, 2) + ",\n";
   json += "  \"comparison\": {\n";
-  json += StrFormat("    \"offered_qps\": %.2f,\n", capacity_qps);
-  json += "    \"closed\": " + CellJson(closed_cell) + ",\n";
-  json += "    \"open\": " + CellJson(open_cell) + ",\n";
+  json += StrFormat("    \"offered_qps\": %.2f,\n", sweep.capacity_qps);
+  json += "    \"closed\": " + bench::LoadCellJson(closed_cell) + ",\n";
+  json += "    \"open\": " + bench::LoadCellJson(open_cell) + ",\n";
   json += StrFormat("    \"open_p99_exceeds_closed_p99\": %s\n",
                     omission_shown ? "true" : "false");
   json += "  }\n";

@@ -1,0 +1,57 @@
+#ifndef PERFEVAL_COMMON_PARTITION_H_
+#define PERFEVAL_COMMON_PARTITION_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace perfeval {
+
+/// Deterministic hash partitioner: assigns an int64 partition key to one of
+/// `num_shards` shards.
+///
+/// The assignment is a pure function of (salt, key, num_shards) — never of
+/// load order, insertion order, platform, or pointer values — so two tables
+/// partitioned on keys drawn from the same domain with the same salt are
+/// co-partitioned: equal keys always land on the same shard, which is what
+/// keeps co-partitioned joins (lineitem ⋈ orders on orderkey) shard-local.
+///
+/// The key is mixed through MixSeed (SplitMix64-based, fixed 64-bit
+/// arithmetic, no libc hashing) before the modulus, so:
+///  - the mixed value Hash(key) is independent of the shard count — growing
+///    a cluster from N to M shards changes assignments only through the
+///    final `% num_shards`, never through the hash itself;
+///  - nearby keys (TPC-H's dense orderkeys) spread uniformly instead of
+///    striping.
+class HashPartitioner {
+ public:
+  /// `salt` separates independent partitioning domains; tables that must be
+  /// co-partitioned share a salt.
+  explicit HashPartitioner(int num_shards, uint64_t salt = 0)
+      : num_shards_(num_shards), salt_(salt) {
+    PERFEVAL_CHECK_GE(num_shards_, 1);
+  }
+
+  int num_shards() const { return num_shards_; }
+  uint64_t salt() const { return salt_; }
+
+  /// The shard-count-independent mixed key.
+  uint64_t Hash(int64_t key) const {
+    return MixSeed(salt_, 0x5ca1ab1e5ca1eULL, static_cast<uint64_t>(key));
+  }
+
+  /// Shard of `key` in [0, num_shards): Hash(key) % num_shards.
+  int ShardOf(int64_t key) const {
+    return static_cast<int>(Hash(key) %
+                            static_cast<uint64_t>(num_shards_));
+  }
+
+ private:
+  int num_shards_;
+  uint64_t salt_;
+};
+
+}  // namespace perfeval
+
+#endif  // PERFEVAL_COMMON_PARTITION_H_

@@ -1,0 +1,82 @@
+#ifndef PERFEVAL_DB_PARTIAL_AGG_H_
+#define PERFEVAL_DB_PARTIAL_AGG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/plan.h"
+#include "db/table.h"
+
+namespace perfeval {
+namespace db {
+
+/// Decomposition of a hash aggregate into a distributable three-step form:
+///
+///   shard:       Aggregate(child, group_by, partial)   -- runs on N shards
+///   coordinator: concat partial outputs in shard order, then
+///                Aggregate(concat, group_by, merge)
+///   coordinator: FinalizeMergedAggregates(...)          -- projection
+///
+/// SUM and COUNT re-aggregate with SUM, MIN with MIN, MAX with MAX; AVG
+/// ships SUM + COUNT and divides at finalize (the engine's exact division:
+/// int64 sums divide as double(isum)/double(count), so the int AVG path is
+/// bit-identical to single-node — integer partials re-add exactly).
+/// COUNT DISTINCT is not decomposable (a shard cannot know another shard's
+/// value set), so SplitAggregates refuses and the caller gathers rows.
+///
+/// NULL discipline is compositional by construction: a partial SUM/MIN/MAX
+/// over an empty group emits NULL, and the merge aggregate skips NULL
+/// inputs — so a group present on one shard and absent on another merges
+/// to exactly the single-node value. Partial COUNTs are never NULL and
+/// re-add through the checked int64 SUM path.
+
+/// How one original aggregate's output column is reconstructed from the
+/// merge aggregate's output.
+struct AggFinalizeStep {
+  enum class Kind {
+    kPassThrough,  ///< copy merged column `input_index` (NULLs included).
+    kAvgDivide,    ///< merged sum at `input_index` / count at `count_index`.
+  };
+  Kind kind = Kind::kPassThrough;
+  size_t input_index = 0;  ///< column index into the merged table.
+  size_t count_index = 0;  ///< kAvgDivide only: merged COUNT column index.
+  std::string output_name;
+  DataType output_type = DataType::kDouble;
+};
+
+/// The full decomposition for one Aggregate node.
+struct AggSplit {
+  /// Aggregates each shard runs (same group_by as the original).
+  std::vector<AggSpec> partial;
+  /// The shard-side output schema == the merge aggregate's input schema:
+  /// group columns first (original names/types), then one column per
+  /// partial aggregate (names "__p<i>_sum" / "_cnt" / "_min" / "_max").
+  Schema partial_schema;
+  /// Aggregates the coordinator runs over the shard-order concatenation
+  /// of the partial outputs (group_by unchanged; exprs resolved against
+  /// `partial_schema`).
+  std::vector<AggSpec> merge;
+  /// Projection from the merge output to the original output columns.
+  std::vector<AggFinalizeStep> finalize;
+};
+
+/// Splits `aggregates` (grouped by `group_by` over a child producing
+/// `input_schema`) into partial + merge + finalize. Returns false — and
+/// leaves `*out` untouched — when any aggregate is COUNT DISTINCT.
+bool SplitAggregates(const std::vector<std::string>& group_by,
+                     const std::vector<AggSpec>& aggregates,
+                     const Schema& input_schema, AggSplit* out);
+
+/// Applies the finalize projection: keeps the first `num_group_cols`
+/// columns of `merged` verbatim, then emits one column per step, in step
+/// order. Row order is preserved (the coordinator's deterministic
+/// shard-then-first-occurrence group order).
+std::shared_ptr<Table> FinalizeMergedAggregates(
+    const Table& merged, size_t num_group_cols,
+    const std::vector<AggFinalizeStep>& finalize);
+
+}  // namespace db
+}  // namespace perfeval
+
+#endif  // PERFEVAL_DB_PARTIAL_AGG_H_

@@ -12,6 +12,7 @@
 #include "db/error.h"
 #include "db/invariants.h"
 #include "db/join.h"
+#include "db/scan_io.h"
 #include "db/sort.h"
 #include "sched/parallel_for.h"
 
@@ -340,23 +341,17 @@ void FilterRowRange(const ExecContext& ctx, const Table& table,
 }
 
 /// Touches the buffer-pool pages of the named columns (all when empty).
+/// Delegates to the shared scan-I/O walk (db/scan_io.h) so the shard
+/// coordinator's logical replay issues identical touches by construction.
 void TouchColumns(ExecContext& ctx, const std::string& table_name,
                   const Table& table,
                   const std::vector<std::string>& columns) {
   if (ctx.storage == nullptr || ctx.database == nullptr) {
     return;
   }
-  uint32_t table_id = ctx.database->TableId(table_name);
-  if (columns.empty()) {
-    for (size_t c = 0; c < table.num_columns(); ++c) {
-      ctx.storage->TouchColumn(table_id, static_cast<uint32_t>(c));
-    }
-    return;
-  }
-  for (const std::string& name : columns) {
-    ctx.storage->TouchColumn(
-        table_id, static_cast<uint32_t>(table.schema().MustIndexOf(name)));
-  }
+  ScanTableInfo info{ctx.database->TableId(table_name), &table.schema(),
+                     table.num_rows()};
+  TouchScanColumns(ctx.storage, info, columns);
 }
 
 class ScanNode : public PlanNode {
@@ -475,28 +470,11 @@ class FilterScanNode : public PlanNode {
         column_ids.push_back(
             static_cast<uint32_t>(table->schema().MustIndexOf(name)));
       }
-      size_t num_chunks = (num_rows + page_rows - 1) / page_rows;
-      for (uint32_t chunk = 0; chunk < num_chunks; ++chunk) {
-        bool pruned = false;
-        for (const SimplePredicate& sp : simple) {
-          const ZoneMap& zm = ctx.storage->GetZoneMap(
-              table_id, static_cast<uint32_t>(sp.column), chunk);
-          if (zm.Prunable(sp.MightMatch(zm.min, zm.max))) {
-            pruned = true;
-            break;
-          }
-        }
-        if (pruned) {
-          continue;  // page never read, rows never scanned.
-        }
-        size_t begin = static_cast<size_t>(chunk) * page_rows;
-        size_t end = std::min(num_rows, begin + page_rows);
-        // I/O accounting happens here, on the coordinating thread, one
-        // page at a time in chunk order — never from the workers — so
-        // hits/misses/bytes/stall are identical at any thread count.
-        ctx.storage->TouchMorsel(table_id, column_ids, begin, end);
-        add_range(begin, end);
-      }
+      // Prune, touch, and enumerate surviving chunks through the shared
+      // walk (db/scan_io.h) — the same code the shard coordinator replays,
+      // so sharded logical I/O matches this path by construction.
+      ScanTableInfo info{table_id, &table->schema(), num_rows};
+      FilterScanChunkWalk(ctx.storage, info, column_ids, simple, add_range);
     } else {
       TouchColumns(ctx, table_name_, *table, columns_);
       for (size_t begin = 0; begin < num_rows; begin += compute_rows) {

@@ -1,0 +1,117 @@
+#include "db/scan_io.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace db {
+
+std::vector<SimplePredicate> SimpleConjuncts(const ExprPtr& predicate) {
+  std::vector<SimplePredicate> simple;
+  if (predicate == nullptr) {
+    return simple;
+  }
+  std::vector<ExprPtr> conjuncts;
+  predicate->CollectConjuncts(&conjuncts, predicate);
+  for (const ExprPtr& conjunct : conjuncts) {
+    SimplePredicate sp;
+    if (conjunct->AsSimplePredicate(&sp)) {
+      simple.push_back(sp);
+    }
+  }
+  return simple;
+}
+
+void TouchScanColumns(StorageManager* storage, const ScanTableInfo& table,
+                      const std::vector<std::string>& columns) {
+  if (storage == nullptr) {
+    return;
+  }
+  PERFEVAL_CHECK(table.schema != nullptr);
+  if (columns.empty()) {
+    for (size_t c = 0; c < table.schema->num_columns(); ++c) {
+      storage->TouchColumn(table.table_id, static_cast<uint32_t>(c));
+    }
+    return;
+  }
+  for (const std::string& name : columns) {
+    storage->TouchColumn(
+        table.table_id,
+        static_cast<uint32_t>(table.schema->MustIndexOf(name)));
+  }
+}
+
+void FilterScanChunkWalk(
+    StorageManager* storage, const ScanTableInfo& table,
+    const std::vector<uint32_t>& column_ids,
+    const std::vector<SimplePredicate>& simple,
+    const std::function<void(size_t, size_t)>& on_chunk) {
+  PERFEVAL_CHECK(storage != nullptr);
+  size_t page_rows = std::max<size_t>(storage->rows_per_page(), 1);
+  size_t num_rows = table.num_rows;
+  size_t num_chunks = (num_rows + page_rows - 1) / page_rows;
+  for (uint32_t chunk = 0; chunk < num_chunks; ++chunk) {
+    bool pruned = false;
+    for (const SimplePredicate& sp : simple) {
+      const ZoneMap& zm = storage->GetZoneMap(
+          table.table_id, static_cast<uint32_t>(sp.column), chunk);
+      if (zm.Prunable(sp.MightMatch(zm.min, zm.max))) {
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) {
+      continue;  // page never read, rows never scanned.
+    }
+    size_t begin = static_cast<size_t>(chunk) * page_rows;
+    size_t end = std::min(num_rows, begin + page_rows);
+    // I/O accounting happens here, on the coordinating thread, one page
+    // at a time in chunk order — never from the workers — so
+    // hits/misses/bytes/stall are identical at any thread count.
+    storage->TouchMorsel(table.table_id, column_ids, begin, end);
+    if (on_chunk) {
+      on_chunk(begin, end);
+    }
+  }
+}
+
+void ReplayScanIo(const PlanNode& plan, const ScanIoCatalog& catalog,
+                  StorageManager* storage, bool use_zone_maps) {
+  PERFEVAL_CHECK(storage != nullptr);
+  // Children first, left to right — the order Execute() visits them (every
+  // operator evaluates its inputs before itself; joins run left then
+  // right), so the page-touch sequence matches a real execution exactly.
+  for (const PlanNode* child : plan.Children()) {
+    ReplayScanIo(*child, catalog, storage, use_zone_maps);
+  }
+  PlanSpec spec = plan.Spec();
+  if (spec.kind == PlanKind::kScan) {
+    ScanTableInfo table = catalog.Lookup(spec.table_name);
+    TouchScanColumns(storage, table, spec.columns);
+    return;
+  }
+  if (spec.kind != PlanKind::kFilterScan) {
+    return;
+  }
+  ScanTableInfo table = catalog.Lookup(spec.table_name);
+  std::vector<SimplePredicate> simple = SimpleConjuncts(spec.predicate);
+  // Same gate as FilterScanNode: zone maps only when there is a simple
+  // conjunct to prune with and rows to scan; otherwise the node touches
+  // the named columns in full.
+  if (!use_zone_maps || simple.empty() || table.num_rows == 0) {
+    TouchScanColumns(storage, table, spec.columns);
+    return;
+  }
+  PERFEVAL_CHECK(table.schema != nullptr);
+  std::vector<uint32_t> column_ids;
+  column_ids.reserve(spec.columns.size());
+  for (const std::string& name : spec.columns) {
+    column_ids.push_back(
+        static_cast<uint32_t>(table.schema->MustIndexOf(name)));
+  }
+  FilterScanChunkWalk(storage, table, column_ids, simple, nullptr);
+}
+
+}  // namespace db
+}  // namespace perfeval

@@ -139,6 +139,15 @@ const ExperimentSuite& PerfevalSuite() {
         "stdout + bench_results/BENCH_write_path.json + "
         "bench_results/a9_{ingest_rate,recovery}.{csv,gnu,svg}",
         "about a minute");
+    add("A10", "Scale-out serving across a shard cluster: throughput-"
+        "latency curves vs shard count {1,2,4,8} through the sharded "
+        "front-end, capacity speedup ratios with bootstrap CIs, tail "
+        "amplification (p99 of max-over-shards vs per-shard p99), and a "
+        "straggler cell where one slow shard's disk pins the cluster tail",
+        "build/bench/bench_shard_scaleout",
+        "stdout + bench_results/BENCH_shard_scaleout.json + "
+        "bench_results/a10_shard_scaleout.{gnu,svg}",
+        "a few minutes");
     s->AddNote(
         "Parallel execution & determinism",
         "Every bench binary takes uniform scheduling flags: `--jobs=N` "
@@ -172,16 +181,18 @@ const ExperimentSuite& PerfevalSuite() {
         "The concurrency tests carry ctest labels — `sched` for the "
         "scheduler, `db` for morsel-parallel query execution, `serve` for "
         "the concurrent query service, `txn` for the write path "
-        "(concurrent ingest + scan, group commit, crash-point fuzzing) — "
+        "(concurrent ingest + scan, group commit, crash-point fuzzing), "
+        "`shard` for concurrent scatter-gather across the shard cluster — "
         "and should pass under ThreadSanitizer:\n\n"
         "```sh\n"
         "cmake -B build-tsan -S . -DPERFEVAL_SANITIZE=thread\n"
         "cmake --build build-tsan --target sched_test db_parallel_test "
-        "serve_test txn_test\n"
+        "serve_test txn_test shard_test\n"
         "ctest --test-dir build-tsan -L sched\n"
         "ctest --test-dir build-tsan -L db\n"
         "ctest --test-dir build-tsan -L serve\n"
         "ctest --test-dir build-tsan -L txn\n"
+        "ctest --test-dir build-tsan -L shard\n"
         "```");
     s->AddNote(
         "Serving & tail latency",
@@ -216,6 +227,26 @@ const ExperimentSuite& PerfevalSuite() {
         "accounting flows through the same DiskModel as the read path, so "
         "A9's batch-size sweep prices the seek-per-commit the group-commit "
         "protocol exists to amortize.");
+    s->AddNote(
+        "Scale-out & sharding",
+        "A10 measures a `shard::ShardCluster` (DESIGN.md S16): TPC-H "
+        "hash-partitioned across N single-node databases (lineitem "
+        "co-partitioned with orders on orderkey; dimensions replicated), a "
+        "site-annotating planner that pushes scans, filters, co-partitioned "
+        "joins and partial aggregates to the shards, and a coordinator that "
+        "scatters fragments over per-shard `serve::QueryService` instances "
+        "and merges partials in fixed shard-then-first-occurrence order. "
+        "Results AND merged StorageStats are bit-identical to single-node "
+        "at any shard count and any per-shard thread count — the oracle "
+        "diffs all 22 queries sharded-vs-single-node across execution modes "
+        "and join algorithms (`ctest -L shard`, `ctest -L oracle`). A "
+        "front-end tier adds per-tenant admission quotas; A10 drives it "
+        "with the same load-sweep harness as A8, so A8-vs-A10 differences "
+        "are system, never harness. The tail-amplification cells quantify "
+        "why scatter-gather tails grow with N (the coordinator waits for "
+        "the max over shards, turning the per-shard latency CDF F into "
+        "F^N) and the straggler cell shows one slow disk pinning the "
+        "cluster's p99.");
     return s;
   }();
   return *suite;

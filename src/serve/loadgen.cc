@@ -34,10 +34,11 @@ std::vector<int> EffectiveMix(const LoadOptions& options) {
   return mix;
 }
 
-Request ToRequest(const PlannedRequest& spec) {
+Request ToRequest(const PlannedRequest& spec, const std::string& tenant) {
   Request request;
   request.query = spec.query;
   request.seed = spec.seed;
+  request.tenant = tenant;
   return request;
 }
 
@@ -173,7 +174,8 @@ LoadResult LoadGenerator::RunClosed(
           RequestOutcome& outcome = outcomes[i];
           outcome.spec = spec;
           outcome.dispatch_ns = SteadyNowNs() - run_start_ns;
-          Response response = service_->Execute(ToRequest(spec));
+          Response response =
+              service_->Execute(ToRequest(spec, options_.tenant));
           outcome.complete_ns = SteadyNowNs() - run_start_ns;
           outcome.status = response.status;
           outcome.fingerprint = response.fingerprint;
@@ -205,7 +207,7 @@ LoadResult LoadGenerator::RunOpen(
         run_start_tp + std::chrono::nanoseconds(spec.intended_ns));
     outcomes[i].spec = spec;
     outcomes[i].dispatch_ns = SteadyNowNs() - run_start_ns;
-    handles[i] = service_->Submit(ToRequest(spec));
+    handles[i] = service_->Submit(ToRequest(spec, options_.tenant));
   }
   std::vector<PartialResult> partials(1);
   for (size_t i = 0; i < schedule.size(); ++i) {

@@ -2,6 +2,7 @@
 #define PERFEVAL_SERVE_LOADGEN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "serve/latency.h"
@@ -46,6 +47,9 @@ struct LoadOptions {
   uint64_t run_seed = 1;
   /// TPC-H query numbers sampled per request; all 22 when empty.
   std::vector<int> query_mix;
+  /// Tenant name stamped on every request (admission-quota identity);
+  /// empty = untenanted. Does not change the schedule — only the Request.
+  std::string tenant;
 };
 
 /// One scheduled request: everything decided before the run starts.

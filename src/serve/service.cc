@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -55,8 +56,23 @@ void PendingResponse::Fulfill(Response response) {
 }
 
 QueryService::QueryService(db::Database* database, ServiceOptions options)
-    : database_(database), options_(options) {
-  PERFEVAL_CHECK(database_ != nullptr);
+    : QueryService(
+          [database](const Request& request, db::ExecMode mode,
+                     db::SinkKind sink) {
+            PERFEVAL_CHECK(database != nullptr);
+            db::PlanPtr plan = request.plan;
+            if (!plan) {
+              plan = workload::GetTpchQuery(request.query).Build(*database);
+            }
+            return database->Run(plan, mode, sink);
+          },
+          std::move(options)) {
+  PERFEVAL_CHECK(database != nullptr);
+}
+
+QueryService::QueryService(ExecutorFn executor, ServiceOptions options)
+    : executor_(std::move(executor)), options_(std::move(options)) {
+  PERFEVAL_CHECK(executor_ != nullptr);
   PERFEVAL_CHECK_GE(options_.queue_capacity, 1u);
   if (options_.workers < 1) {
     options_.workers = 1;
@@ -83,6 +99,24 @@ ResponseHandle QueryService::Submit(Request request) {
   auto handle = std::make_shared<PendingResponse>();
   {
     std::unique_lock<std::mutex> lock(mu_);
+    // Tenant quota: checked before any capacity wait — a tenant at its
+    // quota is rejected immediately, never parked in (or blocking for) the
+    // shared queue.
+    if (!shutdown_ && !request.tenant.empty()) {
+      auto quota = options_.tenant_quotas.find(request.tenant);
+      if (quota != options_.tenant_quotas.end() &&
+          tenant_outstanding_[request.tenant] >= quota->second) {
+        lock.unlock();
+        quota_rejected_.fetch_add(1, std::memory_order_relaxed);
+        Response response;
+        response.status = Status::Overloaded(
+            "tenant '" + request.tenant + "' at quota (" +
+            std::to_string(quota->second) + " outstanding)");
+        response.seed = request.seed;
+        handle->Fulfill(std::move(response));
+        return handle;
+      }
+    }
     if (!shutdown_ && queued_ >= options_.queue_capacity) {
       switch (options_.overload) {
         case OverloadPolicy::kBlock:
@@ -122,6 +156,10 @@ ResponseHandle QueryService::Submit(Request request) {
       return handle;
     }
     ++queued_;
+    if (!request.tenant.empty() &&
+        options_.tenant_quotas.count(request.tenant) != 0) {
+      ++tenant_outstanding_[request.tenant];
+    }
     // Enqueue while still holding mu_: Shutdown() flips shutdown_ under the
     // same mutex before closing the pool, so a Push can never race a
     // Close.
@@ -135,6 +173,17 @@ ResponseHandle QueryService::Submit(Request request) {
   return handle;
 }
 
+void QueryService::ReleaseTenantSlot(const std::string& tenant) {
+  if (tenant.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_outstanding_.find(tenant);
+  if (it != tenant_outstanding_.end() && it->second > 0) {
+    --it->second;
+  }
+}
+
 void QueryService::RunRequest(Request request, ResponseHandle handle,
                               int64_t admit_ns) {
   int64_t start_ns = SteadyNowNs();
@@ -145,6 +194,7 @@ void QueryService::RunRequest(Request request, ResponseHandle handle,
   }
   slot_free_.notify_one();
   started_.fetch_add(1, std::memory_order_relaxed);
+  inflight_.fetch_add(1, std::memory_order_relaxed);
 
   Response response;
   response.seed = request.seed;
@@ -156,33 +206,40 @@ void QueryService::RunRequest(Request request, ResponseHandle handle,
     response.status = Status::DeadlineExceeded(
         "deadline passed after " +
         std::to_string(response.server.queue_wait_ns) + "ns in queue");
-    handle->Fulfill(std::move(response));
-    return;
-  }
-
-  if (request.before_execute) {
-    request.before_execute();
-  }
-
-  // WorkerPool jobs must not throw: QueryError (checked arithmetic,
-  // invariant violations) is converted to an error response here, the same
-  // boundary conversion sql::RunQuery performs.
-  try {
-    db::PlanPtr plan = request.plan;
-    if (!plan) {
-      plan = workload::GetTpchQuery(request.query).Build(*database_);
+  } else {
+    if (request.before_execute) {
+      request.before_execute();
     }
-    db::QueryResult result =
-        database_->Run(plan, options_.mode, options_.sink);
-    response.server.exec_ns = result.server.ObservedRealNs();
-    response.table = result.table;
-    if (options_.fingerprint_results && result.table != nullptr) {
-      response.fingerprint = FingerprintTable(*result.table);
+    // WorkerPool jobs must not throw: QueryError (checked arithmetic,
+    // invariant violations) is converted to an error response here, the
+    // same boundary conversion sql::RunQuery performs.
+    try {
+      db::ExecMode mode = request.mode.value_or(options_.mode);
+      db::QueryResult result = executor_(request, mode, options_.sink);
+      response.server.exec_ns = result.server.ObservedRealNs();
+      response.table = result.table;
+      if (options_.fingerprint_results && result.table != nullptr) {
+        response.fingerprint = FingerprintTable(*result.table);
+      }
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.realize_stall_scale > 0.0 && result.storage.stall_ns > 0) {
+        // Turn the DiskModel's simulated stall into real wall time, so a
+        // slow shard's tail is observable on the client's clock (A10
+        // straggler injection). exec_ns already counts the stall — the
+        // observed clock includes simulated time — so nothing is added to
+        // the server split here.
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            static_cast<int64_t>(static_cast<double>(result.storage.stall_ns) *
+                                 options_.realize_stall_scale)));
+      }
+    } catch (const db::QueryError& e) {
+      response.status = e.ToStatus();
     }
-    executed_.fetch_add(1, std::memory_order_relaxed);
-  } catch (const db::QueryError& e) {
-    response.status = e.ToStatus();
   }
+  // Bookkeeping before Fulfill: a synchronous client that resubmits the
+  // instant Wait() returns must find its quota slot already free.
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  ReleaseTenantSlot(request.tenant);
   handle->Fulfill(std::move(response));
 }
 
@@ -207,10 +264,21 @@ ServiceStats QueryService::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.admitted = admitted_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
+  s.quota_rejected = quota_rejected_.load(std::memory_order_relaxed);
   s.started = started_.load(std::memory_order_relaxed);
   s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   s.executed = executed_.load(std::memory_order_relaxed);
   return s;
+}
+
+QueueSnapshot QueryService::queue_snapshot() const {
+  QueueSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.queued = queued_;
+  }
+  snap.inflight = inflight_.load(std::memory_order_relaxed);
+  return snap;
 }
 
 }  // namespace serve

@@ -5,8 +5,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "common/status.h"
@@ -47,6 +49,20 @@ struct ServiceOptions {
   /// per request; the determinism tests need it, a pure latency sweep can
   /// turn it off).
   bool fingerprint_results = true;
+  /// Per-tenant admission quotas: max outstanding (admitted but not yet
+  /// completed) requests per tenant name. A tenant at its quota is rejected
+  /// immediately with kOverloaded — quota rejection never blocks, even
+  /// under OverloadPolicy::kBlock, so one greedy tenant cannot occupy the
+  /// whole admission queue. Tenants absent from the map (and requests with
+  /// an empty tenant) are unlimited.
+  std::map<std::string, size_t> tenant_quotas;
+  /// When > 0, the worker sleeps `simulated storage stall * scale` after
+  /// executing a request, turning the DiskModel's modeled stall into real
+  /// wall time. The straggler-injection bench uses it so a slow shard's
+  /// tail is physically observable by clients; 0 keeps the stall purely
+  /// simulated (the default, and what every latency bench before A10
+  /// measured).
+  double realize_stall_scale = 0.0;
 };
 
 /// One query request. Either a TPC-H query number (built against the
@@ -63,6 +79,11 @@ struct Request {
   /// Test hook, run on the worker after the deadline check and before
   /// execution. Lets tests hold a worker mid-request deterministically.
   std::function<void()> before_execute;
+  /// Admission-quota identity; empty = no tenant (never quota-limited).
+  std::string tenant;
+  /// Per-request execution-mode override (the sharded oracle sweeps modes
+  /// through one service); unset uses ServiceOptions::mode.
+  std::optional<db::ExecMode> mode;
 };
 
 /// Server-side timing split (paper, slides 23–29: server vs client time
@@ -120,9 +141,19 @@ struct ServiceStats {
   int64_t submitted = 0;         ///< Submit() calls.
   int64_t admitted = 0;          ///< entered the queue.
   int64_t shed = 0;              ///< rejected kOverloaded at admission.
+  int64_t quota_rejected = 0;    ///< rejected at a tenant quota.
   int64_t started = 0;           ///< dequeued by a worker.
   int64_t deadline_expired = 0;  ///< discarded unexecuted.
   int64_t executed = 0;          ///< ran to completion.
+};
+
+/// Instantaneous occupancy of the service, readable while it runs. The
+/// shard coordinator attaches one per shard to every scatter-gather result
+/// so stragglers are attributable (was the slow shard queueing or
+/// executing?).
+struct QueueSnapshot {
+  size_t queued = 0;    ///< admitted, waiting for a worker.
+  size_t inflight = 0;  ///< dequeued, currently executing.
 };
 
 /// A concurrent query service over db::Database (DESIGN.md S14): bounded
@@ -133,7 +164,21 @@ struct ServiceStats {
 /// result determinism at any worker count.
 class QueryService {
  public:
+  /// Executes one admitted request. Receives the effective mode (the
+  /// request's override or the service default) and the service sink;
+  /// everything else comes from the request. May throw db::QueryError.
+  using ExecutorFn =
+      std::function<db::QueryResult(const Request&, db::ExecMode,
+                                    db::SinkKind)>;
+
   QueryService(db::Database* database, ServiceOptions options);
+
+  /// A service whose executor is not a local database — the shard
+  /// front-end runs scatter-gather across a cluster behind this seam while
+  /// keeping the admission queue, overload policies, deadlines, quotas and
+  /// stats identical to the single-node service (and LoadGenerator works
+  /// against either unchanged).
+  QueryService(ExecutorFn executor, ServiceOptions options);
 
   /// Shuts down (drains all admitted requests) if the caller has not.
   ~QueryService();
@@ -156,27 +201,39 @@ class QueryService {
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
 
+  /// Instantaneous queue depth + in-flight count (racy by nature — a
+  /// request can move from queued to inflight between the two reads; the
+  /// snapshot is for attribution, not accounting).
+  QueueSnapshot queue_snapshot() const;
+
   /// FNV-1a fingerprint of a result relation (row-major rendered values) —
   /// the identity the replay tests compare across worker counts.
   static uint64_t FingerprintTable(const db::Table& table);
 
  private:
   void RunRequest(Request request, ResponseHandle handle, int64_t admit_ns);
+  /// Frees the tenant's quota slot (no-op for untracked tenants).
+  void ReleaseTenantSlot(const std::string& tenant);
 
-  db::Database* database_;
+  ExecutorFn executor_;
   ServiceOptions options_;
 
-  std::mutex mu_;                     // guards queued_ + shutdown_.
+  mutable std::mutex mu_;  // guards queued_, shutdown_, tenant_outstanding_.
   std::condition_variable slot_free_;
   size_t queued_ = 0;
   bool shutdown_ = false;
+  /// Outstanding (admitted, not yet completed) requests per quota-tracked
+  /// tenant.
+  std::map<std::string, size_t> tenant_outstanding_;
 
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> admitted_{0};
   std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> quota_rejected_{0};
   std::atomic<int64_t> started_{0};
   std::atomic<int64_t> deadline_expired_{0};
   std::atomic<int64_t> executed_{0};
+  std::atomic<size_t> inflight_{0};
 
   std::unique_ptr<sched::WorkerPool> pool_;
 };

@@ -1,0 +1,25 @@
+#include "shard/frontend.h"
+
+#include "workload/tpch_queries.h"
+
+namespace perfeval {
+namespace shard {
+
+serve::QueryService::ExecutorFn MakeClusterExecutor(ShardCluster* cluster) {
+  return [cluster](const serve::Request& request, db::ExecMode mode,
+                   db::SinkKind /*sink*/) -> db::QueryResult {
+    db::PlanPtr plan =
+        request.plan != nullptr
+            ? request.plan
+            : workload::GetTpchQuery(request.query)
+                  .Build(cluster->shard_db(0));
+    return cluster->Execute(plan, mode).result;
+  };
+}
+
+FrontEnd::FrontEnd(ShardCluster* cluster, serve::ServiceOptions options)
+    : service_(std::make_unique<serve::QueryService>(
+          MakeClusterExecutor(cluster), std::move(options))) {}
+
+}  // namespace shard
+}  // namespace perfeval

@@ -1,0 +1,49 @@
+#ifndef PERFEVAL_SHARD_FRONTEND_H_
+#define PERFEVAL_SHARD_FRONTEND_H_
+
+#include <memory>
+#include <utility>
+
+#include "serve/service.h"
+#include "shard/cluster.h"
+
+namespace perfeval {
+namespace shard {
+
+/// A QueryService executor that runs requests scatter-gather across
+/// `cluster` instead of on a local database. Requests carrying an explicit
+/// plan run it; plan-less requests build the TPC-H query numbered
+/// `Request::query` against shard 0's catalog (every shard shares the
+/// logical schema). The service sink is ignored — rendering-channel
+/// modeling stays a single-node concern.
+serve::QueryService::ExecutorFn MakeClusterExecutor(ShardCluster* cluster);
+
+/// The cluster's front-end tier: one serve::QueryService whose executor is
+/// the scatter-gather coordinator. Everything the single-node service
+/// provides — bounded admission queue, overload policy, deadlines,
+/// per-tenant quotas, fingerprints, server-timing splits, queue snapshots
+/// — applies unchanged to distributed execution, and serve::LoadGenerator
+/// drives it exactly like a single-node service.
+class FrontEnd {
+ public:
+  /// `cluster` must outlive the front end.
+  FrontEnd(ShardCluster* cluster, serve::ServiceOptions options);
+
+  serve::QueryService& service() { return *service_; }
+
+  serve::ResponseHandle Submit(serve::Request request) {
+    return service_->Submit(std::move(request));
+  }
+  serve::Response Execute(serve::Request request) {
+    return service_->Execute(std::move(request));
+  }
+  void Shutdown() { service_->Shutdown(); }
+
+ private:
+  std::unique_ptr<serve::QueryService> service_;
+};
+
+}  // namespace shard
+}  // namespace perfeval
+
+#endif  // PERFEVAL_SHARD_FRONTEND_H_

@@ -1,0 +1,81 @@
+#include "shard/partition.h"
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace shard {
+namespace {
+
+/// Domain salts: arbitrary fixed constants. Equal domain <=> equal salt is
+/// what keeps co-partitioned joins shard-local; the constants themselves
+/// only need to be stable (the partitioner's reference-vector test pins
+/// the underlying hash).
+constexpr uint64_t kOrderkeySalt = 0x06d6e4b10c0ffee1ULL;
+constexpr uint64_t kCustkeySalt = 0xc7574aa5deadbeefULL;
+
+}  // namespace
+
+TablePartitionSpec PartitionScheme::SpecFor(
+    const std::string& table_name) const {
+  auto it = tables.find(table_name);
+  if (it == tables.end()) {
+    return TablePartitionSpec{};  // replicated by default.
+  }
+  return it->second;
+}
+
+PartitionScheme TpchPartitionScheme() {
+  PartitionScheme scheme;
+  scheme.tables["orders"] = {"o_orderkey", "orderkey", kOrderkeySalt};
+  scheme.tables["lineitem"] = {"l_orderkey", "orderkey", kOrderkeySalt};
+  scheme.tables["customer"] = {"c_custkey", "custkey", kCustkeySalt};
+  for (const char* replicated :
+       {"region", "nation", "supplier", "part", "partsupp"}) {
+    scheme.tables[replicated] = TablePartitionSpec{};
+  }
+  return scheme;
+}
+
+std::vector<std::shared_ptr<db::Table>> PartitionTable(
+    const db::Table& table, const TablePartitionSpec& spec, int num_shards) {
+  PERFEVAL_CHECK_GE(num_shards, 1);
+  PERFEVAL_CHECK(spec.partitioned());
+  size_t key_col = table.schema().MustIndexOf(spec.key_column);
+  const db::Column& keys = table.column(key_col);
+  PERFEVAL_CHECK(keys.type() == db::DataType::kInt64)
+      << "partition key " << spec.key_column << " must be int64";
+  PERFEVAL_CHECK(!keys.has_nulls())
+      << "partition key " << spec.key_column << " must be NULL-free";
+
+  HashPartitioner partitioner(num_shards, spec.domain_salt);
+  std::vector<int> shard_of(table.num_rows());
+  std::vector<size_t> shard_rows(static_cast<size_t>(num_shards), 0);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    int s = partitioner.ShardOf(keys.GetInt64(r));
+    shard_of[r] = s;
+    ++shard_rows[static_cast<size_t>(s)];
+  }
+
+  std::vector<std::shared_ptr<db::Table>> shards;
+  shards.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    auto t = std::make_shared<db::Table>(table.schema());
+    t->ReserveRows(shard_rows[static_cast<size_t>(s)]);
+    shards.push_back(std::move(t));
+  }
+  // Column-wise fill, rows in original order per shard.
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const db::Column& src = table.column(c);
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      shards[static_cast<size_t>(shard_of[r])]->column(c).AppendValue(
+          src.GetValue(r));
+    }
+  }
+  for (auto& t : shards) {
+    t->FinishBulkLoad();
+  }
+  return shards;
+}
+
+}  // namespace shard
+}  // namespace perfeval

@@ -71,6 +71,9 @@ TEST(SuiteTest, PerfevalSuiteDocumentsSchedulingFlags) {
   // ... and the write-path suite: its ctest label and crash fuzzer.
   EXPECT_NE(doc.find("-L txn"), std::string::npos);
   EXPECT_NE(doc.find("crash-point"), std::string::npos);
+  // ... and the shard cluster: its ctest label and the scale-out story.
+  EXPECT_NE(doc.find("-L shard"), std::string::npos);
+  EXPECT_NE(doc.find("ShardCluster"), std::string::npos);
 }
 
 TEST(SuiteTest, PerfevalSuiteCoversDesignDocIndex) {
@@ -80,10 +83,10 @@ TEST(SuiteTest, PerfevalSuiteCoversDesignDocIndex) {
   for (const char* id :
        {"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "F1", "F2", "F3",
         "F4", "F5", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8",
-        "A9"}) {
+        "A9", "A10"}) {
     EXPECT_NE(suite.Find(id), nullptr) << id;
   }
-  EXPECT_EQ(suite.experiments().size(), 22u);
+  EXPECT_EQ(suite.experiments().size(), 23u);
 }
 
 TEST(SuiteTest, PerfevalSuiteCommandsPointAtBenchBinaries) {

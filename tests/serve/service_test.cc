@@ -235,6 +235,126 @@ TEST(QueryServiceTest, StatsAddUp) {
   EXPECT_EQ(stats.deadline_expired, 0);
 }
 
+TEST(QueryServiceTest, TenantQuotaRejectsWithoutBlocking) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  options.overload = OverloadPolicy::kBlock;  // quota must still not block.
+  options.tenant_quotas["greedy"] = 2;
+  QueryService service(SharedDb(), options);
+
+  Gate gate;
+  std::vector<ResponseHandle> held;
+  for (int i = 0; i < 2; ++i) {
+    Request request;
+    request.query = 1;
+    request.tenant = "greedy";
+    request.before_execute = [&gate] { gate.Wait(); };
+    held.push_back(service.Submit(std::move(request)));
+  }
+  WaitForStarted(service, 1);  // one executing, one queued: 2 outstanding.
+
+  Request third;
+  third.tenant = "greedy";
+  ResponseHandle rejected = service.Submit(std::move(third));
+  EXPECT_TRUE(rejected->Done());  // immediate — never parked in the queue.
+  EXPECT_EQ(rejected->Wait().status.code(), StatusCode::kOverloaded);
+
+  // Other tenants (and untenanted requests) are unaffected by the quota.
+  Request other;
+  other.tenant = "modest";
+  ResponseHandle ok1 = service.Submit(std::move(other));
+  ResponseHandle ok2 = service.Submit(Request{});
+
+  gate.Release();
+  for (auto& handle : held) {
+    EXPECT_TRUE(handle->Wait().status.ok());
+  }
+  EXPECT_TRUE(ok1->Wait().status.ok());
+  EXPECT_TRUE(ok2->Wait().status.ok());
+
+  // Completion freed the quota slots: the tenant is admittable again.
+  Request again;
+  again.tenant = "greedy";
+  EXPECT_TRUE(service.Execute(std::move(again)).status.ok());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.quota_rejected, 1);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.executed, 5);
+}
+
+TEST(QueryServiceTest, QueueSnapshotSeesQueuedAndInflight) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  QueryService service(SharedDb(), options);
+
+  Gate gate;
+  Request holder;
+  holder.before_execute = [&gate] { gate.Wait(); };
+  ResponseHandle h1 = service.Submit(std::move(holder));
+  WaitForStarted(service, 1);
+  ResponseHandle h2 = service.Submit(Request{});
+
+  QueueSnapshot snap = service.queue_snapshot();
+  EXPECT_EQ(snap.inflight, 1u);  // parked inside before_execute.
+  EXPECT_EQ(snap.queued, 1u);    // waiting behind the single worker.
+
+  gate.Release();
+  EXPECT_TRUE(h1->Wait().status.ok());
+  EXPECT_TRUE(h2->Wait().status.ok());
+  snap = service.queue_snapshot();
+  EXPECT_EQ(snap.inflight, 0u);
+  EXPECT_EQ(snap.queued, 0u);
+}
+
+TEST(QueryServiceTest, RequestModeOverridesServiceDefault) {
+  ServiceOptions options;
+  options.mode = db::ExecMode::kOptimized;
+  QueryService service(SharedDb(), options);
+
+  Request debug_request;
+  debug_request.query = 6;
+  debug_request.mode = db::ExecMode::kDebug;
+  Response debug_response = service.Execute(std::move(debug_request));
+  ASSERT_TRUE(debug_response.status.ok());
+
+  Request default_request;
+  default_request.query = 6;
+  Response default_response = service.Execute(std::move(default_request));
+  ASSERT_TRUE(default_response.status.ok());
+
+  // Mode is a performance knob, not a semantic one: same fingerprint.
+  EXPECT_EQ(debug_response.fingerprint, default_response.fingerprint);
+  EXPECT_NE(debug_response.fingerprint, 0u);
+}
+
+TEST(QueryServiceTest, ExecutorSeamServesNonDatabaseBackends) {
+  // The front-end seam: a service whose executor is arbitrary code, with
+  // queueing/stats/fingerprinting unchanged.
+  std::atomic<int> calls{0};
+  QueryService::ExecutorFn executor =
+      [&calls](const Request& request, db::ExecMode, db::SinkKind) {
+        ++calls;
+        db::Table table(db::Schema({{"echo", db::DataType::kInt64}}));
+        table.AppendRow({db::Value::Int64(request.query)});
+        db::QueryResult result;
+        result.table = std::make_shared<db::Table>(std::move(table));
+        return result;
+      };
+  QueryService service(std::move(executor), ServiceOptions{});
+  Request request;
+  request.query = 42;
+  Response response = service.Execute(std::move(request));
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_NE(response.table, nullptr);
+  EXPECT_EQ(response.table->ValueAt(0, 0).AsInt64(), 42);
+  EXPECT_NE(response.fingerprint, 0u);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(service.stats().executed, 1);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace perfeval

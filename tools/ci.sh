@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point — the same jobs .github/workflows/ci.yml runs, invocable
-# locally: tools/ci.sh [tier1|asan|oracle|serve|txn|all]. Each job uses its
-# own build directory so they can be cached independently.
+# locally: tools/ci.sh [tier1|asan|oracle|serve|parallel|shard|txn|all].
+# Each job uses its own build directory so they can be cached independently.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -70,6 +70,23 @@ parallel() {
   ctest --test-dir build-tsan --output-on-failure -L sched -R 'ParallelFor'
 }
 
+shard() {
+  # Scale-out job: the shard-cluster suite (planner site annotation, all
+  # 22 queries sharded-vs-single-node with bit-identical stats at shard
+  # counts {1,2,4,8}, straggler attribution, front-end quotas) plus the
+  # A10 bench's fast path in Release, then the concurrent scatter-gather
+  # test under ThreadSanitizer — fragment fan-out over the per-shard
+  # services is the newest concurrency surface in the tree.
+  cmake -B build -S .
+  cmake --build build "$jobs_flag" --target shard_test bench_shard_scaleout
+  ctest --test-dir build --output-on-failure -L shard
+  cmake -B build-tsan -S . -DPERFEVAL_SANITIZE=thread
+  cmake --build build-tsan "$jobs_flag" --target shard_test
+  # -R keeps the TSan pass to the shard_test cases (the bench smoke under
+  # the same label is built only in the Release tree).
+  ctest --test-dir build-tsan --output-on-failure -L shard -R 'ShardPlanner|ShardCluster|ShardedTpch'
+}
+
 txn() {
   # Write-path job: the WAL/checkpoint/recovery suite, the exhaustive
   # crash-point fuzz sweep and the A9 bench's fast path in Release, then
@@ -95,10 +112,11 @@ case "$job" in
   oracle)   oracle ;;
   serve)    serve ;;
   parallel) parallel ;;
+  shard)    shard ;;
   txn)      txn ;;
-  all)      tier1; oracle; serve; parallel; txn; asan ;;
+  all)      tier1; oracle; serve; parallel; shard; txn; asan ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|oracle|serve|parallel|txn|all]" >&2
+    echo "usage: tools/ci.sh [tier1|asan|oracle|serve|parallel|shard|txn|all]" >&2
     exit 2
     ;;
 esac
