@@ -1,0 +1,445 @@
+// A11 — the cost-based optimizer under the paper's evaluation discipline:
+// don't trust a model, measure it (slides 28-29, 96-105). Three parts on
+// the bundled engine's TPC-H instance:
+//
+//   1. Calibration: measured TRACE join-operator times vs the CostModel's
+//      predictions per algorithm, and a FitLinear re-fit of the hash
+//      join's per-probe-row constant — measured-vs-default constants with
+//      the fit's r^2, the evidence behind the model's numbers.
+//   2. Estimated vs actual: every TPC-H plan is estimated (EstimatePlan)
+//      and run with TRACE; estimates and OpTraces zip positionally, and
+//      the per-operator Q-error distribution (median/p90/max of
+//      max(est,act)/min(est,act)) quantifies the estimator per operator
+//      kind — the DoE view of where estimates are trustworthy.
+//   3. Who wins: optimizer-picked plans vs the best hand-picked plan
+//      (rule-built join order under each global algorithm) — a
+//      selectivity sweep locating the crossover where plan choice starts
+//      to matter, and the 22-query table with bootstrap ratio CIs
+//      counting how often the optimizer lands within 1.1x of the best
+//      hand-picked plan.
+//
+// Everything lands in BENCH_optimizer.json plus plot-ready CSV+gnuplot;
+// `--smoke` shrinks the scale factor and run counts to a ctest-able pass.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/metrics.h"
+#include "db/database.h"
+#include "db/plan.h"
+#include "opt/cost_model.h"
+#include "opt/estimator.h"
+#include "opt/optimizer.h"
+#include "report/gnuplot.h"
+#include "report/table_format.h"
+#include "stats/bootstrap.h"
+#include "stats/descriptive.h"
+#include "stats/regression.h"
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+namespace perfeval {
+namespace {
+
+std::shared_ptr<db::Table> MakeKeyed(size_t rows, int64_t key_range,
+                                     uint64_t seed) {
+  Pcg32 rng(seed);
+  auto table = std::make_shared<db::Table>(db::Schema(
+      {{"k", db::DataType::kInt64}, {"v", db::DataType::kInt64}}));
+  table->ReserveRows(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    table->column(0).AppendInt64(rng.NextInRange(0, key_range));
+    table->column(1).AppendInt64(static_cast<int64_t>(i));
+  }
+  table->FinishBulkLoad();
+  return table;
+}
+
+/// Wall time of the first join operator in the TRACE, the same
+/// "use the engine's own timings" discipline as A2.
+double JoinWallNs(const db::QueryResult& result) {
+  for (const db::OpTrace& trace : result.profile.traces()) {
+    if (trace.op.rfind("HashJoin(", 0) == 0 ||
+        trace.op.rfind("MergeJoin", 0) == 0) {
+      return static_cast<double>(trace.wall_ns);
+    }
+  }
+  return static_cast<double>(result.server.real_ns);
+}
+
+/// Hot server-side wall-time samples of a whole plan.
+std::vector<double> PlanSamples(db::Database& database,
+                                const db::PlanPtr& plan, int runs) {
+  (void)database.Run(plan);  // warm-up.
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    samples.push_back(
+        static_cast<double>(database.Run(plan).server.real_ns));
+  }
+  return samples;
+}
+
+std::string CiJson(const stats::ConfidenceInterval& ci) {
+  return StrFormat("{\"mean\": %.4f, \"lower\": %.4f, \"upper\": %.4f}",
+                   ci.mean, ci.lower, ci.upper);
+}
+
+double QError(double estimated, double actual) {
+  double e = std::max(estimated, 1.0);
+  double a = std::max(actual, 1.0);
+  return e > a ? e / a : a / e;
+}
+
+struct QErrorAccum {
+  std::vector<double> rows;
+  std::vector<double> cost;
+};
+
+}  // namespace
+}  // namespace perfeval
+
+int main(int argc, char** argv) {
+  using namespace perfeval;  // NOLINT(build/namespaces) bench binary.
+  bench::BenchContext ctx(
+      "A11",
+      "hot runs: 1 warm-up, median of `runs`; join-operator TRACE time "
+      "for calibration, server wall time for the plan duels; estimates "
+      "zip positionally with OpTraces",
+      argc, argv);
+  bool smoke = ctx.Smoke();
+  ctx.properties().SetDefault("scaleFactor", smoke ? "0.002" : "0.02");
+  ctx.properties().SetDefault("runs", smoke ? "3" : "5");
+  ctx.PrintHeader(
+      "cost-based optimizer: calibration, per-operator Q-error, "
+      "optimizer vs best hand-picked plan");
+  if (smoke) {
+    std::printf("[smoke mode: tiny scale factor, few runs]\n\n");
+  }
+  double sf = ctx.properties().GetDouble("scaleFactor", 0.02);
+  int runs = static_cast<int>(ctx.properties().GetInt("runs", 5));
+
+  db::Database database;
+  workload::TpchGenerator gen(sf);
+  gen.LoadAll(&database);
+  Status knobs = ctx.ApplyDbKnobs(&database);
+  if (!knobs.ok()) {
+    std::fprintf(stderr, "%s\n", knobs.ToString().c_str());
+    return 2;
+  }
+  opt::CostModel model = opt::CostModel::Default();
+  opt::StatsCatalog stats_catalog(database);
+  opt::CardinalityEstimator estimator(stats_catalog, model, database);
+
+  // ---- Part 1: cost-model calibration against measured TRACE times. ----
+  const db::JoinAlgo kAlgos[] = {db::JoinAlgo::kLegacy, db::JoinAlgo::kHash,
+                                 db::JoinAlgo::kRadix, db::JoinAlgo::kMerge};
+  size_t cal_build = smoke ? 8192 : 65536;
+  size_t cal_probe = cal_build * 4;
+  db::Database cal_db;
+  int64_t range = static_cast<int64_t>(cal_build) * 2;
+  cal_db.RegisterTable("build", MakeKeyed(cal_build, range, 21));
+  cal_db.RegisterTable("probe", MakeKeyed(cal_probe, range, 22));
+  db::PlanPtr cal_plan =
+      db::HashJoin(db::Scan("probe"), db::Scan("build"), "k", "k");
+  double cal_out =
+      static_cast<double>(cal_db.Run(cal_plan).table->num_rows());
+
+  report::TextTable cal_table;
+  cal_table.SetHeader({"algo", "measured join (ms)", "model (ms)",
+                       "measured/model"});
+  std::string cal_json;
+  for (size_t ai = 0; ai < 4; ++ai) {
+    db::JoinAlgo algo = kAlgos[ai];
+    cal_db.set_join_algo(algo);
+    (void)cal_db.Run(cal_plan);
+    std::vector<double> samples;
+    for (int r = 0; r < runs; ++r) {
+      samples.push_back(JoinWallNs(cal_db.Run(cal_plan)));
+    }
+    double measured = stats::Median(samples);
+    double predicted =
+        model.JoinCost(algo, static_cast<double>(cal_probe),
+                       static_cast<double>(cal_build), cal_out);
+    cal_table.AddRow({db::JoinAlgoName(algo),
+                      StrFormat("%.2f", measured / 1e6),
+                      StrFormat("%.2f", predicted / 1e6),
+                      StrFormat("%.2f", measured / predicted)});
+    cal_json += StrFormat(
+        "    %s{\"algo\": \"%s\", \"measured_ns\": %.0f, "
+        "\"model_ns\": %.0f}",
+        ai == 0 ? "" : ",\n", db::JoinAlgoName(algo), measured, predicted);
+  }
+  cal_db.set_join_algo(db::JoinAlgo::kRadix);
+
+  // Re-fit the hash join's per-probe-row constant: join time vs probe
+  // rows at fixed build side is a line whose slope the model names
+  // hash_probe_ns + join_output_ns.
+  std::vector<double> fit_x;
+  std::vector<double> fit_y;
+  cal_db.set_join_algo(db::JoinAlgo::kHash);
+  for (size_t probe = cal_build; probe <= cal_probe; probe *= 2) {
+    db::Database fit_db;
+    fit_db.set_join_algo(db::JoinAlgo::kHash);
+    fit_db.RegisterTable("build", MakeKeyed(cal_build, range, 21));
+    fit_db.RegisterTable("probe", MakeKeyed(probe, range, 23));
+    db::PlanPtr plan =
+        db::HashJoin(db::Scan("probe"), db::Scan("build"), "k", "k");
+    (void)fit_db.Run(plan);
+    std::vector<double> samples;
+    for (int r = 0; r < runs; ++r) {
+      samples.push_back(JoinWallNs(fit_db.Run(plan)));
+    }
+    fit_x.push_back(static_cast<double>(probe));
+    fit_y.push_back(stats::Median(samples));
+  }
+  cal_db.set_join_algo(db::JoinAlgo::kRadix);
+  stats::LinearFit fit = stats::FitLinear(fit_x, fit_y);
+  double model_slope = model.hash_probe_ns + model.join_output_ns;
+  std::printf("%s\n", cal_table.ToString().c_str());
+  std::printf(
+      "hash-join probe slope: measured %.1f ns/row [%.1f, %.1f] "
+      "(r^2 %.3f) vs model %.1f ns/row (hash_probe + join_output)\n"
+      "absolute constants drift with the host; the DP only needs the "
+      "*ordering* to hold, which parts 1 and 3 check.\n\n",
+      fit.slope, fit.slope_ci.lower, fit.slope_ci.upper, fit.r_squared,
+      model_slope);
+
+  // ---- Part 2: per-operator Q-error over all 22 TPC-H plans. ----
+  std::map<std::string, QErrorAccum> by_op;
+  int estimated_nodes = 0;
+  for (int q = 1; q <= 22; ++q) {
+    db::PlanPtr plan = workload::GetTpchQuery(q).Build(database);
+    std::vector<opt::NodeEstimate> estimates;
+    estimator.EstimatePlan(*plan, &estimates);
+    db::QueryResult result = database.Run(plan);
+    const std::vector<db::OpTrace>& traces = result.profile.traces();
+    if (estimates.size() != traces.size()) {
+      std::fprintf(stderr,
+                   "Q%d: %zu estimates vs %zu traces — zip broken\n", q,
+                   estimates.size(), traces.size());
+      return 2;
+    }
+    for (size_t i = 0; i < estimates.size(); ++i) {
+      QErrorAccum& accum = by_op[estimates[i].op];
+      accum.rows.push_back(
+          QError(estimates[i].rows_out,
+                 static_cast<double>(traces[i].rows_out)));
+      if (estimates[i].cost_ns > 0.0 && traces[i].wall_ns > 0) {
+        accum.cost.push_back(
+            QError(estimates[i].cost_ns,
+                   static_cast<double>(traces[i].wall_ns)));
+      }
+      ++estimated_nodes;
+    }
+  }
+  report::TextTable q_table;
+  q_table.SetHeader({"operator", "nodes", "rows q-err p50", "p90", "max",
+                     "cost q-err p50"});
+  std::string qerr_json;
+  bool first = true;
+  for (auto& [op, accum] : by_op) {
+    std::vector<double> rows = accum.rows;
+    std::sort(rows.begin(), rows.end());
+    double p50 = stats::Median(rows);
+    double p90 = rows[static_cast<size_t>(0.9 * (rows.size() - 1))];
+    double mx = rows.back();
+    double cost_p50 =
+        accum.cost.empty() ? 0.0 : stats::Median(accum.cost);
+    q_table.AddRow({op, std::to_string(rows.size()),
+                    StrFormat("%.2f", p50), StrFormat("%.2f", p90),
+                    StrFormat("%.1f", mx),
+                    accum.cost.empty() ? "-" : StrFormat("%.1f", cost_p50)});
+    qerr_json += StrFormat(
+        "    %s{\"op\": \"%s\", \"nodes\": %zu, \"rows_q50\": %.3f, "
+        "\"rows_q90\": %.3f, \"rows_max\": %.3f, \"cost_q50\": %.3f}",
+        first ? "" : ",\n", op.c_str(), rows.size(), p50, p90, mx,
+        cost_p50);
+    first = false;
+  }
+  std::printf("per-operator Q-error over the 22 TPC-H plans (%d nodes)\n%s\n",
+              estimated_nodes, q_table.ToString().c_str());
+  std::printf(
+      "expected shape: scans are near-exact (stats are exact counts), "
+      "filters ride the histograms, errors compound multiplicatively "
+      "through join stacks — the classic estimation cascade.\n\n");
+
+  // ---- Part 3a: selectivity sweep — where plan choice starts to pay. ----
+  const db::Schema& lineitem = database.GetTable("lineitem").schema();
+  core::Series best_series{"best hand-picked", {}, {}, {}};
+  core::Series opt_series{"optimizer", {}, {}, {}};
+  report::TextTable sweep_table;
+  sweep_table.SetHeader({"l_quantity <", "selectivity", "best hand (ms)",
+                         "best algo", "optimizer (ms)", "opt/best",
+                         "95% CI"});
+  std::string sweep_json;
+  uint64_t ci_seed = 100;
+  const int64_t kThresholds[] = {3, 10, 25, 50};
+  double lineitem_rows =
+      static_cast<double>(database.GetTable("lineitem").num_rows());
+  first = true;
+  for (int64_t threshold : kThresholds) {
+    db::ExprPtr pred =
+        db::Lt(db::Col(lineitem, "l_quantity"), db::LitInt(threshold));
+    db::PlanPtr rule_plan = db::Aggregate(
+        db::HashJoin(
+            db::HashJoin(db::FilterScan("lineitem", {}, pred),
+                         db::Scan("orders"), "l_orderkey", "o_orderkey"),
+            db::Scan("customer"), "o_custkey", "c_custkey"),
+        {"c_mktsegment"},
+        {{db::AggOp::kSum, db::Col(lineitem, "l_extendedprice"),
+          "revenue"}});
+    double selectivity =
+        static_cast<double>(
+            database
+                .Run(db::FilterScan("lineitem", {"l_orderkey"}, pred))
+                .table->num_rows()) /
+        lineitem_rows;
+
+    std::vector<double> best_samples;
+    double best_median = 0.0;
+    const char* best_algo = "";
+    for (db::JoinAlgo algo : kAlgos) {
+      database.set_join_algo(algo);
+      std::vector<double> samples = PlanSamples(database, rule_plan, runs);
+      double median = stats::Median(samples);
+      if (best_samples.empty() || median < best_median) {
+        best_samples = samples;
+        best_median = median;
+        best_algo = db::JoinAlgoName(algo);
+      }
+    }
+    database.set_join_algo(db::JoinAlgo::kRadix);
+    db::PlanPtr opt_plan = opt::Optimize(rule_plan, database).plan;
+    std::vector<double> opt_samples = PlanSamples(database, opt_plan, runs);
+    double opt_median = stats::Median(opt_samples);
+    stats::ConfidenceInterval ratio =
+        stats::BootstrapRatioCI(opt_samples, best_samples, 0.95, ci_seed++);
+    sweep_table.AddRow(
+        {StrFormat("%lld", (long long)threshold),
+         StrFormat("%.3f", selectivity),
+         StrFormat("%.2f", best_median / 1e6), best_algo,
+         StrFormat("%.2f", opt_median / 1e6),
+         StrFormat("%.2fx", opt_median / best_median),
+         StrFormat("[%.2f, %.2f]", ratio.lower, ratio.upper)});
+    best_series.Append(selectivity, best_median / 1e6);
+    opt_series.Append(selectivity, opt_median / 1e6);
+    sweep_json += StrFormat(
+        "    %s{\"threshold\": %lld, \"selectivity\": %.4f, "
+        "\"best_algo\": \"%s\", \"best_ns\": %.0f, \"opt_ns\": %.0f, "
+        "\"best_over_opt\": %s}",
+        first ? "" : ",\n", (long long)threshold, selectivity, best_algo,
+        best_median, opt_median, CiJson(ratio).c_str());
+    first = false;
+  }
+  std::printf("selectivity sweep (3-way join, hand-picked order)\n%s\n",
+              sweep_table.ToString().c_str());
+
+  report::ChartSpec sweep_chart;
+  sweep_chart.title = "Optimizer vs best hand-picked plan";
+  sweep_chart.x_label = "filter selectivity";
+  sweep_chart.y_label = "server wall time (ms)";
+  sweep_chart.logscale_y = true;
+  sweep_chart.series = {best_series, opt_series};
+  std::string sweep_stem = ctx.ResultPath("a11_selectivity");
+  if (!report::WriteChart(sweep_chart, sweep_stem).ok()) {
+    return 1;
+  }
+  ctx.AddOutput(sweep_stem + ".csv");
+
+  // ---- Part 3b: the 22-query who-wins table. ----
+  report::TextTable tpch_table;
+  tpch_table.SetHeader({"query", "best hand (ms)", "best algo",
+                        "optimizer (ms)", "opt/best", "95% CI",
+                        "within 1.1x"});
+  std::string tpch_json;
+  int within = 0;
+  first = true;
+  for (int q = 1; q <= 22; ++q) {
+    db::PlanPtr rule_plan = workload::GetTpchQuery(q).Build(database);
+    std::vector<double> best_samples;
+    double best_median = 0.0;
+    const char* best_algo = "";
+    for (db::JoinAlgo algo : kAlgos) {
+      database.set_join_algo(algo);
+      std::vector<double> samples = PlanSamples(database, rule_plan, runs);
+      double median = stats::Median(samples);
+      if (best_samples.empty() || median < best_median) {
+        best_samples = samples;
+        best_median = median;
+        best_algo = db::JoinAlgoName(algo);
+      }
+    }
+    database.set_join_algo(db::JoinAlgo::kRadix);
+    db::PlanPtr opt_plan = opt::Optimize(rule_plan, database).plan;
+    std::vector<double> opt_samples = PlanSamples(database, opt_plan, runs);
+    double opt_median = stats::Median(opt_samples);
+    double ratio_pt = opt_median / best_median;
+    stats::ConfidenceInterval ratio =
+        stats::BootstrapRatioCI(opt_samples, best_samples, 0.95, ci_seed++);
+    bool ok = ratio_pt <= 1.1;
+    within += ok ? 1 : 0;
+    tpch_table.AddRow({StrFormat("Q%d", q),
+                       StrFormat("%.2f", best_median / 1e6), best_algo,
+                       StrFormat("%.2f", opt_median / 1e6),
+                       StrFormat("%.2fx", ratio_pt),
+                       StrFormat("[%.2f, %.2f]", ratio.lower, ratio.upper),
+                       ok ? "yes" : "NO"});
+    tpch_json += StrFormat(
+        "    %s{\"query\": %d, \"best_algo\": \"%s\", \"best_ns\": %.0f, "
+        "\"opt_ns\": %.0f, \"opt_over_best\": %.3f, "
+        "\"best_over_opt_ci\": %s}",
+        first ? "" : ",\n", q, best_algo, best_median, opt_median,
+        ratio_pt, CiJson(ratio).c_str());
+    first = false;
+  }
+  std::printf("TPC-H who-wins, optimizer vs best hand-picked\n%s\n",
+              tpch_table.ToString().c_str());
+  std::printf(
+      "optimizer within 1.1x of the best hand-picked plan on %d/22 "
+      "queries\n"
+      "(the hand-picked side gets the best of %d global algorithms per "
+      "query — an oracle no single static configuration achieves)\n\n",
+      within, 4);
+
+  std::string json = "{\n";
+  json += "  \"experiment\": \"A11\",\n";
+  json += StrFormat("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  json += StrFormat("  \"scale_factor\": %.4f,\n", sf);
+  json += StrFormat("  \"runs\": %d,\n", runs);
+  json += "  \"calibration\": [\n" + cal_json + "\n  ],\n";
+  json += StrFormat(
+      "  \"hash_probe_slope\": {\"measured_ns_per_row\": %.2f, "
+      "\"lower\": %.2f, \"upper\": %.2f, \"r_squared\": %.4f, "
+      "\"model_ns_per_row\": %.2f},\n",
+      fit.slope, fit.slope_ci.lower, fit.slope_ci.upper, fit.r_squared,
+      model_slope);
+  json += "  \"qerror_per_operator\": [\n" + qerr_json + "\n  ],\n";
+  json += "  \"selectivity_sweep\": [\n" + sweep_json + "\n  ],\n";
+  json += "  \"tpch_crossover\": [\n" + tpch_json + "\n  ],\n";
+  json += StrFormat("  \"within_1_1x\": %d,\n", within);
+  json += "  \"queries\": 22\n";
+  json += "}\n";
+
+  std::string json_path = ctx.ResultPath("BENCH_optimizer.json");
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  ctx.AddOutput(json_path);
+  ctx.AddNote(StrFormat(
+      "optimizer within 1.1x of best hand-picked on %d/22 TPC-H queries; "
+      "hash-probe slope measured %.1f vs model %.1f ns/row",
+      within, fit.slope, model_slope));
+  ctx.Finish();
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "db/database.h"
 
 namespace perfeval {
 namespace bench {
@@ -25,6 +26,7 @@ bool ConsumeScheduleFlag(const std::string& arg,
       {"--dbThreads=", "dbThreads"},
       {"--dbJoin=", "dbJoin"},
       {"--radixBits=", "radixBits"},
+      {"--dbOpt=", "dbOpt"},
   };
   for (const auto& flag : kFlags) {
     std::string prefix = flag.prefix;
@@ -59,6 +61,8 @@ BenchContext::BenchContext(const std::string& experiment_id,
   properties_.SetDefault("schedSeed", "0");
   properties_.SetDefault("progress", "false");
   properties_.SetDefault("dbThreads", "1");
+  properties_.SetDefault("dbJoin", "radix");
+  properties_.SetDefault("dbOpt", "off");
   properties_.SetDefault("smoke", "false");
   std::vector<std::string> rest = properties_.OverrideFromArgs(argc, argv);
   for (const std::string& arg : rest) {
@@ -101,6 +105,46 @@ sched::Options BenchContext::ScheduleOptions() const {
 int BenchContext::DbThreads() const {
   int threads = static_cast<int>(properties_.GetInt("dbThreads", 1));
   return threads < 1 ? 1 : threads;
+}
+
+Result<db::JoinAlgo> BenchContext::DbJoin() const {
+  const std::string text = properties_.GetOr("dbJoin", "radix");
+  Result<db::JoinAlgo> algo = db::ParseJoinAlgo(text);
+  if (!algo.ok()) {
+    return Status::InvalidArgument(StrFormat(
+        "usage: --dbJoin=<legacy|hash|radix|merge> (got \"%s\")",
+        text.c_str()));
+  }
+  return algo;
+}
+
+Result<bool> BenchContext::DbOpt() const {
+  const std::string text = properties_.GetOr("dbOpt", "off");
+  if (text == "on" || text == "true") {
+    return true;
+  }
+  if (text == "off" || text == "false") {
+    return false;
+  }
+  return Status::InvalidArgument(
+      StrFormat("usage: --dbOpt=on|off (got \"%s\")", text.c_str()));
+}
+
+Status BenchContext::ApplyDbKnobs(db::Database* database) const {
+  database->set_threads(DbThreads());
+  Result<db::JoinAlgo> join = DbJoin();
+  if (!join.ok()) {
+    return join.status();
+  }
+  database->set_join_algo(join.value());
+  database->set_radix_bits(
+      static_cast<int>(properties_.GetInt("radixBits", 0)));
+  Result<bool> optimize = DbOpt();
+  if (!optimize.ok()) {
+    return optimize.status();
+  }
+  database->set_optimize(optimize.value());
+  return Status::OK();
 }
 
 bool BenchContext::Smoke() const {

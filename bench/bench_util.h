@@ -3,10 +3,18 @@
 
 #include <string>
 
+#include "common/result.h"
 #include "core/environment.h"
+#include "db/join.h"
 #include "repro/manifest.h"
 #include "repro/properties.h"
 #include "sched/options.h"
+
+namespace perfeval {
+namespace db {
+class Database;
+}  // namespace db
+}  // namespace perfeval
 
 namespace perfeval {
 namespace bench {
@@ -42,6 +50,24 @@ class BenchContext {
   /// concurrency knob: query results and storage stats are identical at
   /// any setting, only wall-clock time changes. Clamped to >= 1.
   int DbThreads() const;
+
+  /// Join algorithm knob (`--dbJoin=<legacy|hash|radix|merge>`,
+  /// equivalently the `dbJoin` property; default radix). Unlike the
+  /// scheduler flags this is a *treatment* knob — a typo would silently
+  /// measure the wrong engine — so an unrecognized value is a hard usage
+  /// error, never a fallback.
+  Result<db::JoinAlgo> DbJoin() const;
+
+  /// Cost-based-optimizer knob (`--dbOpt=<on|off>`, equivalently the
+  /// `dbOpt` property; default off). Same strictness as DbJoin(): any
+  /// value other than on/off/true/false is a usage error.
+  Result<bool> DbOpt() const;
+
+  /// Applies the validated database knobs (`--dbThreads`, `--dbJoin`,
+  /// `--radixBits`, `--dbOpt`) to `database`, returning the first usage
+  /// error. Benches call this once after constructing their Database so
+  /// every binary honours the uniform flags identically.
+  Status ApplyDbKnobs(db::Database* database) const;
 
   /// `--smoke` (equivalently `-Dsmoke=true`): ask the bench for its
   /// seconds-scale fast path — tiny configs, few repetitions — so ctest

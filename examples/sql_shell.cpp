@@ -14,6 +14,10 @@
 //                            |merge; optional radix fan-out bits (0=auto)
 //   \check on|off            checked execution: operators assert their
 //                            invariants (costs O(input) per operator)
+//   \opt on|off              cost-based optimization: re-order equi-join
+//                            regions and pin per-join algorithms from
+//                            table stats (results stay bit-identical;
+//                            EXPLAIN shows the optimized tree)
 //   \timing on|off           route queries through the serve::QueryService
 //                            and print the server-side split (queue wait /
 //                            exec / total) alongside client wall time
@@ -238,6 +242,18 @@ int main(int argc, char** argv) {
                     db::JoinAlgoName(database.join_algo()),
                     database.radix_bits(),
                     database.radix_bits() <= 0 ? " = auto" : "");
+        continue;
+      }
+      if (StartsWith(trimmed, "\\opt")) {
+        std::vector<std::string> parts = Split(trimmed, ' ');
+        if (parts.size() == 2 && (parts[1] == "on" || parts[1] == "off")) {
+          database.set_optimize(parts[1] == "on");
+        } else if (parts.size() != 1) {
+          std::printf("usage: \\opt on|off\n");
+          continue;
+        }
+        std::printf("cost-based optimization: %s\n",
+                    database.optimize() ? "on" : "off");
         continue;
       }
       if (StartsWith(trimmed, "\\check") && trimmed != "\\checkpoint") {

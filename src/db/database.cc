@@ -19,6 +19,8 @@ void Database::RegisterTable(const std::string& name,
       << "table " << name << " already registered";
   uint32_t id = static_cast<uint32_t>(table_order_.size());
   storage_->RegisterTable(id, *table);
+  stats_[name] = std::make_shared<const TableStats>(
+      ComputeTableStats(*table, storage_.get(), id));
   tables_[name] = std::move(table);
   table_ids_[name] = id;
   table_order_.push_back(name);
@@ -36,6 +38,8 @@ void Database::ReplaceTable(const std::string& name,
   PERFEVAL_CHECK_EQ(it->second->schema().num_columns(),
                     table->schema().num_columns());
   storage_->ReplaceTable(table_ids_[name], *table);
+  stats_[name] = std::make_shared<const TableStats>(
+      ComputeTableStats(*table, storage_.get(), table_ids_[name]));
   retired_.push_back(std::move(it->second));
   it->second = std::move(table);
 }
@@ -68,6 +72,14 @@ uint32_t Database::TableId(const std::string& name) const {
   std::lock_guard<std::mutex> lock(catalog_mu_);
   auto it = table_ids_.find(name);
   PERFEVAL_CHECK(it != table_ids_.end()) << "no table named " << name;
+  return it->second;
+}
+
+std::shared_ptr<const TableStats> Database::GetTableStats(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  auto it = stats_.find(name);
+  PERFEVAL_CHECK(it != stats_.end()) << "no table named " << name;
   return it->second;
 }
 

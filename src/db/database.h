@@ -15,6 +15,7 @@
 #include "db/sink.h"
 #include "db/storage.h"
 #include "db/table.h"
+#include "db/table_stats.h"
 
 namespace perfeval {
 namespace db {
@@ -46,6 +47,12 @@ struct DatabaseOptions {
   /// fail with QueryError on violation (see ExecContext::check). SQL shell
   /// `\check on`.
   bool check = false;
+  /// Cost-based optimization: when set, the SQL planner hands its rule-
+  /// built plan to opt::Optimize, which re-derives join order and picks a
+  /// physical join algorithm per node from the table statistics. Opt-in
+  /// (SQL shell `\opt on`, bench `--dbOpt=on`); results are oracle-diffed
+  /// identical to the rule-only plans.
+  bool optimize = false;
 };
 
 /// A query's complete outcome: the result table, server-side timing split
@@ -154,6 +161,17 @@ class Database {
   bool check() const { return options_.check; }
   void set_check(bool check) { options_.check = check; }
 
+  /// Cost-based optimization knob; adjustable at runtime (SQL shell
+  /// `\opt on|off`, bench `--dbOpt=on|off`).
+  bool optimize() const { return options_.optimize; }
+  void set_optimize(bool optimize) { options_.optimize = optimize; }
+
+  /// Statistics of a catalog table, computed at RegisterTable and
+  /// refreshed on every ReplaceTable (write-path snapshot install).
+  /// Never null for a registered table.
+  std::shared_ptr<const TableStats> GetTableStats(
+      const std::string& name) const;
+
   /// Empties the buffer pool: the next run is a cold run (slide 32).
   void FlushCaches() { storage_->FlushCaches(); }
 
@@ -178,6 +196,9 @@ class Database {
 
   std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
   std::unordered_map<std::string, uint32_t> table_ids_;
+  /// Optimizer statistics per table; replaced wholesale on refresh so
+  /// handed-out snapshots stay valid (like `retired_` for tables).
+  std::unordered_map<std::string, std::shared_ptr<const TableStats>> stats_;
   std::vector<std::string> table_order_;
   /// Replaced table versions, kept alive so GetTable() references handed
   /// out before a swap never dangle (a handful of entries per session).

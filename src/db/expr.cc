@@ -82,6 +82,8 @@ bool Expr::AsSimplePredicate(SimplePredicate*) const { return false; }
 
 bool Expr::AsColumnIndex(size_t*) const { return false; }
 
+bool Expr::AsColumnEquality(size_t*, size_t*) const { return false; }
+
 void Expr::CollectConjuncts(std::vector<ExprPtr>* out,
                             const ExprPtr& self) const {
   out->push_back(self);
@@ -231,6 +233,20 @@ class CmpExpr : public Expr {
     out->column = col->index();
     out->op = op_;
     out->value = lit->value().AsDouble();
+    return true;
+  }
+
+  bool AsColumnEquality(size_t* left, size_t* right) const override {
+    if (op_ != CmpOp::kEq) {
+      return false;
+    }
+    size_t l = 0;
+    size_t r = 0;
+    if (!lhs_->AsColumnIndex(&l) || !rhs_->AsColumnIndex(&r)) {
+      return false;
+    }
+    *left = l;
+    *right = r;
     return true;
   }
 

@@ -69,6 +69,11 @@ class Expr {
   /// column's raw payload vector directly instead of going through EvalRow.
   virtual bool AsColumnIndex(size_t* out) const;
 
+  /// If this node is `column = column` (equality between two plain column
+  /// references), fills the two indices and returns true. The optimizer
+  /// treats such residual filters as join edges it can rebind by name.
+  virtual bool AsColumnEquality(size_t* left, size_t* right) const;
+
   /// Appends this predicate's top-level conjuncts to `out` (flattens AND).
   virtual void CollectConjuncts(std::vector<ExprPtr>* out,
                                 const ExprPtr& self) const;

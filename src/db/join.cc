@@ -147,7 +147,7 @@ size_t EstimateDistinctKeys(const std::vector<int64_t>& keys) {
     std::unordered_set<int64_t> distinct(keys.begin(), keys.end());
     return distinct.size();
   }
-  // Chao1 estimate over an evenly spaced sample: d + f1^2 / (2 (f2 + 1)),
+  // Chao1 estimate over a uniform random sample: d + f1^2 / (2 (f2 + 1)),
   // where f1/f2 count sample keys seen once/twice. Keys repeating across
   // the whole input repeat inside the sample too (f1 -> 0, estimate -> d),
   // so duplicate-heavy inputs estimate near their true distinct count —
@@ -155,10 +155,26 @@ size_t EstimateDistinctKeys(const std::vector<int64_t>& keys) {
   // `reserve(right.num_rows())`) overshoots by the duplication factor.
   // All-distinct inputs are all singletons (f2 = 0), blowing the estimate
   // past n, where it clamps.
+  //
+  // The positions must be (pseudo-)random, not evenly strided: duplicates
+  // are often clustered in row order (TPC-H lineitem repeats each
+  // orderkey in 1-7 *consecutive* rows), and a stride wider than the
+  // clusters never samples a key twice — mistaking a duplicate-heavy
+  // input for an all-distinct one and estimating NDV at the row count.
+  // Chao1's extrapolation is only valid when the sample's duplicate rate
+  // reflects the input's, which position-independent draws guarantee.
+  // The seed is fixed, so the estimate stays a pure function of `keys`.
   std::unordered_map<int64_t, uint32_t> sample_counts;
-  size_t stride = n / kSample;
-  for (size_t i = 0; i < kSample; ++i) {
-    ++sample_counts[keys[i * stride]];
+  Pcg32 rng(0x5eed0d15);
+  std::unordered_set<size_t> positions;
+  positions.reserve(kSample);
+  while (positions.size() < kSample) {
+    size_t pos = static_cast<size_t>(
+        rng.NextBounded(static_cast<uint32_t>(std::min(
+            n, static_cast<size_t>(0xffffffffu)))));
+    if (positions.insert(pos).second) {
+      ++sample_counts[keys[pos]];
+    }
   }
   double d = static_cast<double>(sample_counts.size());
   double f1 = 0.0;

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "common/string_util.h"
@@ -598,6 +599,8 @@ class FilterNode : public PlanNode {
     return {child_.get()};
   }
 
+  std::vector<PlanPtr> SharedChildren() const override { return {child_}; }
+
  private:
   PlanPtr child_;
   ExprPtr predicate_;
@@ -674,6 +677,8 @@ class ProjectNode : public PlanNode {
   std::vector<const PlanNode*> Children() const override {
     return {child_.get()};
   }
+
+  std::vector<PlanPtr> SharedChildren() const override { return {child_}; }
 
  private:
   PlanPtr child_;
@@ -765,23 +770,28 @@ class HashJoinNode : public PlanNode {
  public:
   HashJoinNode(PlanPtr left, PlanPtr right,
                std::vector<std::string> left_keys,
-               std::vector<std::string> right_keys)
+               std::vector<std::string> right_keys,
+               std::optional<JoinAlgo> algo = std::nullopt)
       : left_(std::move(left)),
         right_(std::move(right)),
         left_keys_(std::move(left_keys)),
-        right_keys_(std::move(right_keys)) {
+        right_keys_(std::move(right_keys)),
+        algo_(algo) {
     PERFEVAL_CHECK_EQ(left_keys_.size(), right_keys_.size());
     PERFEVAL_CHECK_GE(left_keys_.size(), 1u);
     PERFEVAL_CHECK_LE(left_keys_.size(), 2u);
   }
 
   Relation Execute(ExecContext& ctx) const override {
+    // A per-node algorithm pinned by the optimizer wins over the session
+    // knob; with no override every join follows ctx.join_algo as before.
+    JoinAlgo algo = algo_.value_or(ctx.join_algo);
     Relation left = left_->Execute(ctx);
     Relation right = right_->Execute(ctx);
     TraceScope trace(
         ctx,
         std::string("HashJoin(") + left_keys_[0] + "=" + right_keys_[0] +
-            ", " + JoinAlgoName(ctx.join_algo) + ")",
+            ", " + JoinAlgoName(algo) + ")",
         left.num_rows() + right.num_rows());
 
     // Key extraction: the (possibly composite) join key per qualifying
@@ -804,7 +814,7 @@ class HashJoinNode : public PlanNode {
         probe_rows.size() + build_rows.size(), ctx.threads);
     trace.set_threads_used(join_threads);
     JoinMatches matches =
-        JoinMatch(ctx.join_algo, build_keys, build_rows, probe_keys,
+        JoinMatch(algo, build_keys, build_rows, probe_keys,
                   probe_rows, ctx.radix_bits, join_threads);
     const std::vector<uint32_t>& out_left = matches.probe_rows;
     const std::vector<uint32_t>& out_right = matches.build_rows;
@@ -855,7 +865,11 @@ class HashJoinNode : public PlanNode {
       }
       out += left_keys_[i] + " = " + right_keys_[i];
     }
-    return out + "]";
+    out += "]";
+    if (algo_.has_value()) {
+      out += std::string(" algo=") + JoinAlgoName(*algo_);
+    }
+    return out;
   }
 
   PlanSpec Spec() const override {
@@ -870,11 +884,16 @@ class HashJoinNode : public PlanNode {
     return {left_.get(), right_.get()};
   }
 
+  std::vector<PlanPtr> SharedChildren() const override {
+    return {left_, right_};
+  }
+
  private:
   PlanPtr left_;
   PlanPtr right_;
   std::vector<std::string> left_keys_;
   std::vector<std::string> right_keys_;
+  std::optional<JoinAlgo> algo_;  ///< optimizer-pinned; nullopt = ctx knob.
 };
 
 
@@ -1021,6 +1040,10 @@ class MergeJoinNode : public PlanNode {
 
   std::vector<const PlanNode*> Children() const override {
     return {left_.get(), right_.get()};
+  }
+
+  std::vector<PlanPtr> SharedChildren() const override {
+    return {left_, right_};
   }
 
  private:
@@ -1380,6 +1403,8 @@ class AggregateNode : public PlanNode {
     return {child_.get()};
   }
 
+  std::vector<PlanPtr> SharedChildren() const override { return {child_}; }
+
  private:
   /// Builds one morsel's partial state from `rows[0..n)`: local dense
   /// group ids in first-occurrence order, then one accumulator per
@@ -1665,6 +1690,8 @@ class SortNode : public PlanNode {
     return {child_.get()};
   }
 
+  std::vector<PlanPtr> SharedChildren() const override { return {child_}; }
+
  private:
   PlanPtr child_;
   std::vector<SortKey> keys_;
@@ -1701,6 +1728,8 @@ class LimitNode : public PlanNode {
   std::vector<const PlanNode*> Children() const override {
     return {child_.get()};
   }
+
+  std::vector<PlanPtr> SharedChildren() const override { return {child_}; }
 
  private:
   PlanPtr child_;
@@ -1769,6 +1798,8 @@ class TopNNode : public PlanNode {
   std::vector<const PlanNode*> Children() const override {
     return {child_.get()};
   }
+
+  std::vector<PlanPtr> SharedChildren() const override { return {child_}; }
 
  private:
   PlanPtr child_;
@@ -1844,6 +1875,14 @@ PlanPtr HashJoin2(PlanPtr left, PlanPtr right, std::string left_key1,
       std::vector<std::string>{std::move(left_key1), std::move(left_key2)},
       std::vector<std::string>{std::move(right_key1),
                                std::move(right_key2)});
+}
+
+PlanPtr HashJoinWith(PlanPtr left, PlanPtr right,
+                     std::vector<std::string> left_keys,
+                     std::vector<std::string> right_keys, JoinAlgo algo) {
+  return std::make_shared<HashJoinNode>(std::move(left), std::move(right),
+                                        std::move(left_keys),
+                                        std::move(right_keys), algo);
 }
 
 

@@ -170,6 +170,14 @@ class PlanNode {
   virtual PlanSpec Spec() const = 0;
 
   virtual std::vector<const PlanNode*> Children() const { return {}; }
+
+  /// The children as shared plans, so a rewriter (the cost-based
+  /// optimizer) can rebuild a tree around existing subtrees without
+  /// cloning them. Same order as Children().
+  virtual std::vector<std::shared_ptr<const PlanNode>> SharedChildren()
+      const {
+    return {};
+  }
 };
 
 using PlanPtr = std::shared_ptr<const PlanNode>;
@@ -213,6 +221,14 @@ PlanPtr HashJoin(PlanPtr left, PlanPtr right, std::string left_key,
 PlanPtr HashJoin2(PlanPtr left, PlanPtr right, std::string left_key1,
                   std::string right_key1, std::string left_key2,
                   std::string right_key2);
+
+/// Equi-join with the physical algorithm pinned per node (the cost-based
+/// optimizer's output form): unlike HashJoin/HashJoin2, which follow
+/// ExecContext::join_algo at run time, this node always executes `algo`.
+/// 1 or 2 key columns; composite keys have the HashJoin2 31-bit bound.
+PlanPtr HashJoinWith(PlanPtr left, PlanPtr right,
+                     std::vector<std::string> left_keys,
+                     std::vector<std::string> right_keys, JoinAlgo algo);
 
 /// Sort-merge join on one int64 equality key. Detects already-sorted
 /// inputs (clustered keys such as TPC-H's l_orderkey) and skips the sort —

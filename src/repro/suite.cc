@@ -148,6 +148,17 @@ const ExperimentSuite& PerfevalSuite() {
         "stdout + bench_results/BENCH_shard_scaleout.json + "
         "bench_results/a10_shard_scaleout.{gnu,svg}",
         "a few minutes");
+    add("A11", "Cost-based optimizer study: cost-model calibration "
+        "against measured TRACE join times (with a FitLinear re-fit of "
+        "the per-probe-row constant), per-operator Q-error distributions "
+        "of estimated vs actual cardinality and cost over all 22 TPC-H "
+        "plans, and who-wins crossovers of optimizer-picked vs best "
+        "hand-picked plans (selectivity sweep + per-query table with "
+        "bootstrap ratio CIs)",
+        "build/bench/bench_optimizer",
+        "stdout + bench_results/BENCH_optimizer.json + "
+        "bench_results/a11_selectivity.{csv,gnu,svg}",
+        "a few minutes");
     s->AddNote(
         "Parallel execution & determinism",
         "Every bench binary takes uniform scheduling flags: `--jobs=N` "
@@ -247,6 +258,28 @@ const ExperimentSuite& PerfevalSuite() {
         "the max over shards, turning the per-shard latency CDF F into "
         "F^N) and the straggler cell shows one slow disk pinning the "
         "cluster's p99.");
+    s->AddNote(
+        "Cost-based optimization",
+        "A11 measures `opt::Optimize` (DESIGN.md S17): per-column "
+        "statistics (exact row/NULL counts, zone-map min/max, Chao1 "
+        "distinct counts, equi-width histograms) feed a cardinality "
+        "estimator and a calibrated per-row cost model, and a dynamic "
+        "program over connected join subgraphs picks both the join order "
+        "and a physical algorithm (legacy/hash/radix/merge) per join. "
+        "The rewrite is opt-in (`\\opt on` in the SQL shell, --dbOpt=on "
+        "in the benches) and semantics-preserving by construction: only "
+        "inner equi-join regions are re-ordered, a schema-restoring "
+        "Project caps every reordered region, and unconsumed join edges "
+        "reappear as filters. Plan choice is a pure function of the "
+        "statistics snapshot — the same database state yields the same "
+        "plan at any thread or shard count — and the differential oracle "
+        "re-runs all 22 TPC-H plans plus fuzzed queries with the "
+        "optimizer enabled across execution modes, thread counts and a "
+        "2-shard cluster against both the reference interpreter and the "
+        "rule-only plan (`ctest -L opt`, `ctest -L oracle`). A11's "
+        "Q-error tables quantify the estimator the DoE way; the who-wins "
+        "tables report the end metric: how often the optimizer matches "
+        "an oracle that hand-picks the best global algorithm per query.");
     return s;
   }();
   return *suite;

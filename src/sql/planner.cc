@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "db/error.h"
+#include "opt/optimizer.h"
 #include "sql/parser.h"
 
 namespace perfeval {
@@ -751,7 +752,15 @@ Result<db::ExprPtr> BindWhereExpr(const AstExprPtr& expr,
 Result<PlannedQuery> PlanStatement(const SelectStatement& statement,
                                    const db::Database& database) {
   Planner planner(statement, database);
-  return planner.Plan();
+  Result<PlannedQuery> planned = planner.Plan();
+  // Opt-in cost-based optimization (`\opt on` / --dbOpt=on): hand the
+  // rule-built plan to the optimizer, which re-derives join order and
+  // pins a join algorithm per node from the table statistics. EXPLAIN
+  // shows the optimized tree; results are oracle-diffed identical.
+  if (planned.ok() && database.optimize()) {
+    planned.value().plan = opt::Optimize(planned.value().plan, database).plan;
+  }
+  return planned;
 }
 
 Result<PlannedQuery> PlanQuery(const std::string& sql_text,

@@ -44,6 +44,15 @@ void Histogram::Add(double value) {
   if (index >= cells_.size()) {
     index = cells_.size() - 1;  // upper boundary goes to the last cell.
   }
+  // The division above can disagree with the stored cell edges by one ulp
+  // (width_ is rounded, the edges are accumulated), so reconcile against
+  // the bounds: cells are [lower, upper) except the last, which is closed.
+  while (index + 1 < cells_.size() && clamped >= cells_[index].upper) {
+    ++index;
+  }
+  while (index > 0 && clamped < cells_[index].lower) {
+    --index;
+  }
   ++cells_[index].count;
 }
 

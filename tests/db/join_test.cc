@@ -90,6 +90,23 @@ TEST(EstimateDistinctKeysTest, ExactForSmallInputs) {
   EXPECT_EQ(EstimateDistinctKeys({1, 2, 3, 2, 1}), 3u);
 }
 
+TEST(EstimateDistinctKeysTest, DuplicateFreeInputNeverExceedsRowCount) {
+  // Chao1 blow-up regression: with a duplicate-free input every sampled
+  // key is a singleton, so f1 = sample size and f2 = 0, and the raw
+  // d + f1^2 / (2 (f2 + 1)) estimate is ~d + d^2/2 — half a million for
+  // a 1024-key sample, far beyond the input. The estimate must clamp to
+  // the row count (an upper bound on the true distinct count).
+  for (size_t n : {2000u, 10000u, 100000u}) {
+    std::vector<int64_t> unique(n);
+    for (size_t i = 0; i < n; ++i) {
+      unique[i] = static_cast<int64_t>(i * 7 + 3);
+    }
+    size_t estimate = EstimateDistinctKeys(unique);
+    EXPECT_LE(estimate, n) << "n=" << n;
+    EXPECT_GE(estimate, n / 2) << "n=" << n;
+  }
+}
+
 TEST(ChooseRadixBitsTest, GrowsWithBuildSizeAndIsCapped) {
   EXPECT_EQ(ChooseRadixBits(0), 0);
   EXPECT_EQ(ChooseRadixBits(1000), 0);  // fits one L2-sized partition.

@@ -74,6 +74,9 @@ TEST(SuiteTest, PerfevalSuiteDocumentsSchedulingFlags) {
   // ... and the shard cluster: its ctest label and the scale-out story.
   EXPECT_NE(doc.find("-L shard"), std::string::npos);
   EXPECT_NE(doc.find("ShardCluster"), std::string::npos);
+  // ... and the cost-based optimizer: its ctest label and the opt-in knob.
+  EXPECT_NE(doc.find("-L opt"), std::string::npos);
+  EXPECT_NE(doc.find("--dbOpt"), std::string::npos);
 }
 
 TEST(SuiteTest, PerfevalSuiteCoversDesignDocIndex) {
@@ -83,10 +86,10 @@ TEST(SuiteTest, PerfevalSuiteCoversDesignDocIndex) {
   for (const char* id :
        {"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "F1", "F2", "F3",
         "F4", "F5", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8",
-        "A9", "A10"}) {
+        "A9", "A10", "A11"}) {
     EXPECT_NE(suite.Find(id), nullptr) << id;
   }
-  EXPECT_EQ(suite.experiments().size(), 23u);
+  EXPECT_EQ(suite.experiments().size(), 24u);
 }
 
 TEST(SuiteTest, PerfevalSuiteCommandsPointAtBenchBinaries) {

@@ -118,6 +118,59 @@ TEST(HistogramTest, DegenerateRangeWidensInsteadOfZeroWidthCells) {
   EXPECT_EQ(counted, 3);
 }
 
+TEST(HistogramTest, ExactInteriorBoundariesLandInNextCell) {
+  // Cells are [lower, upper): a value exactly equal to an interior cell's
+  // upper bound belongs to the *next* cell. With a range whose width is
+  // not exactly representable (0.7 / 7 here), the float division used to
+  // put some exact edges one cell low.
+  Histogram h(0.0, 0.7, 7);
+  for (size_t i = 0; i + 1 < h.cells().size(); ++i) {
+    Histogram probe(0.0, 0.7, 7);
+    probe.Add(h.cells()[i].upper);  // == cells[i+1].lower
+    EXPECT_EQ(probe.cells()[i].count, 0)
+        << "edge " << i << " landed in its own cell";
+    EXPECT_EQ(probe.cells()[i + 1].count, 1)
+        << "edge " << i << " missed the next cell";
+  }
+  // Integer edges must behave the same way.
+  Histogram g(0.0, 10.0, 5);
+  g.Add(2.0);
+  g.Add(4.0);
+  g.Add(6.0);
+  g.Add(8.0);
+  EXPECT_EQ(g.cells()[0].count, 0);
+  EXPECT_EQ(g.cells()[1].count, 1);
+  EXPECT_EQ(g.cells()[2].count, 1);
+  EXPECT_EQ(g.cells()[3].count, 1);
+  EXPECT_EQ(g.cells()[4].count, 1);
+}
+
+TEST(HistogramTest, AllEqualInputStaysInRangeAtEveryCellCount) {
+  // Degenerate all-equal input at a variety of cell counts: the shared
+  // value sits exactly on the widened range's midpoint, which is an
+  // interior edge whenever num_cells is even.
+  for (int cells = 1; cells <= 9; ++cells) {
+    Histogram h(3.0, 3.0, cells);
+    for (int i = 0; i < 10; ++i) {
+      h.Add(3.0);
+    }
+    EXPECT_EQ(h.out_of_range(), 0) << cells << " cells";
+    int64_t counted = 0;
+    int64_t nonempty = 0;
+    for (const HistogramCell& cell : h.cells()) {
+      counted += cell.count;
+      nonempty += cell.count > 0 ? 1 : 0;
+      if (cell.count > 0) {
+        // The value must actually satisfy the cell's own bounds.
+        EXPECT_GE(3.0, cell.lower);
+        EXPECT_TRUE(3.0 < cell.upper || &cell == &h.cells().back());
+      }
+    }
+    EXPECT_EQ(counted, 10) << cells << " cells";
+    EXPECT_EQ(nonempty, 1) << cells << " cells";
+  }
+}
+
 TEST(HistogramDeathTest, RejectsBadConstruction) {
   EXPECT_DEATH(Histogram(0.0, 1.0, 0), "CHECK failed");
   EXPECT_DEATH(Histogram(2.0, 1.0, 3), "CHECK failed");

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # CI entry point — the same jobs .github/workflows/ci.yml runs, invocable
-# locally: tools/ci.sh [tier1|asan|oracle|serve|parallel|shard|txn|all].
+# locally: tools/ci.sh [tier1|asan|oracle|serve|parallel|shard|opt|txn|all].
 # Each job uses its own build directory so they can be cached independently.
 set -euo pipefail
 
@@ -87,6 +87,22 @@ shard() {
   ctest --test-dir build-tsan --output-on-failure -L shard -R 'ShardPlanner|ShardCluster|ShardedTpch'
 }
 
+opt() {
+  # Cost-based-optimizer job: the statistics/estimator/DP-rewrite suite
+  # and the strict bench-knob parsing in Release plus the A11 bench's
+  # fast path (calibration + Q-error + who-wins end to end), then the
+  # same `opt`-labelled tests under ASan+UBSan — the rewrite allocates
+  # and re-wires plan trees, exactly where a lifetime bug would hide.
+  cmake -B build -S .
+  cmake --build build "$jobs_flag" --target opt_test bench_util_test bench_optimizer
+  ctest --test-dir build --output-on-failure -L opt
+  cmake -B build-asan -S . -DPERFEVAL_SANITIZE=address
+  cmake --build build-asan "$jobs_flag" --target opt_test
+  # -R keeps the ASan pass to the opt_test cases (the bench smoke under
+  # the same label is built only in the Release tree).
+  ctest --test-dir build-asan --output-on-failure -L opt -R 'TableStats|Estimator|CostModel|Optimize'
+}
+
 txn() {
   # Write-path job: the WAL/checkpoint/recovery suite, the exhaustive
   # crash-point fuzz sweep and the A9 bench's fast path in Release, then
@@ -113,10 +129,11 @@ case "$job" in
   serve)    serve ;;
   parallel) parallel ;;
   shard)    shard ;;
+  opt)      opt ;;
   txn)      txn ;;
-  all)      tier1; oracle; serve; parallel; shard; txn; asan ;;
+  all)      tier1; oracle; serve; parallel; shard; opt; txn; asan ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|oracle|serve|parallel|shard|txn|all]" >&2
+    echo "usage: tools/ci.sh [tier1|asan|oracle|serve|parallel|shard|opt|txn|all]" >&2
     exit 2
     ;;
 esac
