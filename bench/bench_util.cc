@@ -27,6 +27,7 @@ bool ConsumeScheduleFlag(const std::string& arg,
       {"--dbJoin=", "dbJoin"},
       {"--radixBits=", "radixBits"},
       {"--dbOpt=", "dbOpt"},
+      {"--dbBackend=", "dbBackend"},
   };
   for (const auto& flag : kFlags) {
     std::string prefix = flag.prefix;
@@ -63,6 +64,7 @@ BenchContext::BenchContext(const std::string& experiment_id,
   properties_.SetDefault("dbThreads", "1");
   properties_.SetDefault("dbJoin", "radix");
   properties_.SetDefault("dbOpt", "off");
+  properties_.SetDefault("dbBackend", "col");
   properties_.SetDefault("smoke", "false");
   std::vector<std::string> rest = properties_.OverrideFromArgs(argc, argv);
   for (const std::string& arg : rest) {
@@ -130,6 +132,16 @@ Result<bool> BenchContext::DbOpt() const {
       StrFormat("usage: --dbOpt=on|off (got \"%s\")", text.c_str()));
 }
 
+Result<db::BackendKind> BenchContext::DbBackend() const {
+  const std::string text = properties_.GetOr("dbBackend", "col");
+  Result<db::BackendKind> kind = db::ParseBackendKind(text);
+  if (!kind.ok()) {
+    return Status::InvalidArgument(StrFormat(
+        "usage: --dbBackend=<col|row> (got \"%s\")", text.c_str()));
+  }
+  return kind;
+}
+
 Status BenchContext::ApplyDbKnobs(db::Database* database) const {
   database->set_threads(DbThreads());
   Result<db::JoinAlgo> join = DbJoin();
@@ -144,6 +156,11 @@ Status BenchContext::ApplyDbKnobs(db::Database* database) const {
     return optimize.status();
   }
   database->set_optimize(optimize.value());
+  Result<db::BackendKind> backend = DbBackend();
+  if (!backend.ok()) {
+    return backend.status();
+  }
+  database->set_backend(backend.value());
   return Status::OK();
 }
 
@@ -158,6 +175,15 @@ std::string BenchContext::ResultPath(const std::string& file_name) const {
 void BenchContext::PrintHeader(const std::string& title) const {
   std::printf("== %s: %s ==\n", experiment_id_.c_str(), title.c_str());
   std::printf("%s", environment_.ToReportString().c_str());
+  // Treatment knobs are part of the experimental setup (paper, slides
+  // 149–156): echo them in every header so a report can never be read
+  // without knowing which engine configuration produced it.
+  std::printf(
+      "db knobs: backend=%s threads=%s join=%s opt=%s\n",
+      properties_.GetOr("dbBackend", "col").c_str(),
+      properties_.GetOr("dbThreads", "1").c_str(),
+      properties_.GetOr("dbJoin", "radix").c_str(),
+      properties_.GetOr("dbOpt", "off").c_str());
   std::printf("\n");
 }
 

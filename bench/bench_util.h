@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "core/environment.h"
+#include "db/backend_kind.h"
 #include "db/join.h"
 #include "repro/manifest.h"
 #include "repro/properties.h"
@@ -63,10 +64,16 @@ class BenchContext {
   /// value other than on/off/true/false is a usage error.
   Result<bool> DbOpt() const;
 
+  /// Execution-backend knob (`--dbBackend=<col|row>`, equivalently the
+  /// `dbBackend` property; default col). A treatment knob with DbJoin()'s
+  /// strictness — an unrecognized backend name is a hard usage error,
+  /// never a silent fallback to the columnar engine.
+  Result<db::BackendKind> DbBackend() const;
+
   /// Applies the validated database knobs (`--dbThreads`, `--dbJoin`,
-  /// `--radixBits`, `--dbOpt`) to `database`, returning the first usage
-  /// error. Benches call this once after constructing their Database so
-  /// every binary honours the uniform flags identically.
+  /// `--radixBits`, `--dbOpt`, `--dbBackend`) to `database`, returning the
+  /// first usage error. Benches call this once after constructing their
+  /// Database so every binary honours the uniform flags identically.
   Status ApplyDbKnobs(db::Database* database) const;
 
   /// `--smoke` (equivalently `-Dsmoke=true`): ask the bench for its

@@ -18,6 +18,10 @@
 //                            regions and pin per-join algorithms from
 //                            table stats (results stay bit-identical;
 //                            EXPLAIN shows the optimized tree)
+//   \backend col|row         execution backend: the columnar vectorized
+//                            engine or the packed-tuple row store
+//                            (engine::RowStoreBackend); results are
+//                            oracle-identical, timings are not
 //   \timing on|off           route queries through the serve::QueryService
 //                            and print the server-side split (queue wait /
 //                            exec / total) alongside client wall time
@@ -42,6 +46,8 @@
 
 #include "common/string_util.h"
 #include "core/timer.h"
+#include "db/error.h"
+#include "engine/row_backend.h"
 #include "repro/properties.h"
 #include "db/csv_loader.h"
 #include "serve/service.h"
@@ -100,6 +106,50 @@ void RunTimed(db::Database& database, serve::QueryService& service,
       response.server.exec_ns / 1e6, client_ms);
 }
 
+/// Runs one SELECT through the row-store backend: plan against the shared
+/// catalog, sync the backend's packed copy (folds committed write-path
+/// deltas), execute row-at-a-time. Prints the same timing lines as the
+/// columnar path plus the row store's finish cost (converting the packed
+/// native result to a printable columnar table).
+void RunRowBackend(db::Database& database,
+                   engine::RowStoreBackend& backend,
+                   const std::string& sql_text, db::ExecMode mode,
+                   bool with_trace) {
+  Result<sql::PlannedQuery> planned = sql::PlanQuery(sql_text, database);
+  if (!planned.ok()) {
+    std::printf("error: %s\n", planned.status().ToString().c_str());
+    return;
+  }
+  if (planned->explain) {
+    std::printf("%s\n", db::Explain(planned->plan).c_str());
+    return;
+  }
+  backend.SyncFrom(&database);
+  engine::ExecOptions options;
+  options.mode = mode;
+  options.threads = database.threads();
+  options.check = database.check();
+  core::WallTimer wall;
+  try {
+    engine::BackendResult result = backend.Execute(planned->plan, options);
+    double client_ms = wall.ElapsedMs();
+    std::printf("%s", result.table->ToString(25).c_str());
+    std::printf("%zu row(s)\n", result.table->num_rows());
+    std::printf(
+        "Server %.3f msec (+ %.3f finish), Client %.3f msec [backend: %s]\n",
+        result.ObservedServerNs() / 1e6, result.finish_ns / 1e6, client_ms,
+        backend.name());
+    std::printf("Pages %lld hits / %lld misses\n",
+                static_cast<long long>(result.storage.page_hits),
+                static_cast<long long>(result.storage.page_misses));
+    if (with_trace) {
+      std::printf("\n%s", result.profile.ToString().c_str());
+    }
+  } catch (const db::QueryError& e) {
+    std::printf("error: %s\n", e.ToStatus().ToString().c_str());
+  }
+}
+
 void RunAndPrint(db::Database& database, const std::string& sql_text,
                  db::ExecMode mode, bool with_trace) {
   Result<db::QueryResult> result =
@@ -150,6 +200,9 @@ int main(int argc, char** argv) {
   // its execution mode at construction).
   std::unique_ptr<serve::QueryService> timing_service;
   bool timing_on = false;
+  // Created lazily on the first \backend row; kept across switches so its
+  // buffer pool stays warm (SyncFrom re-packs only changed tables).
+  std::unique_ptr<engine::RowStoreBackend> row_backend;
 
   std::printf("perfeval SQL shell — TPC-H sf %.3g loaded. \\q to quit.\n",
               sf);
@@ -256,6 +309,28 @@ int main(int argc, char** argv) {
                     database.optimize() ? "on" : "off");
         continue;
       }
+      if (StartsWith(trimmed, "\\backend")) {
+        std::vector<std::string> parts = Split(trimmed, ' ');
+        if (parts.size() == 2) {
+          Result<db::BackendKind> kind = db::ParseBackendKind(parts[1]);
+          if (!kind.ok()) {
+            std::printf("usage: \\backend col|row (%s)\n",
+                        kind.status().message().c_str());
+            continue;
+          }
+          database.set_backend(*kind);
+          if (*kind == db::BackendKind::kRowStore &&
+              row_backend == nullptr) {
+            row_backend = engine::RowStoreBackend::Over(&database);
+          }
+        } else if (parts.size() != 1) {
+          std::printf("usage: \\backend col|row\n");
+          continue;
+        }
+        std::printf("execution backend: %s\n",
+                    db::BackendKindName(database.backend()));
+        continue;
+      }
       if (StartsWith(trimmed, "\\check") && trimmed != "\\checkpoint") {
         std::vector<std::string> parts = Split(trimmed, ' ');
         if (parts.size() == 2 && (parts[1] == "on" || parts[1] == "off")) {
@@ -321,7 +396,13 @@ int main(int argc, char** argv) {
         continue;
       }
       if (StartsWith(trimmed, "\\trace ")) {
-        RunAndPrint(database, trimmed.substr(7), mode, /*with_trace=*/true);
+        if (database.backend() == db::BackendKind::kRowStore) {
+          RunRowBackend(database, *row_backend, trimmed.substr(7), mode,
+                        /*with_trace=*/true);
+        } else {
+          RunAndPrint(database, trimmed.substr(7), mode,
+                      /*with_trace=*/true);
+        }
         continue;
       }
       std::printf("unknown command %s\n", trimmed.c_str());
@@ -348,7 +429,12 @@ int main(int argc, char** argv) {
       statement.clear();
       continue;
     }
-    if (timing_on) {
+    if (database.backend() == db::BackendKind::kRowStore) {
+      // \timing routes through the columnar-bound QueryService; the row
+      // backend prints its own server/finish split instead.
+      RunRowBackend(database, *row_backend, statement, mode,
+                    /*with_trace=*/false);
+    } else if (timing_on) {
       RunTimed(database, *timing_service, statement);
     } else {
       RunAndPrint(database, statement, mode, /*with_trace=*/false);

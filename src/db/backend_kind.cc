@@ -1,0 +1,28 @@
+#include "db/backend_kind.h"
+
+namespace perfeval {
+namespace db {
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kColumnar:
+      return "col";
+    case BackendKind::kRowStore:
+      return "row";
+  }
+  return "?";
+}
+
+Result<BackendKind> ParseBackendKind(const std::string& text) {
+  if (text == "col" || text == "columnar") {
+    return BackendKind::kColumnar;
+  }
+  if (text == "row" || text == "rowstore") {
+    return BackendKind::kRowStore;
+  }
+  return Status::InvalidArgument("unknown backend '" + text +
+                                 "' (want col|row)");
+}
+
+}  // namespace db
+}  // namespace perfeval

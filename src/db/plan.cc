@@ -922,10 +922,21 @@ class MergeJoinNode : public PlanNode {
       PERFEVAL_CHECK(column.type() == DataType::kInt64)
           << "merge join requires int64 keys (" << name << ")";
       if (column.has_nulls()) {
-        throw QueryError(StatusCode::kInvalidArgument,
-                         "join key column " + name +
-                             " contains NULL; NULL join keys are "
-                             "unsupported");
+        // The base column's null mask covers rows a selection vector may
+        // have already filtered out; only a NULL in a *visible* row is an
+        // error. (Rejecting on has_nulls() alone made the merge join
+        // refuse inputs like Filter(k >= 0) -> MergeJoin, which the hash
+        // join and the reference interpreter accept.)
+        for (size_t i = 0; i < rel.num_rows(); ++i) {
+          uint32_t r = rel.RowAt(i);
+          if (column.IsNull(r)) {
+            throw QueryError(
+                StatusCode::kInvalidArgument,
+                "join key column " + name + " contains NULL (row " +
+                    StrFormat("%u", r) +
+                    "); NULL join keys are unsupported");
+          }
+        }
       }
       Keyed keyed;
       keyed.reserve(rel.num_rows());
@@ -1751,15 +1762,26 @@ class TopNNode : public PlanNode {
 
     // Reuses the columnar comparator kernel from the parallel sort; the
     // bounded partial_sort itself stays serial (O(rows log n) is already
-    // cheap relative to a full sort).
+    // cheap relative to a full sort). Ties break on the row id — input
+    // row ids are strictly increasing, so this is exactly the order a
+    // stable full sort + truncate would produce. Without the tie-break
+    // the unstable partial_sort is free to emit EITHER of two key-equal
+    // rows into the cut at position n, and TopN(k) could disagree with
+    // Sort+Limit(k) on which rows survive.
     RowComparator less(table, keys_);
+    auto stable_less = [&less](uint32_t a, uint32_t b) {
+      if (less(a, b)) {
+        return true;
+      }
+      return !less(b, a) && a < b;
+    };
     if (rows.size() > n_) {
       std::partial_sort(rows.begin(),
                         rows.begin() + static_cast<long>(n_), rows.end(),
-                        less);
+                        stable_less);
       rows.resize(n_);
     } else {
-      std::sort(rows.begin(), rows.end(), less);
+      std::sort(rows.begin(), rows.end(), stable_less);
     }
     if (ctx.check) {
       for (size_t i = 1; i < rows.size(); ++i) {

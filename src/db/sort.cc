@@ -1,6 +1,7 @@
 #include "db/sort.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "sched/parallel_for.h"
@@ -60,10 +61,20 @@ int RowComparator::CompareOne(const Key& key, uint32_t a, uint32_t b) {
       return x < y ? -1 : (x == y ? 0 : 1);
     }
     case DataType::kDouble: {
-      // Mirrors Value::Compare exactly: `<` then `==`, so any NaN operand
-      // falls through to "greater".
+      // NaN is ordered explicitly — greater than every number, tying with
+      // itself — because the raw `<`/`==` fallthrough answered "greater"
+      // for BOTH Compare(NaN, x) and Compare(x, NaN). That asymmetry
+      // breaks strict weak ordering the moment a descending key direction
+      // flips the sign, which is undefined behaviour for std::stable_sort
+      // and made the checked-mode "output ordered" invariant fire on
+      // correct permutations.
       double x = key.doubles[a];
       double y = key.doubles[b];
+      bool x_nan = std::isnan(x);
+      bool y_nan = std::isnan(y);
+      if (x_nan || y_nan) {
+        return x_nan == y_nan ? 0 : (x_nan ? 1 : -1);
+      }
       return x < y ? -1 : (x == y ? 0 : 1);
     }
     case DataType::kString: {

@@ -1,0 +1,26 @@
+#include "engine/backend.h"
+
+#include <memory>
+
+#include "common/check.h"
+#include "engine/columnar_backend.h"
+#include "engine/row_backend.h"
+
+namespace perfeval {
+namespace engine {
+
+std::unique_ptr<Backend> CreateBackend(db::BackendKind kind,
+                                       db::Database* database) {
+  PERFEVAL_CHECK(database != nullptr);
+  switch (kind) {
+    case db::BackendKind::kColumnar:
+      return std::make_unique<ColumnarBackend>(database);
+    case db::BackendKind::kRowStore:
+      return RowStoreBackend::Over(database);
+  }
+  PERFEVAL_CHECK(false) << "unknown backend kind";
+  return nullptr;
+}
+
+}  // namespace engine
+}  // namespace perfeval

@@ -1,0 +1,48 @@
+#include "engine/columnar_backend.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace perfeval {
+namespace engine {
+
+void ColumnarBackend::SyncFrom(db::Database* database) {
+  PERFEVAL_CHECK(database == database_)
+      << "ColumnarBackend adapts one database";
+  // The database *is* this backend's catalog; folding committed deltas in
+  // is all a sync means here.
+  database_->Refresh();
+}
+
+BackendResult ColumnarBackend::Execute(const db::PlanPtr& plan,
+                                       const ExecOptions& options) {
+  // Apply the protocol knobs for this execution, restoring the database's
+  // own settings afterwards so a shared database is left as found.
+  int saved_threads = database_->threads();
+  bool saved_check = database_->check();
+  database_->set_threads(options.threads);
+  database_->set_check(options.check);
+  db::QueryResult run;
+  try {
+    run = database_->Run(plan, options.mode);
+  } catch (...) {
+    database_->set_threads(saved_threads);
+    database_->set_check(saved_check);
+    throw;
+  }
+  database_->set_threads(saved_threads);
+  database_->set_check(saved_check);
+
+  BackendResult result;
+  result.table = run.table;
+  result.profile = std::move(run.profile);
+  result.storage = run.storage;
+  result.server_wall_ns = run.server.real_ns;
+  result.stall_ns = run.server.simulated_stall_ns;
+  result.finish_ns = 0;  // The native result already is a columnar table.
+  return result;
+}
+
+}  // namespace engine
+}  // namespace perfeval

@@ -1,0 +1,50 @@
+#ifndef PERFEVAL_ENGINE_COLUMNAR_BACKEND_H_
+#define PERFEVAL_ENGINE_COLUMNAR_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/backend.h"
+
+namespace perfeval {
+namespace engine {
+
+/// The existing columnar vectorized executor behind the Backend
+/// interface: a thin adapter over db::Database::Run (adapted, not
+/// rewritten — every prior A-bench result stays the measurement of this
+/// code path). The wrapped database is borrowed, so the SQL shell and
+/// benches can keep planning against the same catalog they execute on.
+class ColumnarBackend : public Backend {
+ public:
+  explicit ColumnarBackend(db::Database* database) : database_(database) {}
+
+  db::BackendKind kind() const override {
+    return db::BackendKind::kColumnar;
+  }
+
+  void RegisterTable(const std::string& name,
+                     std::shared_ptr<db::Table> table) override {
+    database_->RegisterTable(name, std::move(table));
+  }
+
+  void SyncFrom(db::Database* database) override;
+
+  BackendResult Execute(const db::PlanPtr& plan,
+                        const ExecOptions& options) override;
+
+  db::StorageStats StorageSnapshot() const override {
+    return database_->storage().StatsSnapshot();
+  }
+
+  void FlushCaches() override { database_->FlushCaches(); }
+
+  db::Database* database() { return database_; }
+
+ private:
+  db::Database* database_;
+};
+
+}  // namespace engine
+}  // namespace perfeval
+
+#endif  // PERFEVAL_ENGINE_COLUMNAR_BACKEND_H_

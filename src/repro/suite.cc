@@ -159,6 +159,19 @@ const ExperimentSuite& PerfevalSuite() {
         "stdout + bench_results/BENCH_optimizer.json + "
         "bench_results/a11_selectivity.{csv,gnu,svg}",
         "a few minutes");
+    add("A12", "Multi-backend faceoff: the columnar vectorized executor "
+        "vs the packed-tuple row store racing the same plan trees "
+        "through one harness — hot who-wins over all 22 TPC-H queries "
+        "with interleaved samples and bootstrap row/col ratio CIs "
+        "(non-overlap with 1.0 flagged), per-operator TRACE attribution "
+        "per backend, and a cold layout-crossover sweep (selectivity x "
+        "projected-column count) locating where one seek + full tuples "
+        "beats per-column streams; results diffed row-vs-col on every "
+        "sample pair",
+        "build/bench/bench_backend_faceoff",
+        "stdout + bench_results/BENCH_backend_faceoff.json + "
+        "bench_results/a12_crossover.{csv,gnu,svg}",
+        "a few minutes");
     s->AddNote(
         "Parallel execution & determinism",
         "Every bench binary takes uniform scheduling flags: `--jobs=N` "
@@ -193,17 +206,19 @@ const ExperimentSuite& PerfevalSuite() {
         "scheduler, `db` for morsel-parallel query execution, `serve` for "
         "the concurrent query service, `txn` for the write path "
         "(concurrent ingest + scan, group commit, crash-point fuzzing), "
-        "`shard` for concurrent scatter-gather across the shard cluster — "
-        "and should pass under ThreadSanitizer:\n\n"
+        "`shard` for concurrent scatter-gather across the shard cluster, "
+        "`engine` for concurrent multi-backend Execute — and should pass "
+        "under ThreadSanitizer:\n\n"
         "```sh\n"
         "cmake -B build-tsan -S . -DPERFEVAL_SANITIZE=thread\n"
         "cmake --build build-tsan --target sched_test db_parallel_test "
-        "serve_test txn_test shard_test\n"
+        "serve_test txn_test shard_test engine_test\n"
         "ctest --test-dir build-tsan -L sched\n"
         "ctest --test-dir build-tsan -L db\n"
         "ctest --test-dir build-tsan -L serve\n"
         "ctest --test-dir build-tsan -L txn\n"
         "ctest --test-dir build-tsan -L shard\n"
+        "ctest --test-dir build-tsan -L engine -R ConcurrentExecute\n"
         "```");
     s->AddNote(
         "Serving & tail latency",
@@ -280,6 +295,31 @@ const ExperimentSuite& PerfevalSuite() {
         "Q-error tables quantify the estimator the DoE way; the who-wins "
         "tables report the end metric: how often the optimizer matches "
         "an oracle that hand-picks the best global algorithm per query.");
+    s->AddNote(
+        "Multi-backend comparison",
+        "A12 races two production backends behind one `engine::Backend` "
+        "interface (DESIGN.md S18): the columnar vectorized executor "
+        "(adapting `db::Database`) and a packed-tuple row store that "
+        "materializes every table as fixed-stride rows plus a string "
+        "heap and executes the same plan trees tuple-at-a-time with "
+        "batching. Held constant across backends: the generated data, "
+        "the plan representation, the DiskModel, the buffer-pool budget "
+        "and rows-per-page, the thread count, and the measurement "
+        "protocol (observed server time = measured wall + simulated "
+        "stall; the row store's packed-result -> Table conversion is "
+        "reported separately as finish time, never hidden in server "
+        "time). Legitimately different: page shape (per-column pages vs "
+        "per-table tuple pages), bytes per scan, seeks per scan (one "
+        "stream per column vs one per table), and per-operator CPU. "
+        "Select a backend with `--dbBackend=col|row` in any bench, "
+        "`\\backend col|row` in the SQL shell, or "
+        "`db::Database::set_backend`; typos are hard usage errors. The "
+        "differential oracle extends to backend-vs-backend: all 22 "
+        "TPC-H plans plus fuzzed queries run on both backends across "
+        "execution modes, thread counts and checked execution, and must "
+        "match the reference interpreter AND each other, including "
+        "after randomized INSERT/DELETE batches folded in through "
+        "`SyncFrom` (`ctest -L engine`, `ctest -L oracle`).");
     return s;
   }();
   return *suite;

@@ -1,8 +1,8 @@
 // BenchContext's database-knob parsing. The scheduler flags degrade
 // gracefully (a typo must not abort an overnight run), but the treatment
-// knobs --dbJoin/--dbOpt are the experiment itself: an unrecognized value
-// must surface as a usage error, never as a silent fallback that quietly
-// measures the wrong engine.
+// knobs --dbJoin/--dbOpt/--dbBackend are the experiment itself: an
+// unrecognized value must surface as a usage error, never as a silent
+// fallback that quietly measures the wrong engine.
 
 #include <string>
 #include <vector>
@@ -66,9 +66,35 @@ TEST(BenchUtilTest, InvalidDbOptIsAUsageErrorNotAFallback) {
   EXPECT_NE(opt.status().message().find("maybe"), std::string::npos);
 }
 
+TEST(BenchUtilTest, DbBackendDefaultsToColumnar) {
+  BenchContext ctx = MakeContext({});
+  Result<db::BackendKind> backend = ctx.DbBackend();
+  ASSERT_TRUE(backend.ok());
+  EXPECT_EQ(backend.value(), db::BackendKind::kColumnar);
+}
+
+TEST(BenchUtilTest, ValidDbBackendValuesParse) {
+  for (const char* text : {"row", "rowstore"}) {
+    BenchContext ctx = MakeContext({std::string("--dbBackend=") + text});
+    Result<db::BackendKind> backend = ctx.DbBackend();
+    ASSERT_TRUE(backend.ok()) << text;
+    EXPECT_EQ(backend.value(), db::BackendKind::kRowStore) << text;
+  }
+}
+
+TEST(BenchUtilTest, InvalidDbBackendIsAUsageErrorNotAFallback) {
+  BenchContext ctx = MakeContext({"--dbBackend=clo"});
+  Result<db::BackendKind> backend = ctx.DbBackend();
+  ASSERT_FALSE(backend.ok());
+  EXPECT_NE(backend.status().message().find("usage: --dbBackend"),
+            std::string::npos);
+  EXPECT_NE(backend.status().message().find("clo"), std::string::npos);
+}
+
 TEST(BenchUtilTest, ApplyDbKnobsConfiguresTheDatabase) {
-  BenchContext ctx = MakeContext(
-      {"--dbJoin=hash", "--dbOpt=on", "--dbThreads=3", "--radixBits=6"});
+  BenchContext ctx = MakeContext({"--dbJoin=hash", "--dbOpt=on",
+                                  "--dbThreads=3", "--radixBits=6",
+                                  "--dbBackend=row"});
   db::Database database;
   Status status = ctx.ApplyDbKnobs(&database);
   ASSERT_TRUE(status.ok()) << status.ToString();
@@ -76,6 +102,17 @@ TEST(BenchUtilTest, ApplyDbKnobsConfiguresTheDatabase) {
   EXPECT_TRUE(database.optimize());
   EXPECT_EQ(database.threads(), 3);
   EXPECT_EQ(database.radix_bits(), 6);
+  EXPECT_EQ(database.backend(), db::BackendKind::kRowStore);
+}
+
+TEST(BenchUtilTest, ApplyDbKnobsRejectsBadBackend) {
+  BenchContext ctx = MakeContext({"--dbBackend=vector"});
+  db::Database database;
+  Status status = ctx.ApplyDbKnobs(&database);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("usage: --dbBackend"), std::string::npos);
+  // The default must be untouched after a rejected apply.
+  EXPECT_EQ(database.backend(), db::BackendKind::kColumnar);
 }
 
 TEST(BenchUtilTest, ApplyDbKnobsPropagatesTheFirstError) {

@@ -86,10 +86,10 @@ TEST(SuiteTest, PerfevalSuiteCoversDesignDocIndex) {
   for (const char* id :
        {"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "F1", "F2", "F3",
         "F4", "F5", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8",
-        "A9", "A10", "A11"}) {
+        "A9", "A10", "A11", "A12"}) {
     EXPECT_NE(suite.Find(id), nullptr) << id;
   }
-  EXPECT_EQ(suite.experiments().size(), 24u);
+  EXPECT_EQ(suite.experiments().size(), 25u);
 }
 
 TEST(SuiteTest, PerfevalSuiteCommandsPointAtBenchBinaries) {

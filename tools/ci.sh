@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point — the same jobs .github/workflows/ci.yml runs, invocable
-# locally: tools/ci.sh [tier1|asan|oracle|serve|parallel|shard|opt|txn|all].
+# locally: tools/ci.sh
+#   [tier1|asan|oracle|serve|parallel|shard|opt|txn|engine|all].
 # Each job uses its own build directory so they can be cached independently.
 set -euo pipefail
 
@@ -122,6 +123,26 @@ txn() {
   ctest --test-dir build-tsan --output-on-failure -L txn -R 'DeltaStore'
 }
 
+engine() {
+  # Multi-backend job: the engine suite (row layout pack/unpack, pager
+  # I/O accounting, row-store determinism/overflow contracts) plus the
+  # A12 faceoff bench's fast path in Release, then engine_test again
+  # under ASan+UBSan (the packed-row kernels do raw stride arithmetic —
+  # exactly where an OOB hides), and the concurrent-Execute test under
+  # ThreadSanitizer (shared catalog + pager behind concurrent queries).
+  cmake -B build -S .
+  cmake --build build "$jobs_flag" --target engine_test bench_backend_faceoff
+  ctest --test-dir build --output-on-failure -L engine
+  cmake -B build-asan -S . -DPERFEVAL_SANITIZE=address
+  cmake --build build-asan "$jobs_flag" --target engine_test
+  # -R keeps the ASan pass to the engine_test cases (the bench smoke
+  # under the same label is built only in the Release tree).
+  ctest --test-dir build-asan --output-on-failure -L engine -R 'RowLayout|RowPager|RowBackend|BackendFactory|BackendKind|ColumnarBackend'
+  cmake -B build-tsan -S . -DPERFEVAL_SANITIZE=thread
+  cmake --build build-tsan "$jobs_flag" --target engine_test
+  ctest --test-dir build-tsan --output-on-failure -L engine -R 'ConcurrentExecute'
+}
+
 case "$job" in
   tier1)    tier1 ;;
   asan)     asan ;;
@@ -131,9 +152,10 @@ case "$job" in
   shard)    shard ;;
   opt)      opt ;;
   txn)      txn ;;
-  all)      tier1; oracle; serve; parallel; shard; opt; txn; asan ;;
+  engine)   engine ;;
+  all)      tier1; oracle; serve; parallel; shard; opt; txn; engine; asan ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|oracle|serve|parallel|shard|opt|txn|all]" >&2
+    echo "usage: tools/ci.sh [tier1|asan|oracle|serve|parallel|shard|opt|txn|engine|all]" >&2
     exit 2
     ;;
 esac
